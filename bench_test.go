@@ -1,0 +1,158 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bcast"
+	"repro/internal/bitvec"
+	"repro/internal/cliquefind"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/f2"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// The Benchmark_E* benchmarks regenerate the per-theorem experiment tables
+// of DESIGN.md (one per table/figure-equivalent in the paper). Each
+// iteration runs the quick-scale experiment end to end; run
+// `go test -bench E -benchtime 1x -v` to print the tables themselves via
+// cmd/experiments or the harness smoke test.
+
+func benchExperiment(b *testing.B, run func(experiments.Config) (*experiments.Table, error)) {
+	b.Helper()
+	cfg := experiments.Config{Seed: 1, Quick: true}
+	for i := 0; i < b.N; i++ {
+		table, err := run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if strings.Contains(table.Shape, "VIOLATION") || strings.Contains(table.Shape, "MISMATCH") {
+			b.Fatalf("shape check failed: %s", table.Shape)
+		}
+	}
+}
+
+func BenchmarkE1_SingleBitLemma(b *testing.B) { benchExperiment(b, experiments.E1SingleBitLemma) }
+func BenchmarkE2_CliqueRestrictionLemma(b *testing.B) {
+	benchExperiment(b, experiments.E2CliqueRestriction)
+}
+func BenchmarkE3_OneRoundPlantedClique(b *testing.B) {
+	benchExperiment(b, experiments.E3OneRoundPlantedClique)
+}
+func BenchmarkE4_MultiRoundPlantedClique(b *testing.B) {
+	benchExperiment(b, experiments.E4MultiRoundPlantedClique)
+}
+func BenchmarkE5_FourierLemma(b *testing.B) { benchExperiment(b, experiments.E5FourierLemma) }
+func BenchmarkE6_ToyPRG(b *testing.B)       { benchExperiment(b, experiments.E6ToyPRG) }
+func BenchmarkE7_FullPRG(b *testing.B)      { benchExperiment(b, experiments.E7FullPRG) }
+func BenchmarkE8_AverageCaseRank(b *testing.B) {
+	benchExperiment(b, experiments.E8AverageCaseRank)
+}
+func BenchmarkE9_TimeHierarchy(b *testing.B)   { benchExperiment(b, experiments.E9TimeHierarchy) }
+func BenchmarkE10_SeedLowerBound(b *testing.B) { benchExperiment(b, experiments.E10SeedLowerBound) }
+func BenchmarkE11_Newman(b *testing.B)         { benchExperiment(b, experiments.E11Newman) }
+func BenchmarkE12_CliqueRecovery(b *testing.B) { benchExperiment(b, experiments.E12CliqueRecovery) }
+func BenchmarkE13_SupportConcentration(b *testing.B) {
+	benchExperiment(b, experiments.E13SupportConcentration)
+}
+func BenchmarkE14_SeedCrossover(b *testing.B) { benchExperiment(b, experiments.E14SeedCrossover) }
+func BenchmarkE15_RestrictedLemmas(b *testing.B) {
+	benchExperiment(b, experiments.E15RestrictedLemmas)
+}
+func BenchmarkE16_WideMessages(b *testing.B) { benchExperiment(b, experiments.E16WideMessages) }
+func BenchmarkE17_DiscussionProblems(b *testing.B) {
+	benchExperiment(b, experiments.E17DiscussionProblems)
+}
+
+// Substrate benchmarks: the primitive operations every experiment rests
+// on, for performance tracking.
+
+func BenchmarkSubstrate_PRGExpand(b *testing.B) {
+	r := rng.New(1)
+	gen := core.FullPRG{K: 64, M: 1024}
+	hidden := f2.Random(64, 960, r)
+	seed := bitvec.Random(64, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = gen.Expand(seed, hidden)
+	}
+}
+
+func BenchmarkSubstrate_ConstructionProtocol(b *testing.B) {
+	r := rng.New(1)
+	proto := &core.ConstructionProtocol{N: 128, Gen: core.FullPRG{K: 16, M: 128}}
+	inputs := proto.Inputs(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bcast.RunRounds(proto, inputs, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrate_RankAttack(b *testing.B) {
+	r := rng.New(1)
+	gen := core.FullPRG{K: 16, M: 64}
+	outs, _, err := gen.Generate(128, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	attack := &core.RankAttack{N: 128, K: 16}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunAttack(attack, outs, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrate_Rank512(b *testing.B) {
+	m := f2.Random(512, 512, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Rank()
+	}
+}
+
+func BenchmarkSubstrate_PlantedSample(b *testing.B) {
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := graph.SamplePlanted(512, 64, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrate_CliqueFinderProtocol(b *testing.B) {
+	r := rng.New(1)
+	const n, k = 96, 48
+	p, err := cliquefind.NewSampleAndSolve(n, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, _, err := graph.SamplePlanted(n, k, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cliquefind.RunOnGraph(p, g, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrate_ConcurrentEngine(b *testing.B) {
+	r := rng.New(1)
+	proto := &core.ConstructionProtocol{N: 64, Gen: core.FullPRG{K: 8, M: 64}}
+	inputs := proto.Inputs(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bcast.RunConcurrent(proto, inputs, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Command bccsim runs one of the repository's BCAST protocols on sampled
+// inputs and reports transcript statistics — a quick way to poke at the
+// model from the shell.
+//
+// Usage:
+//
+//	bccsim -protocol degree|widedegree|parity|rank|construct|find|degreerecover|connectivity|exchange|mst -n 64 [-k 16] [-seed N] [-engine rounds|turns|concurrent] [-dump]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bcast"
+	"repro/internal/bitvec"
+	"repro/internal/cliquefind"
+	"repro/internal/core"
+	"repro/internal/frontier"
+	"repro/internal/graph"
+	"repro/internal/rankprot"
+	"repro/internal/rng"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bccsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("bccsim", flag.ContinueOnError)
+	name := fs.String("protocol", "degree",
+		"protocol: degree, widedegree, parity, rank, construct, find, degreerecover, connectivity, exchange, mst")
+	n := fs.Int("n", 64, "number of processors")
+	k := fs.Int("k", 16, "protocol parameter k (clique size / seed bits / minor size)")
+	seed := fs.Uint64("seed", 1, "master random seed")
+	engine := fs.String("engine", "rounds", "execution engine: rounds, turns, concurrent")
+	dump := fs.Bool("dump", false, "print the full transcript")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	r := rng.New(*seed)
+	proto, inputs, err := build(*name, *n, *k, r)
+	if err != nil {
+		return err
+	}
+
+	var res *bcast.Result
+	switch *engine {
+	case "rounds":
+		res, err = bcast.RunRounds(proto, inputs, r.Uint64())
+	case "turns":
+		res, err = bcast.RunTurns(proto, inputs, proto.Rounds()*len(inputs), r.Uint64())
+	case "concurrent":
+		res, err = bcast.RunConcurrent(proto, inputs, r.Uint64())
+	default:
+		return fmt.Errorf("unknown engine %q", *engine)
+	}
+	if err != nil {
+		return err
+	}
+
+	tr := res.Transcript
+	fmt.Fprintf(w, "protocol %s on n=%d processors (%s engine)\n", proto.Name(), *n, *engine)
+	fmt.Fprintf(w, "  rounds: %d   message width: %d bit(s)   total bits on wire: %d\n",
+		tr.CompleteRounds(), tr.MessageBits(), bcast.TotalBitsBroadcast(proto, *n))
+	ones := 0
+	for i := 0; i < tr.Turns(); i++ {
+		if tr.TurnMessage(i) != 0 {
+			ones++
+		}
+	}
+	fmt.Fprintf(w, "  nonzero messages: %d / %d\n", ones, tr.Turns())
+	if *dump {
+		fmt.Fprintln(w, tr)
+	}
+	return nil
+}
+
+// build constructs the named protocol together with matching inputs.
+func build(name string, n, k int, r *rng.Stream) (bcast.Protocol, []bitvec.Vector, error) {
+	switch name {
+	case "degree":
+		g, _, err := graph.SamplePlanted(n, k, r)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &cliquefind.DegreeDetector{N: n, K: k}, graphRows(g), nil
+	case "parity":
+		g := graph.SampleRand(n, r)
+		return &cliquefind.EdgeParityDetector{N: n}, graphRows(g), nil
+	case "rank":
+		p, err := rankprot.NewExact(n, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		return p, core.UniformInputs(n, n, r), nil
+	case "construct":
+		proto := &core.ConstructionProtocol{N: n, Gen: core.FullPRG{K: k, M: 3 * k}}
+		return proto, proto.Inputs(r), nil
+	case "find":
+		p, err := cliquefind.NewSampleAndSolve(n, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		g, _, err := graph.SamplePlanted(n, k, r)
+		if err != nil {
+			return nil, nil, err
+		}
+		return p, graphRows(g), nil
+	case "widedegree":
+		g, _, err := graph.SamplePlanted(n, k, r)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &cliquefind.WideDegreeDetector{N: n, K: k}, graphRows(g), nil
+	case "degreerecover":
+		p, err := cliquefind.NewDegreeRecover(n, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		g, _, err := graph.SamplePlanted(n, k, r)
+		if err != nil {
+			return nil, nil, err
+		}
+		return p, graphRows(g), nil
+	case "connectivity":
+		p, err := frontier.NewConnectivity(n, bcast.MessageBitsForN(n)+2)
+		if err != nil {
+			return nil, nil, err
+		}
+		return p, graphRows(graph.SampleGnp(n, 0.3, r)), nil
+	case "exchange":
+		g := graph.SampleRand(n, r)
+		return &frontier.FullExchangeProtocol{N: n, Wide: true}, graphRows(g), nil
+	case "mst":
+		wc, err := frontier.NewRandomWeights(n, r)
+		if err != nil {
+			return nil, nil, err
+		}
+		inputs := make([]bitvec.Vector, n)
+		for i := range inputs {
+			inputs[i] = wc.Row(i)
+		}
+		return frontier.NewMST(wc), inputs, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown protocol %q (want degree, widedegree, parity, rank, construct, find, degreerecover, connectivity, exchange, mst)", name)
+	}
+}
+
+func graphRows(g *graph.Digraph) []bitvec.Vector {
+	rows := make([]bitvec.Vector, g.N())
+	for i := range rows {
+		rows[i] = g.Row(i)
+	}
+	return rows
+}

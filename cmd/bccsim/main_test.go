@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunEveryProtocol(t *testing.T) {
+	for _, proto := range []string{"degree", "widedegree", "parity", "rank", "construct", "find", "degreerecover", "connectivity", "exchange", "mst"} {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			var sb strings.Builder
+			args := []string{"-protocol", proto, "-n", "48", "-k", "12"}
+			if proto == "find" {
+				args = []string{"-protocol", proto, "-n", "64", "-k", "32"}
+			}
+			if err := run(args, &sb); err != nil {
+				t.Fatal(err)
+			}
+			out := sb.String()
+			if !strings.Contains(out, "rounds:") || !strings.Contains(out, "total bits on wire") {
+				t.Fatalf("missing stats:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestRunEveryEngine(t *testing.T) {
+	for _, engine := range []string{"rounds", "turns", "concurrent"} {
+		var sb strings.Builder
+		if err := run([]string{"-protocol", "degree", "-n", "32", "-k", "8", "-engine", engine}, &sb); err != nil {
+			t.Fatalf("engine %s: %v", engine, err)
+		}
+		if !strings.Contains(sb.String(), engine+" engine") {
+			t.Fatalf("engine %s not reported", engine)
+		}
+	}
+}
+
+func TestRunDump(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-protocol", "parity", "-n", "8", "-dump"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "transcript[") {
+		t.Fatalf("dump missing transcript:\n%s", sb.String())
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-protocol", "nope"}, &sb); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if err := run([]string{"-protocol", "degree", "-engine", "nope"}, &sb); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}

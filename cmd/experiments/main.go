@@ -1,0 +1,71 @@
+// Command experiments regenerates the paper-reproduction tables (E1..E14
+// in DESIGN.md), printing each as GitHub-flavoured markdown. The output of
+// a full run is what EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-only E7[,E8,...]] [-o FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduced trial counts (wider error bars)")
+	seed := fs.Uint64("seed", 2019, "master random seed")
+	only := fs.String("only", "", "comma-separated experiment ids to run (default: all)")
+	outPath := fs.String("o", "", "write output to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w := stdout
+	if *outPath != "" {
+		file, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		w = file
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	ran := 0
+	for _, e := range experiments.All() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		table, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		table.Render(w)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiments matched %q", *only)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-quick", "-seed", "3", "-only", "E5"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "### E5") {
+		t.Fatalf("output missing E5 table:\n%s", out)
+	}
+	if strings.Contains(out, "### E1 ") {
+		t.Fatal("-only did not filter")
+	}
+}
+
+func TestRunMultipleSelected(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-quick", "-only", "E5,E13"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, id := range []string{"### E5", "### E13"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("missing %s", id)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "E99"}, &sb); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.md")
+	var sb strings.Builder
+	if err := run([]string{"-quick", "-only", "E5", "-o", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "### E5") {
+		t.Fatal("file output missing table")
+	}
+	if sb.Len() != 0 {
+		t.Fatal("stdout written despite -o")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &sb); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunPlantedInstance(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "96", "-k", "48", "-seed", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "recovered clique") {
+		t.Fatalf("no recovery reported:\n%s", out)
+	}
+	if !strings.Contains(out, "exact recovery") {
+		t.Fatalf("expected exact recovery at n=96 k=48:\n%s", out)
+	}
+	if strings.Contains(out, "WARNING") {
+		t.Fatalf("recovered a non-clique:\n%s", out)
+	}
+}
+
+func TestRunRandomGraphDeclines(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "96", "-k", "48", "-rand", "-seed", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "declined") {
+		t.Fatalf("protocol should decline on random graph:\n%s", sb.String())
+	}
+}
+
+func TestRunRejectsBadParams(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "10", "-k", "20"}, &sb); err == nil {
+		t.Fatal("k > n accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBasic(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "24", "-k", "6", "-m", "20"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"construction rounds", "generated-block rank"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWithAttack(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "24", "-k", "6", "-m", "20", "-attack"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "verdict on PRG outputs:     true") {
+		t.Fatalf("attack did not accept PRG outputs:\n%s", out)
+	}
+	if !strings.Contains(out, "verdict on uniform strings: false") {
+		t.Fatalf("attack did not reject uniform strings:\n%s", out)
+	}
+}
+
+func TestRunShowPrintsOutputs(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "4", "-k", "3", "-m", "8", "-show"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "processor   0:") {
+		t.Fatalf("missing per-processor output:\n%s", sb.String())
+	}
+}
+
+func TestRunRejectsBadParams(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "8", "-k", "8", "-m", "8"}, &sb); err == nil {
+		t.Fatal("m = k accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := run([]string{"-n", "8", "-k", "4", "-m", "12", "-seed", "9", "-show"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "8", "-k", "4", "-m", "12", "-seed", "9", "-show"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different output")
+	}
+}

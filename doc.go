@@ -1,0 +1,29 @@
+// Package repro is a from-scratch Go reproduction of "Broadcast Congested
+// Clique: Planted Cliques and Pseudorandom Generators" (Chen & Grossman,
+// PODC 2019, arXiv:1905.07780).
+//
+// The repository contains, as independently usable subsystems:
+//
+//   - a Broadcast Congested Clique simulator (BCAST(1) and BCAST(log n))
+//     with sequential, turn-relaxed, and channel-concurrent engines;
+//   - the paper's pseudorandom generator — the first PRG that fools a
+//     distributed message-passing model — with its BCAST(1) construction
+//     protocol, the Corollary 7.1 derandomization transform, and the
+//     Theorem 8.1 seed-optimality attack;
+//   - the planted-clique machinery: the A_rand/A_C/A_k distributions, the
+//     Section 3/4 lower-bound framework with exact and Monte-Carlo
+//     transcript-distance measurement, natural detector protocols, and the
+//     Appendix B O(n/k·polylog n)-round recovery protocol;
+//   - the average-case rank hardness and time-hierarchy protocols
+//     (Theorems 1.4 and 1.5) with Kolchin's rank-law constants;
+//   - Newman's theorem in BCAST(1) (Appendix A);
+//   - substrate packages: GF(2) bit vectors and linear algebra, finite
+//     distributions and TV distance, information theory, Boolean Fourier
+//     analysis, and deterministic PRNG streams.
+//
+// The facade in repro.go re-exports the most commonly used entry points;
+// the full API lives in the internal packages, and the per-theorem
+// experiment harness is internal/experiments (driven by cmd/experiments
+// and the root benchmarks). See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for measured-vs-predicted results.
+package repro

@@ -1,0 +1,123 @@
+// Derandomize: the Corollary 7.1 transform in action. A randomized
+// sampling protocol estimates the global density of 1s across all
+// processors' inputs by broadcasting randomly chosen input bits — spending
+// j·log₂(m) private random bits per processor. The transform replaces
+// those coins with the paper's PRG: each processor now spends only O(k)
+// private bits, the round count grows by the O(k) construction preamble,
+// and the estimates remain statistically indistinguishable.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/bcast"
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// samplingProtocol is a TapeProtocol: over J rounds each processor
+// broadcasts the input bit at a tape-selected position; everyone estimates
+// the global density as the mean of all broadcast bits.
+type samplingProtocol struct {
+	n, m, j int
+}
+
+func (p *samplingProtocol) Name() string     { return "density-sampling" }
+func (p *samplingProtocol) MessageBits() int { return 1 }
+func (p *samplingProtocol) Rounds() int      { return p.j }
+
+// posBits is the tape spend per sample: log₂(m) bits choose a position.
+func (p *samplingProtocol) posBits() int {
+	b := 1
+	for 1<<uint(b) < p.m {
+		b++
+	}
+	return b
+}
+
+// TapeBits implements core.TapeProtocol.
+func (p *samplingProtocol) TapeBits() int { return p.j * p.posBits() }
+
+// NewTapeNode implements core.TapeProtocol.
+func (p *samplingProtocol) NewTapeNode(_ int, input bitvec.Vector, tape bitvec.Vector) bcast.Node {
+	round := 0
+	return bcast.NodeFunc(func(*bcast.Transcript) uint64 {
+		pos := 0
+		for b := 0; b < p.posBits(); b++ {
+			pos = pos<<1 | int(tape.Bit(round*p.posBits()+b))
+		}
+		round++
+		return input.Bit(pos % p.m)
+	})
+}
+
+// estimate reads the density estimate off a finished transcript.
+func estimate(t *bcast.Transcript, skipRounds int) float64 {
+	ones, total := 0, 0
+	for r := skipRounds; r < t.CompleteRounds(); r++ {
+		for _, msg := range t.RoundMessages(r) {
+			ones += int(msg)
+			total++
+		}
+	}
+	return float64(ones) / float64(total)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "derandomize:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const n, m, j, k = 64, 256, 24, 16
+	r := rng.New(7)
+
+	// Inputs with a known density of 1s.
+	const density = 0.3
+	inputs := make([]bitvec.Vector, n)
+	for i := range inputs {
+		v := bitvec.New(m)
+		for b := 0; b < m; b++ {
+			if r.Bernoulli(density) {
+				v.SetBit(b, 1)
+			}
+		}
+		inputs[i] = v
+	}
+
+	inner := &samplingProtocol{n: n, m: m, j: j}
+	truly := core.WithTrueRandomness(inner)
+	derand := &core.Derandomized{Inner: inner, N: n, K: k}
+
+	fmt.Printf("density estimation: n=%d processors, m=%d input bits, true density %.2f\n\n", n, m, density)
+	fmt.Printf("randomized protocol:   %2d rounds, %3d random bits per processor\n",
+		truly.Rounds(), inner.TapeBits())
+	fmt.Printf("derandomized (Cor 7.1): %2d rounds, %3d random bits per processor\n\n",
+		derand.Rounds(), derand.RandomBitsPerProcessor())
+
+	const runs = 30
+	var errTrue, errPRG float64
+	for i := 0; i < runs; i++ {
+		resT, err := bcast.RunRounds(truly, inputs, r.Uint64())
+		if err != nil {
+			return err
+		}
+		errTrue += math.Abs(estimate(resT.Transcript, 0) - density)
+
+		resP, err := bcast.RunRounds(derand, inputs, r.Uint64())
+		if err != nil {
+			return err
+		}
+		errPRG += math.Abs(estimate(resP.Transcript, derand.ConstructionRounds()) - density)
+	}
+	fmt.Printf("mean estimation error over %d runs:\n", runs)
+	fmt.Printf("  true randomness:  %.4f\n", errTrue/runs)
+	fmt.Printf("  PRG randomness:   %.4f\n", errPRG/runs)
+	fmt.Println("\nby Theorem 5.4 no Ω(k)-round protocol — including this one — can tell the difference.")
+	return nil
+}

@@ -1,0 +1,72 @@
+// Newman's theorem in BCAST(1) (Appendix A): the public-coin equality
+// protocol spends k·m shared random bits; the sparsified simulation keeps
+// a fixed palette of T pre-drawn strings and publicly picks one index —
+// ⌈log₂T⌉ coins. This example sweeps the palette size and prints the
+// simulation error ε actually achieved, the coins used, and whether the
+// protocol's soundness survives.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/bitvec"
+	"repro/internal/newman"
+	"repro/internal/rng"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "newman:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const n, m, k = 6, 16, 2
+	r := rng.New(99)
+	p := &newman.EqualityProtocol{N: n, M: m, K: k}
+
+	// A worst-ish case input: all equal except one bit of one processor.
+	x := bitvec.Random(m, r)
+	inputs := make([]bitvec.Vector, n)
+	for i := range inputs {
+		inputs[i] = x.Clone()
+	}
+	odd := x.Clone()
+	odd.FlipBit(5)
+	inputs[n/2] = odd
+
+	fmt.Printf("equality protocol: n=%d processors, m=%d input bits, k=%d fingerprint rounds\n", n, m, k)
+	fmt.Printf("original public coins: %d\n\n", p.PublicBits())
+	fmt.Printf("%-10s %-12s %-12s %s\n", "palette T", "coins used", "measured ε", "inequality caught")
+
+	for _, T := range []int{1, 8, 128, 2048} {
+		s, err := newman.Sparsify(p, T, r)
+		if err != nil {
+			return err
+		}
+		gap, err := newman.SimulationGap(p, s, inputs, 4000, r)
+		if err != nil {
+			return err
+		}
+		caught := 0
+		const probes = 200
+		for i := 0; i < probes; i++ {
+			res, err := s.RunWithFreshIndex(inputs, r, r.Uint64())
+			if err != nil {
+				return err
+			}
+			if !newman.EqualityVerdict(res.Transcript) {
+				caught++
+			}
+		}
+		fmt.Printf("%-10d %-12d %-12.4f %d/%d\n", T, s.PublicBitsNeeded(), gap, caught, probes)
+	}
+
+	fmt.Println("\nTheorem A.1: O(kn + log m + log 1/ε) coins always suffice; the palette")
+	fmt.Println("trade is logarithmic coins for linearly shrinking ε — but the strings are")
+	fmt.Println("fixed non-uniformly, which is why the paper calls Newman's technique")
+	fmt.Println("computationally inefficient and builds the PRG instead.")
+	return nil
+}

@@ -1,0 +1,160 @@
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bcast"
+	"repro/internal/bitvec"
+	"repro/internal/cliquefind"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/lowerbound"
+	"repro/internal/rng"
+)
+
+// TestPaperStoryEndToEnd plays the paper's full narrative across
+// subsystems in one deterministic run: the PRG is constructed by a real
+// protocol execution on the concurrent engine, shown to fool a low-round
+// probe, broken by the O(k)-round attack, used to derandomize a protocol,
+// and finally the planted-clique side is exercised through both recovery
+// protocols in their respective parameter regimes.
+func TestPaperStoryEndToEnd(t *testing.T) {
+	r := rng.New(2019)
+
+	// --- Act 1: build pseudorandomness with the Theorem 1.3 protocol,
+	// on the goroutine-per-processor engine.
+	const n, k, m = 48, 10, 40
+	gen := core.FullPRG{K: k, M: m}
+	construct := &core.ConstructionProtocol{N: n, Gen: gen}
+	res, err := bcast.RunConcurrent(construct, construct.Inputs(r), r.Uint64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	outputs := res.Outputs()
+	if rounds := construct.Rounds(); rounds > 4*k {
+		t.Fatalf("construction took %d rounds, Theorem 1.3 promises O(k)", rounds)
+	}
+
+	// --- Act 2: a low-round probe cannot tell the outputs from uniform.
+	// Use the transcript-TV estimator with a 1-round revealing protocol
+	// on a smaller replica (estimation needs small transcript spaces).
+	fam := lowerbound.FullPRGFamily{N: 6, K: 10, M: 12}
+	probe := &oneRoundReveal{}
+	tvPRG, err := lowerbound.EstimateTranscriptTV(probe,
+		func(s *rng.Stream) []bitvec.Vector { return lowerbound.SampleMixture(fam, s) },
+		fam.SampleReference, 6, 6000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tvNull, err := lowerbound.EstimateTranscriptTV(probe,
+		fam.SampleReference, fam.SampleReference, 6, 6000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tvPRG > tvNull+0.1 {
+		t.Fatalf("1-round probe separates PRG from uniform: %v vs noise floor %v", tvPRG, tvNull)
+	}
+
+	// --- Act 3: the Theorem 8.1 attack breaks the same outputs.
+	broken, err := BreakPseudorandom(outputs, k, r.Uint64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !broken {
+		t.Fatal("rank attack missed genuine PRG outputs")
+	}
+
+	// --- Act 4: derandomize a coin-hungry protocol (Corollary 7.1) and
+	// check its observable behaviour is statistically preserved.
+	inner := &coinTape{rounds: 8, bits: 64}
+	derand := &core.Derandomized{Inner: inner, N: 32, K: 8}
+	truly := core.WithTrueRandomness(inner)
+	onesTrue, onesPRG := 0, 0
+	const runs = 120
+	for i := 0; i < runs; i++ {
+		inputs := core.UniformInputs(32, 1, r)
+		rt, err := bcast.RunRounds(truly, inputs, r.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := bcast.RunRounds(derand, inputs, r.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		onesTrue += countOnes(rt.Transcript, 0)
+		onesPRG += countOnes(rp.Transcript, derand.ConstructionRounds())
+	}
+	rateTrue := float64(onesTrue) / float64(runs*inner.Rounds()*32)
+	ratePRG := float64(onesPRG) / float64(runs*inner.Rounds()*32)
+	if math.Abs(rateTrue-ratePRG) > 0.03 {
+		t.Fatalf("derandomization shifted broadcast statistics: %v vs %v", rateTrue, ratePRG)
+	}
+	if derand.RandomBitsPerProcessor() >= inner.TapeBits() {
+		t.Fatal("derandomization saved no coins")
+	}
+
+	// --- Act 5: planted clique, both regimes. Appendix B at k ≈ log²n.
+	gB, cliqueB, err := graph.SamplePlanted(96, 48, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, ok, err := FindPlantedClique(gB, 48, r.Uint64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || !cliquefind.SameSet(gotB, cliqueB) {
+		t.Fatal("Appendix B protocol failed in its regime")
+	}
+	// Degree ranking at k ≳ √(n·log n).
+	gD, cliqueD, err := graph.SamplePlanted(400, 200, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotD, ok, err := FindCliqueByDegree(gD, 200, r.Uint64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || !cliquefind.SameSet(gotD, cliqueD) {
+		t.Fatal("degree-ranking protocol failed in its regime")
+	}
+}
+
+// oneRoundReveal broadcasts the first input bit.
+type oneRoundReveal struct{}
+
+func (p *oneRoundReveal) Name() string     { return "one-round-reveal" }
+func (p *oneRoundReveal) MessageBits() int { return 1 }
+func (p *oneRoundReveal) Rounds() int      { return 1 }
+func (p *oneRoundReveal) NewNode(_ int, input bitvec.Vector, _ *rng.Stream) bcast.Node {
+	return bcast.NodeFunc(func(*bcast.Transcript) uint64 { return input.Bit(0) })
+}
+
+// coinTape broadcasts tape bits verbatim.
+type coinTape struct {
+	rounds, bits int
+}
+
+func (p *coinTape) Name() string     { return "coin-tape" }
+func (p *coinTape) MessageBits() int { return 1 }
+func (p *coinTape) Rounds() int      { return p.rounds }
+func (p *coinTape) TapeBits() int    { return p.bits }
+func (p *coinTape) NewTapeNode(_ int, _ bitvec.Vector, tape bitvec.Vector) bcast.Node {
+	sent := 0
+	return bcast.NodeFunc(func(*bcast.Transcript) uint64 {
+		b := tape.Bit(sent % tape.Len())
+		sent++
+		return b
+	})
+}
+
+// countOnes counts the 1-messages from the given round onward.
+func countOnes(t *bcast.Transcript, fromRound int) int {
+	ones := 0
+	for r := fromRound; r < t.CompleteRounds(); r++ {
+		for _, msg := range t.RoundMessages(r) {
+			ones += int(msg)
+		}
+	}
+	return ones
+}

@@ -1,0 +1,263 @@
+// Package bcast simulates the Broadcast Congested Clique model.
+//
+// The model (paper, Section 1): n processors with unlimited local
+// computation; computation proceeds in rounds; in each round every
+// processor broadcasts the same b-bit message to all others. BCAST(1) has
+// b = 1; BCAST(log n) has b = ⌈log₂ n⌉. Every lower bound in the paper is
+// proved in a relaxation where processors speak one at a time ("turns"):
+// at turn t, processor (t−1) mod n + 1 broadcasts one message having seen
+// everything broadcast so far. The package provides three engines:
+//
+//   - RunRounds: the standard simultaneous-round model.
+//   - RunTurns: the sequential-turn relaxation used by the proofs.
+//   - RunConcurrent: one goroutine per processor with a channel-built round
+//     barrier — a faithful distributed execution of the same protocol,
+//     bit-identical to RunRounds (tests assert this).
+//
+// Protocols are deterministic functions of (input, transcript, private
+// coins), matching the paper's Yao-principle setup; private coins come from
+// per-node rng streams derived from one master seed so every execution is
+// reproducible.
+package bcast
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+// Node is one processor's logic: given the transcript visible to it, emit
+// the next message. In the rounds engines the visible transcript contains
+// only complete rounds; in the turns engine it contains every earlier turn.
+// Implementations may keep internal state; each engine calls Broadcast
+// exactly once per round (or turn) in order.
+type Node interface {
+	Broadcast(t *Transcript) uint64
+}
+
+// NodeFunc adapts a function to the Node interface.
+type NodeFunc func(t *Transcript) uint64
+
+// Broadcast implements Node.
+func (f NodeFunc) Broadcast(t *Transcript) uint64 { return f(t) }
+
+// Outputter is implemented by nodes that produce a final local output once
+// the protocol finishes (e.g. the PRG's pseudorandom string, or a clique
+// membership bit). Outputs are local: they are not broadcast.
+type Outputter interface {
+	Output(t *Transcript) bitvec.Vector
+}
+
+// Protocol describes a BCAST protocol: its shape and how to build each
+// processor's logic.
+type Protocol interface {
+	// Name identifies the protocol in logs and experiment tables.
+	Name() string
+	// MessageBits is the broadcast width b: 1 for BCAST(1),
+	// ⌈log₂ n⌉ for BCAST(log n).
+	MessageBits() int
+	// Rounds is the number of rounds the protocol runs.
+	Rounds() int
+	// NewNode builds processor id's logic for one execution. input is the
+	// processor's private input (row i of the input matrix); priv supplies
+	// its private coins.
+	NewNode(id int, input bitvec.Vector, priv *rng.Stream) Node
+}
+
+// MessageBitsForN returns ⌈log₂ n⌉ (minimum 1), the BCAST(log n) width.
+func MessageBitsForN(n int) int {
+	bits := 1
+	for 1<<uint(bits) < n {
+		bits++
+	}
+	return bits
+}
+
+// Result bundles a finished execution: the transcript plus the node
+// objects (so callers can collect Outputter outputs).
+type Result struct {
+	Transcript *Transcript
+	Nodes      []Node
+}
+
+// Outputs collects the outputs of every node implementing Outputter,
+// indexed by node id; nodes without outputs yield zero-length vectors.
+func (r *Result) Outputs() []bitvec.Vector {
+	outs := make([]bitvec.Vector, len(r.Nodes))
+	for i, n := range r.Nodes {
+		if o, ok := n.(Outputter); ok {
+			outs[i] = o.Output(r.Transcript)
+		}
+	}
+	return outs
+}
+
+// buildNodes constructs all nodes with reproducible per-node coin streams.
+// Streams depend only on (seed, id), not on engine choice.
+func buildNodes(p Protocol, inputs []bitvec.Vector, seed uint64) ([]Node, error) {
+	n := len(inputs)
+	if n == 0 {
+		return nil, fmt.Errorf("bcast: protocol %q needs at least one processor", p.Name())
+	}
+	if p.MessageBits() < 1 || p.MessageBits() > 63 {
+		return nil, fmt.Errorf("bcast: protocol %q has unsupported message width %d", p.Name(), p.MessageBits())
+	}
+	master := rng.New(seed)
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = p.NewNode(i, inputs[i], master.Child())
+	}
+	return nodes, nil
+}
+
+func checkWidth(p Protocol, id int, msg uint64) error {
+	if msg>>uint(p.MessageBits()) != 0 {
+		return fmt.Errorf("bcast: protocol %q node %d emitted message %#x wider than %d bits",
+			p.Name(), id, msg, p.MessageBits())
+	}
+	return nil
+}
+
+// RunRounds executes the protocol in the standard simultaneous-round
+// model: in each round every node computes its message from the transcript
+// of complete previous rounds, then all n messages are appended at once.
+func RunRounds(p Protocol, inputs []bitvec.Vector, seed uint64) (*Result, error) {
+	nodes, err := buildNodes(p, inputs, seed)
+	if err != nil {
+		return nil, err
+	}
+	n := len(nodes)
+	tr := NewTranscript(n, p.MessageBits())
+	roundMsgs := make([]uint64, n)
+	for round := 0; round < p.Rounds(); round++ {
+		for i, node := range nodes {
+			msg := node.Broadcast(tr)
+			if err := checkWidth(p, i, msg); err != nil {
+				return nil, err
+			}
+			roundMsgs[i] = msg
+		}
+		tr.appendRound(roundMsgs)
+	}
+	return &Result{Transcript: tr, Nodes: nodes}, nil
+}
+
+// RunTurns executes the sequential-turn relaxation for the given number of
+// turns: at turn t (0-based) processor t mod n broadcasts one message,
+// conditioned on the entire transcript prefix. Lower bounds proved against
+// this engine imply bounds for RunRounds (the relaxation only strengthens
+// the adversary), exactly as in the paper's proofs.
+func RunTurns(p Protocol, inputs []bitvec.Vector, turns int, seed uint64) (*Result, error) {
+	if turns < 0 {
+		return nil, fmt.Errorf("bcast: negative turn count %d", turns)
+	}
+	nodes, err := buildNodes(p, inputs, seed)
+	if err != nil {
+		return nil, err
+	}
+	n := len(nodes)
+	tr := NewTranscript(n, p.MessageBits())
+	for t := 0; t < turns; t++ {
+		id := t % n
+		msg := nodes[id].Broadcast(tr)
+		if err := checkWidth(p, id, msg); err != nil {
+			return nil, err
+		}
+		tr.appendTurn(msg)
+	}
+	return &Result{Transcript: tr, Nodes: nodes}, nil
+}
+
+// RunConcurrent executes the protocol with one goroutine per processor and
+// a coordinator implementing the round barrier over channels. It produces
+// a transcript identical to RunRounds; it exists to model the distributed
+// system faithfully (processors only communicate via broadcast messages)
+// and to exercise the protocol logic under real concurrency.
+func RunConcurrent(p Protocol, inputs []bitvec.Vector, seed uint64) (*Result, error) {
+	nodes, err := buildNodes(p, inputs, seed)
+	if err != nil {
+		return nil, err
+	}
+	n := len(nodes)
+	rounds := p.Rounds()
+
+	type emission struct {
+		id  int
+		msg uint64
+	}
+	gather := make(chan emission)       // node → coordinator, one per node per round
+	deliver := make([]chan []uint64, n) // coordinator → node, the finished round
+	errs := make(chan error, 1)         // first width violation, if any
+	for i := range deliver {
+		deliver[i] = make(chan []uint64, 1)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int, node Node) {
+			defer wg.Done()
+			local := NewTranscript(n, p.MessageBits())
+			for round := 0; round < rounds; round++ {
+				gather <- emission{id: id, msg: node.Broadcast(local)}
+				full, ok := <-deliver[id]
+				if !ok {
+					return // coordinator aborted
+				}
+				local.appendRound(full)
+			}
+		}(i, nodes[i])
+	}
+
+	tr := NewTranscript(n, p.MessageBits())
+	abort := func() {
+		for i := range deliver {
+			close(deliver[i])
+		}
+		// Drain any nodes still blocked on gather for the current round.
+		go func() {
+			for range gather {
+				// discard
+			}
+		}()
+		wg.Wait()
+		close(gather)
+	}
+
+	for round := 0; round < rounds; round++ {
+		roundMsgs := make([]uint64, n)
+		for received := 0; received < n; received++ {
+			e := <-gather
+			if err := checkWidth(p, e.id, e.msg); err != nil {
+				select {
+				case errs <- err:
+				default:
+				}
+			}
+			roundMsgs[e.id] = e.msg
+		}
+		select {
+		case err := <-errs:
+			abort()
+			return nil, err
+		default:
+		}
+		tr.appendRound(roundMsgs)
+		for i := range deliver {
+			msgs := make([]uint64, n)
+			copy(msgs, roundMsgs)
+			deliver[i] <- msgs
+		}
+	}
+	wg.Wait()
+	return &Result{Transcript: tr, Nodes: nodes}, nil
+}
+
+// TotalBitsBroadcast returns the number of bits a full execution of p on n
+// processors puts on the wire: rounds × n × message width. Used by
+// experiment tables to report communication cost.
+func TotalBitsBroadcast(p Protocol, n int) int {
+	return p.Rounds() * n * p.MessageBits()
+}

@@ -1,0 +1,416 @@
+package bcast
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+// echoProtocol broadcasts the node's input bits, one per round, tracking
+// progress with internal state so it behaves identically under every
+// engine (it never inspects the transcript).
+type echoProtocol struct {
+	rounds int
+}
+
+func (p *echoProtocol) Name() string     { return "echo" }
+func (p *echoProtocol) MessageBits() int { return 1 }
+func (p *echoProtocol) Rounds() int      { return p.rounds }
+func (p *echoProtocol) NewNode(id int, input bitvec.Vector, _ *rng.Stream) Node {
+	next := 0
+	return NodeFunc(func(*Transcript) uint64 {
+		b := input.Bit(next % input.Len())
+		next++
+		return b
+	})
+}
+
+// coinProtocol broadcasts private random bits; used to check that per-node
+// coin streams are reproducible and engine-independent.
+type coinProtocol struct {
+	rounds int
+}
+
+func (p *coinProtocol) Name() string     { return "coins" }
+func (p *coinProtocol) MessageBits() int { return 1 }
+func (p *coinProtocol) Rounds() int      { return p.rounds }
+func (p *coinProtocol) NewNode(_ int, _ bitvec.Vector, priv *rng.Stream) Node {
+	return NodeFunc(func(*Transcript) uint64 { return priv.Bit() })
+}
+
+// reactiveProtocol node i broadcasts the parity of round r-1's messages
+// (0 in round 0): exercises transcript visibility rules.
+type reactiveProtocol struct {
+	rounds int
+}
+
+func (p *reactiveProtocol) Name() string     { return "reactive" }
+func (p *reactiveProtocol) MessageBits() int { return 1 }
+func (p *reactiveProtocol) Rounds() int      { return p.rounds }
+func (p *reactiveProtocol) NewNode(_ int, _ bitvec.Vector, _ *rng.Stream) Node {
+	return NodeFunc(func(t *Transcript) uint64 {
+		r := t.CompleteRounds()
+		if r == 0 {
+			return 0
+		}
+		var parity uint64
+		for _, m := range t.RoundMessages(r - 1) {
+			parity ^= m
+		}
+		return parity
+	})
+}
+
+// outputProtocol emits nothing interesting but outputs its own id bit
+// pattern, exercising the Outputter path.
+type outputProtocol struct{}
+
+type outputNode struct {
+	id int
+}
+
+func (p *outputProtocol) Name() string     { return "output" }
+func (p *outputProtocol) MessageBits() int { return 1 }
+func (p *outputProtocol) Rounds() int      { return 1 }
+func (p *outputProtocol) NewNode(id int, _ bitvec.Vector, _ *rng.Stream) Node {
+	return &outputNode{id: id}
+}
+func (n *outputNode) Broadcast(*Transcript) uint64 { return 0 }
+func (n *outputNode) Output(*Transcript) bitvec.Vector {
+	return bitvec.FromUint64(8, uint64(n.id))
+}
+
+// wideProtocol emits messages that exceed the declared width, to test the
+// engines' validation.
+type wideProtocol struct{}
+
+func (p *wideProtocol) Name() string     { return "wide" }
+func (p *wideProtocol) MessageBits() int { return 2 }
+func (p *wideProtocol) Rounds() int      { return 1 }
+func (p *wideProtocol) NewNode(_ int, _ bitvec.Vector, _ *rng.Stream) Node {
+	return NodeFunc(func(*Transcript) uint64 { return 7 }) // needs 3 bits
+}
+
+func mkInputs(n, bits int, seed uint64) []bitvec.Vector {
+	r := rng.New(seed)
+	inputs := make([]bitvec.Vector, n)
+	for i := range inputs {
+		inputs[i] = bitvec.Random(bits, r)
+	}
+	return inputs
+}
+
+func TestRunRoundsEcho(t *testing.T) {
+	const n, rounds = 7, 5
+	inputs := mkInputs(n, rounds, 1)
+	res, err := RunRounds(&echoProtocol{rounds: rounds}, inputs, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Transcript
+	if tr.CompleteRounds() != rounds || tr.Turns() != n*rounds {
+		t.Fatalf("transcript shape rounds=%d turns=%d", tr.CompleteRounds(), tr.Turns())
+	}
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < n; i++ {
+			if tr.Message(r, i) != inputs[i].Bit(r) {
+				t.Fatalf("message (round %d, node %d) = %d, want input bit %d", r, i, tr.Message(r, i), inputs[i].Bit(r))
+			}
+		}
+	}
+}
+
+func TestEnginesAgreeOnObliviousProtocol(t *testing.T) {
+	const n, rounds = 9, 6
+	inputs := mkInputs(n, rounds, 2)
+	p := &echoProtocol{rounds: rounds}
+
+	byRounds, err := RunRounds(p, inputs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTurns, err := RunTurns(p, inputs, rounds*n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	concurrent, err := RunConcurrent(p, inputs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !byRounds.Transcript.Equal(byTurns.Transcript) {
+		t.Fatal("rounds and turns engines disagree on oblivious protocol")
+	}
+	if !byRounds.Transcript.Equal(concurrent.Transcript) {
+		t.Fatal("rounds and concurrent engines disagree")
+	}
+}
+
+func TestEnginesAgreeOnRandomizedProtocol(t *testing.T) {
+	const n, rounds = 8, 10
+	inputs := mkInputs(n, 4, 3)
+	p := &coinProtocol{rounds: rounds}
+	a, err := RunRounds(p, inputs, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunConcurrent(p, inputs, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Transcript.Equal(b.Transcript) {
+		t.Fatal("coin streams differ between engines")
+	}
+	// A different seed should (overwhelmingly) change the transcript.
+	c, err := RunRounds(p, inputs, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Transcript.Equal(c.Transcript) {
+		t.Fatal("different seeds produced identical random transcripts")
+	}
+}
+
+func TestReactiveProtocolSeesOnlyCompleteRounds(t *testing.T) {
+	const n, rounds = 5, 4
+	inputs := mkInputs(n, 4, 4)
+	res, err := RunRounds(&reactiveProtocol{rounds: rounds}, inputs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Transcript
+	// Round 0 must be all zeros; later rounds all equal parity of previous.
+	for i := 0; i < n; i++ {
+		if tr.Message(0, i) != 0 {
+			t.Fatal("round-0 message saw phantom history")
+		}
+	}
+	for r := 1; r < rounds; r++ {
+		var parity uint64
+		for _, m := range tr.RoundMessages(r - 1) {
+			parity ^= m
+		}
+		for i := 0; i < n; i++ {
+			if tr.Message(r, i) != parity {
+				t.Fatalf("round %d node %d = %d, want parity %d", r, i, tr.Message(r, i), parity)
+			}
+		}
+	}
+}
+
+func TestConcurrentMatchesRoundsOnReactive(t *testing.T) {
+	const n, rounds = 6, 5
+	inputs := mkInputs(n, 4, 5)
+	p := &reactiveProtocol{rounds: rounds}
+	a, err := RunRounds(p, inputs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunConcurrent(p, inputs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Transcript.Equal(b.Transcript) {
+		t.Fatal("concurrent engine diverged on transcript-dependent protocol")
+	}
+}
+
+func TestTurnsEngineSeesPartialRounds(t *testing.T) {
+	// In the turn model, a node can react to messages from the *current*
+	// round: node 1 echoes whatever node 0 just said.
+	const n = 3
+	p := &parrotProtocol{}
+	inputs := mkInputs(n, 4, 6)
+	res, err := RunTurns(p, inputs, 2*n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Transcript
+	for r := 0; r < 2; r++ {
+		if tr.Message(r, 1) != tr.Message(r, 0) {
+			t.Fatal("turn engine did not let node 1 see node 0's same-round message")
+		}
+	}
+}
+
+// parrotProtocol: node 0 broadcasts 1; every other node echoes the last
+// message it has seen (0 if none).
+type parrotProtocol struct{}
+
+func (p *parrotProtocol) Name() string     { return "parrot" }
+func (p *parrotProtocol) MessageBits() int { return 1 }
+func (p *parrotProtocol) Rounds() int      { return 2 }
+func (p *parrotProtocol) NewNode(id int, _ bitvec.Vector, _ *rng.Stream) Node {
+	return NodeFunc(func(t *Transcript) uint64 {
+		if id == 0 {
+			return 1
+		}
+		if t.Turns() == 0 {
+			return 0
+		}
+		return t.TurnMessage(t.Turns() - 1)
+	})
+}
+
+func TestWidthViolationRejected(t *testing.T) {
+	inputs := mkInputs(4, 4, 7)
+	if _, err := RunRounds(&wideProtocol{}, inputs, 1); err == nil {
+		t.Fatal("RunRounds accepted over-wide message")
+	}
+	if _, err := RunTurns(&wideProtocol{}, inputs, 4, 1); err == nil {
+		t.Fatal("RunTurns accepted over-wide message")
+	}
+	if _, err := RunConcurrent(&wideProtocol{}, inputs, 1); err == nil {
+		t.Fatal("RunConcurrent accepted over-wide message")
+	}
+}
+
+func TestNoInputsRejected(t *testing.T) {
+	if _, err := RunRounds(&echoProtocol{rounds: 1}, nil, 1); err == nil {
+		t.Fatal("empty processor set accepted")
+	}
+}
+
+func TestOutputs(t *testing.T) {
+	inputs := mkInputs(5, 4, 8)
+	res, err := RunRounds(&outputProtocol{}, inputs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := res.Outputs()
+	for i, o := range outs {
+		if o.Uint64() != uint64(i) {
+			t.Fatalf("output %d = %d", i, o.Uint64())
+		}
+	}
+}
+
+func TestMessageBitsForN(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := MessageBitsForN(n); got != want {
+			t.Errorf("MessageBitsForN(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestTotalBitsBroadcast(t *testing.T) {
+	if got := TotalBitsBroadcast(&echoProtocol{rounds: 3}, 10); got != 30 {
+		t.Fatalf("TotalBitsBroadcast = %d, want 30", got)
+	}
+}
+
+func TestTranscriptPrefixAndKey(t *testing.T) {
+	inputs := mkInputs(4, 6, 9)
+	res, err := RunRounds(&echoProtocol{rounds: 6}, inputs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Transcript
+	pre := tr.Prefix(10)
+	if pre.Turns() != 10 {
+		t.Fatalf("prefix turns = %d", pre.Turns())
+	}
+	for i := 0; i < 10; i++ {
+		if pre.TurnMessage(i) != tr.TurnMessage(i) {
+			t.Fatal("prefix altered messages")
+		}
+	}
+	if tr.Key() == pre.Key() {
+		t.Fatal("prefix shares key with full transcript")
+	}
+	if tr.Key() != tr.Clone().Key() {
+		t.Fatal("clone has different key")
+	}
+}
+
+func TestTranscriptMessagesBy(t *testing.T) {
+	inputs := mkInputs(3, 4, 10)
+	res, err := RunRounds(&echoProtocol{rounds: 4}, inputs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 3; id++ {
+		got := res.Transcript.MessagesBy(id)
+		if len(got) != 4 {
+			t.Fatalf("node %d has %d messages", id, len(got))
+		}
+		for r, m := range got {
+			if m != inputs[id].Bit(r) {
+				t.Fatalf("MessagesBy(%d)[%d] = %d", id, r, m)
+			}
+		}
+	}
+}
+
+func TestTranscriptSpeaker(t *testing.T) {
+	tr := NewTranscript(4, 1)
+	for i := 0; i < 9; i++ {
+		tr.appendTurn(0)
+	}
+	if tr.Speaker(0) != 0 || tr.Speaker(5) != 1 || tr.Speaker(8) != 0 {
+		t.Fatal("Speaker mapping wrong")
+	}
+}
+
+func TestTranscriptStringRendersPartial(t *testing.T) {
+	tr := NewTranscript(3, 1)
+	tr.appendTurn(1)
+	tr.appendTurn(0)
+	s := tr.String()
+	if !strings.Contains(s, "partial") {
+		t.Fatalf("String() missing partial round: %s", s)
+	}
+}
+
+func TestTranscriptAccessPanics(t *testing.T) {
+	tr := NewTranscript(3, 1)
+	for _, fn := range []func(){
+		func() { tr.Message(0, 0) },
+		func() { tr.TurnMessage(0) },
+		func() { tr.RoundMessages(0) },
+		func() { tr.Prefix(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on out-of-range transcript access")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestKeyDistinguishesWidths(t *testing.T) {
+	a := NewTranscript(2, 1)
+	b := NewTranscript(2, 2)
+	a.appendTurn(1)
+	b.appendTurn(1)
+	if a.Key() == b.Key() {
+		t.Fatal("transcripts of different widths share a key")
+	}
+}
+
+func BenchmarkRunRounds64x16(b *testing.B) {
+	inputs := mkInputs(64, 16, 1)
+	p := &echoProtocol{rounds: 16}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunRounds(p, inputs, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunConcurrent64x16(b *testing.B) {
+	inputs := mkInputs(64, 16, 1)
+	p := &echoProtocol{rounds: 16}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunConcurrent(p, inputs, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

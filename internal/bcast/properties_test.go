@@ -1,0 +1,109 @@
+package bcast
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// Property-based tests for transcript algebra: the prefix/suffix/clone
+// identities the protocol combinators (derandomization, lower-bound
+// conditioning) rely on.
+
+func randomTranscript(seed uint64) *Transcript {
+	s := rng.New(seed)
+	n := 1 + s.Intn(8)
+	bits := 1 + s.Intn(4)
+	tr := NewTranscript(n, bits)
+	turns := s.Intn(40)
+	for i := 0; i < turns; i++ {
+		tr.appendTurn(s.Uint64() & (1<<uint(bits) - 1))
+	}
+	return tr
+}
+
+func TestQuickPrefixSuffixPartition(t *testing.T) {
+	// For any cut point c: Prefix(c) + Suffix(c) reassembles the
+	// transcript message for message.
+	f := func(seed uint64, cutRaw uint8) bool {
+		tr := randomTranscript(seed)
+		cut := int(cutRaw) % (tr.Turns() + 1)
+		pre := tr.Prefix(cut)
+		suf := tr.Suffix(cut)
+		if pre.Turns()+suf.Turns() != tr.Turns() {
+			return false
+		}
+		for i := 0; i < pre.Turns(); i++ {
+			if pre.TurnMessage(i) != tr.TurnMessage(i) {
+				return false
+			}
+		}
+		for i := 0; i < suf.Turns(); i++ {
+			if suf.TurnMessage(i) != tr.TurnMessage(cut+i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCloneEqualAndIndependent(t *testing.T) {
+	f := func(seed uint64) bool {
+		tr := randomTranscript(seed)
+		c := tr.Clone()
+		if !c.Equal(tr) || c.Key() != tr.Key() {
+			return false
+		}
+		// Growing the clone must not affect the original.
+		before := tr.Turns()
+		c.appendTurn(0)
+		return tr.Turns() == before && !c.Equal(tr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickKeyInjectiveOnPrefixChain(t *testing.T) {
+	// All prefixes of a transcript have pairwise distinct keys.
+	f := func(seed uint64) bool {
+		tr := randomTranscript(seed)
+		seen := make(map[string]bool, tr.Turns()+1)
+		for c := 0; c <= tr.Turns(); c++ {
+			key := tr.Prefix(c).Key()
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSpeakerRoundInvariant(t *testing.T) {
+	// Message(round, id) must agree with TurnMessage(round*n + id).
+	f := func(seed uint64) bool {
+		tr := randomTranscript(seed)
+		for r := 0; r < tr.CompleteRounds(); r++ {
+			for id := 0; id < tr.N(); id++ {
+				if tr.Message(r, id) != tr.TurnMessage(r*tr.N()+id) {
+					return false
+				}
+				if tr.Speaker(r*tr.N()+id) != id {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

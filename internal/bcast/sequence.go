@@ -1,0 +1,137 @@
+package bcast
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+// Sequential composes protocols into phases that run back to back on the
+// same inputs: phase p+1 starts in the round after phase p ends, and each
+// phase's nodes see only their own phase's transcript (the combinator
+// re-bases the history, so phases stay reusable in isolation). This is the
+// general form of the pattern the derandomization transform uses — a
+// construction preamble followed by a payload protocol.
+//
+// Phase detection is by complete rounds, so Sequential is defined for the
+// rounds engines (RunRounds / RunConcurrent); running it under RunTurns
+// would let later processors see partial phase boundaries and is not
+// supported.
+type Sequential struct {
+	// Label names the composition.
+	Label string
+	// Phases are the protocols to run in order. All must use the same
+	// message width as the widest one declares (narrower messages are
+	// zero-extended automatically since they already fit).
+	Phases []Protocol
+}
+
+var _ Protocol = (*Sequential)(nil)
+
+// NewSequential validates and builds a composition.
+func NewSequential(label string, phases ...Protocol) (*Sequential, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("bcast: sequential composition needs at least one phase")
+	}
+	return &Sequential{Label: label, Phases: phases}, nil
+}
+
+// Name implements Protocol.
+func (s *Sequential) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "sequential"
+}
+
+// MessageBits implements Protocol: the widest phase sets the width.
+func (s *Sequential) MessageBits() int {
+	w := 1
+	for _, p := range s.Phases {
+		if p.MessageBits() > w {
+			w = p.MessageBits()
+		}
+	}
+	return w
+}
+
+// Rounds implements Protocol: the sum of phase rounds.
+func (s *Sequential) Rounds() int {
+	total := 0
+	for _, p := range s.Phases {
+		total += p.Rounds()
+	}
+	return total
+}
+
+// PhaseStart returns the first round of phase i.
+func (s *Sequential) PhaseStart(i int) int {
+	start := 0
+	for _, p := range s.Phases[:i] {
+		start += p.Rounds()
+	}
+	return start
+}
+
+// NewNode implements Protocol. Each phase's node is created lazily when
+// its first round arrives, with an independent child coin stream, so a
+// phase that is never reached costs nothing.
+func (s *Sequential) NewNode(id int, input bitvec.Vector, priv *rng.Stream) Node {
+	return &seqNode{comp: s, id: id, input: input, priv: priv,
+		nodes: make([]Node, len(s.Phases))}
+}
+
+type seqNode struct {
+	comp  *Sequential
+	id    int
+	input bitvec.Vector
+	priv  *rng.Stream
+	nodes []Node
+}
+
+// phaseAt maps a global round to (phase index, phase start round).
+func (n *seqNode) phaseAt(round int) (idx, start int) {
+	for i, p := range n.comp.Phases {
+		if round < start+p.Rounds() {
+			return i, start
+		}
+		start += p.Rounds()
+	}
+	// Beyond the last phase: clamp (engines never ask, but stay total).
+	return len(n.comp.Phases) - 1, start - n.comp.Phases[len(n.comp.Phases)-1].Rounds()
+}
+
+func (n *seqNode) Broadcast(t *Transcript) uint64 {
+	idx, start := n.phaseAt(t.CompleteRounds())
+	if n.nodes[idx] == nil {
+		n.nodes[idx] = n.comp.Phases[idx].NewNode(n.id, n.input, n.priv.Child())
+	}
+	return n.nodes[idx].Broadcast(t.Suffix(start * t.N()))
+}
+
+// Output implements Outputter: the concatenation of all phase outputs
+// (phases without outputs contribute nothing).
+func (n *seqNode) Output(t *Transcript) bitvec.Vector {
+	out := bitvec.New(0)
+	for i, node := range n.nodes {
+		o, ok := node.(Outputter)
+		if !ok || node == nil {
+			continue
+		}
+		start := n.comp.PhaseStart(i)
+		out = out.Concat(o.Output(t.Suffix(start * t.N())))
+	}
+	return out
+}
+
+// PhaseTranscript extracts phase i's view from a finished composite
+// transcript — the slice a phase's Decide function should be fed.
+func (s *Sequential) PhaseTranscript(t *Transcript, i int) *Transcript {
+	if i < 0 || i >= len(s.Phases) {
+		panic(fmt.Sprintf("bcast: phase %d out of range", i))
+	}
+	start := s.PhaseStart(i) * t.N()
+	end := start + s.Phases[i].Rounds()*t.N()
+	return t.Prefix(end).Suffix(start)
+}

@@ -1,0 +1,200 @@
+package bcast
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+func TestSequentialConcatenatesObliviousPhases(t *testing.T) {
+	const n = 5
+	inputs := mkInputs(n, 8, 1)
+	p1 := &echoProtocol{rounds: 3}
+	p2 := &echoProtocol{rounds: 2}
+	seq, err := NewSequential("echo2x", p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Rounds() != 5 {
+		t.Fatalf("rounds = %d", seq.Rounds())
+	}
+	res, err := RunRounds(seq, inputs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1 echoes bits 0..2, phase 2 (a fresh echo node) bits 0..1.
+	tr := res.Transcript
+	for i := 0; i < n; i++ {
+		for r := 0; r < 3; r++ {
+			if tr.Message(r, i) != inputs[i].Bit(r) {
+				t.Fatalf("phase-1 round %d node %d wrong", r, i)
+			}
+		}
+		for r := 0; r < 2; r++ {
+			if tr.Message(3+r, i) != inputs[i].Bit(r) {
+				t.Fatalf("phase-2 round %d node %d wrong (fresh node expected)", r, i)
+			}
+		}
+	}
+}
+
+func TestSequentialPhasesSeeOwnHistoryOnly(t *testing.T) {
+	// The reactive protocol answers parity of ITS previous round; in
+	// phase 2 its first round must behave like round 0 (all zeros), not
+	// react to phase 1's rounds.
+	const n = 4
+	inputs := mkInputs(n, 4, 2)
+	ones := &constProtocol{rounds: 2, value: 1}
+	reactive := &reactiveProtocol{rounds: 2}
+	seq, err := NewSequential("ones-then-reactive", ones, reactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunRounds(seq, inputs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Transcript
+	for i := 0; i < n; i++ {
+		if tr.Message(2, i) != 0 {
+			t.Fatal("phase 2 round 0 saw phase 1 history")
+		}
+	}
+}
+
+// constProtocol broadcasts a constant.
+type constProtocol struct {
+	rounds int
+	value  uint64
+}
+
+func (p *constProtocol) Name() string     { return "const" }
+func (p *constProtocol) MessageBits() int { return 1 }
+func (p *constProtocol) Rounds() int      { return p.rounds }
+func (p *constProtocol) NewNode(_ int, _ bitvec.Vector, _ *rng.Stream) Node {
+	return NodeFunc(func(*Transcript) uint64 { return p.value })
+}
+
+func TestSequentialWidthIsMax(t *testing.T) {
+	narrow := &constProtocol{rounds: 1, value: 1}
+	wide := &wideConstProtocol{rounds: 1, value: 5}
+	seq, err := NewSequential("mixed-width", narrow, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.MessageBits() != 3 {
+		t.Fatalf("width = %d, want 3", seq.MessageBits())
+	}
+	inputs := mkInputs(3, 4, 3)
+	res, err := RunRounds(seq, inputs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transcript.Message(1, 0) != 5 {
+		t.Fatal("wide phase message lost")
+	}
+}
+
+type wideConstProtocol struct {
+	rounds int
+	value  uint64
+}
+
+func (p *wideConstProtocol) Name() string     { return "wide-const" }
+func (p *wideConstProtocol) MessageBits() int { return 3 }
+func (p *wideConstProtocol) Rounds() int      { return p.rounds }
+func (p *wideConstProtocol) NewNode(_ int, _ bitvec.Vector, _ *rng.Stream) Node {
+	return NodeFunc(func(*Transcript) uint64 { return p.value })
+}
+
+func TestSequentialPhaseTranscript(t *testing.T) {
+	const n = 3
+	inputs := mkInputs(n, 6, 4)
+	p1 := &constProtocol{rounds: 2, value: 1}
+	p2 := &constProtocol{rounds: 3, value: 0}
+	seq, err := NewSequential("phases", p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunRounds(seq, inputs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph0 := seq.PhaseTranscript(res.Transcript, 0)
+	ph1 := seq.PhaseTranscript(res.Transcript, 1)
+	if ph0.CompleteRounds() != 2 || ph1.CompleteRounds() != 3 {
+		t.Fatalf("phase transcript shapes %d, %d", ph0.CompleteRounds(), ph1.CompleteRounds())
+	}
+	if ph0.Message(0, 0) != 1 || ph1.Message(0, 0) != 0 {
+		t.Fatal("phase transcripts misaligned")
+	}
+}
+
+func TestSequentialConcurrentAgrees(t *testing.T) {
+	const n = 6
+	inputs := mkInputs(n, 8, 5)
+	seq, err := NewSequential("agree", &echoProtocol{rounds: 2}, &reactiveProtocol{rounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunRounds(seq, inputs, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunConcurrent(seq, inputs, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Transcript.Equal(b.Transcript) {
+		t.Fatal("sequential composition differs across engines")
+	}
+}
+
+func TestSequentialOutputsConcatenate(t *testing.T) {
+	inputs := mkInputs(4, 4, 6)
+	seq, err := NewSequential("outs", &outputProtocol{}, &outputProtocol{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunRounds(seq, inputs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := res.Outputs()
+	for i, o := range outs {
+		if o.Len() != 16 { // two 8-bit phase outputs
+			t.Fatalf("output %d length %d", i, o.Len())
+		}
+		if o.Slice(0, 8).Uint64() != uint64(i) || o.Slice(8, 16).Uint64() != uint64(i) {
+			t.Fatalf("output %d content wrong: %s", i, o)
+		}
+	}
+}
+
+func TestSequentialValidation(t *testing.T) {
+	if _, err := NewSequential("empty"); err == nil {
+		t.Fatal("empty composition accepted")
+	}
+	seq, err := NewSequential("x", &constProtocol{rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Name() != "x" {
+		t.Fatalf("name %q", seq.Name())
+	}
+	if (&Sequential{Phases: []Protocol{&constProtocol{rounds: 1}}}).Name() != "sequential" {
+		t.Fatal("default name wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PhaseTranscript out of range did not panic")
+		}
+	}()
+	inputs := mkInputs(2, 2, 7)
+	res, err := RunRounds(seq, inputs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq.PhaseTranscript(res.Transcript, 5)
+}

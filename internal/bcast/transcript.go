@@ -1,0 +1,168 @@
+package bcast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Transcript is the public history of an execution: the sequence of
+// broadcast messages in turn order (round-major, speaker-minor). Because
+// every processor hears every message, the transcript *is* the shared
+// state of the system, and the distribution of transcripts is the object
+// every lower bound in the paper reasons about.
+type Transcript struct {
+	n    int
+	bits int
+	msgs []uint64
+}
+
+// NewTranscript returns an empty transcript for n processors broadcasting
+// bits-wide messages.
+func NewTranscript(n, bits int) *Transcript {
+	if n <= 0 || bits <= 0 {
+		panic(fmt.Sprintf("bcast: invalid transcript shape n=%d bits=%d", n, bits))
+	}
+	return &Transcript{n: n, bits: bits}
+}
+
+// N returns the number of processors.
+func (t *Transcript) N() int { return t.n }
+
+// MessageBits returns the broadcast width.
+func (t *Transcript) MessageBits() int { return t.bits }
+
+// Turns returns the number of messages recorded so far.
+func (t *Transcript) Turns() int { return len(t.msgs) }
+
+// CompleteRounds returns the number of fully recorded rounds.
+func (t *Transcript) CompleteRounds() int { return len(t.msgs) / t.n }
+
+// Message returns the message processor id broadcast in the given round.
+// It panics if that turn has not been recorded; transcripts are append-only
+// so this is a caller logic error.
+func (t *Transcript) Message(round, id int) uint64 {
+	idx := round*t.n + id
+	if id < 0 || id >= t.n || round < 0 || idx >= len(t.msgs) {
+		panic(fmt.Sprintf("bcast: transcript access (round=%d, id=%d) beyond %d turns", round, id, len(t.msgs)))
+	}
+	return t.msgs[idx]
+}
+
+// TurnMessage returns the message broadcast at sequential turn index i.
+func (t *Transcript) TurnMessage(i int) uint64 {
+	if i < 0 || i >= len(t.msgs) {
+		panic(fmt.Sprintf("bcast: turn %d beyond %d recorded", i, len(t.msgs)))
+	}
+	return t.msgs[i]
+}
+
+// Speaker returns the processor id that speaks at sequential turn index i.
+func (t *Transcript) Speaker(i int) int { return i % t.n }
+
+// MessagesBy returns all messages broadcast so far by processor id, in
+// round order. Used by nodes that need to recall their own history.
+func (t *Transcript) MessagesBy(id int) []uint64 {
+	var out []uint64
+	for i := id; i < len(t.msgs); i += t.n {
+		out = append(out, t.msgs[i])
+	}
+	return out
+}
+
+// RoundMessages returns a copy of all n messages of a complete round.
+func (t *Transcript) RoundMessages(round int) []uint64 {
+	if round < 0 || (round+1)*t.n > len(t.msgs) {
+		panic(fmt.Sprintf("bcast: round %d not complete", round))
+	}
+	out := make([]uint64, t.n)
+	copy(out, t.msgs[round*t.n:(round+1)*t.n])
+	return out
+}
+
+// Prefix returns an independent copy of the first turns messages.
+func (t *Transcript) Prefix(turns int) *Transcript {
+	if turns < 0 || turns > len(t.msgs) {
+		panic(fmt.Sprintf("bcast: prefix of %d turns from %d recorded", turns, len(t.msgs)))
+	}
+	c := NewTranscript(t.n, t.bits)
+	c.msgs = append(c.msgs, t.msgs[:turns]...)
+	return c
+}
+
+// Clone returns an independent copy.
+func (t *Transcript) Clone() *Transcript { return t.Prefix(len(t.msgs)) }
+
+// Suffix returns an independent transcript with the first turns messages
+// removed. Protocol combinators (e.g. the derandomization transform) use it
+// to present an inner protocol with a clean view that starts after the
+// outer protocol's preamble rounds.
+func (t *Transcript) Suffix(turns int) *Transcript {
+	if turns < 0 || turns > len(t.msgs) {
+		panic(fmt.Sprintf("bcast: suffix dropping %d turns from %d recorded", turns, len(t.msgs)))
+	}
+	c := NewTranscript(t.n, t.bits)
+	c.msgs = append(c.msgs, t.msgs[turns:]...)
+	return c
+}
+
+// appendTurn records a single message (sequential-turn engine).
+func (t *Transcript) appendTurn(msg uint64) { t.msgs = append(t.msgs, msg) }
+
+// appendRound records a complete round of n messages at once.
+func (t *Transcript) appendRound(msgs []uint64) {
+	if len(msgs) != t.n {
+		panic(fmt.Sprintf("bcast: appendRound got %d messages, want %d", len(msgs), t.n))
+	}
+	t.msgs = append(t.msgs, msgs...)
+}
+
+// Equal reports whether two transcripts are byte-for-byte identical.
+func (t *Transcript) Equal(o *Transcript) bool {
+	if t.n != o.n || t.bits != o.bits || len(t.msgs) != len(o.msgs) {
+		return false
+	}
+	for i := range t.msgs {
+		if t.msgs[i] != o.msgs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string identifying the exact transcript, for use
+// as a map key when estimating transcript distributions.
+func (t *Transcript) Key() string {
+	var sb strings.Builder
+	sb.Grow(len(t.msgs)*2 + 8)
+	sb.WriteByte(byte(t.n))
+	sb.WriteByte(byte(t.n >> 8))
+	sb.WriteByte(byte(t.bits))
+	for _, m := range t.msgs {
+		// Messages are at most 63 bits; width ≤ 16 in practice, so two
+		// bytes per message suffice for all protocols in this repo. Wider
+		// messages spill into more bytes.
+		for b := 0; b < t.bits; b += 8 {
+			sb.WriteByte(byte(m >> uint(b)))
+		}
+	}
+	return sb.String()
+}
+
+// String renders the transcript round by round for debugging.
+func (t *Transcript) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "transcript[n=%d, b=%d, turns=%d]", t.n, t.bits, len(t.msgs))
+	for r := 0; r < t.CompleteRounds(); r++ {
+		fmt.Fprintf(&sb, "\n  round %d:", r)
+		for i := 0; i < t.n; i++ {
+			fmt.Fprintf(&sb, " %d", t.Message(r, i))
+		}
+	}
+	if rem := len(t.msgs) % t.n; rem != 0 {
+		fmt.Fprintf(&sb, "\n  partial:")
+		for i := len(t.msgs) - rem; i < len(t.msgs); i++ {
+			fmt.Fprintf(&sb, " %d", t.msgs[i])
+		}
+	}
+	return sb.String()
+}

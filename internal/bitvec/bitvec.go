@@ -1,0 +1,307 @@
+// Package bitvec implements packed bit vectors over GF(2).
+//
+// A Vector is the wire format for everything the paper moves around: a
+// processor's input row, a PRG seed, a pseudorandom output string, a shared
+// random vector b, and a column of the hidden matrix M. Vectors pack bits
+// into 64-bit words so dot products and xors run a word at a time, which is
+// what makes exhaustive enumeration over {0,1}^n feasible for the exact
+// statistical-distance experiments.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"repro/internal/rng"
+)
+
+// Vector is a fixed-length bit vector over GF(2). The zero value is an
+// empty (length-0) vector, ready to use.
+type Vector struct {
+	n int
+	w []uint64
+}
+
+// New returns an all-zero vector of length n. It panics if n is negative.
+func New(n int) Vector {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return Vector{n: n, w: make([]uint64, (n+63)/64)}
+}
+
+// Random returns a uniformly random vector of length n drawn from r.
+func Random(n int, r *rng.Stream) Vector {
+	v := New(n)
+	for i := range v.w {
+		v.w[i] = r.Uint64()
+	}
+	v.maskTail()
+	return v
+}
+
+// FromBits builds a vector from a slice of bits (each must be 0 or 1).
+func FromBits(bits []uint64) Vector {
+	v := New(len(bits))
+	for i, b := range bits {
+		if b != 0 {
+			v.SetBit(i, 1)
+		}
+	}
+	return v
+}
+
+// FromUint64 builds a length-n vector whose bit i equals bit i of x.
+// It is the bridge used by exhaustive-enumeration experiments, which walk
+// x over [0, 2^n). It panics if n > 64.
+func FromUint64(n int, x uint64) Vector {
+	if n > 64 {
+		panic("bitvec: FromUint64 needs n <= 64")
+	}
+	v := New(n)
+	if n > 0 {
+		v.w[0] = x
+		v.maskTail()
+	}
+	return v
+}
+
+// Uint64 returns the vector packed into a single uint64 (bit i of the
+// result is element i). It panics if the vector is longer than 64 bits.
+func (v Vector) Uint64() uint64 {
+	if v.n > 64 {
+		panic("bitvec: Uint64 on vector longer than 64 bits")
+	}
+	if len(v.w) == 0 {
+		return 0
+	}
+	return v.w[0]
+}
+
+// Len returns the number of bits in the vector.
+func (v Vector) Len() int { return v.n }
+
+// Bit returns element i (0 or 1).
+func (v Vector) Bit(i int) uint64 {
+	v.check(i)
+	return (v.w[i>>6] >> (uint(i) & 63)) & 1
+}
+
+// SetBit sets element i to b&1.
+func (v *Vector) SetBit(i int, b uint64) {
+	v.check(i)
+	mask := uint64(1) << (uint(i) & 63)
+	if b&1 == 1 {
+		v.w[i>>6] |= mask
+	} else {
+		v.w[i>>6] &^= mask
+	}
+}
+
+// FlipBit flips element i.
+func (v *Vector) FlipBit(i int) {
+	v.check(i)
+	v.w[i>>6] ^= uint64(1) << (uint(i) & 63)
+}
+
+func (v Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// maskTail zeroes the unused high bits of the final word so that word-wise
+// operations (PopCount, Equal, Dot) see a canonical representation.
+func (v *Vector) maskTail() {
+	if r := uint(v.n) & 63; r != 0 && len(v.w) > 0 {
+		v.w[len(v.w)-1] &= (uint64(1) << r) - 1
+	}
+}
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	c := Vector{n: v.n, w: make([]uint64, len(v.w))}
+	copy(c.w, v.w)
+	return c
+}
+
+// Equal reports whether v and u have the same length and bits.
+func (v Vector) Equal(u Vector) bool {
+	if v.n != u.n {
+		return false
+	}
+	for i := range v.w {
+		if v.w[i] != u.w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Xor returns v ⊕ u. It panics if the lengths differ because xor of
+// unequal-length vectors has no meaning in this codebase.
+func (v Vector) Xor(u Vector) Vector {
+	if v.n != u.n {
+		panic("bitvec: Xor length mismatch")
+	}
+	out := v.Clone()
+	for i := range out.w {
+		out.w[i] ^= u.w[i]
+	}
+	return out
+}
+
+// XorInPlace sets v = v ⊕ u.
+func (v *Vector) XorInPlace(u Vector) {
+	if v.n != u.n {
+		panic("bitvec: XorInPlace length mismatch")
+	}
+	for i := range v.w {
+		v.w[i] ^= u.w[i]
+	}
+}
+
+// And returns v ∧ u (bitwise and).
+func (v Vector) And(u Vector) Vector {
+	if v.n != u.n {
+		panic("bitvec: And length mismatch")
+	}
+	out := v.Clone()
+	for i := range out.w {
+		out.w[i] &= u.w[i]
+	}
+	return out
+}
+
+// Dot returns the GF(2) inner product v·u = ⊕_i v_i u_i.
+// This single operation is the computational heart of the paper's PRG: a
+// processor's pseudorandom bit is the dot product of its seed with a shared
+// random vector.
+func (v Vector) Dot(u Vector) uint64 {
+	if v.n != u.n {
+		panic("bitvec: Dot length mismatch")
+	}
+	var acc uint64
+	for i := range v.w {
+		acc ^= v.w[i] & u.w[i]
+	}
+	return uint64(bits.OnesCount64(acc)) & 1
+}
+
+// PopCount returns the number of 1 bits.
+func (v Vector) PopCount() int {
+	total := 0
+	for _, word := range v.w {
+		total += bits.OnesCount64(word)
+	}
+	return total
+}
+
+// IsZero reports whether every bit is 0.
+func (v Vector) IsZero() bool {
+	for _, word := range v.w {
+		if word != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Ones returns the positions of the 1 bits in increasing order.
+func (v Vector) Ones() []int {
+	out := make([]int, 0, v.PopCount())
+	for wi, word := range v.w {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			out = append(out, wi*64+b)
+			word &= word - 1
+		}
+	}
+	return out
+}
+
+// Concat returns the concatenation (v, u).
+func (v Vector) Concat(u Vector) Vector {
+	out := New(v.n + u.n)
+	for i := 0; i < v.n; i++ {
+		out.SetBit(i, v.Bit(i))
+	}
+	for i := 0; i < u.n; i++ {
+		out.SetBit(v.n+i, u.Bit(i))
+	}
+	return out
+}
+
+// Slice returns the sub-vector v[lo:hi) as a copy.
+func (v Vector) Slice(lo, hi int) Vector {
+	if lo < 0 || hi < lo || hi > v.n {
+		panic(fmt.Sprintf("bitvec: Slice [%d,%d) out of range [0,%d)", lo, hi, v.n))
+	}
+	out := New(hi - lo)
+	for i := lo; i < hi; i++ {
+		out.SetBit(i-lo, v.Bit(i))
+	}
+	return out
+}
+
+// SetRange sets bits [lo, hi) of v to the bits of u (which must have
+// length hi-lo).
+func (v *Vector) SetRange(lo, hi int, u Vector) {
+	if hi-lo != u.n {
+		panic("bitvec: SetRange length mismatch")
+	}
+	for i := lo; i < hi; i++ {
+		v.SetBit(i, u.Bit(i-lo))
+	}
+}
+
+// Key returns a compact string usable as a map key identifying the exact
+// bit pattern. Unlike String it is not human readable.
+func (v Vector) Key() string {
+	var sb strings.Builder
+	sb.Grow(len(v.w)*8 + 4)
+	sb.WriteByte(byte(v.n))
+	sb.WriteByte(byte(v.n >> 8))
+	for _, word := range v.w {
+		var buf [8]byte
+		for i := range buf {
+			buf[i] = byte(word >> (8 * i))
+		}
+		sb.Write(buf[:])
+	}
+	return sb.String()
+}
+
+// String renders the vector as a bit string, element 0 first.
+func (v Vector) String() string {
+	var sb strings.Builder
+	sb.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Bit(i) == 1 {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Parse parses a bit string ("0"/"1" characters) into a Vector.
+func Parse(s string) (Vector, error) {
+	v := New(len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+		case '1':
+			v.SetBit(i, 1)
+		default:
+			return Vector{}, fmt.Errorf("bitvec: invalid character %q at position %d", s[i], i)
+		}
+	}
+	return v, nil
+}
+
+// Words exposes the packed words for read-only word-at-a-time consumers
+// (e.g. the GF(2) matrix code). The returned slice must not be modified.
+func (v Vector) Words() []uint64 { return v.w }

@@ -1,0 +1,279 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestNewAllZero(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 200} {
+		v := New(n)
+		if v.Len() != n {
+			t.Fatalf("New(%d).Len() = %d", n, v.Len())
+		}
+		if !v.IsZero() {
+			t.Fatalf("New(%d) is not zero", n)
+		}
+		if v.PopCount() != 0 {
+			t.Fatalf("New(%d).PopCount() = %d", n, v.PopCount())
+		}
+	}
+}
+
+func TestSetGetFlip(t *testing.T) {
+	v := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		v.SetBit(i, 1)
+		if v.Bit(i) != 1 {
+			t.Fatalf("bit %d not set", i)
+		}
+		v.FlipBit(i)
+		if v.Bit(i) != 0 {
+			t.Fatalf("bit %d not flipped off", i)
+		}
+		v.SetBit(i, 0)
+		if v.Bit(i) != 0 {
+			t.Fatalf("bit %d not cleared", i)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	cases := []func(){
+		func() { New(10).Bit(10) },
+		func() { New(10).Bit(-1) },
+		func() { v := New(10); v.SetBit(10, 1) },
+		func() { New(-1) },
+		func() { New(10).Slice(2, 11) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFromUint64RoundTrip(t *testing.T) {
+	for _, n := range []int{1, 5, 17, 64} {
+		for _, x := range []uint64{0, 1, 0xdeadbeef, ^uint64(0)} {
+			v := FromUint64(n, x)
+			mask := ^uint64(0)
+			if n < 64 {
+				mask = (uint64(1) << uint(n)) - 1
+			}
+			if v.Uint64() != x&mask {
+				t.Fatalf("FromUint64(%d,%x).Uint64() = %x, want %x", n, x, v.Uint64(), x&mask)
+			}
+		}
+	}
+}
+
+func TestXorInvolution(t *testing.T) {
+	// Property: (v ⊕ u) ⊕ u == v.
+	f := func(a, b [3]uint64, nRaw uint8) bool {
+		n := int(nRaw%191) + 1
+		v := New(n)
+		u := New(n)
+		for i := 0; i < n; i++ {
+			v.SetBit(i, (a[i/64]>>(uint(i)%64))&1)
+			u.SetBit(i, (b[i/64]>>(uint(i)%64))&1)
+		}
+		return v.Xor(u).Xor(u).Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXorSelfIsZero(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 50; trial++ {
+		v := Random(1+r.Intn(200), r)
+		if !v.Xor(v).IsZero() {
+			t.Fatalf("v xor v != 0 for %s", v)
+		}
+	}
+}
+
+func TestDotBilinear(t *testing.T) {
+	// Property: (a ⊕ b)·c == a·c ⊕ b·c (dot is linear over GF(2)).
+	r := rng.New(2)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(150)
+		a, b, c := Random(n, r), Random(n, r), Random(n, r)
+		if a.Xor(b).Dot(c) != a.Dot(c)^b.Dot(c) {
+			t.Fatalf("dot not bilinear at n=%d", n)
+		}
+	}
+}
+
+func TestDotMatchesDefinition(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(100)
+		a, b := Random(n, r), Random(n, r)
+		var want uint64
+		for i := 0; i < n; i++ {
+			want ^= a.Bit(i) & b.Bit(i)
+		}
+		if got := a.Dot(b); got != want {
+			t.Fatalf("Dot = %d, want %d (n=%d)", got, want, n)
+		}
+	}
+}
+
+func TestPopCountMatchesOnes(t *testing.T) {
+	r := rng.New(4)
+	for trial := 0; trial < 100; trial++ {
+		v := Random(1+r.Intn(300), r)
+		ones := v.Ones()
+		if len(ones) != v.PopCount() {
+			t.Fatalf("PopCount %d != len(Ones) %d", v.PopCount(), len(ones))
+		}
+		for _, i := range ones {
+			if v.Bit(i) != 1 {
+				t.Fatalf("Ones reported %d but bit is 0", i)
+			}
+		}
+	}
+}
+
+func TestConcatSlice(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 100; trial++ {
+		a := Random(r.Intn(100), r)
+		b := Random(r.Intn(100), r)
+		c := a.Concat(b)
+		if c.Len() != a.Len()+b.Len() {
+			t.Fatalf("concat length %d", c.Len())
+		}
+		if !c.Slice(0, a.Len()).Equal(a) {
+			t.Fatal("prefix of concat != a")
+		}
+		if !c.Slice(a.Len(), c.Len()).Equal(b) {
+			t.Fatal("suffix of concat != b")
+		}
+	}
+}
+
+func TestSetRange(t *testing.T) {
+	v := New(20)
+	u, err := Parse("10110")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.SetRange(3, 8, u)
+	want := "00010110000000000000"
+	if v.String() != want {
+		t.Fatalf("SetRange result %s, want %s", v, want)
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	r := rng.New(6)
+	for trial := 0; trial < 100; trial++ {
+		v := Random(r.Intn(200), r)
+		u, err := Parse(v.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !u.Equal(v) {
+			t.Fatalf("round trip failed for %s", v)
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse("0102"); err == nil {
+		t.Fatal("Parse accepted invalid input")
+	}
+}
+
+func TestKeyDistinguishesLengths(t *testing.T) {
+	// A zero vector of length 5 and of length 6 must have distinct keys:
+	// they are different elements of different spaces.
+	if New(5).Key() == New(6).Key() {
+		t.Fatal("Key collides across lengths")
+	}
+}
+
+func TestKeyEqualIffEqual(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(100)
+		a, b := Random(n, r), Random(n, r)
+		if (a.Key() == b.Key()) != a.Equal(b) {
+			t.Fatalf("Key/Equal mismatch for %s vs %s", a, b)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	v := New(10)
+	c := v.Clone()
+	c.SetBit(3, 1)
+	if v.Bit(3) != 0 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestAnd(t *testing.T) {
+	a, _ := Parse("1100")
+	b, _ := Parse("1010")
+	if got := a.And(b).String(); got != "1000" {
+		t.Fatalf("And = %s, want 1000", got)
+	}
+}
+
+func TestRandomTailMasked(t *testing.T) {
+	// The unused high bits of the final word must be zero, otherwise
+	// PopCount and Dot over-count.
+	r := rng.New(8)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(130)
+		v := Random(n, r)
+		if v.PopCount() > n {
+			t.Fatalf("PopCount %d exceeds length %d: tail not masked", v.PopCount(), n)
+		}
+	}
+}
+
+func TestRandomIsBalanced(t *testing.T) {
+	r := rng.New(9)
+	const n, trials = 256, 2000
+	total := 0
+	for i := 0; i < trials; i++ {
+		total += Random(n, r).PopCount()
+	}
+	mean := float64(total) / trials
+	if mean < n/2-6 || mean > n/2+6 {
+		t.Fatalf("Random popcount mean %.1f, want about %d", mean, n/2)
+	}
+}
+
+func BenchmarkDot1024(b *testing.B) {
+	r := rng.New(1)
+	u, v := Random(1024, r), Random(1024, r)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= u.Dot(v)
+	}
+	_ = sink
+}
+
+func BenchmarkXor1024(b *testing.B) {
+	r := rng.New(1)
+	u, v := Random(1024, r), Random(1024, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.XorInPlace(v)
+	}
+}

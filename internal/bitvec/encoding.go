@@ -1,0 +1,50 @@
+package bitvec
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary serialization: a fixed little-endian layout (uint32 length in
+// bits, then the packed words) so vectors — seeds, PRG outputs, adjacency
+// rows — can be persisted or sent outside the simulator.
+
+// marshalMagic guards against decoding unrelated bytes.
+const marshalMagic = 0xB1
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (v Vector) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, 5+8*len(v.w))
+	out = append(out, marshalMagic)
+	out = binary.LittleEndian.AppendUint32(out, uint32(v.n))
+	for _, word := range v.w {
+		out = binary.LittleEndian.AppendUint64(out, word)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (v *Vector) UnmarshalBinary(data []byte) error {
+	if len(data) < 5 {
+		return fmt.Errorf("bitvec: %d bytes is too short for a vector", len(data))
+	}
+	if data[0] != marshalMagic {
+		return fmt.Errorf("bitvec: bad magic byte %#x", data[0])
+	}
+	n := int(binary.LittleEndian.Uint32(data[1:5]))
+	words := (n + 63) / 64
+	if len(data) != 5+8*words {
+		return fmt.Errorf("bitvec: length %d bits needs %d bytes, got %d", n, 5+8*words, len(data))
+	}
+	w := make([]uint64, words)
+	for i := range w {
+		w[i] = binary.LittleEndian.Uint64(data[5+8*i:])
+	}
+	// Reject payloads with junk in the tail bits: they would break the
+	// canonical-representation invariant Equal/Key rely on.
+	if r := uint(n) & 63; r != 0 && w[words-1]>>r != 0 {
+		return fmt.Errorf("bitvec: nonzero bits beyond length %d", n)
+	}
+	*v = Vector{n: n, w: w}
+	return nil
+}

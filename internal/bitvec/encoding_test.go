@@ -1,0 +1,61 @@
+package bitvec
+
+import (
+	"encoding"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+var (
+	_ encoding.BinaryMarshaler   = Vector{}
+	_ encoding.BinaryUnmarshaler = (*Vector)(nil)
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{0, 1, 7, 63, 64, 65, 200} {
+		v := Random(n, r)
+		data, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Vector
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !got.Equal(v) {
+			t.Fatalf("round trip changed vector at n=%d", n)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	var v Vector
+	cases := [][]byte{
+		nil,
+		{1, 2},
+		{0x00, 0, 0, 0, 0},            // bad magic
+		{marshalMagic, 64, 0, 0, 0},   // 64 bits but no words
+		{marshalMagic, 1, 0, 0, 0, 0}, // 1 bit but truncated word
+	}
+	for i, data := range cases {
+		if err := v.UnmarshalBinary(data); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestUnmarshalRejectsDirtyTail(t *testing.T) {
+	// A 1-bit vector whose word has high bits set violates canonical form.
+	v := New(1)
+	data, err := v.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] |= 0x80
+	var got Vector
+	if err := got.UnmarshalBinary(data); err == nil {
+		t.Fatal("dirty tail accepted")
+	}
+}

@@ -1,0 +1,164 @@
+package cliquefind
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bcast"
+	"repro/internal/bitvec"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// DegreeRecoverProtocol is the paper's Section 1.2 remark made concrete:
+// "once k goes substantially above √n, it is possible to find the clique
+// by considering the vertices with highest degree." Two BCAST(log n)
+// rounds:
+//
+//	round 0: every processor broadcasts its out-degree;
+//	round 1: everyone ranks the degrees, takes the top k ids as
+//	         candidates, and each processor broadcasts whether its own
+//	         row has edges to at least θ of the candidates.
+//
+// The claimants of round 1 are the recovered clique. Clique members sit
+// ~k/2 above the degree mean, so for k ≳ c·√(n·log n) the top-k set is
+// almost exactly the clique and the neighbourhood vote cleans up the rest.
+type DegreeRecoverProtocol struct {
+	// N is the number of processors, K the clique size hypothesis.
+	N, K int
+	// Theta is the claim fraction (0 means the default 0.9).
+	Theta float64
+}
+
+var _ bcast.Protocol = (*DegreeRecoverProtocol)(nil)
+
+// NewDegreeRecover validates parameters.
+func NewDegreeRecover(n, k int) (*DegreeRecoverProtocol, error) {
+	if n < 2 || k < 1 || k > n {
+		return nil, fmt.Errorf("cliquefind: invalid degree-recover parameters n=%d k=%d", n, k)
+	}
+	return &DegreeRecoverProtocol{N: n, K: k}, nil
+}
+
+func (p *DegreeRecoverProtocol) theta() float64 {
+	if p.Theta > 0 {
+		return p.Theta
+	}
+	return 0.9
+}
+
+// Name implements bcast.Protocol.
+func (p *DegreeRecoverProtocol) Name() string {
+	return fmt.Sprintf("degree-recover(k=%d)", p.K)
+}
+
+// MessageBits implements bcast.Protocol: degrees need ⌈log₂ n⌉ bits.
+func (p *DegreeRecoverProtocol) MessageBits() int { return bcast.MessageBitsForN(p.N) }
+
+// Rounds implements bcast.Protocol.
+func (p *DegreeRecoverProtocol) Rounds() int { return 2 }
+
+// Candidates ranks round 0's degrees and returns the top-K vertex ids
+// (ties broken by id, so every processor computes the same set).
+func (p *DegreeRecoverProtocol) Candidates(t *bcast.Transcript) []int {
+	type entry struct {
+		id  int
+		deg uint64
+	}
+	entries := make([]entry, p.N)
+	for i := 0; i < p.N; i++ {
+		entries[i] = entry{id: i, deg: t.Message(0, i)}
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].deg != entries[b].deg {
+			return entries[a].deg > entries[b].deg
+		}
+		return entries[a].id < entries[b].id
+	})
+	out := make([]int, p.K)
+	for i := 0; i < p.K; i++ {
+		out[i] = entries[i].id
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NewNode implements bcast.Protocol.
+func (p *DegreeRecoverProtocol) NewNode(id int, input bitvec.Vector, _ *rng.Stream) bcast.Node {
+	return &degreeRecoverNode{proto: p, id: id, row: input}
+}
+
+type degreeRecoverNode struct {
+	proto *DegreeRecoverProtocol
+	id    int
+	row   bitvec.Vector
+}
+
+func (n *degreeRecoverNode) Broadcast(t *bcast.Transcript) uint64 {
+	if t.CompleteRounds() == 0 {
+		deg := uint64(n.row.PopCount())
+		maxMsg := uint64(1)<<uint(n.proto.MessageBits()) - 1
+		if deg > maxMsg {
+			deg = maxMsg
+		}
+		return deg
+	}
+	candidates := n.proto.Candidates(t)
+	cnt, inSet := 0, false
+	for _, v := range candidates {
+		if v == n.id {
+			inSet = true
+			continue
+		}
+		if n.row.Bit(v) == 1 {
+			cnt++
+		}
+	}
+	if inSet && float64(cnt) >= n.proto.theta()*float64(len(candidates)-1) {
+		return 1
+	}
+	if !inSet && float64(cnt) >= n.proto.theta()*float64(len(candidates)) {
+		return 1
+	}
+	return 0
+}
+
+// Output implements bcast.Outputter: the recovered clique indicator.
+func (n *degreeRecoverNode) Output(t *bcast.Transcript) bitvec.Vector {
+	out := bitvec.New(n.proto.N)
+	clique, _ := DecodeDegreeRecover(t, n.proto)
+	for _, v := range clique {
+		out.SetBit(v, 1)
+	}
+	return out
+}
+
+// DecodeDegreeRecover reads the claimants from the final round.
+func DecodeDegreeRecover(t *bcast.Transcript, p *DegreeRecoverProtocol) (clique []int, ok bool) {
+	if t.CompleteRounds() < p.Rounds() {
+		return nil, false
+	}
+	for i := 0; i < p.N; i++ {
+		if t.Message(1, i) == 1 {
+			clique = append(clique, i)
+		}
+	}
+	return clique, len(clique) > 0
+}
+
+// RunDegreeRecover executes the protocol on a graph.
+func RunDegreeRecover(p *DegreeRecoverProtocol, g *graph.Digraph, seed uint64) ([]int, bool, error) {
+	if g.N() != p.N {
+		return nil, false, fmt.Errorf("cliquefind: graph has %d vertices, protocol expects %d", g.N(), p.N)
+	}
+	inputs := make([]bitvec.Vector, p.N)
+	for i := range inputs {
+		inputs[i] = g.Row(i)
+	}
+	res, err := bcast.RunRounds(p, inputs, seed)
+	if err != nil {
+		return nil, false, err
+	}
+	clique, ok := DecodeDegreeRecover(res.Transcript, p)
+	return clique, ok, nil
+}

@@ -1,0 +1,174 @@
+package cliquefind
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bcast"
+	"repro/internal/bitvec"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestDegreeRecoverAboveRootN(t *testing.T) {
+	// k = 4·sqrt(n·ln n): the degree ranking nails the clique.
+	r := rng.New(1)
+	const n = 400
+	k := int(4 * math.Sqrt(float64(n)*math.Log(float64(n))))
+	p, err := NewDegreeRecover(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := 0
+	const trials = 8
+	for i := 0; i < trials; i++ {
+		g, clique, err := graph.SamplePlanted(n, k, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := RunDegreeRecover(p, g, r.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok && SameSet(got, clique) {
+			exact++
+		}
+	}
+	if exact < trials-1 {
+		t.Fatalf("degree recovery exact in only %d/%d trials at k=%d", exact, trials, k)
+	}
+}
+
+func TestDegreeRecoverUsesTwoWideRounds(t *testing.T) {
+	p, err := NewDegreeRecover(256, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rounds() != 2 {
+		t.Fatalf("rounds = %d", p.Rounds())
+	}
+	if p.MessageBits() != 8 {
+		t.Fatalf("width = %d", p.MessageBits())
+	}
+	// Compare with Appendix B's budget at the same parameters: the
+	// sampling protocol needs hundreds of rounds, degree ranking needs 2.
+	sas, err := NewSampleAndSolve(256, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sas.Rounds() <= p.Rounds() {
+		t.Fatal("sampling protocol should cost far more rounds in this regime")
+	}
+}
+
+func TestDegreeRecoverFailsBelowRootN(t *testing.T) {
+	// At k well below sqrt(n), degrees carry no usable signal: recovery
+	// must essentially never be exact.
+	r := rng.New(2)
+	const n, k = 400, 10
+	p, err := NewDegreeRecover(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := 0
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		g, clique, err := graph.SamplePlanted(n, k, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := RunDegreeRecover(p, g, r.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok && SameSet(got, clique) {
+			exact++
+		}
+	}
+	if exact > 1 {
+		t.Fatalf("degree recovery exact %d/%d times at k << sqrt(n) — impossible signal", exact, trials)
+	}
+}
+
+func TestDegreeRecoverOutputsAgree(t *testing.T) {
+	r := rng.New(3)
+	const n = 200
+	k := int(4 * math.Sqrt(float64(n)*math.Log(float64(n))))
+	p, err := NewDegreeRecover(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := graph.SamplePlanted(n, k, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]bitvec.Vector, n)
+	for i := range inputs {
+		inputs[i] = g.Row(i)
+	}
+	res, err := bcast.RunRounds(p, inputs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := res.Outputs()
+	for i := 1; i < n; i++ {
+		if !outs[i].Equal(outs[0]) {
+			t.Fatalf("node %d output differs", i)
+		}
+	}
+}
+
+func TestDegreeRecoverValidation(t *testing.T) {
+	if _, err := NewDegreeRecover(1, 1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := NewDegreeRecover(10, 11); err == nil {
+		t.Fatal("k>n accepted")
+	}
+	p, err := NewDegreeRecover(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunDegreeRecover(p, graph.New(9), 1); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, ok := DecodeDegreeRecover(bcast.NewTranscript(10, p.MessageBits()), p); ok {
+		t.Fatal("decoded from empty transcript")
+	}
+}
+
+// fixedMsgProtocol broadcasts a fixed message per node for one round —
+// a fixture for building specific transcripts through the public API.
+type fixedMsgProtocol struct {
+	msgs []uint64
+	bits int
+}
+
+func (p *fixedMsgProtocol) Name() string     { return "fixed" }
+func (p *fixedMsgProtocol) MessageBits() int { return p.bits }
+func (p *fixedMsgProtocol) Rounds() int      { return 1 }
+func (p *fixedMsgProtocol) NewNode(id int, _ bitvec.Vector, _ *rng.Stream) bcast.Node {
+	return bcast.NodeFunc(func(*bcast.Transcript) uint64 { return p.msgs[id] })
+}
+
+func TestCandidatesDeterministicTieBreak(t *testing.T) {
+	// Equal degrees: candidates must be the lowest ids, identically for
+	// every processor.
+	p, err := NewDegreeRecover(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix := &fixedMsgProtocol{msgs: []uint64{5, 5, 5, 5, 5, 5}, bits: p.MessageBits()}
+	inputs := make([]bitvec.Vector, 6)
+	for i := range inputs {
+		inputs[i] = bitvec.New(1)
+	}
+	res, err := bcast.RunRounds(fix, inputs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.Candidates(res.Transcript)
+	if got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("candidates %v, want [0 1 2]", got)
+	}
+}

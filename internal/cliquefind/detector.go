@@ -1,0 +1,256 @@
+package cliquefind
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bcast"
+	"repro/internal/bitvec"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Detector is a BCAST protocol that decides whether the input graph came
+// from the planted distribution A_k (true) or the uniform distribution
+// A_rand (false). The verdict is a function of the shared transcript, so
+// every processor reaches it simultaneously.
+type Detector interface {
+	bcast.Protocol
+	Decide(t *bcast.Transcript) (bool, error)
+}
+
+// DegreeDetector is the natural one-round protocol: every processor
+// broadcasts whether its out-degree exceeds (n−1)/2 + k/4, and the graph
+// is declared planted when at least k/2 processors raise their hands.
+//
+// A clique member's out-degree is ≈ n/2 + k/2 (the k−1 forced edges double
+// the density towards the clique), so members clear the threshold once
+// k/4 ≫ √n — i.e. the detector succeeds for k ≳ √(n log n), the upper end
+// of the paper's interesting range. For k = n^{1/4−ε} its advantage is
+// provably o(1) (Corollary 1.7), which experiment E3 measures: the same
+// protocol collapses to coin-flipping there.
+type DegreeDetector struct {
+	// N is the number of processors, K the clique-size hypothesis.
+	N, K int
+}
+
+var _ Detector = (*DegreeDetector)(nil)
+
+// Name implements bcast.Protocol.
+func (d *DegreeDetector) Name() string { return fmt.Sprintf("degree-detector(k=%d)", d.K) }
+
+// MessageBits implements bcast.Protocol.
+func (d *DegreeDetector) MessageBits() int { return 1 }
+
+// Rounds implements bcast.Protocol: a single round.
+func (d *DegreeDetector) Rounds() int { return 1 }
+
+// DegreeThreshold is the hand-raising cutoff (n−1)/2 + k/4.
+func (d *DegreeDetector) DegreeThreshold() int {
+	return (d.N-1)/2 + d.K/4
+}
+
+// ClaimThreshold is the verdict cutoff: planted iff ≥ k/2 hands.
+func (d *DegreeDetector) ClaimThreshold() int {
+	t := d.K / 2
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// NewNode implements bcast.Protocol.
+func (d *DegreeDetector) NewNode(_ int, input bitvec.Vector, _ *rng.Stream) bcast.Node {
+	return bcast.NodeFunc(func(*bcast.Transcript) uint64 {
+		if input.PopCount() >= d.DegreeThreshold() {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Decide implements Detector.
+func (d *DegreeDetector) Decide(t *bcast.Transcript) (bool, error) {
+	if t.CompleteRounds() < 1 {
+		return false, fmt.Errorf("cliquefind: degree detector needs 1 round, transcript has %d", t.CompleteRounds())
+	}
+	hands := 0
+	for i := 0; i < d.N; i++ {
+		hands += int(t.Message(0, i))
+	}
+	return hands >= d.ClaimThreshold(), nil
+}
+
+// EdgeParityDetector is a deliberately information-poor one-round
+// protocol: each processor broadcasts the parity of its row. Planting a
+// clique flips each row parity with probability exactly 1/2 independent of
+// everything else, so this protocol provably has advantage 0 — a negative
+// control for experiment E3 (any measured advantage is estimator noise).
+type EdgeParityDetector struct {
+	// N is the number of processors.
+	N int
+}
+
+var _ Detector = (*EdgeParityDetector)(nil)
+
+// Name implements bcast.Protocol.
+func (d *EdgeParityDetector) Name() string { return "edge-parity-detector" }
+
+// MessageBits implements bcast.Protocol.
+func (d *EdgeParityDetector) MessageBits() int { return 1 }
+
+// Rounds implements bcast.Protocol.
+func (d *EdgeParityDetector) Rounds() int { return 1 }
+
+// NewNode implements bcast.Protocol.
+func (d *EdgeParityDetector) NewNode(_ int, input bitvec.Vector, _ *rng.Stream) bcast.Node {
+	return bcast.NodeFunc(func(*bcast.Transcript) uint64 {
+		return uint64(input.PopCount()) & 1
+	})
+}
+
+// Decide implements Detector: majority of parities (an arbitrary rule — no
+// rule can work, which is the point).
+func (d *EdgeParityDetector) Decide(t *bcast.Transcript) (bool, error) {
+	if t.CompleteRounds() < 1 {
+		return false, fmt.Errorf("cliquefind: parity detector needs 1 round")
+	}
+	ones := 0
+	for i := 0; i < d.N; i++ {
+		ones += int(t.Message(0, i))
+	}
+	return ones > d.N/2, nil
+}
+
+// TotalDegreeDetector broadcasts, over j rounds, the top j bits of each
+// processor's degree, letting the referee sum (approximate) degrees — the
+// natural j-round strengthening of DegreeDetector used by experiment E4 to
+// watch advantage grow with rounds. With j rounds each processor reveals
+// its degree to within n/2^j, so the referee can threshold the total edge
+// count, whose planted shift is Θ(k²).
+type TotalDegreeDetector struct {
+	// N is the number of processors, K the clique-size hypothesis, J the
+	// number of rounds (degree bits revealed).
+	N, K, J int
+}
+
+var _ Detector = (*TotalDegreeDetector)(nil)
+
+// Name implements bcast.Protocol.
+func (d *TotalDegreeDetector) Name() string {
+	return fmt.Sprintf("total-degree-detector(k=%d,j=%d)", d.K, d.J)
+}
+
+// MessageBits implements bcast.Protocol.
+func (d *TotalDegreeDetector) MessageBits() int { return 1 }
+
+// Rounds implements bcast.Protocol.
+func (d *TotalDegreeDetector) Rounds() int { return d.J }
+
+// degreeBits is the bit width needed to express a degree (n−1 max).
+func (d *TotalDegreeDetector) degreeBits() int {
+	bits := 1
+	for 1<<uint(bits) <= d.N-1 {
+		bits++
+	}
+	return bits
+}
+
+// NewNode implements bcast.Protocol: round r broadcasts degree bit
+// (width−1−r), most significant first.
+func (d *TotalDegreeDetector) NewNode(_ int, input bitvec.Vector, _ *rng.Stream) bcast.Node {
+	deg := uint64(input.PopCount())
+	width := d.degreeBits()
+	return bcast.NodeFunc(func(t *bcast.Transcript) uint64 {
+		r := t.CompleteRounds()
+		shift := width - 1 - r
+		if shift < 0 {
+			return 0
+		}
+		return deg >> uint(shift) & 1
+	})
+}
+
+// Decide implements Detector: reconstruct the degree prefixes, sum the
+// lower bounds, and threshold at n(n−1)/2 + k²/8 (half the planted shift
+// of ≈ k²/4 forced new edges).
+func (d *TotalDegreeDetector) Decide(t *bcast.Transcript) (bool, error) {
+	if t.CompleteRounds() < d.J {
+		return false, fmt.Errorf("cliquefind: total-degree detector needs %d rounds, transcript has %d",
+			d.J, t.CompleteRounds())
+	}
+	width := d.degreeBits()
+	total := 0.0
+	for i := 0; i < d.N; i++ {
+		deg := uint64(0)
+		known := 0
+		for r := 0; r < d.J && r < width; r++ {
+			deg = deg<<1 | t.Message(r, i)
+			known++
+		}
+		// Midpoint estimate of the unknown low bits.
+		low := width - known
+		est := float64(deg)*math.Exp2(float64(low)) + (math.Exp2(float64(low))-1)/2
+		total += est
+	}
+	mean := float64(d.N) * float64(d.N-1) / 2
+	shift := float64(d.K) * float64(d.K) / 8
+	return total >= mean+shift, nil
+}
+
+// DetectorReport summarizes acceptance statistics of a detector.
+type DetectorReport struct {
+	// AcceptPlanted is the fraction of A_k inputs judged planted.
+	AcceptPlanted float64
+	// AcceptRand is the fraction of A_rand inputs judged planted.
+	AcceptRand float64
+	// Trials is the per-distribution trial count.
+	Trials int
+}
+
+// Advantage returns |AcceptPlanted − AcceptRand|, the paper's
+// distinguishing advantage witness (lower bound on 2·TV of transcripts).
+func (r DetectorReport) Advantage() float64 {
+	return math.Abs(r.AcceptPlanted - r.AcceptRand)
+}
+
+// MeasureDetector runs the detector on fresh samples of A_k and A_rand.
+func MeasureDetector(d Detector, n, k, trials int, r *rng.Stream) (DetectorReport, error) {
+	rep := DetectorReport{Trials: trials}
+	planted, random := 0, 0
+	for i := 0; i < trials; i++ {
+		g, _, err := graph.SamplePlanted(n, k, r)
+		if err != nil {
+			return rep, err
+		}
+		ok, err := runDetector(d, g, r.Uint64())
+		if err != nil {
+			return rep, err
+		}
+		if ok {
+			planted++
+		}
+		ok, err = runDetector(d, graph.SampleRand(n, r), r.Uint64())
+		if err != nil {
+			return rep, err
+		}
+		if ok {
+			random++
+		}
+	}
+	rep.AcceptPlanted = float64(planted) / float64(trials)
+	rep.AcceptRand = float64(random) / float64(trials)
+	return rep, nil
+}
+
+func runDetector(d Detector, g *graph.Digraph, seed uint64) (bool, error) {
+	inputs := make([]bitvec.Vector, g.N())
+	for i := range inputs {
+		inputs[i] = g.Row(i)
+	}
+	res, err := bcast.RunRounds(d, inputs, seed)
+	if err != nil {
+		return false, err
+	}
+	return d.Decide(res.Transcript)
+}

@@ -1,0 +1,130 @@
+package cliquefind
+
+import (
+	"testing"
+
+	"repro/internal/bcast"
+	"repro/internal/rng"
+)
+
+func TestDegreeDetectorStrongAtLargeK(t *testing.T) {
+	// k ≈ 3·sqrt(n·log n): the degree protocol must distinguish nearly
+	// perfectly — the paper's upper end of the interesting range.
+	r := rng.New(1)
+	const n, k, trials = 400, 150, 30
+	d := &DegreeDetector{N: n, K: k}
+	rep, err := MeasureDetector(d, n, k, trials, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Advantage() < 0.9 {
+		t.Fatalf("degree detector advantage %v at k=%d (planted %v, rand %v)",
+			rep.Advantage(), k, rep.AcceptPlanted, rep.AcceptRand)
+	}
+}
+
+func TestDegreeDetectorBlindAtFourthRoot(t *testing.T) {
+	// k = n^{1/4}: Corollary 1.7 says no one-round protocol can have
+	// constant advantage; the degree protocol in particular collapses.
+	r := rng.New(2)
+	const n, k, trials = 256, 4, 60
+	d := &DegreeDetector{N: n, K: k}
+	rep, err := MeasureDetector(d, n, k, trials, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Advantage() > 0.3 {
+		t.Fatalf("degree detector advantage %v at k=n^{1/4}; lower bound forbids this scale",
+			rep.Advantage())
+	}
+}
+
+func TestDegreeDetectorThresholds(t *testing.T) {
+	d := &DegreeDetector{N: 401, K: 100}
+	if got := d.DegreeThreshold(); got != 200+25 {
+		t.Fatalf("DegreeThreshold = %d", got)
+	}
+	if got := d.ClaimThreshold(); got != 50 {
+		t.Fatalf("ClaimThreshold = %d", got)
+	}
+	if got := (&DegreeDetector{N: 10, K: 1}).ClaimThreshold(); got != 1 {
+		t.Fatalf("ClaimThreshold floor = %d", got)
+	}
+}
+
+func TestEdgeParityDetectorHasNoAdvantage(t *testing.T) {
+	// Planting flips each row's parity with probability exactly 1/2, so
+	// this detector's advantage is identically 0; any measurement is
+	// estimator noise, bounded by a few times 1/sqrt(trials).
+	r := rng.New(3)
+	const n, k, trials = 128, 60, 200
+	d := &EdgeParityDetector{N: n}
+	rep, err := MeasureDetector(d, n, k, trials, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Advantage() > 0.15 {
+		t.Fatalf("parity detector advantage %v; should be pure noise", rep.Advantage())
+	}
+}
+
+func TestTotalDegreeDetectorImprovesWithRounds(t *testing.T) {
+	// E4's shape in miniature: more rounds (more degree bits revealed)
+	// buy more advantage at fixed (n, k).
+	r := rng.New(4)
+	const n, k, trials = 256, 64, 30
+	full := &TotalDegreeDetector{N: n, K: k, J: 8}
+	one := &TotalDegreeDetector{N: n, K: k, J: 1}
+	repFull, err := MeasureDetector(full, n, k, trials, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repOne, err := MeasureDetector(one, n, k, trials, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repFull.Advantage() < 0.8 {
+		t.Fatalf("full-degree detector advantage %v, want >= 0.8", repFull.Advantage())
+	}
+	if repOne.Advantage() > repFull.Advantage() {
+		t.Fatalf("1-round advantage %v exceeds %d-round advantage %v",
+			repOne.Advantage(), full.J, repFull.Advantage())
+	}
+}
+
+func TestTotalDegreeDetectorDegreeBits(t *testing.T) {
+	if got := (&TotalDegreeDetector{N: 256}).degreeBits(); got != 8 {
+		t.Fatalf("degreeBits(256) = %d, want 8", got)
+	}
+	if got := (&TotalDegreeDetector{N: 257}).degreeBits(); got != 9 {
+		t.Fatalf("degreeBits(257) = %d, want 9", got)
+	}
+}
+
+func TestDetectorsRejectShortTranscript(t *testing.T) {
+	tr := bcast.NewTranscript(10, 1)
+	if _, err := (&DegreeDetector{N: 10, K: 3}).Decide(tr); err == nil {
+		t.Fatal("degree detector decided without a round")
+	}
+	if _, err := (&EdgeParityDetector{N: 10}).Decide(tr); err == nil {
+		t.Fatal("parity detector decided without a round")
+	}
+	if _, err := (&TotalDegreeDetector{N: 10, K: 3, J: 2}).Decide(tr); err == nil {
+		t.Fatal("total-degree detector decided without rounds")
+	}
+}
+
+func TestDetectorRoundsAndWidths(t *testing.T) {
+	for _, d := range []Detector{
+		&DegreeDetector{N: 32, K: 8},
+		&EdgeParityDetector{N: 32},
+		&TotalDegreeDetector{N: 32, K: 8, J: 3},
+	} {
+		if d.MessageBits() != 1 {
+			t.Fatalf("%s is not BCAST(1)", d.Name())
+		}
+		if d.Rounds() < 1 {
+			t.Fatalf("%s has no rounds", d.Name())
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package cliquefind
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/bcast"
+	"repro/internal/bitvec"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// SampleAndSolve is the Appendix B protocol (Theorem B.1): an
+// O(n/k·polylog n)-round BCAST(1) protocol after which, with probability at
+// least 1 − 1/n², every processor knows the planted clique.
+//
+// Schedule (rounds are simultaneous; all processors know the whole
+// transcript):
+//
+//	round 0:              every processor broadcasts whether it is active
+//	                      (a private coin with P[active] = log²n / k);
+//	rounds 1..ActiveCap:  round 1+b publishes column b of the active
+//	                      subgraph: each active processor broadcasts its
+//	                      edge bit towards the b-th active vertex;
+//	round ActiveCap+1:    every processor broadcasts its membership claim:
+//	                      it is in the clique of the active subgraph, or it
+//	                      has edges to ≥ θ of that clique.
+//
+// If more than ActiveCap processors activate (probability ≤ e^{−np/3} by
+// Chernoff) the protocol aborts and recovers nothing, exactly as in the
+// paper. The recovered clique is the set of claimants, decodable from the
+// final round by anyone via DecodeClique.
+type SampleAndSolve struct {
+	// N is the number of processors (= vertices).
+	N int
+	// K is the planted clique size hypothesis; the activation probability
+	// is log²n / k as in the paper.
+	K int
+	// P is the activation probability. Zero means the paper's default
+	// min(1, log₂²(n)/k).
+	P float64
+	// Theta is the neighbourhood fraction for the final claim (paper: 0.9).
+	// Zero means 0.9.
+	Theta float64
+	// MinClique aborts recovery when the active-subgraph clique is smaller
+	// (paper: log₂²(n)/2). Zero means the default.
+	MinClique int
+
+	mu sync.Mutex
+	bb *blackboard
+}
+
+// NewSampleAndSolve returns the protocol with the paper's parameters.
+func NewSampleAndSolve(n, k int) (*SampleAndSolve, error) {
+	if n < 2 || k < 1 || k > n {
+		return nil, fmt.Errorf("cliquefind: invalid parameters n=%d k=%d", n, k)
+	}
+	return &SampleAndSolve{N: n, K: k}, nil
+}
+
+func (p *SampleAndSolve) prob() float64 {
+	if p.P > 0 {
+		return math.Min(1, p.P)
+	}
+	lg := math.Log2(float64(p.N))
+	return math.Min(1, lg*lg/float64(p.K))
+}
+
+func (p *SampleAndSolve) theta() float64 {
+	if p.Theta > 0 {
+		return p.Theta
+	}
+	return 0.9
+}
+
+func (p *SampleAndSolve) minClique() int {
+	if p.MinClique > 0 {
+		return p.MinClique
+	}
+	lg := math.Log2(float64(p.N))
+	return int(lg * lg / 2)
+}
+
+// ActiveCap is the activation-count cutoff 2·n·p beyond which the protocol
+// terminates (paper: N_active > 2np).
+func (p *SampleAndSolve) ActiveCap() int {
+	return int(math.Ceil(2 * float64(p.N) * p.prob()))
+}
+
+// Name implements bcast.Protocol.
+func (p *SampleAndSolve) Name() string {
+	return fmt.Sprintf("planted-clique-find(n=%d,k=%d)", p.N, p.K)
+}
+
+// MessageBits implements bcast.Protocol: BCAST(1).
+func (p *SampleAndSolve) MessageBits() int { return 1 }
+
+// Rounds implements bcast.Protocol: activation + ActiveCap adjacency
+// rounds + claim round. O(n/k · polylog n) as in Theorem B.1.
+func (p *SampleAndSolve) Rounds() int { return p.ActiveCap() + 2 }
+
+// NewNode implements bcast.Protocol. The input is the processor's
+// adjacency row. Nodes of one execution share a blackboard so the common
+// transcript-determined computation (active set, active-subgraph clique)
+// runs once per execution instead of once per node; this is a simulation
+// optimization only — every processor could compute it alone.
+func (p *SampleAndSolve) NewNode(id int, input bitvec.Vector, priv *rng.Stream) bcast.Node {
+	p.mu.Lock()
+	if id == 0 || p.bb == nil {
+		p.bb = &blackboard{}
+	}
+	bb := p.bb
+	p.mu.Unlock()
+	return &finderNode{proto: p, id: id, row: input, active: priv.Bernoulli(p.prob()), bb: bb}
+}
+
+// blackboard holds the shared, transcript-determined state of one
+// execution.
+type blackboard struct {
+	once    sync.Once
+	aborted bool
+	actives []int
+	cactive []int // vertex ids of the active-subgraph clique
+}
+
+func (b *blackboard) compute(p *SampleAndSolve, t *bcast.Transcript) {
+	b.once.Do(func() {
+		b.actives = activesFromTranscript(t, p.N)
+		if len(b.actives) > p.ActiveCap() {
+			b.aborted = true
+			return
+		}
+		sub := activeSubgraph(t, b.actives)
+		local := LargestClique(sub)
+		if len(local) < p.minClique() {
+			b.aborted = true
+			return
+		}
+		b.cactive = make([]int, len(local))
+		for i, a := range local {
+			b.cactive[i] = b.actives[a]
+		}
+	})
+}
+
+// activesFromTranscript reads round 0.
+func activesFromTranscript(t *bcast.Transcript, n int) []int {
+	var actives []int
+	for i := 0; i < n; i++ {
+		if t.Message(0, i) == 1 {
+			actives = append(actives, i)
+		}
+	}
+	return actives
+}
+
+// activeSubgraph reconstructs the broadcast induced subgraph: in round 1+b
+// the a-th active processor announced its edge towards the b-th active
+// vertex.
+func activeSubgraph(t *bcast.Transcript, actives []int) *graph.Digraph {
+	sub := graph.New(len(actives))
+	for b := range actives {
+		for a := range actives {
+			if a != b {
+				sub.SetEdge(a, b, t.Message(1+b, actives[a]))
+			}
+		}
+	}
+	return sub
+}
+
+type finderNode struct {
+	proto  *SampleAndSolve
+	id     int
+	row    bitvec.Vector
+	active bool
+	bb     *blackboard
+}
+
+// Broadcast implements bcast.Node following the schedule above.
+func (n *finderNode) Broadcast(t *bcast.Transcript) uint64 {
+	round := t.CompleteRounds()
+	switch {
+	case round == 0:
+		if n.active {
+			return 1
+		}
+		return 0
+	case round <= n.proto.ActiveCap():
+		if !n.active {
+			return 0
+		}
+		actives := activesFromTranscript(t, n.proto.N)
+		if len(actives) > n.proto.ActiveCap() {
+			return 0 // aborted
+		}
+		b := round - 1
+		if b >= len(actives) {
+			return 0 // padding beyond the actual active count
+		}
+		return n.row.Bit(actives[b])
+	default: // claim round
+		n.bb.compute(n.proto, t)
+		if n.bb.aborted {
+			return 0
+		}
+		if n.claims(n.bb.cactive) {
+			return 1
+		}
+		return 0
+	}
+}
+
+// claims reports whether this processor asserts clique membership: it is
+// in the active clique itself, or its own row has edges to at least θ of
+// the active clique.
+func (n *finderNode) claims(cactive []int) bool {
+	cnt, inClique := 0, false
+	for _, v := range cactive {
+		if v == n.id {
+			inClique = true
+			continue
+		}
+		if n.row.Bit(v) == 1 {
+			cnt++
+		}
+	}
+	if inClique {
+		return true
+	}
+	return float64(cnt) >= n.proto.theta()*float64(len(cactive))
+}
+
+// Output implements bcast.Outputter: the n-bit indicator of the recovered
+// clique (identical at every node, as Theorem B.1 promises).
+func (n *finderNode) Output(t *bcast.Transcript) bitvec.Vector {
+	set, _ := DecodeClique(t, n.proto)
+	out := bitvec.New(n.proto.N)
+	for _, v := range set {
+		out.SetBit(v, 1)
+	}
+	return out
+}
+
+// DecodeClique reads the recovered clique (the claimants of the final
+// round) from a finished transcript. ok is false if the protocol aborted
+// (nothing was recovered).
+func DecodeClique(t *bcast.Transcript, p *SampleAndSolve) (clique []int, ok bool) {
+	last := p.Rounds() - 1
+	if t.CompleteRounds() <= last {
+		return nil, false
+	}
+	for i := 0; i < p.N; i++ {
+		if t.Message(last, i) == 1 {
+			clique = append(clique, i)
+		}
+	}
+	return clique, len(clique) > 0
+}
+
+// RunOnGraph executes the protocol on a graph and returns the recovered
+// clique. seed drives the activation coins.
+func RunOnGraph(p *SampleAndSolve, g *graph.Digraph, seed uint64) ([]int, bool, error) {
+	if g.N() != p.N {
+		return nil, false, fmt.Errorf("cliquefind: graph has %d vertices, protocol expects %d", g.N(), p.N)
+	}
+	inputs := make([]bitvec.Vector, p.N)
+	for i := range inputs {
+		inputs[i] = g.Row(i)
+	}
+	res, err := bcast.RunRounds(p, inputs, seed)
+	if err != nil {
+		return nil, false, err
+	}
+	clique, ok := DecodeClique(res.Transcript, p)
+	return clique, ok, nil
+}

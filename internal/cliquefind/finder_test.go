@@ -1,0 +1,223 @@
+package cliquefind
+
+import (
+	"testing"
+
+	"repro/internal/bcast"
+	"repro/internal/bitvec"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestSampleAndSolveRecoversPlantedClique(t *testing.T) {
+	r := rng.New(1)
+	const n, k = 96, 48
+	p, err := NewSampleAndSolve(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	success := 0
+	const trials = 8
+	for trial := 0; trial < trials; trial++ {
+		g, clique, err := graph.SamplePlanted(n, k, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := RunOnGraph(p, g, r.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok && SameSet(got, clique) {
+			success++
+		}
+	}
+	// Theorem B.1 promises success probability >= 1 - 1/n²; at n=96 a
+	// single failure across 8 trials would already be surprising.
+	if success < trials-1 {
+		t.Fatalf("recovered the exact clique in only %d/%d trials", success, trials)
+	}
+}
+
+func TestSampleAndSolveRoundsBudget(t *testing.T) {
+	// Theorem B.1: O(n/k · polylog n) rounds. Check the concrete schedule:
+	// 2 + ceil(2·n·min(1, log²n/k)).
+	p, err := NewSampleAndSolve(1024, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// log2(1024)=10, p = 100/512 ≈ 0.195, cap = ceil(2*1024*0.195) = 400.
+	if got := p.ActiveCap(); got != 400 {
+		t.Fatalf("ActiveCap = %d, want 400", got)
+	}
+	if p.Rounds() != 402 {
+		t.Fatalf("Rounds = %d, want 402", p.Rounds())
+	}
+	// Rounds shrink as k grows (the n/k scaling).
+	pBig, err := NewSampleAndSolve(1024, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pBig.Rounds() >= p.Rounds() {
+		t.Fatalf("rounds did not shrink with k: %d vs %d", pBig.Rounds(), p.Rounds())
+	}
+}
+
+func TestSampleAndSolveNoRecoveryOnRandomGraph(t *testing.T) {
+	// On A_rand the active subgraph has only O(log n) cliques, far below
+	// MinClique, so the protocol must decline to output a clique.
+	r := rng.New(2)
+	const n, k = 96, 48
+	p, err := NewSampleAndSolve(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		g := graph.SampleRand(n, r)
+		got, ok, err := RunOnGraph(p, g, r.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("protocol claimed clique %v on a random graph", got)
+		}
+	}
+}
+
+func TestSampleAndSolveLowActivationFails(t *testing.T) {
+	// With a tiny activation probability the active clique cannot reach
+	// MinClique; the protocol reports failure rather than a wrong clique.
+	r := rng.New(3)
+	const n, k = 64, 32
+	p := &SampleAndSolve{N: n, K: k, P: 0.02}
+	g, _, err := graph.SamplePlanted(n, k, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := RunOnGraph(p, g, r.Uint64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("protocol claimed success despite starving activation")
+	}
+}
+
+func TestSampleAndSolveAbortOnOveractivation(t *testing.T) {
+	// With p < 1/2 there is a positive chance that more than 2np
+	// processors activate; scan seeds until it happens and check the abort
+	// path recovers nothing.
+	r := rng.New(4)
+	const n, k = 12, 6
+	p := &SampleAndSolve{N: n, K: k, P: 0.3, MinClique: 1}
+	g, _, err := graph.SamplePlanted(n, k, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawAbort := false
+	for seed := uint64(0); seed < 400 && !sawAbort; seed++ {
+		inputs := make([]bitvec.Vector, n)
+		for i := range inputs {
+			inputs[i] = g.Row(i)
+		}
+		res, err := bcast.RunRounds(p, inputs, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		actives := activesFromTranscript(res.Transcript, n)
+		if len(actives) > p.ActiveCap() {
+			sawAbort = true
+			if _, ok := DecodeClique(res.Transcript, p); ok {
+				t.Fatal("protocol recovered a clique despite aborting")
+			}
+		}
+	}
+	if !sawAbort {
+		t.Skip("no seed within budget triggered over-activation")
+	}
+}
+
+func TestSampleAndSolveOutputsAgreeAcrossNodes(t *testing.T) {
+	r := rng.New(5)
+	const n, k = 32, 16
+	p := &SampleAndSolve{N: n, K: k, P: 1, MinClique: 10}
+	g, clique, err := graph.SamplePlanted(n, k, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]bitvec.Vector, n)
+	for i := range inputs {
+		inputs[i] = g.Row(i)
+	}
+	res, err := bcast.RunRounds(p, inputs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := res.Outputs()
+	for i := 1; i < n; i++ {
+		if !outs[i].Equal(outs[0]) {
+			t.Fatalf("node %d output differs from node 0 — Theorem B.1 requires agreement", i)
+		}
+	}
+	// The indicator must match the planted clique.
+	if got := outs[0].Ones(); !SameSet(got, clique) {
+		t.Fatalf("output indicator %v, want planted %v", got, clique)
+	}
+}
+
+func TestSampleAndSolveConcurrentEngineAgrees(t *testing.T) {
+	r := rng.New(6)
+	const n, k = 32, 16
+	p := &SampleAndSolve{N: n, K: k, P: 1, MinClique: 10}
+	g, _, err := graph.SamplePlanted(n, k, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]bitvec.Vector, n)
+	for i := range inputs {
+		inputs[i] = g.Row(i)
+	}
+	a, err := bcast.RunRounds(p, inputs, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bcast.RunConcurrent(p, inputs, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Transcript.Equal(b.Transcript) {
+		t.Fatal("clique finder transcript differs across engines")
+	}
+}
+
+func TestRunOnGraphSizeMismatch(t *testing.T) {
+	p, err := NewSampleAndSolve(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunOnGraph(p, graph.New(11), 1); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestNewSampleAndSolveValidates(t *testing.T) {
+	if _, err := NewSampleAndSolve(1, 1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := NewSampleAndSolve(10, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewSampleAndSolve(10, 11); err == nil {
+		t.Fatal("k>n accepted")
+	}
+}
+
+func TestDecodeCliqueIncompleteTranscript(t *testing.T) {
+	p, err := NewSampleAndSolve(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := bcast.NewTranscript(10, 1)
+	if _, ok := DecodeClique(tr, p); ok {
+		t.Fatal("decoded a clique from an empty transcript")
+	}
+}

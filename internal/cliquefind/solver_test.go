@@ -1,0 +1,113 @@
+package cliquefind
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestLargestCliqueExactPathMatchesMaxClique(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 10; trial++ {
+		g := graph.SampleRand(30, r)
+		got := LargestClique(g)
+		want := g.MaxClique()
+		if len(got) != len(want) {
+			t.Fatalf("exact path size %d, MaxClique size %d", len(got), len(want))
+		}
+		if !g.IsClique(got) {
+			t.Fatal("exact path returned a non-clique")
+		}
+	}
+}
+
+func TestLargestCliqueGreedyFindsPlanted(t *testing.T) {
+	r := rng.New(2)
+	const n, k = 150, 30
+	for trial := 0; trial < 5; trial++ {
+		g, clique, err := graph.SamplePlanted(n, k, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := LargestClique(g)
+		if !g.IsClique(got) {
+			t.Fatal("greedy returned a non-clique")
+		}
+		if Overlap(got, clique) < k-2 {
+			t.Fatalf("greedy clique %v overlaps planted %v in only %d vertices",
+				got, clique, Overlap(got, clique))
+		}
+	}
+}
+
+func TestGreedyCliqueOnRandomGraphIsSmall(t *testing.T) {
+	r := rng.New(3)
+	g := graph.SampleRand(200, r)
+	got := LargestClique(g)
+	if !g.IsClique(got) {
+		t.Fatal("greedy returned a non-clique")
+	}
+	if len(got) > 12 {
+		t.Fatalf("greedy found clique of size %d on random graph", len(got))
+	}
+}
+
+func TestRecoverByNeighborhood(t *testing.T) {
+	r := rng.New(4)
+	const n, k = 120, 30
+	g, clique, err := graph.SamplePlanted(n, k, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the recoverer only 2/3 of the planted clique as seed.
+	seed := clique[:20]
+	recovered := RecoverByNeighborhood(g, seed, 0.9)
+	sort.Ints(recovered)
+	if !SameSet(recovered, clique) {
+		t.Fatalf("recovered %v, want planted %v", recovered, clique)
+	}
+}
+
+func TestRecoverByNeighborhoodEmptySeed(t *testing.T) {
+	g := graph.New(5)
+	if got := RecoverByNeighborhood(g, nil, 0.9); got != nil {
+		t.Fatalf("empty seed recovered %v", got)
+	}
+}
+
+func TestSameSet(t *testing.T) {
+	if !SameSet([]int{3, 1, 2}, []int{1, 2, 3}) {
+		t.Fatal("permuted sets not equal")
+	}
+	if SameSet([]int{1, 2}, []int{1, 3}) {
+		t.Fatal("different sets reported equal")
+	}
+	if SameSet([]int{1}, []int{1, 1}) {
+		t.Fatal("different lengths reported equal")
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	if got := Overlap([]int{1, 2, 3}, []int{2, 3, 4}); got != 2 {
+		t.Fatalf("Overlap = %d", got)
+	}
+	if got := Overlap(nil, []int{1}); got != 0 {
+		t.Fatalf("Overlap with empty = %d", got)
+	}
+}
+
+func TestNewPlantedInstance(t *testing.T) {
+	r := rng.New(5)
+	inst, err := NewPlantedInstance(50, 10, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Graph.IsClique(inst.Clique) {
+		t.Fatal("instance clique not a clique")
+	}
+	if _, err := NewPlantedInstance(5, 10, r); err == nil {
+		t.Fatal("invalid instance parameters accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package cliquefind
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bcast"
+	"repro/internal/rng"
+)
+
+func TestWideDegreeDetectorMatchesNarrow(t *testing.T) {
+	// The paper's footnote: one BCAST(log n) round carries log n BCAST(1)
+	// rounds. The wide detector and its narrow J=log n counterpart must
+	// have matching advantage up to sampling noise.
+	r := rng.New(1)
+	const n, k, trials = 256, 64, 30
+	wide, narrow, err := WideNarrowGap(n, k, trials, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wide-narrow) > 0.25 {
+		t.Fatalf("wide advantage %v vs narrow %v — models should match", wide, narrow)
+	}
+	if wide < 0.7 {
+		t.Fatalf("wide detector advantage %v too weak at k=%d", wide, k)
+	}
+}
+
+func TestWideDegreeDetectorShape(t *testing.T) {
+	d := &WideDegreeDetector{N: 256, K: 32}
+	if d.Rounds() != 1 {
+		t.Fatalf("rounds = %d", d.Rounds())
+	}
+	if d.MessageBits() != 8 {
+		t.Fatalf("message width %d, want 8 for n=256", d.MessageBits())
+	}
+	if d.EquivalentNarrowRounds() != 8 {
+		t.Fatalf("equivalent narrow rounds %d", d.EquivalentNarrowRounds())
+	}
+}
+
+func TestWideDegreeDetectorBlindAtSmallK(t *testing.T) {
+	r := rng.New(2)
+	const n, k, trials = 256, 4, 40
+	d := &WideDegreeDetector{N: n, K: k}
+	rep, err := MeasureDetector(d, n, k, trials, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total-degree statistics cannot see a k=4 clique in n=256: the
+	// planted surplus k²/4 = 4 edges is far below the Θ(n) noise.
+	if rep.Advantage() > 0.35 {
+		t.Fatalf("wide detector advantage %v at tiny k", rep.Advantage())
+	}
+}
+
+func TestWideDegreeDecideNeedsRound(t *testing.T) {
+	d := &WideDegreeDetector{N: 8, K: 2}
+	tr := bcast.NewTranscript(8, d.MessageBits())
+	if _, err := d.Decide(tr); err == nil {
+		t.Fatal("decided without a round")
+	}
+}
+
+func TestLogOfN(t *testing.T) {
+	if logOfN(256) != 8 || logOfN(257) != 9 {
+		t.Fatalf("logOfN wrong: %v, %v", logOfN(256), logOfN(257))
+	}
+}

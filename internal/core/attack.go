@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bcast"
+	"repro/internal/bitvec"
+	"repro/internal/f2"
+	"repro/internal/rng"
+)
+
+// Attack is a BCAST protocol that, after running on per-processor input
+// strings, renders a global verdict: true means "these inputs look like
+// PRG outputs", false means "these inputs look uniform". Every processor
+// can compute the verdict locally from the shared transcript.
+type Attack interface {
+	bcast.Protocol
+	// Decide renders the verdict from a finished transcript.
+	Decide(t *bcast.Transcript) (bool, error)
+}
+
+// RankAttack is the Theorem 8.1 distinguisher made effective: over k+1
+// rounds each processor broadcasts its first k+1 input bits; the stacked
+// n×(k+1) matrix is then tested for rank ≤ k.
+//
+// Why it works: every full PRG output (x, xᵀM) lies in the k-dimensional
+// row space of [I_k | M], so any k+1 coordinates of it lie in a projection
+// of that space, of dimension ≤ k — the broadcast matrix always has rank
+// ≤ k under the PRG. Under truly uniform inputs the matrix is uniform and
+// has full rank k+1 except with probability ≤ 2^{k+1−n}. This is exactly
+// the paper's "the transcript must be one of 2^{nk} options" consistency
+// test, specialized to the linear generator where consistency is a rank
+// condition (checkable in polynomial time rather than by enumeration).
+type RankAttack struct {
+	// N is the number of processors.
+	N int
+	// K is the seed length of the PRG under attack.
+	K int
+}
+
+var _ Attack = (*RankAttack)(nil)
+
+// Name implements bcast.Protocol.
+func (a *RankAttack) Name() string { return fmt.Sprintf("rank-attack(k=%d)", a.K) }
+
+// MessageBits implements bcast.Protocol; the attack runs in BCAST(1).
+func (a *RankAttack) MessageBits() int { return 1 }
+
+// Rounds implements bcast.Protocol: k+1 rounds, the O(k) of Theorem 8.1.
+func (a *RankAttack) Rounds() int { return a.K + 1 }
+
+// NewNode implements bcast.Protocol. Input is the processor's (allegedly
+// pseudorandom) string; the node broadcasts its first k+1 bits.
+func (a *RankAttack) NewNode(_ int, input bitvec.Vector, _ *rng.Stream) bcast.Node {
+	sent := 0
+	return bcast.NodeFunc(func(*bcast.Transcript) uint64 {
+		b := input.Bit(sent)
+		sent++
+		return b
+	})
+}
+
+// Decide implements Attack: true iff the broadcast matrix has rank ≤ k.
+func (a *RankAttack) Decide(t *bcast.Transcript) (bool, error) {
+	if t.CompleteRounds() < a.Rounds() {
+		return false, fmt.Errorf("core: rank attack needs %d rounds, transcript has %d", a.Rounds(), t.CompleteRounds())
+	}
+	m := f2.New(a.N, a.K+1)
+	for i := 0; i < a.N; i++ {
+		for r := 0; r <= a.K; r++ {
+			m.Set(i, r, t.Message(r, i))
+		}
+	}
+	return m.Rank() <= a.K, nil
+}
+
+// ToyConsistencyAttack breaks the toy PRG: over k+1 rounds each processor
+// broadcasts its whole (k+1)-bit string (x_i, y_i); the verdict is whether
+// a single vector b exists with x_i·b = y_i for every i — a linear system
+// solved by Gaussian elimination. PRG outputs are always consistent (b is
+// the hidden vector); uniform inputs are consistent with probability about
+// 2^{k−n}. This instantiates the paper's generic seed-space enumeration
+// (2^{nk} transcript options) as an efficient algebraic test.
+type ToyConsistencyAttack struct {
+	// N is the number of processors.
+	N int
+	// K is the toy PRG's seed length.
+	K int
+}
+
+var _ Attack = (*ToyConsistencyAttack)(nil)
+
+// Name implements bcast.Protocol.
+func (a *ToyConsistencyAttack) Name() string { return fmt.Sprintf("toy-consistency(k=%d)", a.K) }
+
+// MessageBits implements bcast.Protocol.
+func (a *ToyConsistencyAttack) MessageBits() int { return 1 }
+
+// Rounds implements bcast.Protocol: the k+1 bits of each processor.
+func (a *ToyConsistencyAttack) Rounds() int { return a.K + 1 }
+
+// NewNode implements bcast.Protocol.
+func (a *ToyConsistencyAttack) NewNode(_ int, input bitvec.Vector, _ *rng.Stream) bcast.Node {
+	sent := 0
+	return bcast.NodeFunc(func(*bcast.Transcript) uint64 {
+		b := input.Bit(sent)
+		sent++
+		return b
+	})
+}
+
+// Decide implements Attack: true iff the system {x_i·b = y_i} has a
+// solution b.
+func (a *ToyConsistencyAttack) Decide(t *bcast.Transcript) (bool, error) {
+	if t.CompleteRounds() < a.Rounds() {
+		return false, fmt.Errorf("core: toy attack needs %d rounds, transcript has %d", a.Rounds(), t.CompleteRounds())
+	}
+	sys := f2.New(a.N, a.K)
+	rhs := bitvec.New(a.N)
+	for i := 0; i < a.N; i++ {
+		for c := 0; c < a.K; c++ {
+			sys.Set(i, c, t.Message(c, i))
+		}
+		rhs.SetBit(i, t.Message(a.K, i))
+	}
+	_, ok := sys.Solve(rhs)
+	return ok, nil
+}
+
+// RunAttack executes the attack protocol on the given inputs and returns
+// its verdict.
+func RunAttack(a Attack, inputs []bitvec.Vector, seed uint64) (bool, error) {
+	res, err := bcast.RunRounds(a, inputs, seed)
+	if err != nil {
+		return false, err
+	}
+	return a.Decide(res.Transcript)
+}
+
+// AttackReport summarizes an attack's acceptance statistics over repeated
+// trials on both input distributions.
+type AttackReport struct {
+	// AcceptPRG is the fraction of PRG-input trials judged "pseudorandom".
+	AcceptPRG float64
+	// AcceptUniform is the fraction of uniform-input trials judged
+	// "pseudorandom".
+	AcceptUniform float64
+	// Trials is the per-distribution trial count.
+	Trials int
+}
+
+// Advantage returns the distinguishing advantage witnessed:
+// |AcceptPRG − AcceptUniform|.
+func (r AttackReport) Advantage() float64 {
+	return abs(r.AcceptPRG - r.AcceptUniform)
+}
+
+// MeasureAttack runs the attack `trials` times against each of the two
+// input samplers and reports acceptance rates. samplePRG and sampleUniform
+// must produce one full input set (n strings) per call.
+func MeasureAttack(a Attack, samplePRG, sampleUniform func(r *rng.Stream) ([]bitvec.Vector, error), trials int, r *rng.Stream) (AttackReport, error) {
+	rep := AttackReport{Trials: trials}
+	okPRG, okUni := 0, 0
+	for i := 0; i < trials; i++ {
+		in, err := samplePRG(r)
+		if err != nil {
+			return rep, fmt.Errorf("sample prg inputs: %w", err)
+		}
+		verdict, err := RunAttack(a, in, r.Uint64())
+		if err != nil {
+			return rep, fmt.Errorf("attack on prg inputs: %w", err)
+		}
+		if verdict {
+			okPRG++
+		}
+		in, err = sampleUniform(r)
+		if err != nil {
+			return rep, fmt.Errorf("sample uniform inputs: %w", err)
+		}
+		verdict, err = RunAttack(a, in, r.Uint64())
+		if err != nil {
+			return rep, fmt.Errorf("attack on uniform inputs: %w", err)
+		}
+		if verdict {
+			okUni++
+		}
+	}
+	rep.AcceptPRG = float64(okPRG) / float64(trials)
+	rep.AcceptUniform = float64(okUni) / float64(trials)
+	return rep, nil
+}

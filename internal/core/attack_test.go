@@ -1,0 +1,224 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bcast"
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+func TestRankAttackAlwaysAcceptsPRG(t *testing.T) {
+	r := rng.New(1)
+	g := FullPRG{K: 6, M: 20}
+	attack := &RankAttack{N: 40, K: 6}
+	for trial := 0; trial < 30; trial++ {
+		outs, _, err := g.Generate(40, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verdict, err := RunAttack(attack, outs, r.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !verdict {
+			t.Fatal("rank attack rejected genuine PRG outputs — soundness broken")
+		}
+	}
+}
+
+func TestRankAttackRejectsUniform(t *testing.T) {
+	r := rng.New(2)
+	attack := &RankAttack{N: 40, K: 6}
+	accepted := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		outs := UniformInputs(40, 20, r)
+		verdict, err := RunAttack(attack, outs, r.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if verdict {
+			accepted++
+		}
+	}
+	// Under uniform inputs the n×(k+1) matrix fails to be full rank with
+	// probability about 2^{k+1-n} = 2^{-33}; zero acceptances expected.
+	if accepted > 2 {
+		t.Fatalf("rank attack accepted %d/%d uniform inputs", accepted, trials)
+	}
+}
+
+func TestRankAttackAdvantageNearOne(t *testing.T) {
+	// Theorem 8.1's shape: the O(k)-round attack distinguishes with all
+	// but exponentially small probability.
+	r := rng.New(3)
+	g := FullPRG{K: 5, M: 16}
+	attack := &RankAttack{N: 30, K: 5}
+	rep, err := MeasureAttack(attack,
+		func(s *rng.Stream) ([]bitvec.Vector, error) {
+			outs, _, err := g.Generate(30, s)
+			return outs, err
+		},
+		func(s *rng.Stream) ([]bitvec.Vector, error) {
+			return UniformInputs(30, 16, s), nil
+		},
+		100, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Advantage() < 0.95 {
+		t.Fatalf("rank attack advantage %v, want near 1 (acceptPRG=%v acceptU=%v)",
+			rep.Advantage(), rep.AcceptPRG, rep.AcceptUniform)
+	}
+}
+
+func TestRankAttackRoundsAreLinearInK(t *testing.T) {
+	for _, k := range []int{4, 8, 16, 32} {
+		a := &RankAttack{N: 64, K: k}
+		if a.Rounds() != k+1 {
+			t.Fatalf("attack rounds %d for k=%d", a.Rounds(), k)
+		}
+	}
+}
+
+func TestToyConsistencyAttackAcceptsToyPRG(t *testing.T) {
+	r := rng.New(4)
+	g := ToyPRG{K: 7}
+	attack := &ToyConsistencyAttack{N: 20, K: 7}
+	for trial := 0; trial < 30; trial++ {
+		outs, _, err := g.Generate(20, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verdict, err := RunAttack(attack, outs, r.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !verdict {
+			t.Fatal("consistency attack rejected genuine toy PRG outputs")
+		}
+	}
+}
+
+func TestToyConsistencyAttackRejectsUniform(t *testing.T) {
+	r := rng.New(5)
+	attack := &ToyConsistencyAttack{N: 20, K: 7}
+	accepted := 0
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		outs := UniformInputs(20, 8, r)
+		verdict, err := RunAttack(attack, outs, r.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if verdict {
+			accepted++
+		}
+	}
+	// Acceptance probability under uniform ≈ 2^{k-n} = 2^{-13}.
+	if accepted > 3 {
+		t.Fatalf("consistency attack accepted %d/%d uniform inputs", accepted, trials)
+	}
+}
+
+func TestToyConsistencyMatchesBruteForce(t *testing.T) {
+	// For tiny parameters, compare the algebraic test against literally
+	// enumerating all 2^k candidate secrets — the paper's generic
+	// distinguisher.
+	r := rng.New(6)
+	const n, k = 5, 4
+	attack := &ToyConsistencyAttack{N: n, K: k}
+	for trial := 0; trial < 200; trial++ {
+		inputs := UniformInputs(n, k+1, r)
+		got, err := RunAttack(attack, inputs, r.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := false
+		for b := uint64(0); b < 1<<k && !want; b++ {
+			allMatch := true
+			for _, in := range inputs {
+				x := in.Slice(0, k).Uint64()
+				if dotBits(x, b) != in.Bit(k) {
+					allMatch = false
+					break
+				}
+			}
+			want = allMatch
+		}
+		if got != want {
+			t.Fatalf("algebraic test %v, brute force %v", got, want)
+		}
+	}
+}
+
+func TestAttackDecideNeedsFullTranscript(t *testing.T) {
+	tr := bcast.NewTranscript(10, 1)
+	if _, err := (&RankAttack{N: 10, K: 4}).Decide(tr); err == nil {
+		t.Fatal("rank attack decided on empty transcript")
+	}
+	if _, err := (&ToyConsistencyAttack{N: 10, K: 4}).Decide(tr); err == nil {
+		t.Fatal("toy attack decided on empty transcript")
+	}
+}
+
+func TestAttackReportAdvantage(t *testing.T) {
+	rep := AttackReport{AcceptPRG: 0.98, AcceptUniform: 0.03}
+	if got := rep.Advantage(); got < 0.94 || got > 0.96 {
+		t.Fatalf("advantage = %v", got)
+	}
+}
+
+func TestSeedCrossoverShape(t *testing.T) {
+	// E14 ablation in miniature: with seed k and the k+1-round rank
+	// attack, security must fail; but the *same inputs* restricted to
+	// fewer broadcast columns (j <= k rounds) give a j-column matrix that
+	// is full-rank under BOTH distributions — no advantage. This is the
+	// upper/lower bound crossover at j ≈ k.
+	r := rng.New(7)
+	const n, k, m = 40, 8, 24
+	g := FullPRG{K: k, M: m}
+
+	rankOfFirstCols := func(outs []bitvec.Vector, cols int) int {
+		rows := make([]bitvec.Vector, len(outs))
+		for i, o := range outs {
+			rows[i] = o.Slice(0, cols)
+		}
+		mt, err := StackOutputs(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mt.Rank()
+	}
+
+	distinguishedAt := func(cols int) bool {
+		outs, _, err := g.Generate(n, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uni := UniformInputs(n, m, r)
+		return rankOfFirstCols(outs, cols) != rankOfFirstCols(uni, cols)
+	}
+
+	// Below the crossover: j = k columns — both matrices have rank k whp.
+	below := 0
+	for trial := 0; trial < 50; trial++ {
+		if distinguishedAt(k) {
+			below++
+		}
+	}
+	// Above the crossover: j = k+1 columns — PRG rank k vs uniform k+1.
+	above := 0
+	for trial := 0; trial < 50; trial++ {
+		if distinguishedAt(k + 1) {
+			above++
+		}
+	}
+	if below > 5 {
+		t.Fatalf("rank statistic distinguished %d/50 times below the crossover", below)
+	}
+	if above < 45 {
+		t.Fatalf("rank statistic distinguished only %d/50 times above the crossover", above)
+	}
+}

@@ -1,0 +1,240 @@
+// Package core implements the paper's primary contribution: the first
+// pseudorandom generator that fools the Broadcast Congested Clique.
+//
+// The generator (Theorem 1.3) is linear algebra over GF(2). A hidden random
+// matrix M ∈ {0,1}^{k×(m−k)} is assembled from broadcast bits; each
+// processor holding a private seed x ∈ {0,1}^k outputs the m-bit string
+// (x, xᵀM). Theorem 5.4 shows no j-round BCAST(1) protocol with
+// j ≤ k/10 can tell these outputs from uniform except with probability
+// O(j·n/2^{k/9}); Theorem 8.1 shows the seed length is optimal: some
+// O(k)-round protocol breaks any PRG with per-processor seed k. The package
+// provides:
+//
+//   - the toy generator (one extra bit, shared vector b — Sections 5/6),
+//   - the full generator and its BCAST(1) construction protocol,
+//   - the derandomization transform of Corollary 7.1,
+//   - the seed-optimality attack of Theorem 8.1 (rank distinguisher), and
+//   - the support-concentration quantities of Claims 5 and 8.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/f2"
+	"repro/internal/rng"
+)
+
+// ToyPRG is the single-extra-bit generator of Sections 5 and 6: with a
+// shared uniform b ∈ {0,1}^k, a processor holding seed x ∈ {0,1}^k outputs
+// (x, x·b) ∈ {0,1}^{k+1}. Theorem 5.3: these outputs fool any
+// (k/10)-round BCAST(1) protocol up to statistical distance O(j·n·2^{−k/9}).
+type ToyPRG struct {
+	// K is the per-processor seed length (and the length of b).
+	K int
+}
+
+// Validate checks the parameters.
+func (g ToyPRG) Validate() error {
+	if g.K < 1 {
+		return fmt.Errorf("core: toy PRG needs seed length >= 1, got %d", g.K)
+	}
+	return nil
+}
+
+// OutputBits returns the per-processor output length, k+1.
+func (g ToyPRG) OutputBits() int { return g.K + 1 }
+
+// Expand computes one processor's output (x, x·b).
+func (g ToyPRG) Expand(seed, b bitvec.Vector) bitvec.Vector {
+	if seed.Len() != g.K || b.Len() != g.K {
+		panic("core: toy PRG expand length mismatch")
+	}
+	out := bitvec.New(g.K + 1)
+	out.SetRange(0, g.K, seed)
+	out.SetBit(g.K, seed.Dot(b))
+	return out
+}
+
+// Generate draws the shared vector b and n seeds, returning all n outputs
+// and the secret b. This is the paper's "case (B)" input distribution.
+func (g ToyPRG) Generate(n int, r *rng.Stream) (outputs []bitvec.Vector, secret bitvec.Vector, err error) {
+	if err := g.Validate(); err != nil {
+		return nil, bitvec.Vector{}, err
+	}
+	b := bitvec.Random(g.K, r)
+	outs := make([]bitvec.Vector, n)
+	for i := range outs {
+		outs[i] = g.Expand(bitvec.Random(g.K, r), b)
+	}
+	return outs, b, nil
+}
+
+// UniformInputs draws the paper's "case (A)": every processor receives
+// `bits` truly uniform bits.
+func UniformInputs(n, bits int, r *rng.Stream) []bitvec.Vector {
+	outs := make([]bitvec.Vector, n)
+	for i := range outs {
+		outs[i] = bitvec.Random(bits, r)
+	}
+	return outs
+}
+
+// FullPRG is the complete generator of Theorem 1.3: seeds of length K,
+// outputs of length M ≥ K+1, hidden matrix of shape K×(M−K).
+type FullPRG struct {
+	// K is the per-processor seed length.
+	K int
+	// M is the per-processor output length (the paper's m).
+	M int
+}
+
+// Validate checks the parameters.
+func (g FullPRG) Validate() error {
+	if g.K < 1 {
+		return fmt.Errorf("core: full PRG needs seed length >= 1, got %d", g.K)
+	}
+	if g.M <= g.K {
+		return fmt.Errorf("core: full PRG needs output length m=%d > seed length k=%d", g.M, g.K)
+	}
+	return nil
+}
+
+// HiddenBits returns the number of shared random bits in the hidden
+// matrix, k·(m−k).
+func (g FullPRG) HiddenBits() int { return g.K * (g.M - g.K) }
+
+// ShareBitsPerProcessor returns how many bits each of n processors must
+// contribute to assemble the hidden matrix: ⌈k(m−k)/n⌉. For m = O(n) and
+// k = Ω(log n) this is O(k), giving the theorem's O(k) total seed and
+// O(k) construction rounds in BCAST(1).
+func (g FullPRG) ShareBitsPerProcessor(n int) int {
+	return (g.HiddenBits() + n - 1) / n
+}
+
+// ConstructionRounds returns the BCAST(1) rounds needed to broadcast the
+// shares: one bit per processor per round.
+func (g FullPRG) ConstructionRounds(n int) int { return g.ShareBitsPerProcessor(n) }
+
+// Expand computes one processor's output (x, xᵀM) for a seed x of length K
+// and hidden matrix M of shape K×(M−K).
+func (g FullPRG) Expand(seed bitvec.Vector, hidden *f2.Matrix) bitvec.Vector {
+	if seed.Len() != g.K {
+		panic("core: full PRG seed length mismatch")
+	}
+	if hidden.Rows() != g.K || hidden.Cols() != g.M-g.K {
+		panic("core: full PRG hidden matrix shape mismatch")
+	}
+	return seed.Concat(hidden.VecMul(seed))
+}
+
+// Generate draws the hidden matrix and n seeds, returning all outputs and
+// the secret matrix (the paper's case (B) for Theorem 5.4).
+func (g FullPRG) Generate(n int, r *rng.Stream) (outputs []bitvec.Vector, hidden *f2.Matrix, err error) {
+	if err := g.Validate(); err != nil {
+		return nil, nil, err
+	}
+	m := f2.Random(g.K, g.M-g.K, r)
+	outs := make([]bitvec.Vector, n)
+	for i := range outs {
+		outs[i] = g.Expand(bitvec.Random(g.K, r), m)
+	}
+	return outs, m, nil
+}
+
+// StackOutputs assembles per-processor output strings into the n×m matrix
+// whose row i is processor i's string. The PRG's defining property is that
+// the *suffix block* (columns k..m−1) of this matrix has rank ≤ k.
+func StackOutputs(outputs []bitvec.Vector) (*f2.Matrix, error) {
+	return f2.FromRows(outputs)
+}
+
+// SuffixRank returns the rank of the generated block (columns k..m of the
+// stacked outputs): ≤ k for PRG outputs, min(n, m−k) with high probability
+// for uniform strings. It is the quantity the Theorem 8.1 attack measures.
+func SuffixRank(outputs []bitvec.Vector, k int) (int, error) {
+	if len(outputs) == 0 {
+		return 0, fmt.Errorf("core: no outputs to rank")
+	}
+	m := outputs[0].Len()
+	if m <= k {
+		return 0, fmt.Errorf("core: output length %d not longer than seed %d", m, k)
+	}
+	rows := make([]bitvec.Vector, len(outputs))
+	for i, o := range outputs {
+		if o.Len() != m {
+			return 0, fmt.Errorf("core: output %d has length %d, want %d", i, o.Len(), m)
+		}
+		rows[i] = o.Slice(k, m)
+	}
+	mat, err := f2.FromRows(rows)
+	if err != nil {
+		return 0, err
+	}
+	return mat.Rank(), nil
+}
+
+// SupportConcentration computes the Claim 5 statistics for an explicit
+// set D ⊆ {0,1}^{k+1} given as a membership predicate over packed inputs.
+// For every b ∈ {0,1}^k it computes N_b = |D ∩ supp(U_[b])| (the inputs of
+// D whose last bit equals x·b) and returns N_D together with the maximum
+// and mean of |N_b/N_D − ½|. Claim 5: when |D| ≥ 2^{k/2}, all but a
+// 2^{−k/8} fraction of b have deviation < 2^{−k/8}.
+func SupportConcentration(k int, member func(x uint64) bool) (nd int, maxDev, meanDev float64) {
+	if k < 1 || k > 26 {
+		panic(fmt.Sprintf("core: SupportConcentration needs 1 <= k <= 26, got %d", k))
+	}
+	size := uint64(1) << uint(k)
+	// Enumerate D once, bucketing members by their low-k bits and top bit.
+	type entry struct {
+		x   uint64 // low k bits
+		top uint64 // appended bit
+	}
+	var members []entry
+	for x := uint64(0); x < size; x++ {
+		if member(x) {
+			members = append(members, entry{x: x, top: 0})
+		}
+		if member(x | size) {
+			members = append(members, entry{x: x, top: 1})
+		}
+	}
+	nd = len(members)
+	if nd == 0 {
+		return 0, 0, 0
+	}
+	total := 0.0
+	for b := uint64(0); b < size; b++ {
+		nb := 0
+		for _, e := range members {
+			if dotBits(e.x, b) == e.top {
+				nb++
+			}
+		}
+		dev := abs(float64(nb)/float64(nd) - 0.5)
+		if dev > maxDev {
+			maxDev = dev
+		}
+		total += dev
+	}
+	return nd, maxDev, total / float64(size)
+}
+
+func dotBits(x, b uint64) uint64 {
+	v := x & b
+	// Parity of v.
+	v ^= v >> 32
+	v ^= v >> 16
+	v ^= v >> 8
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return v & 1
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

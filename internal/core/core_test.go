@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/f2"
+	"repro/internal/rng"
+)
+
+func TestToyExpandLastBitIsDot(t *testing.T) {
+	r := rng.New(1)
+	g := ToyPRG{K: 12}
+	for trial := 0; trial < 100; trial++ {
+		x := bitvec.Random(12, r)
+		b := bitvec.Random(12, r)
+		out := g.Expand(x, b)
+		if out.Len() != 13 {
+			t.Fatalf("output length %d", out.Len())
+		}
+		if !out.Slice(0, 12).Equal(x) {
+			t.Fatal("prefix is not the seed")
+		}
+		if out.Bit(12) != x.Dot(b) {
+			t.Fatal("appended bit is not x·b")
+		}
+	}
+}
+
+func TestToyGenerateConsistent(t *testing.T) {
+	r := rng.New(2)
+	g := ToyPRG{K: 10}
+	outs, secret, err := g.Generate(25, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 25 {
+		t.Fatalf("got %d outputs", len(outs))
+	}
+	for i, o := range outs {
+		if o.Bit(10) != o.Slice(0, 10).Dot(secret) {
+			t.Fatalf("output %d inconsistent with secret", i)
+		}
+	}
+}
+
+func TestToyValidate(t *testing.T) {
+	if err := (ToyPRG{K: 0}).Validate(); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, _, err := (ToyPRG{K: 0}).Generate(5, rng.New(1)); err == nil {
+		t.Fatal("Generate with K=0 did not error")
+	}
+}
+
+func TestFullValidate(t *testing.T) {
+	if err := (FullPRG{K: 5, M: 5}).Validate(); err == nil {
+		t.Fatal("m == k accepted")
+	}
+	if err := (FullPRG{K: 0, M: 5}).Validate(); err == nil {
+		t.Fatal("k == 0 accepted")
+	}
+	if err := (FullPRG{K: 5, M: 9}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullExpandLinear(t *testing.T) {
+	// x ↦ (x, xᵀM) is linear: Expand(x⊕y) = Expand(x) ⊕ Expand(y).
+	r := rng.New(3)
+	g := FullPRG{K: 8, M: 20}
+	hidden := f2.Random(8, 12, r)
+	for trial := 0; trial < 50; trial++ {
+		x, y := bitvec.Random(8, r), bitvec.Random(8, r)
+		left := g.Expand(x.Xor(y), hidden)
+		right := g.Expand(x, hidden).Xor(g.Expand(y, hidden))
+		if !left.Equal(right) {
+			t.Fatal("Expand not linear")
+		}
+	}
+}
+
+func TestFullGenerateShapes(t *testing.T) {
+	r := rng.New(4)
+	g := FullPRG{K: 6, M: 17}
+	outs, hidden, err := g.Generate(9, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hidden.Rows() != 6 || hidden.Cols() != 11 {
+		t.Fatalf("hidden shape %dx%d", hidden.Rows(), hidden.Cols())
+	}
+	for _, o := range outs {
+		if o.Len() != 17 {
+			t.Fatalf("output length %d", o.Len())
+		}
+	}
+}
+
+func TestSuffixRankLowForPRG(t *testing.T) {
+	r := rng.New(5)
+	g := FullPRG{K: 7, M: 30}
+	outs, _, err := g.Generate(50, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank, err := SuffixRank(outs, g.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank > g.K {
+		t.Fatalf("PRG suffix rank %d > k=%d", rank, g.K)
+	}
+}
+
+func TestSuffixRankHighForUniform(t *testing.T) {
+	r := rng.New(6)
+	const n, k, m = 50, 7, 30
+	outs := UniformInputs(n, m, r)
+	rank, err := SuffixRank(outs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank != m-k { // n >> m-k, so full column rank whp
+		t.Fatalf("uniform suffix rank %d, want %d", rank, m-k)
+	}
+}
+
+func TestSuffixRankErrors(t *testing.T) {
+	if _, err := SuffixRank(nil, 3); err == nil {
+		t.Fatal("empty outputs accepted")
+	}
+	outs := []bitvec.Vector{bitvec.New(4)}
+	if _, err := SuffixRank(outs, 4); err == nil {
+		t.Fatal("m <= k accepted")
+	}
+	ragged := []bitvec.Vector{bitvec.New(6), bitvec.New(7)}
+	if _, err := SuffixRank(ragged, 2); err == nil {
+		t.Fatal("ragged outputs accepted")
+	}
+}
+
+func TestHiddenBitsAndShares(t *testing.T) {
+	g := FullPRG{K: 10, M: 50}
+	if g.HiddenBits() != 400 {
+		t.Fatalf("HiddenBits = %d", g.HiddenBits())
+	}
+	if got := g.ShareBitsPerProcessor(40); got != 10 {
+		t.Fatalf("shares for n=40: %d", got)
+	}
+	if got := g.ShareBitsPerProcessor(39); got != 11 { // ceil(400/39)
+		t.Fatalf("shares for n=39: %d", got)
+	}
+	// Theorem 1.3 accounting: for m = O(n), construction rounds are O(k).
+	gBig := FullPRG{K: 16, M: 128}
+	if rounds := gBig.ConstructionRounds(128); rounds > 16 {
+		t.Fatalf("construction rounds %d exceed k for m=n", rounds)
+	}
+}
+
+func TestSupportConcentrationFullSet(t *testing.T) {
+	// D = all of {0,1}^{k+1}: every N_b is exactly half of N_D.
+	nd, maxDev, meanDev := SupportConcentration(8, func(uint64) bool { return true })
+	if nd != 1<<9 {
+		t.Fatalf("N_D = %d", nd)
+	}
+	if maxDev != 0 || meanDev != 0 {
+		t.Fatalf("full set deviations: max=%v mean=%v", maxDev, meanDev)
+	}
+}
+
+func TestSupportConcentrationEmptySet(t *testing.T) {
+	nd, maxDev, meanDev := SupportConcentration(5, func(uint64) bool { return false })
+	if nd != 0 || maxDev != 0 || meanDev != 0 {
+		t.Fatalf("empty set gave nd=%d max=%v mean=%v", nd, maxDev, meanDev)
+	}
+}
+
+func TestSupportConcentrationRandomLargeSet(t *testing.T) {
+	// Claim 5 regime: |D| >= 2^{k/2}. A random half-density set should
+	// show small deviations for most b.
+	const k = 12
+	r := rng.New(7)
+	size := uint64(1) << (k + 1)
+	member := make([]bool, size)
+	for x := range member {
+		member[x] = r.Bool()
+	}
+	nd, maxDev, meanDev := SupportConcentration(k, func(x uint64) bool { return member[x] })
+	if nd < 1<<k/2 {
+		t.Fatalf("random set too small: %d", nd)
+	}
+	if meanDev > 0.05 {
+		t.Fatalf("mean deviation %v too large for half-density D", meanDev)
+	}
+	if maxDev > 0.25 {
+		t.Fatalf("max deviation %v beyond Claim 5 regime", maxDev)
+	}
+}
+
+func TestSupportConcentrationAdversarialSmallSet(t *testing.T) {
+	// D = support of U_[b*] for a fixed b*: then N_{b*}/N_D = 1, deviation
+	// 1/2 — concentration genuinely requires D to be "un-bracketed".
+	const k = 8
+	bStar := uint64(0b10110101)
+	member := func(z uint64) bool {
+		x := z & (1<<k - 1)
+		top := z >> k
+		return dotBits(x, bStar) == top
+	}
+	_, maxDev, _ := SupportConcentration(k, member)
+	if maxDev < 0.49 {
+		t.Fatalf("adversarial D should hit deviation 1/2, got %v", maxDev)
+	}
+}
+
+func TestDotBits(t *testing.T) {
+	cases := []struct {
+		x, b, want uint64
+	}{
+		{0b101, 0b100, 1}, {0b101, 0b111, 0}, {0, ^uint64(0), 0}, {1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := dotBits(c.x, c.b); got != c.want {
+			t.Errorf("dotBits(%b,%b) = %d, want %d", c.x, c.b, got, c.want)
+		}
+	}
+}
+
+func TestUniformInputsBalanced(t *testing.T) {
+	r := rng.New(8)
+	ins := UniformInputs(200, 64, r)
+	total := 0
+	for _, v := range ins {
+		total += v.PopCount()
+	}
+	mean := float64(total) / 200
+	if math.Abs(mean-32) > 2 {
+		t.Fatalf("mean popcount %v, want about 32", mean)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/f2"
+	"repro/internal/rng"
+)
+
+// Property-based tests (testing/quick) for the PRG's algebraic invariants.
+// These are the structural facts the security and attack analyses rest
+// on, so they get adversarial random checking beyond the scenario tests.
+
+func TestQuickToyExpandDeterministic(t *testing.T) {
+	// Same (seed, b) always yields the same output.
+	f := func(seedWords, bWords [2]uint64) bool {
+		g := ToyPRG{K: 100}
+		s := rng.New(seedWords[0] ^ bWords[1])
+		x := bitvec.Random(100, s)
+		b := bitvec.Random(100, s)
+		return g.Expand(x, b).Equal(g.Expand(x, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickToyExpandRespectsSecretLinearity(t *testing.T) {
+	// Expand(x, b1 ⊕ b2) last bit = Expand(x, b1) ⊕ Expand(x, b2) last
+	// bit: bilinearity in the secret.
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		g := ToyPRG{K: 24}
+		x := bitvec.Random(24, s)
+		b1 := bitvec.Random(24, s)
+		b2 := bitvec.Random(24, s)
+		lhs := g.Expand(x, b1.Xor(b2)).Bit(24)
+		rhs := g.Expand(x, b1).Bit(24) ^ g.Expand(x, b2).Bit(24)
+		return lhs == rhs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFullExpandSeedRecovery(t *testing.T) {
+	// The seed is always readable off the output prefix — the PRG spends
+	// its seed in the clear, as the paper's construction does.
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		g := FullPRG{K: 12, M: 30}
+		hidden := f2.Random(12, 18, s)
+		x := bitvec.Random(12, s)
+		return g.Expand(x, hidden).Slice(0, 12).Equal(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOutputsAlwaysConsistentWithSomeSeed(t *testing.T) {
+	// Soundness of the rank attack from the other side: any set of
+	// genuine outputs is consistent (rank of suffix block <= k), for
+	// every n, k, m in range.
+	f := func(seed uint64, nRaw, kRaw, extraRaw uint8) bool {
+		s := rng.New(seed)
+		n := 2 + int(nRaw%30)
+		k := 1 + int(kRaw%8)
+		m := k + 1 + int(extraRaw%20)
+		g := FullPRG{K: k, M: m}
+		outs, _, err := g.Generate(n, s)
+		if err != nil {
+			return false
+		}
+		rank, err := SuffixRank(outs, k)
+		if err != nil {
+			return false
+		}
+		return rank <= k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickXorOfOutputsIsOutput(t *testing.T) {
+	// The output set of a fixed hidden matrix is a linear code: the xor
+	// of two outputs is itself a valid output (of the xored seeds). This
+	// closure property is what keeps the rank low no matter how many
+	// processors participate.
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		g := FullPRG{K: 10, M: 26}
+		hidden := f2.Random(10, 16, s)
+		x1 := bitvec.Random(10, s)
+		x2 := bitvec.Random(10, s)
+		sum := g.Expand(x1, hidden).Xor(g.Expand(x2, hidden))
+		return sum.Equal(g.Expand(x1.Xor(x2), hidden))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bcast"
+	"repro/internal/bitvec"
+	"repro/internal/f2"
+	"repro/internal/rng"
+)
+
+// ConstructionProtocol is the BCAST(1) protocol of Theorem 1.3 that turns
+// private randomness into shared pseudorandomness. Each processor's input
+// is its private random tape of k + ⌈k(m−k)/n⌉ bits: the first k bits are
+// its seed x; the remainder is its share of the hidden matrix. Over
+// ⌈k(m−k)/n⌉ rounds every processor broadcasts its share one bit per
+// round; afterwards every processor assembles the same hidden matrix M
+// from the transcript and outputs (x, xᵀM).
+type ConstructionProtocol struct {
+	// N is the number of processors.
+	N int
+	// Gen fixes the (k, m) parameters.
+	Gen FullPRG
+}
+
+var _ bcast.Protocol = (*ConstructionProtocol)(nil)
+
+// Name implements bcast.Protocol.
+func (p *ConstructionProtocol) Name() string {
+	return fmt.Sprintf("prg-construct(k=%d,m=%d)", p.Gen.K, p.Gen.M)
+}
+
+// MessageBits implements bcast.Protocol; the construction runs in BCAST(1).
+func (p *ConstructionProtocol) MessageBits() int { return 1 }
+
+// Rounds implements bcast.Protocol: ⌈k(m−k)/n⌉ rounds, which is O(k) for
+// m = O(n), matching the theorem.
+func (p *ConstructionProtocol) Rounds() int { return p.Gen.ConstructionRounds(p.N) }
+
+// InputBits returns the private tape length each processor must receive.
+func (p *ConstructionProtocol) InputBits() int {
+	return p.Gen.K + p.Gen.ShareBitsPerProcessor(p.N)
+}
+
+// Inputs draws fresh private tapes for all processors.
+func (p *ConstructionProtocol) Inputs(r *rng.Stream) []bitvec.Vector {
+	return UniformInputs(p.N, p.InputBits(), r)
+}
+
+// NewNode implements bcast.Protocol.
+func (p *ConstructionProtocol) NewNode(id int, input bitvec.Vector, _ *rng.Stream) bcast.Node {
+	return &constructionNode{proto: p, id: id, input: input}
+}
+
+type constructionNode struct {
+	proto *ConstructionProtocol
+	id    int
+	input bitvec.Vector
+	sent  int
+}
+
+// Broadcast emits the node's next share bit.
+func (n *constructionNode) Broadcast(*bcast.Transcript) uint64 {
+	b := n.input.Bit(n.proto.Gen.K + n.sent)
+	n.sent++
+	return b
+}
+
+// Output assembles the hidden matrix from the transcript and returns this
+// processor's pseudorandom string (x, xᵀM). Every processor assembles the
+// identical matrix because the transcript is shared — that is the whole
+// point of the broadcast model.
+func (n *constructionNode) Output(t *bcast.Transcript) bitvec.Vector {
+	hidden := HiddenMatrixFromTranscript(t, n.proto.Gen)
+	seed := n.input.Slice(0, n.proto.Gen.K)
+	return n.proto.Gen.Expand(seed, hidden)
+}
+
+// HiddenMatrixFromTranscript reconstructs the shared matrix M from the
+// first k·(m−k) broadcast bits in turn order (round-major, processor-minor).
+// Exposed so distinguishers and tests can rebuild the same matrix.
+func HiddenMatrixFromTranscript(t *bcast.Transcript, gen FullPRG) *f2.Matrix {
+	need := gen.HiddenBits()
+	if t.Turns() < need {
+		panic(fmt.Sprintf("core: transcript has %d bits, matrix needs %d", t.Turns(), need))
+	}
+	m := f2.New(gen.K, gen.M-gen.K)
+	for idx := 0; idx < need; idx++ {
+		row := idx / (gen.M - gen.K)
+		col := idx % (gen.M - gen.K)
+		m.Set(row, col, t.TurnMessage(idx))
+	}
+	return m
+}
+
+// TapeProtocol is a protocol whose processors consume explicit random
+// tapes instead of an online coin stream. Any randomized protocol can be
+// stated this way (read coins off the tape in order); the derandomization
+// transform of Corollary 7.1 needs this form so it can substitute
+// pseudorandom tapes for truly random ones.
+type TapeProtocol interface {
+	Name() string
+	MessageBits() int
+	Rounds() int
+	// TapeBits is the number of random bits each processor consumes.
+	TapeBits() int
+	// NewTapeNode builds processor id's logic with an explicit coin tape of
+	// TapeBits() bits.
+	NewTapeNode(id int, input bitvec.Vector, tape bitvec.Vector) bcast.Node
+}
+
+// WithTrueRandomness adapts a TapeProtocol to bcast.Protocol by drawing
+// each tape from the processor's private coin stream. This is the
+// "original algorithm" side of Corollary 7.1.
+func WithTrueRandomness(p TapeProtocol) bcast.Protocol {
+	return &trueRandomAdapter{inner: p}
+}
+
+type trueRandomAdapter struct {
+	inner TapeProtocol
+}
+
+func (a *trueRandomAdapter) Name() string     { return a.inner.Name() + "+true-coins" }
+func (a *trueRandomAdapter) MessageBits() int { return a.inner.MessageBits() }
+func (a *trueRandomAdapter) Rounds() int      { return a.inner.Rounds() }
+func (a *trueRandomAdapter) NewNode(id int, input bitvec.Vector, priv *rng.Stream) bcast.Node {
+	return a.inner.NewTapeNode(id, input, bitvec.Random(a.inner.TapeBits(), priv))
+}
+
+// Derandomized is the Corollary 7.1 transform: it wraps a TapeProtocol so
+// that each processor uses only O(k) private random bits. The first
+// ConstructionRounds rounds run the PRG construction; the remaining rounds
+// run the inner protocol on the pseudorandom tapes (x, xᵀM). For an inner
+// protocol of j = Ω(log n) rounds consuming up to O(n) random bits, choose
+// K = Θ(j): total rounds stay O(j) and by Theorem 5.4 the acceptance
+// statistics change by at most O(j·n/2^{K/9}).
+type Derandomized struct {
+	// Inner is the randomized protocol being derandomized.
+	Inner TapeProtocol
+	// N is the number of processors.
+	N int
+	// K is the PRG seed length per processor.
+	K int
+}
+
+var _ bcast.Protocol = (*Derandomized)(nil)
+
+// Gen returns the underlying generator parameters: seeds of length K
+// expanded to the inner protocol's full tape length.
+func (d *Derandomized) Gen() FullPRG { return FullPRG{K: d.K, M: d.Inner.TapeBits()} }
+
+// Name implements bcast.Protocol.
+func (d *Derandomized) Name() string { return d.Inner.Name() + "+prg" }
+
+// MessageBits implements bcast.Protocol. The construction phase uses single
+// bits; if the inner protocol is wider, its width dominates and the
+// construction bits ride in the low bit of wider messages.
+func (d *Derandomized) MessageBits() int { return d.Inner.MessageBits() }
+
+// ConstructionRounds returns the preamble length.
+func (d *Derandomized) ConstructionRounds() int { return d.Gen().ConstructionRounds(d.N) }
+
+// Rounds implements bcast.Protocol: preamble plus the inner rounds.
+func (d *Derandomized) Rounds() int { return d.ConstructionRounds() + d.Inner.Rounds() }
+
+// RandomBitsPerProcessor reports the private randomness actually consumed:
+// K seed bits plus the matrix share — O(K) when TapeBits = O(n·K/n) = O(K)
+// per the theorem's accounting.
+func (d *Derandomized) RandomBitsPerProcessor() int {
+	return d.K + d.Gen().ShareBitsPerProcessor(d.N)
+}
+
+// NewNode implements bcast.Protocol.
+func (d *Derandomized) NewNode(id int, input bitvec.Vector, priv *rng.Stream) bcast.Node {
+	return &derandNode{
+		outer: d,
+		id:    id,
+		input: input,
+		tape:  bitvec.Random(d.RandomBitsPerProcessor(), priv),
+	}
+}
+
+type derandNode struct {
+	outer *Derandomized
+	id    int
+	input bitvec.Vector
+	tape  bitvec.Vector // k seed bits followed by the matrix share
+	sent  int
+	inner bcast.Node
+}
+
+func (n *derandNode) Broadcast(t *bcast.Transcript) uint64 {
+	cr := n.outer.ConstructionRounds()
+	if n.sent < cr {
+		b := n.tape.Bit(n.outer.K + n.sent)
+		n.sent++
+		return b
+	}
+	n.sent++
+	return n.innerNode(t).Broadcast(t.Suffix(cr * t.N()))
+}
+
+// innerNode lazily builds the inner processor once the hidden matrix is
+// available in the transcript.
+func (n *derandNode) innerNode(t *bcast.Transcript) bcast.Node {
+	if n.inner == nil {
+		gen := n.outer.Gen()
+		hidden := HiddenMatrixFromTranscript(t, gen)
+		pseudoTape := gen.Expand(n.tape.Slice(0, n.outer.K), hidden)
+		n.inner = n.outer.Inner.NewTapeNode(n.id, n.input, pseudoTape)
+	}
+	return n.inner
+}
+
+// Output forwards the inner node's output when it has one.
+func (n *derandNode) Output(t *bcast.Transcript) bitvec.Vector {
+	cr := n.outer.ConstructionRounds()
+	inner := n.innerNode(t)
+	if o, ok := inner.(bcast.Outputter); ok {
+		return o.Output(t.Suffix(cr * t.N()))
+	}
+	return bitvec.Vector{}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bcast"
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+func TestConstructionProtocolShape(t *testing.T) {
+	p := &ConstructionProtocol{N: 32, Gen: FullPRG{K: 8, M: 40}}
+	// Hidden bits = 8*32 = 256; shares = ceil(256/32) = 8 rounds.
+	if p.Rounds() != 8 {
+		t.Fatalf("rounds = %d, want 8", p.Rounds())
+	}
+	if p.InputBits() != 16 {
+		t.Fatalf("input bits = %d, want 16", p.InputBits())
+	}
+	if p.MessageBits() != 1 {
+		t.Fatal("construction must run in BCAST(1)")
+	}
+}
+
+func TestConstructionProtocolOutputs(t *testing.T) {
+	r := rng.New(1)
+	p := &ConstructionProtocol{N: 24, Gen: FullPRG{K: 6, M: 30}}
+	inputs := p.Inputs(r)
+	res, err := bcast.RunRounds(p, inputs, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := res.Outputs()
+	hidden := HiddenMatrixFromTranscript(res.Transcript, p.Gen)
+	for i, o := range outs {
+		if o.Len() != 30 {
+			t.Fatalf("output %d length %d", i, o.Len())
+		}
+		seed := inputs[i].Slice(0, 6)
+		if !o.Slice(0, 6).Equal(seed) {
+			t.Fatalf("output %d prefix is not the seed", i)
+		}
+		if !o.Slice(6, 30).Equal(hidden.VecMul(seed)) {
+			t.Fatalf("output %d suffix is not seedᵀM", i)
+		}
+	}
+	// The defining low-rank property.
+	rank, err := SuffixRank(outs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank > 6 {
+		t.Fatalf("construction outputs have suffix rank %d > k", rank)
+	}
+}
+
+func TestConstructionConcurrentMatchesSequential(t *testing.T) {
+	r := rng.New(2)
+	p := &ConstructionProtocol{N: 16, Gen: FullPRG{K: 5, M: 21}}
+	inputs := p.Inputs(r)
+	a, err := bcast.RunRounds(p, inputs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bcast.RunConcurrent(p, inputs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Transcript.Equal(b.Transcript) {
+		t.Fatal("construction transcript differs across engines")
+	}
+	ao, bo := a.Outputs(), b.Outputs()
+	for i := range ao {
+		if !ao[i].Equal(bo[i]) {
+			t.Fatalf("output %d differs across engines", i)
+		}
+	}
+}
+
+func TestHiddenMatrixFromTranscriptPanicsShort(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short transcript accepted")
+		}
+	}()
+	tr := bcast.NewTranscript(4, 1)
+	HiddenMatrixFromTranscript(tr, FullPRG{K: 4, M: 12})
+}
+
+// tapeCoins is a TapeProtocol whose processors broadcast their tape bits
+// verbatim, one per round, and output the whole tape. It stands in for
+// "any randomized protocol" in derandomization tests: its transcript IS
+// its randomness consumption.
+type tapeCoins struct {
+	rounds int
+	bits   int
+}
+
+func (p *tapeCoins) Name() string     { return "tape-coins" }
+func (p *tapeCoins) MessageBits() int { return 1 }
+func (p *tapeCoins) Rounds() int      { return p.rounds }
+func (p *tapeCoins) TapeBits() int    { return p.bits }
+func (p *tapeCoins) NewTapeNode(_ int, _ bitvec.Vector, tape bitvec.Vector) bcast.Node {
+	sent := 0
+	return &tapeCoinsNode{tape: tape, sent: &sent}
+}
+
+type tapeCoinsNode struct {
+	tape bitvec.Vector
+	sent *int
+}
+
+func (n *tapeCoinsNode) Broadcast(*bcast.Transcript) uint64 {
+	b := n.tape.Bit(*n.sent % n.tape.Len())
+	*n.sent++
+	return b
+}
+
+func (n *tapeCoinsNode) Output(*bcast.Transcript) bitvec.Vector { return n.tape }
+
+func TestWithTrueRandomnessRuns(t *testing.T) {
+	inner := &tapeCoins{rounds: 5, bits: 16}
+	p := WithTrueRandomness(inner)
+	inputs := UniformInputs(8, 1, rng.New(3))
+	res, err := bcast.RunRounds(p, inputs, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transcript.CompleteRounds() != 5 {
+		t.Fatalf("rounds = %d", res.Transcript.CompleteRounds())
+	}
+}
+
+func TestDerandomizedShape(t *testing.T) {
+	inner := &tapeCoins{rounds: 6, bits: 64}
+	d := &Derandomized{Inner: inner, N: 32, K: 8}
+	// Hidden bits = 8*(64-8) = 448; shares = ceil(448/32) = 14.
+	if d.ConstructionRounds() != 14 {
+		t.Fatalf("construction rounds = %d", d.ConstructionRounds())
+	}
+	if d.Rounds() != 20 {
+		t.Fatalf("total rounds = %d", d.Rounds())
+	}
+	if d.RandomBitsPerProcessor() != 8+14 {
+		t.Fatalf("random bits per processor = %d", d.RandomBitsPerProcessor())
+	}
+}
+
+func TestDerandomizedSavesRandomness(t *testing.T) {
+	// Corollary 7.1 accounting: the inner protocol consumes TapeBits bits;
+	// the derandomized version consumes O(K). Verify the gap is real.
+	inner := &tapeCoins{rounds: 10, bits: 256}
+	d := &Derandomized{Inner: inner, N: 256, K: 16}
+	if d.RandomBitsPerProcessor() >= inner.TapeBits() {
+		t.Fatalf("derandomization used %d bits, inner used %d", d.RandomBitsPerProcessor(), inner.TapeBits())
+	}
+	// Rounds overhead is the construction preamble, O(K) for m = O(n).
+	if d.Rounds()-inner.Rounds() > 2*d.K {
+		t.Fatalf("round overhead %d exceeds O(k)", d.Rounds()-inner.Rounds())
+	}
+}
+
+func TestDerandomizedInnerSeesPseudorandomTape(t *testing.T) {
+	r := rng.New(4)
+	inner := &tapeCoins{rounds: 12, bits: 24}
+	d := &Derandomized{Inner: inner, N: 12, K: 6}
+	inputs := UniformInputs(d.N, 1, r)
+	res, err := bcast.RunRounds(d, inputs, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := d.ConstructionRounds()
+	hidden := HiddenMatrixFromTranscript(res.Transcript.Prefix(cr*d.N), d.Gen())
+	outs := res.Outputs()
+	for i := 0; i < d.N; i++ {
+		tape := outs[i] // tapeCoins outputs its tape
+		if tape.Len() != inner.TapeBits() {
+			t.Fatalf("node %d tape length %d", i, tape.Len())
+		}
+		// The tape must be a valid PRG expansion under the shared matrix.
+		seed := tape.Slice(0, d.K)
+		if !tape.Slice(d.K, tape.Len()).Equal(hidden.VecMul(seed)) {
+			t.Fatalf("node %d tape is not (x, xᵀM)", i)
+		}
+		// And the inner phase of the transcript must replay the tape.
+		for round := 0; round < inner.Rounds(); round++ {
+			if res.Transcript.Message(cr+round, i) != tape.Bit(round%tape.Len()) {
+				t.Fatalf("node %d inner round %d did not broadcast its tape bit", i, round)
+			}
+		}
+	}
+}
+
+func TestDerandomizedMatchesConcurrentEngine(t *testing.T) {
+	inner := &tapeCoins{rounds: 4, bits: 18}
+	d := &Derandomized{Inner: inner, N: 9, K: 6}
+	inputs := UniformInputs(d.N, 1, rng.New(5))
+	a, err := bcast.RunRounds(d, inputs, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bcast.RunConcurrent(d, inputs, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Transcript.Equal(b.Transcript) {
+		t.Fatal("derandomized transcript differs across engines")
+	}
+}
+
+func TestDerandomizedTapeBitsLookUniform(t *testing.T) {
+	// The first generated tape bit (coordinate K) across many runs should
+	// be close to a fair coin — a sanity check that the PRG is not
+	// producing constant or obviously biased bits.
+	inner := &tapeCoins{rounds: 1, bits: 20}
+	d := &Derandomized{Inner: inner, N: 10, K: 8}
+	r := rng.New(6)
+	const trials = 400
+	ones := 0
+	for trial := 0; trial < trials; trial++ {
+		inputs := UniformInputs(d.N, 1, r)
+		res, err := bcast.RunRounds(d, inputs, r.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ones += int(res.Outputs()[0].Bit(d.K))
+	}
+	rate := float64(ones) / trials
+	if math.Abs(rate-0.5) > 0.1 {
+		t.Fatalf("first pseudorandom bit rate %v, want near 0.5", rate)
+	}
+}

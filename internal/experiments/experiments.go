@@ -1,0 +1,114 @@
+// Package experiments contains the reproduction harness: one entry point
+// per experiment in DESIGN.md's index (E1..E14), each regenerating the
+// empirical counterpart of a theorem, lemma, or claim in the paper. Every
+// experiment returns a Table whose rows print "measured vs predicted" so
+// EXPERIMENTS.md can be regenerated mechanically (cmd/experiments) and the
+// root benchmarks can assert the shapes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Config controls experiment scale and reproducibility.
+type Config struct {
+	// Seed drives every sampler; equal seeds give identical tables.
+	Seed uint64
+	// Quick shrinks trial counts for CI-speed runs; shapes remain visible
+	// but error bars widen.
+	Quick bool
+}
+
+// trials scales a full-run trial count down in quick mode.
+func (c Config) trials(full int) int {
+	if c.Quick {
+		t := full / 5
+		if t < 4 {
+			t = 4
+		}
+		return t
+	}
+	return full
+}
+
+// Table is one experiment's rendered result.
+type Table struct {
+	// ID is the experiment id (E1..E14).
+	ID string
+	// Title names the reproduced statement.
+	Title string
+	// Claim restates what the paper asserts.
+	Claim string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells (already formatted).
+	Rows [][]string
+	// Shape states the qualitative property that must hold and whether it
+	// did.
+	Shape string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as GitHub-flavoured markdown.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(w, "Paper claim: %s\n\n", t.Claim)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | "))
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	if t.Shape != "" {
+		fmt.Fprintf(w, "\nShape: %s\n", t.Shape)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment pairs an id with its runner.
+type Experiment struct {
+	// ID is the DESIGN.md experiment id.
+	ID string
+	// Title names the reproduced statement.
+	Title string
+	// Run executes the experiment.
+	Run func(cfg Config) (*Table, error)
+}
+
+// All returns every experiment in index order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "E1", Title: "Lemma 1.10: single-coordinate restriction", Run: E1SingleBitLemma},
+		{ID: "E2", Title: "Lemma 1.8: clique-restriction distance", Run: E2CliqueRestriction},
+		{ID: "E3", Title: "Theorem 1.6 / Cor 1.7: one-round planted clique", Run: E3OneRoundPlantedClique},
+		{ID: "E4", Title: "Theorem 4.1: multi-round planted clique", Run: E4MultiRoundPlantedClique},
+		{ID: "E5", Title: "Lemma 5.2: Fourier inequality", Run: E5FourierLemma},
+		{ID: "E6", Title: "Theorem 5.3: toy PRG fools low rounds", Run: E6ToyPRG},
+		{ID: "E7", Title: "Theorem 1.3/5.4: full PRG", Run: E7FullPRG},
+		{ID: "E8", Title: "Theorem 1.4: average-case rank hardness", Run: E8AverageCaseRank},
+		{ID: "E9", Title: "Theorem 1.5: time hierarchy", Run: E9TimeHierarchy},
+		{ID: "E10", Title: "Theorem 8.1: seed-length lower bound", Run: E10SeedLowerBound},
+		{ID: "E11", Title: "Theorem A.1: Newman in BCAST(1)", Run: E11Newman},
+		{ID: "E12", Title: "Theorem B.1: planted clique recovery", Run: E12CliqueRecovery},
+		{ID: "E13", Title: "Claims 5/8: support concentration", Run: E13SupportConcentration},
+		{ID: "E14", Title: "Ablation: seed-size security crossover", Run: E14SeedCrossover},
+		{ID: "E15", Title: "Lemmas 4.3/4.4 and Claim 3 (conditioned domains)", Run: E15RestrictedLemmas},
+		{ID: "E16", Title: "BCAST(1) vs BCAST(log n) exchange rate", Run: E16WideMessages},
+		{ID: "E17", Title: "Discussion workloads: connectivity, triangles", Run: E17DiscussionProblems},
+	}
+}
+
+// f formats a float compactly for table cells.
+func f(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// d formats an int.
+func d(v int) string { return fmt.Sprintf("%d", v) }

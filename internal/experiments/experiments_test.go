@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick executes every registered experiment in quick
+// mode with a fixed seed and checks structural invariants plus the shape
+// verdicts: an experiment declaring a violation means the reproduction
+// disagrees with the paper and must fail loudly.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	cfg := Config{Seed: 7, Quick: true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			table, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if table.ID != e.ID {
+				t.Fatalf("table id %q, want %q", table.ID, e.ID)
+			}
+			if len(table.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+			for i, row := range table.Rows {
+				if len(row) != len(table.Columns) {
+					t.Fatalf("row %d has %d cells, header has %d", i, len(row), len(table.Columns))
+				}
+			}
+			if strings.Contains(table.Shape, "VIOLATION") || strings.Contains(table.Shape, "MISMATCH") {
+				t.Fatalf("%s shape check failed: %s", e.ID, table.Shape)
+			}
+		})
+	}
+}
+
+func TestExperimentsDeterministicGivenSeed(t *testing.T) {
+	cfg := Config{Seed: 11, Quick: true}
+	// E5 is cheap and fully exact: two runs must agree cell for cell.
+	a, err := E5FourierLemma(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := E5FourierLemma(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatal("row counts differ between identical runs")
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatalf("cell (%d,%d) differs: %q vs %q", i, j, a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	table := &Table{
+		ID:      "EX",
+		Title:   "demo",
+		Claim:   "claim text",
+		Columns: []string{"a", "b"},
+		Shape:   "holds",
+	}
+	table.AddRow("1", "2")
+	var sb strings.Builder
+	table.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"### EX", "claim text", "| a | b |", "| 1 | 2 |", "Shape: holds"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConfigTrials(t *testing.T) {
+	full := Config{}
+	quick := Config{Quick: true}
+	if full.trials(100) != 100 {
+		t.Fatal("full config rescaled trials")
+	}
+	if got := quick.trials(100); got != 20 {
+		t.Fatalf("quick trials = %d, want 20", got)
+	}
+	if got := quick.trials(10); got != 4 {
+		t.Fatalf("quick floor = %d, want 4", got)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := make(map[string]bool)
+	for _, e := range All() {
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"} {
+		if !ids[want] {
+			t.Fatalf("experiment %s missing from registry", want)
+		}
+	}
+}

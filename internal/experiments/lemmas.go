@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/fourier"
+	"repro/internal/lowerbound"
+	"repro/internal/rng"
+)
+
+// E1SingleBitLemma measures the Lemma 1.10 quantity
+// E_i ‖f(U) − f(U^[i])‖ exactly (full enumeration) for random Boolean
+// functions across n, and reports the ratio to 1/√n: the lemma asserts the
+// ratio is bounded by a constant (the proof gives 2).
+func E1SingleBitLemma(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E1",
+		Title: "Lemma 1.10 single-coordinate restriction distance",
+		Claim: "E_i ||f(U) − f(U^[i])|| ≤ O(1/√n) for every Boolean f",
+		Columns: []string{"n", "functions", "mean E_i||·||", "max E_i||·||",
+			"bound 2/√n", "mean ratio to 1/√n"},
+	}
+	funcs := cfg.trials(40)
+	r := rng.New(cfg.Seed)
+	violated := false
+	for _, n := range []int{8, 12, 16, 20} {
+		mean, max := 0.0, 0.0
+		for i := 0; i < funcs; i++ {
+			fn := fourier.FromBool(n, func(uint64) bool { return r.Bool() })
+			v := fn.InfluenceBound()
+			mean += v
+			if v > max {
+				max = v
+			}
+		}
+		mean /= float64(funcs)
+		bound := lowerbound.Lemma110Bound(n)
+		if max > bound {
+			violated = true
+		}
+		t.AddRow(d(n), d(funcs), f(mean), f(max), f(bound), f(mean*math.Sqrt(float64(n))))
+	}
+	if violated {
+		t.Shape = "VIOLATION: some function exceeded the 2/√n bound"
+	} else {
+		t.Shape = "holds: every tested f stays below 2/√n; ratio to 1/√n stays O(1)"
+	}
+	return t, nil
+}
+
+// E2CliqueRestriction measures the Lemma 1.8 quantity
+// E_C ‖f(U) − f(U^C)‖ exactly over all size-k subsets, for random f,
+// confirming the O(k/√n) growth.
+func E2CliqueRestriction(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E2",
+		Title: "Lemma 1.8 subset-restriction distance",
+		Claim: "E_C ||f(U) − f(U^C)|| ≤ O(k/√n) for k ≤ n^{1/4}",
+		Columns: []string{"n", "k", "functions", "mean E_C||·||", "bound 2k/√n",
+			"ratio to k/√n"},
+	}
+	funcs := cfg.trials(15)
+	r := rng.New(cfg.Seed + 1)
+	violated := false
+	for _, n := range []int{12, 16} {
+		for _, k := range []int{1, 2, 3} {
+			mean := 0.0
+			for i := 0; i < funcs; i++ {
+				fn := fourier.FromBool(n, func(uint64) bool { return r.Bool() })
+				mean += fn.SubsetRestrictionDistance(k, dist.ForEachSubset)
+			}
+			mean /= float64(funcs)
+			bound := lowerbound.Lemma18Bound(n, k)
+			if mean > bound {
+				violated = true
+			}
+			t.AddRow(d(n), d(k), d(funcs), f(mean), f(bound),
+				f(mean*math.Sqrt(float64(n))/float64(k)))
+		}
+	}
+	if violated {
+		t.Shape = "VIOLATION: mean exceeded 2k/√n"
+	} else {
+		t.Shape = "holds: linear growth in k, 1/√n decay in n"
+	}
+	return t, nil
+}
+
+// E5FourierLemma verifies Lemma 5.2 exactly for random and structured
+// Boolean functions: Σ_b ‖f(U_{k+1}) − f(U_[b])‖² ≤ E[f].
+func E5FourierLemma(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E5",
+		Title:   "Lemma 5.2 spectral bound",
+		Claim:   "Σ_b ||f(U_{k+1}) − f(U_[b])||² ≤ E[f] for every Boolean f",
+		Columns: []string{"k", "function", "lhs", "rhs = E[f]", "slack"},
+	}
+	r := rng.New(cfg.Seed + 2)
+	mk := map[string]func(n int) *fourier.Func{
+		"random": func(n int) *fourier.Func {
+			return fourier.FromBool(n, func(uint64) bool { return r.Bool() })
+		},
+		"majority": func(n int) *fourier.Func {
+			return fourier.FromBool(n, func(x uint64) bool { return bits.OnesCount64(x) > n/2 })
+		},
+		"parity": func(n int) *fourier.Func {
+			return fourier.FromBool(n, func(x uint64) bool { return bits.OnesCount64(x)&1 == 1 })
+		},
+		"last-bit": func(n int) *fourier.Func {
+			return fourier.FromBool(n, func(x uint64) bool { return x>>(n-1)&1 == 1 })
+		},
+	}
+	violated := false
+	for _, k := range []int{6, 10, 14} {
+		for _, name := range []string{"random", "majority", "parity", "last-bit"} {
+			fn := mk[name](k + 1)
+			lhs, rhs := fn.Lemma52()
+			if lhs > rhs+1e-9 {
+				violated = true
+			}
+			t.AddRow(d(k), name, fmt.Sprintf("%.6f", lhs), fmt.Sprintf("%.6f", rhs), fmt.Sprintf("%.6f", rhs-lhs))
+		}
+	}
+	if violated {
+		t.Shape = "VIOLATION: the lemma is a theorem; this is an implementation bug"
+	} else {
+		t.Shape = "holds exactly for every tested function (it is a theorem)"
+	}
+	return t, nil
+}
+
+// E13SupportConcentration measures Claims 5/8: for large D ⊆ {0,1}^{k+1},
+// N_b/N_D concentrates at 1/2 with deviation ~2^{−k/8}.
+func E13SupportConcentration(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E13",
+		Title: "Claims 5/8 support concentration",
+		Claim: "for |D| ≥ 2^{k/2}, |N_b/N_D − 1/2| < 2^{−k/8} for all but a 2^{−k/8} fraction of b",
+		Columns: []string{"k", "density of D", "N_D", "mean dev", "max dev",
+			"claim scale 2^{−k/8}"},
+	}
+	r := rng.New(cfg.Seed + 3)
+	shapeOK := true
+	for _, k := range []int{8, 10, 12} {
+		for _, density := range []float64{0.5, 0.1} {
+			size := uint64(1) << uint(k+1)
+			member := make([]bool, size)
+			for x := range member {
+				member[x] = r.Bernoulli(density)
+			}
+			nd, maxDev, meanDev := core.SupportConcentration(k, func(x uint64) bool { return member[x] })
+			scale := math.Exp2(-float64(k) / 8)
+			// The mean deviation should be well within the claim's scale;
+			// the max may exceed it on the permitted small fraction of b.
+			if meanDev > scale {
+				shapeOK = false
+			}
+			t.AddRow(d(k), f(density), d(nd), fmt.Sprintf("%.5f", meanDev),
+				fmt.Sprintf("%.5f", maxDev), fmt.Sprintf("%.5f", scale))
+		}
+	}
+	if shapeOK {
+		t.Shape = "holds: mean deviation well below 2^{−k/8} and shrinking with k"
+	} else {
+		t.Shape = "VIOLATION: mean deviation above the claim scale"
+	}
+	return t, nil
+}

@@ -1,0 +1,285 @@
+package experiments
+
+import (
+	"repro/internal/bcast"
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/f2"
+	"repro/internal/lowerbound"
+	"repro/internal/rng"
+)
+
+// revealBitsProtocol broadcasts input bits round-robin: the strongest
+// oblivious low-round probe (it publishes raw input bits), used to measure
+// transcript TV under PRG vs uniform inputs.
+type revealBitsProtocol struct {
+	rounds int
+}
+
+var _ bcast.Protocol = (*revealBitsProtocol)(nil)
+
+func (p *revealBitsProtocol) Name() string     { return "reveal-bits" }
+func (p *revealBitsProtocol) MessageBits() int { return 1 }
+func (p *revealBitsProtocol) Rounds() int      { return p.rounds }
+func (p *revealBitsProtocol) NewNode(_ int, input bitvec.Vector, _ *rng.Stream) bcast.Node {
+	sent := 0
+	return bcast.NodeFunc(func(*bcast.Transcript) uint64 {
+		b := input.Bit(sent % input.Len())
+		sent++
+		return b
+	})
+}
+
+// E6ToyPRG measures the toy PRG two ways: (a) the transcript TV of a
+// low-round revealing protocol under case A (uniform) vs case B (PRG),
+// which Theorem 5.3 says vanishes as k grows; and (b) the (k+1)-round
+// consistency attack, which breaks it completely — bracketing the security
+// of the generator from both sides.
+func E6ToyPRG(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E6",
+		Title: "toy PRG (x, x·b) vs uniform",
+		Claim: "j ≤ k/10 rounds distinguish with probability O(j·n·2^{−k/9}); k+1 rounds suffice to break",
+		Columns: []string{"n", "k", "probe", "rounds", "measured",
+			"Thm 5.3 bound"},
+	}
+	r := rng.New(cfg.Seed + 7)
+	samples := cfg.trials(20000)
+	const n = 8
+	reveal := &revealBitsProtocol{rounds: 1}
+
+	// Estimator noise floor: TV of two independent case-A sample sets.
+	fam := lowerbound.ToyPRGFamily{N: n, K: 10}
+	floor, err := lowerbound.EstimateTranscriptTV(reveal, fam.SampleReference, fam.SampleReference, n, samples, r)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow(d(n), "-", "estimator noise floor", "1", f(floor), "-")
+
+	prev := 2.0
+	decayOK := true
+	for _, k := range []int{4, 8, 12, 16} {
+		famK := lowerbound.ToyPRGFamily{N: n, K: k}
+		tv, err := lowerbound.EstimateTranscriptTV(reveal,
+			func(s *rng.Stream) []bitvec.Vector { return lowerbound.SampleMixture(famK, s) },
+			famK.SampleReference, n, samples, r)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(d(n), d(k), "1-round reveal transcript TV", "1", f(tv),
+			f(lowerbound.Theorem53Bound(n, k, 1)))
+		if tv > prev+0.05 {
+			decayOK = false
+		}
+		prev = tv
+
+		// The breaking side needs more processors than seed bits: with
+		// n ≤ k the system x_i·b = y_i is underdetermined and uniform
+		// inputs are consistent too (false-accept rate 2^{k−n}).
+		nAttack := k + 16
+		gen := core.ToyPRG{K: k}
+		attack := &core.ToyConsistencyAttack{N: nAttack, K: k}
+		rep, err := core.MeasureAttack(attack,
+			func(s *rng.Stream) ([]bitvec.Vector, error) {
+				outs, _, err := gen.Generate(nAttack, s)
+				return outs, err
+			},
+			func(s *rng.Stream) ([]bitvec.Vector, error) {
+				return core.UniformInputs(nAttack, k+1, s), nil
+			},
+			cfg.trials(100), r)
+		if err != nil {
+			return nil, err
+		}
+		if rep.Advantage() < 0.9 {
+			decayOK = false
+		}
+		t.AddRow(d(nAttack), d(k), "consistency attack advantage", d(k+1), f(rep.Advantage()), "breaks (Thm 8.1)")
+	}
+	if decayOK {
+		t.Shape = "holds: low-round TV decays toward the noise floor as k grows; k+1 rounds always break"
+	} else {
+		t.Shape = "SHAPE MISMATCH: low-round distance grew with k"
+	}
+	return t, nil
+}
+
+// E7FullPRG exercises Theorem 1.3's construction: round/seed accounting,
+// the defining low-rank property, and the fooling/breaking contrast for
+// the full generator.
+func E7FullPRG(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E7",
+		Title: "full PRG (x, xᵀM) construction and security",
+		Claim: "O(k) private bits and O(k·(m−k)/n) = O(k) rounds give m pseudorandom bits per processor, secure for Ω(k) rounds",
+		Columns: []string{"n", "k", "m", "construction rounds", "seed bits/proc",
+			"suffix rank (≤k?)", "rank-attack advantage"},
+	}
+	r := rng.New(cfg.Seed + 8)
+	trials := cfg.trials(60)
+	shapeOK := true
+	cases := []struct{ n, k, m int }{
+		{64, 8, 64}, {64, 8, 128}, {64, 16, 128}, {128, 16, 256},
+	}
+	for _, c := range cases {
+		gen := core.FullPRG{K: c.k, M: c.m}
+		proto := &core.ConstructionProtocol{N: c.n, Gen: gen}
+
+		// Run the construction once to confirm the low-rank invariant.
+		inputs := proto.Inputs(r)
+		res, err := bcast.RunRounds(proto, inputs, r.Uint64())
+		if err != nil {
+			return nil, err
+		}
+		rank, err := core.SuffixRank(res.Outputs(), c.k)
+		if err != nil {
+			return nil, err
+		}
+		lowRank := rank <= c.k
+		if !lowRank {
+			shapeOK = false
+		}
+
+		attack := &core.RankAttack{N: c.n, K: c.k}
+		rep, err := core.MeasureAttack(attack,
+			func(s *rng.Stream) ([]bitvec.Vector, error) {
+				outs, _, err := gen.Generate(c.n, s)
+				return outs, err
+			},
+			func(s *rng.Stream) ([]bitvec.Vector, error) {
+				return core.UniformInputs(c.n, c.m, s), nil
+			},
+			trials, r)
+		if err != nil {
+			return nil, err
+		}
+		if rep.Advantage() < 0.9 {
+			shapeOK = false
+		}
+		if proto.Rounds() > 4*c.k {
+			shapeOK = false // construction rounds must stay O(k) for m=O(n)
+		}
+		t.AddRow(d(c.n), d(c.k), d(c.m), d(proto.Rounds()), d(proto.InputBits()),
+			boolCell(lowRank), f(rep.Advantage()))
+	}
+	if shapeOK {
+		t.Shape = "holds: O(k) rounds and seed; outputs rank-≤k; (k+1)-round attack breaks with advantage ≈ 1"
+	} else {
+		t.Shape = "SHAPE MISMATCH"
+	}
+	return t, nil
+}
+
+func boolCell(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "NO"
+}
+
+// E10SeedLowerBound demonstrates Theorem 8.1: every seed-k PRG is broken
+// by an O(k)-round protocol — here the rank attack against our own
+// generator, with acceptance statistics on both sides.
+func E10SeedLowerBound(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E10",
+		Title: "seed-length optimality attack",
+		Claim: "a (k+1)-round protocol accepts every PRG run and rejects uniform inputs except with probability 2^{−Ω(n)}",
+		Columns: []string{"n", "k", "m", "attack rounds", "accept PRG",
+			"accept uniform", "advantage"},
+	}
+	r := rng.New(cfg.Seed + 9)
+	trials := cfg.trials(100)
+	shapeOK := true
+	for _, k := range []int{4, 6, 8, 12} {
+		n, m := 48, 3*k
+		gen := core.FullPRG{K: k, M: m}
+		attack := &core.RankAttack{N: n, K: k}
+		rep, err := core.MeasureAttack(attack,
+			func(s *rng.Stream) ([]bitvec.Vector, error) {
+				outs, _, err := gen.Generate(n, s)
+				return outs, err
+			},
+			func(s *rng.Stream) ([]bitvec.Vector, error) {
+				return core.UniformInputs(n, m, s), nil
+			},
+			trials, r)
+		if err != nil {
+			return nil, err
+		}
+		if rep.AcceptPRG < 1 || rep.AcceptUniform > 0.05 {
+			shapeOK = false
+		}
+		t.AddRow(d(n), d(k), d(m), d(attack.Rounds()), f(rep.AcceptPRG),
+			f(rep.AcceptUniform), f(rep.Advantage()))
+	}
+	if shapeOK {
+		t.Shape = "holds: perfect completeness, exponentially small false-accept, O(k) rounds"
+	} else {
+		t.Shape = "SHAPE MISMATCH"
+	}
+	return t, nil
+}
+
+// E14SeedCrossover is the ablation pinning the Θ(k) security threshold:
+// the rank statistic over the first j broadcast coordinates has zero
+// advantage for j ≤ k and full advantage for j ≥ k+1.
+func E14SeedCrossover(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E14",
+		Title: "security crossover at j = k columns",
+		Claim: "Theorems 1.3 and 8.1 are tight: j ≤ k broadcast bits reveal nothing, j = k+1 break the generator",
+		Columns: []string{"n", "k", "columns j", "distinguish rate",
+			"expected"},
+	}
+	r := rng.New(cfg.Seed + 10)
+	trials := cfg.trials(60)
+	const n, k, m = 48, 8, 24
+	gen := core.FullPRG{K: k, M: m}
+	shapeOK := true
+	for _, j := range []int{k - 2, k - 1, k, k + 1, k + 2} {
+		hits := 0
+		for i := 0; i < trials; i++ {
+			outs, _, err := gen.Generate(n, r)
+			if err != nil {
+				return nil, err
+			}
+			uni := core.UniformInputs(n, m, r)
+			if rankOfPrefix(outs, j) != rankOfPrefix(uni, j) {
+				hits++
+			}
+		}
+		rate := float64(hits) / float64(trials)
+		want := "≈0 (below crossover)"
+		if j > k {
+			want = "≈1 (above crossover)"
+		}
+		if j <= k && rate > 0.2 {
+			shapeOK = false
+		}
+		if j > k && rate < 0.8 {
+			shapeOK = false
+		}
+		t.AddRow(d(n), d(k), d(j), f(rate), want)
+	}
+	if shapeOK {
+		t.Shape = "holds: sharp 0→1 transition exactly between j = k and j = k+1"
+	} else {
+		t.Shape = "SHAPE MISMATCH: transition not at k"
+	}
+	return t, nil
+}
+
+// rankOfPrefix stacks the first j coordinates of each string and returns
+// the GF(2) rank.
+func rankOfPrefix(rows []bitvec.Vector, j int) int {
+	rs := make([]bitvec.Vector, len(rows))
+	for i, row := range rows {
+		rs[i] = row.Slice(0, j)
+	}
+	m, err := f2.FromRows(rs)
+	if err != nil {
+		panic(err) // rows are same-length by construction
+	}
+	return m.Rank()
+}

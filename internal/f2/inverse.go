@@ -1,0 +1,132 @@
+package f2
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// Inverse returns the inverse of a square full-rank matrix, or ok=false
+// when the matrix is singular. Gauss-Jordan on the augmented block
+// [m | I].
+func (m *Matrix) Inverse() (inv *Matrix, ok bool) {
+	if m.rows != m.cols {
+		panic("f2: Inverse on non-square matrix")
+	}
+	n := m.rows
+	aug := New(n, 2*n)
+	for i := 0; i < n; i++ {
+		for _, j := range m.row[i].Ones() {
+			aug.Set(i, j, 1)
+		}
+		aug.Set(i, n+i, 1)
+	}
+	rank := eliminate(aug.row, aug.cols)
+	_ = rank
+	// After full elimination, the left block must be the identity.
+	inv = New(n, n)
+	for i := 0; i < n; i++ {
+		lead := aug.row[i].Ones()
+		if len(lead) == 0 || lead[0] != i {
+			return nil, false
+		}
+		for j := 0; j < n; j++ {
+			inv.Set(i, j, aug.At(i, n+j))
+		}
+	}
+	return inv, true
+}
+
+// Det returns the determinant over GF(2): 1 iff the square matrix has
+// full rank.
+func (m *Matrix) Det() uint64 {
+	if m.rows != m.cols {
+		panic("f2: Det on non-square matrix")
+	}
+	if m.Rank() == m.rows {
+		return 1
+	}
+	return 0
+}
+
+// NullspaceBasis returns a basis of {x : m·x = 0}, each vector of length
+// Cols(). The dimension is Cols() − Rank() by rank-nullity; tests assert
+// that identity.
+func (m *Matrix) NullspaceBasis() []bitvec.Vector {
+	ech, _ := m.RowEchelon()
+	// Identify pivot columns.
+	pivotOf := make(map[int]int, m.rows) // column -> echelon row
+	isPivot := make([]bool, m.cols)
+	for i := 0; i < ech.rows; i++ {
+		ones := ech.row[i].Ones()
+		if len(ones) == 0 {
+			continue
+		}
+		pivotOf[ones[0]] = i
+		isPivot[ones[0]] = true
+	}
+	var basis []bitvec.Vector
+	for free := 0; free < m.cols; free++ {
+		if isPivot[free] {
+			continue
+		}
+		// Back-substitute with the free variable set to 1.
+		x := bitvec.New(m.cols)
+		x.SetBit(free, 1)
+		for col, row := range pivotOf {
+			if ech.row[row].Bit(free) == 1 {
+				x.SetBit(col, 1)
+			}
+		}
+		basis = append(basis, x)
+	}
+	return basis
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler: magic byte, uint32
+// rows and cols, then each row's packed words.
+func (m *Matrix) MarshalBinary() ([]byte, error) {
+	out := []byte{0xF2}
+	out = binary.LittleEndian.AppendUint32(out, uint32(m.rows))
+	out = binary.LittleEndian.AppendUint32(out, uint32(m.cols))
+	for i := range m.row {
+		rowBytes, err := m.row[i].MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rowBytes...)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (m *Matrix) UnmarshalBinary(data []byte) error {
+	if len(data) < 9 || data[0] != 0xF2 {
+		return fmt.Errorf("f2: invalid matrix encoding")
+	}
+	rows := int(binary.LittleEndian.Uint32(data[1:5]))
+	cols := int(binary.LittleEndian.Uint32(data[5:9]))
+	if rows < 0 || cols < 0 {
+		return fmt.Errorf("f2: negative dimensions in encoding")
+	}
+	rowLen := 5 + 8*((cols+63)/64)
+	if len(data) != 9+rows*rowLen {
+		return fmt.Errorf("f2: %dx%d matrix needs %d bytes, got %d", rows, cols, 9+rows*rowLen, len(data))
+	}
+	decoded := New(rows, cols)
+	off := 9
+	for i := 0; i < rows; i++ {
+		var v bitvec.Vector
+		if err := v.UnmarshalBinary(data[off : off+rowLen]); err != nil {
+			return fmt.Errorf("f2: row %d: %w", i, err)
+		}
+		if v.Len() != cols {
+			return fmt.Errorf("f2: row %d has %d bits, want %d", i, v.Len(), cols)
+		}
+		decoded.row[i] = v
+		off += rowLen
+	}
+	*m = *decoded
+	return nil
+}

@@ -1,0 +1,149 @@
+package f2
+
+import (
+	"encoding"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+var (
+	_ encoding.BinaryMarshaler   = (*Matrix)(nil)
+	_ encoding.BinaryUnmarshaler = (*Matrix)(nil)
+)
+
+func TestInverseOfIdentity(t *testing.T) {
+	inv, ok := Identity(8).Inverse()
+	if !ok || !inv.Equal(Identity(8)) {
+		t.Fatal("identity inverse wrong")
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	found := 0
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + r.Intn(20)
+		m := Random(n, n, r)
+		inv, ok := m.Inverse()
+		if !ok {
+			if m.Rank() == n {
+				t.Fatal("full-rank matrix reported singular")
+			}
+			continue
+		}
+		found++
+		if m.Rank() != n {
+			t.Fatal("singular matrix reported invertible")
+		}
+		if !m.Mul(inv).Equal(Identity(n)) || !inv.Mul(m).Equal(Identity(n)) {
+			t.Fatal("m·m⁻¹ != I")
+		}
+	}
+	if found == 0 {
+		t.Fatal("no invertible matrices in 60 draws — improbable")
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	m := New(3, 3) // zero matrix
+	if _, ok := m.Inverse(); ok {
+		t.Fatal("zero matrix inverted")
+	}
+}
+
+func TestDetMatchesFullRank(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + r.Intn(15)
+		m := Random(n, n, r)
+		want := uint64(0)
+		if m.FullRank() {
+			want = 1
+		}
+		if got := m.Det(); got != want {
+			t.Fatalf("Det = %d, FullRank implies %d", got, want)
+		}
+	}
+}
+
+func TestNullspaceRankNullity(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 60; trial++ {
+		rows := 1 + r.Intn(15)
+		cols := 1 + r.Intn(15)
+		m := Random(rows, cols, r)
+		basis := m.NullspaceBasis()
+		if len(basis) != cols-m.Rank() {
+			t.Fatalf("nullity %d, want %d (rank-nullity)", len(basis), cols-m.Rank())
+		}
+		for _, v := range basis {
+			if !m.MulVec(v).IsZero() {
+				t.Fatal("basis vector not in nullspace")
+			}
+		}
+		// Basis vectors are independent.
+		if len(basis) > 0 {
+			bm, err := FromRows(basis)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bm.Rank() != len(basis) {
+				t.Fatal("nullspace basis not independent")
+			}
+		}
+	}
+}
+
+func TestNullspaceOfPRGBlock(t *testing.T) {
+	// The stacked PRG suffix block has nullity >= (m-k) - k: the secret
+	// structure shows up as a large nullspace — another view of the rank
+	// attack.
+	r := rng.New(4)
+	const n, k, cols = 30, 5, 15
+	hidden := Random(k, cols, r)
+	out := New(n, cols)
+	for i := 0; i < n; i++ {
+		out.SetRow(i, hidden.VecMul(bitvec.Random(k, r)))
+	}
+	if got := len(out.NullspaceBasis()); got < cols-k {
+		t.Fatalf("PRG block nullity %d, want >= %d", got, cols-k)
+	}
+}
+
+func TestMatrixMarshalRoundTrip(t *testing.T) {
+	r := rng.New(5)
+	for _, dims := range [][2]int{{0, 0}, {1, 1}, {3, 70}, {17, 5}} {
+		m := Random(dims[0], dims[1], r)
+		data, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Matrix
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatalf("%dx%d: %v", dims[0], dims[1], err)
+		}
+		if !got.Equal(m) {
+			t.Fatalf("round trip changed %dx%d matrix", dims[0], dims[1])
+		}
+	}
+}
+
+func TestMatrixUnmarshalRejectsGarbage(t *testing.T) {
+	var m Matrix
+	for i, data := range [][]byte{nil, {0xF2}, {0x00, 1, 0, 0, 0, 1, 0, 0, 0}, {0xF2, 1, 0, 0, 0, 1, 0, 0, 0}} {
+		if err := m.UnmarshalBinary(data); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestInversePanicsOnRect(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inverse on rectangular did not panic")
+		}
+	}()
+	Random(2, 3, rng.New(1)).Inverse()
+}

@@ -1,0 +1,373 @@
+// Package f2 implements dense linear algebra over GF(2).
+//
+// The paper's pseudorandom generator is "a distribution of low-rank
+// matrices": each processor outputs (x, xᵀM) for a shared hidden matrix M,
+// so the joint output of all processors is a rank-≤k matrix while a truly
+// random input is full rank with constant probability Q₀ ≈ 0.2888. Rank
+// computation is therefore both the natural distinguisher (Theorem 8.1) and
+// the hard average-case function (Theorem 1.4). This package provides
+// matrices, products, rank via Gaussian elimination, and the rank-deficiency
+// distribution of uniform GF(2) matrices (Kolchin's formula, used to pin the
+// constants in Theorem 1.4).
+package f2
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+// Matrix is an r×c matrix over GF(2), stored as r packed bit-vector rows.
+// The zero value is an empty 0×0 matrix.
+type Matrix struct {
+	rows int
+	cols int
+	row  []bitvec.Vector
+}
+
+// New returns an all-zero r×c matrix. It panics on negative dimensions.
+func New(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic("f2: negative matrix dimension")
+	}
+	m := &Matrix{rows: r, cols: c, row: make([]bitvec.Vector, r)}
+	for i := range m.row {
+		m.row[i] = bitvec.New(c)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Random returns a uniformly random r×c matrix drawn from stream.
+func Random(r, c int, stream *rng.Stream) *Matrix {
+	m := &Matrix{rows: r, cols: c, row: make([]bitvec.Vector, r)}
+	for i := range m.row {
+		m.row[i] = bitvec.Random(c, stream)
+	}
+	return m
+}
+
+// FromRows builds a matrix from row vectors, which must all share a length.
+func FromRows(rows []bitvec.Vector) (*Matrix, error) {
+	if len(rows) == 0 {
+		return New(0, 0), nil
+	}
+	c := rows[0].Len()
+	m := &Matrix{rows: len(rows), cols: c, row: make([]bitvec.Vector, len(rows))}
+	for i, r := range rows {
+		if r.Len() != c {
+			return nil, fmt.Errorf("f2: row %d has length %d, want %d", i, r.Len(), c)
+		}
+		m.row[i] = r.Clone()
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows; Cols the number of columns.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns entry (i, j).
+func (m *Matrix) At(i, j int) uint64 { return m.row[i].Bit(j) }
+
+// Set assigns entry (i, j) = b&1.
+func (m *Matrix) Set(i, j int, b uint64) { m.row[i].SetBit(j, b) }
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) bitvec.Vector { return m.row[i].Clone() }
+
+// SetRow replaces row i with a copy of v, which must have Cols() bits.
+func (m *Matrix) SetRow(i int, v bitvec.Vector) {
+	if v.Len() != m.cols {
+		panic("f2: SetRow length mismatch")
+	}
+	m.row[i] = v.Clone()
+}
+
+// Col returns a copy of column j as a vector of length Rows().
+func (m *Matrix) Col(j int) bitvec.Vector {
+	v := bitvec.New(m.rows)
+	for i := 0; i < m.rows; i++ {
+		v.SetBit(i, m.At(i, j))
+	}
+	return v
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{rows: m.rows, cols: m.cols, row: make([]bitvec.Vector, m.rows)}
+	for i := range m.row {
+		c.row[i] = m.row[i].Clone()
+	}
+	return c
+}
+
+// Equal reports whether the matrices have identical dimensions and entries.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i := range m.row {
+		if !m.row[i].Equal(o.row[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		// Walk only the set bits of the row.
+		for _, j := range m.row[i].Ones() {
+			t.Set(j, i, 1)
+		}
+	}
+	return t
+}
+
+// Mul returns m·o. It panics if the inner dimensions disagree; dimension
+// agreement is a programming invariant, not a runtime condition.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if m.cols != o.rows {
+		panic(fmt.Sprintf("f2: Mul dimension mismatch %dx%d · %dx%d", m.rows, m.cols, o.rows, o.cols))
+	}
+	out := New(m.rows, o.cols)
+	for i := 0; i < m.rows; i++ {
+		// out.row[i] = xor of o's rows selected by m.row[i]'s set bits.
+		acc := bitvec.New(o.cols)
+		for _, k := range m.row[i].Ones() {
+			acc.XorInPlace(o.row[k])
+		}
+		out.row[i] = acc
+	}
+	return out
+}
+
+// VecMul returns xᵀ·m for a row vector x of length Rows(). This is exactly
+// the operation each processor performs in the paper's PRG: its
+// pseudorandom suffix is (seed)ᵀ·M.
+func (m *Matrix) VecMul(x bitvec.Vector) bitvec.Vector {
+	if x.Len() != m.rows {
+		panic("f2: VecMul length mismatch")
+	}
+	acc := bitvec.New(m.cols)
+	for _, i := range x.Ones() {
+		acc.XorInPlace(m.row[i])
+	}
+	return acc
+}
+
+// MulVec returns m·x for a column vector x of length Cols().
+func (m *Matrix) MulVec(x bitvec.Vector) bitvec.Vector {
+	if x.Len() != m.cols {
+		panic("f2: MulVec length mismatch")
+	}
+	out := bitvec.New(m.rows)
+	for i := 0; i < m.rows; i++ {
+		out.SetBit(i, m.row[i].Dot(x))
+	}
+	return out
+}
+
+// Add returns m ⊕ o entry-wise.
+func (m *Matrix) Add(o *Matrix) *Matrix {
+	if m.rows != o.rows || m.cols != o.cols {
+		panic("f2: Add dimension mismatch")
+	}
+	out := m.Clone()
+	for i := range out.row {
+		out.row[i].XorInPlace(o.row[i])
+	}
+	return out
+}
+
+// Rank returns the GF(2) rank of m, computed by Gaussian elimination on a
+// scratch copy. The input is not modified.
+func (m *Matrix) Rank() int {
+	work := make([]bitvec.Vector, m.rows)
+	for i := range work {
+		work[i] = m.row[i].Clone()
+	}
+	return eliminate(work, m.cols)
+}
+
+// eliminate runs forward Gaussian elimination in place over the given rows
+// and returns the rank. Rows may be reordered and combined.
+func eliminate(rows []bitvec.Vector, cols int) int {
+	rank := 0
+	for col := 0; col < cols && rank < len(rows); col++ {
+		// Find a pivot row at or below rank with a 1 in this column.
+		pivot := -1
+		for r := rank; r < len(rows); r++ {
+			if rows[r].Bit(col) == 1 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		rows[rank], rows[pivot] = rows[pivot], rows[rank]
+		for r := 0; r < len(rows); r++ {
+			if r != rank && rows[r].Bit(col) == 1 {
+				rows[r].XorInPlace(rows[rank])
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// RowEchelon returns a new matrix in reduced row-echelon form along with
+// the rank.
+func (m *Matrix) RowEchelon() (*Matrix, int) {
+	out := m.Clone()
+	rank := eliminate(out.row, out.cols)
+	return out, rank
+}
+
+// FullRank reports whether a square matrix has rank equal to its dimension.
+// This is the paper's F_full-rank indicator (Theorem 1.4). It panics on a
+// non-square matrix.
+func (m *Matrix) FullRank() bool {
+	if m.rows != m.cols {
+		panic("f2: FullRank on non-square matrix")
+	}
+	return m.Rank() == m.rows
+}
+
+// TopMinorFullRank reports whether the top-left k×k sub-matrix has full
+// rank. This is the hierarchy function of Theorem 1.5.
+func (m *Matrix) TopMinorFullRank(k int) bool {
+	if k > m.rows || k > m.cols {
+		panic("f2: TopMinorFullRank minor exceeds matrix")
+	}
+	sub := New(k, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			sub.Set(i, j, m.At(i, j))
+		}
+	}
+	return sub.Rank() == k
+}
+
+// Submatrix returns the block with rows [r0, r1) and columns [c0, c1).
+func (m *Matrix) Submatrix(r0, r1, c0, c1 int) *Matrix {
+	if r0 < 0 || r1 < r0 || r1 > m.rows || c0 < 0 || c1 < c0 || c1 > m.cols {
+		panic("f2: Submatrix out of range")
+	}
+	out := New(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		for j := c0; j < c1; j++ {
+			out.Set(i-r0, j-c0, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// String renders the matrix one row per line.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i := range m.row {
+		sb.WriteString(m.row[i].String())
+		if i+1 < m.rows {
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// RankProbability returns the exact probability that a uniformly random
+// n×m matrix over GF(2) has rank exactly r. The count of rank-r matrices is
+//
+//	∏_{i=0}^{r-1} (2^n − 2^i)(2^m − 2^i) / (2^r − 2^i),
+//
+// divided by 2^{nm}. The computation runs in log space so it is stable for
+// large dimensions.
+func RankProbability(n, m, r int) float64 {
+	if r < 0 || r > n || r > m {
+		return 0
+	}
+	logp := 0.0
+	for i := 0; i < r; i++ {
+		logp += log2pow2m1(n, i) + log2pow2m1(m, i) - log2pow2m1(r, i)
+	}
+	logp -= float64(n) * float64(m)
+	return math.Exp2(logp)
+}
+
+// log2pow2m1 returns log2(2^a − 2^b) for a > b ≥ 0.
+func log2pow2m1(a, b int) float64 {
+	// 2^a − 2^b = 2^b (2^{a−b} − 1).
+	return float64(b) + math.Log2(math.Exp2(float64(a-b))-1)
+}
+
+// KolchinQ returns Q_s, the n→∞ limit of the probability that a uniform
+// n×n GF(2) matrix has rank n−s (Kolchin 1999, §3.2), quoted by the paper
+// in the proof of Theorem 1.4:
+//
+//	Q_s = 2^{−s²} · ∏_{i≥s+1} (1 − 2^{−i}) · ∏_{1≤i≤s} (1 − 2^{−i})^{−1}.
+//
+// Q₀ ≈ 0.2887880951, the probability a huge random matrix is invertible.
+func KolchinQ(s int) float64 {
+	if s < 0 {
+		return 0
+	}
+	prod := math.Exp2(-float64(s) * float64(s))
+	// ∏_{i≥s+1} (1 − 2^{−i}); terms beyond i=64 are 1 to double precision.
+	for i := s + 1; i <= 64; i++ {
+		prod *= 1 - math.Exp2(-float64(i))
+	}
+	for i := 1; i <= s; i++ {
+		prod /= 1 - math.Exp2(-float64(i))
+	}
+	return prod
+}
+
+// Solve finds one solution x of m·x = b, returning ok=false when the
+// system is inconsistent. If the system is underdetermined an arbitrary
+// solution (free variables = 0) is returned.
+func (m *Matrix) Solve(b bitvec.Vector) (x bitvec.Vector, ok bool) {
+	if b.Len() != m.rows {
+		panic("f2: Solve length mismatch")
+	}
+	// Augment [m | b] and eliminate.
+	aug := New(m.rows, m.cols+1)
+	for i := 0; i < m.rows; i++ {
+		for _, j := range m.row[i].Ones() {
+			aug.Set(i, j, 1)
+		}
+		aug.Set(i, m.cols, b.Bit(i))
+	}
+	rank := eliminate(aug.row, aug.cols)
+	_ = rank
+	x = bitvec.New(m.cols)
+	for i := 0; i < aug.rows; i++ {
+		ones := aug.row[i].Ones()
+		if len(ones) == 0 {
+			continue
+		}
+		lead := ones[0]
+		if lead == m.cols {
+			// Row reads 0 = 1: inconsistent.
+			return bitvec.Vector{}, false
+		}
+		x.SetBit(lead, aug.row[i].Bit(m.cols))
+	}
+	return x, true
+}

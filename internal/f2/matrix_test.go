@@ -1,0 +1,391 @@
+package f2
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+func TestIdentityRank(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 10, 65, 100} {
+		if got := Identity(n).Rank(); got != n {
+			t.Fatalf("Identity(%d).Rank() = %d", n, got)
+		}
+	}
+}
+
+func TestZeroRank(t *testing.T) {
+	if got := New(8, 8).Rank(); got != 0 {
+		t.Fatalf("zero matrix rank = %d", got)
+	}
+}
+
+func TestRankBounds(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 100; trial++ {
+		rows := 1 + r.Intn(40)
+		cols := 1 + r.Intn(40)
+		m := Random(rows, cols, r)
+		rk := m.Rank()
+		if rk < 0 || rk > rows || rk > cols {
+			t.Fatalf("rank %d out of bounds for %dx%d", rk, rows, cols)
+		}
+	}
+}
+
+func TestRankInvariantUnderTranspose(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 60; trial++ {
+		m := Random(1+r.Intn(30), 1+r.Intn(30), r)
+		if m.Rank() != m.Transpose().Rank() {
+			t.Fatalf("rank(m)=%d != rank(mT)=%d", m.Rank(), m.Transpose().Rank())
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 60; trial++ {
+		m := Random(1+r.Intn(30), 1+r.Intn(30), r)
+		if !m.Transpose().Transpose().Equal(m) {
+			t.Fatal("transpose is not an involution")
+		}
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	r := rng.New(4)
+	for trial := 0; trial < 40; trial++ {
+		rows, cols := 1+r.Intn(20), 1+r.Intn(20)
+		m := Random(rows, cols, r)
+		if !Identity(rows).Mul(m).Equal(m) {
+			t.Fatal("I·m != m")
+		}
+		if !m.Mul(Identity(cols)).Equal(m) {
+			t.Fatal("m·I != m")
+		}
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 30; trial++ {
+		a := Random(1+r.Intn(12), 1+r.Intn(12), r)
+		b := Random(a.Cols(), 1+r.Intn(12), r)
+		c := Random(b.Cols(), 1+r.Intn(12), r)
+		if !a.Mul(b).Mul(c).Equal(a.Mul(b.Mul(c))) {
+			t.Fatal("matrix multiplication not associative")
+		}
+	}
+}
+
+func TestMulMatchesDefinition(t *testing.T) {
+	r := rng.New(6)
+	a := Random(7, 9, r)
+	b := Random(9, 5, r)
+	c := a.Mul(b)
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 5; j++ {
+			var want uint64
+			for k := 0; k < 9; k++ {
+				want ^= a.At(i, k) & b.At(k, j)
+			}
+			if c.At(i, j) != want {
+				t.Fatalf("entry (%d,%d) = %d, want %d", i, j, c.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestVecMulLinearity(t *testing.T) {
+	// Property: (x ⊕ y)ᵀM == xᵀM ⊕ yᵀM. This linearity is what the PRG's
+	// low-rank structure rests on.
+	r := rng.New(7)
+	for trial := 0; trial < 100; trial++ {
+		rows, cols := 1+r.Intn(30), 1+r.Intn(30)
+		m := Random(rows, cols, r)
+		x := bitvec.Random(rows, r)
+		y := bitvec.Random(rows, r)
+		left := m.VecMul(x.Xor(y))
+		right := m.VecMul(x).Xor(m.VecMul(y))
+		if !left.Equal(right) {
+			t.Fatal("VecMul not linear")
+		}
+	}
+}
+
+func TestVecMulAgainstMul(t *testing.T) {
+	r := rng.New(8)
+	m := Random(10, 14, r)
+	x := bitvec.Random(10, r)
+	rowMat, err := FromRows([]bitvec.Vector{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rowMat.Mul(m).Row(0)
+	if got := m.VecMul(x); !got.Equal(want) {
+		t.Fatalf("VecMul = %s, want %s", got, want)
+	}
+}
+
+func TestMulVecAgainstDefinition(t *testing.T) {
+	r := rng.New(9)
+	m := Random(6, 11, r)
+	x := bitvec.Random(11, r)
+	got := m.MulVec(x)
+	for i := 0; i < 6; i++ {
+		if got.Bit(i) != m.Row(i).Dot(x) {
+			t.Fatalf("MulVec bit %d mismatch", i)
+		}
+	}
+}
+
+func TestRankOfProduct(t *testing.T) {
+	// rank(AB) <= min(rank A, rank B): the inequality behind the PRG being
+	// a low-rank distribution.
+	r := rng.New(10)
+	for trial := 0; trial < 50; trial++ {
+		a := Random(1+r.Intn(20), 1+r.Intn(20), r)
+		b := Random(a.Cols(), 1+r.Intn(20), r)
+		rkAB := a.Mul(b).Rank()
+		if rkAB > a.Rank() || rkAB > b.Rank() {
+			t.Fatalf("rank(AB)=%d exceeds rank(A)=%d or rank(B)=%d", rkAB, a.Rank(), b.Rank())
+		}
+	}
+}
+
+func TestPRGOutputsAreLowRank(t *testing.T) {
+	// n seeds of length k, outputs X·M: the stacked output matrix must have
+	// rank <= k even when n >> k.
+	r := rng.New(11)
+	const n, k, m = 40, 5, 20
+	hidden := Random(k, m, r)
+	out := New(n, m)
+	for i := 0; i < n; i++ {
+		out.SetRow(i, hidden.VecMul(bitvec.Random(k, r)))
+	}
+	if rk := out.Rank(); rk > k {
+		t.Fatalf("stacked PRG outputs have rank %d > seed size %d", rk, k)
+	}
+}
+
+func TestRowEchelonPreservesRank(t *testing.T) {
+	r := rng.New(12)
+	for trial := 0; trial < 40; trial++ {
+		m := Random(1+r.Intn(25), 1+r.Intn(25), r)
+		ech, rank := m.RowEchelon()
+		if rank != m.Rank() {
+			t.Fatalf("echelon rank %d != rank %d", rank, m.Rank())
+		}
+		if ech.Rank() != rank {
+			t.Fatal("echelon form changed the rank")
+		}
+	}
+}
+
+func TestFullRankPanicsOnRect(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FullRank on rectangular matrix did not panic")
+		}
+	}()
+	Random(3, 4, rng.New(1)).FullRank()
+}
+
+func TestTopMinorFullRank(t *testing.T) {
+	m := Identity(5)
+	for k := 0; k <= 5; k++ {
+		if !m.TopMinorFullRank(k) {
+			t.Fatalf("identity top %d-minor should be full rank", k)
+		}
+	}
+	m.Set(0, 0, 0) // first row zero in the minor
+	if m.TopMinorFullRank(1) {
+		t.Fatal("zeroed 1x1 minor reported full rank")
+	}
+}
+
+func TestSubmatrix(t *testing.T) {
+	r := rng.New(13)
+	m := Random(8, 8, r)
+	sub := m.Submatrix(2, 5, 1, 7)
+	if sub.Rows() != 3 || sub.Cols() != 6 {
+		t.Fatalf("Submatrix dims %dx%d", sub.Rows(), sub.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 6; j++ {
+			if sub.At(i, j) != m.At(i+2, j+1) {
+				t.Fatal("Submatrix entry mismatch")
+			}
+		}
+	}
+}
+
+func TestSolveConsistent(t *testing.T) {
+	r := rng.New(14)
+	for trial := 0; trial < 100; trial++ {
+		rows, cols := 1+r.Intn(15), 1+r.Intn(15)
+		m := Random(rows, cols, r)
+		// Build b in the column space so a solution must exist.
+		secret := bitvec.Random(cols, r)
+		b := m.MulVec(secret)
+		x, ok := m.Solve(b)
+		if !ok {
+			t.Fatalf("Solve reported inconsistent for a consistent system (%dx%d)", rows, cols)
+		}
+		if !m.MulVec(x).Equal(b) {
+			t.Fatal("Solve returned a non-solution")
+		}
+	}
+}
+
+func TestSolveInconsistent(t *testing.T) {
+	// [1 1; 1 1] x = (0, 1) has no solution.
+	m := New(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 1)
+	b := bitvec.FromBits([]uint64{0, 1})
+	if _, ok := m.Solve(b); ok {
+		t.Fatal("Solve found a solution to an inconsistent system")
+	}
+}
+
+func TestRankProbabilitySumsToOne(t *testing.T) {
+	for _, dims := range [][2]int{{3, 3}, {5, 5}, {4, 7}, {10, 10}} {
+		n, m := dims[0], dims[1]
+		total := 0.0
+		maxR := n
+		if m < n {
+			maxR = m
+		}
+		for r := 0; r <= maxR; r++ {
+			total += RankProbability(n, m, r)
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("rank probabilities for %dx%d sum to %v", n, m, total)
+		}
+	}
+}
+
+func TestRankProbabilityMatchesExhaustive(t *testing.T) {
+	// Enumerate all 2x2 matrices: 1 rank-0, 9 rank-1, 6 rank-2.
+	counts := make(map[int]int)
+	for bits := 0; bits < 16; bits++ {
+		m := New(2, 2)
+		m.Set(0, 0, uint64(bits)&1)
+		m.Set(0, 1, uint64(bits>>1)&1)
+		m.Set(1, 0, uint64(bits>>2)&1)
+		m.Set(1, 1, uint64(bits>>3)&1)
+		counts[m.Rank()]++
+	}
+	wantCounts := map[int]int{0: 1, 1: 9, 2: 6}
+	for r, want := range wantCounts {
+		if counts[r] != want {
+			t.Fatalf("2x2 rank-%d count = %d, want %d", r, counts[r], want)
+		}
+		got := RankProbability(2, 2, r)
+		if math.Abs(got-float64(want)/16) > 1e-12 {
+			t.Fatalf("RankProbability(2,2,%d) = %v, want %v", r, got, float64(want)/16)
+		}
+	}
+}
+
+func TestRankProbabilityMonteCarlo(t *testing.T) {
+	r := rng.New(15)
+	const n, trials = 12, 4000
+	full := 0
+	for i := 0; i < trials; i++ {
+		if Random(n, n, r).FullRank() {
+			full++
+		}
+	}
+	want := RankProbability(n, n, n)
+	got := float64(full) / trials
+	if math.Abs(got-want) > 0.03 {
+		t.Fatalf("empirical full-rank rate %.4f, formula %.4f", got, want)
+	}
+}
+
+func TestKolchinQ0(t *testing.T) {
+	// The paper quotes Q0 ≈ 0.2887880950866.
+	if got := KolchinQ(0); math.Abs(got-0.2887880950866) > 1e-10 {
+		t.Fatalf("KolchinQ(0) = %.13f, want 0.2887880950866", got)
+	}
+}
+
+func TestKolchinMatchesFiniteLimit(t *testing.T) {
+	// For n=30, the finite-n probability of rank n-s should be within
+	// ~1e-6 of Q_s.
+	for s := 0; s <= 3; s++ {
+		fin := RankProbability(30, 30, 30-s)
+		lim := KolchinQ(s)
+		if math.Abs(fin-lim) > 1e-6 {
+			t.Fatalf("s=%d: finite %.9f vs limit %.9f", s, fin, lim)
+		}
+	}
+}
+
+func TestKolchinSumsToOne(t *testing.T) {
+	total := 0.0
+	for s := 0; s <= 12; s++ {
+		total += KolchinQ(s)
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("sum of Kolchin Q_s = %v", total)
+	}
+}
+
+func TestAddSelfIsZero(t *testing.T) {
+	r := rng.New(16)
+	m := Random(6, 6, r)
+	if got := m.Add(m); got.Rank() != 0 {
+		t.Fatal("m + m != 0")
+	}
+}
+
+func TestFromRowsRejectsRagged(t *testing.T) {
+	rows := []bitvec.Vector{bitvec.New(3), bitvec.New(4)}
+	if _, err := FromRows(rows); err == nil {
+		t.Fatal("FromRows accepted ragged rows")
+	}
+}
+
+func TestQuickRankSubadditive(t *testing.T) {
+	// Property: rank(A ⊕ B) <= rank(A) + rank(B).
+	r := rng.New(17)
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		n := 1 + s.Intn(15)
+		a := Random(n, n, s)
+		b := Random(n, n, s)
+		return a.Add(b).Rank() <= a.Rank()+b.Rank()
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: nil}
+	_ = r
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRank256(b *testing.B) {
+	m := Random(256, 256, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Rank()
+	}
+}
+
+func BenchmarkVecMul(b *testing.B) {
+	r := rng.New(1)
+	m := Random(64, 1024, r)
+	x := bitvec.Random(64, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.VecMul(x)
+	}
+}

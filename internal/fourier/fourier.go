@@ -1,0 +1,246 @@
+// Package fourier implements analysis of Boolean functions on the
+// hypercube: the fast Walsh-Hadamard transform, Fourier coefficients,
+// Parseval's identity, and the specific spectral quantities in the paper's
+// Lemma 5.2 — the inequality
+//
+//	Σ_{b∈{0,1}^k} ‖f(U_{k+1}) − f(U_[b])‖² ≤ E[f]
+//
+// which is the engine of the entire PRG analysis. Functions are stored as
+// dense truth tables, so everything here is exact (no sampling); domains up
+// to ~2^22 points are practical.
+package fourier
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Func is a real-valued function on {0,1}^n stored as a dense table of
+// 2^n values; table index x encodes the input (bit i of x = coordinate i).
+type Func struct {
+	n      int
+	values []float64
+}
+
+// New returns the all-zero function on n variables. It panics for n < 0 or
+// n > 30 (the table would not fit in memory).
+func New(n int) *Func {
+	if n < 0 || n > 30 {
+		panic(fmt.Sprintf("fourier: unsupported arity %d", n))
+	}
+	return &Func{n: n, values: make([]float64, 1<<uint(n))}
+}
+
+// FromTable wraps an explicit table of 2^n values (copied).
+func FromTable(n int, table []float64) (*Func, error) {
+	if len(table) != 1<<uint(n) {
+		return nil, fmt.Errorf("fourier: table has %d entries, want %d", len(table), 1<<uint(n))
+	}
+	f := New(n)
+	copy(f.values, table)
+	return f, nil
+}
+
+// FromBool builds a 0/1-valued Func from a predicate on the packed input.
+func FromBool(n int, pred func(x uint64) bool) *Func {
+	f := New(n)
+	for x := range f.values {
+		if pred(uint64(x)) {
+			f.values[x] = 1
+		}
+	}
+	return f
+}
+
+// N returns the number of variables.
+func (f *Func) N() int { return f.n }
+
+// At returns f(x) for the packed input x.
+func (f *Func) At(x uint64) float64 { return f.values[x] }
+
+// Set assigns f(x) = v.
+func (f *Func) Set(x uint64, v float64) { f.values[x] = v }
+
+// Mean returns E_{x∼U}[f(x)].
+func (f *Func) Mean() float64 {
+	sum := 0.0
+	for _, v := range f.values {
+		sum += v
+	}
+	return sum / float64(len(f.values))
+}
+
+// MeanOn returns E[f(x)] over the uniform distribution on the inputs x for
+// which keep(x) is true, together with the number of such inputs. If the
+// set is empty, the mean is reported as 0 with count 0.
+func (f *Func) MeanOn(keep func(x uint64) bool) (mean float64, count int) {
+	sum := 0.0
+	for x, v := range f.values {
+		if keep(uint64(x)) {
+			sum += v
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, 0
+	}
+	return sum / float64(count), count
+}
+
+// Coefficients returns the full Fourier spectrum f̂, indexed by the packed
+// characteristic vector of S: f̂(S) = E_x [f(x)·(−1)^{Σ_{i∈S} x_i}].
+// Computed with the in-place fast Walsh-Hadamard transform in O(n·2^n).
+func (f *Func) Coefficients() []float64 {
+	coeff := make([]float64, len(f.values))
+	copy(coeff, f.values)
+	wht(coeff)
+	inv := 1.0 / float64(len(f.values))
+	for i := range coeff {
+		coeff[i] *= inv
+	}
+	return coeff
+}
+
+// wht applies the unnormalized Walsh-Hadamard transform in place.
+func wht(v []float64) {
+	for h := 1; h < len(v); h <<= 1 {
+		for i := 0; i < len(v); i += h << 1 {
+			for j := i; j < i+h; j++ {
+				x, y := v[j], v[j+h]
+				v[j], v[j+h] = x+y, x-y
+			}
+		}
+	}
+}
+
+// Coefficient returns the single coefficient f̂(S) for the packed set S,
+// computed directly in O(2^n) (cheaper than the full transform when only a
+// few coefficients are needed).
+func (f *Func) Coefficient(s uint64) float64 {
+	sum := 0.0
+	for x, v := range f.values {
+		if bits.OnesCount64(uint64(x)&s)&1 == 1 {
+			sum -= v
+		} else {
+			sum += v
+		}
+	}
+	return sum / float64(len(f.values))
+}
+
+// ParsevalGap returns E[f²] − Σ_S f̂(S)², which must be 0 (to numerical
+// precision) by Parseval's identity. Exposed so tests can assert the
+// identity the Lemma 5.2 proof uses.
+func (f *Func) ParsevalGap() float64 {
+	sumSq := 0.0
+	for _, v := range f.values {
+		sumSq += v * v
+	}
+	sumSq /= float64(len(f.values))
+	coeff := f.Coefficients()
+	spectral := 0.0
+	for _, c := range coeff {
+		spectral += c * c
+	}
+	return sumSq - spectral
+}
+
+// MeanUnderBracket returns E_{x∼U_[b]}[f], where U_[b] is the uniform
+// distribution on {(x, x·b) : x ∈ {0,1}^k} ⊂ {0,1}^{k+1}; f must be a
+// function on k+1 variables. Coordinate k (the top bit) holds the inner
+// product. This is the processor-input distribution in the toy PRG.
+func (f *Func) MeanUnderBracket(b uint64) float64 {
+	k := f.n - 1
+	if k < 0 {
+		panic("fourier: MeanUnderBracket needs at least 1 variable")
+	}
+	size := uint64(1) << uint(k)
+	sum := 0.0
+	for x := uint64(0); x < size; x++ {
+		dot := uint64(bits.OnesCount64(x&b)) & 1
+		sum += f.values[x|dot<<uint(k)]
+	}
+	return sum / float64(size)
+}
+
+// Lemma52 computes both sides of the paper's Lemma 5.2 for a 0/1-valued f
+// on k+1 variables:
+//
+//	lhs = Σ_{b∈{0,1}^k} ( E_{U_[b]}[f] − E_{U_{k+1}}[f] )²,   rhs = E[f].
+//
+// The lemma asserts lhs ≤ rhs for every Boolean f; tests and experiment E5
+// assert exactly that. The implementation follows the proof: the summand
+// for b equals f̂(S_b ∪ {k})², so lhs ≤ Σ_S f̂(S)² = E[f²] = E[f].
+func (f *Func) Lemma52() (lhs, rhs float64) {
+	mean := f.Mean()
+	k := f.n - 1
+	for b := uint64(0); b < 1<<uint(k); b++ {
+		d := f.MeanUnderBracket(b) - mean
+		lhs += d * d
+	}
+	return lhs, mean
+}
+
+// Restrict returns the (n−1)-variable function obtained by fixing
+// coordinate i of f to the bit value v.
+func (f *Func) Restrict(i int, v uint64) *Func {
+	if i < 0 || i >= f.n {
+		panic("fourier: Restrict coordinate out of range")
+	}
+	out := New(f.n - 1)
+	lowMask := (uint64(1) << uint(i)) - 1
+	for y := uint64(0); y < uint64(len(out.values)); y++ {
+		// Re-insert bit v at position i.
+		x := (y & lowMask) | (y&^lowMask)<<1 | (v&1)<<uint(i)
+		out.values[y] = f.values[x]
+	}
+	return out
+}
+
+// InfluenceBound computes the exact quantity of Lemma 1.10,
+//
+//	E_{i←[n]} ‖f(U) − f(U^[i])‖,
+//
+// where U^[i] is uniform over inputs with coordinate i fixed to 1 and, for
+// a 0/1-valued f, ‖f(D1) − f(D2)‖ = |E_{D1}f − E_{D2}f|. The lemma bounds
+// this by O(1/√n); experiment E1 measures it.
+func (f *Func) InfluenceBound() float64 {
+	mean := f.Mean()
+	total := 0.0
+	for i := 0; i < f.n; i++ {
+		restricted, _ := f.MeanOn(func(x uint64) bool { return x>>uint(i)&1 == 1 })
+		total += math.Abs(restricted - mean)
+	}
+	return total / float64(f.n)
+}
+
+// SubsetRestrictionDistance computes the Lemma 1.8 quantity
+//
+//	E_{C∼S^[n]_k} ‖f(U_n) − f(U^C_n)‖
+//
+// exactly by enumerating every size-k subset C (feasible for the small n
+// used in exact experiments). U^C is uniform on inputs whose coordinates
+// in C are all 1.
+func (f *Func) SubsetRestrictionDistance(k int, forEachSubset func(n, k int, fn func([]int))) float64 {
+	mean := f.Mean()
+	total := 0.0
+	count := 0
+	forEachSubset(f.n, k, func(c []int) {
+		var mask uint64
+		for _, i := range c {
+			mask |= 1 << uint(i)
+		}
+		m, cnt := f.MeanOn(func(x uint64) bool { return x&mask == mask })
+		if cnt > 0 {
+			total += math.Abs(m - mean)
+		} else {
+			total++ // empty conditional distribution counts as distance 1
+		}
+		count++
+	})
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}

@@ -1,0 +1,311 @@
+package fourier
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+func randomBoolFunc(n int, r *rng.Stream) *Func {
+	return FromBool(n, func(uint64) bool { return r.Bool() })
+}
+
+func TestMeanConstant(t *testing.T) {
+	one := FromBool(4, func(uint64) bool { return true })
+	if one.Mean() != 1 {
+		t.Fatalf("mean of constant 1 = %v", one.Mean())
+	}
+	zero := New(4)
+	if zero.Mean() != 0 {
+		t.Fatalf("mean of constant 0 = %v", zero.Mean())
+	}
+}
+
+func TestCoefficientsOfParity(t *testing.T) {
+	// Parity on S has a single Fourier coefficient of weight 1 at S (for
+	// the ±1 encoding, the 0/1 encoding gives f̂(∅)=1/2, f̂(S)=−1/2).
+	const n = 5
+	s := uint64(0b10110)
+	parity := FromBool(n, func(x uint64) bool {
+		return bits.OnesCount64(x&s)&1 == 1
+	})
+	coeff := parity.Coefficients()
+	for idx, c := range coeff {
+		var want float64
+		switch uint64(idx) {
+		case 0:
+			want = 0.5
+		case s:
+			want = -0.5
+		}
+		if math.Abs(c-want) > 1e-12 {
+			t.Fatalf("coefficient at %b = %v, want %v", idx, c, want)
+		}
+	}
+}
+
+func TestCoefficientMatchesTransform(t *testing.T) {
+	r := rng.New(1)
+	f := randomBoolFunc(8, r)
+	coeff := f.Coefficients()
+	for _, s := range []uint64{0, 1, 5, 37, 255} {
+		if math.Abs(f.Coefficient(s)-coeff[s]) > 1e-12 {
+			t.Fatalf("Coefficient(%d) disagrees with transform", s)
+		}
+	}
+}
+
+func TestParsevalRandomFunctions(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 20; trial++ {
+		f := randomBoolFunc(2+r.Intn(9), r)
+		if gap := f.ParsevalGap(); math.Abs(gap) > 1e-9 {
+			t.Fatalf("Parseval gap %v on %d vars", gap, f.N())
+		}
+	}
+}
+
+func TestParsevalRealValued(t *testing.T) {
+	r := rng.New(3)
+	f := New(7)
+	for x := uint64(0); x < 1<<7; x++ {
+		f.Set(x, r.Float64()*2-1)
+	}
+	if gap := f.ParsevalGap(); math.Abs(gap) > 1e-9 {
+		t.Fatalf("Parseval gap %v for real-valued f", gap)
+	}
+}
+
+func TestMeanUnderBracketDefinition(t *testing.T) {
+	// Check against a brute-force computation through the defining set.
+	r := rng.New(4)
+	const k = 6
+	f := randomBoolFunc(k+1, r)
+	for _, b := range []uint64{0, 1, 0b101, 0b111111} {
+		sum, count := 0.0, 0
+		for x := uint64(0); x < 1<<k; x++ {
+			dot := uint64(bits.OnesCount64(x&b)) & 1
+			sum += f.At(x | dot<<k)
+			count++
+		}
+		want := sum / float64(count)
+		if got := f.MeanUnderBracket(b); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("MeanUnderBracket(%b) = %v, want %v", b, got, want)
+		}
+	}
+}
+
+func TestLemma52HoldsForRandomFunctions(t *testing.T) {
+	// Lemma 5.2 is a theorem: lhs <= rhs for every Boolean f.
+	r := rng.New(5)
+	for trial := 0; trial < 30; trial++ {
+		f := randomBoolFunc(3+r.Intn(8), r)
+		lhs, rhs := f.Lemma52()
+		if lhs > rhs+1e-9 {
+			t.Fatalf("Lemma 5.2 violated: lhs=%v > rhs=%v (n=%d)", lhs, rhs, f.N())
+		}
+	}
+}
+
+func TestLemma52HoldsForStructuredFunctions(t *testing.T) {
+	structured := map[string]func(n int) *Func{
+		"dictator": func(n int) *Func {
+			return FromBool(n, func(x uint64) bool { return x&1 == 1 })
+		},
+		"majority": func(n int) *Func {
+			return FromBool(n, func(x uint64) bool { return bits.OnesCount64(x) > n/2 })
+		},
+		"parity": func(n int) *Func {
+			return FromBool(n, func(x uint64) bool { return bits.OnesCount64(x)&1 == 1 })
+		},
+		"and": func(n int) *Func {
+			full := uint64(1)<<uint(n) - 1
+			return FromBool(n, func(x uint64) bool { return x == full })
+		},
+		"innerProductHalves": func(n int) *Func {
+			h := n / 2
+			return FromBool(n, func(x uint64) bool {
+				lo := x & (1<<uint(h) - 1)
+				hi := x >> uint(h)
+				return bits.OnesCount64(lo&hi)&1 == 1
+			})
+		},
+	}
+	for name, mk := range structured {
+		for _, n := range []int{5, 9, 13} {
+			f := mk(n)
+			lhs, rhs := f.Lemma52()
+			if lhs > rhs+1e-9 {
+				t.Fatalf("Lemma 5.2 violated for %s on %d vars: %v > %v", name, n, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestLemma52TightForLastBitDictator(t *testing.T) {
+	// f(x) = x_k (the appended inner-product coordinate). Under U_[b] the
+	// top bit equals x·b, so E_{U_[0]}[f] = 0 while E_U[f] = 1/2: the b=0
+	// term alone contributes 1/4. The lemma's rhs is 1/2; lhs stays below.
+	const k = 8
+	f := FromBool(k+1, func(x uint64) bool { return x>>k&1 == 1 })
+	lhs, rhs := f.Lemma52()
+	if lhs > rhs {
+		t.Fatalf("violation: %v > %v", lhs, rhs)
+	}
+	d0 := f.MeanUnderBracket(0) - f.Mean()
+	if math.Abs(d0) < 0.49 {
+		t.Fatalf("b=0 bracket should be maximally distinguishing, got gap %v", d0)
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	// f(x) = x_0 XOR x_2 on 3 vars; restricting x_2 = 1 gives NOT x_0.
+	f := FromBool(3, func(x uint64) bool { return (x&1)^(x>>2&1) == 1 })
+	g := f.Restrict(2, 1)
+	if g.N() != 2 {
+		t.Fatalf("restricted arity %d", g.N())
+	}
+	for y := uint64(0); y < 4; y++ {
+		want := 1.0 - float64(y&1)
+		if g.At(y) != want {
+			t.Fatalf("restricted value at %b = %v, want %v", y, g.At(y), want)
+		}
+	}
+}
+
+func TestRestrictMiddleCoordinate(t *testing.T) {
+	r := rng.New(6)
+	f := randomBoolFunc(5, r)
+	g := f.Restrict(2, 0)
+	for y := uint64(0); y < 16; y++ {
+		// Reinsert 0 at position 2.
+		x := y&0b11 | (y>>2)<<3
+		if g.At(y) != f.At(x) {
+			t.Fatalf("Restrict(2,0) wrong at %b", y)
+		}
+	}
+}
+
+func TestInfluenceBoundMatchesDistDefinition(t *testing.T) {
+	// Cross-check InfluenceBound against dist.TV on the output
+	// distributions, which is the paper's formal definition.
+	r := rng.New(7)
+	const n = 6
+	f := randomBoolFunc(n, r)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		mAll := f.Mean()
+		mFixed, _ := f.MeanOn(func(x uint64) bool { return x>>uint(i)&1 == 1 })
+		total += dist.TV(dist.BoolDist(mAll), dist.BoolDist(mFixed))
+	}
+	want := total / n
+	if got := f.InfluenceBound(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("InfluenceBound = %v, want %v", got, want)
+	}
+}
+
+func TestLemma110ScalingShape(t *testing.T) {
+	// E1's core shape assertion in miniature: the Lemma 1.10 quantity for
+	// random functions decays like 1/sqrt(n). Compare n=6 vs n=14: the
+	// ratio should be near sqrt(14/6) ≈ 1.53, certainly > 1.2.
+	r := rng.New(8)
+	avg := func(n, trials int) float64 {
+		total := 0.0
+		for i := 0; i < trials; i++ {
+			total += randomBoolFunc(n, r).InfluenceBound()
+		}
+		return total / float64(trials)
+	}
+	small := avg(6, 30)
+	large := avg(14, 30)
+	if large >= small {
+		t.Fatalf("Lemma 1.10 quantity did not decay: n=6 gives %v, n=14 gives %v", small, large)
+	}
+	if ratio := small / large; ratio < 1.2 {
+		t.Fatalf("decay ratio %v too small; expected about sqrt(14/6)", ratio)
+	}
+}
+
+func TestSubsetRestrictionDistanceAgainstDirect(t *testing.T) {
+	// Cross-check with a hand-rolled computation on a small function.
+	r := rng.New(9)
+	const n, k = 6, 2
+	f := randomBoolFunc(n, r)
+	got := f.SubsetRestrictionDistance(k, dist.ForEachSubset)
+
+	mean := f.Mean()
+	total, count := 0.0, 0
+	dist.ForEachSubset(n, k, func(c []int) {
+		var mask uint64
+		for _, i := range c {
+			mask |= 1 << uint(i)
+		}
+		sum, cnt := 0.0, 0
+		for x := uint64(0); x < 1<<n; x++ {
+			if x&mask == mask {
+				sum += f.At(x)
+				cnt++
+			}
+		}
+		total += math.Abs(sum/float64(cnt) - mean)
+		count++
+	})
+	want := total / float64(count)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SubsetRestrictionDistance = %v, want %v", got, want)
+	}
+}
+
+func TestLemma18GrowsLinearlyInK(t *testing.T) {
+	// Lemma 1.8's bound is O(k/sqrt(n)): for fixed n the distance should
+	// grow at most about linearly with k for random functions.
+	r := rng.New(10)
+	const n = 12
+	f := randomBoolFunc(n, r)
+	d1 := f.SubsetRestrictionDistance(1, dist.ForEachSubset)
+	d3 := f.SubsetRestrictionDistance(3, dist.ForEachSubset)
+	if d3 > 6*d1+0.05 {
+		t.Fatalf("k=3 distance %v is superlinear vs k=1 distance %v", d3, d1)
+	}
+}
+
+func TestFromTableValidates(t *testing.T) {
+	if _, err := FromTable(3, make([]float64, 7)); err == nil {
+		t.Fatal("FromTable accepted wrong-size table")
+	}
+	f, err := FromTable(2, []float64{0, 1, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.At(1) != 1 || f.At(3) != 0 {
+		t.Fatal("FromTable values wrong")
+	}
+}
+
+func TestNewPanicsOnHugeArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(31) did not panic")
+		}
+	}()
+	New(31)
+}
+
+func BenchmarkWHT16(b *testing.B) {
+	f := randomBoolFunc(16, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Coefficients()
+	}
+}
+
+func BenchmarkLemma52(b *testing.B) {
+	f := randomBoolFunc(13, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = f.Lemma52()
+	}
+}

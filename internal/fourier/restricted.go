@@ -1,0 +1,128 @@
+package fourier
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Domain is a subset D ⊆ {0,1}^n given by a membership predicate over
+// packed inputs. The multi-round lower bounds condition processors' inputs
+// on the transcript seen so far; D models the surviving input set
+// ("consistent with transcript p"), and Lemmas 4.3/4.4 bound restriction
+// distances uniformly over all sufficiently large D.
+type Domain func(x uint64) bool
+
+// FullDomain accepts everything.
+func FullDomain(uint64) bool { return true }
+
+// DomainSize counts |D| for an n-variable domain.
+func DomainSize(n int, d Domain) int {
+	count := 0
+	for x := uint64(0); x < 1<<uint(n); x++ {
+		if d(x) {
+			count++
+		}
+	}
+	return count
+}
+
+// EntropyDeficit returns t = n − log₂|D|, the quantity Lemma 4.4's bound
+// √(t/n) is stated in. Returns +Inf for an empty domain.
+func EntropyDeficit(n int, d Domain) float64 {
+	size := DomainSize(n, d)
+	if size == 0 {
+		return math.Inf(1)
+	}
+	return float64(n) - math.Log2(float64(size))
+}
+
+// InfluenceBoundOn computes the exact Lemma 4.4 quantity
+//
+//	E_{i←[n]} ‖f(U_D) − f(U_D^[i])‖,
+//
+// where U_D is uniform on D and U_D^[i] is uniform on {x ∈ D : x_i = 1}.
+// When the restricted set is empty the paper's convention (distance 1)
+// applies. The lemma: for |D| ≥ 2^{n−t}, t ≤ n/10, the expectation is
+// O(√(t/n)).
+func (f *Func) InfluenceBoundOn(d Domain) float64 {
+	meanD, countD := f.MeanOn(func(x uint64) bool { return d(x) })
+	if countD == 0 {
+		return 1
+	}
+	total := 0.0
+	for i := 0; i < f.n; i++ {
+		mask := uint64(1) << uint(i)
+		meanI, countI := f.MeanOn(func(x uint64) bool { return d(x) && x&mask != 0 })
+		if countI == 0 {
+			total++
+			continue
+		}
+		total += math.Abs(meanI - meanD)
+	}
+	return total / float64(f.n)
+}
+
+// SubsetRestrictionDistanceOn computes the exact Lemma 4.3 quantity
+//
+//	E_{C∼S^[n]_k} ‖f(U_D) − f(U_D^C)‖,
+//
+// where U_D^C is uniform on {x ∈ D : x_i = 1 ∀i ∈ C} (distance 1 when that
+// set is empty, per the lemma's convention). The lemma: for |D| ≥ 2^{n−t},
+// t, k ≤ n^{1/4}, t ≥ 10·log n, the expectation is O(k·√(t/n)).
+func (f *Func) SubsetRestrictionDistanceOn(d Domain, k int, forEachSubset func(n, k int, fn func([]int))) float64 {
+	meanD, countD := f.MeanOn(func(x uint64) bool { return d(x) })
+	if countD == 0 {
+		return 1
+	}
+	total, count := 0.0, 0
+	forEachSubset(f.n, k, func(c []int) {
+		var mask uint64
+		for _, i := range c {
+			mask |= 1 << uint(i)
+		}
+		m, cnt := f.MeanOn(func(x uint64) bool { return d(x) && x&mask == mask })
+		if cnt == 0 {
+			total++
+		} else {
+			total += math.Abs(m - meanD)
+		}
+		count++
+	})
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// CoordinateEntropies returns H(X_i) for X uniform on D, for every
+// coordinate — the quantities the Claim 3 subset-tree argument tracks
+// ("good edges" are coordinates with H(X_i) ≥ 0.9).
+func CoordinateEntropies(n int, d Domain) []float64 {
+	size := 0
+	onesPer := make([]int, n)
+	for x := uint64(0); x < 1<<uint(n); x++ {
+		if !d(x) {
+			continue
+		}
+		size++
+		for x2 := x; x2 != 0; x2 &= x2 - 1 {
+			onesPer[bits.TrailingZeros64(x2)]++
+		}
+	}
+	out := make([]float64, n)
+	if size == 0 {
+		return out
+	}
+	for i, ones := range onesPer {
+		p := float64(ones) / float64(size)
+		out[i] = binaryEntropy(p)
+	}
+	return out
+}
+
+func binaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}

@@ -1,0 +1,174 @@
+package fourier
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+// randomDomain keeps each input independently with the given probability.
+func randomDomain(n int, keep float64, r *rng.Stream) Domain {
+	size := uint64(1) << uint(n)
+	member := make([]bool, size)
+	for x := range member {
+		member[x] = r.Bernoulli(keep)
+	}
+	return func(x uint64) bool { return member[x] }
+}
+
+func TestDomainSizeAndDeficit(t *testing.T) {
+	if got := DomainSize(4, FullDomain); got != 16 {
+		t.Fatalf("DomainSize(full) = %d", got)
+	}
+	if got := EntropyDeficit(4, FullDomain); got != 0 {
+		t.Fatalf("EntropyDeficit(full) = %v", got)
+	}
+	half := func(x uint64) bool { return x&1 == 0 }
+	if got := EntropyDeficit(4, half); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("EntropyDeficit(half) = %v, want 1", got)
+	}
+	empty := func(uint64) bool { return false }
+	if !math.IsInf(EntropyDeficit(4, empty), 1) {
+		t.Fatal("EntropyDeficit(empty) not infinite")
+	}
+}
+
+func TestInfluenceBoundOnFullDomainMatchesUnrestricted(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 20; trial++ {
+		f := randomBoolFunc(4+r.Intn(8), r)
+		a := f.InfluenceBound()
+		b := f.InfluenceBoundOn(FullDomain)
+		if math.Abs(a-b) > 1e-12 {
+			t.Fatalf("restricted version on full domain disagrees: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestInfluenceBoundOnEmptyDomain(t *testing.T) {
+	f := randomBoolFunc(5, rng.New(2))
+	if got := f.InfluenceBoundOn(func(uint64) bool { return false }); got != 1 {
+		t.Fatalf("empty domain bound = %v, want 1 by convention", got)
+	}
+}
+
+func TestLemma44ScalesWithDeficit(t *testing.T) {
+	// For random Boolean f and random domains of decreasing density, the
+	// Lemma 4.4 quantity should stay within O(sqrt(t/n)) — and in
+	// particular grow as the domain shrinks.
+	r := rng.New(3)
+	const n = 14
+	const funcs = 12
+	measure := func(keep float64) (mean, deficit float64) {
+		d := randomDomain(n, keep, r)
+		deficit = EntropyDeficit(n, d)
+		for i := 0; i < funcs; i++ {
+			mean += randomBoolFunc(n, r).InfluenceBoundOn(d)
+		}
+		return mean / funcs, deficit
+	}
+	dense, tDense := measure(0.9)
+	sparse, tSparse := measure(0.05)
+	if tSparse <= tDense {
+		t.Fatalf("deficits not ordered: %v vs %v", tDense, tSparse)
+	}
+	// Lemma 4.4 bound check with a generous constant: the proof gives
+	// 2t/n + 10·sqrt((t+1)/n).
+	for _, c := range []struct{ v, t float64 }{{dense, tDense}, {sparse, tSparse}} {
+		bound := 2*c.t/float64(n) + 10*math.Sqrt((c.t+1)/float64(n))
+		if c.v > bound {
+			t.Fatalf("Lemma 4.4 violated: measured %v > bound %v (t=%v)", c.v, bound, c.t)
+		}
+	}
+	if sparse < dense {
+		t.Logf("note: sparse-domain distance %v below dense %v (allowed, bound is one-sided)", sparse, dense)
+	}
+}
+
+func TestLemma43RestrictedHolds(t *testing.T) {
+	// Lemma 4.3 with explicit constants on a random large domain: the
+	// exact expectation must stay below O(k·sqrt(t/n)); use the proof's
+	// loose constant 12.
+	r := rng.New(4)
+	const n, k = 12, 2
+	d := randomDomain(n, 0.5, r)
+	deficit := EntropyDeficit(n, d)
+	for trial := 0; trial < 10; trial++ {
+		f := randomBoolFunc(n, r)
+		got := f.SubsetRestrictionDistanceOn(d, k, dist.ForEachSubset)
+		bound := 12 * float64(k) * math.Sqrt((deficit+1)/float64(n))
+		if got > bound {
+			t.Fatalf("Lemma 4.3 violated: %v > %v (t=%v)", got, bound, deficit)
+		}
+	}
+}
+
+func TestSubsetRestrictionDistanceOnFullDomainMatches(t *testing.T) {
+	r := rng.New(5)
+	f := randomBoolFunc(8, r)
+	a := f.SubsetRestrictionDistance(2, dist.ForEachSubset)
+	b := f.SubsetRestrictionDistanceOn(FullDomain, 2, dist.ForEachSubset)
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("restricted-on-full disagrees with unrestricted: %v vs %v", a, b)
+	}
+}
+
+func TestSubsetRestrictionDistanceOnEmptyConditional(t *testing.T) {
+	// Domain where coordinate 0 is always 0: conditioning on any C
+	// containing coordinate 0 yields the empty set, contributing 1.
+	const n = 6
+	d := func(x uint64) bool { return x&1 == 0 }
+	f := FromBool(n, func(uint64) bool { return true })
+	got := f.SubsetRestrictionDistanceOn(d, 1, dist.ForEachSubset)
+	// For C = {0}: distance 1 (empty). For other C: f constant, distance 0.
+	want := 1.0 / n
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("distance = %v, want %v", got, want)
+	}
+}
+
+func TestCoordinateEntropies(t *testing.T) {
+	// Full domain: every coordinate is a fair coin, entropy 1.
+	for _, h := range CoordinateEntropies(6, FullDomain) {
+		if math.Abs(h-1) > 1e-12 {
+			t.Fatalf("full-domain coordinate entropy %v", h)
+		}
+	}
+	// Domain pinning coordinate 2 to 1: entropy 0 there, 1 elsewhere.
+	pinned := func(x uint64) bool { return x>>2&1 == 1 }
+	hs := CoordinateEntropies(6, pinned)
+	for i, h := range hs {
+		want := 1.0
+		if i == 2 {
+			want = 0
+		}
+		if math.Abs(h-want) > 1e-12 {
+			t.Fatalf("coordinate %d entropy %v, want %v", i, h, want)
+		}
+	}
+	// Empty domain: all zero.
+	for _, h := range CoordinateEntropies(4, func(uint64) bool { return false }) {
+		if h != 0 {
+			t.Fatal("empty-domain entropy nonzero")
+		}
+	}
+}
+
+func TestGoodEdgeFraction(t *testing.T) {
+	// Fact 4.5's substance: for a large domain, most coordinates have
+	// entropy >= 0.9 (are "good edges").
+	r := rng.New(6)
+	const n = 14
+	d := randomDomain(n, 0.4, r)
+	good := 0
+	for _, h := range CoordinateEntropies(n, d) {
+		if h >= 0.9 {
+			good++
+		}
+	}
+	if good < n-1 {
+		t.Fatalf("only %d/%d coordinates are good edges for a dense domain", good, n)
+	}
+}

@@ -1,0 +1,129 @@
+// Package frontier implements protocols for the open problems the paper's
+// Discussion section proposes as next targets for the lower-bound
+// technique: graph connectivity, triangle counting, and the undirected
+// planted-clique variant. None of these has a proven average-case
+// BCAST(1) bound in the paper; the package provides the natural upper-bound
+// protocols so the experiment harness can chart where they start to
+// succeed — the empirical frontier the technique would have to push past.
+package frontier
+
+import (
+	"fmt"
+
+	"repro/internal/bcast"
+	"repro/internal/bitvec"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// ConnectivityProtocol decides connectivity of the input graph's
+// undirected support by label propagation in BCAST(log n): every round
+// each processor broadcasts its current component label (initially its own
+// id) and adopts the minimum label among itself and its neighbours. After
+// r rounds labels have propagated r hops, so diameter-many rounds reach a
+// fixpoint; on G(n, 1/2) inputs the diameter is 2 with overwhelming
+// probability and O(log n) rounds are ample. The verdict (all labels
+// equal) is computable by every processor from the final round.
+type ConnectivityProtocol struct {
+	// N is the number of processors/vertices.
+	N int
+	// PropagationRounds is the number of label-propagation rounds.
+	PropagationRounds int
+}
+
+var _ bcast.Protocol = (*ConnectivityProtocol)(nil)
+
+// NewConnectivity returns the protocol with the given round budget.
+func NewConnectivity(n, rounds int) (*ConnectivityProtocol, error) {
+	if n < 1 || rounds < 1 {
+		return nil, fmt.Errorf("frontier: invalid connectivity parameters n=%d rounds=%d", n, rounds)
+	}
+	return &ConnectivityProtocol{N: n, PropagationRounds: rounds}, nil
+}
+
+// Name implements bcast.Protocol.
+func (p *ConnectivityProtocol) Name() string {
+	return fmt.Sprintf("connectivity(rounds=%d)", p.PropagationRounds)
+}
+
+// MessageBits implements bcast.Protocol: labels are vertex ids,
+// ⌈log₂ n⌉ bits — this is a BCAST(log n) protocol.
+func (p *ConnectivityProtocol) MessageBits() int { return bcast.MessageBitsForN(p.N) }
+
+// Rounds implements bcast.Protocol.
+func (p *ConnectivityProtocol) Rounds() int { return p.PropagationRounds }
+
+// NewNode implements bcast.Protocol. The input is the processor's
+// adjacency row.
+func (p *ConnectivityProtocol) NewNode(id int, input bitvec.Vector, _ *rng.Stream) bcast.Node {
+	return &connNode{proto: p, id: id, row: input, label: uint64(id)}
+}
+
+type connNode struct {
+	proto *ConnectivityProtocol
+	id    int
+	row   bitvec.Vector
+	label uint64
+}
+
+// Broadcast emits the current label, after folding in the previous
+// round's neighbour labels. Inputs must be symmetric (undirected graphs in
+// directed representation): a processor only sees its own row, so min
+// labels flood one hop per round exactly when every edge is visible from
+// both endpoints. Round r's broadcast therefore reflects r merge steps,
+// and PropagationRounds ≥ diameter + 1 guarantees a fixpoint.
+func (n *connNode) Broadcast(t *bcast.Transcript) uint64 {
+	r := t.CompleteRounds()
+	if r > 0 {
+		prev := t.RoundMessages(r - 1)
+		for j, lbl := range prev {
+			if j != n.id && n.row.Bit(j) == 1 && lbl < n.label {
+				n.label = lbl
+			}
+		}
+	}
+	return n.label
+}
+
+// Output implements bcast.Outputter: the final label as a bit vector.
+func (n *connNode) Output(t *bcast.Transcript) bitvec.Vector {
+	return bitvec.FromUint64(n.proto.MessageBits(), n.label)
+}
+
+// DecideConnected reads the verdict from the final round: connected iff
+// all broadcast labels coincide.
+func (p *ConnectivityProtocol) DecideConnected(t *bcast.Transcript) (bool, error) {
+	if t.CompleteRounds() < p.Rounds() {
+		return false, fmt.Errorf("frontier: connectivity needs %d rounds, transcript has %d",
+			p.Rounds(), t.CompleteRounds())
+	}
+	last := t.RoundMessages(p.Rounds() - 1)
+	for _, lbl := range last {
+		if lbl != last[0] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// RunConnectivity executes the protocol on a graph.
+func RunConnectivity(g *graph.Digraph, rounds int, seed uint64) (connected bool, err error) {
+	p, err := NewConnectivity(g.N(), rounds)
+	if err != nil {
+		return false, err
+	}
+	inputs := rows(g)
+	res, err := bcast.RunRounds(p, inputs, seed)
+	if err != nil {
+		return false, err
+	}
+	return p.DecideConnected(res.Transcript)
+}
+
+func rows(g *graph.Digraph) []bitvec.Vector {
+	out := make([]bitvec.Vector, g.N())
+	for i := range out {
+		out[i] = g.Row(i)
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package frontier
+
+import (
+	"testing"
+
+	"repro/internal/bcast"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestConnectivityOnDenseGnp(t *testing.T) {
+	r := rng.New(1)
+	const n = 64
+	for trial := 0; trial < 10; trial++ {
+		g := graph.SampleGnp(n, 0.3, r)
+		_, comps := g.ConnectedComponents()
+		got, err := RunConnectivity(g, 8, r.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != (comps == 1) {
+			t.Fatalf("protocol said connected=%v, truth has %d components", got, comps)
+		}
+	}
+}
+
+func TestConnectivityOnSparseGnp(t *testing.T) {
+	r := rng.New(2)
+	const n = 64
+	for trial := 0; trial < 10; trial++ {
+		g := graph.SampleGnp(n, 0.01, r)
+		_, comps := g.ConnectedComponents()
+		// Sparse graphs may have larger diameter; give n rounds.
+		got, err := RunConnectivity(g, n, r.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != (comps == 1) {
+			t.Fatalf("protocol said connected=%v, truth has %d components", got, comps)
+		}
+	}
+}
+
+func TestConnectivityPathNeedsDiameterRounds(t *testing.T) {
+	// The path is the worst case: labels flood one hop per round, so
+	// n−1 merges are needed; too few rounds must answer "disconnected"
+	// (a false negative the round budget knowingly accepts), while n
+	// rounds answer correctly.
+	const n = 12
+	g := graph.PathGraph(n)
+	short, err := RunConnectivity(g, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short {
+		t.Fatal("3 rounds cannot flood a diameter-11 path")
+	}
+	full, err := RunConnectivity(g, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full {
+		t.Fatal("n rounds failed to certify a connected path")
+	}
+}
+
+func TestConnectivityDisconnected(t *testing.T) {
+	// Two cliques with no crossing edges.
+	g := graph.New(10)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if i != j {
+				g.SetEdge(i, j, 1)
+				g.SetEdge(i+5, j+5, 1)
+			}
+		}
+	}
+	got, err := RunConnectivity(g, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatal("disconnected graph certified connected")
+	}
+}
+
+func TestConnectivityIsWideProtocol(t *testing.T) {
+	p, err := NewConnectivity(1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MessageBits() != 10 {
+		t.Fatalf("message width %d, want 10 for n=1000", p.MessageBits())
+	}
+	if _, err := NewConnectivity(0, 5); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewConnectivity(5, 0); err == nil {
+		t.Fatal("0 rounds accepted")
+	}
+}
+
+func TestConnectivityEnginesAgree(t *testing.T) {
+	r := rng.New(3)
+	g := graph.SampleGnp(32, 0.2, r)
+	p, err := NewConnectivity(32, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := bcast.RunRounds(p, rows(g), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bcast.RunConcurrent(p, rows(g), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Transcript.Equal(b.Transcript) {
+		t.Fatal("connectivity transcript differs across engines")
+	}
+}
+
+func TestDecideConnectedNeedsFullRun(t *testing.T) {
+	p, err := NewConnectivity(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DecideConnected(bcast.NewTranscript(8, p.MessageBits())); err == nil {
+		t.Fatal("short transcript accepted")
+	}
+}
+
+func TestFullExchangeReconstructs(t *testing.T) {
+	r := rng.New(4)
+	for _, wide := range []bool{false, true} {
+		g := graph.SampleRand(20, r)
+		p := &FullExchangeProtocol{N: 20, Wide: wide}
+		res, err := bcast.RunRounds(p, rows(g), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Reconstruct(res.Transcript)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(g) {
+			t.Fatalf("reconstruction differs from input (wide=%v)", wide)
+		}
+	}
+}
+
+func TestFullExchangeRoundTradeoff(t *testing.T) {
+	narrow := &FullExchangeProtocol{N: 64, Wide: false}
+	wide := &FullExchangeProtocol{N: 64, Wide: true}
+	if narrow.Rounds() != 64 {
+		t.Fatalf("narrow rounds %d", narrow.Rounds())
+	}
+	if wide.Rounds() != 11 { // ceil(64/6); log2(64) width is 6
+		t.Fatalf("wide rounds %d", wide.Rounds())
+	}
+	// Same total bits on the wire up to padding.
+	nb := bcast.TotalBitsBroadcast(narrow, 64)
+	wb := bcast.TotalBitsBroadcast(wide, 64)
+	if wb < nb || wb > nb+6*64 {
+		t.Fatalf("bit totals inconsistent: narrow %d, wide %d", nb, wb)
+	}
+}
+
+func TestFullExchangeReconstructNeedsFullRun(t *testing.T) {
+	p := &FullExchangeProtocol{N: 8}
+	if _, err := p.Reconstruct(bcast.NewTranscript(8, 1)); err == nil {
+		t.Fatal("short transcript accepted")
+	}
+}
+
+func TestTriangleDetectorStrongAboveRootN(t *testing.T) {
+	r := rng.New(5)
+	const n, k, trials = 64, 28, 12
+	adv, err := MeasureTriangleDetector(n, k, trials, true, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv < 0.8 {
+		t.Fatalf("triangle detector advantage %v at k=%d > sqrt(n)", adv, k)
+	}
+}
+
+func TestTriangleDetectorBlindAtFourthRoot(t *testing.T) {
+	r := rng.New(6)
+	const n, k, trials = 64, 3, 16
+	adv, err := MeasureTriangleDetector(n, k, trials, true, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv > 0.4 {
+		t.Fatalf("triangle detector advantage %v at k=n^{1/4}; Theorem 1.1 forbids this", adv)
+	}
+}
+
+func TestTriangleThresholdFormula(t *testing.T) {
+	d := &TriangleDetector{Exchange: FullExchangeProtocol{N: 64}, K: 16}
+	// Background = 64·63·62/6/64 = 651; surplus/2 = 16·15·14/6·(63/64)/2.
+	want := 64.0*63*62/6/64 + 16.0*15*14/6*(63.0/64)/2
+	if got := d.Threshold(); got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("threshold %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,278 @@
+package frontier
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bcast"
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+// Minimum spanning tree on a complete weighted graph — another workload
+// from the Discussion section ("constructing an MST on a complete graph
+// with random weights"). The protocol is Borůvka in the broadcast clique:
+// in each phase every processor broadcasts its minimum-weight edge leaving
+// its current component (⌈log₂n⌉ + weightBits bits); every processor then
+// performs the identical merge locally, since the transcript is shared.
+// Components at least halve per phase, so ⌈log₂n⌉ phases suffice — an
+// O(log n)-round BCAST(log n + log W) protocol.
+
+// WeightedClique is a complete undirected graph with distinct edge
+// weights; processor i's private input is row i of the weight matrix.
+type WeightedClique struct {
+	n       int
+	weights [][]uint64 // symmetric, diagonal unused
+	bits    int        // width of one weight
+}
+
+// NewRandomWeights builds a complete graph on n vertices whose C(n,2)
+// edges carry a uniformly random permutation of 1..C(n,2) — distinct
+// weights, so the MST is unique and tests can compare edge sets exactly.
+func NewRandomWeights(n int, r *rng.Stream) (*WeightedClique, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("frontier: weighted clique needs n >= 2, got %d", n)
+	}
+	edges := n * (n - 1) / 2
+	perm := r.Perm(edges)
+	bits := 1
+	for 1<<uint(bits) <= edges {
+		bits++
+	}
+	w := make([][]uint64, n)
+	for i := range w {
+		w[i] = make([]uint64, n)
+	}
+	idx := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			weight := uint64(perm[idx] + 1)
+			idx++
+			w[i][j] = weight
+			w[j][i] = weight
+		}
+	}
+	return &WeightedClique{n: n, weights: w, bits: bits}, nil
+}
+
+// N returns the vertex count.
+func (wc *WeightedClique) N() int { return wc.n }
+
+// WeightBits returns the per-weight bit width.
+func (wc *WeightedClique) WeightBits() int { return wc.bits }
+
+// Weight returns w(i, j).
+func (wc *WeightedClique) Weight(i, j int) uint64 { return wc.weights[i][j] }
+
+// Row encodes processor i's input: n fixed-width weights, little-endian
+// per weight, position j at offset j·WeightBits.
+func (wc *WeightedClique) Row(i int) bitvec.Vector {
+	row := bitvec.New(wc.n * wc.bits)
+	for j := 0; j < wc.n; j++ {
+		for b := 0; b < wc.bits; b++ {
+			row.SetBit(j*wc.bits+b, wc.weights[i][j]>>uint(b)&1)
+		}
+	}
+	return row
+}
+
+// MSTEdge is one tree edge with endpoints ordered u < v.
+type MSTEdge struct {
+	U, V   int
+	Weight uint64
+}
+
+// ReferenceMST computes the unique MST centrally (Prim), for validation.
+func (wc *WeightedClique) ReferenceMST() []MSTEdge {
+	inTree := make([]bool, wc.n)
+	bestW := make([]uint64, wc.n)
+	bestTo := make([]int, wc.n)
+	for i := range bestW {
+		bestW[i] = ^uint64(0)
+		bestTo[i] = -1
+	}
+	inTree[0] = true
+	for j := 1; j < wc.n; j++ {
+		bestW[j] = wc.weights[0][j]
+		bestTo[j] = 0
+	}
+	var out []MSTEdge
+	for len(out) < wc.n-1 {
+		pick, pw := -1, ^uint64(0)
+		for j := 0; j < wc.n; j++ {
+			if !inTree[j] && bestW[j] < pw {
+				pick, pw = j, bestW[j]
+			}
+		}
+		u, v := bestTo[pick], pick
+		if u > v {
+			u, v = v, u
+		}
+		out = append(out, MSTEdge{U: u, V: v, Weight: pw})
+		inTree[pick] = true
+		for j := 0; j < wc.n; j++ {
+			if !inTree[j] && wc.weights[pick][j] < bestW[j] {
+				bestW[j] = wc.weights[pick][j]
+				bestTo[j] = pick
+			}
+		}
+	}
+	sortEdges(out)
+	return out
+}
+
+func sortEdges(es []MSTEdge) {
+	sort.Slice(es, func(a, b int) bool {
+		if es[a].U != es[b].U {
+			return es[a].U < es[b].U
+		}
+		return es[a].V < es[b].V
+	})
+}
+
+// MSTProtocol runs Borůvka over the broadcast clique.
+type MSTProtocol struct {
+	// N is the number of processors, WeightBits the weight width.
+	N, WeightBits int
+}
+
+var _ bcast.Protocol = (*MSTProtocol)(nil)
+
+// NewMST builds the protocol for a weighted clique's parameters.
+func NewMST(wc *WeightedClique) *MSTProtocol {
+	return &MSTProtocol{N: wc.N(), WeightBits: wc.WeightBits()}
+}
+
+// Name implements bcast.Protocol.
+func (p *MSTProtocol) Name() string { return fmt.Sprintf("boruvka-mst(n=%d)", p.N) }
+
+// MessageBits implements bcast.Protocol: a target id plus a weight.
+func (p *MSTProtocol) MessageBits() int { return bcast.MessageBitsForN(p.N) + p.WeightBits }
+
+// Rounds implements bcast.Protocol: ⌈log₂ n⌉ Borůvka phases.
+func (p *MSTProtocol) Rounds() int { return bcast.MessageBitsForN(p.N) }
+
+// NewNode implements bcast.Protocol.
+func (p *MSTProtocol) NewNode(id int, input bitvec.Vector, _ *rng.Stream) bcast.Node {
+	return &mstNode{proto: p, id: id, row: input}
+}
+
+type mstNode struct {
+	proto *MSTProtocol
+	id    int
+	row   bitvec.Vector
+}
+
+// weightTo decodes w(id, j) from the input row.
+func (n *mstNode) weightTo(j int) uint64 {
+	var w uint64
+	for b := 0; b < n.proto.WeightBits; b++ {
+		w |= n.row.Bit(j*n.proto.WeightBits+b) << uint(b)
+	}
+	return w
+}
+
+// Broadcast emits this phase's candidate edge: the minimum-weight edge to
+// a vertex outside the node's current component, encoded target-low.
+// A node whose component already spans everything emits the sentinel 0
+// weight (weights are ≥ 1, so 0 is unambiguous).
+func (n *mstNode) Broadcast(t *bcast.Transcript) uint64 {
+	labels, _ := ReplayMerges(t, n.proto)
+	bestJ, bestW := -1, ^uint64(0)
+	for j := 0; j < n.proto.N; j++ {
+		if labels[j] == labels[n.id] {
+			continue
+		}
+		if w := n.weightTo(j); w < bestW {
+			bestJ, bestW = j, w
+		}
+	}
+	if bestJ < 0 {
+		return 0
+	}
+	return uint64(bestJ) | bestW<<uint(bcast.MessageBitsForN(n.proto.N))
+}
+
+// Output implements bcast.Outputter: the final component label (all equal
+// when the tree spans).
+func (n *mstNode) Output(t *bcast.Transcript) bitvec.Vector {
+	labels, _ := ReplayMerges(t, n.proto)
+	return bitvec.FromUint64(bcast.MessageBitsForN(n.proto.N), uint64(labels[n.id]))
+}
+
+// ReplayMerges deterministically reconstructs component labels and the
+// accepted tree edges from a transcript prefix — the computation every
+// processor performs locally after each phase.
+func ReplayMerges(t *bcast.Transcript, p *MSTProtocol) (labels []int, tree []MSTEdge) {
+	labels = make([]int, p.N)
+	for i := range labels {
+		labels[i] = i
+	}
+	idBits := uint(bcast.MessageBitsForN(p.N))
+	idMask := uint64(1)<<idBits - 1
+	for round := 0; round < t.CompleteRounds(); round++ {
+		// Collect each component's minimum candidate.
+		type cand struct {
+			from, to int
+			w        uint64
+		}
+		best := make(map[int]cand, p.N)
+		for i := 0; i < p.N; i++ {
+			msg := t.Message(round, i)
+			w := msg >> idBits
+			if w == 0 {
+				continue // sentinel: no outgoing edge
+			}
+			to := int(msg & idMask)
+			c := labels[i]
+			if cur, ok := best[c]; !ok || w < cur.w {
+				best[c] = cand{from: i, to: to, w: w}
+			}
+		}
+		// Merge deterministically in component order.
+		comps := make([]int, 0, len(best))
+		for c := range best {
+			comps = append(comps, c)
+		}
+		sort.Ints(comps)
+		for _, c := range comps {
+			e := best[c]
+			lf, lt := labels[e.from], labels[e.to]
+			if lf == lt {
+				continue // both sides already merged this phase
+			}
+			u, v := e.from, e.to
+			if u > v {
+				u, v = v, u
+			}
+			tree = append(tree, MSTEdge{U: u, V: v, Weight: e.w})
+			lo, hi := lf, lt
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			for i := range labels {
+				if labels[i] == hi {
+					labels[i] = lo
+				}
+			}
+		}
+	}
+	sortEdges(tree)
+	return labels, tree
+}
+
+// RunMST executes the protocol and returns the tree every processor
+// agrees on.
+func RunMST(wc *WeightedClique, seed uint64) ([]MSTEdge, error) {
+	p := NewMST(wc)
+	inputs := make([]bitvec.Vector, wc.N())
+	for i := range inputs {
+		inputs[i] = wc.Row(i)
+	}
+	res, err := bcast.RunRounds(p, inputs, seed)
+	if err != nil {
+		return nil, err
+	}
+	_, tree := ReplayMerges(res.Transcript, p)
+	return tree, nil
+}

@@ -1,0 +1,160 @@
+package frontier
+
+import (
+	"testing"
+
+	"repro/internal/bcast"
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+func TestMSTMatchesPrim(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{2, 3, 5, 16, 33} {
+		wc, err := NewRandomWeights(n, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunMST(wc, r.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := wc.ReferenceMST()
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: protocol found %d edges, Prim %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: edge %d differs: %+v vs %+v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMSTRoundsAreLogN(t *testing.T) {
+	r := rng.New(2)
+	wc, err := NewRandomWeights(64, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewMST(wc)
+	if p.Rounds() != 6 {
+		t.Fatalf("rounds = %d, want log2(64) = 6", p.Rounds())
+	}
+	// Width = vertex id + weight.
+	if p.MessageBits() != bcast.MessageBitsForN(64)+wc.WeightBits() {
+		t.Fatalf("width = %d", p.MessageBits())
+	}
+}
+
+func TestMSTAllNodesAgreeOnSpanningLabel(t *testing.T) {
+	r := rng.New(3)
+	wc, err := NewRandomWeights(20, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewMST(wc)
+	inputs := make([]bitvec.Vector, 20)
+	for i := range inputs {
+		inputs[i] = wc.Row(i)
+	}
+	res, err := bcast.RunRounds(p, inputs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := res.Outputs()
+	for i := 1; i < 20; i++ {
+		if !outs[i].Equal(outs[0]) {
+			t.Fatalf("node %d final component label differs — tree did not span", i)
+		}
+	}
+}
+
+func TestMSTTreeIsSpanningAndAcyclic(t *testing.T) {
+	r := rng.New(4)
+	wc, err := NewRandomWeights(40, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := RunMST(wc, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree) != 39 {
+		t.Fatalf("tree has %d edges, want n-1 = 39", len(tree))
+	}
+	// Union-find check: n-1 edges with no cycle span the graph.
+	parent := make([]int, 40)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range tree {
+		ru, rv := find(e.U), find(e.V)
+		if ru == rv {
+			t.Fatalf("edge %+v creates a cycle", e)
+		}
+		parent[ru] = rv
+	}
+}
+
+func TestMSTWeightsDistinct(t *testing.T) {
+	r := rng.New(5)
+	wc, err := NewRandomWeights(12, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]bool)
+	for i := 0; i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			w := wc.Weight(i, j)
+			if w == 0 {
+				t.Fatal("zero weight collides with the sentinel")
+			}
+			if seen[w] {
+				t.Fatalf("duplicate weight %d", w)
+			}
+			seen[w] = true
+			if wc.Weight(j, i) != w {
+				t.Fatal("weights not symmetric")
+			}
+		}
+	}
+}
+
+func TestMSTConcurrentEngineAgrees(t *testing.T) {
+	r := rng.New(6)
+	wc, err := NewRandomWeights(16, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewMST(wc)
+	inputs := make([]bitvec.Vector, 16)
+	for i := range inputs {
+		inputs[i] = wc.Row(i)
+	}
+	a, err := bcast.RunRounds(p, inputs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bcast.RunConcurrent(p, inputs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Transcript.Equal(b.Transcript) {
+		t.Fatal("MST transcript differs across engines")
+	}
+}
+
+func TestNewRandomWeightsValidates(t *testing.T) {
+	if _, err := NewRandomWeights(1, rng.New(1)); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}

@@ -1,0 +1,134 @@
+package frontier
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestSBMValidate(t *testing.T) {
+	if err := (SBM{N: 7, PIn: 0.5, POut: 0.5}).Validate(); err == nil {
+		t.Fatal("odd n accepted")
+	}
+	if err := (SBM{N: 8, PIn: 1.5, POut: 0.5}).Validate(); err == nil {
+		t.Fatal("p > 1 accepted")
+	}
+	if err := (SBM{N: 8, PIn: 0.8, POut: 0.2}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSBMSampleBalancedCommunities(t *testing.T) {
+	r := rng.New(1)
+	m := SBM{N: 40, PIn: 0.8, POut: 0.2}
+	g, comm, err := m.Sample(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsSymmetric() {
+		t.Fatal("SBM graph not symmetric")
+	}
+	ones := 0
+	for _, c := range comm {
+		if c {
+			ones++
+		}
+	}
+	if ones != 20 {
+		t.Fatalf("community sizes %d/%d, want balanced", ones, 40-ones)
+	}
+}
+
+func TestSBMEdgeDensities(t *testing.T) {
+	r := rng.New(2)
+	m := SBM{N: 60, PIn: 0.9, POut: 0.1}
+	within, cross := 0, 0
+	withinTot, crossTot := 0, 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		g, comm, err := m.Sample(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < m.N; i++ {
+			for j := i + 1; j < m.N; j++ {
+				if comm[i] == comm[j] {
+					withinTot++
+					if g.HasEdge(i, j) {
+						within++
+					}
+				} else {
+					crossTot++
+					if g.HasEdge(i, j) {
+						cross++
+					}
+				}
+			}
+		}
+	}
+	if rate := float64(within) / float64(withinTot); math.Abs(rate-0.9) > 0.03 {
+		t.Fatalf("within-community rate %v, want 0.9", rate)
+	}
+	if rate := float64(cross) / float64(crossTot); math.Abs(rate-0.1) > 0.03 {
+		t.Fatalf("cross-community rate %v, want 0.1", rate)
+	}
+}
+
+func TestSBMNullMatchesDensity(t *testing.T) {
+	r := rng.New(3)
+	m := SBM{N: 60, PIn: 0.7, POut: 0.3}
+	var sbmEdges, nullEdges float64
+	const trials = 15
+	for trial := 0; trial < trials; trial++ {
+		g, _, err := m.Sample(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sbmEdges += float64(g.EdgeCount())
+		g, err = m.SampleNull(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nullEdges += float64(g.EdgeCount())
+	}
+	if math.Abs(sbmEdges-nullEdges)/sbmEdges > 0.05 {
+		t.Fatalf("null density mismatched: SBM %v vs null %v edges", sbmEdges/trials, nullEdges/trials)
+	}
+}
+
+func TestCommunityDetectorStrongSeparation(t *testing.T) {
+	r := rng.New(4)
+	m := SBM{N: 64, PIn: 0.9, POut: 0.1}
+	adv, err := MeasureCommunityDetector(m, 15, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv < 0.8 {
+		t.Fatalf("detector advantage %v on a strongly separated SBM", adv)
+	}
+}
+
+func TestCommunityDetectorBlindWithoutSeparation(t *testing.T) {
+	// p_in = p_out: the SBM *is* the null; advantage must vanish.
+	r := rng.New(5)
+	m := SBM{N: 64, PIn: 0.5, POut: 0.5}
+	adv, err := MeasureCommunityDetector(m, 20, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv > 0.3 {
+		t.Fatalf("detector advantage %v with identical blocks — impossible signal", adv)
+	}
+}
+
+func TestCommunityDetectorRoundBudget(t *testing.T) {
+	d := &CommunityDetector{Model: SBM{N: 64, PIn: 0.8, POut: 0.2}}
+	// Phase 1: ceil(64/7) = 10 rounds (width for n+1=65 is 7); phase 2: 1.
+	if d.MessageBits() != 7 {
+		t.Fatalf("width %d", d.MessageBits())
+	}
+	if d.Rounds() != 11 {
+		t.Fatalf("rounds %d", d.Rounds())
+	}
+}

@@ -1,0 +1,172 @@
+package frontier
+
+import (
+	"fmt"
+
+	"repro/internal/bcast"
+	"repro/internal/bitvec"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// FullExchangeProtocol is the full-information baseline of the model:
+// over ⌈n/w⌉ rounds (w = message width) every processor broadcasts its
+// entire adjacency row, after which each processor knows the whole graph
+// and can compute anything locally. It is the upper bound every
+// lower-bound question in the Discussion is measured against — triangle
+// counting, MST, diameter, and connectivity all cost at most n/w rounds
+// this way.
+type FullExchangeProtocol struct {
+	// N is the number of processors/vertices.
+	N int
+	// Wide selects BCAST(log n) messages (⌈log₂n⌉ bits) instead of
+	// BCAST(1), cutting rounds by the same factor — the paper's footnote 1
+	// tradeoff made concrete.
+	Wide bool
+}
+
+var _ bcast.Protocol = (*FullExchangeProtocol)(nil)
+
+// Name implements bcast.Protocol.
+func (p *FullExchangeProtocol) Name() string {
+	if p.Wide {
+		return "full-exchange(BCAST(log n))"
+	}
+	return "full-exchange(BCAST(1))"
+}
+
+// MessageBits implements bcast.Protocol.
+func (p *FullExchangeProtocol) MessageBits() int {
+	if p.Wide {
+		return bcast.MessageBitsForN(p.N)
+	}
+	return 1
+}
+
+// Rounds implements bcast.Protocol: ⌈n / width⌉.
+func (p *FullExchangeProtocol) Rounds() int {
+	w := p.MessageBits()
+	return (p.N + w - 1) / w
+}
+
+// NewNode implements bcast.Protocol: round r broadcasts bits
+// [r·w, (r+1)·w) of the processor's row, packed little-endian.
+func (p *FullExchangeProtocol) NewNode(_ int, input bitvec.Vector, _ *rng.Stream) bcast.Node {
+	w := p.MessageBits()
+	return bcast.NodeFunc(func(t *bcast.Transcript) uint64 {
+		r := t.CompleteRounds()
+		var msg uint64
+		for b := 0; b < w; b++ {
+			idx := r*w + b
+			if idx < input.Len() {
+				msg |= input.Bit(idx) << uint(b)
+			}
+		}
+		return msg
+	})
+}
+
+// Reconstruct rebuilds the full graph from a finished transcript. Every
+// processor performs exactly this computation locally, so whatever is
+// decided from the result is a legitimate protocol output.
+func (p *FullExchangeProtocol) Reconstruct(t *bcast.Transcript) (*graph.Digraph, error) {
+	if t.CompleteRounds() < p.Rounds() {
+		return nil, fmt.Errorf("frontier: full exchange needs %d rounds, transcript has %d",
+			p.Rounds(), t.CompleteRounds())
+	}
+	w := p.MessageBits()
+	g := graph.New(p.N)
+	for i := 0; i < p.N; i++ {
+		row := bitvec.New(p.N)
+		for r := 0; r < p.Rounds(); r++ {
+			msg := t.Message(r, i)
+			for b := 0; b < w; b++ {
+				idx := r*w + b
+				if idx < p.N {
+					row.SetBit(idx, msg>>uint(b)&1)
+				}
+			}
+		}
+		g.SetRow(i, row)
+	}
+	return g, nil
+}
+
+// TriangleDetector decides planted-vs-random by the global (mutual)
+// triangle count after a full exchange: a planted k-clique adds Θ(k³)
+// triangles on top of the Binomial(n³/6, 1/64)-distributed background, so
+// the statistic separates once k³ ≫ n^{1.5} — i.e. k ≳ √n, the same
+// threshold as degree counting but through a different lens. Below n^{1/4}
+// it is blind, as Theorem 1.1 demands of every protocol.
+type TriangleDetector struct {
+	// Exchange is the underlying full-information protocol.
+	Exchange FullExchangeProtocol
+	// K is the clique-size hypothesis setting the decision threshold.
+	K int
+}
+
+// Name identifies the detector.
+func (d *TriangleDetector) Name() string {
+	return fmt.Sprintf("triangle-detector(k=%d)", d.K)
+}
+
+// Threshold returns the acceptance cutoff: the background mean
+// C(n,3)/64·... — for mutual triangles each unordered triple needs 6
+// directed edges, probability 2^{−6} — plus half the planted surplus
+// C(k,3)·(1 − 2^{−6}).
+func (d *TriangleDetector) Threshold() float64 {
+	n := float64(d.Exchange.N)
+	k := float64(d.K)
+	background := n * (n - 1) * (n - 2) / 6 / 64
+	surplus := k * (k - 1) * (k - 2) / 6 * (1 - 1.0/64)
+	return background + surplus/2
+}
+
+// Decide runs the statistic on a finished full-exchange transcript.
+func (d *TriangleDetector) Decide(t *bcast.Transcript) (bool, error) {
+	g, err := d.Exchange.Reconstruct(t)
+	if err != nil {
+		return false, err
+	}
+	return float64(g.CountTriangles()) >= d.Threshold(), nil
+}
+
+// MeasureTriangleDetector reports the detector's advantage over planted
+// and random inputs at the given parameters.
+func MeasureTriangleDetector(n, k, trials int, wide bool, r *rng.Stream) (advantage float64, err error) {
+	d := &TriangleDetector{Exchange: FullExchangeProtocol{N: n, Wide: wide}, K: k}
+	planted, random := 0, 0
+	for i := 0; i < trials; i++ {
+		g, _, err := graph.SamplePlanted(n, k, r)
+		if err != nil {
+			return 0, err
+		}
+		ok, err := runTriangle(d, g, r.Uint64())
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			planted++
+		}
+		ok, err = runTriangle(d, graph.SampleRand(n, r), r.Uint64())
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			random++
+		}
+	}
+	adv := float64(planted-random) / float64(trials)
+	if adv < 0 {
+		adv = -adv
+	}
+	return adv, nil
+}
+
+func runTriangle(d *TriangleDetector, g *graph.Digraph, seed uint64) (bool, error) {
+	res, err := bcast.RunRounds(&d.Exchange, rows(g), seed)
+	if err != nil {
+		return false, err
+	}
+	return d.Decide(res.Transcript)
+}

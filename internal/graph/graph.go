@@ -1,0 +1,279 @@
+// Package graph provides the directed random-graph substrate for the
+// planted-clique problem.
+//
+// The paper's inputs are n×n 0/1 adjacency matrices with a zero diagonal:
+// A_rand has each off-diagonal entry an independent fair coin; A_C
+// conditions A_rand on "C is a clique" (all ordered pairs inside C present);
+// A_k plants a uniformly random size-k clique. Processor i receives row i.
+// The package implements those samplers, clique verification, exact maximum
+// clique (for validating recovered cliques at small scale), and the degree
+// statistics used by the √n-regime upper bound.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+// Digraph is a directed graph on n vertices stored as packed adjacency
+// rows: Row(i) bit j is the edge i→j. The diagonal is always 0, matching
+// the paper's A_{i,i} = 0 convention.
+type Digraph struct {
+	n   int
+	adj []bitvec.Vector
+}
+
+// New returns an empty digraph on n vertices.
+func New(n int) *Digraph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	g := &Digraph{n: n, adj: make([]bitvec.Vector, n)}
+	for i := range g.adj {
+		g.adj[i] = bitvec.New(n)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Digraph) N() int { return g.n }
+
+// HasEdge reports whether the edge i→j is present.
+func (g *Digraph) HasEdge(i, j int) bool { return g.adj[i].Bit(j) == 1 }
+
+// SetEdge sets edge i→j present (b=1) or absent (b=0). Self-loops are
+// rejected because the input distributions never contain them.
+func (g *Digraph) SetEdge(i, j int, b uint64) {
+	if i == j {
+		panic("graph: self-loop not allowed")
+	}
+	g.adj[i].SetBit(j, b)
+}
+
+// Row returns a copy of vertex i's adjacency row — exactly the input the
+// paper hands to processor i.
+func (g *Digraph) Row(i int) bitvec.Vector { return g.adj[i].Clone() }
+
+// SetRow installs row i wholesale (the diagonal bit is forced to 0).
+func (g *Digraph) SetRow(i int, v bitvec.Vector) {
+	if v.Len() != g.n {
+		panic("graph: SetRow length mismatch")
+	}
+	c := v.Clone()
+	c.SetBit(i, 0)
+	g.adj[i] = c
+}
+
+// OutDegree returns the out-degree of vertex i.
+func (g *Digraph) OutDegree(i int) int { return g.adj[i].PopCount() }
+
+// MutualRow returns the bit vector of vertices j with edges in both
+// directions between i and j (i→j and j→i). Mutual edges are what a clique
+// requires, so the clique machinery operates on these rows.
+func (g *Digraph) MutualRow(i int) bitvec.Vector {
+	out := bitvec.New(g.n)
+	for _, j := range g.adj[i].Ones() {
+		if g.adj[j].Bit(i) == 1 {
+			out.SetBit(j, 1)
+		}
+	}
+	return out
+}
+
+// MutualDegree returns the number of mutual neighbours of i.
+func (g *Digraph) MutualDegree(i int) int { return g.MutualRow(i).PopCount() }
+
+// SampleRand draws from A_rand: every off-diagonal ordered pair is an
+// independent fair coin.
+func SampleRand(n int, r *rng.Stream) *Digraph {
+	g := &Digraph{n: n, adj: make([]bitvec.Vector, n)}
+	for i := range g.adj {
+		row := bitvec.Random(n, r)
+		row.SetBit(i, 0)
+		g.adj[i] = row
+	}
+	return g
+}
+
+// SampleWithClique draws from A_C: uniform except that every ordered pair
+// inside the given set is forced present. The set must contain distinct
+// valid vertices.
+func SampleWithClique(n int, clique []int, r *rng.Stream) (*Digraph, error) {
+	if err := validateSet(n, clique); err != nil {
+		return nil, err
+	}
+	g := SampleRand(n, r)
+	for _, i := range clique {
+		for _, j := range clique {
+			if i != j {
+				g.SetEdge(i, j, 1)
+			}
+		}
+	}
+	return g, nil
+}
+
+// SamplePlanted draws from A_k: a uniformly random size-k clique is chosen
+// and planted into an otherwise uniform graph. It returns the graph and the
+// planted set (sorted).
+func SamplePlanted(n, k int, r *rng.Stream) (*Digraph, []int, error) {
+	if k < 0 || k > n {
+		return nil, nil, fmt.Errorf("graph: clique size %d out of range for n=%d", k, n)
+	}
+	clique := r.Subset(n, k)
+	g, err := SampleWithClique(n, clique, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, clique, nil
+}
+
+func validateSet(n int, set []int) error {
+	seen := make(map[int]struct{}, len(set))
+	for _, v := range set {
+		if v < 0 || v >= n {
+			return fmt.Errorf("graph: vertex %d out of range [0,%d)", v, n)
+		}
+		if _, dup := seen[v]; dup {
+			return fmt.Errorf("graph: duplicate vertex %d", v)
+		}
+		seen[v] = struct{}{}
+	}
+	return nil
+}
+
+// IsClique reports whether every ordered pair inside the set has an edge —
+// the paper's directed-clique condition.
+func (g *Digraph) IsClique(set []int) bool {
+	for _, i := range set {
+		for _, j := range set {
+			if i != j && !g.HasEdge(i, j) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// mutualMatrix builds all mutual rows once for clique search.
+func (g *Digraph) mutualMatrix() []bitvec.Vector {
+	rows := make([]bitvec.Vector, g.n)
+	for i := range rows {
+		rows[i] = g.MutualRow(i)
+	}
+	return rows
+}
+
+// MaxClique returns one maximum directed clique (a set where all ordered
+// pairs have edges), found with Bron-Kerbosch with pivoting on the mutual
+// graph. Exact but exponential in the worst case; intended for the modest
+// n used in validation, where random graphs keep cliques at O(log n).
+func (g *Digraph) MaxClique() []int {
+	mutual := g.mutualMatrix()
+	best := bitvec.New(g.n)
+
+	all := bitvec.New(g.n)
+	for i := 0; i < g.n; i++ {
+		all.SetBit(i, 1)
+	}
+
+	var expand func(current, candidates, excluded bitvec.Vector)
+	expand = func(current, candidates, excluded bitvec.Vector) {
+		if candidates.IsZero() && excluded.IsZero() {
+			if current.PopCount() > best.PopCount() {
+				best = current.Clone()
+			}
+			return
+		}
+		if current.PopCount()+candidates.PopCount() <= best.PopCount() {
+			return // bound: cannot beat the incumbent
+		}
+		// Pivot: choose u from candidates ∪ excluded maximizing coverage.
+		pivot, bestCover := -1, -1
+		for _, u := range candidates.Ones() {
+			cover := candidates.And(mutual[u]).PopCount()
+			if cover > bestCover {
+				pivot, bestCover = u, cover
+			}
+		}
+		for _, u := range excluded.Ones() {
+			cover := candidates.And(mutual[u]).PopCount()
+			if cover > bestCover {
+				pivot, bestCover = u, cover
+			}
+		}
+		branch := candidates.Clone()
+		if pivot >= 0 {
+			// Skip candidates adjacent to the pivot.
+			for _, v := range mutual[pivot].Ones() {
+				branch.SetBit(v, 0)
+			}
+		}
+		cand := candidates.Clone()
+		excl := excluded.Clone()
+		for _, v := range branch.Ones() {
+			next := current.Clone()
+			next.SetBit(v, 1)
+			expand(next, cand.And(mutual[v]), excl.And(mutual[v]))
+			cand.SetBit(v, 0)
+			excl.SetBit(v, 1)
+		}
+	}
+
+	expand(bitvec.New(g.n), all, bitvec.New(g.n))
+	return best.Ones()
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertices
+// (sorted copies; vertex i of the result is vertices[i] of g).
+func (g *Digraph) InducedSubgraph(vertices []int) (*Digraph, error) {
+	if err := validateSet(g.n, vertices); err != nil {
+		return nil, err
+	}
+	vs := append([]int(nil), vertices...)
+	sort.Ints(vs)
+	sub := New(len(vs))
+	for a, i := range vs {
+		for b, j := range vs {
+			if a != b && g.HasEdge(i, j) {
+				sub.SetEdge(a, b, 1)
+			}
+		}
+	}
+	return sub, nil
+}
+
+// EdgeCount returns the number of directed edges.
+func (g *Digraph) EdgeCount() int {
+	total := 0
+	for i := range g.adj {
+		total += g.adj[i].PopCount()
+	}
+	return total
+}
+
+// Equal reports whether two digraphs have identical vertex count and edges.
+func (g *Digraph) Equal(o *Digraph) bool {
+	if g.n != o.n {
+		return false
+	}
+	for i := range g.adj {
+		if !g.adj[i].Equal(o.adj[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical map key for the exact graph (used when
+// enumerating transcript distributions over small graphs).
+func (g *Digraph) Key() string {
+	key := make([]byte, 0, g.n*((g.n+7)/8))
+	for i := range g.adj {
+		key = append(key, g.adj[i].Key()...)
+	}
+	return string(key)
+}

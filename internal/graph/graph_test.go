@@ -1,0 +1,316 @@
+package graph
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNewEmpty(t *testing.T) {
+	g := New(5)
+	if g.N() != 5 || g.EdgeCount() != 0 {
+		t.Fatalf("New(5): n=%d edges=%d", g.N(), g.EdgeCount())
+	}
+}
+
+func TestSetEdgeRejectsSelfLoop(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-loop accepted")
+		}
+	}()
+	New(3).SetEdge(1, 1, 1)
+}
+
+func TestSampleRandNoDiagonal(t *testing.T) {
+	r := rng.New(1)
+	g := SampleRand(50, r)
+	for i := 0; i < 50; i++ {
+		if g.HasEdge(i, i) {
+			t.Fatalf("diagonal edge at %d", i)
+		}
+	}
+}
+
+func TestSampleRandEdgeDensity(t *testing.T) {
+	r := rng.New(2)
+	const n = 100
+	g := SampleRand(n, r)
+	total := g.EdgeCount()
+	want := float64(n*(n-1)) / 2 // half of all ordered pairs
+	if math.Abs(float64(total)-want) > 4*math.Sqrt(want/2) {
+		t.Fatalf("edge count %d, want about %.0f", total, want)
+	}
+}
+
+func TestSampleWithCliqueForcesEdges(t *testing.T) {
+	r := rng.New(3)
+	clique := []int{2, 5, 9, 17}
+	g, err := SampleWithClique(30, clique, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsClique(clique) {
+		t.Fatal("planted set is not a clique")
+	}
+}
+
+func TestSampleWithCliqueRejectsBad(t *testing.T) {
+	r := rng.New(4)
+	if _, err := SampleWithClique(10, []int{1, 1}, r); err == nil {
+		t.Fatal("duplicate vertex accepted")
+	}
+	if _, err := SampleWithClique(10, []int{10}, r); err == nil {
+		t.Fatal("out-of-range vertex accepted")
+	}
+}
+
+func TestSamplePlanted(t *testing.T) {
+	r := rng.New(5)
+	g, clique, err := SamplePlanted(64, 8, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clique) != 8 {
+		t.Fatalf("planted clique size %d", len(clique))
+	}
+	if !sort.IntsAreSorted(clique) {
+		t.Fatalf("clique %v not sorted", clique)
+	}
+	if !g.IsClique(clique) {
+		t.Fatal("planted set not a clique")
+	}
+}
+
+func TestSamplePlantedRejectsBadK(t *testing.T) {
+	r := rng.New(6)
+	if _, _, err := SamplePlanted(10, 11, r); err == nil {
+		t.Fatal("k > n accepted")
+	}
+	if _, _, err := SamplePlanted(10, -1, r); err == nil {
+		t.Fatal("negative k accepted")
+	}
+}
+
+func TestIsCliqueNegative(t *testing.T) {
+	g := New(4)
+	g.SetEdge(0, 1, 1)
+	// 1->0 missing: {0,1} is not a directed clique.
+	if g.IsClique([]int{0, 1}) {
+		t.Fatal("half-connected pair reported as clique")
+	}
+	g.SetEdge(1, 0, 1)
+	if !g.IsClique([]int{0, 1}) {
+		t.Fatal("mutual pair not recognized as clique")
+	}
+}
+
+func TestIsCliqueTrivial(t *testing.T) {
+	g := New(3)
+	if !g.IsClique(nil) || !g.IsClique([]int{2}) {
+		t.Fatal("empty and singleton sets must be cliques")
+	}
+}
+
+func TestMutualRow(t *testing.T) {
+	g := New(4)
+	g.SetEdge(0, 1, 1)
+	g.SetEdge(1, 0, 1)
+	g.SetEdge(0, 2, 1) // one-directional
+	m := g.MutualRow(0)
+	if m.Bit(1) != 1 || m.Bit(2) != 0 || m.Bit(3) != 0 {
+		t.Fatalf("MutualRow(0) = %s", m)
+	}
+	if g.MutualDegree(0) != 1 {
+		t.Fatalf("MutualDegree(0) = %d", g.MutualDegree(0))
+	}
+}
+
+func TestMaxCliqueFindsPlanted(t *testing.T) {
+	r := rng.New(7)
+	const n, k = 40, 12
+	g, clique, err := SamplePlanted(n, k, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := g.MaxClique()
+	if len(found) < k {
+		t.Fatalf("MaxClique found size %d, planted %d", len(found), k)
+	}
+	if !g.IsClique(found) {
+		t.Fatalf("MaxClique output %v is not a clique", found)
+	}
+	// With k=12 >> log2(40), the planted clique is the unique maximum whp;
+	// check the overlap is total.
+	inPlanted := make(map[int]bool, k)
+	for _, v := range clique {
+		inPlanted[v] = true
+	}
+	overlap := 0
+	for _, v := range found {
+		if inPlanted[v] {
+			overlap++
+		}
+	}
+	if overlap < k {
+		t.Fatalf("found clique %v overlaps planted %v in only %d vertices", found, clique, overlap)
+	}
+}
+
+func TestMaxCliqueOnRandomGraphIsSmall(t *testing.T) {
+	// A random directed graph has mutual-edge density 1/4, so its largest
+	// directed clique is ~2·log_4 n + O(1). For n=40 that is about 6.
+	r := rng.New(8)
+	g := SampleRand(40, r)
+	found := g.MaxClique()
+	if !g.IsClique(found) {
+		t.Fatal("MaxClique returned a non-clique")
+	}
+	if len(found) > 10 {
+		t.Fatalf("random graph produced implausibly large clique %v", found)
+	}
+	if len(found) < 2 {
+		t.Fatalf("random graph clique too small: %v", found)
+	}
+}
+
+func TestMaxCliqueExactOnTinyGraphs(t *testing.T) {
+	// Brute-force cross-check on 8-vertex graphs.
+	r := rng.New(9)
+	for trial := 0; trial < 20; trial++ {
+		g := SampleRand(8, r)
+		got := len(g.MaxClique())
+		want := bruteMaxClique(g)
+		if got != want {
+			t.Fatalf("MaxClique size %d, brute force %d", got, want)
+		}
+	}
+}
+
+func bruteMaxClique(g *Digraph) int {
+	n := g.N()
+	best := 0
+	for mask := 0; mask < 1<<n; mask++ {
+		var set []int
+		for i := 0; i < n; i++ {
+			if mask>>i&1 == 1 {
+				set = append(set, i)
+			}
+		}
+		if len(set) > best && g.IsClique(set) {
+			best = len(set)
+		}
+	}
+	return best
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	r := rng.New(10)
+	g := SampleRand(12, r)
+	vs := []int{1, 4, 7, 9}
+	sub, err := g.InducedSubgraph(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 4 {
+		t.Fatalf("subgraph size %d", sub.N())
+	}
+	for a, i := range vs {
+		for b, j := range vs {
+			if a == b {
+				continue
+			}
+			if sub.HasEdge(a, b) != g.HasEdge(i, j) {
+				t.Fatalf("subgraph edge (%d,%d) mismatch", a, b)
+			}
+		}
+	}
+}
+
+func TestInducedSubgraphRejectsBad(t *testing.T) {
+	g := New(5)
+	if _, err := g.InducedSubgraph([]int{0, 7}); err == nil {
+		t.Fatal("out-of-range vertex accepted")
+	}
+}
+
+func TestSetRowForcesDiagonalZero(t *testing.T) {
+	g := New(4)
+	row := g.Row(1)
+	row.SetBit(1, 1)
+	row.SetBit(2, 1)
+	g.SetRow(1, row)
+	if g.HasEdge(1, 1) {
+		t.Fatal("SetRow allowed diagonal bit")
+	}
+	if !g.HasEdge(1, 2) {
+		t.Fatal("SetRow dropped a real edge")
+	}
+}
+
+func TestKeyDistinguishesGraphs(t *testing.T) {
+	r := rng.New(11)
+	a := SampleRand(10, r)
+	b := SampleRand(10, r)
+	if a.Equal(b) {
+		t.Skip("improbable equal samples")
+	}
+	if a.Key() == b.Key() {
+		t.Fatal("distinct graphs share a key")
+	}
+	if a.Key() != a.Key() {
+		t.Fatal("key not deterministic")
+	}
+}
+
+func TestPlantedDegreeShift(t *testing.T) {
+	// Clique members gain expected out-degree (k-1)/2 over background:
+	// the signal behind the degree-based algorithm for k >> sqrt(n).
+	r := rng.New(12)
+	const n, k, trials = 200, 60, 20
+	var cliqueDeg, otherDeg float64
+	var cliqueCnt, otherCnt int
+	for trial := 0; trial < trials; trial++ {
+		g, clique, err := SamplePlanted(n, k, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := make(map[int]bool, k)
+		for _, v := range clique {
+			in[v] = true
+		}
+		for i := 0; i < n; i++ {
+			if in[i] {
+				cliqueDeg += float64(g.OutDegree(i))
+				cliqueCnt++
+			} else {
+				otherDeg += float64(g.OutDegree(i))
+				otherCnt++
+			}
+		}
+	}
+	gap := cliqueDeg/float64(cliqueCnt) - otherDeg/float64(otherCnt)
+	want := float64(k-1) / 2
+	if math.Abs(gap-want) > 5 {
+		t.Fatalf("degree gap %.2f, want about %.2f", gap, want)
+	}
+}
+
+func BenchmarkSampleRand512(b *testing.B) {
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SampleRand(512, r)
+	}
+}
+
+func BenchmarkMaxClique40(b *testing.B) {
+	r := rng.New(1)
+	g := SampleRand(40, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.MaxClique()
+	}
+}

@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Undirected sampling. The paper's lower-bound framework needs directed
+// graphs (rows independent given the clique placement); its Discussion
+// section poses the undirected case — where row i and row j share the bit
+// A_{i,j} = A_{j,i} — as an open problem. These samplers provide that
+// input family so the repository's protocols can be exercised on it; note
+// that no Family decomposition exists for it here, exactly because the
+// rows are dependent.
+
+// SampleUndirectedRand draws a uniform undirected graph: each unordered
+// pair {i, j} is an independent fair coin, mirrored into both directions.
+func SampleUndirectedRand(n int, r *rng.Stream) *Digraph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b := r.Bit()
+			g.SetEdge(i, j, b)
+			g.SetEdge(j, i, b)
+		}
+	}
+	return g
+}
+
+// SampleUndirectedPlanted plants a k-clique into a uniform undirected
+// graph and returns the graph with the planted set.
+func SampleUndirectedPlanted(n, k int, r *rng.Stream) (*Digraph, []int, error) {
+	if k < 0 || k > n {
+		return nil, nil, fmt.Errorf("graph: clique size %d out of range for n=%d", k, n)
+	}
+	g := SampleUndirectedRand(n, r)
+	clique := r.Subset(n, k)
+	for _, i := range clique {
+		for _, j := range clique {
+			if i != j {
+				g.SetEdge(i, j, 1)
+			}
+		}
+	}
+	return g, clique, nil
+}
+
+// IsSymmetric reports whether every edge is mirrored (the graph is
+// undirected in directed representation).
+func (g *Digraph) IsSymmetric() bool {
+	for i := 0; i < g.n; i++ {
+		for _, j := range g.adj[i].Ones() {
+			if !g.HasEdge(j, i) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CountTriangles returns the number of triangles, counting {i, j, k} once
+// when all six directed edges are present (for symmetric graphs this is
+// the usual undirected triangle count; for directed graphs it counts
+// mutual triangles — the statistic a planted clique inflates by Θ(k³)).
+func (g *Digraph) CountTriangles() int {
+	mutual := g.mutualMatrix()
+	count := 0
+	for i := 0; i < g.n; i++ {
+		for _, j := range mutual[i].Ones() {
+			if j <= i {
+				continue
+			}
+			common := mutual[i].And(mutual[j])
+			for _, k := range common.Ones() {
+				if k > j {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+// ConnectedComponents labels vertices by connected component over the
+// undirected support (an edge exists when either direction is present)
+// and returns the labels (smallest vertex id in each component) plus the
+// component count. This is the ground truth for the connectivity
+// protocol.
+func (g *Digraph) ConnectedComponents() (labels []int, count int) {
+	labels = make([]int, g.n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	for s := 0; s < g.n; s++ {
+		if labels[s] >= 0 {
+			continue
+		}
+		count++
+		stack := []int{s}
+		labels[s] = s
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for u := 0; u < g.n; u++ {
+				if u != v && labels[u] < 0 && (g.HasEdge(v, u) || g.HasEdge(u, v)) {
+					labels[u] = s
+					stack = append(stack, u)
+				}
+			}
+		}
+	}
+	return labels, count
+}
+
+// SampleGnp draws an undirected Erdős–Rényi G(n, p) graph in directed
+// representation (each unordered pair present with probability p,
+// mirrored).
+func SampleGnp(n int, p float64, r *rng.Stream) *Digraph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Bernoulli(p) {
+				g.SetEdge(i, j, 1)
+				g.SetEdge(j, i, 1)
+			}
+		}
+	}
+	return g
+}
+
+// PathGraph returns the path 0−1−…−(n−1) in symmetric representation:
+// the diameter-(n−1) worst case for label-propagation protocols.
+func PathGraph(n int) *Digraph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.SetEdge(i, i+1, 1)
+		g.SetEdge(i+1, i, 1)
+	}
+	return g
+}

@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestSampleUndirectedRandSymmetric(t *testing.T) {
+	r := rng.New(1)
+	g := SampleUndirectedRand(40, r)
+	if !g.IsSymmetric() {
+		t.Fatal("undirected sample not symmetric")
+	}
+	// Edge density 1/2 over unordered pairs.
+	want := float64(40*39) / 2
+	if math.Abs(float64(g.EdgeCount())-want) > 5*math.Sqrt(want/2) {
+		t.Fatalf("edge count %d, want about %.0f", g.EdgeCount(), want)
+	}
+}
+
+func TestSampleUndirectedPlanted(t *testing.T) {
+	r := rng.New(2)
+	g, clique, err := SampleUndirectedPlanted(40, 10, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsSymmetric() {
+		t.Fatal("planted undirected graph not symmetric")
+	}
+	if !g.IsClique(clique) {
+		t.Fatal("planted set not a clique")
+	}
+	if _, _, err := SampleUndirectedPlanted(5, 6, r); err == nil {
+		t.Fatal("k > n accepted")
+	}
+}
+
+func TestIsSymmetricNegative(t *testing.T) {
+	g := New(3)
+	g.SetEdge(0, 1, 1)
+	if g.IsSymmetric() {
+		t.Fatal("one-directional edge reported symmetric")
+	}
+}
+
+func TestUndirectedRowsAreDependent(t *testing.T) {
+	// The open-problem obstruction: row i and row j share bit {i,j}.
+	r := rng.New(3)
+	agree := 0
+	const trials = 500
+	for i := 0; i < trials; i++ {
+		g := SampleUndirectedRand(4, r)
+		if g.HasEdge(0, 1) == g.HasEdge(1, 0) {
+			agree++
+		}
+	}
+	if agree != trials {
+		t.Fatalf("mirrored bits agreed only %d/%d times", agree, trials)
+	}
+}
+
+func TestCountTrianglesKnownGraphs(t *testing.T) {
+	// Complete symmetric graph on 5 vertices: C(5,3) = 10 triangles.
+	g := New(5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if i != j {
+				g.SetEdge(i, j, 1)
+			}
+		}
+	}
+	if got := g.CountTriangles(); got != 10 {
+		t.Fatalf("K5 triangles = %d, want 10", got)
+	}
+	// Path graph: none.
+	if got := PathGraph(6).CountTriangles(); got != 0 {
+		t.Fatalf("path triangles = %d", got)
+	}
+}
+
+func TestCountTrianglesMatchesBruteForce(t *testing.T) {
+	r := rng.New(4)
+	for trial := 0; trial < 20; trial++ {
+		g := SampleRand(10, r)
+		want := 0
+		for i := 0; i < 10; i++ {
+			for j := i + 1; j < 10; j++ {
+				for k := j + 1; k < 10; k++ {
+					if g.IsClique([]int{i, j, k}) {
+						want++
+					}
+				}
+			}
+		}
+		if got := g.CountTriangles(); got != want {
+			t.Fatalf("CountTriangles = %d, brute force %d", got, want)
+		}
+	}
+}
+
+func TestPlantedTriangleSurplus(t *testing.T) {
+	// A planted k-clique contributes about C(k,3) extra triangles.
+	r := rng.New(5)
+	const n, k, trials = 64, 24, 10
+	var planted, random float64
+	for i := 0; i < trials; i++ {
+		g, _, err := SamplePlanted(n, k, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		planted += float64(g.CountTriangles())
+		random += float64(SampleRand(n, r).CountTriangles())
+	}
+	surplus := (planted - random) / trials
+	want := float64(k*(k-1)*(k-2)) / 6 * (1 - 1.0/64)
+	if math.Abs(surplus-want) > want/2 {
+		t.Fatalf("triangle surplus %.0f, want about %.0f", surplus, want)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	// Two disjoint mirrored edges + isolated vertex: 3 components.
+	g := New(5)
+	g.SetEdge(0, 1, 1)
+	g.SetEdge(1, 0, 1)
+	g.SetEdge(2, 3, 1)
+	g.SetEdge(3, 2, 1)
+	labels, count := g.ConnectedComponents()
+	if count != 3 {
+		t.Fatalf("component count %d, want 3", count)
+	}
+	if labels[0] != labels[1] || labels[2] != labels[3] || labels[4] == labels[0] {
+		t.Fatalf("labels %v", labels)
+	}
+}
+
+func TestConnectedComponentsUsesUndirectedSupport(t *testing.T) {
+	// A single directed edge still connects its endpoints.
+	g := New(2)
+	g.SetEdge(0, 1, 1)
+	if _, count := g.ConnectedComponents(); count != 1 {
+		t.Fatal("directed edge did not connect in undirected support")
+	}
+}
+
+func TestSampleGnpDensity(t *testing.T) {
+	r := rng.New(6)
+	const n, p = 60, 0.2
+	g := SampleGnp(n, p, r)
+	if !g.IsSymmetric() {
+		t.Fatal("Gnp not symmetric")
+	}
+	want := p * float64(n*(n-1)) / 2
+	if math.Abs(float64(g.EdgeCount())/2-want) > 5*math.Sqrt(want) {
+		t.Fatalf("Gnp pairs %d, want about %.0f", g.EdgeCount()/2, want)
+	}
+}
+
+func TestPathGraphShape(t *testing.T) {
+	g := PathGraph(5)
+	if g.EdgeCount() != 8 { // 4 undirected edges, mirrored
+		t.Fatalf("path edge count %d", g.EdgeCount())
+	}
+	if _, count := g.ConnectedComponents(); count != 1 {
+		t.Fatal("path not connected")
+	}
+}
+
+func TestGnpConnectivityThreshold(t *testing.T) {
+	// Far above the ln(n)/n threshold G(n,p) is connected; far below it
+	// is not.
+	r := rng.New(7)
+	const n = 80
+	connected := 0
+	for i := 0; i < 20; i++ {
+		if _, c := SampleGnp(n, 0.3, r).ConnectedComponents(); c == 1 {
+			connected++
+		}
+	}
+	if connected < 19 {
+		t.Fatalf("dense Gnp connected only %d/20 times", connected)
+	}
+	connected = 0
+	for i := 0; i < 20; i++ {
+		if _, c := SampleGnp(n, 0.01, r).ConnectedComponents(); c == 1 {
+			connected++
+		}
+	}
+	if connected > 2 {
+		t.Fatalf("sparse Gnp connected %d/20 times", connected)
+	}
+}

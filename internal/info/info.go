@@ -1,0 +1,231 @@
+// Package info implements the information-theoretic toolkit the paper's
+// proofs rest on: Shannon entropy, conditional entropy, mutual information,
+// Kullback-Leibler divergence, Pinsker's inequality, and the binary-entropy
+// facts (Fact 2.3) used in the subset-tree argument of Lemma 4.3.
+//
+// All logarithms are base 2, matching the paper (entropy in bits).
+package info
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+)
+
+// Entropy returns H(D) = Σ p(x) log₂ 1/p(x) for a finite distribution.
+func Entropy(d *dist.Finite) float64 {
+	h := 0.0
+	for _, k := range d.Support() {
+		p := d.Prob(k)
+		if p > 0 {
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// EntropyProbs returns the entropy of an explicit probability vector.
+// Probabilities must be non-negative; zeros contribute nothing.
+func EntropyProbs(p []float64) float64 {
+	h := 0.0
+	for _, pi := range p {
+		if pi < 0 {
+			panic("info: negative probability")
+		}
+		if pi > 0 {
+			h -= pi * math.Log2(pi)
+		}
+	}
+	return h
+}
+
+// BinaryEntropy returns H(p) = −p log₂ p − (1−p) log₂(1−p), the entropy of
+// a Bernoulli(p) bit. H(0) = H(1) = 0.
+func BinaryEntropy(p float64) float64 {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("info: BinaryEntropy(%v) outside [0,1]", p))
+	}
+	if p == 0 || p == 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// Fact23Holds checks the paper's Fact 2.3: if H(p) ≥ 0.9 then
+// p ∈ [0.3, 0.7] and (1 − H(p)) / (p − ½)² ∈ [2, 3]. It returns an error
+// describing the violation, or nil. (For p exactly ½ the ratio is the
+// limit 2/ln 2 ≈ 2.885, inside [2,3].)
+func Fact23Holds(p float64) error {
+	if BinaryEntropy(p) < 0.9 {
+		return nil // premise not met; nothing to check
+	}
+	if p < 0.3 || p > 0.7 {
+		return fmt.Errorf("info: H(%v) >= 0.9 but p outside [0.3, 0.7]", p)
+	}
+	d := p - 0.5
+	var ratio float64
+	if math.Abs(d) < 1e-6 {
+		// Near p = 1/2 the quotient is numerically 0/0; use the analytic
+		// limit 2/ln 2 ≈ 2.885 (second-order Taylor expansion of H at 1/2).
+		ratio = 2 / math.Ln2
+	} else {
+		ratio = (1 - BinaryEntropy(p)) / (d * d)
+	}
+	if ratio < 2 || ratio > 3 {
+		return fmt.Errorf("info: ratio (1-H(p))/(p-1/2)^2 = %v outside [2,3] at p=%v", ratio, p)
+	}
+	return nil
+}
+
+// KL returns the Kullback-Leibler divergence D(P‖Q) = Σ P(x) log₂ P(x)/Q(x)
+// in bits. It returns +Inf when P puts mass where Q has none (absolute
+// continuity failure), matching the standard convention.
+func KL(p, q *dist.Finite) float64 {
+	d := 0.0
+	for _, k := range p.Support() {
+		pp := p.Prob(k)
+		if pp == 0 {
+			continue
+		}
+		qq := q.Prob(k)
+		if qq == 0 {
+			return math.Inf(1)
+		}
+		d += pp * math.Log2(pp/qq)
+	}
+	return d
+}
+
+// PinskerBound returns the Pinsker upper bound √(D(P‖Q)/2) on TV(P, Q),
+// with divergence measured in bits as in the paper's Lemma 2.2.
+func PinskerBound(p, q *dist.Finite) float64 {
+	kl := KL(p, q)
+	if math.IsInf(kl, 1) {
+		return math.Inf(1)
+	}
+	return math.Sqrt(kl / 2)
+}
+
+// Joint is a joint distribution over pairs (x, y) of string outcomes,
+// used to compute mutual information I(X; Y).
+type Joint struct {
+	mass map[[2]string]float64
+}
+
+// NewJoint returns an empty joint distribution.
+func NewJoint() *Joint {
+	return &Joint{mass: make(map[[2]string]float64)}
+}
+
+// Add adds probability mass to the pair (x, y).
+func (j *Joint) Add(x, y string, p float64) {
+	if p < 0 {
+		panic("info: negative probability mass")
+	}
+	j.mass[[2]string{x, y}] += p
+}
+
+// Total returns the total mass.
+func (j *Joint) Total() float64 {
+	t := 0.0
+	for _, p := range j.mass {
+		t += p
+	}
+	return t
+}
+
+// Normalize scales to total mass 1.
+func (j *Joint) Normalize() error {
+	t := j.Total()
+	if t == 0 {
+		return fmt.Errorf("info: cannot normalize zero-mass joint distribution")
+	}
+	for k := range j.mass {
+		j.mass[k] /= t
+	}
+	return nil
+}
+
+// MarginalX returns the X marginal.
+func (j *Joint) MarginalX() *dist.Finite {
+	m := dist.NewFinite()
+	for k, p := range j.mass {
+		m.Add(k[0], p)
+	}
+	return m
+}
+
+// MarginalY returns the Y marginal.
+func (j *Joint) MarginalY() *dist.Finite {
+	m := dist.NewFinite()
+	for k, p := range j.mass {
+		m.Add(k[1], p)
+	}
+	return m
+}
+
+// ConditionalYGivenX returns the conditional distribution of Y given X = x.
+// If x has zero marginal mass, ok is false.
+func (j *Joint) ConditionalYGivenX(x string) (d *dist.Finite, ok bool) {
+	d = dist.NewFinite()
+	for k, p := range j.mass {
+		if k[0] == x {
+			d.Add(k[1], p)
+		}
+	}
+	if d.Total() == 0 {
+		return nil, false
+	}
+	if err := d.Normalize(); err != nil {
+		return nil, false
+	}
+	return d, true
+}
+
+// JointEntropy returns H(X, Y).
+func (j *Joint) JointEntropy() float64 {
+	h := 0.0
+	for _, p := range j.mass {
+		if p > 0 {
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// ConditionalEntropy returns H(Y | X) = H(X, Y) − H(X).
+func (j *Joint) ConditionalEntropy() float64 {
+	return j.JointEntropy() - Entropy(j.MarginalX())
+}
+
+// MutualInformation returns I(X; Y) = H(X) + H(Y) − H(X, Y).
+// Clamped at 0 to absorb floating-point negatives.
+func (j *Joint) MutualInformation() float64 {
+	mi := Entropy(j.MarginalX()) + Entropy(j.MarginalY()) - j.JointEntropy()
+	if mi < 0 {
+		return 0
+	}
+	return mi
+}
+
+// MutualInformationViaKL computes I(X; Y) through the paper's Fact 2.1:
+// I(X; Y) = E_{x∼X} D(Y|X=x ‖ Y). It exists alongside MutualInformation so
+// tests can confirm the two formulations agree, which is exactly the
+// identity the proofs of Lemmas 1.10 and 4.4 rely on.
+func (j *Joint) MutualInformationViaKL() float64 {
+	mx := j.MarginalX()
+	my := j.MarginalY()
+	total := 0.0
+	for _, x := range mx.Support() {
+		cond, ok := j.ConditionalYGivenX(x)
+		if !ok {
+			continue
+		}
+		total += mx.Prob(x) * KL(cond, my)
+	}
+	if total < 0 {
+		return 0
+	}
+	return total
+}

@@ -1,0 +1,255 @@
+package info
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+func TestEntropyUniform(t *testing.T) {
+	// H(uniform over 2^k outcomes) = k bits.
+	for _, k := range []int{1, 2, 3, 4} {
+		keys := make([]string, 1<<k)
+		for i := range keys {
+			keys[i] = string(rune('a' + i))
+		}
+		if got := Entropy(dist.Uniform(keys)); math.Abs(got-float64(k)) > 1e-12 {
+			t.Fatalf("H(U_%d) = %v, want %d", 1<<k, got, k)
+		}
+	}
+}
+
+func TestEntropyDeterministic(t *testing.T) {
+	if got := Entropy(dist.Uniform([]string{"only"})); got != 0 {
+		t.Fatalf("H(point mass) = %v", got)
+	}
+}
+
+func TestEntropyProbsMatches(t *testing.T) {
+	d := dist.NewFinite()
+	probs := []float64{0.5, 0.25, 0.125, 0.125}
+	for i, p := range probs {
+		d.Add(string(rune('a'+i)), p)
+	}
+	if math.Abs(Entropy(d)-EntropyProbs(probs)) > 1e-12 {
+		t.Fatal("Entropy and EntropyProbs disagree")
+	}
+	if math.Abs(EntropyProbs(probs)-1.75) > 1e-12 {
+		t.Fatalf("entropy of (1/2,1/4,1/8,1/8) = %v, want 1.75", EntropyProbs(probs))
+	}
+}
+
+func TestBinaryEntropy(t *testing.T) {
+	if got := BinaryEntropy(0.5); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("H(1/2) = %v", got)
+	}
+	if BinaryEntropy(0) != 0 || BinaryEntropy(1) != 0 {
+		t.Fatal("H(0) or H(1) nonzero")
+	}
+	// Symmetry.
+	for _, p := range []float64{0.1, 0.23, 0.4} {
+		if math.Abs(BinaryEntropy(p)-BinaryEntropy(1-p)) > 1e-12 {
+			t.Fatalf("H(%v) != H(%v)", p, 1-p)
+		}
+	}
+	// Monotone increasing on [0, 1/2].
+	prev := -1.0
+	for p := 0.0; p <= 0.5; p += 0.01 {
+		h := BinaryEntropy(p)
+		if h < prev {
+			t.Fatalf("binary entropy not increasing at %v", p)
+		}
+		prev = h
+	}
+}
+
+func TestFact23SweepsClean(t *testing.T) {
+	// Fact 2.3 must hold across the full range; this is a theorem check.
+	for p := 0.0; p <= 1.0; p += 0.0005 {
+		if err := Fact23Holds(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Fact23Holds(0.5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKLZeroIffEqual(t *testing.T) {
+	d := dist.Uniform([]string{"a", "b", "c"})
+	if got := KL(d, d); math.Abs(got) > 1e-12 {
+		t.Fatalf("D(d||d) = %v", got)
+	}
+}
+
+func TestKLNonNegative(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 100; trial++ {
+		p := randomDist(r, 6)
+		q := randomDist(r, 6)
+		if kl := KL(p, q); kl < -1e-12 {
+			t.Fatalf("KL = %v < 0", kl)
+		}
+	}
+}
+
+func TestKLInfiniteOnSupportMismatch(t *testing.T) {
+	p := dist.Uniform([]string{"a", "b"})
+	q := dist.Uniform([]string{"a"})
+	if !math.IsInf(KL(p, q), 1) {
+		t.Fatal("KL finite despite support violation")
+	}
+}
+
+func TestKLAsymmetric(t *testing.T) {
+	p := dist.NewFinite()
+	p.Add("a", 0.9)
+	p.Add("b", 0.1)
+	q := dist.NewFinite()
+	q.Add("a", 0.5)
+	q.Add("b", 0.5)
+	if math.Abs(KL(p, q)-KL(q, p)) < 1e-9 {
+		t.Fatal("KL unexpectedly symmetric for asymmetric pair")
+	}
+}
+
+func TestPinskerInequality(t *testing.T) {
+	// TV(P,Q) <= sqrt(D(P||Q)/2) — Lemma 2.2. Verify on random pairs.
+	r := rng.New(2)
+	for trial := 0; trial < 200; trial++ {
+		p := randomDist(r, 5)
+		q := randomDist(r, 5)
+		tv := dist.TV(p, q)
+		if bound := PinskerBound(p, q); tv > bound+1e-9 {
+			t.Fatalf("Pinsker violated: TV=%v > bound=%v", tv, bound)
+		}
+	}
+}
+
+func randomDist(r *rng.Stream, s int) *dist.Finite {
+	d := dist.NewFinite()
+	for i := 0; i < s; i++ {
+		d.Add(string(rune('a'+i)), 0.01+r.Float64())
+	}
+	if err := d.Normalize(); err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func TestJointMarginals(t *testing.T) {
+	j := NewJoint()
+	j.Add("x0", "y0", 0.25)
+	j.Add("x0", "y1", 0.25)
+	j.Add("x1", "y0", 0.25)
+	j.Add("x1", "y1", 0.25)
+	mx := j.MarginalX()
+	if math.Abs(mx.Prob("x0")-0.5) > 1e-12 {
+		t.Fatalf("marginal X wrong: %v", mx.Prob("x0"))
+	}
+	if got := j.MutualInformation(); math.Abs(got) > 1e-12 {
+		t.Fatalf("I(X;Y) of independent pair = %v", got)
+	}
+}
+
+func TestMutualInformationPerfectCorrelation(t *testing.T) {
+	j := NewJoint()
+	j.Add("0", "0", 0.5)
+	j.Add("1", "1", 0.5)
+	if got := j.MutualInformation(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("I of identical bits = %v, want 1", got)
+	}
+}
+
+func TestMutualInformationChainRule(t *testing.T) {
+	// H(Y|X) = H(X,Y) − H(X) and I = H(Y) − H(Y|X), on a random joint.
+	r := rng.New(3)
+	j := NewJoint()
+	for x := 0; x < 3; x++ {
+		for y := 0; y < 4; y++ {
+			j.Add(string(rune('a'+x)), string(rune('p'+y)), 0.01+r.Float64())
+		}
+	}
+	if err := j.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	hy := Entropy(j.MarginalY())
+	mi := j.MutualInformation()
+	hyx := j.JointEntropy() - Entropy(j.MarginalX())
+	if math.Abs(mi-(hy-hyx)) > 1e-9 {
+		t.Fatalf("chain rule broken: I=%v, H(Y)-H(Y|X)=%v", mi, hy-hyx)
+	}
+	if math.Abs(hyx-j.ConditionalEntropy()) > 1e-12 {
+		t.Fatal("ConditionalEntropy inconsistent with JointEntropy - MarginalX entropy")
+	}
+}
+
+func TestFact21MutualInfoEqualsExpectedKL(t *testing.T) {
+	// The paper's Fact 2.1: I(X;Y) = E_x D(Y|X=x || Y).
+	r := rng.New(4)
+	for trial := 0; trial < 50; trial++ {
+		j := NewJoint()
+		for x := 0; x < 3; x++ {
+			for y := 0; y < 3; y++ {
+				j.Add(string(rune('a'+x)), string(rune('p'+y)), 0.01+r.Float64())
+			}
+		}
+		if err := j.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		a := j.MutualInformation()
+		b := j.MutualInformationViaKL()
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("Fact 2.1 broken: entropy form %v vs KL form %v", a, b)
+		}
+	}
+}
+
+func TestSubAdditivityOfEntropy(t *testing.T) {
+	// H(X,Y) <= H(X) + H(Y): the sub-additivity used throughout Section 4.
+	r := rng.New(5)
+	for trial := 0; trial < 50; trial++ {
+		j := NewJoint()
+		for x := 0; x < 4; x++ {
+			for y := 0; y < 4; y++ {
+				j.Add(string(rune('a'+x)), string(rune('p'+y)), r.Float64())
+			}
+		}
+		if err := j.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		if j.JointEntropy() > Entropy(j.MarginalX())+Entropy(j.MarginalY())+1e-9 {
+			t.Fatal("entropy sub-additivity violated")
+		}
+	}
+}
+
+func TestConditionalYGivenXMissing(t *testing.T) {
+	j := NewJoint()
+	j.Add("x", "y", 1)
+	if _, ok := j.ConditionalYGivenX("absent"); ok {
+		t.Fatal("conditional on zero-mass event reported ok")
+	}
+}
+
+func TestLemma110MachineryOnTinyCase(t *testing.T) {
+	// Micro-instance of Lemma 1.10's information bound: for f(x) = x_0 on
+	// 2 input bits, I(X_0; f(X)) = 1 and I(X_1; f(X)) = 0, so
+	// Σ_i I(X_i; f) = 1 <= 1, matching the lemma's global budget.
+	mkJoint := func(bit int) *Joint {
+		j := NewJoint()
+		for x := 0; x < 4; x++ {
+			xi := (x >> bit) & 1
+			f := x & 1 // f(x) = x_0
+			j.Add(string(rune('0'+xi)), string(rune('0'+f)), 0.25)
+		}
+		return j
+	}
+	i0 := mkJoint(0).MutualInformation()
+	i1 := mkJoint(1).MutualInformation()
+	if math.Abs(i0-1) > 1e-12 || math.Abs(i1) > 1e-12 {
+		t.Fatalf("I(X_0;f)=%v, I(X_1;f)=%v; want 1 and 0", i0, i1)
+	}
+}

@@ -1,0 +1,72 @@
+package lowerbound
+
+import "math"
+
+// Theorem16Bound is the one-round planted-clique bound of Theorem 1.6:
+// ‖P(Π, A_rand) − P(Π, A_k)‖ ≤ O(k²/√n). The constant is taken as 1; the
+// experiments compare shapes, not constants.
+func Theorem16Bound(n, k int) float64 {
+	return float64(k) * float64(k) / math.Sqrt(float64(n))
+}
+
+// Theorem41Bound is the multi-round planted-clique bound of Theorem 4.1:
+// ‖P(Π, A_rand) − P(Π, A_k)‖ ≤ O(j·k²·√((j + log n)/n)) for j rounds.
+func Theorem41Bound(n, k, j int) float64 {
+	return float64(j) * float64(k) * float64(k) *
+		math.Sqrt((float64(j)+math.Log2(float64(n)))/float64(n))
+}
+
+// Theorem53Bound is the toy-PRG bound of Theorem 5.3: statistical distance
+// of j-round transcripts at most O(j·n/2^{k/9}).
+func Theorem53Bound(n, k, j int) float64 {
+	return float64(j) * float64(n) / math.Exp2(float64(k)/9)
+}
+
+// Theorem54Bound is the full-PRG bound of Theorem 5.4 (same form as 5.3;
+// valid when j ≤ k/10 and m ≤ 2^{k/20}).
+func Theorem54Bound(n, k, j int) float64 {
+	return Theorem53Bound(n, k, j)
+}
+
+// Lemma110Bound is the single-coordinate restriction bound of Lemma 1.10:
+// E_i ‖f(U) − f(U^[i])‖ ≤ O(1/√n), with the proof's constant √(1/n)·2
+// kept explicit so exact computations can be compared against it (the
+// Pinsker step yields exactly 2·√(1/n) before absorbing constants).
+func Lemma110Bound(n int) float64 {
+	return 2 / math.Sqrt(float64(n))
+}
+
+// Lemma18Bound is the subset restriction bound of Lemma 1.8:
+// E_C ‖f(U) − f(U^C)‖ ≤ O(k/√n).
+func Lemma18Bound(n, k int) float64 {
+	return 2 * float64(k) / math.Sqrt(float64(n))
+}
+
+// Lemma43Bound is the conditioned-domain version of Lemma 4.3:
+// E_C ‖f(U_D) − f(U_D^C)‖ ≤ O(k·√(t/n)) for |D| ≥ 2^{n−t}.
+func Lemma43Bound(n, k, t int) float64 {
+	return 2 * float64(k) * math.Sqrt(float64(t)/float64(n))
+}
+
+// InterestingRange reports the paper's planted-clique parameter bands for
+// a given n: cliques below LogSquared occur naturally in random graphs;
+// cliques above RootN are found by degree counting; the lower bound of
+// Theorem 1.1 bites below FourthRoot.
+type InterestingRange struct {
+	// LogSquared is log₂²(n), the Appendix B feasibility floor.
+	LogSquared float64
+	// FourthRoot is n^{1/4}, the Theorem 1.1 hardness ceiling.
+	FourthRoot float64
+	// RootN is √n, the spectral/degree algorithm threshold.
+	RootN float64
+}
+
+// RangeFor returns the bands for n.
+func RangeFor(n int) InterestingRange {
+	lg := math.Log2(float64(n))
+	return InterestingRange{
+		LogSquared: lg * lg,
+		FourthRoot: math.Pow(float64(n), 0.25),
+		RootN:      math.Sqrt(float64(n)),
+	}
+}

@@ -1,0 +1,101 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fourier"
+	"repro/internal/rng"
+)
+
+// Claim 3 machinery (Section 4.1): when conditioning a large set
+// D ⊆ {0,1}^n on k randomly chosen coordinates being 1, the entropy gap
+//
+//	Z_a = (n − ℓ) − log₂|D^{a₁..a_ℓ}|
+//
+// stays below 3t with probability 1 − O(t·ℓ/n), where t = n − log₂|D| is
+// the starting gap. This file measures that walk exactly, which is the
+// most technical step of the planted-clique lower bound.
+
+// WalkStats summarizes the entropy-gap walk over sampled restriction
+// tuples.
+type WalkStats struct {
+	// StartGap is t = n − log₂|D|.
+	StartGap float64
+	// MeanFinalGap is the average Z after ℓ restrictions.
+	MeanFinalGap float64
+	// MaxFinalGap is the worst Z observed.
+	MaxFinalGap float64
+	// ExceedRate is the fraction of tuples with Z > 3t (Claim 3 bounds it
+	// by O(t·ℓ/n)).
+	ExceedRate float64
+	// EmptyRate is the fraction of tuples whose restricted set became
+	// empty (gap +∞); counted as exceeding.
+	EmptyRate float64
+	// Samples is the number of tuples drawn.
+	Samples int
+}
+
+// MeasureEntropyGapWalk samples `samples` ordered ℓ-tuples of distinct
+// coordinates (the paper's T^[n]_ℓ), restricts D to the tuples'
+// coordinates being 1, and reports the Z-walk statistics. n must be small
+// enough to enumerate D exactly (n ≤ 24).
+func MeasureEntropyGapWalk(n, ell, samples int, d fourier.Domain, r *rng.Stream) (WalkStats, error) {
+	if n < 1 || n > 24 {
+		return WalkStats{}, fmt.Errorf("lowerbound: entropy-gap walk needs 1 <= n <= 24, got %d", n)
+	}
+	if ell < 0 || ell > n {
+		return WalkStats{}, fmt.Errorf("lowerbound: tuple length %d out of range for n=%d", ell, n)
+	}
+	sizeD := fourier.DomainSize(n, d)
+	if sizeD == 0 {
+		return WalkStats{}, fmt.Errorf("lowerbound: empty domain")
+	}
+	stats := WalkStats{
+		StartGap: float64(n) - math.Log2(float64(sizeD)),
+		Samples:  samples,
+	}
+	exceed, empty := 0, 0
+	sum, maxGap := 0.0, 0.0
+	for s := 0; s < samples; s++ {
+		tuple := r.Tuple(n, ell)
+		var mask uint64
+		for _, i := range tuple {
+			mask |= 1 << uint(i)
+		}
+		count := 0
+		for x := uint64(0); x < 1<<uint(n); x++ {
+			if x&mask == mask && d(x) {
+				count++
+			}
+		}
+		if count == 0 {
+			empty++
+			exceed++
+			continue
+		}
+		gap := float64(n-ell) - math.Log2(float64(count))
+		sum += gap
+		if gap > maxGap {
+			maxGap = gap
+		}
+		if gap > 3*stats.StartGap {
+			exceed++
+		}
+	}
+	nonEmpty := samples - empty
+	if nonEmpty > 0 {
+		stats.MeanFinalGap = sum / float64(nonEmpty)
+	}
+	stats.MaxFinalGap = maxGap
+	stats.ExceedRate = float64(exceed) / float64(samples)
+	stats.EmptyRate = float64(empty) / float64(samples)
+	return stats, nil
+}
+
+// Claim3Bound is the probability bound of Claim 3: restricting ℓ times
+// keeps the entropy gap below 3t except with probability O(t·ℓ/n). The
+// constant is taken as 1.
+func Claim3Bound(n, ell int, t float64) float64 {
+	return t * float64(ell) / float64(n)
+}

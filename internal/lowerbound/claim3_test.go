@@ -1,0 +1,94 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fourier"
+	"repro/internal/rng"
+)
+
+func TestEntropyGapWalkFullDomain(t *testing.T) {
+	// Restricting the full cube never creates an entropy gap: after ℓ
+	// pinnings, |D^a| = 2^{n−ℓ} exactly, so Z = 0 always.
+	r := rng.New(1)
+	stats, err := MeasureEntropyGapWalk(12, 3, 200, fourier.FullDomain, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.StartGap != 0 {
+		t.Fatalf("full-domain start gap %v", stats.StartGap)
+	}
+	if stats.MeanFinalGap != 0 || stats.MaxFinalGap != 0 {
+		t.Fatalf("full-domain walk gained entropy gap: %+v", stats)
+	}
+	if stats.EmptyRate != 0 {
+		t.Fatal("full-domain restriction emptied")
+	}
+}
+
+func TestEntropyGapWalkRandomDomainStaysBounded(t *testing.T) {
+	// Claim 3's substance: for a random half-density domain (t ≈ 1) and
+	// ℓ = 3 restrictions on n = 14 coordinates, the exceed rate must be
+	// on the order of t·ℓ/n — use a 5× constant for slack.
+	r := rng.New(2)
+	const n, ell = 14, 3
+	size := uint64(1) << n
+	member := make([]bool, size)
+	for x := range member {
+		member[x] = r.Bool()
+	}
+	d := func(x uint64) bool { return member[x] }
+	stats, err := MeasureEntropyGapWalk(n, ell, 400, d, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.StartGap < 0.5 || stats.StartGap > 1.5 {
+		t.Fatalf("half-density start gap %v, want about 1", stats.StartGap)
+	}
+	bound := 5 * Claim3Bound(n, ell, stats.StartGap)
+	if stats.ExceedRate > bound {
+		t.Fatalf("exceed rate %v above 5× Claim 3 bound %v", stats.ExceedRate, bound)
+	}
+	// The mean gap cannot run away: each pinning adds at most ~1 bit in
+	// expectation for a dense set, and typically much less.
+	if stats.MeanFinalGap > 3*stats.StartGap {
+		t.Fatalf("mean final gap %v blew past 3t = %v", stats.MeanFinalGap, 3*stats.StartGap)
+	}
+}
+
+func TestEntropyGapWalkAdversarialDomain(t *testing.T) {
+	// A domain that zeroes out coordinate 0 makes tuples containing 0
+	// empty — Claim 3's bad-edge case. The walk must report those as
+	// exceedances at rate ≈ ℓ/n.
+	r := rng.New(3)
+	const n, ell = 12, 2
+	d := func(x uint64) bool { return x&1 == 0 }
+	stats, err := MeasureEntropyGapWalk(n, ell, 600, d, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEmpty := float64(ell) / float64(n) // P[0 ∈ tuple] ≈ ℓ/n
+	if math.Abs(stats.EmptyRate-wantEmpty) > 0.06 {
+		t.Fatalf("empty rate %v, want about %v", stats.EmptyRate, wantEmpty)
+	}
+}
+
+func TestEntropyGapWalkValidation(t *testing.T) {
+	r := rng.New(4)
+	if _, err := MeasureEntropyGapWalk(30, 2, 10, fourier.FullDomain, r); err == nil {
+		t.Fatal("oversized n accepted")
+	}
+	if _, err := MeasureEntropyGapWalk(10, 11, 10, fourier.FullDomain, r); err == nil {
+		t.Fatal("tuple longer than n accepted")
+	}
+	if _, err := MeasureEntropyGapWalk(10, 2, 10, func(uint64) bool { return false }, r); err == nil {
+		t.Fatal("empty domain accepted")
+	}
+}
+
+func TestClaim3BoundFormula(t *testing.T) {
+	if got := Claim3Bound(100, 5, 2); got != 0.1 {
+		t.Fatalf("Claim3Bound = %v, want 0.1", got)
+	}
+}

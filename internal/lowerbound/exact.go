@@ -1,0 +1,269 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"repro/internal/bcast"
+	"repro/internal/bitvec"
+	"repro/internal/dist"
+)
+
+// InputEnumerator yields every input profile of a finite input
+// distribution together with its probability. Implementations must yield
+// weights summing to 1 and must not retain the yielded slice.
+type InputEnumerator func(yield func(inputs []bitvec.Vector, weight float64))
+
+// ExactTranscriptDist computes the exact transcript distribution of a
+// deterministic protocol after `turns` sequential turns: it runs the
+// protocol on every input in the enumeration and accumulates the weights.
+// This is the ground truth the Monte-Carlo estimators are validated
+// against; it is feasible whenever the input space is ≲ 2^20.
+func ExactTranscriptDist(p bcast.Protocol, enum InputEnumerator, turns int) (*dist.Finite, error) {
+	d := dist.NewFinite()
+	var firstErr error
+	enum(func(inputs []bitvec.Vector, weight float64) {
+		if firstErr != nil {
+			return
+		}
+		res, err := bcast.RunTurns(p, inputs, turns, 0)
+		if err != nil {
+			firstErr = err
+			return
+		}
+		d.Add(res.Transcript.Key(), weight)
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := d.Validate(1e-9); err != nil {
+		return nil, fmt.Errorf("enumerator weights: %w", err)
+	}
+	return d, nil
+}
+
+// orderedPairs lists the off-diagonal ordered pairs (i, j), i ≠ j, in a
+// fixed order: the free coordinates of a directed graph on n vertices.
+func orderedPairs(n int) [][2]int {
+	pairs := make([][2]int, 0, n*(n-1))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				pairs = append(pairs, [2]int{i, j})
+			}
+		}
+	}
+	return pairs
+}
+
+// EnumerateRandGraphs enumerates A^n_rand exactly: all assignments to the
+// n(n−1) off-diagonal edge slots, each with weight 2^{−n(n−1)}. Feasible
+// for n ≤ 4 (and n = 5 with patience).
+func EnumerateRandGraphs(n int) InputEnumerator {
+	return enumerateWithForced(n, nil)
+}
+
+// EnumerateCliqueGraphs enumerates A^n_C: edge slots inside the clique C
+// are forced to 1; the rest are free coin flips.
+func EnumerateCliqueGraphs(n int, clique []int) InputEnumerator {
+	inClique := make(map[int]bool, len(clique))
+	for _, v := range clique {
+		inClique[v] = true
+	}
+	forced := func(i, j int) bool { return inClique[i] && inClique[j] }
+	return enumerateWithForced(n, forced)
+}
+
+// EnumeratePlantedGraphs enumerates A^n_k: the uniform mixture of A_C over
+// all size-k subsets C.
+func EnumeratePlantedGraphs(n, k int) InputEnumerator {
+	return func(yield func([]bitvec.Vector, float64)) {
+		total := dist.Binomial(n, k)
+		dist.ForEachSubset(n, k, func(c []int) {
+			clique := append([]int(nil), c...)
+			EnumerateCliqueGraphs(n, clique)(func(inputs []bitvec.Vector, w float64) {
+				yield(inputs, w/total)
+			})
+		})
+	}
+}
+
+// enumerateWithForced enumerates all graphs where slots with forced(i,j)
+// true are pinned to 1 and the rest range over {0,1}.
+func enumerateWithForced(n int, forced func(i, j int) bool) InputEnumerator {
+	pairs := orderedPairs(n)
+	var free [][2]int
+	for _, pr := range pairs {
+		if forced == nil || !forced(pr[0], pr[1]) {
+			free = append(free, pr)
+		}
+	}
+	if len(free) > 24 {
+		panic(fmt.Sprintf("lowerbound: %d free edge slots is too many to enumerate", len(free)))
+	}
+	return func(yield func([]bitvec.Vector, float64)) {
+		weight := 1.0
+		for range free {
+			weight /= 2
+		}
+		rows := make([]bitvec.Vector, n)
+		for mask := uint64(0); mask < 1<<uint(len(free)); mask++ {
+			for i := range rows {
+				rows[i] = bitvec.New(n)
+			}
+			if forced != nil {
+				for _, pr := range pairs {
+					if forced(pr[0], pr[1]) {
+						rows[pr[0]].SetBit(pr[1], 1)
+					}
+				}
+			}
+			for b, pr := range free {
+				rows[pr[0]].SetBit(pr[1], mask>>uint(b)&1)
+			}
+			yield(rows, weight)
+		}
+	}
+}
+
+// EnumerateToyCaseA enumerates the uniform distribution over n strings of
+// k+1 bits each (case (A) of Theorem 5.1).
+func EnumerateToyCaseA(n, k int) InputEnumerator {
+	bits := n * (k + 1)
+	if bits > 22 {
+		panic(fmt.Sprintf("lowerbound: 2^%d inputs is too many to enumerate", bits))
+	}
+	return func(yield func([]bitvec.Vector, float64)) {
+		weight := 1.0
+		for i := 0; i < bits; i++ {
+			weight /= 2
+		}
+		for mask := uint64(0); mask < 1<<uint(bits); mask++ {
+			rows := make([]bitvec.Vector, n)
+			for i := range rows {
+				rows[i] = bitvec.FromUint64(k+1, mask>>uint(i*(k+1)))
+			}
+			yield(rows, weight)
+		}
+	}
+}
+
+// EnumerateToyCaseB enumerates the toy PRG distribution exactly: all
+// (b, x₁..x_n) combinations, each processor receiving (x_i, x_i·b)
+// (case (B) of Theorem 5.1).
+func EnumerateToyCaseB(n, k int) InputEnumerator {
+	bits := k * (n + 1)
+	if bits > 22 {
+		panic(fmt.Sprintf("lowerbound: 2^%d seed combinations is too many to enumerate", bits))
+	}
+	return func(yield func([]bitvec.Vector, float64)) {
+		weight := 1.0
+		for i := 0; i < bits; i++ {
+			weight /= 2
+		}
+		for mask := uint64(0); mask < 1<<uint(bits); mask++ {
+			b := mask & (1<<uint(k) - 1)
+			rows := make([]bitvec.Vector, n)
+			for i := range rows {
+				x := mask >> uint(k*(i+1)) & (1<<uint(k) - 1)
+				rows[i] = bitvec.FromUint64(k+1, x|parity64(x&b)<<uint(k))
+			}
+			yield(rows, weight)
+		}
+	}
+}
+
+func parity64(v uint64) uint64 {
+	v ^= v >> 32
+	v ^= v >> 16
+	v ^= v >> 8
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return v & 1
+}
+
+// ExactProgressToyPRG computes, exactly, both sides of the Section 3
+// inequality for the toy-PRG decomposition on a tiny instance: L_real(t)
+// between case B (PRG) and case A (uniform) transcripts, and L_progress(t)
+// — the average over secrets b of the per-component TV. This is the exact
+// ground truth behind Theorem 5.1's induction.
+func ExactProgressToyPRG(p bcast.Protocol, n, k, turns int) (real, progress float64, err error) {
+	caseA, err := ExactTranscriptDist(p, EnumerateToyCaseA(n, k), turns)
+	if err != nil {
+		return 0, 0, err
+	}
+	caseB, err := ExactTranscriptDist(p, EnumerateToyCaseB(n, k), turns)
+	if err != nil {
+		return 0, 0, err
+	}
+	real = dist.TV(caseB, caseA)
+
+	total := 0.0
+	for b := uint64(0); b < 1<<uint(k); b++ {
+		condDist, err := ExactTranscriptDist(p, enumerateToyFixedSecret(n, k, b), turns)
+		if err != nil {
+			return 0, 0, err
+		}
+		total += dist.TV(condDist, caseA)
+	}
+	return real, total / float64(int(1)<<uint(k)), nil
+}
+
+// enumerateToyFixedSecret enumerates U_[b]^n for one fixed secret b: all
+// seed combinations, each processor receiving (x_i, x_i·b).
+func enumerateToyFixedSecret(n, k int, b uint64) InputEnumerator {
+	bits := k * n
+	if bits > 22 {
+		panic(fmt.Sprintf("lowerbound: 2^%d seed combinations is too many to enumerate", bits))
+	}
+	return func(yield func([]bitvec.Vector, float64)) {
+		weight := 1.0
+		for i := 0; i < bits; i++ {
+			weight /= 2
+		}
+		for mask := uint64(0); mask < 1<<uint(bits); mask++ {
+			rows := make([]bitvec.Vector, n)
+			for i := range rows {
+				x := mask >> uint(k*i) & (1<<uint(k) - 1)
+				rows[i] = bitvec.FromUint64(k+1, x|parity64(x&b)<<uint(k))
+			}
+			yield(rows, weight)
+		}
+	}
+}
+
+// ExactProgressPlantedClique computes, exactly, both sides of the
+// Section 3 inequality L_real(t) ≤ L_progress(t) for the planted-clique
+// decomposition on a tiny instance: the TV between the mixture and the
+// reference, and the average TV between components and the reference.
+func ExactProgressPlantedClique(p bcast.Protocol, n, k, turns int) (real, progress float64, err error) {
+	randDist, err := ExactTranscriptDist(p, EnumerateRandGraphs(n), turns)
+	if err != nil {
+		return 0, 0, err
+	}
+	plantedDist, err := ExactTranscriptDist(p, EnumeratePlantedGraphs(n, k), turns)
+	if err != nil {
+		return 0, 0, err
+	}
+	real = dist.TV(plantedDist, randDist)
+
+	total, count := 0.0, 0
+	var enumErr error
+	dist.ForEachSubset(n, k, func(c []int) {
+		if enumErr != nil {
+			return
+		}
+		clique := append([]int(nil), c...)
+		condDist, err := ExactTranscriptDist(p, EnumerateCliqueGraphs(n, clique), turns)
+		if err != nil {
+			enumErr = err
+			return
+		}
+		total += dist.TV(condDist, randDist)
+		count++
+	})
+	if enumErr != nil {
+		return 0, 0, enumErr
+	}
+	return real, total / float64(count), nil
+}

@@ -1,0 +1,245 @@
+// Package lowerbound implements the paper's Section 3 abstract framework
+// for proving (and here: measuring) indistinguishability in the Broadcast
+// Congested Clique.
+//
+// The framework's objects map to code as follows:
+//
+//   - A "pseudo" input distribution decomposed into row-independent
+//     components A_I (planted clique: I is the clique placement C; toy PRG:
+//     I is the shared vector b; full PRG: I is the hidden matrix M) — the
+//     Family interface.
+//   - The progress function L(t) = E_I ‖P_I^(t) − P_rand^(t)‖, estimated by
+//     Monte-Carlo over sampled indices and transcripts (EstimateProgress),
+//     or computed exactly by enumerating the whole input space for tiny
+//     parameters (ExactTranscriptDist in exact.go).
+//   - The real distance L_real(t) = ‖P_pseudo^(t) − P_rand^(t)‖, which the
+//     triangle inequality bounds by L(t) — tests assert this ordering on
+//     the measured quantities.
+//
+// The closed-form upper bounds of Theorems 1.6, 4.1, 5.3 and 5.4 live in
+// bounds.go so experiment tables can print "measured vs predicted".
+package lowerbound
+
+import (
+	"fmt"
+
+	"repro/internal/bcast"
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/f2"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Family is a row-independent decomposition A_pseudo = E_I [A_I] together
+// with the reference distribution A_rand it is being compared against.
+// For every fixed index the rows (processor inputs) must be independent —
+// the property that makes per-turn analysis sound.
+type Family[I any] interface {
+	// Name identifies the family in tables.
+	Name() string
+	// SampleIndex draws I from the mixing distribution.
+	SampleIndex(r *rng.Stream) I
+	// SampleConditional draws all processors' inputs from A_I.
+	SampleConditional(idx I, r *rng.Stream) []bitvec.Vector
+	// SampleReference draws all processors' inputs from A_rand.
+	SampleReference(r *rng.Stream) []bitvec.Vector
+}
+
+// SampleMixture draws from A_pseudo by first drawing an index.
+func SampleMixture[I any](f Family[I], r *rng.Stream) []bitvec.Vector {
+	return f.SampleConditional(f.SampleIndex(r), r)
+}
+
+// PlantedCliqueFamily decomposes A_k into the clique placements A_C
+// (Section 4): index C is a size-k vertex set; conditioned on C the rows
+// are independent.
+type PlantedCliqueFamily struct {
+	// N is the number of vertices/processors, K the planted clique size.
+	N, K int
+}
+
+var _ Family[[]int] = PlantedCliqueFamily{}
+
+// Name implements Family.
+func (f PlantedCliqueFamily) Name() string {
+	return fmt.Sprintf("planted-clique(n=%d,k=%d)", f.N, f.K)
+}
+
+// SampleIndex implements Family: a uniform size-K subset (the paper's
+// S^[n]_k).
+func (f PlantedCliqueFamily) SampleIndex(r *rng.Stream) []int {
+	return r.Subset(f.N, f.K)
+}
+
+// SampleConditional implements Family: A_C.
+func (f PlantedCliqueFamily) SampleConditional(c []int, r *rng.Stream) []bitvec.Vector {
+	g, err := graph.SampleWithClique(f.N, c, r)
+	if err != nil {
+		// The index came from SampleIndex, so this cannot happen; surface
+		// loudly if a caller hands a malformed index.
+		panic(fmt.Sprintf("lowerbound: invalid clique index %v: %v", c, err))
+	}
+	return graphRows(g)
+}
+
+// SampleReference implements Family: A_rand.
+func (f PlantedCliqueFamily) SampleReference(r *rng.Stream) []bitvec.Vector {
+	return graphRows(graph.SampleRand(f.N, r))
+}
+
+func graphRows(g *graph.Digraph) []bitvec.Vector {
+	rows := make([]bitvec.Vector, g.N())
+	for i := range rows {
+		rows[i] = g.Row(i)
+	}
+	return rows
+}
+
+// ToyPRGFamily decomposes the toy PRG's output distribution into the
+// bracket components U_[b] (Sections 5-6): index b is the shared vector;
+// conditioned on b the processors' (k+1)-bit strings are independent.
+type ToyPRGFamily struct {
+	// N is the number of processors, K the seed length.
+	N, K int
+}
+
+var _ Family[bitvec.Vector] = ToyPRGFamily{}
+
+// Name implements Family.
+func (f ToyPRGFamily) Name() string { return fmt.Sprintf("toy-prg(n=%d,k=%d)", f.N, f.K) }
+
+// SampleIndex implements Family.
+func (f ToyPRGFamily) SampleIndex(r *rng.Stream) bitvec.Vector {
+	return bitvec.Random(f.K, r)
+}
+
+// SampleConditional implements Family: every processor gets an
+// independent sample of U_[b].
+func (f ToyPRGFamily) SampleConditional(b bitvec.Vector, r *rng.Stream) []bitvec.Vector {
+	gen := core.ToyPRG{K: f.K}
+	rows := make([]bitvec.Vector, f.N)
+	for i := range rows {
+		rows[i] = gen.Expand(bitvec.Random(f.K, r), b)
+	}
+	return rows
+}
+
+// SampleReference implements Family: uniform (k+1)-bit strings.
+func (f ToyPRGFamily) SampleReference(r *rng.Stream) []bitvec.Vector {
+	return core.UniformInputs(f.N, f.K+1, r)
+}
+
+// FullPRGFamily decomposes the full PRG's output distribution into the
+// matrix components U_M (Section 7): index M is the hidden k×(m−k)
+// matrix.
+type FullPRGFamily struct {
+	// N is the number of processors, K the seed length, M the output
+	// length.
+	N, K, M int
+}
+
+var _ Family[*f2.Matrix] = FullPRGFamily{}
+
+// Name implements Family.
+func (f FullPRGFamily) Name() string {
+	return fmt.Sprintf("full-prg(n=%d,k=%d,m=%d)", f.N, f.K, f.M)
+}
+
+// SampleIndex implements Family.
+func (f FullPRGFamily) SampleIndex(r *rng.Stream) *f2.Matrix {
+	return f2.Random(f.K, f.M-f.K, r)
+}
+
+// SampleConditional implements Family.
+func (f FullPRGFamily) SampleConditional(m *f2.Matrix, r *rng.Stream) []bitvec.Vector {
+	gen := core.FullPRG{K: f.K, M: f.M}
+	rows := make([]bitvec.Vector, f.N)
+	for i := range rows {
+		rows[i] = gen.Expand(bitvec.Random(f.K, r), m)
+	}
+	return rows
+}
+
+// SampleReference implements Family.
+func (f FullPRGFamily) SampleReference(r *rng.Stream) []bitvec.Vector {
+	return core.UniformInputs(f.N, f.M, r)
+}
+
+// transcriptKey runs the protocol on inputs and returns the canonical key
+// of the first `turns` turns (RunTurns semantics, the proof model).
+func transcriptKey(p bcast.Protocol, inputs []bitvec.Vector, turns int, seed uint64) (string, error) {
+	res, err := bcast.RunTurns(p, inputs, turns, seed)
+	if err != nil {
+		return "", err
+	}
+	return res.Transcript.Key(), nil
+}
+
+// EstimateTranscriptTV estimates ‖P(Π, A) − P(Π, B)‖ after `turns` turns
+// by the plug-in estimator over `samples` transcripts from each side. The
+// protocol's private coins are fixed (seed 0) so the transcript is a
+// deterministic function of the input, matching the paper's Yao reduction.
+func EstimateTranscriptTV(p bcast.Protocol, sampleA, sampleB func(r *rng.Stream) []bitvec.Vector,
+	turns, samples int, r *rng.Stream) (float64, error) {
+	ka := make([]string, samples)
+	kb := make([]string, samples)
+	for i := 0; i < samples; i++ {
+		key, err := transcriptKey(p, sampleA(r), turns, 0)
+		if err != nil {
+			return 0, err
+		}
+		ka[i] = key
+		key, err = transcriptKey(p, sampleB(r), turns, 0)
+		if err != nil {
+			return 0, err
+		}
+		kb[i] = key
+	}
+	return dist.TV(dist.FromSamples(ka), dist.FromSamples(kb)), nil
+}
+
+// ProgressPoint is one row of a progress-function estimate.
+type ProgressPoint struct {
+	// Turns is the transcript prefix length t.
+	Turns int
+	// Progress is the estimate of L(t) = E_I ‖P_I^(t) − P_rand^(t)‖.
+	Progress float64
+	// Real is the estimate of ‖P_pseudo^(t) − P_rand^(t)‖.
+	Real float64
+}
+
+// EstimateProgress estimates the progress function and the real distance
+// at each requested prefix length. indices controls how many I samples
+// enter the outer expectation; samples controls the per-distribution
+// transcript count. The estimates use the plug-in TV estimator and are
+// biased upward by O(√(support/samples)); callers compare curves, not
+// absolute values, and validate against exact enumeration at small sizes.
+func EstimateProgress[I any](p bcast.Protocol, f Family[I], turnsList []int,
+	indices, samples int, r *rng.Stream) ([]ProgressPoint, error) {
+	out := make([]ProgressPoint, 0, len(turnsList))
+	for _, turns := range turnsList {
+		progress := 0.0
+		for i := 0; i < indices; i++ {
+			idx := f.SampleIndex(r)
+			tv, err := EstimateTranscriptTV(p,
+				func(s *rng.Stream) []bitvec.Vector { return f.SampleConditional(idx, s) },
+				f.SampleReference, turns, samples, r)
+			if err != nil {
+				return nil, err
+			}
+			progress += tv
+		}
+		progress /= float64(indices)
+
+		real, err := EstimateTranscriptTV(p,
+			func(s *rng.Stream) []bitvec.Vector { return SampleMixture(f, s) },
+			f.SampleReference, turns, samples, r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ProgressPoint{Turns: turns, Progress: progress, Real: real})
+	}
+	return out, nil
+}

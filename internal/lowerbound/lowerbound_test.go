@@ -1,0 +1,386 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bcast"
+	"repro/internal/bitvec"
+	"repro/internal/cliquefind"
+	"repro/internal/dist"
+	"repro/internal/f2"
+	"repro/internal/rng"
+)
+
+func TestPlantedCliqueFamilyRowsHaveClique(t *testing.T) {
+	r := rng.New(1)
+	f := PlantedCliqueFamily{N: 20, K: 5}
+	idx := f.SampleIndex(r)
+	if len(idx) != 5 {
+		t.Fatalf("index size %d", len(idx))
+	}
+	rows := f.SampleConditional(idx, r)
+	for _, i := range idx {
+		for _, j := range idx {
+			if i != j && rows[i].Bit(j) != 1 {
+				t.Fatalf("clique edge (%d,%d) missing", i, j)
+			}
+		}
+	}
+	// Diagonal always zero.
+	for i, row := range rows {
+		if row.Bit(i) != 0 {
+			t.Fatalf("diagonal bit set at %d", i)
+		}
+	}
+}
+
+func TestToyPRGFamilyConsistency(t *testing.T) {
+	r := rng.New(2)
+	f := ToyPRGFamily{N: 10, K: 6}
+	b := f.SampleIndex(r)
+	rows := f.SampleConditional(b, r)
+	for i, row := range rows {
+		if row.Len() != 7 {
+			t.Fatalf("row %d length %d", i, row.Len())
+		}
+		if row.Bit(6) != row.Slice(0, 6).Dot(b) {
+			t.Fatalf("row %d inconsistent with bracket vector", i)
+		}
+	}
+	ref := f.SampleReference(r)
+	if len(ref) != 10 || ref[0].Len() != 7 {
+		t.Fatal("reference shape wrong")
+	}
+}
+
+func TestFullPRGFamilyConsistency(t *testing.T) {
+	r := rng.New(3)
+	f := FullPRGFamily{N: 8, K: 4, M: 12}
+	m := f.SampleIndex(r)
+	if m.Rows() != 4 || m.Cols() != 8 {
+		t.Fatalf("index shape %dx%d", m.Rows(), m.Cols())
+	}
+	rows := f.SampleConditional(m, r)
+	for i, row := range rows {
+		if !row.Slice(4, 12).Equal(m.VecMul(row.Slice(0, 4))) {
+			t.Fatalf("row %d suffix is not xᵀM", i)
+		}
+	}
+	// Stacked suffixes of conditional samples are low rank; reference
+	// suffixes are full rank (w.h.p. with n=8 rows and 8 columns they
+	// differ in rank).
+	stack := func(rows []bitvec.Vector) int {
+		rs := make([]bitvec.Vector, len(rows))
+		for i, row := range rows {
+			rs[i] = row.Slice(4, 12)
+		}
+		mt, err := f2.FromRows(rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mt.Rank()
+	}
+	if rk := stack(rows); rk > 4 {
+		t.Fatalf("conditional suffix rank %d > k", rk)
+	}
+}
+
+// revealProtocol broadcasts input bits round-robin — a maximally
+// information-leaking deterministic protocol used to exercise the
+// estimators.
+type revealProtocol struct {
+	rounds int
+}
+
+func (p *revealProtocol) Name() string     { return "reveal" }
+func (p *revealProtocol) MessageBits() int { return 1 }
+func (p *revealProtocol) Rounds() int      { return p.rounds }
+func (p *revealProtocol) NewNode(_ int, input bitvec.Vector, _ *rng.Stream) bcast.Node {
+	sent := 0
+	return bcast.NodeFunc(func(*bcast.Transcript) uint64 {
+		b := input.Bit(sent % input.Len())
+		sent++
+		return b
+	})
+}
+
+func TestEstimateTranscriptTVIdenticalDistributions(t *testing.T) {
+	r := rng.New(4)
+	f := ToyPRGFamily{N: 4, K: 3}
+	p := &revealProtocol{rounds: 2}
+	tv, err := EstimateTranscriptTV(p, f.SampleReference, f.SampleReference, 6, 6000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plug-in bias only: about sqrt(S/samples)/2 ≈ 0.05 for the 2^6-point
+	// transcript space.
+	if tv > 0.12 {
+		t.Fatalf("TV of identical distributions estimated at %v", tv)
+	}
+}
+
+func TestEstimateTranscriptTVSeparatesObviousCase(t *testing.T) {
+	// Toy PRG with k=1: half the processors' last bit is fixed to the
+	// single seed bit times b; revealing everything separates the
+	// distributions noticeably.
+	r := rng.New(5)
+	f := ToyPRGFamily{N: 6, K: 1}
+	p := &revealProtocol{rounds: 2}
+	tv, err := EstimateTranscriptTV(p,
+		func(s *rng.Stream) []bitvec.Vector { return SampleMixture(f, s) },
+		f.SampleReference, 12, 3000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv < 0.2 {
+		t.Fatalf("k=1 toy PRG should be visibly non-uniform, measured %v", tv)
+	}
+}
+
+func TestEstimateProgressOrderingAndMonotonicity(t *testing.T) {
+	// L_real(t) <= L_progress(t) (triangle inequality) and both grow with
+	// t for the revealing protocol. Allow estimator slack.
+	r := rng.New(6)
+	f := ToyPRGFamily{N: 4, K: 2}
+	p := &revealProtocol{rounds: 3}
+	points, err := EstimateProgress(p, f, []int{2, 8}, 6, 1500, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range points {
+		if pt.Real > pt.Progress+0.1 {
+			t.Fatalf("at t=%d real %v exceeds progress %v", pt.Turns, pt.Real, pt.Progress)
+		}
+	}
+	if points[1].Progress+0.05 < points[0].Progress {
+		t.Fatalf("progress decreased with more turns: %+v", points)
+	}
+}
+
+func TestExactTranscriptDistNormalized(t *testing.T) {
+	p := &revealProtocol{rounds: 2}
+	d, err := ExactTranscriptDist(p, EnumerateRandGraphs(3), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactMatchesMonteCarlo(t *testing.T) {
+	r := rng.New(7)
+	const n, k = 4, 2
+	p := &revealProtocol{rounds: 2}
+	turns := 8
+
+	exactRand, err := ExactTranscriptDist(p, EnumerateRandGraphs(n), turns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := PlantedCliqueFamily{N: n, K: k}
+	keys := make([]string, 20000)
+	for i := range keys {
+		res, err := bcast.RunTurns(p, f.SampleReference(r), turns, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = res.Transcript.Key()
+	}
+	if tv := dist.TV(exactRand, dist.FromSamples(keys)); tv > 0.08 {
+		t.Fatalf("Monte-Carlo transcript distribution is %v from exact", tv)
+	}
+}
+
+func TestExactProgressPlantedCliqueInequality(t *testing.T) {
+	// The Section 3 chain, exactly: L_real <= L_progress, and both within
+	// [0, 1].
+	p := &revealProtocol{rounds: 2}
+	real, progress, err := ExactProgressPlantedClique(p, 4, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real < 0 || progress < 0 || real > 1 || progress > 1 {
+		t.Fatalf("distances out of range: real=%v progress=%v", real, progress)
+	}
+	if real > progress+1e-9 {
+		t.Fatalf("L_real=%v exceeds L_progress=%v — triangle inequality broken", real, progress)
+	}
+	if progress == 0 {
+		t.Fatal("fully revealing protocol should make some progress on n=4")
+	}
+}
+
+func TestExactProgressDetectorBelowTheoremBound(t *testing.T) {
+	// The degree detector at n=4, k=2 must satisfy Theorem 1.6's bound
+	// shape: its exact one-round distance is far below k²/√n = 2.
+	d := &cliquefind.DegreeDetector{N: 4, K: 2}
+	real, progress, err := ExactProgressPlantedClique(d, 4, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real > progress+1e-9 {
+		t.Fatal("triangle inequality broken for detector")
+	}
+	if bound := Theorem16Bound(4, 2); real > bound {
+		t.Fatalf("exact distance %v exceeds Theorem 1.6 bound %v", real, bound)
+	}
+}
+
+func TestEnumerateCliqueGraphsForcesClique(t *testing.T) {
+	EnumerateCliqueGraphs(4, []int{1, 3})(func(rows []bitvec.Vector, _ float64) {
+		if rows[1].Bit(3) != 1 || rows[3].Bit(1) != 1 {
+			t.Fatal("clique slot not forced")
+		}
+	})
+}
+
+func TestEnumerateToyCaseBConsistent(t *testing.T) {
+	const n, k = 2, 2
+	count := 0
+	EnumerateToyCaseB(n, k)(func(rows []bitvec.Vector, w float64) {
+		count++
+		if len(rows) != n {
+			t.Fatal("row count wrong")
+		}
+	})
+	if count != 1<<(k*(n+1)) {
+		t.Fatalf("enumerated %d profiles, want %d", count, 1<<(k*(n+1)))
+	}
+}
+
+func TestEnumerateToyCaseBMarginalIsUniformPrefix(t *testing.T) {
+	// Each processor's first k bits are uniform: check the marginal of
+	// processor 0's prefix.
+	const n, k = 2, 2
+	counts := make(map[uint64]float64)
+	EnumerateToyCaseB(n, k)(func(rows []bitvec.Vector, w float64) {
+		counts[rows[0].Slice(0, k).Uint64()] += w
+	})
+	for x, mass := range counts {
+		if math.Abs(mass-0.25) > 1e-12 {
+			t.Fatalf("prefix %b has mass %v, want 0.25", x, mass)
+		}
+	}
+}
+
+func TestExactToyTheorem51Inequality(t *testing.T) {
+	// Exact one-round Theorem 5.1 instance: TV between case A and case B
+	// transcripts for the revealing protocol, compared to the n·2^{-k/2}
+	// bound shape.
+	const n, k = 2, 3
+	p := &revealProtocol{rounds: k + 1}
+	turns := n * (k + 1)
+	da, err := ExactTranscriptDist(p, EnumerateToyCaseA(n, k), turns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := ExactTranscriptDist(p, EnumerateToyCaseB(n, k), turns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv := dist.TV(da, db)
+	if tv <= 0 || tv >= 1 {
+		t.Fatalf("exact toy TV = %v, expected a nontrivial value", tv)
+	}
+	// Revealing everything is the strongest possible protocol; even so the
+	// distance cannot exceed the total seed-deficit bound 1 (sanity) and
+	// should be within a small constant of n/2^{k/2} for these parameters.
+	if tv > 4*float64(n)/math.Exp2(float64(k)/2) {
+		t.Fatalf("exact toy TV %v far above the Theorem 5.1 scale", tv)
+	}
+}
+
+func TestExactProgressToyPRGInequality(t *testing.T) {
+	// L_real <= L_progress, exactly, for the toy PRG — the inequality the
+	// Theorem 5.1 induction rests on.
+	const n, k = 2, 3
+	p := &revealProtocol{rounds: k + 1}
+	real, progress, err := ExactProgressToyPRG(p, n, k, n*(k+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real > progress+1e-9 {
+		t.Fatalf("L_real=%v exceeds L_progress=%v", real, progress)
+	}
+	if progress <= 0 || progress > 1 {
+		t.Fatalf("progress %v out of range", progress)
+	}
+	// The fully revealing protocol must make strictly more progress
+	// against individual secrets than against the mixture: each U_[b]
+	// component is farther from uniform than their average.
+	if progress <= real {
+		t.Logf("progress %v vs real %v (equality possible only for degenerate protocols)", progress, real)
+	}
+}
+
+func TestExactProgressToyPRGShrinksWithK(t *testing.T) {
+	// Theorem 5.1's shape, exactly: the one-round real distance at k=3
+	// is below the distance at k=1 (more seed, less detectable).
+	p := &revealProtocol{rounds: 4}
+	realSmall, _, err := ExactProgressToyPRG(p, 2, 1, 2*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	realLarge, _, err := ExactProgressToyPRG(p, 2, 3, 2*4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if realLarge >= realSmall {
+		t.Fatalf("exact TV did not shrink with k: k=1 gives %v, k=3 gives %v", realSmall, realLarge)
+	}
+}
+
+func TestBoundFormulas(t *testing.T) {
+	if Theorem16Bound(16, 2) != 1.0 {
+		t.Fatalf("Theorem16Bound(16,2) = %v, want 1", Theorem16Bound(16, 2))
+	}
+	if Theorem41Bound(256, 4, 1) <= 0 {
+		t.Fatal("Theorem41Bound not positive")
+	}
+	// j=1 of Theorem 4.1 dominates Theorem 1.6 (extra log n factor).
+	if Theorem41Bound(256, 4, 1) < Theorem16Bound(256, 4) {
+		t.Fatal("Theorem 4.1 at j=1 should dominate Theorem 1.6")
+	}
+	if Theorem53Bound(100, 90, 2) >= Theorem53Bound(100, 45, 2) {
+		t.Fatal("Theorem 5.3 bound must shrink with k")
+	}
+	if Theorem54Bound(100, 45, 2) != Theorem53Bound(100, 45, 2) {
+		t.Fatal("Theorem 5.4 bound should equal 5.3's form")
+	}
+	if Lemma110Bound(100) != 0.2 {
+		t.Fatalf("Lemma110Bound(100) = %v", Lemma110Bound(100))
+	}
+	if Lemma18Bound(100, 3) != 0.6 {
+		t.Fatalf("Lemma18Bound(100,3) = %v", Lemma18Bound(100, 3))
+	}
+	if Lemma43Bound(100, 3, 25) != 3.0 {
+		t.Fatalf("Lemma43Bound = %v", Lemma43Bound(100, 3, 25))
+	}
+}
+
+func TestRangeFor(t *testing.T) {
+	r := RangeFor(256)
+	if math.Abs(r.LogSquared-64) > 1e-9 {
+		t.Fatalf("LogSquared = %v", r.LogSquared)
+	}
+	if math.Abs(r.FourthRoot-4) > 1e-9 {
+		t.Fatalf("FourthRoot = %v", r.FourthRoot)
+	}
+	if math.Abs(r.RootN-16) > 1e-9 {
+		t.Fatalf("RootN = %v", r.RootN)
+	}
+	if !(r.LogSquared > r.FourthRoot) {
+		t.Fatal("at n=256 the feasibility floor should exceed n^{1/4}")
+	}
+}
+
+func TestEnumeratorGuards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized enumeration did not panic")
+		}
+	}()
+	EnumerateRandGraphs(6)(func([]bitvec.Vector, float64) {})
+}

@@ -1,0 +1,89 @@
+package newman
+
+import (
+	"fmt"
+
+	"repro/internal/bcast"
+	"repro/internal/bitvec"
+)
+
+// EqualityProtocol is the canonical public-coin BCAST(1) protocol and the
+// source of the paper's randomized/deterministic separation remark: decide
+// whether all n processors hold the same m-bit input. Deterministically
+// this costs Ω(m) bits of communication from some processor; with public
+// randomness, k rounds of 1-bit fingerprints suffice with error 2^{−k}.
+//
+// Round r: every processor broadcasts ⟨x_i, w_r⟩ where w_r is the r-th
+// public random vector. All inputs equal ⇒ all broadcasts agree in every
+// round. Two inputs differ ⇒ their fingerprints differ with probability
+// 1/2 per round.
+type EqualityProtocol struct {
+	// N is the number of processors, M the input length, K the number of
+	// fingerprint rounds.
+	N, M, K int
+}
+
+var _ PublicProtocol = (*EqualityProtocol)(nil)
+
+// Name implements PublicProtocol.
+func (p *EqualityProtocol) Name() string {
+	return fmt.Sprintf("equality(m=%d,k=%d)", p.M, p.K)
+}
+
+// MessageBits implements PublicProtocol: BCAST(1).
+func (p *EqualityProtocol) MessageBits() int { return 1 }
+
+// Rounds implements PublicProtocol.
+func (p *EqualityProtocol) Rounds() int { return p.K }
+
+// PublicBits implements PublicProtocol: K fingerprint vectors of M bits.
+func (p *EqualityProtocol) PublicBits() int { return p.K * p.M }
+
+// NewPublicNode implements PublicProtocol.
+func (p *EqualityProtocol) NewPublicNode(id int, input bitvec.Vector, public bitvec.Vector) bcast.Node {
+	return &equalityNode{proto: p, input: input, public: public}
+}
+
+type equalityNode struct {
+	proto  *EqualityProtocol
+	input  bitvec.Vector
+	public bitvec.Vector
+}
+
+// Broadcast emits the fingerprint bit for the current round.
+func (n *equalityNode) Broadcast(t *bcast.Transcript) uint64 {
+	r := t.CompleteRounds()
+	w := n.public.Slice(r*n.proto.M, (r+1)*n.proto.M)
+	return n.input.Dot(w)
+}
+
+// Output implements bcast.Outputter: a single bit, 1 iff every round was
+// unanimous (the protocol's verdict "all inputs equal").
+func (n *equalityNode) Output(t *bcast.Transcript) bitvec.Vector {
+	out := bitvec.New(1)
+	out.SetBit(0, 1)
+	for r := 0; r < t.CompleteRounds(); r++ {
+		msgs := t.RoundMessages(r)
+		for _, m := range msgs {
+			if m != msgs[0] {
+				out.SetBit(0, 0)
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// EqualityVerdict reads the protocol's verdict from a transcript: true
+// iff every round was unanimous.
+func EqualityVerdict(t *bcast.Transcript) bool {
+	for r := 0; r < t.CompleteRounds(); r++ {
+		msgs := t.RoundMessages(r)
+		for _, m := range msgs {
+			if m != msgs[0] {
+				return false
+			}
+		}
+	}
+	return true
+}

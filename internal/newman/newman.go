@@ -1,0 +1,181 @@
+// Package newman implements Appendix A of the paper: Newman's theorem
+// adapted to the Broadcast Congested Clique.
+//
+// Theorem A.1: every public-coin BCAST(1) protocol with n processors, m
+// input bits per processor and k output bits can be ε-simulated by a
+// protocol using only O(k·n + log m + log ε⁻¹) public random bits. The
+// construction is sampling: pre-draw T random strings w₁..w_T; the new
+// protocol publicly picks a uniform index i ∈ [T] (log T coins) and runs
+// the original protocol with w_i. A Chernoff + union bound over all inputs
+// and all transcript events shows T = Θ(ε⁻²·(nm + 2^{2kn})) suffices; the
+// construction is non-uniform (the strings are fixed, not computed), which
+// is why the paper calls it computationally inefficient.
+package newman
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bcast"
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+// PublicProtocol is a BCAST protocol whose processors share a public
+// random string (visible to all, drawn before the first round).
+type PublicProtocol interface {
+	// Name identifies the protocol.
+	Name() string
+	// MessageBits is the broadcast width.
+	MessageBits() int
+	// Rounds is the round count.
+	Rounds() int
+	// PublicBits is the number of shared random bits consumed.
+	PublicBits() int
+	// NewPublicNode builds processor id's logic given its input and the
+	// shared public string (of PublicBits bits).
+	NewPublicNode(id int, input bitvec.Vector, public bitvec.Vector) bcast.Node
+}
+
+// fixedPublic adapts a PublicProtocol with a pinned public string to the
+// plain bcast.Protocol interface.
+type fixedPublic struct {
+	inner  PublicProtocol
+	public bitvec.Vector
+}
+
+func (f *fixedPublic) Name() string     { return f.inner.Name() + "+fixed-coins" }
+func (f *fixedPublic) MessageBits() int { return f.inner.MessageBits() }
+func (f *fixedPublic) Rounds() int      { return f.inner.Rounds() }
+func (f *fixedPublic) NewNode(id int, input bitvec.Vector, _ *rng.Stream) bcast.Node {
+	return f.inner.NewPublicNode(id, input, f.public)
+}
+
+// RunWithPublic executes the protocol with an explicit public string.
+func RunWithPublic(p PublicProtocol, inputs []bitvec.Vector, public bitvec.Vector, seed uint64) (*bcast.Result, error) {
+	if public.Len() != p.PublicBits() {
+		return nil, fmt.Errorf("newman: public string has %d bits, protocol wants %d", public.Len(), p.PublicBits())
+	}
+	return bcast.RunRounds(&fixedPublic{inner: p, public: public}, inputs, seed)
+}
+
+// RunWithFreshCoins executes the protocol with a freshly drawn public
+// string, the "original algorithm" side of the simulation.
+func RunWithFreshCoins(p PublicProtocol, inputs []bitvec.Vector, r *rng.Stream, seed uint64) (*bcast.Result, error) {
+	return RunWithPublic(p, inputs, bitvec.Random(p.PublicBits(), r), seed)
+}
+
+// Sparsified is the Newman-transformed protocol: a fixed palette of T
+// pre-drawn public strings; each execution publicly selects one index.
+type Sparsified struct {
+	// Inner is the original public-coin protocol.
+	Inner PublicProtocol
+	// Palette is the fixed list of pre-drawn public strings.
+	Palette []bitvec.Vector
+}
+
+// Sparsify pre-draws T public strings. In the theorem the strings are
+// fixed non-uniformly after verifying the Chernoff condition; drawing them
+// once from a seeded stream realizes the probabilistic existence argument
+// (the verification holds with probability ≥ 0.9 over the draw).
+func Sparsify(p PublicProtocol, t int, r *rng.Stream) (*Sparsified, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("newman: palette size %d < 1", t)
+	}
+	palette := make([]bitvec.Vector, t)
+	for i := range palette {
+		palette[i] = bitvec.Random(p.PublicBits(), r)
+	}
+	return &Sparsified{Inner: p, Palette: palette}, nil
+}
+
+// PublicBitsNeeded returns ⌈log₂ T⌉, the shared coins the simulation uses.
+func (s *Sparsified) PublicBitsNeeded() int {
+	bits := 0
+	for 1<<uint(bits) < len(s.Palette) {
+		bits++
+	}
+	if bits == 0 {
+		bits = 1
+	}
+	return bits
+}
+
+// RunWithIndex executes the simulation with a chosen palette index.
+func (s *Sparsified) RunWithIndex(inputs []bitvec.Vector, idx int, seed uint64) (*bcast.Result, error) {
+	if idx < 0 || idx >= len(s.Palette) {
+		return nil, fmt.Errorf("newman: palette index %d out of range [0,%d)", idx, len(s.Palette))
+	}
+	return RunWithPublic(s.Inner, inputs, s.Palette[idx], seed)
+}
+
+// RunWithFreshIndex draws a uniform palette index (the simulation's only
+// use of randomness) and executes.
+func (s *Sparsified) RunWithFreshIndex(inputs []bitvec.Vector, r *rng.Stream, seed uint64) (*bcast.Result, error) {
+	return s.RunWithIndex(inputs, r.Intn(len(s.Palette)), seed)
+}
+
+// TheoremPaletteSize returns the palette size T = ⌈c·ε⁻²·(n·m + 2^{2kn})⌉
+// from the Theorem A.1 proof, reported as a float because the union-bound
+// term 2^{2kn} overflows integers for realistic parameters — which is
+// precisely why the simulation is an existence result, not an algorithm
+// one would run at scale. Experiments use far smaller palettes and verify
+// the ε they actually achieve.
+func TheoremPaletteSize(n, m, k int, eps float64) float64 {
+	if eps <= 0 {
+		return math.Inf(1)
+	}
+	return (float64(n)*float64(m) + math.Exp2(2*float64(k)*float64(n))) / (eps * eps)
+}
+
+// SimulationGap estimates the ε achieved by the simulation on a specific
+// input: the TV distance between the transcript+output distribution of the
+// original protocol (fresh public coins each trial) and of the sparsified
+// protocol (fresh palette index each trial), from `trials` samples of each.
+func SimulationGap(p PublicProtocol, s *Sparsified, inputs []bitvec.Vector, trials int, r *rng.Stream) (float64, error) {
+	orig := make([]string, trials)
+	sim := make([]string, trials)
+	for i := 0; i < trials; i++ {
+		res, err := RunWithFreshCoins(p, inputs, r, r.Uint64())
+		if err != nil {
+			return 0, err
+		}
+		orig[i] = executionKey(res)
+		res, err = s.RunWithFreshIndex(inputs, r, r.Uint64())
+		if err != nil {
+			return 0, err
+		}
+		sim[i] = executionKey(res)
+	}
+	return tvOfSamples(orig, sim), nil
+}
+
+// executionKey identifies a full execution: transcript plus all outputs
+// (the joint object Theorem A.1's statistical distance is over).
+func executionKey(res *bcast.Result) string {
+	key := res.Transcript.Key()
+	for _, o := range res.Outputs() {
+		key += "|" + o.Key()
+	}
+	return key
+}
+
+// tvOfSamples is the plug-in TV estimator between two sample sets.
+func tvOfSamples(a, b []string) float64 {
+	counts := make(map[string][2]int, len(a))
+	for _, k := range a {
+		c := counts[k]
+		c[0]++
+		counts[k] = c
+	}
+	for _, k := range b {
+		c := counts[k]
+		c[1]++
+		counts[k] = c
+	}
+	sum := 0.0
+	for _, c := range counts {
+		sum += math.Abs(float64(c[0])/float64(len(a)) - float64(c[1])/float64(len(b)))
+	}
+	return sum / 2
+}

@@ -1,0 +1,227 @@
+package newman
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+func equalInputs(n, m int, r *rng.Stream) []bitvec.Vector {
+	x := bitvec.Random(m, r)
+	inputs := make([]bitvec.Vector, n)
+	for i := range inputs {
+		inputs[i] = x.Clone()
+	}
+	return inputs
+}
+
+func unequalInputs(n, m int, r *rng.Stream) []bitvec.Vector {
+	inputs := equalInputs(n, m, r)
+	// Flip one bit of one processor's input.
+	odd := inputs[n/2].Clone()
+	odd.FlipBit(r.Intn(m))
+	inputs[n/2] = odd
+	return inputs
+}
+
+func TestEqualityCompleteness(t *testing.T) {
+	// Equal inputs must always be accepted, under any public string.
+	r := rng.New(1)
+	p := &EqualityProtocol{N: 8, M: 32, K: 6}
+	for trial := 0; trial < 40; trial++ {
+		res, err := RunWithFreshCoins(p, equalInputs(8, 32, r), r, r.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !EqualityVerdict(res.Transcript) {
+			t.Fatal("equality protocol rejected equal inputs")
+		}
+		if res.Outputs()[0].Bit(0) != 1 {
+			t.Fatal("node output disagrees with verdict")
+		}
+	}
+}
+
+func TestEqualitySoundness(t *testing.T) {
+	// Unequal inputs escape detection with probability 2^{-k} per
+	// differing pair; with k=10 acceptance should be rare.
+	r := rng.New(2)
+	p := &EqualityProtocol{N: 8, M: 32, K: 10}
+	accepted := 0
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		res, err := RunWithFreshCoins(p, unequalInputs(8, 32, r), r, r.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if EqualityVerdict(res.Transcript) {
+			accepted++
+		}
+	}
+	if rate := float64(accepted) / trials; rate > 0.01 {
+		t.Fatalf("unequal inputs accepted at rate %v, want about 2^-10", rate)
+	}
+}
+
+func TestEqualitySoundnessRateMatchesTheory(t *testing.T) {
+	// With k=1 round, a single differing pair is caught with probability
+	// exactly 1/2 (the fingerprint of a nonzero difference is 1 w.p. 1/2).
+	r := rng.New(3)
+	p := &EqualityProtocol{N: 4, M: 16, K: 1}
+	accepted := 0
+	const trials = 4000
+	for trial := 0; trial < trials; trial++ {
+		res, err := RunWithFreshCoins(p, unequalInputs(4, 16, r), r, r.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if EqualityVerdict(res.Transcript) {
+			accepted++
+		}
+	}
+	rate := float64(accepted) / trials
+	if math.Abs(rate-0.5) > 0.05 {
+		t.Fatalf("1-round equality acceptance rate %v, want about 0.5", rate)
+	}
+}
+
+func TestRunWithPublicValidatesLength(t *testing.T) {
+	p := &EqualityProtocol{N: 4, M: 8, K: 2}
+	_, err := RunWithPublic(p, equalInputs(4, 8, rng.New(4)), bitvec.New(3), 1)
+	if err == nil {
+		t.Fatal("wrong public-string length accepted")
+	}
+}
+
+func TestSparsifyValidates(t *testing.T) {
+	p := &EqualityProtocol{N: 4, M: 8, K: 2}
+	if _, err := Sparsify(p, 0, rng.New(5)); err == nil {
+		t.Fatal("empty palette accepted")
+	}
+}
+
+func TestSparsifiedDeterministicGivenIndex(t *testing.T) {
+	r := rng.New(6)
+	p := &EqualityProtocol{N: 4, M: 16, K: 3}
+	s, err := Sparsify(p, 8, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := unequalInputs(4, 16, r)
+	a, err := s.RunWithIndex(inputs, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.RunWithIndex(inputs, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Transcript.Equal(b.Transcript) {
+		t.Fatal("same palette index produced different transcripts")
+	}
+}
+
+func TestSparsifiedIndexBounds(t *testing.T) {
+	r := rng.New(7)
+	p := &EqualityProtocol{N: 4, M: 8, K: 2}
+	s, err := Sparsify(p, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunWithIndex(equalInputs(4, 8, r), 4, 1); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestPublicBitsNeeded(t *testing.T) {
+	r := rng.New(8)
+	p := &EqualityProtocol{N: 4, M: 8, K: 2}
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10}
+	for size, want := range cases {
+		s, err := Sparsify(p, size, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.PublicBitsNeeded(); got != want {
+			t.Errorf("palette %d needs %d bits, want %d", size, got, want)
+		}
+	}
+}
+
+func TestNewmanSavesCoins(t *testing.T) {
+	// The accounting of Theorem A.1: the original equality protocol uses
+	// k·m public bits; the sparsified one uses ceil(log2 T).
+	r := rng.New(9)
+	p := &EqualityProtocol{N: 16, M: 512, K: 8}
+	s, err := Sparsify(p, 1024, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PublicBits() <= s.PublicBitsNeeded() {
+		t.Fatalf("no saving: original %d bits, sparsified %d", p.PublicBits(), s.PublicBitsNeeded())
+	}
+	if s.PublicBitsNeeded() != 10 {
+		t.Fatalf("sparsified bits = %d, want 10", s.PublicBitsNeeded())
+	}
+}
+
+func TestSimulationGapSmallForLargePalette(t *testing.T) {
+	// The epsilon actually achieved should be small for a large palette
+	// and clearly worse for a single-string palette (which derandomizes
+	// the protocol completely and breaks soundness on some inputs).
+	r := rng.New(10)
+	p := &EqualityProtocol{N: 4, M: 12, K: 2}
+	inputs := unequalInputs(4, 12, r)
+
+	big, err := Sparsify(p, 512, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gapBig, err := SimulationGap(p, big, inputs, 3000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tiny, err := Sparsify(p, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gapTiny, err := SimulationGap(p, tiny, inputs, 3000, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if gapBig > 0.15 {
+		t.Fatalf("512-string palette achieves only ε=%v", gapBig)
+	}
+	if gapTiny <= gapBig {
+		t.Fatalf("1-string palette (ε=%v) not worse than 512-string (ε=%v)", gapTiny, gapBig)
+	}
+}
+
+func TestTheoremPaletteSize(t *testing.T) {
+	if !math.IsInf(TheoremPaletteSize(4, 8, 2, 0), 1) {
+		t.Fatal("eps=0 should be infinite")
+	}
+	small := TheoremPaletteSize(2, 4, 1, 0.1)
+	if small <= 0 {
+		t.Fatalf("palette size %v", small)
+	}
+	// Monotone in 1/eps.
+	if TheoremPaletteSize(2, 4, 1, 0.01) <= small {
+		t.Fatal("palette size not increasing as eps shrinks")
+	}
+}
+
+func TestTVOfSamples(t *testing.T) {
+	a := []string{"x", "x", "y", "y"}
+	b := []string{"x", "x", "x", "x"}
+	if got := tvOfSamples(a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("tvOfSamples = %v, want 0.5", got)
+	}
+	if got := tvOfSamples(a, a); got != 0 {
+		t.Fatalf("tvOfSamples(a,a) = %v", got)
+	}
+}

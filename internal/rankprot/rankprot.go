@@ -1,0 +1,228 @@
+// Package rankprot implements the rank-computation protocols behind the
+// paper's average-case hardness results.
+//
+// Theorem 1.4: no n/20-round BCAST(1) protocol computes
+// F_full-rank(A) — "does the n×n input matrix have full GF(2) rank?" —
+// with probability better than 0.99 over a uniform input. The proof runs
+// through the toy PRG: a uniform matrix is indistinguishable from one of
+// the form [X | X·b], which never has full rank, yet a uniform matrix is
+// full-rank with probability Q₀ ≈ 0.2888 (Kolchin).
+//
+// Theorem 1.5 (hierarchy): computing whether the top k×k minor has full
+// rank takes exactly Θ(k) rounds — k rounds suffice (each of the first k
+// processors broadcasts its first k bits, then everyone eliminates), and
+// k/20 rounds leave every protocol below 0.99 accuracy.
+//
+// This package provides the exact k-round protocol, its truncated
+// variants (fewer rounds revealed), the Bayes-optimal decision rule for a
+// truncated transcript, and accuracy measurement harnesses.
+package rankprot
+
+import (
+	"fmt"
+
+	"repro/internal/bcast"
+	"repro/internal/bitvec"
+	"repro/internal/f2"
+	"repro/internal/rng"
+)
+
+// TopMinorProtocol reveals the top-left K×K minor column by column:
+// in round r each of the first K processors broadcasts bit r of its row
+// (processors beyond K broadcast 0). With RoundsRun = K the protocol
+// computes F exactly; with fewer rounds it is the truncated protocol of
+// the hierarchy's lower side.
+type TopMinorProtocol struct {
+	// N is the number of processors, K the minor size.
+	N, K int
+	// RoundsRun is how many of the K columns get revealed. Values >= K
+	// reveal everything (the exact protocol).
+	RoundsRun int
+}
+
+var _ bcast.Protocol = (*TopMinorProtocol)(nil)
+
+// NewExact returns the k-round exact protocol of Theorem 1.5's upper side.
+func NewExact(n, k int) (*TopMinorProtocol, error) {
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("rankprot: minor size %d out of range for n=%d", k, n)
+	}
+	return &TopMinorProtocol{N: n, K: k, RoundsRun: k}, nil
+}
+
+// NewTruncated returns the protocol limited to `rounds` rounds
+// (the paper's k/20 regime when rounds = k/20).
+func NewTruncated(n, k, rounds int) (*TopMinorProtocol, error) {
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("rankprot: minor size %d out of range for n=%d", k, n)
+	}
+	if rounds < 0 || rounds > k {
+		return nil, fmt.Errorf("rankprot: truncated rounds %d out of range for k=%d", rounds, k)
+	}
+	return &TopMinorProtocol{N: n, K: k, RoundsRun: rounds}, nil
+}
+
+// Name implements bcast.Protocol.
+func (p *TopMinorProtocol) Name() string {
+	return fmt.Sprintf("top-minor-rank(k=%d,rounds=%d)", p.K, p.RoundsRun)
+}
+
+// MessageBits implements bcast.Protocol: BCAST(1).
+func (p *TopMinorProtocol) MessageBits() int { return 1 }
+
+// Rounds implements bcast.Protocol.
+func (p *TopMinorProtocol) Rounds() int { return p.RoundsRun }
+
+// NewNode implements bcast.Protocol.
+func (p *TopMinorProtocol) NewNode(id int, input bitvec.Vector, _ *rng.Stream) bcast.Node {
+	return bcast.NodeFunc(func(t *bcast.Transcript) uint64 {
+		r := t.CompleteRounds()
+		if id >= p.K || r >= p.K {
+			return 0
+		}
+		return input.Bit(r)
+	})
+}
+
+// RevealedBlock reconstructs the K×RoundsRun revealed block from a
+// finished transcript: entry (i, r) is processor i's round-r bit.
+func (p *TopMinorProtocol) RevealedBlock(t *bcast.Transcript) (*f2.Matrix, error) {
+	if t.CompleteRounds() < p.RoundsRun {
+		return nil, fmt.Errorf("rankprot: transcript has %d rounds, protocol ran %d", t.CompleteRounds(), p.RoundsRun)
+	}
+	m := f2.New(p.K, p.RoundsRun)
+	for i := 0; i < p.K; i++ {
+		for r := 0; r < p.RoundsRun; r++ {
+			m.Set(i, r, t.Message(r, i))
+		}
+	}
+	return m, nil
+}
+
+// Decide predicts F(A) = "top K×K minor has full rank" from the
+// transcript, using the Bayes-optimal rule for a uniform input:
+//
+//   - all K columns revealed: compute the rank exactly (always correct);
+//   - j < K columns revealed with rank < j: some revealed columns are
+//     already dependent, so the minor cannot be full rank — answer false
+//     (always correct);
+//   - j < K columns revealed, all independent: the conditional probability
+//     of eventual full rank is ∏_{i=j}^{K-1}(1−2^{i−K}) ≤ 1/2, so the
+//     optimal answer is still false.
+//
+// Consequently a truncated protocol is *never* wrong when it answers on
+// dependent evidence, and its overall accuracy converges to
+// 1 − Q₀ ≈ 0.711 — far below the 0.99 of Theorem 1.5. Only RoundsRun = K
+// escapes, with accuracy 1.
+func (p *TopMinorProtocol) Decide(t *bcast.Transcript) (bool, error) {
+	block, err := p.RevealedBlock(t)
+	if err != nil {
+		return false, err
+	}
+	rank := block.Rank()
+	if p.RoundsRun >= p.K {
+		return rank == p.K, nil
+	}
+	return false, nil
+}
+
+// ConditionalFullRankProb returns the probability that a uniform K×K
+// GF(2) matrix has full rank given that its first j columns are linearly
+// independent: ∏_{i=j}^{K−1} (1 − 2^{i−K}). Used by tests to pin the
+// Bayes-optimality claim in Decide.
+func ConditionalFullRankProb(k, j int) float64 {
+	p := 1.0
+	for i := j; i < k; i++ {
+		p *= 1 - pow2(i-k)
+	}
+	return p
+}
+
+func pow2(e int) float64 {
+	v := 1.0
+	for i := 0; i > e; i-- {
+		v /= 2
+	}
+	for i := 0; i < e; i++ {
+		v *= 2
+	}
+	return v
+}
+
+// Truth evaluates the target function directly from the inputs: does the
+// top K×K minor of the input matrix have full rank?
+func Truth(inputs []bitvec.Vector, k int) (bool, error) {
+	if len(inputs) < k {
+		return false, fmt.Errorf("rankprot: %d rows cannot contain a %d-minor", len(inputs), k)
+	}
+	m := f2.New(k, k)
+	for i := 0; i < k; i++ {
+		if inputs[i].Len() < k {
+			return false, fmt.Errorf("rankprot: row %d has %d bits, minor needs %d", i, inputs[i].Len(), k)
+		}
+		for j := 0; j < k; j++ {
+			m.Set(i, j, inputs[i].Bit(j))
+		}
+	}
+	return m.Rank() == k, nil
+}
+
+// AccuracyReport summarizes a protocol's per-trial agreement with the
+// truth over a uniform input distribution.
+type AccuracyReport struct {
+	// Accuracy is the fraction of trials where Decide matched Truth.
+	Accuracy float64
+	// TruthRate is the empirical P[F(A) = 1], which must approach
+	// Kolchin's Q₀ for square minors.
+	TruthRate float64
+	// Trials is the number of sampled inputs.
+	Trials int
+}
+
+// MeasureAccuracy runs the protocol on fresh uniform n×n inputs and
+// reports how often its decision matches the true minor rank status.
+func MeasureAccuracy(p *TopMinorProtocol, trials int, r *rng.Stream) (AccuracyReport, error) {
+	rep := AccuracyReport{Trials: trials}
+	correct, truths := 0, 0
+	for i := 0; i < trials; i++ {
+		inputs := make([]bitvec.Vector, p.N)
+		for j := range inputs {
+			inputs[j] = bitvec.Random(p.N, r)
+		}
+		truth, err := Truth(inputs, p.K)
+		if err != nil {
+			return rep, err
+		}
+		res, err := bcast.RunRounds(p, inputs, r.Uint64())
+		if err != nil {
+			return rep, err
+		}
+		got, err := p.Decide(res.Transcript)
+		if err != nil {
+			return rep, err
+		}
+		if got == truth {
+			correct++
+		}
+		if truth {
+			truths++
+		}
+	}
+	rep.Accuracy = float64(correct) / float64(trials)
+	rep.TruthRate = float64(truths) / float64(trials)
+	return rep, nil
+}
+
+// BracketedInputs samples the Theorem 1.4 hard distribution U_B: the
+// input matrix is [X | X·b] for uniform X ∈ {0,1}^{n×(n−1)} and hidden
+// b ∈ {0,1}^{n−1}; every sample has rank ≤ n−1, yet by Theorem 5.3 no
+// low-round protocol can tell these rows from uniform ones.
+func BracketedInputs(n int, r *rng.Stream) ([]bitvec.Vector, bitvec.Vector) {
+	b := bitvec.Random(n-1, r)
+	rows := make([]bitvec.Vector, n)
+	for i := range rows {
+		x := bitvec.Random(n-1, r)
+		rows[i] = x.Concat(bitvec.FromBits([]uint64{x.Dot(b)}))
+	}
+	return rows, b
+}

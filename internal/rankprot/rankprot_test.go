@@ -1,0 +1,251 @@
+package rankprot
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bcast"
+	"repro/internal/bitvec"
+	"repro/internal/f2"
+	"repro/internal/rng"
+)
+
+func TestExactProtocolIsAlwaysCorrect(t *testing.T) {
+	// Theorem 1.5 upper side: k rounds compute the minor rank exactly.
+	r := rng.New(1)
+	p, err := NewExact(24, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := MeasureAccuracy(p, 150, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accuracy != 1 {
+		t.Fatalf("exact protocol accuracy %v, want 1", rep.Accuracy)
+	}
+}
+
+func TestTruthRateApproachesKolchin(t *testing.T) {
+	r := rng.New(2)
+	p, err := NewExact(20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := MeasureAccuracy(p, 1200, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.TruthRate-f2.KolchinQ(0)) > 0.05 {
+		t.Fatalf("empirical full-rank rate %v, Kolchin Q0 = %v", rep.TruthRate, f2.KolchinQ(0))
+	}
+}
+
+func TestTruncatedProtocolStuckBelowThreshold(t *testing.T) {
+	// Theorem 1.5 lower side: at k/20 rounds accuracy stays below 0.99.
+	// The Bayes-optimal truncated rule converges to 1 − Q₀ ≈ 0.711.
+	r := rng.New(3)
+	const n, k = 40, 20
+	p, err := NewTruncated(n, k, k/20+1) // 2 rounds
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := MeasureAccuracy(p, 400, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accuracy >= 0.99 {
+		t.Fatalf("truncated protocol accuracy %v breaks the hierarchy lower bound", rep.Accuracy)
+	}
+	if math.Abs(rep.Accuracy-(1-f2.KolchinQ(0))) > 0.08 {
+		t.Fatalf("truncated accuracy %v far from predicted %v", rep.Accuracy, 1-f2.KolchinQ(0))
+	}
+}
+
+func TestHierarchyShape(t *testing.T) {
+	// Accuracy as a function of rounds: flat around 0.71 for j < k, then
+	// jumps to 1.0 exactly at j = k. This is the E9 experiment's shape.
+	r := rng.New(4)
+	const n, k = 24, 12
+	accs := make(map[int]float64)
+	for _, rounds := range []int{0, k / 2, k - 1, k} {
+		p, err := NewTruncated(n, k, rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := MeasureAccuracy(p, 300, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accs[rounds] = rep.Accuracy
+	}
+	if accs[k] != 1 {
+		t.Fatalf("full-round accuracy %v, want 1", accs[k])
+	}
+	for _, rounds := range []int{0, k / 2, k - 1} {
+		if accs[rounds] > 0.9 {
+			t.Fatalf("accuracy at %d rounds is %v; hierarchy demands a gap below the k-round 1.0",
+				rounds, accs[rounds])
+		}
+	}
+}
+
+func TestDecideNeverWrongOnDependentEvidence(t *testing.T) {
+	// When the truncated protocol answers false on dependent revealed
+	// columns, the minor truly cannot be full rank. Force dependence by
+	// duplicating a column.
+	const n, k = 8, 4
+	p, err := NewTruncated(n, k, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]bitvec.Vector, n)
+	r := rng.New(5)
+	for i := range inputs {
+		row := bitvec.Random(n, r)
+		row.SetBit(1, row.Bit(0)) // column 1 := column 0 in every row
+		inputs[i] = row
+	}
+	truth, err := Truth(inputs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth {
+		t.Fatal("minor with duplicated columns cannot be full rank")
+	}
+	res, err := bcast.RunRounds(p, inputs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Decide(res.Transcript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatal("Decide answered full-rank on dependent evidence")
+	}
+}
+
+func TestConditionalFullRankProb(t *testing.T) {
+	// j = k: empty product = 1. j = k-1: single factor 1/2.
+	if got := ConditionalFullRankProb(10, 10); got != 1 {
+		t.Fatalf("P(full | all revealed) = %v", got)
+	}
+	if got := ConditionalFullRankProb(10, 9); got != 0.5 {
+		t.Fatalf("P(full | k-1 independent) = %v", got)
+	}
+	// j = 0 equals the unconditional probability of full rank.
+	want := f2.RankProbability(10, 10, 10)
+	if got := ConditionalFullRankProb(10, 0); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("P(full | nothing) = %v, want %v", got, want)
+	}
+	// The conditional never exceeds 1/2 until everything is revealed, the
+	// fact that pins the Bayes decision to "false".
+	for j := 0; j < 10; j++ {
+		if ConditionalFullRankProb(10, j) > 0.5 {
+			t.Fatalf("conditional at j=%d exceeds 1/2", j)
+		}
+	}
+}
+
+func TestRevealedBlockMatchesInputs(t *testing.T) {
+	r := rng.New(6)
+	const n, k = 10, 5
+	p, err := NewExact(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]bitvec.Vector, n)
+	for i := range inputs {
+		inputs[i] = bitvec.Random(n, r)
+	}
+	res, err := bcast.RunRounds(p, inputs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block, err := p.RevealedBlock(res.Transcript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if block.At(i, j) != inputs[i].Bit(j) {
+				t.Fatalf("revealed block (%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestBracketedInputsAreRankDeficient(t *testing.T) {
+	// The Theorem 1.4 hard distribution: every sample has rank <= n-1.
+	r := rng.New(7)
+	for trial := 0; trial < 30; trial++ {
+		rows, secret := BracketedInputs(16, r)
+		m, err := f2.FromRows(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.FullRank() {
+			t.Fatal("bracketed input has full rank")
+		}
+		// Last column must equal X·b.
+		for i, row := range rows {
+			if row.Bit(15) != row.Slice(0, 15).Dot(secret) {
+				t.Fatalf("row %d last bit inconsistent with secret", i)
+			}
+		}
+	}
+}
+
+func TestBracketedVsUniformRankGap(t *testing.T) {
+	// Uniform n×n matrices are full rank with probability Q0 ≈ 0.29;
+	// bracketed ones never. This gap is what makes F_full-rank hard for
+	// protocols that cannot tell the distributions apart.
+	r := rng.New(8)
+	const n, trials = 24, 400
+	full := 0
+	for i := 0; i < trials; i++ {
+		m := f2.Random(n, n, r)
+		if m.FullRank() {
+			full++
+		}
+	}
+	rate := float64(full) / trials
+	if math.Abs(rate-f2.KolchinQ(0)) > 0.08 {
+		t.Fatalf("uniform full-rank rate %v vs Q0 %v", rate, f2.KolchinQ(0))
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewExact(5, 6); err == nil {
+		t.Fatal("k > n accepted")
+	}
+	if _, err := NewExact(5, 0); err == nil {
+		t.Fatal("k = 0 accepted")
+	}
+	if _, err := NewTruncated(5, 5, 6); err == nil {
+		t.Fatal("rounds > k accepted")
+	}
+	if _, err := NewTruncated(5, 5, -1); err == nil {
+		t.Fatal("negative rounds accepted")
+	}
+}
+
+func TestTruthValidation(t *testing.T) {
+	if _, err := Truth([]bitvec.Vector{bitvec.New(4)}, 2); err == nil {
+		t.Fatal("too few rows accepted")
+	}
+	if _, err := Truth([]bitvec.Vector{bitvec.New(1), bitvec.New(1)}, 2); err == nil {
+		t.Fatal("short rows accepted")
+	}
+}
+
+func TestRevealedBlockNeedsFullRun(t *testing.T) {
+	p, err := NewExact(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RevealedBlock(bcast.NewTranscript(6, 1)); err == nil {
+		t.Fatal("short transcript accepted")
+	}
+}

@@ -1,0 +1,181 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used throughout the repository.
+//
+// Every experiment in this repo must be reproducible from a single seed, and
+// the BCAST simulator needs many independent per-processor streams that do
+// not share hidden global state. The package implements splitmix64 (used for
+// seeding) and xoshiro256** (the workhorse generator), following the public
+// domain reference implementations by Blackman and Vigna.
+//
+// These generators are NOT cryptographically secure. They are statistical
+// generators for simulation; the paper's pseudorandom generator lives in
+// internal/core and is an entirely different object (it fools BCAST(1)
+// protocols, not statistical test batteries).
+package rng
+
+import "math/bits"
+
+// SplitMix64 advances the splitmix64 state and returns the next value.
+// It is primarily used to expand a single user seed into the four words of
+// xoshiro256** state, and to derive independent child seeds.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Stream is a xoshiro256** generator. The zero value is not usable; create
+// streams with New or Child.
+type Stream struct {
+	s [4]uint64
+}
+
+// New returns a Stream seeded from the given seed via splitmix64, as
+// recommended by the xoshiro authors. Distinct seeds yield streams that are
+// statistically independent for simulation purposes.
+func New(seed uint64) *Stream {
+	var st Stream
+	sm := seed
+	for i := range st.s {
+		st.s[i] = SplitMix64(&sm)
+	}
+	// xoshiro256** must not be seeded with all zeros; splitmix64 of any
+	// seed cannot produce four zero words, but guard anyway.
+	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
+		st.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &st
+}
+
+// Child derives a new independent stream from this one. It consumes one
+// value from the parent, so sibling children created in sequence are
+// distinct. Use this to give each simulated processor its own coins.
+func (r *Stream) Child() *Stream {
+	return New(r.Uint64())
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Stream) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0 because a
+// uniform sample from an empty range does not exist; callers control n.
+func (r *Stream) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	// Lemire's nearly-divisionless method with rejection to remove bias.
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		threshold := -n % n
+		for lo < threshold {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Bit returns a single uniform random bit as a uint64 in {0, 1}.
+func (r *Stream) Bit() uint64 {
+	return r.Uint64() >> 63
+}
+
+// Bool returns a uniform random boolean.
+func (r *Stream) Bool() bool {
+	return r.Bit() == 1
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Stream) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p (clamped to [0, 1]).
+func (r *Stream) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a uniform random permutation of [0, n) using Fisher-Yates.
+func (r *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Subset returns a uniformly random size-k subset of [0, n), sorted
+// ascending. It panics if k < 0 or k > n; the caller controls both.
+// This is the sampler for the paper's distribution S^[n]_k.
+func (r *Stream) Subset(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: Subset with k out of range")
+	}
+	// Floyd's algorithm: O(k) expected time, no O(n) allocation.
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := r.Intn(j + 1)
+		if _, ok := chosen[t]; ok {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	// Insertion sort: k is small in every caller.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Tuple returns an ordered k-tuple of distinct elements of [0, n), uniform
+// over all such tuples. This is the sampler for the paper's T^[n]_k.
+func (r *Stream) Tuple(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: Tuple with k out of range")
+	}
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		t := r.Intn(n)
+		if _, ok := chosen[t]; ok {
+			continue
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}

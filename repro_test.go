@@ -1,0 +1,159 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+func TestGenerateAndBreakPseudorandom(t *testing.T) {
+	outs, rounds, err := GeneratePseudorandom(32, 8, 48, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 32 {
+		t.Fatalf("got %d outputs", len(outs))
+	}
+	if rounds != 10 { // ceil(8*40/32)
+		t.Fatalf("construction rounds = %d, want 10", rounds)
+	}
+	looksPRG, err := BreakPseudorandom(outs, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !looksPRG {
+		t.Fatal("attack failed to recognize genuine PRG outputs")
+	}
+	// Uniform strings must be rejected.
+	r := rng.New(3)
+	uni := make([]Vector, 32)
+	for i := range uni {
+		uni[i] = bitvec.Random(48, r)
+	}
+	looksPRG, err = BreakPseudorandom(uni, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if looksPRG {
+		t.Fatal("attack accepted uniform strings")
+	}
+}
+
+func TestGeneratePseudorandomValidates(t *testing.T) {
+	if _, _, err := GeneratePseudorandom(8, 4, 4, 1); err == nil {
+		t.Fatal("m = k accepted")
+	}
+	if _, err := BreakPseudorandom(nil, 4, 1); err == nil {
+		t.Fatal("empty outputs accepted")
+	}
+}
+
+func TestSampleAndFindPlantedClique(t *testing.T) {
+	g, clique, err := SamplePlantedGraph(96, 48, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := FindPlantedClique(g, 48, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("protocol declined on a planted instance")
+	}
+	if len(got) != len(clique) {
+		t.Fatalf("recovered %d vertices, planted %d", len(got), len(clique))
+	}
+}
+
+func TestCheckEquality(t *testing.T) {
+	r := rng.New(7)
+	x := bitvec.Random(32, r)
+	same := []Vector{x.Clone(), x.Clone(), x.Clone()}
+	eq, err := CheckEquality(same, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("equal inputs rejected")
+	}
+	diff := []Vector{x.Clone(), x.Clone(), bitvec.Random(32, r)}
+	eq, err = CheckEquality(diff, 12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatal("unequal inputs accepted (probability 2^-12 event)")
+	}
+	if _, err := CheckEquality(nil, 4, 1); err == nil {
+		t.Fatal("empty inputs accepted")
+	}
+}
+
+func TestFindCliqueByDegree(t *testing.T) {
+	g, clique, err := SamplePlantedGraph(400, 200, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := FindCliqueByDegree(g, 200, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || len(got) != len(clique) {
+		t.Fatalf("degree recovery: ok=%v size=%d want %d", ok, len(got), len(clique))
+	}
+}
+
+func TestCheckConnectivity(t *testing.T) {
+	// A complete symmetric graph is connected; two disjoint halves are
+	// not.
+	dense := NewGraph(40)
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 40; j++ {
+			if i != j {
+				dense.SetEdge(i, j, 1)
+			}
+		}
+	}
+	connected, err := CheckConnectivity(dense, 6, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !connected {
+		t.Fatal("complete graph reported disconnected")
+	}
+
+	split := NewGraph(8)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j {
+				split.SetEdge(i, j, 1)
+				split.SetEdge(i+4, j+4, 1)
+			}
+		}
+	}
+	connected, err = CheckConnectivity(split, 8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if connected {
+		t.Fatal("disconnected graph reported connected")
+	}
+}
+
+func TestRunAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness in short mode")
+	}
+	var sb strings.Builder
+	if err := RunAllExperiments(&sb, ExperimentConfig{Seed: 3, Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, id := range []string{"E1", "E7", "E14"} {
+		if !strings.Contains(out, "### "+id) {
+			t.Fatalf("experiment %s missing from output", id)
+		}
+	}
+}
