@@ -7,14 +7,25 @@ import (
 	"testing"
 )
 
+// cheapID returns the experiment the CLI tests exercise: the exact E5
+// enumeration normally, the fast Monte-Carlo E13 under -short (CI race
+// runs).
+func cheapID() string {
+	if testing.Short() {
+		return "E13"
+	}
+	return "E5"
+}
+
 func TestRunSingleExperiment(t *testing.T) {
+	id := cheapID()
 	var sb strings.Builder
-	if err := run([]string{"-quick", "-seed", "3", "-only", "E5"}, &sb); err != nil {
+	if err := run([]string{"-quick", "-seed", "3", "-only", id}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	if !strings.Contains(out, "### E5") {
-		t.Fatalf("output missing E5 table:\n%s", out)
+	if !strings.Contains(out, "### "+id) {
+		t.Fatalf("output missing %s table:\n%s", id, out)
 	}
 	if strings.Contains(out, "### E1 ") {
 		t.Fatal("-only did not filter")
@@ -22,13 +33,17 @@ func TestRunSingleExperiment(t *testing.T) {
 }
 
 func TestRunMultipleSelected(t *testing.T) {
+	ids := "E5,E13"
+	if testing.Short() {
+		ids = "E3,E13"
+	}
 	var sb strings.Builder
-	if err := run([]string{"-quick", "-only", "E5,E13"}, &sb); err != nil {
+	if err := run([]string{"-quick", "-only", ids}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, id := range []string{"### E5", "### E13"} {
-		if !strings.Contains(out, id) {
+	for _, id := range strings.Split(ids, ",") {
+		if !strings.Contains(out, "### "+id) {
 			t.Fatalf("missing %s", id)
 		}
 	}
@@ -42,16 +57,17 @@ func TestRunUnknownExperiment(t *testing.T) {
 }
 
 func TestRunWritesFile(t *testing.T) {
+	id := cheapID()
 	path := filepath.Join(t.TempDir(), "out.md")
 	var sb strings.Builder
-	if err := run([]string{"-quick", "-only", "E5", "-o", path}, &sb); err != nil {
+	if err := run([]string{"-quick", "-only", id, "-o", path}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(data), "### E5") {
+	if !strings.Contains(string(data), "### "+id) {
 		t.Fatal("file output missing table")
 	}
 	if sb.Len() != 0 {

@@ -17,9 +17,11 @@
 //   - the average-case rank hardness and time-hierarchy protocols
 //     (Theorems 1.4 and 1.5) with Kolchin's rank-law constants;
 //   - Newman's theorem in BCAST(1) (Appendix A);
-//   - substrate packages: GF(2) bit vectors and linear algebra, finite
-//     distributions and TV distance, information theory, Boolean Fourier
-//     analysis, and deterministic PRNG streams.
+//   - substrate packages: GF(2) bit vectors and linear algebra
+//     (internal/bitvec, internal/f2), finite distributions with
+//     total-variation distance and k-subset enumeration (internal/dist),
+//     information theory (internal/info), Boolean Fourier analysis
+//     (internal/fourier), and deterministic PRNG streams (internal/rng).
 //
 // The facade in repro.go re-exports the most commonly used entry points;
 // the full API lives in the internal packages, and the per-theorem

@@ -1,0 +1,118 @@
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchSink absorbs per-subset reads so the compiler cannot eliminate the
+// enumeration body.
+var benchSink int
+
+// transcriptDist builds a distribution shaped like the exact lower-bound
+// workloads: many long string keys (transcript encodings) with uneven
+// mass.
+func transcriptDist(r *rand.Rand, support int) *Finite {
+	d := NewFinite()
+	for i := 0; i < support; i++ {
+		d.Add(fmt.Sprintf("turn:%04d|msg:%08x", i, r.Uint32()), 0.01+r.Float64())
+	}
+	if err := d.Normalize(); err != nil {
+		panic(err)
+	}
+	d.Support() // prime the sorted-support cache, as real callers do
+	return d
+}
+
+// BenchmarkTV measures the sorted-merge TV fast path. Both supports are
+// pre-cached, so an iteration is a pure two-pointer walk: the benchmark
+// must report 0 allocs/op.
+func BenchmarkTV(b *testing.B) {
+	for _, support := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("support=%d", support), func(b *testing.B) {
+			r := rand.New(rand.NewSource(1))
+			da := transcriptDist(r, support)
+			db := transcriptDist(r, support)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = TV(da, db)
+			}
+		})
+	}
+}
+
+// BenchmarkTVSharedSupport measures the equal-support case (the common
+// one when comparing two transcript distributions of the same protocol).
+func BenchmarkTVSharedSupport(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	da := transcriptDist(r, 1024)
+	db := NewFinite()
+	for _, k := range da.Support() {
+		db.Add(k, 0.01+r.Float64())
+	}
+	if err := db.Normalize(); err != nil {
+		b.Fatal(err)
+	}
+	db.Support()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = TV(da, db)
+	}
+}
+
+// BenchmarkForEachSubset measures the per-subset cost of the enumeration
+// fast path. One op is one visited subset; the single index-buffer
+// allocation is amortized over the C(n, k) walk, so allocs/op must report
+// 0 on the fast path.
+func BenchmarkForEachSubset(b *testing.B) {
+	for _, nk := range [][2]int{{16, 4}, {20, 10}, {24, 12}} {
+		n, k := nk[0], nk[1]
+		b.Run(fmt.Sprintf("n=%d/k=%d", n, k), func(b *testing.B) {
+			b.ReportAllocs()
+			count := 0
+			for count < b.N {
+				ForEachSubset(n, k, func(c []int) {
+					count++
+					benchSink ^= c[k-1] // keep the buffer read live
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkFromSamples measures the streaming empirical-distribution
+// build over a Monte-Carlo-sized transcript batch.
+func BenchmarkFromSamples(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	samples := make([]string, 20000)
+	for i := range samples {
+		samples[i] = fmt.Sprintf("transcript-%03d", r.Intn(512))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FromSamples(samples)
+	}
+}
+
+// BenchmarkSupportRebuild measures the cache-miss path: accumulate a
+// fresh support, then sort it once.
+func BenchmarkSupportRebuild(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%08x", r.Uint32())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewFinite()
+		for _, k := range keys {
+			d.Add(k, 1)
+		}
+		_ = d.Support()
+	}
+}

@@ -1,0 +1,71 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Uniform returns the uniform distribution over the given outcomes.
+// Duplicate keys accumulate mass, so the result is uniform over the
+// multiset (callers pass distinct keys).
+func Uniform(keys []string) *Finite {
+	if len(keys) == 0 {
+		panic("dist: Uniform over empty outcome set")
+	}
+	d := NewFinite()
+	p := 1 / float64(len(keys))
+	for _, k := range keys {
+		d.Add(k, p)
+	}
+	return d
+}
+
+// FromSamples returns the empirical distribution of the samples: each of
+// the n samples contributes mass 1/n to its outcome. Single streaming
+// pass over the input; the samples slice is not retained.
+func FromSamples(samples []string) *Finite {
+	if len(samples) == 0 {
+		panic("dist: FromSamples with no samples")
+	}
+	d := NewFinite()
+	w := 1 / float64(len(samples))
+	for _, k := range samples {
+		d.mass[k] += w
+	}
+	d.dirty = true
+	return d
+}
+
+// BoolDist returns the Bernoulli distribution with P("1") = p and
+// P("0") = 1 − p. Both outcomes are always present in the support so
+// that TV(BoolDist(a), BoolDist(b)) = |a − b| holds for every pair,
+// including the endpoints.
+func BoolDist(p float64) *Finite {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("dist: BoolDist(%v) outside [0,1]", p))
+	}
+	d := NewFinite()
+	d.Add("0", 1-p)
+	d.Add("1", p)
+	return d
+}
+
+// Binomial returns C(n, k) as a float64, 0 outside 0 ≤ k ≤ n. The
+// multiplicative form C(n,k) = Π_{i=1..k} (n−k+i)/i keeps every partial
+// product a (float-rounded) binomial coefficient, so intermediate values
+// never exceed the result — no overflow before the answer itself leaves
+// float64 range (n ≳ 1029), unlike the factorial form which overflows
+// at n = 171.
+func Binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1.0
+	for i := 1; i <= k; i++ {
+		c = c * float64(n-k+i) / float64(i)
+	}
+	return math.Round(c)
+}

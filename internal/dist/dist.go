@@ -1,0 +1,157 @@
+// Package dist implements finite probability distributions over string
+// outcomes together with the combinatorial enumeration primitives the
+// lower-bound framework is built on: total-variation distance, empirical
+// distributions from transcript samples, binomial coefficients, and
+// k-subset enumeration.
+//
+// These are the measurement substrate for the paper's Section 3/4
+// indistinguishability arguments: every "the protocol cannot tell A_k from
+// A_rand" claim bottoms out in a TV distance between two transcript
+// distributions, and every mixture over clique placements bottoms out in a
+// walk over the C(n, k) size-k subsets of [n].
+//
+// Performance notes. Finite caches its sorted support so that TV — the
+// hot call inside ExactTranscriptDist's C(n,k) × 2^Θ(n) loops — runs as a
+// single allocation-free merge over two sorted slices. ForEachSubset
+// reuses one index buffer across all C(n, k) callbacks; callers that
+// retain a subset must copy it.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Finite is a probability distribution with finite support over string
+// outcomes. The zero value is not usable; construct with NewFinite,
+// Uniform, FromSamples, or BoolDist. Mass is stored unnormalized until
+// Normalize is called, so the type doubles as a weight accumulator.
+type Finite struct {
+	mass map[string]float64
+	// support is the cached sorted key list; valid only when !dirty.
+	// Add invalidates it, Support/TV rebuild it on demand, so the common
+	// pattern "accumulate everything, then measure repeatedly" sorts once.
+	support []string
+	dirty   bool
+}
+
+// NewFinite returns an empty distribution with no mass.
+func NewFinite() *Finite {
+	return &Finite{mass: make(map[string]float64)}
+}
+
+// Add adds probability mass p to outcome key. Negative mass panics:
+// every caller is accumulating weights or probabilities, so a negative
+// value is always a logic error upstream.
+func (d *Finite) Add(key string, p float64) {
+	if p < 0 || math.IsNaN(p) {
+		panic(fmt.Sprintf("dist: Add(%q, %v) with negative or NaN mass", key, p))
+	}
+	if _, ok := d.mass[key]; !ok {
+		d.dirty = true
+	}
+	d.mass[key] += p
+}
+
+// Prob returns the mass on key (0 if absent).
+func (d *Finite) Prob(key string) float64 { return d.mass[key] }
+
+// Len returns the number of outcomes carrying mass entries.
+func (d *Finite) Len() int { return len(d.mass) }
+
+// Total returns the total mass.
+func (d *Finite) Total() float64 {
+	t := 0.0
+	for _, p := range d.mass {
+		t += p
+	}
+	return t
+}
+
+// Support returns the outcomes in sorted order. The slice is cached and
+// shared: callers must not modify it. Adding a new outcome invalidates
+// the cache; re-adding mass to an existing outcome does not. Rebuilds
+// allocate a fresh slice, so a slice retained across an invalidating Add
+// goes stale but is never rewritten in place.
+func (d *Finite) Support() []string {
+	if d.dirty || d.support == nil {
+		d.support = make([]string, 0, len(d.mass))
+		for k := range d.mass {
+			d.support = append(d.support, k)
+		}
+		sort.Strings(d.support)
+		d.dirty = false
+	}
+	return d.support
+}
+
+// Normalize scales the distribution to total mass 1. It fails on zero
+// total mass (there is nothing to normalize towards).
+func (d *Finite) Normalize() error {
+	t := d.Total()
+	if t == 0 {
+		return fmt.Errorf("dist: cannot normalize zero-mass distribution")
+	}
+	for k := range d.mass {
+		d.mass[k] /= t
+	}
+	return nil
+}
+
+// Validate checks that the distribution is a probability distribution up
+// to tolerance tol: all masses non-negative and total mass within tol of
+// 1. Enumerators use it to assert their weights really sum to 1.
+func (d *Finite) Validate(tol float64) error {
+	for k, p := range d.mass {
+		if p < 0 {
+			return fmt.Errorf("dist: negative mass %v on %q", p, k)
+		}
+	}
+	if t := d.Total(); math.Abs(t-1) > tol {
+		return fmt.Errorf("dist: total mass %v differs from 1 by more than %v", t, tol)
+	}
+	return nil
+}
+
+// Clone returns an independent copy.
+func (d *Finite) Clone() *Finite {
+	c := &Finite{mass: make(map[string]float64, len(d.mass)), dirty: true}
+	for k, p := range d.mass {
+		c.mass[k] = p
+	}
+	return c
+}
+
+// TV returns the total-variation distance ½ Σ_x |a(x) − b(x)| between two
+// distributions. For normalized inputs the result is in [0, 1].
+//
+// This is the hot path of every exact lower-bound measurement: it merges
+// the two cached sorted supports in a single pass and allocates nothing
+// beyond (at most) one deferred cache rebuild per distribution.
+func TV(a, b *Finite) float64 {
+	sa, sb := a.Support(), b.Support()
+	sum := 0.0
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		switch {
+		case sa[i] < sb[j]:
+			sum += a.mass[sa[i]]
+			i++
+		case sa[i] > sb[j]:
+			sum += b.mass[sb[j]]
+			j++
+		default:
+			sum += math.Abs(a.mass[sa[i]] - b.mass[sb[j]])
+			i++
+			j++
+		}
+	}
+	for ; i < len(sa); i++ {
+		sum += a.mass[sa[i]]
+	}
+	for ; j < len(sb); j++ {
+		sum += b.mass[sb[j]]
+	}
+	return sum / 2
+}

@@ -1,0 +1,307 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomFinite returns a normalized distribution on s outcomes drawn from
+// the shared alphabet a, b, c, … so independent draws overlap.
+func randomFinite(r *rand.Rand, s int) *Finite {
+	d := NewFinite()
+	for i := 0; i < s; i++ {
+		d.Add(string(rune('a'+i)), 0.01+r.Float64())
+	}
+	if err := d.Normalize(); err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func TestAddProbTotalLen(t *testing.T) {
+	d := NewFinite()
+	if d.Len() != 0 || d.Total() != 0 {
+		t.Fatal("fresh distribution not empty")
+	}
+	d.Add("x", 0.25)
+	d.Add("y", 0.5)
+	d.Add("x", 0.25) // accumulate on the same key
+	if got := d.Prob("x"); got != 0.5 {
+		t.Fatalf("Prob(x) = %v, want 0.5", got)
+	}
+	if got := d.Prob("absent"); got != 0 {
+		t.Fatalf("Prob(absent) = %v, want 0", got)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	if got := d.Total(); math.Abs(got-1) > 1e-15 {
+		t.Fatalf("Total = %v, want 1", got)
+	}
+}
+
+func TestAddRejectsBadMass(t *testing.T) {
+	for _, p := range []float64{-0.1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Add with mass %v did not panic", p)
+				}
+			}()
+			NewFinite().Add("x", p)
+		}()
+	}
+}
+
+func TestSupportSortedAndCached(t *testing.T) {
+	d := NewFinite()
+	for _, k := range []string{"c", "a", "b"} {
+		d.Add(k, 1.0/3)
+	}
+	s1 := d.Support()
+	if len(s1) != 3 || s1[0] != "a" || s1[1] != "b" || s1[2] != "c" {
+		t.Fatalf("Support not sorted: %v", s1)
+	}
+	// Re-adding mass to an existing key must not invalidate the cache.
+	d.Add("b", 0.1)
+	s2 := d.Support()
+	if &s1[0] != &s2[0] {
+		t.Fatal("Support cache rebuilt despite no new outcome")
+	}
+	// A new outcome must invalidate it.
+	d.Add("aa", 0.1)
+	s3 := d.Support()
+	if len(s3) != 4 || s3[0] != "a" || s3[1] != "aa" {
+		t.Fatalf("Support after invalidation wrong: %v", s3)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	d := NewFinite()
+	d.Add("x", 3)
+	d.Add("y", 1)
+	if err := d.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Prob("x")-0.75) > 1e-15 || math.Abs(d.Total()-1) > 1e-15 {
+		t.Fatalf("Normalize wrong: P(x)=%v total=%v", d.Prob("x"), d.Total())
+	}
+	if err := NewFinite().Normalize(); err == nil {
+		t.Fatal("Normalize of zero-mass distribution did not fail")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	d := NewFinite()
+	d.Add("x", 0.5)
+	d.Add("y", 0.5)
+	if err := d.Validate(1e-12); err != nil {
+		t.Fatalf("valid distribution rejected: %v", err)
+	}
+	d.Add("z", 0.5)
+	if err := d.Validate(1e-12); err == nil {
+		t.Fatal("total mass 1.5 passed Validate")
+	}
+	// Negative mass cannot enter through Add; simulate a corrupted state.
+	bad := NewFinite()
+	bad.mass["x"] = -0.5
+	bad.mass["y"] = 1.5
+	if err := bad.Validate(1e-12); err == nil {
+		t.Fatal("negative mass passed Validate")
+	}
+}
+
+func TestClone(t *testing.T) {
+	d := NewFinite()
+	d.Add("x", 1)
+	c := d.Clone()
+	c.Add("y", 1)
+	if d.Len() != 1 || c.Len() != 2 {
+		t.Fatal("Clone not independent")
+	}
+	if c.Prob("x") != 1 {
+		t.Fatal("Clone lost mass")
+	}
+}
+
+func TestTVIdenticalAndDisjoint(t *testing.T) {
+	d := Uniform([]string{"a", "b", "c"})
+	if got := TV(d, d); got != 0 {
+		t.Fatalf("TV(d, d) = %v", got)
+	}
+	e := Uniform([]string{"x", "y"})
+	if got := TV(d, e); math.Abs(got-1) > 1e-15 {
+		t.Fatalf("TV of disjoint supports = %v, want 1", got)
+	}
+}
+
+func TestTVKnownValue(t *testing.T) {
+	// TV((.5,.5), (.75,.25)) = 1/2 (|.25| + |.25|) = .25.
+	a := Uniform([]string{"0", "1"})
+	b := NewFinite()
+	b.Add("0", 0.75)
+	b.Add("1", 0.25)
+	if got := TV(a, b); math.Abs(got-0.25) > 1e-15 {
+		t.Fatalf("TV = %v, want 0.25", got)
+	}
+}
+
+func TestTVPropertySymmetryAndRange(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		a := randomFinite(r, 1+r.Intn(8))
+		b := randomFinite(r, 1+r.Intn(8))
+		tv := TV(a, b)
+		if math.Abs(tv-TV(b, a)) > 1e-15 {
+			t.Fatalf("TV asymmetric: %v vs %v", tv, TV(b, a))
+		}
+		if tv < 0 || tv > 1+1e-12 {
+			t.Fatalf("TV = %v outside [0,1]", tv)
+		}
+	}
+}
+
+func TestTVPropertyTriangleInequality(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		a := randomFinite(r, 1+r.Intn(6))
+		b := randomFinite(r, 1+r.Intn(6))
+		c := randomFinite(r, 1+r.Intn(6))
+		if TV(a, c) > TV(a, b)+TV(b, c)+1e-12 {
+			t.Fatalf("triangle inequality violated: TV(a,c)=%v > %v + %v",
+				TV(a, c), TV(a, b), TV(b, c))
+		}
+	}
+}
+
+func TestTVAgainstDirectSum(t *testing.T) {
+	// Cross-check the merge path against the naive union-of-supports sum.
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		a := randomFinite(r, 1+r.Intn(10))
+		b := randomFinite(r, 1+r.Intn(10))
+		union := map[string]bool{}
+		for _, k := range a.Support() {
+			union[k] = true
+		}
+		for _, k := range b.Support() {
+			union[k] = true
+		}
+		want := 0.0
+		for k := range union {
+			want += math.Abs(a.Prob(k) - b.Prob(k))
+		}
+		want /= 2
+		if got := TV(a, b); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("merge TV = %v, naive TV = %v", got, want)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	d := Uniform([]string{"a", "b", "c", "d"})
+	for _, k := range d.Support() {
+		if math.Abs(d.Prob(k)-0.25) > 1e-15 {
+			t.Fatalf("P(%s) = %v, want 0.25", k, d.Prob(k))
+		}
+	}
+	if err := d.Validate(1e-12); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Uniform(nil) did not panic")
+			}
+		}()
+		Uniform(nil)
+	}()
+}
+
+func TestFromSamples(t *testing.T) {
+	d := FromSamples([]string{"a", "a", "b", "a"})
+	if math.Abs(d.Prob("a")-0.75) > 1e-15 || math.Abs(d.Prob("b")-0.25) > 1e-15 {
+		t.Fatalf("empirical probs wrong: %v, %v", d.Prob("a"), d.Prob("b"))
+	}
+	if err := d.Validate(1e-12); err != nil {
+		t.Fatal(err)
+	}
+	if s := d.Support(); len(s) != 2 || s[0] != "a" || s[1] != "b" {
+		t.Fatalf("Support = %v", s)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("FromSamples(nil) did not panic")
+			}
+		}()
+		FromSamples(nil)
+	}()
+}
+
+func TestFromSamplesConvergence(t *testing.T) {
+	// Empirical TV to the true distribution must shrink as samples grow
+	// (law of large numbers; the plug-in estimator's bias is O(√(S/m))).
+	truth := NewFinite()
+	truth.Add("a", 0.5)
+	truth.Add("b", 0.3)
+	truth.Add("c", 0.2)
+	r := rand.New(rand.NewSource(4))
+	draw := func(m int) []string {
+		out := make([]string, m)
+		for i := range out {
+			u := r.Float64()
+			switch {
+			case u < 0.5:
+				out[i] = "a"
+			case u < 0.8:
+				out[i] = "b"
+			default:
+				out[i] = "c"
+			}
+		}
+		return out
+	}
+	sizes := []int{100, 10000}
+	if !testing.Short() {
+		sizes = append(sizes, 1000000)
+	}
+	prev := math.Inf(1)
+	for _, m := range sizes {
+		tv := TV(FromSamples(draw(m)), truth)
+		// Expected deviation at m samples is ~1/√m; allow a generous factor.
+		if bound := 10 / math.Sqrt(float64(m)); tv > bound {
+			t.Fatalf("empirical TV at m=%d is %v, above %v", m, tv, bound)
+		}
+		if tv > prev*2 {
+			t.Fatalf("empirical TV not shrinking: m=%d gives %v after %v", m, tv, prev)
+		}
+		prev = tv
+	}
+}
+
+func TestBoolDist(t *testing.T) {
+	d := BoolDist(0.3)
+	if math.Abs(d.Prob("1")-0.3) > 1e-15 || math.Abs(d.Prob("0")-0.7) > 1e-15 {
+		t.Fatalf("BoolDist(0.3) probs: %v, %v", d.Prob("0"), d.Prob("1"))
+	}
+	// The identity the Fourier tests rely on: TV(Bern(a), Bern(b)) = |a−b|,
+	// including the degenerate endpoints.
+	for _, pair := range [][2]float64{{0.3, 0.8}, {0, 1}, {0.5, 0.5}, {0, 0.25}} {
+		a, b := pair[0], pair[1]
+		if got := TV(BoolDist(a), BoolDist(b)); math.Abs(got-math.Abs(a-b)) > 1e-15 {
+			t.Fatalf("TV(Bern(%v), Bern(%v)) = %v, want %v", a, b, got, math.Abs(a-b))
+		}
+	}
+	for _, p := range []float64{-0.01, 1.01, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("BoolDist(%v) did not panic", p)
+				}
+			}()
+			BoolDist(p)
+		}()
+	}
+}

@@ -1,0 +1,37 @@
+package dist
+
+// ForEachSubset calls fn once for every size-k subset of {0, …, n−1}, in
+// lexicographic order of the sorted index slice. The same backing buffer
+// is passed to every call — the classic revolving-buffer enumeration — so
+// the full C(n, k) walk performs exactly one allocation; callers that
+// retain a subset must copy it first.
+//
+// k = 0 yields the single empty subset; k < 0 or k > n yields nothing.
+// ExactTranscriptDist and the mixture enumerators call this inside loops
+// over 2^Θ(n) graphs, which is why the per-subset cost is a handful of
+// integer increments and no garbage.
+func ForEachSubset(n, k int, fn func(c []int)) {
+	if k < 0 || k > n {
+		return
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		fn(idx)
+		// Lexicographic successor: find the rightmost index that can still
+		// move right, bump it, and pack the suffix tightly behind it.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}

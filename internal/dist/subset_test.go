@@ -1,0 +1,187 @@
+package dist
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+func collectSubsets(n, k int) [][]int {
+	var out [][]int
+	ForEachSubset(n, k, func(c []int) {
+		out = append(out, append([]int(nil), c...))
+	})
+	return out
+}
+
+// lexLess reports whether subset a precedes b lexicographically.
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func TestForEachSubsetCountAndOrder(t *testing.T) {
+	nMax := 10
+	if !testing.Short() {
+		nMax = 14
+	}
+	for n := 0; n <= nMax; n++ {
+		for k := 0; k <= n; k++ {
+			subs := collectSubsets(n, k)
+			if want := int(Binomial(n, k)); len(subs) != want {
+				t.Fatalf("ForEachSubset(%d, %d) yielded %d subsets, want C = %d",
+					n, k, len(subs), want)
+			}
+			seen := map[string]bool{}
+			for i, c := range subs {
+				if len(c) != k {
+					t.Fatalf("subset %v has size %d, want %d", c, len(c), k)
+				}
+				for j, v := range c {
+					if v < 0 || v >= n {
+						t.Fatalf("subset %v has out-of-range element", c)
+					}
+					if j > 0 && c[j-1] >= v {
+						t.Fatalf("subset %v not strictly increasing", c)
+					}
+				}
+				key := ""
+				for _, v := range c {
+					key += string(rune('A' + v))
+				}
+				if seen[key] {
+					t.Fatalf("subset %v yielded twice", c)
+				}
+				seen[key] = true
+				if i > 0 && !lexLess(subs[i-1], c) {
+					t.Fatalf("subsets out of lexicographic order: %v before %v",
+						subs[i-1], c)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachSubsetDegenerate(t *testing.T) {
+	// k = 0: exactly one empty subset.
+	calls := 0
+	ForEachSubset(5, 0, func(c []int) {
+		calls++
+		if len(c) != 0 {
+			t.Fatalf("empty subset has len %d", len(c))
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("k=0 yielded %d subsets, want 1", calls)
+	}
+	// k = n: exactly the full set.
+	calls = 0
+	ForEachSubset(4, 4, func(c []int) {
+		calls++
+		for i, v := range c {
+			if v != i {
+				t.Fatalf("full subset wrong: %v", c)
+			}
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("k=n yielded %d subsets, want 1", calls)
+	}
+	// k > n and k < 0: nothing.
+	ForEachSubset(3, 4, func([]int) { t.Fatal("k > n yielded a subset") })
+	ForEachSubset(3, -1, func([]int) { t.Fatal("k < 0 yielded a subset") })
+	// n = 0, k = 0: the empty set still has one empty subset.
+	calls = 0
+	ForEachSubset(0, 0, func([]int) { calls++ })
+	if calls != 1 {
+		t.Fatalf("ForEachSubset(0, 0) yielded %d, want 1", calls)
+	}
+}
+
+func TestForEachSubsetReusesBuffer(t *testing.T) {
+	// The documented contract: one buffer for the whole walk. Callers that
+	// retain must copy — this test pins the aliasing behavior so a future
+	// "fix" doesn't silently start allocating per subset.
+	var first *int
+	calls := 0
+	ForEachSubset(6, 3, func(c []int) {
+		if calls == 0 {
+			first = &c[0]
+		} else if &c[0] != first {
+			t.Fatal("ForEachSubset allocated a fresh buffer mid-walk")
+		}
+		calls++
+	})
+}
+
+func TestBinomialSmallValues(t *testing.T) {
+	want := map[[2]int]float64{
+		{0, 0}: 1, {1, 0}: 1, {1, 1}: 1,
+		{4, 2}: 6, {5, 2}: 10, {6, 3}: 20,
+		{10, 5}: 252, {20, 10}: 184756,
+		{1000, 2}: 499500,
+	}
+	for nk, w := range want {
+		if got := Binomial(nk[0], nk[1]); got != w {
+			t.Fatalf("C(%d, %d) = %v, want %v", nk[0], nk[1], got, w)
+		}
+	}
+	if Binomial(3, 4) != 0 || Binomial(3, -1) != 0 || Binomial(-1, 0) != 0 {
+		t.Fatal("out-of-range Binomial not 0")
+	}
+}
+
+func TestBinomialPascalAndSymmetry(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		for k := 1; k <= n; k++ {
+			if got, want := Binomial(n, k), Binomial(n-1, k-1)+Binomial(n-1, k); got != want {
+				t.Fatalf("Pascal broken at C(%d, %d): %v vs %v", n, k, got, want)
+			}
+			if Binomial(n, k) != Binomial(n, n-k) {
+				t.Fatalf("symmetry broken at C(%d, %d)", n, k)
+			}
+		}
+	}
+}
+
+func TestBinomialOverflowSafe(t *testing.T) {
+	// The factorial form overflows float64 at n = 171; the multiplicative
+	// form must agree with exact big-integer arithmetic far beyond that
+	// (to float64 relative precision).
+	cases := [][2]int{{170, 85}, {300, 150}, {500, 37}, {1000, 500}}
+	for _, nk := range cases {
+		n, k := nk[0], nk[1]
+		exact, _ := new(big.Float).SetInt(new(big.Int).Binomial(int64(n), int64(k))).Float64()
+		got := Binomial(n, k)
+		if math.IsInf(got, 0) || math.Abs(got-exact)/exact > 1e-12 {
+			t.Fatalf("C(%d, %d) = %v, want %v", n, k, got, exact)
+		}
+	}
+	// Past float64 range the coefficient genuinely is infinite; it must
+	// not wrap or go negative.
+	if got := Binomial(2000, 1000); !math.IsInf(got, 1) {
+		t.Fatalf("C(2000, 1000) = %v, want +Inf", got)
+	}
+}
+
+func TestSubsetWeightsFormUniformMixture(t *testing.T) {
+	// The exact pattern EnumeratePlantedGraphs relies on: weighting each
+	// subset by 1/C(n, k) yields a probability distribution.
+	const n, k = 9, 4
+	total := Binomial(n, k)
+	d := NewFinite()
+	ForEachSubset(n, k, func(c []int) {
+		key := ""
+		for _, v := range c {
+			key += string(rune('A' + v))
+		}
+		d.Add(key, 1/total)
+	})
+	if err := d.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -11,9 +11,15 @@ import (
 // disagrees with the paper and must fail loudly.
 func TestAllExperimentsRunQuick(t *testing.T) {
 	cfg := Config{Seed: 7, Quick: true}
+	// The exhaustive-enumeration experiments dominate the race-detector
+	// run; skip them under -short so CI stays within time limits.
+	exhaustive := map[string]bool{"E5": true, "E12": true}
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
+			if testing.Short() && exhaustive[e.ID] {
+				t.Skipf("%s enumerates exhaustively; skipped in -short mode", e.ID)
+			}
 			table, err := e.Run(cfg)
 			if err != nil {
 				t.Fatalf("%s failed: %v", e.ID, err)
@@ -37,6 +43,9 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 }
 
 func TestExperimentsDeterministicGivenSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the exact E5 enumeration twice; skipped in -short mode")
+	}
 	cfg := Config{Seed: 11, Quick: true}
 	// E5 is cheap and fully exact: two runs must agree cell for cell.
 	a, err := E5FourierLemma(cfg)
