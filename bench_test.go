@@ -14,9 +14,10 @@ import (
 	"repro/internal/rng"
 )
 
-// The Benchmark_E* benchmarks regenerate the per-theorem experiment tables
-// of DESIGN.md (one per table/figure-equivalent in the paper). Each
-// iteration runs the quick-scale experiment end to end; run
+// The Benchmark_E* benchmarks regenerate the per-theorem experiment
+// tables registered in internal/experiments (experiments.All, one per
+// table/figure-equivalent in the paper). Each iteration runs the
+// quick-scale experiment end to end; run
 // `go test -bench E -benchtime 1x -v` to print the tables themselves via
 // cmd/experiments or the harness smoke test.
 

@@ -1,10 +1,10 @@
-// Command experiments regenerates the paper-reproduction tables (E1..E14
-// in DESIGN.md), printing each as GitHub-flavoured markdown. The output of
-// a full run is what EXPERIMENTS.md records.
+// Command experiments regenerates the paper-reproduction tables
+// (E1..E17, the internal/experiments registry), printing each as
+// GitHub-flavoured markdown.
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-only E7[,E8,...]] [-o FILE]
+//	experiments [-quick] [-seed N] [-workers N] [-only E7[,E8,...]] [-o FILE]
 package main
 
 import (
@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/experiments"
@@ -28,6 +29,8 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "reduced trial counts (wider error bars)")
 	seed := fs.Uint64("seed", 2019, "master random seed")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
+		"goroutine pool size for the measurement engines (tables are identical for any value)")
 	only := fs.String("only", "", "comma-separated experiment ids to run (default: all)")
 	outPath := fs.String("o", "", "write output to this file instead of stdout")
 	if err := fs.Parse(args); err != nil {
@@ -51,7 +54,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers}
 	ran := 0
 	for _, e := range experiments.All() {
 		if len(want) > 0 && !want[e.ID] {

@@ -12,20 +12,28 @@
 //     Theorem 8.1 seed-optimality attack;
 //   - the planted-clique machinery: the A_rand/A_C/A_k distributions, the
 //     Section 3/4 lower-bound framework with exact and Monte-Carlo
-//     transcript-distance measurement, natural detector protocols, and the
-//     Appendix B O(n/k·polylog n)-round recovery protocol;
+//     transcript-distance measurement — both run on a sharded worker-pool
+//     engine whose results are bit-identical for every worker count
+//     (per-sample rng streams, rank-range enumeration, integer-count
+//     merges over interned transcript keys) — natural detector protocols,
+//     and the Appendix B O(n/k·polylog n)-round recovery protocol;
 //   - the average-case rank hardness and time-hierarchy protocols
 //     (Theorems 1.4 and 1.5) with Kolchin's rank-law constants;
 //   - Newman's theorem in BCAST(1) (Appendix A);
 //   - substrate packages: GF(2) bit vectors and linear algebra
 //     (internal/bitvec, internal/f2), finite distributions with
-//     total-variation distance and k-subset enumeration (internal/dist),
-//     information theory (internal/info), Boolean Fourier analysis
-//     (internal/fourier), and deterministic PRNG streams (internal/rng).
+//     total-variation distance, string-interned integer-keyed variants,
+//     mergeable shard accumulators, and k-subset enumeration/unranking
+//     (internal/dist), information theory (internal/info), Boolean
+//     Fourier analysis (internal/fourier), deterministic splittable PRNG
+//     streams (internal/rng), and the worker-pool sharding substrate
+//     (internal/par).
 //
 // The facade in repro.go re-exports the most commonly used entry points;
 // the full API lives in the internal packages, and the per-theorem
-// experiment harness is internal/experiments (driven by cmd/experiments
-// and the root benchmarks). See DESIGN.md for the system inventory and
-// EXPERIMENTS.md for measured-vs-predicted results.
+// experiment harness is internal/experiments (its registry,
+// experiments.All, indexes E1..E17; driven by cmd/experiments and the
+// root benchmarks). ROADMAP.md tracks the system inventory and open
+// items; BENCH_DIST.json and BENCH_LOWERBOUND.json hold the performance
+// baselines for the hot measurement paths.
 package repro

@@ -41,7 +41,7 @@ func run() error {
 		int(3 * math.Sqrt(float64(n)*math.Log(float64(n)))),
 	} {
 		det := &cliquefind.DegreeDetector{N: n, K: k}
-		rep, err := cliquefind.MeasureDetector(det, n, k, trials, r)
+		rep, err := cliquefind.MeasureDetector(det, n, k, trials, 0, r)
 		if err != nil {
 			return err
 		}

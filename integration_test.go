@@ -43,12 +43,12 @@ func TestPaperStoryEndToEnd(t *testing.T) {
 	probe := &oneRoundReveal{}
 	tvPRG, err := lowerbound.EstimateTranscriptTV(probe,
 		func(s *rng.Stream) []bitvec.Vector { return lowerbound.SampleMixture(fam, s) },
-		fam.SampleReference, 6, 6000, r)
+		fam.SampleReference, 6, 6000, 0, r)
 	if err != nil {
 		t.Fatal(err)
 	}
 	tvNull, err := lowerbound.EstimateTranscriptTV(probe,
-		fam.SampleReference, fam.SampleReference, 6, 6000, r)
+		fam.SampleReference, fam.SampleReference, 6, 6000, 0, r)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -130,22 +130,32 @@ func (t *Transcript) Equal(o *Transcript) bool {
 }
 
 // Key returns a canonical string identifying the exact transcript, for use
-// as a map key when estimating transcript distributions.
+// as a map key when estimating transcript distributions. Hot loops that
+// intern keys should prefer KeyAppend, which reuses a caller buffer.
 func (t *Transcript) Key() string {
-	var sb strings.Builder
-	sb.Grow(len(t.msgs)*2 + 8)
-	sb.WriteByte(byte(t.n))
-	sb.WriteByte(byte(t.n >> 8))
-	sb.WriteByte(byte(t.bits))
+	return string(t.KeyAppend(nil))
+}
+
+// KeyAppend appends the canonical key bytes of the transcript to buf and
+// returns the extended slice. The encoding is identical to Key; callers
+// that look transcripts up repeatedly (the Monte-Carlo and exact
+// enumeration loops) pass buf[:0] of a retained buffer so the encoding
+// allocates nothing once the buffer has grown to the transcript size.
+func (t *Transcript) KeyAppend(buf []byte) []byte {
+	// Messages are at most 63 bits and occupy ⌈bits/8⌉ bytes each.
+	need := 3 + len(t.msgs)*((t.bits+7)/8)
+	if cap(buf)-len(buf) < need {
+		grown := make([]byte, len(buf), len(buf)+need)
+		copy(grown, buf)
+		buf = grown
+	}
+	buf = append(buf, byte(t.n), byte(t.n>>8), byte(t.bits))
 	for _, m := range t.msgs {
-		// Messages are at most 63 bits; width ≤ 16 in practice, so two
-		// bytes per message suffice for all protocols in this repo. Wider
-		// messages spill into more bytes.
 		for b := 0; b < t.bits; b += 8 {
-			sb.WriteByte(byte(m >> uint(b)))
+			buf = append(buf, byte(m>>uint(b)))
 		}
 	}
-	return sb.String()
+	return buf
 }
 
 // String renders the transcript round by round for debugging.

@@ -1,0 +1,70 @@
+package bcast
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fillTranscript records turns messages of the given width, cycling
+// through a deterministic pattern that exercises every byte of the width.
+func fillTranscript(n, bits, turns int) *Transcript {
+	tr := NewTranscript(n, bits)
+	for i := 0; i < turns; i++ {
+		msg := uint64(i) * 0x9e37
+		msg &= (1 << uint(bits)) - 1
+		tr.appendTurn(msg)
+	}
+	return tr
+}
+
+func TestKeyAppendMatchesKey(t *testing.T) {
+	// Widths beyond 16 bits exercise the ⌈bits/8⌉ sizing that Key's
+	// original Grow call understated.
+	for _, bits := range []int{1, 7, 8, 9, 16, 17, 20, 24, 33} {
+		tr := fillTranscript(5, bits, 13)
+		key := tr.Key()
+		if got := string(tr.KeyAppend(nil)); got != key {
+			t.Fatalf("bits=%d: KeyAppend(nil) = %q, Key = %q", bits, got, key)
+		}
+		// Appending after a prefix must keep the prefix intact.
+		withPrefix := tr.KeyAppend([]byte("prefix:"))
+		if !bytes.Equal(withPrefix, append([]byte("prefix:"), key...)) {
+			t.Fatalf("bits=%d: KeyAppend did not append after prefix", bits)
+		}
+	}
+}
+
+func TestKeyAppendReusesBuffer(t *testing.T) {
+	tr := fillTranscript(4, 20, 12)
+	buf := tr.KeyAppend(nil)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = tr.KeyAppend(buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("KeyAppend with a warm buffer allocated %.1f times per run", allocs)
+	}
+}
+
+func TestKeyDistinguishesWideMessages(t *testing.T) {
+	// Two transcripts differing only in a high byte of a wide message must
+	// key differently (a regression guard for the multi-byte encoding).
+	a := NewTranscript(2, 20)
+	b := NewTranscript(2, 20)
+	a.appendTurn(1 << 17)
+	b.appendTurn(1 << 9)
+	if a.Key() == b.Key() {
+		t.Fatal("wide messages with distinct high bytes share a key")
+	}
+}
+
+func TestKeyOneAllocation(t *testing.T) {
+	tr := fillTranscript(6, 17, 18)
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = tr.Key()
+	})
+	// One allocation for the backing array plus the string conversion is
+	// the ideal; allow exactly the two byte→string steps.
+	if allocs > 2 {
+		t.Fatalf("Key allocated %.1f times per run, want ≤ 2", allocs)
+	}
+}

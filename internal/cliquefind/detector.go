@@ -7,6 +7,7 @@ import (
 	"repro/internal/bcast"
 	"repro/internal/bitvec"
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -214,29 +215,50 @@ func (r DetectorReport) Advantage() float64 {
 	return math.Abs(r.AcceptPlanted - r.AcceptRand)
 }
 
-// MeasureDetector runs the detector on fresh samples of A_k and A_rand.
-func MeasureDetector(d Detector, n, k, trials int, r *rng.Stream) (DetectorReport, error) {
+// MeasureDetector runs the detector on fresh samples of A_k and A_rand,
+// fanning trials out over `workers` goroutines (≤ 0 means GOMAXPROCS).
+func MeasureDetector(d Detector, n, k, trials, workers int, r *rng.Stream) (DetectorReport, error) {
 	rep := DetectorReport{Trials: trials}
+	if trials <= 0 {
+		return rep, fmt.Errorf("cliquefind: MeasureDetector needs trials > 0, got %d", trials)
+	}
+	// Trial i draws from its own rng.Shard(base, i) stream, so the
+	// measurement is bit-identical for every worker count and consumes
+	// exactly one value from r.
+	base := r.Uint64()
+	type tally struct{ planted, random int }
+	shards, err := par.Map(uint64(trials), workers, func(sp par.Span) (tally, error) {
+		var t tally
+		for i := sp.Lo; i < sp.Hi; i++ {
+			sr := rng.Shard(base, i)
+			g, _, err := graph.SamplePlanted(n, k, sr)
+			if err != nil {
+				return t, err
+			}
+			ok, err := runDetector(d, g, sr.Uint64())
+			if err != nil {
+				return t, err
+			}
+			if ok {
+				t.planted++
+			}
+			ok, err = runDetector(d, graph.SampleRand(n, sr), sr.Uint64())
+			if err != nil {
+				return t, err
+			}
+			if ok {
+				t.random++
+			}
+		}
+		return t, nil
+	})
+	if err != nil {
+		return rep, err
+	}
 	planted, random := 0, 0
-	for i := 0; i < trials; i++ {
-		g, _, err := graph.SamplePlanted(n, k, r)
-		if err != nil {
-			return rep, err
-		}
-		ok, err := runDetector(d, g, r.Uint64())
-		if err != nil {
-			return rep, err
-		}
-		if ok {
-			planted++
-		}
-		ok, err = runDetector(d, graph.SampleRand(n, r), r.Uint64())
-		if err != nil {
-			return rep, err
-		}
-		if ok {
-			random++
-		}
+	for _, t := range shards {
+		planted += t.planted
+		random += t.random
 	}
 	rep.AcceptPlanted = float64(planted) / float64(trials)
 	rep.AcceptRand = float64(random) / float64(trials)

@@ -13,7 +13,7 @@ func TestDegreeDetectorStrongAtLargeK(t *testing.T) {
 	r := rng.New(1)
 	const n, k, trials = 400, 150, 30
 	d := &DegreeDetector{N: n, K: k}
-	rep, err := MeasureDetector(d, n, k, trials, r)
+	rep, err := MeasureDetector(d, n, k, trials, 0, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +29,7 @@ func TestDegreeDetectorBlindAtFourthRoot(t *testing.T) {
 	r := rng.New(2)
 	const n, k, trials = 256, 4, 60
 	d := &DegreeDetector{N: n, K: k}
-	rep, err := MeasureDetector(d, n, k, trials, r)
+	rep, err := MeasureDetector(d, n, k, trials, 0, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestEdgeParityDetectorHasNoAdvantage(t *testing.T) {
 	r := rng.New(3)
 	const n, k, trials = 128, 60, 200
 	d := &EdgeParityDetector{N: n}
-	rep, err := MeasureDetector(d, n, k, trials, r)
+	rep, err := MeasureDetector(d, n, k, trials, 0, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,11 +75,11 @@ func TestTotalDegreeDetectorImprovesWithRounds(t *testing.T) {
 	const n, k, trials = 256, 64, 30
 	full := &TotalDegreeDetector{N: n, K: k, J: 8}
 	one := &TotalDegreeDetector{N: n, K: k, J: 1}
-	repFull, err := MeasureDetector(full, n, k, trials, r)
+	repFull, err := MeasureDetector(full, n, k, trials, 0, r)
 	if err != nil {
 		t.Fatal(err)
 	}
-	repOne, err := MeasureDetector(one, n, k, trials, r)
+	repOne, err := MeasureDetector(one, n, k, trials, 0, r)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -65,14 +65,15 @@ func (d *WideDegreeDetector) EquivalentNarrowRounds() int { return d.MessageBits
 // WideNarrowGap measures the advantage of the one-round wide detector and
 // its J = ⌈log₂ n⌉ narrow counterpart on identical parameters, returning
 // both. The paper's remark predicts they match up to sampling noise.
-func WideNarrowGap(n, k, trials int, r *rng.Stream) (wide, narrow float64, err error) {
+// Trials fan out over `workers` goroutines (≤ 0 means GOMAXPROCS).
+func WideNarrowGap(n, k, trials, workers int, r *rng.Stream) (wide, narrow float64, err error) {
 	w := &WideDegreeDetector{N: n, K: k}
-	repWide, err := MeasureDetector(w, n, k, trials, r)
+	repWide, err := MeasureDetector(w, n, k, trials, workers, r)
 	if err != nil {
 		return 0, 0, err
 	}
 	nn := &TotalDegreeDetector{N: n, K: k, J: w.EquivalentNarrowRounds()}
-	repNarrow, err := MeasureDetector(nn, n, k, trials, r)
+	repNarrow, err := MeasureDetector(nn, n, k, trials, workers, r)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -14,7 +14,7 @@ func TestWideDegreeDetectorMatchesNarrow(t *testing.T) {
 	// have matching advantage up to sampling noise.
 	r := rng.New(1)
 	const n, k, trials = 256, 64, 30
-	wide, narrow, err := WideNarrowGap(n, k, trials, r)
+	wide, narrow, err := WideNarrowGap(n, k, trials, 0, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestWideDegreeDetectorBlindAtSmallK(t *testing.T) {
 	r := rng.New(2)
 	const n, k, trials = 256, 4, 40
 	d := &WideDegreeDetector{N: n, K: k}
-	rep, err := MeasureDetector(d, n, k, trials, r)
+	rep, err := MeasureDetector(d, n, k, trials, 0, r)
 	if err != nil {
 		t.Fatal(err)
 	}

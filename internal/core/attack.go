@@ -6,6 +6,7 @@ import (
 	"repro/internal/bcast"
 	"repro/internal/bitvec"
 	"repro/internal/f2"
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -157,33 +158,54 @@ func (r AttackReport) Advantage() float64 {
 
 // MeasureAttack runs the attack `trials` times against each of the two
 // input samplers and reports acceptance rates. samplePRG and sampleUniform
-// must produce one full input set (n strings) per call.
-func MeasureAttack(a Attack, samplePRG, sampleUniform func(r *rng.Stream) ([]bitvec.Vector, error), trials int, r *rng.Stream) (AttackReport, error) {
+// must produce one full input set (n strings) per call and be safe to call
+// concurrently with distinct streams: trials fan out over `workers`
+// goroutines (≤ 0 means GOMAXPROCS), trial i drawing from its own
+// rng.Shard(base, i) stream so the report is bit-identical for every
+// worker count.
+func MeasureAttack(a Attack, samplePRG, sampleUniform func(r *rng.Stream) ([]bitvec.Vector, error), trials, workers int, r *rng.Stream) (AttackReport, error) {
 	rep := AttackReport{Trials: trials}
+	if trials <= 0 {
+		return rep, fmt.Errorf("core: MeasureAttack needs trials > 0, got %d", trials)
+	}
+	base := r.Uint64()
+	type tally struct{ prg, uni int }
+	shards, err := par.Map(uint64(trials), workers, func(sp par.Span) (tally, error) {
+		var t tally
+		for i := sp.Lo; i < sp.Hi; i++ {
+			sr := rng.Shard(base, i)
+			in, err := samplePRG(sr)
+			if err != nil {
+				return t, fmt.Errorf("sample prg inputs: %w", err)
+			}
+			verdict, err := RunAttack(a, in, sr.Uint64())
+			if err != nil {
+				return t, fmt.Errorf("attack on prg inputs: %w", err)
+			}
+			if verdict {
+				t.prg++
+			}
+			in, err = sampleUniform(sr)
+			if err != nil {
+				return t, fmt.Errorf("sample uniform inputs: %w", err)
+			}
+			verdict, err = RunAttack(a, in, sr.Uint64())
+			if err != nil {
+				return t, fmt.Errorf("attack on uniform inputs: %w", err)
+			}
+			if verdict {
+				t.uni++
+			}
+		}
+		return t, nil
+	})
+	if err != nil {
+		return rep, err
+	}
 	okPRG, okUni := 0, 0
-	for i := 0; i < trials; i++ {
-		in, err := samplePRG(r)
-		if err != nil {
-			return rep, fmt.Errorf("sample prg inputs: %w", err)
-		}
-		verdict, err := RunAttack(a, in, r.Uint64())
-		if err != nil {
-			return rep, fmt.Errorf("attack on prg inputs: %w", err)
-		}
-		if verdict {
-			okPRG++
-		}
-		in, err = sampleUniform(r)
-		if err != nil {
-			return rep, fmt.Errorf("sample uniform inputs: %w", err)
-		}
-		verdict, err = RunAttack(a, in, r.Uint64())
-		if err != nil {
-			return rep, fmt.Errorf("attack on uniform inputs: %w", err)
-		}
-		if verdict {
-			okUni++
-		}
+	for _, t := range shards {
+		okPRG += t.prg
+		okUni += t.uni
 	}
 	rep.AcceptPRG = float64(okPRG) / float64(trials)
 	rep.AcceptUniform = float64(okUni) / float64(trials)

@@ -63,7 +63,7 @@ func TestRankAttackAdvantageNearOne(t *testing.T) {
 		func(s *rng.Stream) ([]bitvec.Vector, error) {
 			return UniformInputs(30, 16, s), nil
 		},
-		100, r)
+		100, 0, r)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -116,3 +116,93 @@ func BenchmarkSupportRebuild(b *testing.B) {
 		_ = d.Support()
 	}
 }
+
+// internedPair builds two transcript-shaped distributions on one shared
+// interner, the configuration the parallel engines hand to IntTV.
+func internedPair(r *rand.Rand, support int) (*IntDist, *IntDist) {
+	in := NewInterner()
+	a, b := NewIntDist(in), NewIntDist(in)
+	for i := 0; i < support; i++ {
+		key := fmt.Sprintf("turn:%04d|msg:%08x", i, r.Uint32())
+		a.AddKey(key, 0.01+r.Float64())
+		b.AddKey(key, 0.01+r.Float64())
+	}
+	if err := a.Normalize(); err != nil {
+		panic(err)
+	}
+	if err := b.Normalize(); err != nil {
+		panic(err)
+	}
+	return a, b
+}
+
+// BenchmarkTVInterned measures the dense integer-keyed TV path: one walk
+// over the shared id space with no hashing and no sorted supports. It
+// must report 0 allocs/op, like the sorted-merge path it replaces in the
+// measurement engines.
+func BenchmarkTVInterned(b *testing.B) {
+	for _, support := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("support=%d", support), func(b *testing.B) {
+			r := rand.New(rand.NewSource(5))
+			da, db := internedPair(r, support)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = IntTV(da, db)
+			}
+		})
+	}
+}
+
+// BenchmarkMerge measures the string-keyed shard combiner over
+// transcript-shaped supports (one op = one 8-shard weighted merge).
+func BenchmarkMerge(b *testing.B) {
+	r := rand.New(rand.NewSource(6))
+	const shards = 8
+	ds := make([]*Finite, shards)
+	ws := make([]float64, shards)
+	for i := range ds {
+		ds[i] = transcriptDist(r, 512)
+		ws[i] = 1 / float64(shards)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MergeWeighted(ws, ds)
+	}
+}
+
+// BenchmarkCountsMerge measures the integer shard combiner the parallel
+// engines actually run: remapping one 4096-key shard accumulator into a
+// warm merge target (one op = one shard folded in).
+func BenchmarkCountsMerge(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	shard := NewCounts(NewInterner())
+	for i := 0; i < 20000; i++ {
+		shard.ObserveKey(fmt.Sprintf("turn:%04d|msg:%08x", r.Intn(4096), r.Uint32()&0xff))
+	}
+	merged := NewCounts(NewInterner())
+	merged.Merge(shard)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		merged.Merge(shard)
+	}
+}
+
+// BenchmarkInternBytes measures the hot-loop interning hit path (the
+// first sight of every key is paid during setup).
+func BenchmarkInternBytes(b *testing.B) {
+	in := NewInterner()
+	keys := make([][]byte, 1024)
+	r := rand.New(rand.NewSource(8))
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("turn:%04d|msg:%08x", i, r.Uint32()))
+		in.InternBytes(keys[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = in.InternBytes(keys[i&1023])
+	}
+}

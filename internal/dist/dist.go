@@ -1,8 +1,8 @@
-// Package dist implements finite probability distributions over string
-// outcomes together with the combinatorial enumeration primitives the
-// lower-bound framework is built on: total-variation distance, empirical
-// distributions from transcript samples, binomial coefficients, and
-// k-subset enumeration.
+// Package dist implements finite probability distributions together with
+// the combinatorial enumeration primitives the lower-bound framework is
+// built on: total-variation distance, empirical distributions from
+// transcript samples, binomial coefficients, and k-subset
+// enumeration/unranking.
 //
 // These are the measurement substrate for the paper's Section 3/4
 // indistinguishability arguments: every "the protocol cannot tell A_k from
@@ -10,11 +10,23 @@
 // distributions, and every mixture over clique placements bottoms out in a
 // walk over the C(n, k) size-k subsets of [n].
 //
+// Two representations coexist. Finite keys outcomes by string and is the
+// interop-friendly form; Interner/Counts/IntDist key outcomes by dense
+// uint32 ids behind a string symbol table and are what the parallel
+// measurement engines accumulate into: integer counts merge exactly
+// across shards (Counts.Merge), Counts.Dist is the counting constructor,
+// and IntTV compares two same-interner distributions with one dense
+// walk. Merge/MergeWeighted/FromCounts are the Finite-side counterparts
+// for callers pooling string-keyed distributions directly (weighted
+// empirical shards, pre-tallied batches) without going through a symbol
+// table.
+//
 // Performance notes. Finite caches its sorted support so that TV — the
 // hot call inside ExactTranscriptDist's C(n,k) × 2^Θ(n) loops — runs as a
-// single allocation-free merge over two sorted slices. ForEachSubset
-// reuses one index buffer across all C(n, k) callbacks; callers that
-// retain a subset must copy it.
+// single allocation-free merge over two sorted slices; IntTV needs no
+// sort at all and is ~55× faster at transcript-scale supports (see
+// BENCH_DIST.json). ForEachSubset and ForEachSubsetRange reuse one index
+// buffer across all callbacks; callers that retain a subset must copy it.
 package dist
 
 import (

@@ -1,0 +1,342 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interner assigns dense uint32 ids to string outcomes (transcript keys)
+// and remembers the reverse mapping. Ids are handed out in first-intern
+// order starting at 0, so an id doubles as an index into parallel arrays —
+// the representation IntDist and Counts build on.
+//
+// An Interner is NOT goroutine-safe. The parallel measurement engines give
+// every worker its own Interner and merge shard accumulators in shard
+// order, which keeps the final id assignment a pure function of the
+// enumeration order rather than of goroutine scheduling.
+type Interner struct {
+	ids  map[string]uint32
+	keys []string
+}
+
+// NewInterner returns an empty symbol table.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]uint32)}
+}
+
+// Len returns the number of interned keys; valid ids are 0..Len()−1.
+func (in *Interner) Len() int { return len(in.keys) }
+
+// Intern returns the id of key, assigning the next dense id on first
+// sight.
+func (in *Interner) Intern(key string) uint32 {
+	if id, ok := in.ids[key]; ok {
+		return id
+	}
+	return in.add(key)
+}
+
+// InternBytes is Intern for a byte-slice key. On a hit it allocates
+// nothing (the map lookup does not copy the bytes); only the first sight
+// of a key pays the string conversion — that copy is the act of interning.
+func (in *Interner) InternBytes(key []byte) uint32 {
+	if id, ok := in.ids[string(key)]; ok {
+		return id
+	}
+	return in.add(string(key))
+}
+
+func (in *Interner) add(key string) uint32 {
+	if len(in.keys) == math.MaxUint32 {
+		panic("dist: interner full (2^32 keys)")
+	}
+	id := uint32(len(in.keys))
+	in.ids[key] = id
+	in.keys = append(in.keys, key)
+	return id
+}
+
+// Lookup returns the id of key without interning it.
+func (in *Interner) Lookup(key string) (uint32, bool) {
+	id, ok := in.ids[key]
+	return id, ok
+}
+
+// Key returns the string for an id. It panics on an id that was never
+// assigned: ids only come from this interner, so that is a caller mixing
+// up symbol tables.
+func (in *Interner) Key(id uint32) string {
+	if int(id) >= len(in.keys) {
+		panic(fmt.Sprintf("dist: interner has no id %d (len %d)", id, len(in.keys)))
+	}
+	return in.keys[id]
+}
+
+// Counts is an integer outcome accumulator over an interner: the
+// shard-local object the parallel engines fill. Integer counts merge
+// exactly — addition is associative and commutative with no rounding — so
+// any shard split and any merge order reconstruct the sequential tallies
+// bit for bit; conversion to probability mass happens once, in Dist.
+type Counts struct {
+	in *Interner
+	n  []uint64
+}
+
+// NewCounts returns an empty accumulator over the interner. Several
+// Counts may share one interner (e.g. the A-side and B-side tallies of a
+// TV estimate, so equal transcripts share an id).
+func NewCounts(in *Interner) *Counts {
+	return &Counts{in: in}
+}
+
+// Interner returns the symbol table the counts are keyed by.
+func (c *Counts) Interner() *Interner { return c.in }
+
+// Observe counts outcome id once.
+func (c *Counts) Observe(id uint32) {
+	for int(id) >= len(c.n) {
+		c.n = append(c.n, 0)
+	}
+	c.n[id]++
+}
+
+// ObserveBytes interns the key and counts it once — the one-call hot path
+// for transcript loops holding a reusable KeyAppend buffer.
+func (c *Counts) ObserveBytes(key []byte) {
+	c.Observe(c.in.InternBytes(key))
+}
+
+// ObserveKey interns the string key and counts it once.
+func (c *Counts) ObserveKey(key string) {
+	c.Observe(c.in.Intern(key))
+}
+
+// Count returns the tally of an id (0 when never observed).
+func (c *Counts) Count(id uint32) uint64 {
+	if int(id) >= len(c.n) {
+		return 0
+	}
+	return c.n[id]
+}
+
+// Total returns the number of observations.
+func (c *Counts) Total() uint64 {
+	var t uint64
+	for _, v := range c.n {
+		t += v
+	}
+	return t
+}
+
+// Merge folds src into c. When the two accumulators share an interner
+// this is a plain vector add. Otherwise every key of src's symbol table —
+// including keys src counted zero times — is interned into c's table in
+// src-id order, so that after merging shards in shard order the combined
+// id assignment equals the one a single sequential walk would have
+// produced (paired accumulators on one shard interner stay aligned).
+func (c *Counts) Merge(src *Counts) {
+	if src.in == c.in {
+		for id, v := range src.n {
+			if v != 0 {
+				c.n[c.grow(uint32(id))] += v
+			}
+		}
+		return
+	}
+	for id := 0; id < src.in.Len(); id++ {
+		nid := c.in.Intern(src.in.Key(uint32(id)))
+		c.n[c.grow(nid)] += src.Count(uint32(id))
+	}
+}
+
+// grow ensures id is addressable and returns it.
+func (c *Counts) grow(id uint32) uint32 {
+	for int(id) >= len(c.n) {
+		c.n = append(c.n, 0)
+	}
+	return id
+}
+
+// Dist is the counting constructor: it converts the tallies into an
+// IntDist by scaling every count by unit (1/samples for empirical
+// distributions, the per-profile weight for exact enumerations). Because
+// each mass is a single multiplication of an exactly merged integer, the
+// result is bit-identical however the counting work was sharded.
+func (c *Counts) Dist(unit float64) *IntDist {
+	if unit < 0 || math.IsNaN(unit) {
+		panic(fmt.Sprintf("dist: Counts.Dist with negative or NaN unit %v", unit))
+	}
+	d := NewIntDist(c.in)
+	d.mass = make([]float64, len(c.n))
+	for id, v := range c.n {
+		d.mass[id] = float64(v) * unit
+	}
+	return d
+}
+
+// IntDist is a finite distribution over interned integer outcomes, stored
+// densely: mass[id] is the probability of in.Key(id). It is the
+// integer-keyed counterpart of Finite for the hot measurement loops —
+// comparing two IntDists on the same interner needs no hashing and no
+// sorting, just one walk over the dense id space.
+//
+// Like Finite, mass is unnormalized until Normalize, so the type doubles
+// as a weight accumulator. The zero value is not usable; construct with
+// NewIntDist or Counts.Dist.
+type IntDist struct {
+	in   *Interner
+	mass []float64
+}
+
+// NewIntDist returns an empty distribution over the interner's outcomes.
+func NewIntDist(in *Interner) *IntDist {
+	return &IntDist{in: in}
+}
+
+// Interner returns the symbol table the distribution is keyed by.
+func (d *IntDist) Interner() *Interner { return d.in }
+
+// Add adds probability mass p to outcome id, growing the dense storage as
+// needed. Negative or NaN mass panics, matching Finite.Add.
+func (d *IntDist) Add(id uint32, p float64) {
+	if p < 0 || math.IsNaN(p) {
+		panic(fmt.Sprintf("dist: IntDist.Add(%d, %v) with negative or NaN mass", id, p))
+	}
+	for int(id) >= len(d.mass) {
+		d.mass = append(d.mass, 0)
+	}
+	d.mass[id] += p
+}
+
+// AddKey interns key and adds mass to it.
+func (d *IntDist) AddKey(key string, p float64) {
+	d.Add(d.in.Intern(key), p)
+}
+
+// Prob returns the mass on id (0 if absent).
+func (d *IntDist) Prob(id uint32) float64 {
+	if int(id) >= len(d.mass) {
+		return 0
+	}
+	return d.mass[id]
+}
+
+// ProbKey returns the mass on a string outcome (0 if never interned).
+func (d *IntDist) ProbKey(key string) float64 {
+	id, ok := d.in.Lookup(key)
+	if !ok {
+		return 0
+	}
+	return d.Prob(id)
+}
+
+// Len returns the number of outcomes carrying nonzero mass.
+func (d *IntDist) Len() int {
+	n := 0
+	for _, p := range d.mass {
+		if p != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Total returns the total mass.
+func (d *IntDist) Total() float64 {
+	t := 0.0
+	for _, p := range d.mass {
+		t += p
+	}
+	return t
+}
+
+// Normalize scales the distribution to total mass 1, failing on zero
+// total mass.
+func (d *IntDist) Normalize() error {
+	t := d.Total()
+	if t == 0 {
+		return fmt.Errorf("dist: cannot normalize zero-mass distribution")
+	}
+	for id := range d.mass {
+		d.mass[id] /= t
+	}
+	return nil
+}
+
+// Validate checks non-negative masses summing to 1 within tol, matching
+// Finite.Validate.
+func (d *IntDist) Validate(tol float64) error {
+	for id, p := range d.mass {
+		if p < 0 {
+			return fmt.Errorf("dist: negative mass %v on %q", p, d.in.Key(uint32(id)))
+		}
+	}
+	if t := d.Total(); math.Abs(t-1) > tol {
+		return fmt.Errorf("dist: total mass %v differs from 1 by more than %v", t, tol)
+	}
+	return nil
+}
+
+// Merge adds src's mass into d. Sharing an interner makes it a dense
+// vector add; distinct interners remap src's ids through d's table in
+// src-id order (the same determinism contract as Counts.Merge, minus the
+// zero-mass keys: masses, unlike paired counts, carry their support).
+func (d *IntDist) Merge(src *IntDist) {
+	if src.in == d.in {
+		for id, p := range src.mass {
+			if p != 0 {
+				d.Add(uint32(id), p)
+			}
+		}
+		return
+	}
+	for id, p := range src.mass {
+		if p != 0 {
+			d.AddKey(src.in.Key(uint32(id)), p)
+		}
+	}
+}
+
+// Finite returns an independent string-keyed copy, for interop with the
+// sorted-merge TV path and the Finite-based APIs.
+func (d *IntDist) Finite() *Finite {
+	f := NewFinite()
+	for id, p := range d.mass {
+		if p != 0 {
+			f.Add(d.in.Key(uint32(id)), p)
+		}
+	}
+	return f
+}
+
+// IntTV returns the total-variation distance ½ Σ_x |a(x) − b(x)| between
+// two distributions keyed by the SAME interner (it panics otherwise —
+// dense ids are only comparable within one symbol table).
+//
+// This is the interned counterpart of TV: one walk over the dense id
+// space, no hashing, no sorted supports, and zero allocations. The
+// summation order is id order, so two runs that assign ids identically
+// (the engines' merge-in-shard-order contract) get bit-identical values.
+func IntTV(a, b *IntDist) float64 {
+	if a.in != b.in {
+		panic("dist: IntTV over distributions with different interners")
+	}
+	am, bm := a.mass, b.mass
+	n := len(am)
+	if len(bm) < n {
+		n = len(bm)
+	}
+	sum := 0.0
+	for id := 0; id < n; id++ {
+		sum += math.Abs(am[id] - bm[id])
+	}
+	// Masses are non-negative by construction, so the unmatched tails
+	// contribute their own mass.
+	for _, p := range am[n:] {
+		sum += p
+	}
+	for _, p := range bm[n:] {
+		sum += p
+	}
+	return sum / 2
+}

@@ -1,0 +1,249 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestInternerAssignsDenseIds(t *testing.T) {
+	in := NewInterner()
+	keys := []string{"c", "a", "b", "a", "c", "d"}
+	want := []uint32{0, 1, 2, 1, 0, 3}
+	for i, k := range keys {
+		if id := in.Intern(k); id != want[i] {
+			t.Fatalf("Intern(%q) = %d, want %d", k, id, want[i])
+		}
+	}
+	if in.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", in.Len())
+	}
+	for _, k := range []string{"c", "a", "b", "d"} {
+		id, ok := in.Lookup(k)
+		if !ok || in.Key(id) != k {
+			t.Fatalf("round trip failed for %q", k)
+		}
+	}
+	if _, ok := in.Lookup("never"); ok {
+		t.Fatal("Lookup invented a key")
+	}
+}
+
+func TestInternBytesMatchesIntern(t *testing.T) {
+	in := NewInterner()
+	a := in.InternBytes([]byte("transcript-1"))
+	b := in.Intern("transcript-1")
+	if a != b {
+		t.Fatalf("InternBytes and Intern disagree: %d vs %d", a, b)
+	}
+	// A hit through InternBytes must not allocate: the whole point of the
+	// byte-slice entry is the alloc-free hot loop.
+	key := []byte("transcript-1")
+	allocs := testing.AllocsPerRun(100, func() {
+		in.InternBytes(key)
+	})
+	if allocs != 0 {
+		t.Fatalf("InternBytes hit allocated %.1f times per run", allocs)
+	}
+}
+
+func TestInternerKeyPanicsOnUnknownId(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Key on a foreign id did not panic")
+		}
+	}()
+	NewInterner().Key(3)
+}
+
+func TestCountsObserveAndTotal(t *testing.T) {
+	in := NewInterner()
+	c := NewCounts(in)
+	c.ObserveKey("x")
+	c.ObserveKey("y")
+	c.ObserveKey("x")
+	c.ObserveBytes([]byte("z"))
+	if got := c.Count(in.Intern("x")); got != 2 {
+		t.Fatalf("count(x) = %d", got)
+	}
+	if c.Total() != 4 {
+		t.Fatalf("total = %d", c.Total())
+	}
+	if c.Count(999) != 0 {
+		t.Fatal("unknown id has nonzero count")
+	}
+}
+
+func TestCountsMergeExactAcrossShardings(t *testing.T) {
+	// Integer merging must reproduce the sequential tallies bit for bit
+	// for every shard split — the property the parallel engines rest on.
+	r := rand.New(rand.NewSource(7))
+	samples := make([]string, 5000)
+	for i := range samples {
+		samples[i] = fmt.Sprintf("key-%03d", r.Intn(97))
+	}
+	seq := NewCounts(NewInterner())
+	for _, s := range samples {
+		seq.ObserveKey(s)
+	}
+	for _, shards := range []int{1, 2, 3, 7, 16} {
+		parts := make([]*Counts, shards)
+		for s := range parts {
+			parts[s] = NewCounts(NewInterner())
+			lo, hi := s*len(samples)/shards, (s+1)*len(samples)/shards
+			for _, k := range samples[lo:hi] {
+				parts[s].ObserveKey(k)
+			}
+		}
+		merged := NewCounts(NewInterner())
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		if merged.Total() != seq.Total() {
+			t.Fatalf("shards=%d: total %d, want %d", shards, merged.Total(), seq.Total())
+		}
+		for id := 0; id < seq.Interner().Len(); id++ {
+			key := seq.Interner().Key(uint32(id))
+			mid, ok := merged.Interner().Lookup(key)
+			if !ok || merged.Count(mid) != seq.Count(uint32(id)) {
+				t.Fatalf("shards=%d: count(%q) diverged", shards, key)
+			}
+			// Contiguous shards merged in shard order must also reproduce
+			// the sequential id assignment exactly.
+			if mid != uint32(id) {
+				t.Fatalf("shards=%d: id of %q is %d, want %d", shards, key, mid, id)
+			}
+		}
+	}
+}
+
+func TestCountsMergePairedAccumulatorsStayAligned(t *testing.T) {
+	// Two Counts sharing one shard interner (the A/B sides of a TV
+	// estimate) must keep equal ids for equal keys after merging, even
+	// when a key was only ever seen on one side of a shard.
+	shardIn := NewInterner()
+	ca, cb := NewCounts(shardIn), NewCounts(shardIn)
+	ca.ObserveKey("only-a")
+	cb.ObserveKey("only-b")
+	ca.ObserveKey("both")
+	cb.ObserveKey("both")
+
+	merged := NewInterner()
+	ma, mb := NewCounts(merged), NewCounts(merged)
+	ma.Merge(ca)
+	mb.Merge(cb)
+	idA, _ := merged.Lookup("only-a")
+	idB, _ := merged.Lookup("only-b")
+	if ma.Count(idA) != 1 || mb.Count(idA) != 0 {
+		t.Fatal("only-a counts wrong after merge")
+	}
+	if mb.Count(idB) != 1 || ma.Count(idB) != 0 {
+		t.Fatal("only-b counts wrong after merge")
+	}
+}
+
+func TestCountsDistIsCountingConstructor(t *testing.T) {
+	in := NewInterner()
+	c := NewCounts(in)
+	for i := 0; i < 3; i++ {
+		c.ObserveKey("a")
+	}
+	c.ObserveKey("b")
+	d := c.Dist(0.25)
+	if err := d.Validate(1e-12); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.ProbKey("a"); got != 0.75 {
+		t.Fatalf("P(a) = %v", got)
+	}
+	if got := d.ProbKey("b"); got != 0.25 {
+		t.Fatalf("P(b) = %v", got)
+	}
+}
+
+// randomIntDist builds paired Finite and IntDist representations of the
+// same random distribution.
+func randomIntDist(r *rand.Rand, in *Interner, support int) (*Finite, *IntDist) {
+	f := NewFinite()
+	d := NewIntDist(in)
+	for i := 0; i < support; i++ {
+		key := fmt.Sprintf("outcome-%04d", r.Intn(4*support))
+		p := r.Float64()
+		f.Add(key, p)
+		d.AddKey(key, p)
+	}
+	return f, d
+}
+
+func TestIntTVMatchesSortedMergeTV(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	in := NewInterner()
+	fa, da := randomIntDist(r, in, 300)
+	fb, db := randomIntDist(r, in, 300)
+	want := TV(fa, fb)
+	got := IntTV(da, db)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("IntTV = %v, TV = %v", got, want)
+	}
+	if ft := da.Finite(); math.Abs(TV(ft, fa)) > 1e-12 {
+		t.Fatal("IntDist.Finite does not round-trip the masses")
+	}
+}
+
+func TestIntTVRequiresSharedInterner(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IntTV across interners did not panic")
+		}
+	}()
+	a := NewIntDist(NewInterner())
+	b := NewIntDist(NewInterner())
+	a.AddKey("x", 1)
+	b.AddKey("x", 1)
+	IntTV(a, b)
+}
+
+func TestIntDistMergeAcrossInterners(t *testing.T) {
+	a := NewIntDist(NewInterner())
+	a.AddKey("x", 0.25)
+	a.AddKey("y", 0.25)
+	b := NewIntDist(NewInterner())
+	b.AddKey("y", 0.25)
+	b.AddKey("z", 0.25)
+	a.Merge(b)
+	if err := a.Validate(1e-12); err != nil {
+		t.Fatal(err)
+	}
+	if a.ProbKey("y") != 0.5 || a.ProbKey("z") != 0.25 {
+		t.Fatalf("merged masses wrong: y=%v z=%v", a.ProbKey("y"), a.ProbKey("z"))
+	}
+}
+
+func TestIntDistNormalizeAndLen(t *testing.T) {
+	d := NewIntDist(NewInterner())
+	d.AddKey("a", 3)
+	d.AddKey("b", 1)
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if err := d.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if d.ProbKey("a") != 0.75 {
+		t.Fatalf("P(a) = %v after normalize", d.ProbKey("a"))
+	}
+	empty := NewIntDist(NewInterner())
+	if err := empty.Normalize(); err == nil {
+		t.Fatal("normalizing zero mass succeeded")
+	}
+}
+
+func TestIntDistAddRejectsBadMass(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative mass accepted")
+		}
+	}()
+	NewIntDist(NewInterner()).AddKey("x", -0.5)
+}

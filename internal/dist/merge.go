@@ -1,0 +1,60 @@
+package dist
+
+import "fmt"
+
+// Merge returns a new distribution carrying the summed mass of the given
+// distributions — the union combiner for shard-local accumulators whose
+// masses are already on a common scale (e.g. exact-enumeration weights).
+// Merging never re-walks samples: cost is proportional to the supports.
+//
+// Mass addition is commutative, so the resulting distribution is the same
+// for every merge order up to floating-point association; the
+// merge-order-invariance property tests pin that slack below 1e-12.
+func Merge(ds ...*Finite) *Finite {
+	out := NewFinite()
+	for _, d := range ds {
+		for _, k := range d.Support() {
+			out.Add(k, d.Prob(k))
+		}
+	}
+	return out
+}
+
+// MergeWeighted returns Σ_i weights[i]·ds[i]: the combiner for empirical
+// shards of unequal sizes, where shard i's FromSamples result re-enters
+// the pooled distribution with weight nᵢ/n. It panics when the slice
+// lengths differ or a weight is negative — both are caller logic errors,
+// matching Add's contract.
+func MergeWeighted(weights []float64, ds []*Finite) *Finite {
+	if len(weights) != len(ds) {
+		panic(fmt.Sprintf("dist: MergeWeighted with %d weights for %d distributions", len(weights), len(ds)))
+	}
+	out := NewFinite()
+	for i, d := range ds {
+		for _, k := range d.Support() {
+			out.Add(k, weights[i]*d.Prob(k))
+		}
+	}
+	return out
+}
+
+// FromCounts is the counting constructor for string keys: it builds the
+// empirical distribution of pre-tallied outcome counts without re-walking
+// the samples they summarize. Each outcome receives mass count/total.
+func FromCounts(counts map[string]uint64) *Finite {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		panic("dist: FromCounts with no observations")
+	}
+	d := NewFinite()
+	inv := 1 / float64(total)
+	for k, c := range counts {
+		if c != 0 {
+			d.Add(k, float64(c)*inv)
+		}
+	}
+	return d
+}

@@ -1,0 +1,141 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomSamples draws a stream of outcome strings with a skewed law so
+// merged empiricals have uneven mass, like real transcript batches.
+func randomSamples(r *rand.Rand, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		// Squaring skews toward low indices.
+		v := r.Float64()
+		out[i] = fmt.Sprintf("transcript-%03d", int(v*v*128))
+	}
+	return out
+}
+
+// randomSplit cuts samples into between 1 and maxShards non-empty
+// contiguous shards at random cut points.
+func randomSplit(r *rand.Rand, samples []string, maxShards int) [][]string {
+	shards := 1 + r.Intn(maxShards)
+	if shards > len(samples) {
+		shards = len(samples)
+	}
+	cuts := map[int]bool{0: true}
+	for len(cuts) < shards {
+		cuts[1+r.Intn(len(samples)-1)] = true
+	}
+	points := make([]int, 0, len(cuts))
+	for c := range cuts {
+		points = append(points, c)
+	}
+	for i := range points {
+		for j := i + 1; j < len(points); j++ {
+			if points[j] < points[i] {
+				points[i], points[j] = points[j], points[i]
+			}
+		}
+	}
+	var out [][]string
+	for i, lo := range points {
+		hi := len(samples)
+		if i+1 < len(points) {
+			hi = points[i+1]
+		}
+		out = append(out, samples[lo:hi])
+	}
+	return out
+}
+
+func TestMergeWeightedShardInvariance(t *testing.T) {
+	// The satellite property: for random shard splits of a sample stream,
+	// the weighted merge of per-shard FromSamples results must give TV
+	// distances identical (within 1e-12) to the unsharded distribution,
+	// regardless of merge order and shard count.
+	r := rand.New(rand.NewSource(2019))
+	for trial := 0; trial < 25; trial++ {
+		samples := randomSamples(r, 400+r.Intn(1600))
+		unsharded := FromSamples(samples)
+		probe := FromSamples(randomSamples(r, 500))
+
+		shards := randomSplit(r, samples, 9)
+		ds := make([]*Finite, len(shards))
+		ws := make([]float64, len(shards))
+		for i, sh := range shards {
+			ds[i] = FromSamples(sh)
+			ws[i] = float64(len(sh)) / float64(len(samples))
+		}
+		// Merge in a random order.
+		perm := r.Perm(len(shards))
+		pd := make([]*Finite, len(shards))
+		pw := make([]float64, len(shards))
+		for i, j := range perm {
+			pd[i], pw[i] = ds[j], ws[j]
+		}
+		merged := MergeWeighted(pw, pd)
+
+		if tv := TV(merged, unsharded); tv > 1e-12 {
+			t.Fatalf("trial %d: merged empirical is %v from unsharded (%d shards)",
+				trial, tv, len(shards))
+		}
+		got, want := TV(merged, probe), TV(unsharded, probe)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d: TV to probe differs: merged %v vs unsharded %v", trial, got, want)
+		}
+	}
+}
+
+func TestMergeSumsMass(t *testing.T) {
+	a := NewFinite()
+	a.Add("x", 0.25)
+	a.Add("y", 0.25)
+	b := NewFinite()
+	b.Add("y", 0.25)
+	b.Add("z", 0.25)
+	m := Merge(a, b)
+	if err := m.Validate(1e-12); err != nil {
+		t.Fatal(err)
+	}
+	if m.Prob("y") != 0.5 || m.Prob("x") != 0.25 || m.Prob("z") != 0.25 {
+		t.Fatalf("merged masses wrong: %v %v %v", m.Prob("x"), m.Prob("y"), m.Prob("z"))
+	}
+	// Merge order cannot matter.
+	if tv := TV(m, Merge(b, a)); tv > 1e-12 {
+		t.Fatalf("merge order changed the distribution by %v", tv)
+	}
+}
+
+func TestMergeWeightedPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	MergeWeighted([]float64{1}, nil)
+}
+
+func TestFromCountsMatchesFromSamples(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	samples := randomSamples(r, 3000)
+	counts := make(map[string]uint64)
+	for _, s := range samples {
+		counts[s]++
+	}
+	if tv := TV(FromCounts(counts), FromSamples(samples)); tv > 1e-12 {
+		t.Fatalf("counting constructor diverges from sample walk by %v", tv)
+	}
+}
+
+func TestFromCountsPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty counts accepted")
+		}
+	}()
+	FromCounts(map[string]uint64{"x": 0})
+}

@@ -1,5 +1,10 @@
 package dist
 
+import (
+	"fmt"
+	"math/bits"
+)
+
 // ForEachSubset calls fn once for every size-k subset of {0, …, n−1}, in
 // lexicographic order of the sorted index slice. The same backing buffer
 // is passed to every call — the classic revolving-buffer enumeration — so
@@ -22,6 +27,98 @@ func ForEachSubset(n, k int, fn func(c []int)) {
 		fn(idx)
 		// Lexicographic successor: find the rightmost index that can still
 		// move right, bump it, and pack the suffix tightly behind it.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// SubsetCount returns C(n, k) as an exact uint64 — the shard-planning
+// counterpart of Binomial (which rounds through float64). It panics when
+// the count overflows uint64: rank arithmetic on a truncated count would
+// silently enumerate the wrong subsets, so refusing loudly is the only
+// safe behaviour. 0 outside 0 ≤ k ≤ n.
+func SubsetCount(n, k int) uint64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := uint64(1)
+	for i := 1; i <= k; i++ {
+		// c is C(n−k+i−1, i−1) here; multiply then divide keeps it exact.
+		// The 128-bit product may exceed uint64 even when the quotient —
+		// itself a binomial coefficient no larger than the result — fits,
+		// so overflow is judged on the quotient (hi ≥ i ⇔ product/i ≥ 2^64).
+		hi, lo := bits.Mul64(c, uint64(n-k+i))
+		if hi >= uint64(i) {
+			panic(fmt.Sprintf("dist: C(%d, %d) overflows uint64", n, k))
+		}
+		c, _ = bits.Div64(hi, lo, uint64(i))
+	}
+	return c
+}
+
+// SubsetAtRank returns the size-k subset of {0, …, n−1} with the given
+// lexicographic rank — the order ForEachSubset visits — unranked by the
+// standard combinatorial number system walk. It panics when rank is out
+// of range; ranks come from shard arithmetic over SubsetCount, so an
+// out-of-range rank is a partitioning bug.
+func SubsetAtRank(n, k int, rank uint64) []int {
+	total := SubsetCount(n, k)
+	if rank >= total {
+		panic(fmt.Sprintf("dist: subset rank %d out of range (C(%d, %d) = %d)", rank, n, k, total))
+	}
+	idx := make([]int, k)
+	v := 0
+	for pos := 0; pos < k; pos++ {
+		for {
+			// Subsets with idx[pos] = v: choose the remaining k−pos−1
+			// elements from the n−v−1 values above v.
+			below := SubsetCount(n-v-1, k-pos-1)
+			if rank < below {
+				idx[pos] = v
+				v++
+				break
+			}
+			rank -= below
+			v++
+		}
+	}
+	return idx
+}
+
+// ForEachSubsetRange calls fn for the subsets with lexicographic ranks in
+// [lo, hi), in rank order: the contiguous-range form of ForEachSubset the
+// parallel enumerators shard the C(n, k) walk with. The revolving-buffer
+// contract is the same — one index buffer is reused across calls, so
+// callers that retain a subset must copy it. Ranges clipped to the total
+// count; lo ≥ hi yields nothing.
+func ForEachSubsetRange(n, k int, lo, hi uint64, fn func(c []int)) {
+	if k < 0 || k > n {
+		return
+	}
+	if total := SubsetCount(n, k); hi > total {
+		hi = total
+	}
+	if lo >= hi {
+		return
+	}
+	idx := SubsetAtRank(n, k, lo)
+	for r := lo; ; {
+		fn(idx)
+		if r++; r == hi {
+			return
+		}
 		i := k - 1
 		for i >= 0 && idx[i] == n-k+i {
 			i--

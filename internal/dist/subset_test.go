@@ -185,3 +185,103 @@ func TestSubsetWeightsFormUniformMixture(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSubsetCountMatchesBinomial(t *testing.T) {
+	for n := 0; n <= 24; n++ {
+		for k := -1; k <= n+1; k++ {
+			got := SubsetCount(n, k)
+			want := Binomial(n, k)
+			if float64(got) != want {
+				t.Fatalf("SubsetCount(%d, %d) = %d, Binomial = %v", n, k, got, want)
+			}
+		}
+	}
+	if SubsetCount(62, 31) == 0 {
+		t.Fatal("large in-range count came back zero")
+	}
+	// C(64, 32) ≈ 1.83e18 fits in uint64 even though the last
+	// multiply-then-divide step's product does not: the overflow check
+	// must judge the quotient, not the 128-bit intermediate.
+	if got := SubsetCount(64, 32); got != 1832624140942590534 {
+		t.Fatalf("SubsetCount(64, 32) = %d, want 1832624140942590534", got)
+	}
+}
+
+func TestSubsetCountOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflowing count did not panic")
+		}
+	}()
+	SubsetCount(128, 64)
+}
+
+func TestSubsetAtRankMatchesEnumerationOrder(t *testing.T) {
+	for _, nk := range [][2]int{{1, 1}, {5, 2}, {6, 3}, {8, 4}, {7, 0}, {7, 7}} {
+		n, k := nk[0], nk[1]
+		rank := uint64(0)
+		ForEachSubset(n, k, func(c []int) {
+			got := SubsetAtRank(n, k, rank)
+			for i := range c {
+				if got[i] != c[i] {
+					t.Fatalf("n=%d k=%d rank=%d: unranked %v, walk has %v", n, k, rank, got, c)
+				}
+			}
+			rank++
+		})
+		if rank != SubsetCount(n, k) {
+			t.Fatalf("n=%d k=%d: walked %d subsets, count says %d", n, k, rank, SubsetCount(n, k))
+		}
+	}
+}
+
+func TestSubsetAtRankOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range rank did not panic")
+		}
+	}()
+	SubsetAtRank(5, 2, SubsetCount(5, 2))
+}
+
+func TestForEachSubsetRangeCoversPartition(t *testing.T) {
+	// Any partition of [0, C(n,k)) into ranges must reproduce the full
+	// walk, in order — the property the sharded enumerators rely on.
+	const n, k = 9, 4
+	total := SubsetCount(n, k)
+	var whole [][]int
+	ForEachSubset(n, k, func(c []int) {
+		whole = append(whole, append([]int(nil), c...))
+	})
+	for _, pieces := range []int{1, 2, 3, 5, 8, 13} {
+		var got [][]int
+		for p := 0; p < pieces; p++ {
+			lo := total * uint64(p) / uint64(pieces)
+			hi := total * uint64(p+1) / uint64(pieces)
+			ForEachSubsetRange(n, k, lo, hi, func(c []int) {
+				got = append(got, append([]int(nil), c...))
+			})
+		}
+		if len(got) != len(whole) {
+			t.Fatalf("pieces=%d: %d subsets, want %d", pieces, len(got), len(whole))
+		}
+		for i := range whole {
+			for j := range whole[i] {
+				if got[i][j] != whole[i][j] {
+					t.Fatalf("pieces=%d: subset %d is %v, want %v", pieces, i, got[i], whole[i])
+				}
+			}
+		}
+	}
+}
+
+func TestForEachSubsetRangeClipsAndEmpties(t *testing.T) {
+	const n, k = 6, 2
+	count := 0
+	ForEachSubsetRange(n, k, 5, 1<<40, func([]int) { count++ })
+	if want := int(SubsetCount(n, k)) - 5; count != want {
+		t.Fatalf("clipped range visited %d, want %d", count, want)
+	}
+	ForEachSubsetRange(n, k, 3, 3, func([]int) { t.Fatal("empty range yielded") })
+	ForEachSubsetRange(n, -1, 0, 10, func([]int) { t.Fatal("invalid k yielded") })
+}

@@ -43,7 +43,7 @@ func E3OneRoundPlantedClique(cfg Config) (*Table, error) {
 				c.k = n
 			}
 			deg := &cliquefind.DegreeDetector{N: n, K: c.k}
-			rep, err := cliquefind.MeasureDetector(deg, n, c.k, trials, r)
+			rep, err := cliquefind.MeasureDetector(deg, n, c.k, trials, cfg.workers(), r)
 			if err != nil {
 				return nil, err
 			}
@@ -66,7 +66,7 @@ func E3OneRoundPlantedClique(cfg Config) (*Table, error) {
 		if kEasy > n {
 			kEasy = n
 		}
-		rep, err := cliquefind.MeasureDetector(par, n, kEasy, trials, r)
+		rep, err := cliquefind.MeasureDetector(par, n, kEasy, trials, cfg.workers(), r)
 		if err != nil {
 			return nil, err
 		}
@@ -97,7 +97,7 @@ func E4MultiRoundPlantedClique(cfg Config) (*Table, error) {
 	monotone := true
 	for _, j := range []int{1, 2, 4, 8} {
 		det := &cliquefind.TotalDegreeDetector{N: n, K: k, J: j}
-		rep, err := cliquefind.MeasureDetector(det, n, k, trials, r)
+		rep, err := cliquefind.MeasureDetector(det, n, k, trials, cfg.workers(), r)
 		if err != nil {
 			return nil, err
 		}

@@ -1,14 +1,15 @@
 // Package experiments contains the reproduction harness: one entry point
-// per experiment in DESIGN.md's index (E1..E14), each regenerating the
+// per experiment in the All registry (E1..E17), each regenerating the
 // empirical counterpart of a theorem, lemma, or claim in the paper. Every
 // experiment returns a Table whose rows print "measured vs predicted" so
-// EXPERIMENTS.md can be regenerated mechanically (cmd/experiments) and the
-// root benchmarks can assert the shapes.
+// the results document can be regenerated mechanically (cmd/experiments)
+// and the root benchmarks can assert the shapes.
 package experiments
 
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 )
 
@@ -19,6 +20,20 @@ type Config struct {
 	// Quick shrinks trial counts for CI-speed runs; shapes remain visible
 	// but error bars widen.
 	Quick bool
+	// Workers sizes the goroutine pools of the measurement engines
+	// (Monte-Carlo estimators, exact enumeration, detector/attack
+	// trials); 0 means runtime.GOMAXPROCS(0). Tables for a fixed Seed are
+	// identical for every Workers value — parallelism is only a
+	// wall-clock knob.
+	Workers int
+}
+
+// workers resolves the configured pool size.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // trials scales a full-run trial count down in quick mode.
@@ -76,7 +91,7 @@ func (t *Table) Render(w io.Writer) {
 
 // Experiment pairs an id with its runner.
 type Experiment struct {
-	// ID is the DESIGN.md experiment id.
+	// ID is the registry experiment id (E1..E17).
 	ID string
 	// Title names the reproduced statement.
 	Title string

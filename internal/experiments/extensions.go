@@ -124,7 +124,7 @@ func E16WideMessages(cfg Config) (*Table, error) {
 	trials := cfg.trials(30)
 	shapeOK := true
 	for _, c := range []struct{ n, k int }{{128, 48}, {256, 64}} {
-		wide, narrow, err := cliquefind.WideNarrowGap(c.n, c.k, trials, r)
+		wide, narrow, err := cliquefind.WideNarrowGap(c.n, c.k, trials, cfg.workers(), r)
 		if err != nil {
 			return nil, err
 		}

@@ -50,7 +50,7 @@ func E6ToyPRG(cfg Config) (*Table, error) {
 
 	// Estimator noise floor: TV of two independent case-A sample sets.
 	fam := lowerbound.ToyPRGFamily{N: n, K: 10}
-	floor, err := lowerbound.EstimateTranscriptTV(reveal, fam.SampleReference, fam.SampleReference, n, samples, r)
+	floor, err := lowerbound.EstimateTranscriptTV(reveal, fam.SampleReference, fam.SampleReference, n, samples, cfg.workers(), r)
 	if err != nil {
 		return nil, err
 	}
@@ -62,7 +62,7 @@ func E6ToyPRG(cfg Config) (*Table, error) {
 		famK := lowerbound.ToyPRGFamily{N: n, K: k}
 		tv, err := lowerbound.EstimateTranscriptTV(reveal,
 			func(s *rng.Stream) []bitvec.Vector { return lowerbound.SampleMixture(famK, s) },
-			famK.SampleReference, n, samples, r)
+			famK.SampleReference, n, samples, cfg.workers(), r)
 		if err != nil {
 			return nil, err
 		}
@@ -87,7 +87,7 @@ func E6ToyPRG(cfg Config) (*Table, error) {
 			func(s *rng.Stream) ([]bitvec.Vector, error) {
 				return core.UniformInputs(nAttack, k+1, s), nil
 			},
-			cfg.trials(100), r)
+			cfg.trials(100), cfg.workers(), r)
 		if err != nil {
 			return nil, err
 		}
@@ -149,7 +149,7 @@ func E7FullPRG(cfg Config) (*Table, error) {
 			func(s *rng.Stream) ([]bitvec.Vector, error) {
 				return core.UniformInputs(c.n, c.m, s), nil
 			},
-			trials, r)
+			trials, cfg.workers(), r)
 		if err != nil {
 			return nil, err
 		}
@@ -203,7 +203,7 @@ func E10SeedLowerBound(cfg Config) (*Table, error) {
 			func(s *rng.Stream) ([]bitvec.Vector, error) {
 				return core.UniformInputs(n, m, s), nil
 			},
-			trials, r)
+			trials, cfg.workers(), r)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,85 @@
+package lowerbound
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+// benchWorkerCounts is the sequential-vs-parallel sweep recorded in
+// BENCH_LOWERBOUND.json: 1 is the sequential baseline, 4 and 8 the shard
+// counts the acceptance speedups are quoted at. On a single-core host the
+// parallel rows measure sharding overhead rather than speedup; the
+// baseline file records which situation applied.
+var benchWorkerCounts = []int{1, 4, 8}
+
+// BenchmarkExactTranscriptDist measures the sharded exact engine on an
+// E4-scale planted-clique mixture: C(4,2) placements × 2^10 free-edge
+// masks = 6144 protocol runs per op, the shape of the per-component
+// distributions inside ExactProgressPlantedClique.
+func BenchmarkExactTranscriptDist(b *testing.B) {
+	p := &revealProtocol{rounds: 3}
+	e := EnumeratePlantedGraphs(4, 2)
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ExactTranscriptDist(p, e, 12, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEstimateProgress measures the sharded Monte-Carlo engine on an
+// E6-scale toy-PRG configuration: 3 prefix lengths × (4 indices + 1
+// mixture) × 1500 paired samples = 45000 protocol runs per op.
+func BenchmarkEstimateProgress(b *testing.B) {
+	f := ToyPRGFamily{N: 8, K: 6}
+	p := &revealProtocol{rounds: 2}
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := rng.New(2019)
+				if _, err := EstimateProgress(p, f, []int{4, 8, 16}, 4, 1500, w, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEstimateTranscriptTV isolates the inner estimator at an
+// E3-scale sample budget (one op = 2 × 5000 protocol runs + the interned
+// TV), the unit of work EstimateProgress repeats.
+func BenchmarkEstimateTranscriptTV(b *testing.B) {
+	f := PlantedCliqueFamily{N: 16, K: 4}
+	p := &revealProtocol{rounds: 1}
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := rng.New(7)
+				_, err := EstimateTranscriptTV(p,
+					func(s *rng.Stream) []bitvec.Vector { return SampleMixture(f, s) },
+					f.SampleReference, 16, 5000, w, r)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEnumerationOnly measures the rank-range walk with a no-op
+// consumer: the enumerator overhead floor under the exact engine.
+func BenchmarkEnumerationOnly(b *testing.B) {
+	e := EnumeratePlantedGraphs(4, 2)
+	total := e.Len()
+	b.ReportAllocs()
+	count := uint64(0)
+	for count < uint64(b.N) {
+		e.Range(0, total, func([]bitvec.Vector) { count++ })
+	}
+}

@@ -6,39 +6,118 @@ import (
 	"repro/internal/bcast"
 	"repro/internal/bitvec"
 	"repro/internal/dist"
+	"repro/internal/par"
 )
 
-// InputEnumerator yields every input profile of a finite input
-// distribution together with its probability. Implementations must yield
-// weights summing to 1 and must not retain the yielded slice.
-type InputEnumerator func(yield func(inputs []bitvec.Vector, weight float64))
+// Enumerator describes a finite uniform input space: Len profiles, each
+// carrying probability 1/Len, visitable by contiguous rank ranges so the
+// exact engine can shard the walk across workers. Mixtures keep
+// uniformity by enumerating with multiplicity (the planted mixture yields
+// each graph once per clique placement that produces it).
+//
+// Range must call yield once per rank in [lo, hi), in increasing rank
+// order, and may reuse both the yielded slice and the vectors it holds
+// between calls — yield must treat the whole profile as read-only and
+// copy anything it retains or mutates. (Protocol nodes receive these
+// vectors as inputs, so protocols run under the exact engine must not
+// write to their input vectors — none in this repository do.)
+// Implementations must be safe for concurrent Range calls on disjoint
+// ranges.
+type Enumerator interface {
+	// Len returns the number of profiles (with multiplicity).
+	Len() uint64
+	// Range yields the profiles with ranks in [lo, hi).
+	Range(lo, hi uint64, yield func(inputs []bitvec.Vector))
+}
+
+// Each walks the entire enumeration — the sequential convenience form.
+func Each(e Enumerator, yield func(inputs []bitvec.Vector)) {
+	e.Range(0, e.Len(), yield)
+}
 
 // ExactTranscriptDist computes the exact transcript distribution of a
-// deterministic protocol after `turns` sequential turns: it runs the
-// protocol on every input in the enumeration and accumulates the weights.
-// This is the ground truth the Monte-Carlo estimators are validated
-// against; it is feasible whenever the input space is ≲ 2^20.
-func ExactTranscriptDist(p bcast.Protocol, enum InputEnumerator, turns int) (*dist.Finite, error) {
+// deterministic protocol after `turns` sequential turns by running the
+// protocol on every input in the enumeration. This is the ground truth
+// the Monte-Carlo estimators are validated against; it is feasible
+// whenever the input space is ≲ 2^24.
+//
+// The rank space is partitioned into contiguous spans across `workers`
+// goroutines (≤ 0 means GOMAXPROCS), each accumulating integer transcript
+// counts over a private symbol table; the spans merge exactly in span
+// order and every mass is one multiplication count × (1/Len), so the
+// result is bit-identical for every worker count.
+func ExactTranscriptDist(p bcast.Protocol, e Enumerator, turns, workers int) (*dist.Finite, error) {
+	counts, err := exactCounts(p, e, turns, workers, dist.NewInterner())
+	if err != nil {
+		return nil, err
+	}
+	in := counts.Interner()
+	unit := 1 / float64(e.Len())
 	d := dist.NewFinite()
-	var firstErr error
-	enum(func(inputs []bitvec.Vector, weight float64) {
-		if firstErr != nil {
-			return
+	for id := 0; id < in.Len(); id++ {
+		if c := counts.Count(uint32(id)); c != 0 {
+			d.Add(in.Key(uint32(id)), float64(c)*unit)
 		}
-		res, err := bcast.RunTurns(p, inputs, turns, 0)
-		if err != nil {
-			firstErr = err
-			return
-		}
-		d.Add(res.Transcript.Key(), weight)
-	})
-	if firstErr != nil {
-		return nil, firstErr
 	}
 	if err := d.Validate(1e-9); err != nil {
 		return nil, fmt.Errorf("enumerator weights: %w", err)
 	}
 	return d, nil
+}
+
+// ExactTranscriptIntDist is ExactTranscriptDist on the interned
+// representation: the result is keyed by `in`, so several exact
+// distributions built over one interner compare with the allocation-free
+// dist.IntTV. The interner must not be shared with a concurrently running
+// measurement — merging into it happens on the calling goroutine.
+func ExactTranscriptIntDist(p bcast.Protocol, e Enumerator, turns, workers int, in *dist.Interner) (*dist.IntDist, error) {
+	counts, err := exactCounts(p, e, turns, workers, in)
+	if err != nil {
+		return nil, err
+	}
+	d := counts.Dist(1 / float64(e.Len()))
+	if err := d.Validate(1e-9); err != nil {
+		return nil, fmt.Errorf("enumerator weights: %w", err)
+	}
+	return d, nil
+}
+
+// exactCounts shards the enumeration walk and returns the merged
+// transcript tallies over the given interner.
+func exactCounts(p bcast.Protocol, e Enumerator, turns, workers int, in *dist.Interner) (*dist.Counts, error) {
+	total := e.Len()
+	if total == 0 {
+		return nil, fmt.Errorf("lowerbound: empty input enumeration")
+	}
+	shards, err := par.Map(total, workers, func(sp par.Span) (*dist.Counts, error) {
+		c := dist.NewCounts(dist.NewInterner())
+		var buf []byte
+		var firstErr error
+		e.Range(sp.Lo, sp.Hi, func(inputs []bitvec.Vector) {
+			if firstErr != nil {
+				return
+			}
+			res, err := bcast.RunTurns(p, inputs, turns, 0)
+			if err != nil {
+				firstErr = err
+				return
+			}
+			buf = res.Transcript.KeyAppend(buf[:0])
+			c.ObserveBytes(buf)
+		})
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := dist.NewCounts(in)
+	for _, sh := range shards {
+		merged.Merge(sh)
+	}
+	return merged, nil
 }
 
 // orderedPairs lists the off-diagonal ordered pairs (i, j), i ≠ j, in a
@@ -55,121 +134,178 @@ func orderedPairs(n int) [][2]int {
 	return pairs
 }
 
+// graphSpace enumerates all directed graphs on n vertices whose forced
+// slots are pinned to 1 and whose free slots range over {0, 1}; rank =
+// the free-slot mask, so contiguous rank ranges are contiguous mask
+// ranges.
+type graphSpace struct {
+	n      int
+	forced [][2]int
+	free   [][2]int
+}
+
+// newGraphSpace builds the space, panicking at construction when the free
+// mask space is too large to ever enumerate — failing before any work is
+// kinder than failing 2^24 protocol runs in.
+func newGraphSpace(n int, forced func(i, j int) bool) *graphSpace {
+	e := &graphSpace{n: n}
+	for _, pr := range orderedPairs(n) {
+		if forced != nil && forced(pr[0], pr[1]) {
+			e.forced = append(e.forced, pr)
+		} else {
+			e.free = append(e.free, pr)
+		}
+	}
+	if len(e.free) > 24 {
+		panic(fmt.Sprintf("lowerbound: %d free edge slots is too many to enumerate", len(e.free)))
+	}
+	return e
+}
+
+// Len implements Enumerator.
+func (e *graphSpace) Len() uint64 { return 1 << uint(len(e.free)) }
+
+// Range implements Enumerator. The rows are allocated and
+// forced-initialized once per call: every free slot is overwritten on
+// every mask and nothing else ever changes, so reusing the buffers keeps
+// the hottest exact loop allocation-free per profile (yield's contract
+// already forbids retaining the slice).
+func (e *graphSpace) Range(lo, hi uint64, yield func([]bitvec.Vector)) {
+	rows := make([]bitvec.Vector, e.n)
+	for i := range rows {
+		rows[i] = bitvec.New(e.n)
+	}
+	for _, pr := range e.forced {
+		rows[pr[0]].SetBit(pr[1], 1)
+	}
+	for mask := lo; mask < hi; mask++ {
+		for b, pr := range e.free {
+			rows[pr[0]].SetBit(pr[1], mask>>uint(b)&1)
+		}
+		yield(rows)
+	}
+}
+
 // EnumerateRandGraphs enumerates A^n_rand exactly: all assignments to the
-// n(n−1) off-diagonal edge slots, each with weight 2^{−n(n−1)}. Feasible
-// for n ≤ 4 (and n = 5 with patience).
-func EnumerateRandGraphs(n int) InputEnumerator {
-	return enumerateWithForced(n, nil)
+// n(n−1) off-diagonal edge slots. Feasible for n ≤ 4 sequentially and
+// n = 5 with a worker pool.
+func EnumerateRandGraphs(n int) Enumerator {
+	return newGraphSpace(n, nil)
 }
 
 // EnumerateCliqueGraphs enumerates A^n_C: edge slots inside the clique C
 // are forced to 1; the rest are free coin flips.
-func EnumerateCliqueGraphs(n int, clique []int) InputEnumerator {
+func EnumerateCliqueGraphs(n int, clique []int) Enumerator {
 	inClique := make(map[int]bool, len(clique))
 	for _, v := range clique {
 		inClique[v] = true
 	}
-	forced := func(i, j int) bool { return inClique[i] && inClique[j] }
-	return enumerateWithForced(n, forced)
+	return newGraphSpace(n, func(i, j int) bool { return inClique[i] && inClique[j] })
+}
+
+// plantedSpace enumerates A^n_k with multiplicity: rank = cliqueRank ×
+// 2^F + mask, where cliqueRank walks the C(n, k) placements in
+// ForEachSubset order and mask walks the free slots of that placement.
+// Every placement forces the same number of slots, so every profile has
+// the same weight and the space stays uniform.
+type plantedSpace struct {
+	n, k    int
+	cliques uint64
+	block   uint64 // free-mask space size per clique, 2^F
+}
+
+// Len implements Enumerator.
+func (e *plantedSpace) Len() uint64 { return e.cliques * e.block }
+
+// Range implements Enumerator: unrank the first clique with
+// ForEachSubsetRange, then stream clique blocks, clipping the first and
+// last block's mask range to [lo, hi).
+func (e *plantedSpace) Range(lo, hi uint64, yield func([]bitvec.Vector)) {
+	if hi > e.Len() {
+		hi = e.Len()
+	}
+	if lo >= hi {
+		return
+	}
+	firstClique := lo / e.block
+	lastClique := (hi - 1) / e.block
+	cr := firstClique
+	dist.ForEachSubsetRange(e.n, e.k, firstClique, lastClique+1, func(c []int) {
+		clique := append([]int(nil), c...)
+		blockLo := cr * e.block
+		maskLo, maskHi := uint64(0), e.block
+		if blockLo < lo {
+			maskLo = lo - blockLo
+		}
+		if blockLo+e.block > hi {
+			maskHi = hi - blockLo
+		}
+		EnumerateCliqueGraphs(e.n, clique).Range(maskLo, maskHi, yield)
+		cr++
+	})
 }
 
 // EnumeratePlantedGraphs enumerates A^n_k: the uniform mixture of A_C over
-// all size-k subsets C.
-func EnumeratePlantedGraphs(n, k int) InputEnumerator {
-	return func(yield func([]bitvec.Vector, float64)) {
-		total := dist.Binomial(n, k)
-		dist.ForEachSubset(n, k, func(c []int) {
-			clique := append([]int(nil), c...)
-			EnumerateCliqueGraphs(n, clique)(func(inputs []bitvec.Vector, w float64) {
-				yield(inputs, w/total)
-			})
-		})
+// all size-k subsets C, one block of 2^F graphs per placement.
+func EnumeratePlantedGraphs(n, k int) Enumerator {
+	cliques := dist.SubsetCount(n, k)
+	if cliques == 0 {
+		panic(fmt.Sprintf("lowerbound: no size-%d subsets of [%d]", k, n))
 	}
+	// Probe one placement so an oversized mask space panics at
+	// construction, mirroring newGraphSpace.
+	probe := dist.SubsetAtRank(n, k, 0)
+	block := EnumerateCliqueGraphs(n, probe).Len()
+	return &plantedSpace{n: n, k: k, cliques: cliques, block: block}
 }
 
-// enumerateWithForced enumerates all graphs where slots with forced(i,j)
-// true are pinned to 1 and the rest range over {0,1}.
-func enumerateWithForced(n int, forced func(i, j int) bool) InputEnumerator {
-	pairs := orderedPairs(n)
-	var free [][2]int
-	for _, pr := range pairs {
-		if forced == nil || !forced(pr[0], pr[1]) {
-			free = append(free, pr)
-		}
+// maskSpace is the shared shape of the toy-PRG enumerations: a space of
+// 2^bits seed masks, each decoded into one input profile.
+type maskSpace struct {
+	n, bits int
+	decode  func(mask uint64, rows []bitvec.Vector)
+}
+
+func newMaskSpace(n, bits int, what string, decode func(uint64, []bitvec.Vector)) *maskSpace {
+	if bits > 22 {
+		panic(fmt.Sprintf("lowerbound: 2^%d %s is too many to enumerate", bits, what))
 	}
-	if len(free) > 24 {
-		panic(fmt.Sprintf("lowerbound: %d free edge slots is too many to enumerate", len(free)))
-	}
-	return func(yield func([]bitvec.Vector, float64)) {
-		weight := 1.0
-		for range free {
-			weight /= 2
-		}
-		rows := make([]bitvec.Vector, n)
-		for mask := uint64(0); mask < 1<<uint(len(free)); mask++ {
-			for i := range rows {
-				rows[i] = bitvec.New(n)
-			}
-			if forced != nil {
-				for _, pr := range pairs {
-					if forced(pr[0], pr[1]) {
-						rows[pr[0]].SetBit(pr[1], 1)
-					}
-				}
-			}
-			for b, pr := range free {
-				rows[pr[0]].SetBit(pr[1], mask>>uint(b)&1)
-			}
-			yield(rows, weight)
-		}
+	return &maskSpace{n: n, bits: bits, decode: decode}
+}
+
+// Len implements Enumerator.
+func (e *maskSpace) Len() uint64 { return 1 << uint(e.bits) }
+
+// Range implements Enumerator.
+func (e *maskSpace) Range(lo, hi uint64, yield func([]bitvec.Vector)) {
+	rows := make([]bitvec.Vector, e.n)
+	for mask := lo; mask < hi; mask++ {
+		e.decode(mask, rows)
+		yield(rows)
 	}
 }
 
 // EnumerateToyCaseA enumerates the uniform distribution over n strings of
 // k+1 bits each (case (A) of Theorem 5.1).
-func EnumerateToyCaseA(n, k int) InputEnumerator {
-	bits := n * (k + 1)
-	if bits > 22 {
-		panic(fmt.Sprintf("lowerbound: 2^%d inputs is too many to enumerate", bits))
-	}
-	return func(yield func([]bitvec.Vector, float64)) {
-		weight := 1.0
-		for i := 0; i < bits; i++ {
-			weight /= 2
+func EnumerateToyCaseA(n, k int) Enumerator {
+	return newMaskSpace(n, n*(k+1), "inputs", func(mask uint64, rows []bitvec.Vector) {
+		for i := range rows {
+			rows[i] = bitvec.FromUint64(k+1, mask>>uint(i*(k+1)))
 		}
-		for mask := uint64(0); mask < 1<<uint(bits); mask++ {
-			rows := make([]bitvec.Vector, n)
-			for i := range rows {
-				rows[i] = bitvec.FromUint64(k+1, mask>>uint(i*(k+1)))
-			}
-			yield(rows, weight)
-		}
-	}
+	})
 }
 
 // EnumerateToyCaseB enumerates the toy PRG distribution exactly: all
 // (b, x₁..x_n) combinations, each processor receiving (x_i, x_i·b)
 // (case (B) of Theorem 5.1).
-func EnumerateToyCaseB(n, k int) InputEnumerator {
-	bits := k * (n + 1)
-	if bits > 22 {
-		panic(fmt.Sprintf("lowerbound: 2^%d seed combinations is too many to enumerate", bits))
-	}
-	return func(yield func([]bitvec.Vector, float64)) {
-		weight := 1.0
-		for i := 0; i < bits; i++ {
-			weight /= 2
+func EnumerateToyCaseB(n, k int) Enumerator {
+	return newMaskSpace(n, k*(n+1), "seed combinations", func(mask uint64, rows []bitvec.Vector) {
+		b := mask & (1<<uint(k) - 1)
+		for i := range rows {
+			x := mask >> uint(k*(i+1)) & (1<<uint(k) - 1)
+			rows[i] = bitvec.FromUint64(k+1, x|parity64(x&b)<<uint(k))
 		}
-		for mask := uint64(0); mask < 1<<uint(bits); mask++ {
-			b := mask & (1<<uint(k) - 1)
-			rows := make([]bitvec.Vector, n)
-			for i := range rows {
-				x := mask >> uint(k*(i+1)) & (1<<uint(k) - 1)
-				rows[i] = bitvec.FromUint64(k+1, x|parity64(x&b)<<uint(k))
-			}
-			yield(rows, weight)
-		}
-	}
+	})
 }
 
 func parity64(v uint64) uint64 {
@@ -182,88 +318,114 @@ func parity64(v uint64) uint64 {
 	return v & 1
 }
 
+// enumerateToyFixedSecret enumerates U_[b]^n for one fixed secret b: all
+// seed combinations, each processor receiving (x_i, x_i·b).
+func enumerateToyFixedSecret(n, k int, b uint64) Enumerator {
+	return newMaskSpace(n, k*n, "seed combinations", func(mask uint64, rows []bitvec.Vector) {
+		for i := range rows {
+			x := mask >> uint(k*i) & (1<<uint(k) - 1)
+			rows[i] = bitvec.FromUint64(k+1, x|parity64(x&b)<<uint(k))
+		}
+	})
+}
+
 // ExactProgressToyPRG computes, exactly, both sides of the Section 3
 // inequality for the toy-PRG decomposition on a tiny instance: L_real(t)
 // between case B (PRG) and case A (uniform) transcripts, and L_progress(t)
 // — the average over secrets b of the per-component TV. This is the exact
 // ground truth behind Theorem 5.1's induction.
-func ExactProgressToyPRG(p bcast.Protocol, n, k, turns int) (real, progress float64, err error) {
-	caseA, err := ExactTranscriptDist(p, EnumerateToyCaseA(n, k), turns)
+//
+// The case distributions parallelize internally; the 2^k per-secret
+// component distances then fan out one secret per task. Both levels are
+// deterministic in the worker count.
+func ExactProgressToyPRG(p bcast.Protocol, n, k, turns, workers int) (real, progress float64, err error) {
+	caseA, err := ExactTranscriptDist(p, EnumerateToyCaseA(n, k), turns, workers)
 	if err != nil {
 		return 0, 0, err
 	}
-	caseB, err := ExactTranscriptDist(p, EnumerateToyCaseB(n, k), turns)
+	caseB, err := ExactTranscriptDist(p, EnumerateToyCaseB(n, k), turns, workers)
 	if err != nil {
 		return 0, 0, err
 	}
 	real = dist.TV(caseB, caseA)
 
+	secrets := uint64(1) << uint(k)
+	tvs, err := componentDistances(secrets, workers, caseA, func(b uint64) (Enumerator, error) {
+		return enumerateToyFixedSecret(n, k, b), nil
+	}, p, turns)
+	if err != nil {
+		return 0, 0, err
+	}
 	total := 0.0
-	for b := uint64(0); b < 1<<uint(k); b++ {
-		condDist, err := ExactTranscriptDist(p, enumerateToyFixedSecret(n, k, b), turns)
-		if err != nil {
-			return 0, 0, err
-		}
-		total += dist.TV(condDist, caseA)
+	for _, tv := range tvs {
+		total += tv
 	}
-	return real, total / float64(int(1)<<uint(k)), nil
-}
-
-// enumerateToyFixedSecret enumerates U_[b]^n for one fixed secret b: all
-// seed combinations, each processor receiving (x_i, x_i·b).
-func enumerateToyFixedSecret(n, k int, b uint64) InputEnumerator {
-	bits := k * n
-	if bits > 22 {
-		panic(fmt.Sprintf("lowerbound: 2^%d seed combinations is too many to enumerate", bits))
-	}
-	return func(yield func([]bitvec.Vector, float64)) {
-		weight := 1.0
-		for i := 0; i < bits; i++ {
-			weight /= 2
-		}
-		for mask := uint64(0); mask < 1<<uint(bits); mask++ {
-			rows := make([]bitvec.Vector, n)
-			for i := range rows {
-				x := mask >> uint(k*i) & (1<<uint(k) - 1)
-				rows[i] = bitvec.FromUint64(k+1, x|parity64(x&b)<<uint(k))
-			}
-			yield(rows, weight)
-		}
-	}
+	return real, total / float64(secrets), nil
 }
 
 // ExactProgressPlantedClique computes, exactly, both sides of the
 // Section 3 inequality L_real(t) ≤ L_progress(t) for the planted-clique
 // decomposition on a tiny instance: the TV between the mixture and the
 // reference, and the average TV between components and the reference.
-func ExactProgressPlantedClique(p bcast.Protocol, n, k, turns int) (real, progress float64, err error) {
-	randDist, err := ExactTranscriptDist(p, EnumerateRandGraphs(n), turns)
+//
+// The mixture and reference distributions are computed on one interner so
+// their distance is the dense IntTV; the C(n, k) per-clique component
+// distances fan out one placement per task.
+func ExactProgressPlantedClique(p bcast.Protocol, n, k, turns, workers int) (real, progress float64, err error) {
+	in := dist.NewInterner()
+	randInt, err := ExactTranscriptIntDist(p, EnumerateRandGraphs(n), turns, workers, in)
 	if err != nil {
 		return 0, 0, err
 	}
-	plantedDist, err := ExactTranscriptDist(p, EnumeratePlantedGraphs(n, k), turns)
+	plantedInt, err := ExactTranscriptIntDist(p, EnumeratePlantedGraphs(n, k), turns, workers, in)
 	if err != nil {
 		return 0, 0, err
 	}
-	real = dist.TV(plantedDist, randDist)
+	real = dist.IntTV(plantedInt, randInt)
 
-	total, count := 0.0, 0
-	var enumErr error
-	dist.ForEachSubset(n, k, func(c []int) {
-		if enumErr != nil {
-			return
-		}
-		clique := append([]int(nil), c...)
-		condDist, err := ExactTranscriptDist(p, EnumerateCliqueGraphs(n, clique), turns)
-		if err != nil {
-			enumErr = err
-			return
-		}
-		total += dist.TV(condDist, randDist)
-		count++
-	})
-	if enumErr != nil {
-		return 0, 0, enumErr
+	randDist := randInt.Finite()
+	cliques := dist.SubsetCount(n, k)
+	tvs, err := componentDistances(cliques, workers, randDist, func(cr uint64) (Enumerator, error) {
+		return EnumerateCliqueGraphs(n, dist.SubsetAtRank(n, k, cr)), nil
+	}, p, turns)
+	if err != nil {
+		return 0, 0, err
 	}
-	return real, total / float64(count), nil
+	total := 0.0
+	for _, tv := range tvs {
+		total += tv
+	}
+	return real, total / float64(cliques), nil
+}
+
+// componentDistances computes TV(component_i, ref) for every component
+// index in [0, count), fanning components out across workers (each
+// component's own enumeration runs sequentially — the parallelism is over
+// components). The returned slice is indexed by component, and the caller
+// sums it in index order, so the aggregate is deterministic in the worker
+// count. ref's sorted support is primed here so the concurrent TV calls
+// only read it.
+func componentDistances(count uint64, workers int, ref *dist.Finite,
+	component func(i uint64) (Enumerator, error), p bcast.Protocol, turns int) ([]float64, error) {
+	ref.Support()
+	tvs := make([]float64, count)
+	spans := par.Split(count, par.Workers(workers))
+	err := par.Do(len(spans), func(s int) error {
+		for i := spans[s].Lo; i < spans[s].Hi; i++ {
+			e, err := component(i)
+			if err != nil {
+				return err
+			}
+			d, err := ExactTranscriptDist(p, e, turns, 1)
+			if err != nil {
+				return err
+			}
+			tvs[i] = dist.TV(d, ref)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tvs, nil
 }

@@ -18,6 +18,27 @@
 //
 // The closed-form upper bounds of Theorems 1.6, 4.1, 5.3 and 5.4 live in
 // bounds.go so experiment tables can print "measured vs predicted".
+//
+// # Parallel measurement architecture
+//
+// Both measurement paths are sharded worker pools with a determinism
+// contract: for a fixed seed the results are bit-identical for every
+// worker count, so parallelism is purely a wall-clock knob.
+//
+//   - Monte-Carlo (EstimateTranscriptTV, EstimateProgress): sample i draws
+//     from its own rng.Shard(base, i) stream, so the randomness is a pure
+//     function of (seed, sample index) and any worker may run any sample.
+//     Workers tally transcripts as integer counts over private
+//     dist.Interner symbol tables; shard counts merge exactly (integer
+//     addition) in shard order, the counting constructor converts tallies
+//     to mass once, and the TV is taken over the interned dense ids.
+//   - Exact enumeration (ExactTranscriptDist): the input space is a rank
+//     range [0, Enumerator.Len()) that par.Split cuts into contiguous
+//     spans — free-edge masks in mask order, clique placements unranked
+//     with dist.ForEachSubsetRange — and each worker walks its span with
+//     a private accumulator, merged the same way.
+//
+// Worker counts ≤ 0 mean runtime.GOMAXPROCS(0) throughout.
 package lowerbound
 
 import (
@@ -29,6 +50,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/f2"
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -167,37 +189,58 @@ func (f FullPRGFamily) SampleReference(r *rng.Stream) []bitvec.Vector {
 	return core.UniformInputs(f.N, f.M, r)
 }
 
-// transcriptKey runs the protocol on inputs and returns the canonical key
-// of the first `turns` turns (RunTurns semantics, the proof model).
-func transcriptKey(p bcast.Protocol, inputs []bitvec.Vector, turns int, seed uint64) (string, error) {
-	res, err := bcast.RunTurns(p, inputs, turns, seed)
-	if err != nil {
-		return "", err
-	}
-	return res.Transcript.Key(), nil
-}
-
 // EstimateTranscriptTV estimates ‖P(Π, A) − P(Π, B)‖ after `turns` turns
 // by the plug-in estimator over `samples` transcripts from each side. The
 // protocol's private coins are fixed (seed 0) so the transcript is a
 // deterministic function of the input, matching the paper's Yao reduction.
+//
+// The sample loop is fanned out over `workers` goroutines (≤ 0 means
+// GOMAXPROCS). Sample i draws both its A-side and B-side inputs from the
+// dedicated stream rng.Shard(base, i), where base is the single value this
+// call consumes from r — so the estimate is bit-identical for every worker
+// count and r advances by exactly one draw regardless of parallelism.
 func EstimateTranscriptTV(p bcast.Protocol, sampleA, sampleB func(r *rng.Stream) []bitvec.Vector,
-	turns, samples int, r *rng.Stream) (float64, error) {
-	ka := make([]string, samples)
-	kb := make([]string, samples)
-	for i := 0; i < samples; i++ {
-		key, err := transcriptKey(p, sampleA(r), turns, 0)
-		if err != nil {
-			return 0, err
-		}
-		ka[i] = key
-		key, err = transcriptKey(p, sampleB(r), turns, 0)
-		if err != nil {
-			return 0, err
-		}
-		kb[i] = key
+	turns, samples, workers int, r *rng.Stream) (float64, error) {
+	if samples <= 0 {
+		return 0, fmt.Errorf("lowerbound: EstimateTranscriptTV needs samples > 0, got %d", samples)
 	}
-	return dist.TV(dist.FromSamples(ka), dist.FromSamples(kb)), nil
+	base := r.Uint64()
+	type tally struct{ a, b *dist.Counts }
+	shards, err := par.Map(uint64(samples), workers, func(sp par.Span) (tally, error) {
+		in := dist.NewInterner()
+		ca, cb := dist.NewCounts(in), dist.NewCounts(in)
+		var buf []byte
+		for i := sp.Lo; i < sp.Hi; i++ {
+			sr := rng.Shard(base, i)
+			res, err := bcast.RunTurns(p, sampleA(sr), turns, 0)
+			if err != nil {
+				return tally{}, err
+			}
+			buf = res.Transcript.KeyAppend(buf[:0])
+			ca.ObserveBytes(buf)
+			res, err = bcast.RunTurns(p, sampleB(sr), turns, 0)
+			if err != nil {
+				return tally{}, err
+			}
+			buf = res.Transcript.KeyAppend(buf[:0])
+			cb.ObserveBytes(buf)
+		}
+		return tally{a: ca, b: cb}, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	// Merge in shard order: the combined interner assigns ids in sample
+	// order whatever the worker count, so the id-order TV sum below is
+	// deterministic too.
+	merged := dist.NewInterner()
+	ca, cb := dist.NewCounts(merged), dist.NewCounts(merged)
+	for _, sh := range shards {
+		ca.Merge(sh.a)
+		cb.Merge(sh.b)
+	}
+	unit := 1 / float64(samples)
+	return dist.IntTV(ca.Dist(unit), cb.Dist(unit)), nil
 }
 
 // ProgressPoint is one row of a progress-function estimate.
@@ -216,8 +259,14 @@ type ProgressPoint struct {
 // transcript count. The estimates use the plug-in TV estimator and are
 // biased upward by O(√(support/samples)); callers compare curves, not
 // absolute values, and validate against exact enumeration at small sizes.
+//
+// Each inner TV estimate fans its samples out over `workers` goroutines
+// (≤ 0 means GOMAXPROCS); index sampling stays on the caller's stream.
+// Because the estimator's randomness is a function of (seed, sample
+// index) only, the returned table is byte-identical for every worker
+// count — tests assert this.
 func EstimateProgress[I any](p bcast.Protocol, f Family[I], turnsList []int,
-	indices, samples int, r *rng.Stream) ([]ProgressPoint, error) {
+	indices, samples, workers int, r *rng.Stream) ([]ProgressPoint, error) {
 	out := make([]ProgressPoint, 0, len(turnsList))
 	for _, turns := range turnsList {
 		progress := 0.0
@@ -225,7 +274,7 @@ func EstimateProgress[I any](p bcast.Protocol, f Family[I], turnsList []int,
 			idx := f.SampleIndex(r)
 			tv, err := EstimateTranscriptTV(p,
 				func(s *rng.Stream) []bitvec.Vector { return f.SampleConditional(idx, s) },
-				f.SampleReference, turns, samples, r)
+				f.SampleReference, turns, samples, workers, r)
 			if err != nil {
 				return nil, err
 			}
@@ -235,7 +284,7 @@ func EstimateProgress[I any](p bcast.Protocol, f Family[I], turnsList []int,
 
 		real, err := EstimateTranscriptTV(p,
 			func(s *rng.Stream) []bitvec.Vector { return SampleMixture(f, s) },
-			f.SampleReference, turns, samples, r)
+			f.SampleReference, turns, samples, workers, r)
 		if err != nil {
 			return nil, err
 		}

@@ -109,7 +109,7 @@ func TestEstimateTranscriptTVIdenticalDistributions(t *testing.T) {
 	r := rng.New(4)
 	f := ToyPRGFamily{N: 4, K: 3}
 	p := &revealProtocol{rounds: 2}
-	tv, err := EstimateTranscriptTV(p, f.SampleReference, f.SampleReference, 6, 6000, r)
+	tv, err := EstimateTranscriptTV(p, f.SampleReference, f.SampleReference, 6, 6000, 0, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestEstimateTranscriptTVSeparatesObviousCase(t *testing.T) {
 	p := &revealProtocol{rounds: 2}
 	tv, err := EstimateTranscriptTV(p,
 		func(s *rng.Stream) []bitvec.Vector { return SampleMixture(f, s) },
-		f.SampleReference, 12, 3000, r)
+		f.SampleReference, 12, 3000, 0, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestEstimateProgressOrderingAndMonotonicity(t *testing.T) {
 	r := rng.New(6)
 	f := ToyPRGFamily{N: 4, K: 2}
 	p := &revealProtocol{rounds: 3}
-	points, err := EstimateProgress(p, f, []int{2, 8}, 6, 1500, r)
+	points, err := EstimateProgress(p, f, []int{2, 8}, 6, 1500, 0, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestEstimateProgressOrderingAndMonotonicity(t *testing.T) {
 
 func TestExactTranscriptDistNormalized(t *testing.T) {
 	p := &revealProtocol{rounds: 2}
-	d, err := ExactTranscriptDist(p, EnumerateRandGraphs(3), 6)
+	d, err := ExactTranscriptDist(p, EnumerateRandGraphs(3), 6, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestExactMatchesMonteCarlo(t *testing.T) {
 	p := &revealProtocol{rounds: 2}
 	turns := 8
 
-	exactRand, err := ExactTranscriptDist(p, EnumerateRandGraphs(n), turns)
+	exactRand, err := ExactTranscriptDist(p, EnumerateRandGraphs(n), turns, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +197,7 @@ func TestExactProgressPlantedCliqueInequality(t *testing.T) {
 	// The Section 3 chain, exactly: L_real <= L_progress, and both within
 	// [0, 1].
 	p := &revealProtocol{rounds: 2}
-	real, progress, err := ExactProgressPlantedClique(p, 4, 2, 8)
+	real, progress, err := ExactProgressPlantedClique(p, 4, 2, 8, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +216,7 @@ func TestExactProgressDetectorBelowTheoremBound(t *testing.T) {
 	// The degree detector at n=4, k=2 must satisfy Theorem 1.6's bound
 	// shape: its exact one-round distance is far below k²/√n = 2.
 	d := &cliquefind.DegreeDetector{N: 4, K: 2}
-	real, progress, err := ExactProgressPlantedClique(d, 4, 2, 4)
+	real, progress, err := ExactProgressPlantedClique(d, 4, 2, 4, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +229,7 @@ func TestExactProgressDetectorBelowTheoremBound(t *testing.T) {
 }
 
 func TestEnumerateCliqueGraphsForcesClique(t *testing.T) {
-	EnumerateCliqueGraphs(4, []int{1, 3})(func(rows []bitvec.Vector, _ float64) {
+	Each(EnumerateCliqueGraphs(4, []int{1, 3}), func(rows []bitvec.Vector) {
 		if rows[1].Bit(3) != 1 || rows[3].Bit(1) != 1 {
 			t.Fatal("clique slot not forced")
 		}
@@ -239,14 +239,15 @@ func TestEnumerateCliqueGraphsForcesClique(t *testing.T) {
 func TestEnumerateToyCaseBConsistent(t *testing.T) {
 	const n, k = 2, 2
 	count := 0
-	EnumerateToyCaseB(n, k)(func(rows []bitvec.Vector, w float64) {
+	e := EnumerateToyCaseB(n, k)
+	Each(e, func(rows []bitvec.Vector) {
 		count++
 		if len(rows) != n {
 			t.Fatal("row count wrong")
 		}
 	})
-	if count != 1<<(k*(n+1)) {
-		t.Fatalf("enumerated %d profiles, want %d", count, 1<<(k*(n+1)))
+	if count != 1<<(k*(n+1)) || e.Len() != 1<<(k*(n+1)) {
+		t.Fatalf("enumerated %d profiles (Len %d), want %d", count, e.Len(), 1<<(k*(n+1)))
 	}
 }
 
@@ -255,7 +256,9 @@ func TestEnumerateToyCaseBMarginalIsUniformPrefix(t *testing.T) {
 	// processor 0's prefix.
 	const n, k = 2, 2
 	counts := make(map[uint64]float64)
-	EnumerateToyCaseB(n, k)(func(rows []bitvec.Vector, w float64) {
+	e := EnumerateToyCaseB(n, k)
+	w := 1 / float64(e.Len())
+	Each(e, func(rows []bitvec.Vector) {
 		counts[rows[0].Slice(0, k).Uint64()] += w
 	})
 	for x, mass := range counts {
@@ -272,11 +275,11 @@ func TestExactToyTheorem51Inequality(t *testing.T) {
 	const n, k = 2, 3
 	p := &revealProtocol{rounds: k + 1}
 	turns := n * (k + 1)
-	da, err := ExactTranscriptDist(p, EnumerateToyCaseA(n, k), turns)
+	da, err := ExactTranscriptDist(p, EnumerateToyCaseA(n, k), turns, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	db, err := ExactTranscriptDist(p, EnumerateToyCaseB(n, k), turns)
+	db, err := ExactTranscriptDist(p, EnumerateToyCaseB(n, k), turns, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +300,7 @@ func TestExactProgressToyPRGInequality(t *testing.T) {
 	// Theorem 5.1 induction rests on.
 	const n, k = 2, 3
 	p := &revealProtocol{rounds: k + 1}
-	real, progress, err := ExactProgressToyPRG(p, n, k, n*(k+1))
+	real, progress, err := ExactProgressToyPRG(p, n, k, n*(k+1), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,11 +322,11 @@ func TestExactProgressToyPRGShrinksWithK(t *testing.T) {
 	// Theorem 5.1's shape, exactly: the one-round real distance at k=3
 	// is below the distance at k=1 (more seed, less detectable).
 	p := &revealProtocol{rounds: 4}
-	realSmall, _, err := ExactProgressToyPRG(p, 2, 1, 2*2)
+	realSmall, _, err := ExactProgressToyPRG(p, 2, 1, 2*2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	realLarge, _, err := ExactProgressToyPRG(p, 2, 3, 2*4)
+	realLarge, _, err := ExactProgressToyPRG(p, 2, 3, 2*4, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,5 +385,7 @@ func TestEnumeratorGuards(t *testing.T) {
 			t.Fatal("oversized enumeration did not panic")
 		}
 	}()
-	EnumerateRandGraphs(6)(func([]bitvec.Vector, float64) {})
+	// The guard fires at construction now — before any protocol run is
+	// wasted on a space that can never finish.
+	EnumerateRandGraphs(6)
 }

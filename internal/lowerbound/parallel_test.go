@@ -1,0 +1,236 @@
+package lowerbound
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+// workerCounts are the pool sizes every determinism test sweeps:
+// sequential, a fixed small pool, and whatever the host offers.
+func workerCounts() []int {
+	return []int{1, 4, runtime.GOMAXPROCS(0)}
+}
+
+func TestEstimateProgressByteIdenticalAcrossWorkers(t *testing.T) {
+	f := ToyPRGFamily{N: 4, K: 2}
+	p := &revealProtocol{rounds: 3}
+	var ref []ProgressPoint
+	for _, w := range workerCounts() {
+		r := rng.New(33)
+		points, err := EstimateProgress(p, f, []int{2, 6, 10}, 4, 400, w, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = points
+			continue
+		}
+		if len(points) != len(ref) {
+			t.Fatalf("workers=%d: %d points, want %d", w, len(points), len(ref))
+		}
+		for i := range ref {
+			// Byte-identical means exact float equality, not tolerance.
+			if points[i] != ref[i] {
+				t.Fatalf("workers=%d: point %d = %+v, workers=1 gave %+v", w, i, points[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestEstimateTranscriptTVByteIdenticalAcrossWorkers(t *testing.T) {
+	f := ToyPRGFamily{N: 5, K: 2}
+	p := &revealProtocol{rounds: 2}
+	ref := math.NaN()
+	for _, w := range workerCounts() {
+		r := rng.New(7)
+		tv, err := EstimateTranscriptTV(p,
+			func(s *rng.Stream) []bitvec.Vector { return SampleMixture(f, s) },
+			f.SampleReference, 8, 900, w, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(ref) {
+			ref = tv
+		} else if tv != ref {
+			t.Fatalf("workers=%d: TV %v, workers=1 gave %v", w, tv, ref)
+		}
+	}
+}
+
+func TestEstimateTranscriptTVAdvancesStreamIdentically(t *testing.T) {
+	// The estimator must consume exactly one value from the caller's
+	// stream regardless of worker count, or downstream sampling in
+	// EstimateProgress would diverge between pool sizes.
+	f := ToyPRGFamily{N: 3, K: 1}
+	p := &revealProtocol{rounds: 1}
+	var after []uint64
+	for _, w := range workerCounts() {
+		r := rng.New(123)
+		if _, err := EstimateTranscriptTV(p, f.SampleReference, f.SampleReference, 3, 50, w, r); err != nil {
+			t.Fatal(err)
+		}
+		after = append(after, r.Uint64())
+	}
+	for i := 1; i < len(after); i++ {
+		if after[i] != after[0] {
+			t.Fatalf("caller stream advanced differently across worker counts: %v", after)
+		}
+	}
+}
+
+// exactDistsEqual reports whether two Finite distributions are exactly
+// equal: same support and bit-identical masses.
+func exactDistsEqual(a, b *dist.Finite) bool {
+	sa, sb := a.Support(), b.Support()
+	if len(sa) != len(sb) {
+		return false
+	}
+	for i := range sa {
+		if sa[i] != sb[i] || a.Prob(sa[i]) != b.Prob(sb[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestExactTranscriptDistIdenticalAcrossWorkers(t *testing.T) {
+	p := &revealProtocol{rounds: 2}
+	for _, tc := range []struct {
+		name string
+		e    Enumerator
+	}{
+		{"rand-graphs", EnumerateRandGraphs(4)},
+		{"planted-graphs", EnumeratePlantedGraphs(4, 2)},
+		{"clique-graphs", EnumerateCliqueGraphs(4, []int{0, 2})},
+		{"toy-case-b", EnumerateToyCaseB(2, 3)},
+	} {
+		ref, err := ExactTranscriptDist(p, tc.e, 8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 3, 4, 8, runtime.GOMAXPROCS(0)} {
+			got, err := ExactTranscriptDist(p, tc.e, 8, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !exactDistsEqual(got, ref) {
+				t.Fatalf("%s: workers=%d distribution differs from sequential", tc.name, w)
+			}
+		}
+	}
+}
+
+func TestExactTranscriptIntDistMatchesFinite(t *testing.T) {
+	p := &revealProtocol{rounds: 2}
+	e := EnumeratePlantedGraphs(4, 2)
+	in := dist.NewInterner()
+	di, err := ExactTranscriptIntDist(p, e, 6, 3, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, err := ExactTranscriptDist(p, e, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exactDistsEqual(di.Finite(), df) {
+		t.Fatal("interned exact distribution diverges from the Finite path")
+	}
+	// Two distributions on one interner must compare with the dense TV
+	// exactly like the sorted-merge TV.
+	ri, err := ExactTranscriptIntDist(p, EnumerateRandGraphs(4), 6, 2, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := ExactTranscriptDist(p, EnumerateRandGraphs(4), 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := dist.IntTV(di, ri), dist.TV(df, rf); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("IntTV %v vs sorted-merge TV %v", got, want)
+	}
+}
+
+func TestExactProgressPlantedCliqueIdenticalAcrossWorkers(t *testing.T) {
+	p := &revealProtocol{rounds: 2}
+	realRef, progRef, err := ExactProgressPlantedClique(p, 4, 2, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 5, runtime.GOMAXPROCS(0)} {
+		real, prog, err := ExactProgressPlantedClique(p, 4, 2, 6, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if real != realRef || prog != progRef {
+			t.Fatalf("workers=%d: (%v, %v), sequential gave (%v, %v)", w, real, prog, realRef, progRef)
+		}
+	}
+}
+
+func TestExactProgressToyPRGIdenticalAcrossWorkers(t *testing.T) {
+	p := &revealProtocol{rounds: 3}
+	realRef, progRef, err := ExactProgressToyPRG(p, 2, 2, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4} {
+		real, prog, err := ExactProgressToyPRG(p, 2, 2, 6, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if real != realRef || prog != progRef {
+			t.Fatalf("workers=%d: (%v, %v), sequential gave (%v, %v)", w, real, prog, realRef, progRef)
+		}
+	}
+}
+
+func TestPlantedSpaceRangePartition(t *testing.T) {
+	// Walking the planted space in arbitrary contiguous pieces must
+	// reproduce the whole-space walk profile for profile: the property the
+	// exact shards rely on, across clique-block boundaries.
+	e := EnumeratePlantedGraphs(4, 2)
+	total := e.Len()
+	collect := func(lo, hi uint64) []string {
+		var out []string
+		e.Range(lo, hi, func(rows []bitvec.Vector) {
+			key := ""
+			for _, row := range rows {
+				key += row.String() + "|"
+			}
+			out = append(out, key)
+		})
+		return out
+	}
+	whole := collect(0, total)
+	if uint64(len(whole)) != total {
+		t.Fatalf("whole walk yielded %d of %d", len(whole), total)
+	}
+	for _, pieces := range []uint64{2, 3, 7, 64} {
+		var got []string
+		for p := uint64(0); p < pieces; p++ {
+			got = append(got, collect(total*p/pieces, total*(p+1)/pieces)...)
+		}
+		if len(got) != len(whole) {
+			t.Fatalf("pieces=%d: %d profiles, want %d", pieces, len(got), len(whole))
+		}
+		for i := range whole {
+			if got[i] != whole[i] {
+				t.Fatalf("pieces=%d: profile %d diverges", pieces, i)
+			}
+		}
+	}
+}
+
+func TestEachWalksWholeEnumeration(t *testing.T) {
+	e := EnumerateRandGraphs(3)
+	count := uint64(0)
+	Each(e, func([]bitvec.Vector) { count++ })
+	if count != e.Len() {
+		t.Fatalf("Each yielded %d of %d", count, e.Len())
+	}
+}

@@ -1,0 +1,115 @@
+// Package par is the tiny sharding substrate under the repository's
+// parallel measurement engines. It deliberately knows nothing about
+// distributions or protocols: it answers exactly two questions — how to
+// cut [0, n) into contiguous spans, and how to run one goroutine per span
+// and surface a deterministic error.
+//
+// Determinism contract. Everything that makes the parallel estimators
+// bit-identical across worker counts lives in the callers (per-sample
+// rng.Shard streams, integer count accumulators, merges in span order);
+// par's contribution is that Split is a pure function of (n, workers) and
+// Do reports the error of the lowest-index failing span, so even failures
+// are reproducible.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a requested worker count: values ≤ 0 select
+// runtime.GOMAXPROCS(0), anything else is returned unchanged. Callers pass
+// user- or config-supplied counts straight through.
+func Workers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// Span is a half-open shard [Lo, Hi) of a rank space.
+type Span struct {
+	Lo, Hi uint64
+}
+
+// Len returns the number of ranks in the span.
+func (s Span) Len() uint64 { return s.Hi - s.Lo }
+
+// Split cuts [0, n) into at most `workers` contiguous, non-empty,
+// near-equal spans covering it exactly; it returns fewer spans when
+// n < workers and none when n == 0. The cut points depend only on
+// (n, workers), so a fixed request always shards the same way.
+func Split(n uint64, workers int) []Span {
+	if n == 0 || workers < 1 {
+		return nil
+	}
+	w := uint64(workers)
+	if w > n {
+		w = n
+	}
+	spans := make([]Span, 0, w)
+	size, rem := n/w, n%w
+	lo := uint64(0)
+	for i := uint64(0); i < w; i++ {
+		hi := lo + size
+		if i < rem {
+			hi++
+		}
+		spans = append(spans, Span{Lo: lo, Hi: hi})
+		lo = hi
+	}
+	return spans
+}
+
+// Map is the sharded map step every parallel measurement engine shares:
+// it cuts [0, n) into Split(n, Workers(workers)) spans, runs fn once per
+// span on its own goroutine, and returns the per-span results in span
+// order — the order the engines' deterministic merges require. A failing
+// span discards all results and returns the error of the lowest-index
+// failure (Do's contract).
+func Map[T any](n uint64, workers int, fn func(s Span) (T, error)) ([]T, error) {
+	spans := Split(n, Workers(workers))
+	out := make([]T, len(spans))
+	err := Do(len(spans), func(i int) error {
+		v, err := fn(spans[i])
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Do runs fn(shard) for shard = 0..shards−1, each on its own goroutine,
+// and waits for all of them. When several shards fail it returns the error
+// of the lowest-numbered one — a deterministic choice — and discards the
+// rest. shards ≤ 1 runs inline on the calling goroutine, so sequential
+// callers pay no scheduling cost.
+func Do(shards int, fn func(shard int) error) error {
+	if shards <= 0 {
+		return nil
+	}
+	if shards == 1 {
+		return fn(0)
+	}
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			errs[s] = fn(s)
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSplitCoversExactly(t *testing.T) {
+	for _, n := range []uint64{0, 1, 2, 7, 8, 9, 1000, 1 << 20} {
+		for _, w := range []int{1, 2, 3, 8, 17} {
+			spans := Split(n, w)
+			if n == 0 {
+				if spans != nil {
+					t.Fatalf("Split(0, %d) = %v, want nil", w, spans)
+				}
+				continue
+			}
+			var total uint64
+			lo := uint64(0)
+			for _, s := range spans {
+				if s.Lo != lo {
+					t.Fatalf("Split(%d, %d): span starts at %d, want %d", n, w, s.Lo, lo)
+				}
+				if s.Len() == 0 {
+					t.Fatalf("Split(%d, %d): empty span", n, w)
+				}
+				total += s.Len()
+				lo = s.Hi
+			}
+			if total != n || lo != n {
+				t.Fatalf("Split(%d, %d) covers %d ranks ending at %d", n, w, total, lo)
+			}
+			if len(spans) > w {
+				t.Fatalf("Split(%d, %d) produced %d spans", n, w, len(spans))
+			}
+			// Near-equal: sizes differ by at most 1.
+			min, max := spans[0].Len(), spans[0].Len()
+			for _, s := range spans {
+				if s.Len() < min {
+					min = s.Len()
+				}
+				if s.Len() > max {
+					max = s.Len()
+				}
+			}
+			if max-min > 1 {
+				t.Fatalf("Split(%d, %d) span sizes range %d..%d", n, w, min, max)
+			}
+		}
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := Split(12345, 7)
+	b := Split(12345, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Split is not a pure function of its arguments")
+		}
+	}
+}
+
+func TestDoRunsEveryShard(t *testing.T) {
+	var ran int64
+	if err := Do(16, func(int) error {
+		atomic.AddInt64(&ran, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 16 {
+		t.Fatalf("ran %d shards, want 16", ran)
+	}
+}
+
+func TestDoReturnsLowestShardError(t *testing.T) {
+	wantErr := errors.New("shard 3 failed")
+	err := Do(8, func(s int) error {
+		if s >= 3 {
+			return fmt.Errorf("shard %d failed", s)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != wantErr.Error() {
+		t.Fatalf("Do returned %v, want %v", err, wantErr)
+	}
+}
+
+func TestDoSingleShardInline(t *testing.T) {
+	// shards == 1 must run on the calling goroutine; observable via a
+	// plain (non-atomic) write with no race flag complaints and immediate
+	// visibility.
+	hit := false
+	if err := Do(1, func(s int) error {
+		if s != 0 {
+			t.Fatalf("shard index %d", s)
+		}
+		hit = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("shard did not run")
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if Workers(4) != 4 {
+		t.Fatal("positive worker count rewritten")
+	}
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("non-positive worker count did not default to GOMAXPROCS")
+	}
+}
+
+func TestMapReturnsSpanOrderedResults(t *testing.T) {
+	got, err := Map(10, 3, func(s Span) (uint64, error) {
+		return s.Lo, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Split(10, 3)
+	if len(got) != len(want) {
+		t.Fatalf("Map returned %d results for %d spans", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i].Lo {
+			t.Fatalf("result %d = %d, want span lo %d", i, got[i], want[i].Lo)
+		}
+	}
+}
+
+func TestMapPropagatesError(t *testing.T) {
+	_, err := Map(8, 8, func(s Span) (int, error) {
+		if s.Lo >= 2 {
+			return 0, fmt.Errorf("span at %d failed", s.Lo)
+		}
+		return 1, nil
+	})
+	if err == nil || err.Error() != "span at 2 failed" {
+		t.Fatalf("Map error = %v, want lowest failing span's error", err)
+	}
+}
+
+func TestMapEmptyDomain(t *testing.T) {
+	got, err := Map(0, 4, func(Span) (int, error) { return 1, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Map over empty domain = (%v, %v)", got, err)
+	}
+}

@@ -56,6 +56,23 @@ func (r *Stream) Child() *Stream {
 	return New(r.Uint64())
 }
 
+// Shard returns the stream for shard `index` of the family identified by
+// `seed`. The derivation is pure — it depends only on (seed, index), never
+// on call order or on how many shards exist — which is what lets the
+// parallel Monte-Carlo estimators assign one stream per sample and stay
+// bit-identical for every worker count.
+//
+// Both the seed and the index are avalanched through splitmix64
+// independently before being combined, so neighbouring indices do not
+// yield overlapping splitmix sequences the way New(seed+index) would.
+func Shard(seed, index uint64) *Stream {
+	s := seed
+	base := SplitMix64(&s)
+	i := index
+	mix := SplitMix64(&i)
+	return New(base ^ mix)
+}
+
 // Uint64 returns the next 64 uniformly random bits.
 func (r *Stream) Uint64() uint64 {
 	s := &r.s

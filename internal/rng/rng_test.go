@@ -247,3 +247,56 @@ func BenchmarkSubset(b *testing.B) {
 		_ = r.Subset(1024, 16)
 	}
 }
+
+func TestShardDeterministic(t *testing.T) {
+	a := Shard(42, 7)
+	b := Shard(42, 7)
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Shard is not a pure function of (seed, index)")
+		}
+	}
+}
+
+func TestShardIndicesIndependent(t *testing.T) {
+	// Distinct indices of one seed must give streams that disagree
+	// immediately and share no obvious prefix overlap — the failure mode
+	// of deriving child seeds by seed+index without avalanching.
+	const seed = 2019
+	seen := make(map[uint64]uint64)
+	for idx := uint64(0); idx < 256; idx++ {
+		first := Shard(seed, idx).Uint64()
+		if prev, ok := seen[first]; ok {
+			t.Fatalf("shards %d and %d start with the same value", prev, idx)
+		}
+		seen[first] = idx
+	}
+}
+
+func TestShardDisjointFromSequentialWindows(t *testing.T) {
+	// Outputs of neighbouring shards must not be shifted copies of each
+	// other (the overlap New(seed+i) would exhibit through splitmix).
+	const seed, window = 99, 64
+	streams := make([][]uint64, 4)
+	for i := range streams {
+		s := Shard(seed, uint64(i))
+		for j := 0; j < window; j++ {
+			streams[i] = append(streams[i], s.Uint64())
+		}
+	}
+	for i := 0; i < len(streams); i++ {
+		for j := i + 1; j < len(streams); j++ {
+			matches := 0
+			for x := 0; x < window; x++ {
+				for y := 0; y < window; y++ {
+					if streams[i][x] == streams[j][y] {
+						matches++
+					}
+				}
+			}
+			if matches > 0 {
+				t.Fatalf("shards %d and %d share %d of %d outputs", i, j, matches, window)
+			}
+		}
+	}
+}
