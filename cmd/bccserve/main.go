@@ -1,0 +1,265 @@
+// Command bccserve serves the paper-reproduction tables over HTTP, on
+// top of the result store and the concurrent scheduler: cached tables
+// are answered straight from disk, misses are computed on demand (once —
+// concurrent identical requests share a single computation), and every
+// computed table is persisted so no (experiment, seed, quick) pair is
+// ever paid for twice.
+//
+// Endpoints:
+//
+//	GET /healthz
+//	    Liveness probe; returns {"status":"ok"}.
+//	GET /tables[?seed=N&quick=BOOL]
+//	    Lists every registry experiment with its title and whether the
+//	    table for the given parameters is already cached.
+//	GET /tables/{id}?seed=N&quick=BOOL&format=json|md
+//	    Returns one table: canonical JSON (default) or the markdown
+//	    view. The X-Cache response header says hit (served from the
+//	    store) or miss (computed for this request); X-Fingerprint names
+//	    the object.
+//	GET /stats
+//	    Store statistics (object count, bytes, hit/miss counters).
+//
+// Usage:
+//
+//	bccserve [-addr :8344] [-store DIR] [-seed N] [-quick] [-workers N]
+//	         [-parallel N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/sched"
+	"repro/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bccserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bccserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8344", "listen address")
+	storeDir := fs.String("store", "", "result-store directory (empty: in-memory dedup only, no persistence)")
+	seed := fs.Uint64("seed", 2019, "default seed when a request omits ?seed=")
+	quick := fs.Bool("quick", false, "default quick mode when a request omits ?quick=")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "total goroutine budget for on-demand computation")
+	parallel := fs.Int("parallel", 2, "experiments computed concurrently")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir); err != nil {
+			return err
+		}
+	}
+	// The scheduler's semaphore caps concurrent computations at
+	// -parallel; splitting the -workers budget across those slots keeps
+	// a fully loaded server at ~workers goroutines of measurement work.
+	// Clamp before dividing, mirroring sched.New's own floor.
+	if *parallel < 1 {
+		*parallel = 1
+	}
+	perWorkers := *workers / *parallel
+	if perWorkers < 1 {
+		perWorkers = 1
+	}
+	srv := &server{
+		sch:      sched.New(st, *parallel),
+		registry: experiments.All,
+		seed:     *seed,
+		quick:    *quick,
+		workers:  perWorkers,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The line is machine-readable so scripts (and the CI smoke leg) can
+	// wait for readiness and discover the bound port.
+	fmt.Fprintf(stdout, "bccserve listening on %s\n", ln.Addr())
+	return http.Serve(ln, srv.handler())
+}
+
+// server holds the wiring; the registry indirection keeps handlers
+// testable against synthetic experiments.
+type server struct {
+	sch      *sched.Scheduler
+	registry func() []experiments.Experiment
+	seed     uint64
+	quick    bool
+	workers  int
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /tables", s.handleList)
+	mux.HandleFunc("GET /tables/{id}", s.handleTable)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// params extracts seed/quick from the query, falling back to the server
+// defaults.
+func (s *server) params(r *http.Request) (experiments.Config, error) {
+	cfg := experiments.Config{Seed: s.seed, Quick: s.quick, Workers: s.workers}
+	q := r.URL.Query()
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return cfg, fmt.Errorf("bad seed %q", v)
+		}
+		cfg.Seed = seed
+	}
+	if v := q.Get("quick"); v != "" {
+		quick, err := strconv.ParseBool(v)
+		if err != nil {
+			return cfg, fmt.Errorf("bad quick %q", v)
+		}
+		cfg.Quick = quick
+	}
+	return cfg, nil
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// listEntry is one row of GET /tables.
+type listEntry struct {
+	ID          string `json:"id"`
+	Title       string `json:"title"`
+	Fingerprint string `json:"fingerprint"`
+	Cached      bool   `json:"cached"`
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	cfg, err := s.params(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var cached map[string]bool
+	if st := s.sch.Store(); st != nil {
+		cached = map[string]bool{}
+		// The advisory index is enough here: a stale "cached" flag only
+		// means the next table request recomputes and heals it.
+		if entries, err := st.Index(); err == nil {
+			for _, e := range entries {
+				cached[e.Fingerprint] = true
+			}
+		}
+	}
+	entries := []listEntry{}
+	for _, e := range s.registry() {
+		fp := cfg.Fingerprint(e.ID)
+		entries = append(entries, listEntry{
+			ID:          e.ID,
+			Title:       e.Title,
+			Fingerprint: fp,
+			Cached:      cached[fp],
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(entries)
+}
+
+func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var exp experiments.Experiment
+	found := false
+	for _, e := range s.registry() {
+		if e.ID == id {
+			exp, found = e, true
+			break
+		}
+	}
+	if !found {
+		httpError(w, http.StatusNotFound, "unknown experiment %q", id)
+		return
+	}
+	cfg, err := s.params(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "json"
+	}
+	if format != "json" && format != "md" {
+		httpError(w, http.StatusBadRequest, "unknown format %q (want json or md)", format)
+		return
+	}
+
+	table, out, err := s.sch.Table(exp, cfg)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "computing %s: %v", id, err)
+		return
+	}
+	// Encode before any header is committed so an encoding failure can
+	// still become a proper 500 instead of a silent empty 200.
+	var body []byte
+	contentType := "application/json"
+	if format == "md" {
+		var sb strings.Builder
+		table.Render(&sb)
+		body, contentType = []byte(sb.String()), "text/markdown; charset=utf-8"
+	} else {
+		canonical, err := table.CanonicalJSON()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "encoding %s: %v", id, err)
+			return
+		}
+		body = append(canonical, '\n')
+	}
+	cache := "miss"
+	if out.CacheHit {
+		cache = "hit"
+	}
+	w.Header().Set("X-Cache", cache)
+	w.Header().Set("X-Fingerprint", cfg.Fingerprint(id))
+	w.Header().Set("Content-Type", contentType)
+	w.Write(body)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	st := s.sch.Store()
+	if st == nil {
+		fmt.Fprintln(w, `{"store":null}`)
+		return
+	}
+	stats, err := st.Stats()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "reading store: %v", err)
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]any{"store": stats, "dir": st.Dir()})
+}

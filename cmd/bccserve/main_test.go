@@ -1,0 +1,249 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/result"
+	"repro/internal/sched"
+	"repro/internal/store"
+)
+
+// testServer wires a server over a temp store and a synthetic registry
+// whose single experiment counts its invocations.
+func testServer(t *testing.T, calls *atomic.Int64, block chan struct{}) *server {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &server{
+		sch: sched.New(st, 2),
+		registry: func() []experiments.Experiment {
+			return []experiments.Experiment{{
+				ID:    "EX",
+				Title: "synthetic experiment",
+				Run: func(cfg experiments.Config) (*experiments.Table, error) {
+					calls.Add(1)
+					if block != nil {
+						<-block
+					}
+					tab := &experiments.Table{ID: "EX", Title: "synthetic",
+						Claim: "c", Columns: []string{"seed", "quick"}, Shape: "holds"}
+					tab.AddRow(result.Int(int(cfg.Seed)), result.Bool(cfg.Quick))
+					return tab, nil
+				},
+			}}
+		},
+		seed:    2019,
+		quick:   true,
+		workers: 2,
+	}
+}
+
+func get(t *testing.T, h http.Handler, path string) (*http.Response, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	res := rec.Result()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, string(body)
+}
+
+func TestHealthz(t *testing.T) {
+	var calls atomic.Int64
+	h := testServer(t, &calls, nil).handler()
+	res, body := get(t, h, "/healthz")
+	if res.StatusCode != 200 || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("healthz: %d %q", res.StatusCode, body)
+	}
+}
+
+// TestTableMissThenHit is the serving contract: the first request
+// computes (X-Cache: miss), the second is served from the store with
+// zero recomputation (X-Cache: hit), and the bodies are byte-identical.
+func TestTableMissThenHit(t *testing.T) {
+	var calls atomic.Int64
+	h := testServer(t, &calls, nil).handler()
+
+	res1, body1 := get(t, h, "/tables/EX?seed=7")
+	if res1.StatusCode != 200 {
+		t.Fatalf("first request: %d %s", res1.StatusCode, body1)
+	}
+	if c := res1.Header.Get("X-Cache"); c != "miss" {
+		t.Fatalf("first request X-Cache = %q, want miss", c)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("first request made %d computations", calls.Load())
+	}
+
+	res2, body2 := get(t, h, "/tables/EX?seed=7")
+	if c := res2.Header.Get("X-Cache"); c != "hit" {
+		t.Fatalf("second request X-Cache = %q, want hit", c)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("cached request recomputed: %d calls", calls.Load())
+	}
+	if body1 != body2 {
+		t.Fatal("hit body differs from miss body")
+	}
+	tab, err := result.DecodeJSON(strings.NewReader(body2))
+	if err != nil {
+		t.Fatalf("body is not a canonical table: %v", err)
+	}
+	if tab.ID != "EX" || tab.Rows[0][0] != result.Int(7) {
+		t.Fatalf("served table wrong: %+v", tab)
+	}
+
+	// Distinct parameters are distinct fingerprints.
+	if res3, _ := get(t, h, "/tables/EX?seed=8"); res3.Header.Get("X-Cache") != "miss" {
+		t.Fatal("different seed served from cache")
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("different seed did not compute: %d calls", calls.Load())
+	}
+}
+
+// TestConcurrentRequestsSingleFlight races 6 identical requests against
+// a blocked experiment: exactly one computation runs and every response
+// carries the same table.
+func TestConcurrentRequestsSingleFlight(t *testing.T) {
+	var calls atomic.Int64
+	block := make(chan struct{})
+	h := testServer(t, &calls, block).handler()
+
+	const n = 6
+	bodies := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, bodies[i] = get(t, h, "/tables/EX?seed=1")
+		}(i)
+	}
+	// Let the requests pile onto the flight, then release the single
+	// computation. Any request arriving after completion is a store hit,
+	// so the call-count assertion holds for every interleaving.
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(block)
+	wg.Wait()
+
+	if calls.Load() != 1 {
+		t.Fatalf("%d computations for %d identical requests", calls.Load(), n)
+	}
+	for i := 1; i < n; i++ {
+		if bodies[i] != bodies[0] {
+			t.Fatalf("response %d differs", i)
+		}
+	}
+}
+
+func TestMarkdownFormat(t *testing.T) {
+	var calls atomic.Int64
+	h := testServer(t, &calls, nil).handler()
+	res, body := get(t, h, "/tables/EX?format=md")
+	if res.StatusCode != 200 || !strings.HasPrefix(body, "### EX — synthetic") {
+		t.Fatalf("markdown view wrong: %d %q", res.StatusCode, body)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/markdown") {
+		t.Fatalf("content type %q", ct)
+	}
+}
+
+func TestListShowsCachedState(t *testing.T) {
+	var calls atomic.Int64
+	h := testServer(t, &calls, nil).handler()
+
+	var entries []listEntry
+	_, body := get(t, h, "/tables")
+	if err := json.Unmarshal([]byte(body), &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].ID != "EX" || entries[0].Cached {
+		t.Fatalf("fresh list wrong: %+v", entries)
+	}
+
+	get(t, h, "/tables/EX") // populate (default params)
+	_, body = get(t, h, "/tables")
+	if err := json.Unmarshal([]byte(body), &entries); err != nil {
+		t.Fatal(err)
+	}
+	if !entries[0].Cached {
+		t.Fatalf("list does not show cached table: %+v", entries)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	var calls atomic.Int64
+	h := testServer(t, &calls, nil).handler()
+	for path, want := range map[string]int{
+		"/tables/NOPE":             404,
+		"/tables/EX?seed=banana":   400,
+		"/tables/EX?quick=perhaps": 400,
+		"/tables/EX?format=xml":    400,
+		"/tables?seed=banana":      400,
+	} {
+		if res, body := get(t, h, path); res.StatusCode != want {
+			t.Fatalf("%s: status %d (want %d): %s", path, res.StatusCode, want, body)
+		}
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("bad requests triggered %d computations", calls.Load())
+	}
+}
+
+func TestStats(t *testing.T) {
+	var calls atomic.Int64
+	h := testServer(t, &calls, nil).handler()
+	get(t, h, "/tables/EX")
+	_, body := get(t, h, "/stats")
+	var payload struct {
+		Store store.Stats `json:"store"`
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Store.Objects != 1 || payload.Store.Puts != 1 {
+		t.Fatalf("stats wrong: %+v", payload.Store)
+	}
+}
+
+// TestRealRegistrySmoke serves a real quick experiment end to end.
+func TestRealRegistrySmoke(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &server{sch: sched.New(st, 2), registry: experiments.All,
+		seed: 3, quick: true, workers: 2}
+	h := srv.handler()
+	res, body := get(t, h, "/tables/E13")
+	if res.StatusCode != 200 {
+		t.Fatalf("E13: %d %s", res.StatusCode, body)
+	}
+	tab, err := result.DecodeJSON(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "E13" || len(tab.Rows) == 0 {
+		t.Fatalf("served E13 malformed: %+v", tab)
+	}
+	if res, _ := get(t, h, "/tables/E13"); res.Header.Get("X-Cache") != "hit" {
+		t.Fatal("second E13 request was not a cache hit")
+	}
+}

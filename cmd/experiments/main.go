@@ -1,10 +1,19 @@
 // Command experiments regenerates the paper-reproduction tables
-// (E1..E17, the internal/experiments registry), printing each as
-// GitHub-flavoured markdown.
+// (E1..E18, the internal/experiments registry), printing each as
+// GitHub-flavoured markdown (default) or newline-delimited canonical
+// JSON (-format json, one table object per line — the schema served by
+// cmd/bccserve).
+//
+// With -store DIR the run goes through the content-addressed result
+// store: tables whose fingerprint (experiment id, seed, quick, schema
+// version) is already cached are served from disk without recomputing,
+// and fresh computations are persisted for every later run — including
+// the bccserve HTTP server pointed at the same directory.
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-workers N] [-only E7[,E8,...]] [-o FILE]
+//	experiments [-quick] [-seed N] [-workers N] [-only E7[,E8,...]]
+//	            [-format md|json] [-store DIR] [-o FILE]
 package main
 
 import (
@@ -16,7 +25,12 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/sched"
+	"repro/internal/store"
 )
+
+// registry is swapped by tests to count estimator invocations.
+var registry = experiments.All
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -32,9 +46,14 @@ func run(args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
 		"goroutine pool size for the measurement engines (tables are identical for any value)")
 	only := fs.String("only", "", "comma-separated experiment ids to run (default: all)")
+	format := fs.String("format", "md", "output format: md (markdown) or json (one canonical table per line)")
+	storeDir := fs.String("store", "", "result-store directory: serve cached tables and persist fresh ones")
 	outPath := fs.String("o", "", "write output to this file instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *format != "md" && *format != "json" {
+		return fmt.Errorf("unknown format %q (want md or json)", *format)
 	}
 
 	w := stdout
@@ -54,17 +73,32 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir); err != nil {
+			return err
+		}
+	}
+	scheduler := sched.New(st, 1)
+
 	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers}
 	ran := 0
-	for _, e := range experiments.All() {
+	for _, e := range registry() {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
-		table, err := e.Run(cfg)
+		table, _, err := scheduler.Table(e, cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		table.Render(w)
+		if *format == "json" {
+			if err := table.EncodeJSON(w); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+		} else {
+			table.Render(w)
+		}
 		ran++
 	}
 	if ran == 0 {

@@ -5,6 +5,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/result"
 )
 
 // cheapID returns the experiment the CLI tests exercise: the exact E5
@@ -79,5 +82,75 @@ func TestRunBadFlag(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-definitely-not-a-flag"}, &sb); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunBadFormat(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-format", "xml", "-only", cheapID()}, &sb); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestRunJSONFormat(t *testing.T) {
+	id := cheapID()
+	var sb strings.Builder
+	if err := run([]string{"-quick", "-seed", "3", "-only", id, "-format", "json"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	table, err := result.DecodeJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("output is not a canonical table: %v\n%s", err, sb.String())
+	}
+	if table.ID != id || len(table.Rows) == 0 {
+		t.Fatalf("decoded table malformed: id=%s rows=%d", table.ID, len(table.Rows))
+	}
+}
+
+// TestStoreSkipsRecompute swaps the registry for a counting experiment
+// and runs the CLI twice against one store directory: the second run
+// must perform zero estimator calls and still print the identical
+// table.
+func TestStoreSkipsRecompute(t *testing.T) {
+	calls := 0
+	registry = func() []experiments.Experiment {
+		return []experiments.Experiment{{
+			ID:    "EX",
+			Title: "synthetic",
+			Run: func(cfg experiments.Config) (*experiments.Table, error) {
+				calls++
+				tab := &experiments.Table{ID: "EX", Title: "synthetic",
+					Claim: "c", Columns: []string{"seed"}, Shape: "holds"}
+				tab.AddRow(result.Int(int(cfg.Seed)))
+				return tab, nil
+			},
+		}}
+	}
+	defer func() { registry = experiments.All }()
+
+	dir := t.TempDir()
+	var first, second strings.Builder
+	if err := run([]string{"-seed", "11", "-store", dir}, &first); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("first run made %d estimator calls, want 1", calls)
+	}
+	if err := run([]string{"-seed", "11", "-store", dir}, &second); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("second run recomputed: %d estimator calls, want 1", calls)
+	}
+	if first.String() != second.String() {
+		t.Fatal("cached rerun printed different bytes")
+	}
+	// A different seed misses and computes.
+	var third strings.Builder
+	if err := run([]string{"-seed", "12", "-store", dir}, &third); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("new seed did not compute: %d calls", calls)
 	}
 }

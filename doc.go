@@ -20,6 +20,12 @@
 //   - the average-case rank hardness and time-hierarchy protocols
 //     (Theorems 1.4 and 1.5) with Kolchin's rank-law constants;
 //   - Newman's theorem in BCAST(1) (Appendix A);
+//   - the result subsystem: typed experiment tables with a canonical
+//     JSON schema and fingerprint content addresses (internal/result), a
+//     corruption-tolerant on-disk compute-once cache (internal/store), a
+//     concurrent single-flight scheduler (internal/sched), and the
+//     bccserve HTTP API (cmd/bccserve) that serves cached tables and
+//     computes misses on demand;
 //   - substrate packages: GF(2) bit vectors and linear algebra
 //     (internal/bitvec, internal/f2), finite distributions with
 //     total-variation distance, string-interned integer-keyed variants,
@@ -32,8 +38,10 @@
 // The facade in repro.go re-exports the most commonly used entry points;
 // the full API lives in the internal packages, and the per-theorem
 // experiment harness is internal/experiments (its registry,
-// experiments.All, indexes E1..E17; driven by cmd/experiments and the
-// root benchmarks). ROADMAP.md tracks the system inventory and open
-// items; BENCH_DIST.json and BENCH_LOWERBOUND.json hold the performance
-// baselines for the hot measurement paths.
+// experiments.All, indexes E1..E18; driven by cmd/experiments, the
+// bccserve server, and the root benchmarks). README.md documents the
+// result schema, store layout, and serving endpoints; ROADMAP.md tracks
+// the system inventory and open items; BENCH_DIST.json and
+// BENCH_LOWERBOUND.json hold the performance baselines for the hot
+// measurement paths.
 package repro

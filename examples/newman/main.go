@@ -46,7 +46,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		gap, err := newman.SimulationGap(p, s, inputs, 4000, r)
+		gap, err := newman.SimulationGap(p, s, inputs, 4000, 0, r)
 		if err != nil {
 			return err
 		}

@@ -38,7 +38,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		rep, err := rankprot.MeasureAccuracy(p, trials, r)
+		rep, err := rankprot.MeasureAccuracy(p, trials, 0, r)
 		if err != nil {
 			return err
 		}

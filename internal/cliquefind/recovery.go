@@ -1,0 +1,88 @@
+package cliquefind
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// RecoveryReport summarizes repeated runs of the Appendix B protocol on
+// fresh planted instances.
+type RecoveryReport struct {
+	// Trials is the number of instances run.
+	Trials int
+	// Exact counts runs that recovered exactly the planted clique.
+	Exact int
+	// OverlapSum accumulates |recovered ∩ planted| over successful runs.
+	OverlapSum int
+	// Rounds is the protocol's round count at these parameters.
+	Rounds int
+}
+
+// ExactRate returns the exact-recovery frequency.
+func (r RecoveryReport) ExactRate() float64 {
+	return float64(r.Exact) / float64(r.Trials)
+}
+
+// MeanOverlap returns the average planted-clique overlap per trial.
+func (r RecoveryReport) MeanOverlap() float64 {
+	return float64(r.OverlapSum) / float64(r.Trials)
+}
+
+// MeasureRecovery runs the Appendix B sampling protocol on `trials`
+// fresh planted (n, k) instances, fanning trials out over `workers`
+// goroutines (≤ 0 means GOMAXPROCS). Trial i draws its instance and its
+// activation coins from the dedicated stream rng.Shard(base, i), where
+// base is the single value consumed from r — so the report is
+// bit-identical for every worker count. Each trial runs its own protocol
+// instance: SampleAndSolve carries per-execution blackboard state and
+// must not be shared across concurrent runs.
+func MeasureRecovery(n, k, trials, workers int, r *rng.Stream) (RecoveryReport, error) {
+	rep := RecoveryReport{Trials: trials}
+	if trials <= 0 {
+		return rep, fmt.Errorf("cliquefind: MeasureRecovery needs trials > 0, got %d", trials)
+	}
+	probe, err := NewSampleAndSolve(n, k)
+	if err != nil {
+		return rep, err
+	}
+	rep.Rounds = probe.Rounds()
+
+	base := r.Uint64()
+	type tally struct{ exact, overlap int }
+	shards, err := par.Map(uint64(trials), workers, func(sp par.Span) (tally, error) {
+		var t tally
+		for i := sp.Lo; i < sp.Hi; i++ {
+			sr := rng.Shard(base, i)
+			p, err := NewSampleAndSolve(n, k)
+			if err != nil {
+				return t, err
+			}
+			g, clique, err := graph.SamplePlanted(n, k, sr)
+			if err != nil {
+				return t, err
+			}
+			got, ok, err := RunOnGraph(p, g, sr.Uint64())
+			if err != nil {
+				return t, err
+			}
+			if ok && SameSet(got, clique) {
+				t.exact++
+			}
+			if ok {
+				t.overlap += Overlap(got, clique)
+			}
+		}
+		return t, nil
+	})
+	if err != nil {
+		return rep, err
+	}
+	for _, t := range shards {
+		rep.Exact += t.exact
+		rep.OverlapSum += t.overlap
+	}
+	return rep, nil
+}

@@ -1,0 +1,62 @@
+package cliquefind
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestMeasureRecoveryRecovers checks the Appendix B protocol still
+// recovers near-certainly through the sharded harness.
+func TestMeasureRecoveryRecovers(t *testing.T) {
+	r := rng.New(11)
+	rep, err := MeasureRecovery(96, 48, 8, 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trials != 8 || rep.Rounds <= 0 {
+		t.Fatalf("report malformed: %+v", rep)
+	}
+	if rep.ExactRate() < 0.8 {
+		t.Fatalf("exact recovery rate %v below 0.8 at (96, 48)", rep.ExactRate())
+	}
+	if rep.MeanOverlap() < 40 {
+		t.Fatalf("mean overlap %v too small", rep.MeanOverlap())
+	}
+}
+
+// TestMeasureRecoveryByteIdenticalAcrossWorkers: the report is a pure
+// function of (seed, trials) whatever the pool size, and the caller's
+// stream advances by exactly one draw.
+func TestMeasureRecoveryByteIdenticalAcrossWorkers(t *testing.T) {
+	var ref RecoveryReport
+	var refNext uint64
+	for i, w := range []int{1, 3, runtime.GOMAXPROCS(0)} {
+		r := rng.New(5)
+		rep, err := MeasureRecovery(64, 32, 9, w, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := r.Uint64()
+		if i == 0 {
+			ref, refNext = rep, next
+			continue
+		}
+		if rep != ref {
+			t.Fatalf("workers=%d: report %+v, workers=1 gave %+v", w, rep, ref)
+		}
+		if next != refNext {
+			t.Fatalf("workers=%d: caller stream advanced differently", w)
+		}
+	}
+}
+
+func TestMeasureRecoveryRejectsBadTrials(t *testing.T) {
+	if _, err := MeasureRecovery(64, 32, 0, 1, rng.New(1)); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+	if _, err := MeasureRecovery(1, 9, 4, 1, rng.New(1)); err == nil {
+		t.Fatal("invalid (n, k) accepted")
+	}
+}

@@ -211,3 +211,67 @@ func MeasureAttack(a Attack, samplePRG, sampleUniform func(r *rng.Stream) ([]bit
 	rep.AcceptUniform = float64(okUni) / float64(trials)
 	return rep, nil
 }
+
+// PrefixRank stacks the first j coordinates of each string and returns
+// the GF(2) rank — the statistic whose distribution snaps from
+// "indistinguishable" to "always separating" as j crosses the seed
+// length (Theorems 1.3 and 8.1 are tight at j = k).
+func PrefixRank(rows []bitvec.Vector, j int) (int, error) {
+	rs := make([]bitvec.Vector, len(rows))
+	for i, row := range rows {
+		if row.Len() < j {
+			return 0, fmt.Errorf("core: row %d has %d bits, want ≥ %d", i, row.Len(), j)
+		}
+		rs[i] = row.Slice(0, j)
+	}
+	m, err := f2.FromRows(rs)
+	if err != nil {
+		return 0, err
+	}
+	return m.Rank(), nil
+}
+
+// MeasureRankCrossover estimates how often the j-column prefix-rank
+// statistic separates a fresh PRG output set from fresh uniform inputs —
+// the E14 ablation pinning the Θ(k) security threshold. Trials fan out
+// over `workers` goroutines (≤ 0 means GOMAXPROCS), trial i drawing both
+// sample sets from its own rng.Shard(base, i) stream, so the rate is
+// bit-identical for every worker count and r advances by exactly one
+// draw.
+func MeasureRankCrossover(gen FullPRG, n, j, trials, workers int, r *rng.Stream) (float64, error) {
+	if trials <= 0 {
+		return 0, fmt.Errorf("core: MeasureRankCrossover needs trials > 0, got %d", trials)
+	}
+	base := r.Uint64()
+	shards, err := par.Map(uint64(trials), workers, func(sp par.Span) (int, error) {
+		hits := 0
+		for i := sp.Lo; i < sp.Hi; i++ {
+			sr := rng.Shard(base, i)
+			outs, _, err := gen.Generate(n, sr)
+			if err != nil {
+				return 0, err
+			}
+			uni := UniformInputs(n, gen.M, sr)
+			prgRank, err := PrefixRank(outs, j)
+			if err != nil {
+				return 0, err
+			}
+			uniRank, err := PrefixRank(uni, j)
+			if err != nil {
+				return 0, err
+			}
+			if prgRank != uniRank {
+				hits++
+			}
+		}
+		return hits, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	hits := 0
+	for _, h := range shards {
+		hits += h
+	}
+	return float64(hits) / float64(trials), nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/bcast"
@@ -220,5 +221,57 @@ func TestSeedCrossoverShape(t *testing.T) {
 	}
 	if above < 45 {
 		t.Fatalf("rank statistic distinguished only %d/50 times above the crossover", above)
+	}
+}
+
+// TestMeasureRankCrossoverSharpTransition: zero separation at j = k,
+// full separation at j = k+1 — the E14 statistic through the sharded
+// harness.
+func TestMeasureRankCrossoverSharpTransition(t *testing.T) {
+	gen := FullPRG{K: 6, M: 18}
+	r := rng.New(41)
+	below, err := MeasureRankCrossover(gen, 32, 6, 30, 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	above, err := MeasureRankCrossover(gen, 32, 7, 30, 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if below > 0.2 {
+		t.Fatalf("distinguish rate %v at j = k, want ≈ 0", below)
+	}
+	if above < 0.8 {
+		t.Fatalf("distinguish rate %v at j = k+1, want ≈ 1", above)
+	}
+}
+
+func TestMeasureRankCrossoverByteIdenticalAcrossWorkers(t *testing.T) {
+	gen := FullPRG{K: 5, M: 15}
+	ref := -1.0
+	var refNext uint64
+	for _, w := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		r := rng.New(13)
+		rate, err := MeasureRankCrossover(gen, 24, 6, 40, w, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := r.Uint64()
+		if ref < 0 {
+			ref, refNext = rate, next
+			continue
+		}
+		if rate != ref {
+			t.Fatalf("workers=%d: rate %v, workers=1 gave %v", w, rate, ref)
+		}
+		if next != refNext {
+			t.Fatalf("workers=%d: caller stream advanced differently", w)
+		}
+	}
+}
+
+func TestMeasureRankCrossoverRejectsBadTrials(t *testing.T) {
+	if _, err := MeasureRankCrossover(FullPRG{K: 4, M: 12}, 8, 4, 0, 1, rng.New(1)); err == nil {
+		t.Fatal("zero trials accepted")
 	}
 }

@@ -309,6 +309,21 @@ func (d *IntDist) Finite() *Finite {
 	return f
 }
 
+// IntDistOf re-keys a string-keyed distribution onto an interner,
+// walking the cached sorted support so the id assignment (and therefore
+// the summation order of any later IntTV) is a pure function of the
+// distribution's content, never of construction order. It is the bridge
+// that lets a Finite reference join the dense comparison path: intern
+// the reference first, build the other side over the same interner, and
+// IntTV replaces the sorted-merge TV.
+func IntDistOf(f *Finite, in *Interner) *IntDist {
+	d := NewIntDist(in)
+	for _, key := range f.Support() {
+		d.AddKey(key, f.Prob(key))
+	}
+	return d
+}
+
 // IntTV returns the total-variation distance ½ Σ_x |a(x) − b(x)| between
 // two distributions keyed by the SAME interner (it panics otherwise —
 // dense ids are only comparable within one symbol table).

@@ -247,3 +247,47 @@ func TestIntDistAddRejectsBadMass(t *testing.T) {
 	}()
 	NewIntDist(NewInterner()).AddKey("x", -0.5)
 }
+
+// TestIntDistOf: re-keying a Finite onto an interner preserves every
+// mass, assigns ids in sorted-support order (a pure function of
+// content, not construction order), and reproduces the sorted-merge TV
+// exactly on dyadic masses.
+func TestIntDistOf(t *testing.T) {
+	a := NewFinite()
+	// Deliberately inserted out of sorted order.
+	a.Add("c", 8.0/16)
+	a.Add("a", 5.0/16)
+	a.Add("b", 3.0/16)
+
+	in := NewInterner()
+	ai := IntDistOf(a, in)
+	for i, want := range []string{"a", "b", "c"} {
+		if in.Key(uint32(i)) != want {
+			t.Fatalf("id %d = %q, want sorted-support order", i, in.Key(uint32(i)))
+		}
+	}
+	for _, key := range a.Support() {
+		if ai.ProbKey(key) != a.Prob(key) {
+			t.Fatalf("mass on %q changed: %v vs %v", key, ai.ProbKey(key), a.Prob(key))
+		}
+	}
+
+	b := NewFinite()
+	b.Add("b", 6.0/16)
+	b.Add("d", 10.0/16)
+	bi := IntDistOf(b, in)
+	if got, want := IntTV(ai, bi), TV(a, b); got != want {
+		t.Fatalf("IntTV over re-keyed dists = %v, sorted-merge TV = %v", got, want)
+	}
+
+	// Construction order must not leak into the ids: re-keying a clone
+	// onto a fresh interner lays out a's keys identically.
+	in2 := NewInterner()
+	IntDistOf(a.Clone(), in2)
+	for i := 0; i < in2.Len(); i++ {
+		if in2.Key(uint32(i)) != in.Key(uint32(i)) {
+			t.Fatalf("clone interner layout differs at id %d: %q vs %q",
+				i, in2.Key(uint32(i)), in.Key(uint32(i)))
+		}
+	}
+}

@@ -1,12 +1,11 @@
 package experiments
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/cliquefind"
-	"repro/internal/graph"
 	"repro/internal/lowerbound"
+	"repro/internal/result"
 	"repro/internal/rng"
 )
 
@@ -47,8 +46,9 @@ func E3OneRoundPlantedClique(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			t.AddRow(d(n), d(c.k), c.regime, deg.Name(), f(rep.Advantage()),
-				f(lowerbound.Theorem16Bound(n, c.k)))
+			t.AddRow(d(n), d(c.k), s(c.regime), s(deg.Name()),
+				f(rep.Advantage()).WithErr(1/math.Sqrt(float64(trials))),
+				f(lowerbound.Theorem16Bound(n, c.k)).WithBound(result.BoundUpper))
 			switch c.regime {
 			case "n^{1/4} (hard)":
 				if rep.Advantage() > 0.35 {
@@ -70,7 +70,8 @@ func E3OneRoundPlantedClique(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(d(n), d(kEasy), "control", par.Name(), f(rep.Advantage()), "0 (exact)")
+		t.AddRow(d(n), d(kEasy), s("control"), s(par.Name()),
+			f(rep.Advantage()).WithErr(1/math.Sqrt(float64(trials))), s("0 (exact)"))
 	}
 	if shapeOK {
 		t.Shape = "holds: blind at n^{1/4}, near-perfect at 3√(n·ln n); parity control at noise level"
@@ -101,7 +102,8 @@ func E4MultiRoundPlantedClique(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(d(n), d(k), d(j), f(rep.Advantage()), f(lowerbound.Theorem41Bound(n, k, j)))
+		t.AddRow(d(n), d(k), d(j), f(rep.Advantage()).WithErr(1/math.Sqrt(float64(trials))),
+			f(lowerbound.Theorem41Bound(n, k, j)).WithBound(result.BoundUpper))
 		if rep.Advantage() < prev-0.25 {
 			monotone = false
 		}
@@ -132,35 +134,17 @@ func E12CliqueRecovery(cfg Config) (*Table, error) {
 	}
 	shapeOK := true
 	for _, c := range cases {
-		p, err := cliquefind.NewSampleAndSolve(c.n, c.k)
+		rep, err := cliquefind.MeasureRecovery(c.n, c.k, trials, cfg.workers(), r)
 		if err != nil {
 			return nil, err
 		}
-		exact, overlapSum := 0, 0
-		for i := 0; i < trials; i++ {
-			g, clique, err := graph.SamplePlanted(c.n, c.k, r)
-			if err != nil {
-				return nil, err
-			}
-			got, ok, err := cliquefind.RunOnGraph(p, g, r.Uint64())
-			if err != nil {
-				return nil, err
-			}
-			if ok && cliquefind.SameSet(got, clique) {
-				exact++
-			}
-			if ok {
-				overlapSum += cliquefind.Overlap(got, clique)
-			}
-		}
-		rate := float64(exact) / float64(trials)
 		lg := math.Log2(float64(c.n))
 		budget := 2 * float64(c.n) * lg * lg / float64(c.k)
-		if rate < 0.8 {
+		if rep.ExactRate() < 0.8 {
 			shapeOK = false
 		}
-		t.AddRow(d(c.n), d(c.k), d(p.Rounds()), f(budget), d(trials), f(rate),
-			fmt.Sprintf("%.2f", float64(overlapSum)/float64(trials)))
+		t.AddRow(d(c.n), d(c.k), d(rep.Rounds), f(budget).WithBound(result.BoundUpper),
+			d(trials), f(rep.ExactRate()), fp(rep.MeanOverlap(), 2))
 	}
 	if shapeOK {
 		t.Shape = "holds: near-certain exact recovery; rounds track 2n·log²n/k and fall as k grows"

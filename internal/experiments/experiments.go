@@ -7,10 +7,9 @@
 package experiments
 
 import (
-	"fmt"
-	"io"
 	"runtime"
-	"strings"
+
+	"repro/internal/result"
 )
 
 // Config controls experiment scale and reproducibility.
@@ -48,45 +47,24 @@ func (c Config) trials(full int) int {
 	return full
 }
 
-// Table is one experiment's rendered result.
-type Table struct {
-	// ID is the experiment id (E1..E14).
-	ID string
-	// Title names the reproduced statement.
-	Title string
-	// Claim restates what the paper asserts.
-	Claim string
-	// Columns are the header cells.
-	Columns []string
-	// Rows are the data cells (already formatted).
-	Rows [][]string
-	// Shape states the qualitative property that must hold and whether it
-	// did.
-	Shape string
+// Table is one experiment's typed result: rows of result.Cell values
+// whose markdown view (Render) matches the historical string tables byte
+// for byte, and whose canonical JSON view feeds the store and the
+// serving API. The alias keeps the whole harness on the shared model in
+// internal/result.
+type Table = result.Table
+
+// Params returns the subset of the configuration that determines table
+// content — the fingerprint identity. Workers is excluded: tables are
+// bit-identical for every worker count.
+func (c Config) Params() result.Params {
+	return result.Params{Seed: c.Seed, Quick: c.Quick}
 }
 
-// AddRow appends a formatted row.
-func (t *Table) AddRow(cells ...string) {
-	t.Rows = append(t.Rows, cells)
-}
-
-// Render writes the table as GitHub-flavoured markdown.
-func (t *Table) Render(w io.Writer) {
-	fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title)
-	fmt.Fprintf(w, "Paper claim: %s\n\n", t.Claim)
-	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | "))
-	seps := make([]string, len(t.Columns))
-	for i := range seps {
-		seps[i] = "---"
-	}
-	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
-	for _, row := range t.Rows {
-		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
-	}
-	if t.Shape != "" {
-		fmt.Fprintf(w, "\nShape: %s\n", t.Shape)
-	}
-	fmt.Fprintln(w)
+// Fingerprint returns the content address of experiment id's table under
+// this configuration at the current schema version.
+func (c Config) Fingerprint(id string) string {
+	return result.Fingerprint(id, c.Params(), result.SchemaVersion)
 }
 
 // Experiment pairs an id with its runner.
@@ -119,11 +97,34 @@ func All() []Experiment {
 		{ID: "E15", Title: "Lemmas 4.3/4.4 and Claim 3 (conditioned domains)", Run: E15RestrictedLemmas},
 		{ID: "E16", Title: "BCAST(1) vs BCAST(log n) exchange rate", Run: E16WideMessages},
 		{ID: "E17", Title: "Discussion workloads: connectivity, triangles", Run: E17DiscussionProblems},
+		{ID: "E18", Title: "Exact n = 5 planted-clique lower-bound tables", Run: E18ExactLowerBound},
 	}
 }
 
-// f formats a float compactly for table cells.
-func f(v float64) string { return fmt.Sprintf("%.4f", v) }
+// ByID returns the registry entry with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
 
-// d formats an int.
-func d(v int) string { return fmt.Sprintf("%d", v) }
+// f builds a float cell with the harness' default 4-decimal precision.
+func f(v float64) result.Cell { return result.Float(v) }
+
+// fp builds a float cell with explicit precision.
+func fp(v float64, prec int) result.Cell { return result.FloatPrec(v, prec) }
+
+// d builds an int cell.
+func d(v int) result.Cell { return result.Int(v) }
+
+// s builds a string cell.
+func s(v string) result.Cell { return result.Str(v) }
+
+// sf builds a string cell from a format string.
+func sf(format string, args ...any) result.Cell { return result.Strf(format, args...) }
+
+// boolCell builds a yes/NO verdict cell.
+func boolCell(b bool) result.Cell { return result.Bool(b) }

@@ -13,7 +13,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 	cfg := Config{Seed: 7, Quick: true}
 	// The exhaustive-enumeration experiments dominate the race-detector
 	// run; skip them under -short so CI stays within time limits.
-	exhaustive := map[string]bool{"E5": true, "E12": true}
+	exhaustive := map[string]bool{"E5": true, "E12": true, "E18": true}
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
@@ -62,9 +62,12 @@ func TestExperimentsDeterministicGivenSeed(t *testing.T) {
 	for i := range a.Rows {
 		for j := range a.Rows[i] {
 			if a.Rows[i][j] != b.Rows[i][j] {
-				t.Fatalf("cell (%d,%d) differs: %q vs %q", i, j, a.Rows[i][j], b.Rows[i][j])
+				t.Fatalf("cell (%d,%d) differs: %+v vs %+v", i, j, a.Rows[i][j], b.Rows[i][j])
 			}
 		}
+	}
+	if !a.Equal(b) {
+		t.Fatal("canonical encodings differ between identical runs")
 	}
 }
 
@@ -76,7 +79,7 @@ func TestTableRender(t *testing.T) {
 		Columns: []string{"a", "b"},
 		Shape:   "holds",
 	}
-	table.AddRow("1", "2")
+	table.AddRow(d(1), d(2))
 	var sb strings.Builder
 	table.Render(&sb)
 	out := sb.String()
@@ -109,9 +112,29 @@ func TestRegistryComplete(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"} {
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"} {
 		if !ids[want] {
 			t.Fatalf("experiment %s missing from registry", want)
 		}
+		e, ok := ByID(want)
+		if !ok || e.ID != want {
+			t.Fatalf("ByID(%s) = (%v, %v)", want, e.ID, ok)
+		}
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("ByID accepted an unknown id")
+	}
+}
+
+func TestFingerprintTracksParams(t *testing.T) {
+	base := (Config{Seed: 1}).Fingerprint("E3")
+	if (Config{Seed: 1, Workers: 8}).Fingerprint("E3") != base {
+		t.Fatal("worker count changed the fingerprint — it must not fragment the cache")
+	}
+	if (Config{Seed: 2}).Fingerprint("E3") == base {
+		t.Fatal("seed did not change the fingerprint")
+	}
+	if (Config{Seed: 1, Quick: true}).Fingerprint("E3") == base {
+		t.Fatal("quick mode did not change the fingerprint")
 	}
 }

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/cliquefind"
@@ -9,6 +8,7 @@ import (
 	"repro/internal/frontier"
 	"repro/internal/graph"
 	"repro/internal/lowerbound"
+	"repro/internal/result"
 	"repro/internal/rng"
 )
 
@@ -48,7 +48,8 @@ func E15RestrictedLemmas(cfg Config) (*Table, error) {
 		bound44 := 2*deficit/float64(n) + 10*math.Sqrt((deficit+1)/float64(n))
 		ok44 := mean44 <= bound44
 		shapeOK = shapeOK && ok44
-		t.AddRow(d(n), "Lemma 4.4 E_i||·||", f(density), f(mean44), f(bound44), boolCell(ok44))
+		t.AddRow(d(n), s("Lemma 4.4 E_i||·||"), f(density), f(mean44),
+			f(bound44).WithBound(result.BoundUpper), boolCell(ok44))
 
 		// Lemma 4.3 with k = 2.
 		const k = 2
@@ -61,8 +62,8 @@ func E15RestrictedLemmas(cfg Config) (*Table, error) {
 		bound43 := 12 * float64(k) * math.Sqrt((deficit+1)/float64(n))
 		ok43 := mean43 <= bound43
 		shapeOK = shapeOK && ok43
-		t.AddRow(d(n), fmt.Sprintf("Lemma 4.3 E_C||·|| (k=%d)", k), f(density),
-			f(mean43), f(bound43), boolCell(ok43))
+		t.AddRow(d(n), sf("Lemma 4.3 E_C||·|| (k=%d)", k), f(density),
+			f(mean43), f(bound43).WithBound(result.BoundUpper), boolCell(ok43))
 
 		// Claim 3 walk with ℓ = 3.
 		const ell = 3
@@ -73,8 +74,8 @@ func E15RestrictedLemmas(cfg Config) (*Table, error) {
 		boundC3 := 5 * lowerbound.Claim3Bound(n, ell, stats.StartGap)
 		okC3 := stats.ExceedRate <= math.Max(boundC3, 0.05)
 		shapeOK = shapeOK && okC3
-		t.AddRow(d(n), fmt.Sprintf("Claim 3 P[Z>3t] (ℓ=%d, t=%.2f)", ell, stats.StartGap),
-			f(density), f(stats.ExceedRate), f(boundC3), boolCell(okC3))
+		t.AddRow(d(n), sf("Claim 3 P[Z>3t] (ℓ=%d, t=%.2f)", ell, stats.StartGap),
+			f(density), f(stats.ExceedRate), f(boundC3).WithBound(result.BoundUpper), boolCell(okC3))
 	}
 	if shapeOK {
 		t.Shape = "holds: all three conditioned-domain bounds satisfied on random large domains"
@@ -130,7 +131,7 @@ func E16WideMessages(cfg Config) (*Table, error) {
 		}
 		match := math.Abs(wide-narrow) <= 0.3
 		shapeOK = shapeOK && match
-		t.AddRow(d(c.n), d(c.k), "degree detector (1 wide vs log n narrow rounds)",
+		t.AddRow(d(c.n), d(c.k), s("degree detector (1 wide vs log n narrow rounds)"),
 			f(wide), f(narrow), boolCell(match))
 	}
 	// Full-exchange round budgets.
@@ -141,9 +142,9 @@ func E16WideMessages(cfg Config) (*Table, error) {
 		lg := math.Ceil(math.Log2(float64(n)))
 		match := math.Abs(ratio-lg) <= 1.5
 		shapeOK = shapeOK && match
-		t.AddRow(d(n), "-", "full graph exchange rounds",
+		t.AddRow(d(n), s("-"), s("full graph exchange rounds"),
 			d(wideP.Rounds()), d(narrowP.Rounds()),
-			fmt.Sprintf("ratio %.1f ≈ log n = %.0f (%s)", ratio, lg, boolCell(match)))
+			sf("ratio %.1f ≈ log n = %.0f (%s)", ratio, lg, boolCell(match)))
 	}
 	if shapeOK {
 		t.Shape = "holds: equal power at a log n round exchange rate"
@@ -183,7 +184,7 @@ func E17DiscussionProblems(cfg Config) (*Table, error) {
 		}
 	}
 	shapeOK = shapeOK && denseOK
-	t.AddRow("connectivity", d(n), "G(n,0.3), 8 rounds", boolCell(denseOK), "correct (diameter ≈ 2)")
+	t.AddRow(s("connectivity"), d(n), s("G(n,0.3), 8 rounds"), boolCell(denseOK), s("correct (diameter ≈ 2)"))
 
 	path := graph.PathGraph(16)
 	shortVerdict, err := frontier.RunConnectivity(path, 3, 1)
@@ -196,8 +197,8 @@ func E17DiscussionProblems(cfg Config) (*Table, error) {
 	}
 	pathOK := !shortVerdict && longVerdict
 	shapeOK = shapeOK && pathOK
-	t.AddRow("connectivity", "16", "path, 3 vs 16 rounds",
-		fmt.Sprintf("3r:%v 16r:%v", shortVerdict, longVerdict), "false then true (needs diameter rounds)")
+	t.AddRow(s("connectivity"), s("16"), s("path, 3 vs 16 rounds"),
+		sf("3r:%v 16r:%v", shortVerdict, longVerdict), s("false then true (needs diameter rounds)"))
 
 	// Triangle counting on planted inputs.
 	for _, c := range []struct {
@@ -221,7 +222,7 @@ func E17DiscussionProblems(cfg Config) (*Table, error) {
 		if c.strong {
 			want = "advantage ≈ 1"
 		}
-		t.AddRow("triangle counting", d(n), c.regime, f(adv), want)
+		t.AddRow(s("triangle counting"), d(n), s(c.regime), f(adv), s(want))
 	}
 
 	// MST on a complete graph with random weights (Borůvka in the clique).
@@ -239,9 +240,9 @@ func E17DiscussionProblems(cfg Config) (*Table, error) {
 		mstOK = tree[i] == ref[i]
 	}
 	shapeOK = shapeOK && mstOK
-	t.AddRow("MST (Borůvka)", "48", fmt.Sprintf("%d rounds, width %d",
+	t.AddRow(s("MST (Borůvka)"), s("48"), sf("%d rounds, width %d",
 		frontier.NewMST(wc).Rounds(), frontier.NewMST(wc).MessageBits()),
-		boolCell(mstOK), "tree equals Prim's (log n rounds)")
+		boolCell(mstOK), s("tree equals Prim's (log n rounds)"))
 
 	// Stochastic block model communities.
 	for _, c := range []struct {
@@ -266,7 +267,7 @@ func E17DiscussionProblems(cfg Config) (*Table, error) {
 		if c.strong {
 			want = "advantage ≈ 1"
 		}
-		t.AddRow("SBM communities", d(n), c.regime, f(adv), want)
+		t.AddRow(s("SBM communities"), d(n), s(c.regime), f(adv), s(want))
 	}
 	if shapeOK {
 		t.Shape = "holds: connectivity tracks diameter; triangle statistic mirrors the planted-clique thresholds"

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"math"
 	"math/bits"
 
@@ -9,6 +8,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/fourier"
 	"repro/internal/lowerbound"
+	"repro/internal/result"
 	"repro/internal/rng"
 )
 
@@ -42,7 +42,8 @@ func E1SingleBitLemma(cfg Config) (*Table, error) {
 		if max > bound {
 			violated = true
 		}
-		t.AddRow(d(n), d(funcs), f(mean), f(max), f(bound), f(mean*math.Sqrt(float64(n))))
+		t.AddRow(d(n), d(funcs), f(mean), f(max),
+			f(bound).WithBound(result.BoundUpper), f(mean*math.Sqrt(float64(n))))
 	}
 	if violated {
 		t.Shape = "VIOLATION: some function exceeded the 2/√n bound"
@@ -78,7 +79,7 @@ func E2CliqueRestriction(cfg Config) (*Table, error) {
 			if mean > bound {
 				violated = true
 			}
-			t.AddRow(d(n), d(k), d(funcs), f(mean), f(bound),
+			t.AddRow(d(n), d(k), d(funcs), f(mean), f(bound).WithBound(result.BoundUpper),
 				f(mean*math.Sqrt(float64(n))/float64(k)))
 		}
 	}
@@ -122,7 +123,7 @@ func E5FourierLemma(cfg Config) (*Table, error) {
 			if lhs > rhs+1e-9 {
 				violated = true
 			}
-			t.AddRow(d(k), name, fmt.Sprintf("%.6f", lhs), fmt.Sprintf("%.6f", rhs), fmt.Sprintf("%.6f", rhs-lhs))
+			t.AddRow(d(k), s(name), fp(lhs, 6), fp(rhs, 6).WithBound(result.BoundUpper), fp(rhs-lhs, 6))
 		}
 	}
 	if violated {
@@ -159,8 +160,8 @@ func E13SupportConcentration(cfg Config) (*Table, error) {
 			if meanDev > scale {
 				shapeOK = false
 			}
-			t.AddRow(d(k), f(density), d(nd), fmt.Sprintf("%.5f", meanDev),
-				fmt.Sprintf("%.5f", maxDev), fmt.Sprintf("%.5f", scale))
+			t.AddRow(d(k), f(density), d(nd), fp(meanDev, 5),
+				fp(maxDev, 5), fp(scale, 5).WithBound(result.BoundUpper))
 		}
 	}
 	if shapeOK {

@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-
 	"repro/internal/bitvec"
 	"repro/internal/newman"
 	"repro/internal/rng"
@@ -43,7 +41,7 @@ func E11Newman(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		gap, err := newman.SimulationGap(p, s, inputs, trials, r)
+		gap, err := newman.SimulationGap(p, s, inputs, trials, cfg.workers(), r)
 		if err != nil {
 			return nil, err
 		}
@@ -67,7 +65,7 @@ func E11Newman(cfg Config) (*Table, error) {
 		}
 		prev = gap
 		t.AddRow(d(paletteSize), d(s.PublicBitsNeeded()), d(p.PublicBits()),
-			f(gap), fmt.Sprintf("catch rate %.3f (%s)", catchRate, boolCell(soundnessOK)))
+			f(gap), sf("catch rate %.3f (%s)", catchRate, boolCell(soundnessOK)))
 	}
 	if shapeOK {
 		t.Shape = "holds: ε shrinks as the palette grows while coins grow only logarithmically"

@@ -4,8 +4,8 @@ import (
 	"repro/internal/bcast"
 	"repro/internal/bitvec"
 	"repro/internal/core"
-	"repro/internal/f2"
 	"repro/internal/lowerbound"
+	"repro/internal/result"
 	"repro/internal/rng"
 )
 
@@ -54,7 +54,7 @@ func E6ToyPRG(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.AddRow(d(n), "-", "estimator noise floor", "1", f(floor), "-")
+	t.AddRow(d(n), s("-"), s("estimator noise floor"), s("1"), f(floor), s("-"))
 
 	prev := 2.0
 	decayOK := true
@@ -66,8 +66,8 @@ func E6ToyPRG(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(d(n), d(k), "1-round reveal transcript TV", "1", f(tv),
-			f(lowerbound.Theorem53Bound(n, k, 1)))
+		t.AddRow(d(n), d(k), s("1-round reveal transcript TV"), s("1"), f(tv),
+			f(lowerbound.Theorem53Bound(n, k, 1)).WithBound(result.BoundUpper))
 		if tv > prev+0.05 {
 			decayOK = false
 		}
@@ -94,7 +94,8 @@ func E6ToyPRG(cfg Config) (*Table, error) {
 		if rep.Advantage() < 0.9 {
 			decayOK = false
 		}
-		t.AddRow(d(nAttack), d(k), "consistency attack advantage", d(k+1), f(rep.Advantage()), "breaks (Thm 8.1)")
+		t.AddRow(d(nAttack), d(k), s("consistency attack advantage"), d(k+1),
+			f(rep.Advantage()), s("breaks (Thm 8.1)"))
 	}
 	if decayOK {
 		t.Shape = "holds: low-round TV decays toward the noise floor as k grows; k+1 rounds always break"
@@ -170,13 +171,6 @@ func E7FullPRG(cfg Config) (*Table, error) {
 	return t, nil
 }
 
-func boolCell(b bool) string {
-	if b {
-		return "yes"
-	}
-	return "NO"
-}
-
 // E10SeedLowerBound demonstrates Theorem 8.1: every seed-k PRG is broken
 // by an O(k)-round protocol — here the rank attack against our own
 // generator, with acceptance statistics on both sides.
@@ -238,21 +232,13 @@ func E14SeedCrossover(cfg Config) (*Table, error) {
 	gen := core.FullPRG{K: k, M: m}
 	shapeOK := true
 	for _, j := range []int{k - 2, k - 1, k, k + 1, k + 2} {
-		hits := 0
-		for i := 0; i < trials; i++ {
-			outs, _, err := gen.Generate(n, r)
-			if err != nil {
-				return nil, err
-			}
-			uni := core.UniformInputs(n, m, r)
-			if rankOfPrefix(outs, j) != rankOfPrefix(uni, j) {
-				hits++
-			}
+		rate, err := core.MeasureRankCrossover(gen, n, j, trials, cfg.workers(), r)
+		if err != nil {
+			return nil, err
 		}
-		rate := float64(hits) / float64(trials)
-		want := "≈0 (below crossover)"
+		want := s("≈0 (below crossover)")
 		if j > k {
-			want = "≈1 (above crossover)"
+			want = s("≈1 (above crossover)")
 		}
 		if j <= k && rate > 0.2 {
 			shapeOK = false
@@ -268,18 +254,4 @@ func E14SeedCrossover(cfg Config) (*Table, error) {
 		t.Shape = "SHAPE MISMATCH: transition not at k"
 	}
 	return t, nil
-}
-
-// rankOfPrefix stacks the first j coordinates of each string and returns
-// the GF(2) rank.
-func rankOfPrefix(rows []bitvec.Vector, j int) int {
-	rs := make([]bitvec.Vector, len(rows))
-	for i, row := range rows {
-		rs[i] = row.Slice(0, j)
-	}
-	m, err := f2.FromRows(rs)
-	if err != nil {
-		panic(err) // rows are same-length by construction
-	}
-	return m.Rank()
 }

@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-
 	"repro/internal/f2"
 	"repro/internal/rankprot"
 	"repro/internal/rng"
@@ -38,8 +36,8 @@ func E8AverageCaseRank(cfg Config) (*Table, error) {
 		if abs(emp-pred) > 0.06 {
 			shapeOK = false
 		}
-		t.AddRow(fmt.Sprintf("P[rank = n−%d]", s), d(n), f(emp), f(pred),
-			fmt.Sprintf("finite-n exact %.6f", f2.RankProbability(n, n, n-s)))
+		t.AddRow(sf("P[rank = n−%d]", s), d(n), f(emp), f(pred),
+			sf("finite-n exact %.6f", f2.RankProbability(n, n, n-s)))
 	}
 
 	// (b) The hard distribution is always rank deficient.
@@ -58,8 +56,8 @@ func E8AverageCaseRank(cfg Config) (*Table, error) {
 	if deficient != bTrials {
 		shapeOK = false
 	}
-	t.AddRow("P[rank < n] under [X|X·b]", d(n), f(float64(deficient)/float64(bTrials)), "1.0000",
-		"Theorem 1.4 hard distribution")
+	t.AddRow(s("P[rank < n] under [X|X·b]"), d(n), f(float64(deficient)/float64(bTrials)),
+		s("1.0000"), s("Theorem 1.4 hard distribution"))
 
 	// (c) Truncated protocol accuracy at n/20 rounds.
 	rounds := n / 20
@@ -70,15 +68,15 @@ func E8AverageCaseRank(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, err := rankprot.MeasureAccuracy(p, cfg.trials(500), r)
+	rep, err := rankprot.MeasureAccuracy(p, cfg.trials(500), cfg.workers(), r)
 	if err != nil {
 		return nil, err
 	}
 	if rep.Accuracy >= 0.99 {
 		shapeOK = false
 	}
-	t.AddRow(fmt.Sprintf("accuracy of %d-round protocol", rounds), d(n), f(rep.Accuracy),
-		"< 0.99", fmt.Sprintf("Bayes ceiling 1−Q₀ = %.4f", 1-f2.KolchinQ(0)))
+	t.AddRow(sf("accuracy of %d-round protocol", rounds), d(n), f(rep.Accuracy),
+		s("< 0.99"), sf("Bayes ceiling 1−Q₀ = %.4f", 1-f2.KolchinQ(0)))
 
 	if shapeOK {
 		t.Shape = "holds: empirical rank law matches Kolchin; hard distribution always deficient; low-round accuracy ≈ 1−Q₀ < 0.99"
@@ -119,22 +117,22 @@ func E9TimeHierarchy(cfg Config) (*Table, error) {
 			{k - 1, "k−1"},
 			{k, "k (exact protocol)"},
 		}
-		for _, s := range schedule {
-			p, err := rankprot.NewTruncated(n, k, s.rounds)
+		for _, sc := range schedule {
+			p, err := rankprot.NewTruncated(n, k, sc.rounds)
 			if err != nil {
 				return nil, err
 			}
-			rep, err := rankprot.MeasureAccuracy(p, trials, r)
+			rep, err := rankprot.MeasureAccuracy(p, trials, cfg.workers(), r)
 			if err != nil {
 				return nil, err
 			}
-			if s.rounds == k && rep.Accuracy != 1 {
+			if sc.rounds == k && rep.Accuracy != 1 {
 				shapeOK = false
 			}
-			if s.rounds < k && rep.Accuracy >= 0.99 {
+			if sc.rounds < k && rep.Accuracy >= 0.99 {
 				shapeOK = false
 			}
-			t.AddRow(d(n), d(k), d(s.rounds), f(rep.Accuracy), s.regime)
+			t.AddRow(d(n), d(k), d(sc.rounds), f(rep.Accuracy), s(sc.regime))
 		}
 	}
 	if shapeOK {

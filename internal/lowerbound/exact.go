@@ -403,10 +403,23 @@ func ExactProgressPlantedClique(p bcast.Protocol, n, k, turns, workers int) (rea
 // component's own enumeration runs sequentially — the parallelism is over
 // components). The returned slice is indexed by component, and the caller
 // sums it in index order, so the aggregate is deterministic in the worker
-// count. ref's sorted support is primed here so the concurrent TV calls
-// only read it.
+// count.
+//
+// Each component runs end to end on the dense interned path: the
+// reference is re-interned onto a fresh per-component interner (ids in
+// its sorted-support order, a pure function of content), the component's
+// exact counts accumulate over the same interner, and the distance is
+// the allocation-free dist.IntTV walk instead of the string-keyed
+// sorted-merge TV. A fresh interner per component — rather than one per
+// worker — keeps every component's id order independent of which worker
+// ran it and of what ran before it on that worker, so each tvs[i] is
+// bit-identical for every worker count. The re-intern cost is
+// O(|ref support|) per component, negligible next to the 2^F-profile
+// enumeration it fronts.
 func componentDistances(count uint64, workers int, ref *dist.Finite,
 	component func(i uint64) (Enumerator, error), p bcast.Protocol, turns int) ([]float64, error) {
+	// Prime the shared sorted support once so the concurrent re-interns
+	// only read it.
 	ref.Support()
 	tvs := make([]float64, count)
 	spans := par.Split(count, par.Workers(workers))
@@ -416,11 +429,13 @@ func componentDistances(count uint64, workers int, ref *dist.Finite,
 			if err != nil {
 				return err
 			}
-			d, err := ExactTranscriptDist(p, e, turns, 1)
+			in := dist.NewInterner()
+			refInt := dist.IntDistOf(ref, in)
+			d, err := ExactTranscriptIntDist(p, e, turns, 1, in)
 			if err != nil {
 				return err
 			}
-			tvs[i] = dist.TV(d, ref)
+			tvs[i] = dist.IntTV(d, refInt)
 		}
 		return nil
 	})

@@ -18,6 +18,8 @@ import (
 
 	"repro/internal/bcast"
 	"repro/internal/bitvec"
+	"repro/internal/dist"
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -132,22 +134,50 @@ func TheoremPaletteSize(n, m, k int, eps float64) float64 {
 // input: the TV distance between the transcript+output distribution of the
 // original protocol (fresh public coins each trial) and of the sparsified
 // protocol (fresh palette index each trial), from `trials` samples of each.
-func SimulationGap(p PublicProtocol, s *Sparsified, inputs []bitvec.Vector, trials int, r *rng.Stream) (float64, error) {
-	orig := make([]string, trials)
-	sim := make([]string, trials)
-	for i := 0; i < trials; i++ {
-		res, err := RunWithFreshCoins(p, inputs, r, r.Uint64())
-		if err != nil {
-			return 0, err
-		}
-		orig[i] = executionKey(res)
-		res, err = s.RunWithFreshIndex(inputs, r, r.Uint64())
-		if err != nil {
-			return 0, err
-		}
-		sim[i] = executionKey(res)
+//
+// The trial loop fans out over `workers` goroutines (≤ 0 means
+// GOMAXPROCS). Trial i draws both executions' randomness from the
+// dedicated stream rng.Shard(base, i), where base is the single value
+// this call consumes from r; workers tally execution keys as integer
+// counts over private interners, shards merge in shard order, and the TV
+// is the dense-id walk — so the estimate is bit-identical for every
+// worker count (the historical map-iteration estimator was not even
+// run-to-run stable at the ulp level).
+func SimulationGap(p PublicProtocol, s *Sparsified, inputs []bitvec.Vector, trials, workers int, r *rng.Stream) (float64, error) {
+	if trials <= 0 {
+		return 0, fmt.Errorf("newman: SimulationGap needs trials > 0, got %d", trials)
 	}
-	return tvOfSamples(orig, sim), nil
+	base := r.Uint64()
+	type tally struct{ orig, sim *dist.Counts }
+	shards, err := par.Map(uint64(trials), workers, func(sp par.Span) (tally, error) {
+		in := dist.NewInterner()
+		t := tally{orig: dist.NewCounts(in), sim: dist.NewCounts(in)}
+		for i := sp.Lo; i < sp.Hi; i++ {
+			sr := rng.Shard(base, i)
+			res, err := RunWithFreshCoins(p, inputs, sr, sr.Uint64())
+			if err != nil {
+				return tally{}, err
+			}
+			t.orig.ObserveKey(executionKey(res))
+			res, err = s.RunWithFreshIndex(inputs, sr, sr.Uint64())
+			if err != nil {
+				return tally{}, err
+			}
+			t.sim.ObserveKey(executionKey(res))
+		}
+		return t, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	merged := dist.NewInterner()
+	orig, sim := dist.NewCounts(merged), dist.NewCounts(merged)
+	for _, sh := range shards {
+		orig.Merge(sh.orig)
+		sim.Merge(sh.sim)
+	}
+	unit := 1 / float64(trials)
+	return dist.IntTV(orig.Dist(unit), sim.Dist(unit)), nil
 }
 
 // executionKey identifies a full execution: transcript plus all outputs
@@ -158,24 +188,4 @@ func executionKey(res *bcast.Result) string {
 		key += "|" + o.Key()
 	}
 	return key
-}
-
-// tvOfSamples is the plug-in TV estimator between two sample sets.
-func tvOfSamples(a, b []string) float64 {
-	counts := make(map[string][2]int, len(a))
-	for _, k := range a {
-		c := counts[k]
-		c[0]++
-		counts[k] = c
-	}
-	for _, k := range b {
-		c := counts[k]
-		c[1]++
-		counts[k] = c
-	}
-	sum := 0.0
-	for _, c := range counts {
-		sum += math.Abs(float64(c[0])/float64(len(a)) - float64(c[1])/float64(len(b)))
-	}
-	return sum / 2
 }

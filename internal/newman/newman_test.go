@@ -179,7 +179,7 @@ func TestSimulationGapSmallForLargePalette(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gapBig, err := SimulationGap(p, big, inputs, 3000, r)
+	gapBig, err := SimulationGap(p, big, inputs, 3000, 0, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestSimulationGapSmallForLargePalette(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gapTiny, err := SimulationGap(p, tiny, inputs, 3000, r)
+	gapTiny, err := SimulationGap(p, tiny, inputs, 3000, 0, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,6 +213,27 @@ func TestTheoremPaletteSize(t *testing.T) {
 	if TheoremPaletteSize(2, 4, 1, 0.01) <= small {
 		t.Fatal("palette size not increasing as eps shrinks")
 	}
+}
+
+// tvOfSamples is the straightforward map-based plug-in TV estimator,
+// kept as a test oracle for the interned estimator SimulationGap uses.
+func tvOfSamples(a, b []string) float64 {
+	counts := make(map[string][2]int, len(a))
+	for _, k := range a {
+		c := counts[k]
+		c[0]++
+		counts[k] = c
+	}
+	for _, k := range b {
+		c := counts[k]
+		c[1]++
+		counts[k] = c
+	}
+	sum := 0.0
+	for _, c := range counts {
+		sum += math.Abs(float64(c[0])/float64(len(a)) - float64(c[1])/float64(len(b)))
+	}
+	return sum / 2
 }
 
 func TestTVOfSamples(t *testing.T) {

@@ -1,0 +1,60 @@
+package newman
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+// TestSimulationGapByteIdenticalAcrossWorkers: the interned sharded
+// estimator must return exactly the same float for every pool size (the
+// historical map-iteration estimator was not even run-to-run stable).
+func TestSimulationGapByteIdenticalAcrossWorkers(t *testing.T) {
+	p := &EqualityProtocol{N: 4, M: 8, K: 2}
+	setup := rng.New(3)
+	s, err := Sparsify(p, 16, setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]bitvec.Vector, p.N)
+	x := bitvec.Random(p.M, setup)
+	for i := range inputs {
+		inputs[i] = x.Clone()
+	}
+	inputs[1].FlipBit(2)
+
+	ref := math.NaN()
+	var refNext uint64
+	for _, w := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		r := rng.New(29)
+		gap, err := SimulationGap(p, s, inputs, 800, w, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := r.Uint64()
+		if math.IsNaN(ref) {
+			ref, refNext = gap, next
+			continue
+		}
+		if gap != ref {
+			t.Fatalf("workers=%d: gap %v, workers=1 gave %v", w, gap, ref)
+		}
+		if next != refNext {
+			t.Fatalf("workers=%d: caller stream advanced differently", w)
+		}
+	}
+}
+
+func TestSimulationGapRejectsBadTrials(t *testing.T) {
+	p := &EqualityProtocol{N: 3, M: 4, K: 1}
+	s, err := Sparsify(p, 2, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SimulationGap(p, s, nil, 0, 1, rng.New(1)); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}

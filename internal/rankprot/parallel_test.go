@@ -1,0 +1,48 @@
+package rankprot
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestMeasureAccuracyByteIdenticalAcrossWorkers: the sharded accuracy
+// harness must be a pure function of (seed, trials) for every pool
+// size, consuming exactly one value from the caller's stream.
+func TestMeasureAccuracyByteIdenticalAcrossWorkers(t *testing.T) {
+	p, err := NewTruncated(12, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref AccuracyReport
+	var refNext uint64
+	for i, w := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		r := rng.New(17)
+		rep, err := MeasureAccuracy(p, 300, w, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := r.Uint64()
+		if i == 0 {
+			ref, refNext = rep, next
+			continue
+		}
+		if rep != ref {
+			t.Fatalf("workers=%d: report %+v, workers=1 gave %+v", w, rep, ref)
+		}
+		if next != refNext {
+			t.Fatalf("workers=%d: caller stream advanced differently", w)
+		}
+	}
+}
+
+func TestMeasureAccuracyRejectsBadTrials(t *testing.T) {
+	p, err := NewExact(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MeasureAccuracy(p, 0, 1, rng.New(1)); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}

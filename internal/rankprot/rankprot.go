@@ -24,6 +24,7 @@ import (
 	"repro/internal/bcast"
 	"repro/internal/bitvec"
 	"repro/internal/f2"
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -179,34 +180,55 @@ type AccuracyReport struct {
 	Trials int
 }
 
-// MeasureAccuracy runs the protocol on fresh uniform n×n inputs and
-// reports how often its decision matches the true minor rank status.
-func MeasureAccuracy(p *TopMinorProtocol, trials int, r *rng.Stream) (AccuracyReport, error) {
+// MeasureAccuracy runs the protocol on fresh uniform n×n inputs,
+// fanning trials out over `workers` goroutines (≤ 0 means GOMAXPROCS),
+// and reports how often its decision matches the true minor rank
+// status. Trial i draws its inputs and private coins from the dedicated
+// stream rng.Shard(base, i), where base is the single value this call
+// consumes from r — the report is bit-identical for every worker count.
+func MeasureAccuracy(p *TopMinorProtocol, trials, workers int, r *rng.Stream) (AccuracyReport, error) {
 	rep := AccuracyReport{Trials: trials}
+	if trials <= 0 {
+		return rep, fmt.Errorf("rankprot: MeasureAccuracy needs trials > 0, got %d", trials)
+	}
+	base := r.Uint64()
+	type tally struct{ correct, truths int }
+	shards, err := par.Map(uint64(trials), workers, func(sp par.Span) (tally, error) {
+		var t tally
+		for i := sp.Lo; i < sp.Hi; i++ {
+			sr := rng.Shard(base, i)
+			inputs := make([]bitvec.Vector, p.N)
+			for j := range inputs {
+				inputs[j] = bitvec.Random(p.N, sr)
+			}
+			truth, err := Truth(inputs, p.K)
+			if err != nil {
+				return t, err
+			}
+			res, err := bcast.RunRounds(p, inputs, sr.Uint64())
+			if err != nil {
+				return t, err
+			}
+			got, err := p.Decide(res.Transcript)
+			if err != nil {
+				return t, err
+			}
+			if got == truth {
+				t.correct++
+			}
+			if truth {
+				t.truths++
+			}
+		}
+		return t, nil
+	})
+	if err != nil {
+		return rep, err
+	}
 	correct, truths := 0, 0
-	for i := 0; i < trials; i++ {
-		inputs := make([]bitvec.Vector, p.N)
-		for j := range inputs {
-			inputs[j] = bitvec.Random(p.N, r)
-		}
-		truth, err := Truth(inputs, p.K)
-		if err != nil {
-			return rep, err
-		}
-		res, err := bcast.RunRounds(p, inputs, r.Uint64())
-		if err != nil {
-			return rep, err
-		}
-		got, err := p.Decide(res.Transcript)
-		if err != nil {
-			return rep, err
-		}
-		if got == truth {
-			correct++
-		}
-		if truth {
-			truths++
-		}
+	for _, t := range shards {
+		correct += t.correct
+		truths += t.truths
 	}
 	rep.Accuracy = float64(correct) / float64(trials)
 	rep.TruthRate = float64(truths) / float64(trials)

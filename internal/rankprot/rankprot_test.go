@@ -17,7 +17,7 @@ func TestExactProtocolIsAlwaysCorrect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := MeasureAccuracy(p, 150, r)
+	rep, err := MeasureAccuracy(p, 150, 0, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +32,7 @@ func TestTruthRateApproachesKolchin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := MeasureAccuracy(p, 1200, r)
+	rep, err := MeasureAccuracy(p, 1200, 0, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestTruncatedProtocolStuckBelowThreshold(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := MeasureAccuracy(p, 400, r)
+	rep, err := MeasureAccuracy(p, 400, 0, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestHierarchyShape(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep, err := MeasureAccuracy(p, 300, r)
+		rep, err := MeasureAccuracy(p, 300, 0, r)
 		if err != nil {
 			t.Fatal(err)
 		}

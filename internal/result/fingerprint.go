@@ -1,0 +1,33 @@
+package result
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Params are the run parameters that determine a table's content. This
+// is deliberately narrower than the experiment Config: the worker count
+// is excluded because every measurement engine in the repository is
+// bit-identical for every worker count (parallelism is a wall-clock
+// knob, not a semantic one), so including it would only fragment the
+// cache.
+type Params struct {
+	// Seed drives every sampler; equal seeds give identical tables.
+	Seed uint64
+	// Quick selects the reduced trial counts.
+	Quick bool
+}
+
+// Fingerprint returns the content address of the table that experiment
+// `id` produces under `p` at the given schema version: a hex SHA-256 of
+// the run identity. Because tables are deterministic functions of
+// (id, Seed, Quick) and the canonical encoding is deterministic too,
+// equal fingerprints imply byte-equal stored tables — the invariant the
+// store and the scheduler's single-flight dedup are built on.
+func Fingerprint(id string, p Params, schemaVersion int) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "repro/result\nschema=%d\nid=%s\nseed=%d\nquick=%t\n",
+		schemaVersion, id, p.Seed, p.Quick)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,210 @@
+package result
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// sample builds a table exercising every cell kind and annotation.
+func sample() *Table {
+	t := &Table{
+		ID:      "EX",
+		Title:   "demo",
+		Claim:   "claim ≤ O(k²/√n)",
+		Columns: []string{"n", "adv", "bound", "verdict", "regime"},
+		Shape:   "holds",
+	}
+	t.AddRow(Int(64), Float(0.1234).WithErr(0.01), Float(1.5).WithBound(BoundUpper),
+		Bool(true), Str("hard"))
+	t.AddRow(Int(256), FloatPrec(0.5, 2), Float(3).WithBound(BoundLower),
+		Bool(false), Strf("k=%d", 9))
+	return t
+}
+
+// TestRenderMatchesLegacyFormatting locks the markdown view to the exact
+// byte shape the pre-typed harness emitted: %d ints, %.4f floats,
+// yes/NO verdicts, annotations invisible.
+func TestRenderMatchesLegacyFormatting(t *testing.T) {
+	var sb strings.Builder
+	sample().Render(&sb)
+	want := "### EX — demo\n\n" +
+		"Paper claim: claim ≤ O(k²/√n)\n\n" +
+		"| n | adv | bound | verdict | regime |\n" +
+		"| --- | --- | --- | --- | --- |\n" +
+		"| 64 | 0.1234 | 1.5000 | yes | hard |\n" +
+		"| 256 | 0.50 | 3.0000 | NO | k=9 |\n" +
+		"\nShape: holds\n\n"
+	if sb.String() != want {
+		t.Fatalf("render mismatch:\ngot:\n%q\nwant:\n%q", sb.String(), want)
+	}
+}
+
+func TestCellStringFormats(t *testing.T) {
+	cases := []struct {
+		cell Cell
+		want string
+	}{
+		{Int(-3), "-3"},
+		{Float(0.12349), "0.1235"},
+		{FloatPrec(1.0/3, 6), "0.333333"},
+		{Bool(true), "yes"},
+		{Bool(false), "NO"},
+		{Str("x | y"), "x | y"},
+		{Cell{}, ""},
+	}
+	for _, c := range cases {
+		if got := c.cell.String(); got != c.want {
+			t.Fatalf("cell %+v renders %q, want %q", c.cell, got, c.want)
+		}
+	}
+	// The legacy helpers were fmt.Sprintf wrappers; the typed cells must
+	// agree digit for digit.
+	for _, v := range []float64{0, 0.5, 0.05000001, 1.0 / 3, 123.456789, 1e-9} {
+		if got, want := Float(v).String(), fmt.Sprintf("%.4f", v); got != want {
+			t.Fatalf("Float(%v) renders %q, fmt gives %q", v, got, want)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := sample()
+	var buf bytes.Buffer
+	if err := orig.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orig.Equal(back) {
+		t.Fatalf("round trip changed the table:\n%s", buf.String())
+	}
+	// Typed payloads, not just formatted looks, must survive.
+	if c := back.Rows[0][1]; c.Kind != KindFloat || c.F != 0.1234 || c.Err != 0.01 {
+		t.Fatalf("float cell lost data: %+v", c)
+	}
+	if c := back.Rows[0][2]; c.Bound != BoundUpper {
+		t.Fatalf("bound annotation lost: %+v", c)
+	}
+	if c := back.Rows[1][3]; c.Kind != KindBool || c.I != 0 {
+		t.Fatalf("bool cell lost data: %+v", c)
+	}
+}
+
+func TestCanonicalJSONDeterministic(t *testing.T) {
+	a, err := sample().CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sample().CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodings of equal tables differ")
+	}
+}
+
+func TestJSONRejectsMalformed(t *testing.T) {
+	for name, payload := range map[string]string{
+		"truncated":        `{"schema":1,"id":"E1","rows":[[{"i":`,
+		"wrong schema":     `{"schema":99,"id":"E1","title":"","claim":"","columns":[],"rows":[],"shape":""}`,
+		"unknown field":    `{"schema":1,"id":"E1","title":"","claim":"","columns":[],"rows":[],"shape":"","extra":1}`,
+		"empty cell":       `{"schema":1,"id":"E1","title":"","claim":"","columns":["a"],"rows":[[{}]],"shape":""}`,
+		"two-value cell":   `{"schema":1,"id":"E1","title":"","claim":"","columns":["a"],"rows":[[{"i":1,"f":2}]],"shape":""}`,
+		"bad bound":        `{"schema":1,"id":"E1","title":"","claim":"","columns":["a"],"rows":[[{"f":1,"bound":"sideways"}]],"shape":""}`,
+		"unknown cell key": `{"schema":1,"id":"E1","title":"","claim":"","columns":["a"],"rows":[[{"i":1,"precison":4}]],"shape":""}`,
+		"prec on string":   `{"schema":1,"id":"E1","title":"","claim":"","columns":["a"],"rows":[[{"s":"x","prec":9}]],"shape":""}`,
+		"prec on int":      `{"schema":1,"id":"E1","title":"","claim":"","columns":["a"],"rows":[[{"i":1,"prec":2}]],"shape":""}`,
+		"err on bool":      `{"schema":1,"id":"E1","title":"","claim":"","columns":["a"],"rows":[[{"b":true,"err":0.1}]],"shape":""}`,
+		"bound on string":  `{"schema":1,"id":"E1","title":"","claim":"","columns":["a"],"rows":[[{"s":"x","bound":"upper"}]],"shape":""}`,
+	} {
+		if _, err := DecodeJSON(strings.NewReader(payload)); err == nil {
+			t.Fatalf("%s payload decoded without error", name)
+		}
+	}
+}
+
+func TestJSONRejectsNonFiniteFloats(t *testing.T) {
+	for _, bad := range []Cell{Float(math.NaN()), Float(math.Inf(1)), Float(1).WithErr(math.NaN())} {
+		tab := &Table{ID: "EX", Columns: []string{"a"}}
+		tab.AddRow(bad)
+		if _, err := tab.CanonicalJSON(); err == nil {
+			t.Fatalf("non-finite cell %+v encoded without error", bad)
+		}
+	}
+}
+
+// TestFingerprintSensitivity checks that every input that can change a
+// table's content changes its fingerprint — and that the worker count,
+// which cannot, is not even representable in Params.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Fingerprint("E3", Params{Seed: 2019}, SchemaVersion)
+	distinct := map[string]string{
+		"base":       base,
+		"other id":   Fingerprint("E4", Params{Seed: 2019}, SchemaVersion),
+		"other seed": Fingerprint("E3", Params{Seed: 2020}, SchemaVersion),
+		"quick":      Fingerprint("E3", Params{Seed: 2019, Quick: true}, SchemaVersion),
+		"new schema": Fingerprint("E3", Params{Seed: 2019}, SchemaVersion+1),
+	}
+	seen := map[string]string{}
+	for name, fp := range distinct {
+		if len(fp) != 64 {
+			t.Fatalf("%s: fingerprint %q is not 64 hex chars", name, fp)
+		}
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("fingerprint collision between %s and %s", prev, name)
+		}
+		seen[fp] = name
+	}
+	if Fingerprint("E3", Params{Seed: 2019}, SchemaVersion) != base {
+		t.Fatal("fingerprint is not a pure function of its inputs")
+	}
+}
+
+// TestFingerprintStable pins the derivation: a silent change to the hash
+// preimage invalidates every cache on disk, so it must be deliberate
+// (and come with a SchemaVersion bump).
+func TestFingerprintStable(t *testing.T) {
+	preimage := "repro/result\nschema=1\nid=E3\nseed=2019\nquick=false\n"
+	want := fmt.Sprintf("%x", sha256.Sum256([]byte(preimage)))
+	if got := Fingerprint("E3", Params{Seed: 2019}, 1); got != want {
+		t.Fatalf("fingerprint preimage drifted: got %s, want sha256(%q) = %s", got, preimage, want)
+	}
+}
+
+// TestJSONRejectsAnnotationsOnNonNumericCells: the encoder must refuse
+// what its own decoder would reject, or the store would cache objects
+// every read drops as corrupt.
+func TestJSONRejectsAnnotationsOnNonNumericCells(t *testing.T) {
+	for name, bad := range map[string]Cell{
+		"err on string":   Str("x").WithErr(0.5),
+		"err on bool":     Bool(true).WithErr(0.5),
+		"bound on string": Str("x").WithBound(BoundUpper),
+		"bound on bool":   Bool(false).WithBound(BoundLower),
+	} {
+		tab := &Table{ID: "EX", Columns: []string{"a"}}
+		tab.AddRow(bad)
+		if _, err := tab.CanonicalJSON(); err == nil {
+			t.Fatalf("%s encoded without error", name)
+		}
+	}
+	// The numeric forms stay encodable and round-trip.
+	tab := &Table{ID: "EX", Columns: []string{"a", "b"}}
+	tab.AddRow(Int(3).WithErr(1).WithBound(BoundLower), Float(0.5).WithErr(0.1))
+	var buf bytes.Buffer
+	if err := tab.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Equal(back) {
+		t.Fatal("annotated numeric cells did not round-trip")
+	}
+}

@@ -1,0 +1,198 @@
+// Package sched runs registry experiments concurrently on top of the
+// result store: a request names an experiment and a configuration, and
+// the scheduler answers with the table — from the store when the
+// fingerprint is cached, from a single shared computation when several
+// requests race on one fingerprint (single-flight dedup), and from a
+// fresh run otherwise.
+//
+// # Determinism
+//
+// Every experiment is a pure function of (Seed, Quick) — the measurement
+// engines underneath are bit-identical for every worker count — so
+// scheduling order, concurrency level, and cache state cannot change a
+// table's content. Run returns outcomes in request order, which makes
+// the scheduler's output byte-identical to the sequential
+// loop-and-render of cmd/experiments for any Parallel value; tests
+// assert exactly that.
+//
+// # Worker budget
+//
+// The configuration's Workers field is treated as the total goroutine
+// budget of a Run call: with Parallel experiments in flight at once,
+// each one's measurement engines get Workers/Parallel (at least 1)
+// goroutines, so E concurrent experiments do not oversubscribe the host
+// by a factor of E.
+package sched
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/experiments"
+	"repro/internal/par"
+	"repro/internal/result"
+	"repro/internal/store"
+)
+
+// Scheduler coordinates experiment execution over an optional store.
+// The zero value is not usable; construct with New.
+type Scheduler struct {
+	// store caches completed tables; nil disables persistence (dedup
+	// still works).
+	store *store.Store
+	// parallel is the number of experiments run concurrently.
+	parallel int
+	// sem bounds in-flight computations to parallel slots; every
+	// compute path (Run batches and direct Table calls alike) acquires
+	// a slot, so a server fanning requests straight into Table cannot
+	// oversubscribe the host.
+	sem chan struct{}
+
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+// flight is one in-progress computation, shared by every request that
+// arrives for its fingerprint while it runs.
+type flight struct {
+	done  chan struct{}
+	table *result.Table
+	err   error
+}
+
+// New returns a scheduler over st (which may be nil for a
+// memory-dedup-only scheduler) running up to parallel experiments at
+// once; parallel < 1 means 1.
+func New(st *store.Store, parallel int) *Scheduler {
+	if parallel < 1 {
+		parallel = 1
+	}
+	return &Scheduler{
+		store:    st,
+		parallel: parallel,
+		sem:      make(chan struct{}, parallel),
+		flights:  make(map[string]*flight),
+	}
+}
+
+// Store returns the scheduler's store (nil when persistence is off).
+func (s *Scheduler) Store() *store.Store { return s.store }
+
+// Outcome is one scheduled experiment's result.
+type Outcome struct {
+	// ID is the experiment id.
+	ID string
+	// Table is the computed or cached table (nil on error).
+	Table *result.Table
+	// CacheHit reports that the table came straight from the store.
+	CacheHit bool
+	// Shared reports that this request piggybacked on another request's
+	// in-flight computation (single-flight dedup).
+	Shared bool
+}
+
+// Table returns experiment e's table under cfg: store hit, shared
+// flight, or fresh computation, in that order of preference. The
+// returned flags distinguish the three.
+func (s *Scheduler) Table(e experiments.Experiment, cfg experiments.Config) (*result.Table, Outcome, error) {
+	out := Outcome{ID: e.ID}
+	fp := cfg.Fingerprint(e.ID)
+	if s.store != nil {
+		if t, ok := s.store.Get(fp); ok {
+			out.Table, out.CacheHit = t, true
+			return t, out, nil
+		}
+	}
+
+	s.mu.Lock()
+	if fl, ok := s.flights[fp]; ok {
+		s.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return nil, out, fl.err
+		}
+		out.Table, out.Shared = fl.table, true
+		return fl.table, out, nil
+	}
+	fl := &flight{done: make(chan struct{})}
+	s.flights[fp] = fl
+	s.mu.Unlock()
+
+	// Retire the flight before signalling — deferred so a panicking
+	// experiment (recovered upstream, e.g. by net/http) cannot leak the
+	// flight entry and wedge every later request on <-fl.done. The
+	// ordering also means a request arriving after the store write hits
+	// the store, and one arriving after an error recomputes rather than
+	// inheriting it forever.
+	defer func() {
+		s.mu.Lock()
+		delete(s.flights, fp)
+		s.mu.Unlock()
+		close(fl.done)
+	}()
+
+	// The semaphore bounds computations, not store hits or flight
+	// waiters: at most `parallel` experiments run at once however many
+	// requests arrive. Released via defer for the same panic-safety.
+	s.sem <- struct{}{}
+	func() {
+		defer func() { <-s.sem }()
+		fl.table, fl.err = e.Run(cfg)
+	}()
+	if fl.err == nil && s.store != nil {
+		// A failed Put degrades the cache, not the answer: the computed
+		// table is still served, only persistence is lost.
+		_ = s.store.Put(fp, fl.table)
+	}
+
+	if fl.err != nil {
+		return nil, out, fl.err
+	}
+	out.Table = fl.table
+	return fl.table, out, nil
+}
+
+// Run executes the named experiments under cfg, up to parallel at once,
+// splitting cfg.Workers across the concurrent flights. Outcomes come
+// back in request order; the first error (lowest request index, par.Do's
+// contract) aborts the batch.
+func (s *Scheduler) Run(ids []string, cfg experiments.Config) ([]Outcome, error) {
+	exps := make([]experiments.Experiment, len(ids))
+	for i, id := range ids {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("sched: unknown experiment %q", id)
+		}
+		exps[i] = e
+	}
+
+	// Divide the total goroutine budget across concurrent experiments.
+	slots := s.parallel
+	if len(exps) < slots {
+		slots = len(exps)
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	perCfg := cfg
+	perCfg.Workers = par.Workers(cfg.Workers) / slots
+	if perCfg.Workers < 1 {
+		perCfg.Workers = 1
+	}
+
+	outcomes := make([]Outcome, len(exps))
+	err := par.Do(len(exps), func(i int) error {
+		// Concurrency is bounded inside Table by the scheduler's
+		// computation semaphore.
+		_, out, err := s.Table(exps[i], perCfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", exps[i].ID, err)
+		}
+		outcomes[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outcomes, nil
+}

@@ -1,0 +1,317 @@
+package sched
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/result"
+	"repro/internal/store"
+)
+
+// countingExperiment returns a synthetic registry entry whose Run
+// increments calls, optionally blocking on release until the test lets
+// it finish.
+func countingExperiment(id string, calls *atomic.Int64, started, release chan struct{}) experiments.Experiment {
+	return experiments.Experiment{
+		ID:    id,
+		Title: "synthetic " + id,
+		Run: func(cfg experiments.Config) (*experiments.Table, error) {
+			calls.Add(1)
+			if started != nil {
+				close(started)
+			}
+			if release != nil {
+				<-release
+			}
+			t := &experiments.Table{ID: id, Title: "synthetic", Columns: []string{"seed"}}
+			t.AddRow(result.Int(int(cfg.Seed)))
+			return t, nil
+		},
+	}
+}
+
+func newStore(t *testing.T) *store.Store {
+	t.Helper()
+	s, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestStoreHitSkipsRecompute is the compute-once contract: the second
+// request for a fingerprint performs zero experiment (estimator) calls,
+// even on a fresh scheduler sharing the same store directory.
+func TestStoreHitSkipsRecompute(t *testing.T) {
+	st := newStore(t)
+	var calls atomic.Int64
+	e := countingExperiment("EX", &calls, nil, nil)
+	cfg := experiments.Config{Seed: 5, Quick: true}
+
+	s1 := New(st, 2)
+	tab1, out1, err := s1.Table(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1.CacheHit || out1.Shared || calls.Load() != 1 {
+		t.Fatalf("first request: outcome %+v, calls %d", out1, calls.Load())
+	}
+
+	s2 := New(st, 2)
+	tab2, out2, err := s2.Table(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out2.CacheHit {
+		t.Fatalf("second request missed the store: %+v", out2)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("second request recomputed: %d estimator calls", calls.Load())
+	}
+	if !tab1.Equal(tab2) {
+		t.Fatal("cached table differs from computed table")
+	}
+
+	// A different seed is a different fingerprint: it must compute.
+	if _, out3, err := s2.Table(e, experiments.Config{Seed: 6, Quick: true}); err != nil || out3.CacheHit {
+		t.Fatalf("distinct seed served from cache: %+v err=%v", out3, err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("distinct seed did not compute: %d calls", calls.Load())
+	}
+}
+
+// TestSingleFlightDedup races 8 identical requests: exactly one
+// computation may run, everyone gets the same table, and every
+// non-leader is either a shared flight or (if it arrived after
+// completion) a store hit.
+func TestSingleFlightDedup(t *testing.T) {
+	st := newStore(t)
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	e := countingExperiment("EX", &calls, started, release)
+	cfg := experiments.Config{Seed: 1}
+	s := New(st, 4)
+
+	outcomes := make([]Outcome, 8)
+	tables := make([]*result.Table, 8)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tables[0], outcomes[0], _ = s.Table(e, cfg)
+	}()
+	<-started
+	for i := 1; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tables[i], outcomes[i], _ = s.Table(e, cfg)
+		}(i)
+	}
+	// Give the followers a moment to join the flight, then let the
+	// leader finish. Late arrivals are store hits, so the assertions
+	// below hold for any interleaving.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if calls.Load() != 1 {
+		t.Fatalf("%d computations for 8 identical requests", calls.Load())
+	}
+	for i, out := range outcomes {
+		if tables[i] == nil || !tables[0].Equal(tables[i]) {
+			t.Fatalf("request %d got a different table", i)
+		}
+		if i > 0 && !out.Shared && !out.CacheHit {
+			t.Fatalf("request %d neither shared the flight nor hit the store: %+v", i, out)
+		}
+	}
+}
+
+// TestFailedFlightRetries: an error must not be cached — the next
+// request recomputes.
+func TestFailedFlightRetries(t *testing.T) {
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	e := experiments.Experiment{
+		ID: "EX",
+		Run: func(cfg experiments.Config) (*experiments.Table, error) {
+			if calls.Add(1) == 1 {
+				return nil, boom
+			}
+			tab := &experiments.Table{ID: "EX", Columns: []string{"x"}}
+			tab.AddRow(result.Int(1))
+			return tab, nil
+		},
+	}
+	s := New(newStore(t), 1)
+	cfg := experiments.Config{Seed: 3}
+	if _, _, err := s.Table(e, cfg); !errors.Is(err, boom) {
+		t.Fatalf("first call error = %v, want boom", err)
+	}
+	tab, out, err := s.Table(e, cfg)
+	if err != nil || tab == nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if out.CacheHit || out.Shared {
+		t.Fatalf("retry did not recompute: %+v", out)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2", calls.Load())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	s := New(nil, 2)
+	if _, err := s.Run([]string{"E99"}, experiments.Config{}); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+// TestSchedulerMatchesSequentialLoop renders real registry experiments
+// through the scheduler at several concurrency levels and requires the
+// output bytes to equal the plain sequential loop's.
+func TestSchedulerMatchesSequentialLoop(t *testing.T) {
+	ids := []string{"E1", "E13"}
+	cfg := experiments.Config{Seed: 2019, Quick: true}
+
+	var sequential bytes.Buffer
+	for _, id := range ids {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		tab, err := e.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab.Render(&sequential)
+	}
+
+	for _, parallel := range []int{1, 2, 8} {
+		s := New(newStore(t), parallel)
+		outcomes, err := s.Run(ids, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		for _, out := range outcomes {
+			out.Table.Render(&got)
+		}
+		if !bytes.Equal(sequential.Bytes(), got.Bytes()) {
+			t.Fatalf("parallel=%d output differs from sequential loop", parallel)
+		}
+	}
+}
+
+// TestRunDedupsRepeatedIDs: the same id twice in one batch computes
+// once (flight or store dedup) and both outcomes carry the table.
+func TestRunDedupsRepeatedIDs(t *testing.T) {
+	s := New(newStore(t), 4)
+	cfg := experiments.Config{Seed: 7, Quick: true}
+	outcomes, err := s.Run([]string{"E13", "E13", "E13"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Store().Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Puts != 1 {
+		t.Fatalf("repeated ids stored %d objects, want 1", st.Puts)
+	}
+	for i, out := range outcomes {
+		if out.Table == nil || !outcomes[0].Table.Equal(out.Table) {
+			t.Fatalf("outcome %d differs", i)
+		}
+	}
+}
+
+// TestFailedStorePutStillServesTable: losing the cache write must
+// degrade persistence, never the answer.
+func TestFailedStorePutStillServesTable(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Break the store so every Put fails: replace the objects directory
+	// with a plain file (robust even when the test runs as root, unlike
+	// permission bits).
+	objects := filepath.Join(dir, "objects")
+	if err := os.RemoveAll(objects); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(objects, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var calls atomic.Int64
+	e := countingExperiment("EX", &calls, nil, nil)
+	s := New(st, 1)
+	tab, out, err := s.Table(e, experiments.Config{Seed: 4})
+	if err != nil || tab == nil {
+		t.Fatalf("computed table lost to a failed cache write: %v", err)
+	}
+	if out.CacheHit || out.Shared {
+		t.Fatalf("outcome %+v, want a fresh computation", out)
+	}
+	// Nothing was cached, so the next request recomputes — still
+	// serving answers.
+	if _, _, err := s.Table(e, experiments.Config{Seed: 4}); err != nil {
+		t.Fatalf("second request failed: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2 (no cache, no error)", calls.Load())
+	}
+}
+
+// TestPanickingExperimentDoesNotWedgeScheduler: a panic in Run must not
+// leak the flight entry or the computation slot — after the panic is
+// recovered upstream (as net/http does), the same fingerprint must be
+// computable again.
+func TestPanickingExperimentDoesNotWedgeScheduler(t *testing.T) {
+	var calls atomic.Int64
+	e := experiments.Experiment{
+		ID: "EX",
+		Run: func(cfg experiments.Config) (*experiments.Table, error) {
+			if calls.Add(1) == 1 {
+				panic("experiment bug")
+			}
+			tab := &experiments.Table{ID: "EX", Columns: []string{"x"}}
+			tab.AddRow(result.Int(1))
+			return tab, nil
+		},
+	}
+	s := New(newStore(t), 1) // parallel=1: a leaked slot would deadlock below
+	cfg := experiments.Config{Seed: 8}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate")
+			}
+		}()
+		s.Table(e, cfg)
+	}()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if tab, _, err := s.Table(e, cfg); err != nil || tab == nil {
+			t.Errorf("retry after panic failed: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("scheduler wedged after a panicking experiment")
+	}
+}

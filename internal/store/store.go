@@ -1,0 +1,399 @@
+// Package store is the on-disk content-addressed cache of completed
+// experiment tables: any (experiment, seed, quick) triple is computed
+// once ever, then served from disk by every later run — the CLI, the
+// scheduler, and the bccserve HTTP API all read and write the same
+// layout.
+//
+// # Layout
+//
+//	<dir>/objects/<fingerprint>.json   one table per file
+//	<dir>/index.json                   derived listing (rebuildable)
+//
+// Each object file is a small envelope: the canonical JSON of the table
+// (internal/result) plus a SHA-256 checksum of those canonical bytes.
+// The fingerprint in the file name addresses the content before it is
+// computed (it hashes the run identity — experiment id, seed, quick,
+// schema version); the checksum inside detects damage after.
+//
+// # Durability and concurrency
+//
+// Writes are atomic: the envelope is written to a temporary file in the
+// store directory and renamed into place, so readers never observe a
+// half-written object. Concurrent writers racing on one fingerprint are
+// harmless — both render identical bytes (fingerprints determine content)
+// and either rename wins. Reads tolerate corruption: a truncated,
+// damaged, or schema-incompatible object is reported as a miss, so the
+// caller recomputes instead of failing, and the recompute's Put
+// atomically overwrites the damaged object. Readers never delete —
+// removal on a failed read could race a concurrent writer's rename and
+// destroy a healthy object.
+//
+// The index is a convenience view for listings and stats; it is
+// rewritten atomically after each Put and rebuilt from the objects
+// directory whenever it is missing or unreadable. The objects are the
+// source of truth.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/result"
+)
+
+// Store is a handle on one cache directory. It is safe for concurrent
+// use by multiple goroutines; distinct processes sharing one directory
+// are also safe thanks to the atomic-rename write discipline.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	hits    uint64
+	misses  uint64
+	puts    uint64
+	corrupt uint64 // reads that failed the checksum/decode
+
+	// indexMu serializes read-modify-write cycles on index.json within
+	// this process. Cross-process writers can still interleave, which at
+	// worst leaves the advisory index stale — the objects directory is
+	// the source of truth and Index falls back to a full rebuild.
+	indexMu sync.Mutex
+}
+
+// envelope is the on-disk object form.
+type envelope struct {
+	// Checksum is the hex SHA-256 of Table (the canonical table bytes).
+	Checksum string `json:"checksum"`
+	// Table is the canonical table encoding, embedded verbatim.
+	Table json.RawMessage `json:"table"`
+}
+
+// Entry describes one cached object in the index.
+type Entry struct {
+	// Fingerprint is the object's content address (file name stem).
+	Fingerprint string `json:"fingerprint"`
+	// ID is the experiment id of the stored table (empty when the object
+	// could not be read at scan time).
+	ID string `json:"id"`
+	// Bytes is the object file size.
+	Bytes int64 `json:"bytes"`
+	// Unix is the object's modification time (seconds).
+	Unix int64 `json:"unix"`
+	// Damaged marks an object that was read successfully but failed the
+	// checksum/decode — proven corruption, as opposed to a transient
+	// read failure (which leaves ID empty and Damaged false).
+	Damaged bool `json:"damaged,omitempty"`
+}
+
+// Stats summarizes a store's content and this handle's traffic.
+type Stats struct {
+	// Objects and Bytes describe what is on disk now.
+	Objects int   `json:"objects"`
+	Bytes   int64 `json:"bytes"`
+	// Hits/Misses/Puts/Corrupt count this handle's operations: Corrupt
+	// counts reads that failed the checksum/decode (the object stays in
+	// place and is healed by the next Put for its fingerprint).
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Puts    uint64 `json:"puts"`
+	Corrupt uint64 `json:"corrupt"`
+}
+
+// Open returns a handle on dir, creating the layout if needed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) objectPath(fp string) string {
+	return filepath.Join(s.dir, "objects", fp+".json")
+}
+
+// validFingerprint guards the file-name position: fingerprints are
+// 64-char lowercase hex (result.Fingerprint's output), so nothing a
+// caller passes can escape the objects directory.
+func validFingerprint(fp string) bool {
+	if len(fp) != 64 {
+		return false
+	}
+	for _, c := range fp {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// errCorrupt marks an object that was read in full but failed the
+// checksum or decode — proven damage, distinct from transient I/O
+// failure.
+var errCorrupt = errors.New("store: object corrupt")
+
+// Get returns the cached table for a fingerprint, or (nil, false) on a
+// miss. Corrupt or unreadable objects count as misses; the caller's
+// recompute-and-Put overwrites a damaged object in place.
+func (s *Store) Get(fp string) (*result.Table, bool) {
+	t, err := s.read(fp)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil || t == nil {
+		s.misses++
+		if errors.Is(err, errCorrupt) {
+			s.corrupt++
+		}
+		return nil, false
+	}
+	s.hits++
+	return t, true
+}
+
+// read loads and verifies one object: (nil, nil) means absent, an
+// errCorrupt-wrapped error means present but damaged, any other error
+// is a (possibly transient) read failure. Nothing is ever deleted here.
+func (s *Store) read(fp string) (*result.Table, error) {
+	if !validFingerprint(fp) {
+		return nil, nil
+	}
+	raw, err := os.ReadFile(s.objectPath(fp))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	t, err := decodeEnvelope(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errCorrupt, err)
+	}
+	return t, nil
+}
+
+// decodeEnvelope parses and checksum-verifies an object file.
+func decodeEnvelope(raw []byte) (*result.Table, error) {
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, fmt.Errorf("store: parsing object: %w", err)
+	}
+	sum := sha256.Sum256(env.Table)
+	if hex.EncodeToString(sum[:]) != env.Checksum {
+		return nil, fmt.Errorf("store: object checksum mismatch")
+	}
+	t, err := result.DecodeJSON(strings.NewReader(string(env.Table)))
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Put stores a table under its fingerprint with an atomic
+// write-and-rename, then refreshes the index.
+func (s *Store) Put(fp string, t *result.Table) error {
+	if !validFingerprint(fp) {
+		return fmt.Errorf("store: malformed fingerprint %q", fp)
+	}
+	canonical, err := t.CanonicalJSON()
+	if err != nil {
+		return fmt.Errorf("store: encoding table %s: %w", t.ID, err)
+	}
+	sum := sha256.Sum256(canonical)
+	blob, err := json.Marshal(envelope{
+		Checksum: hex.EncodeToString(sum[:]),
+		Table:    json.RawMessage(canonical),
+	})
+	if err != nil {
+		return err
+	}
+	data := append(blob, '\n')
+	if err := s.writeAtomic(s.objectPath(fp), data); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.puts++
+	s.mu.Unlock()
+	return s.upsertIndex(Entry{
+		Fingerprint: fp,
+		ID:          t.ID,
+		Bytes:       int64(len(data)),
+		Unix:        time.Now().Unix(),
+	})
+}
+
+// writeAtomic writes data to a same-directory temp file and renames it
+// over path.
+func (s *Store) writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Entries scans the objects directory and returns the live index,
+// sorted by fingerprint. Damaged objects appear with an empty ID — they
+// are visible (and prunable) but not trusted.
+func (s *Store) Entries() ([]Entry, error) {
+	names, err := os.ReadDir(filepath.Join(s.dir, "objects"))
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]Entry, 0, len(names))
+	for _, de := range names {
+		name := de.Name()
+		fp, isObj := strings.CutSuffix(name, ".json")
+		if !isObj || !validFingerprint(fp) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		e := Entry{Fingerprint: fp, Bytes: info.Size(), Unix: info.ModTime().Unix()}
+		if raw, err := os.ReadFile(s.objectPath(fp)); err == nil {
+			if t, err := decodeEnvelope(raw); err == nil {
+				e.ID = t.ID
+			} else {
+				// Read in full but failed the checksum/decode: proven
+				// corruption. A transient ReadFile failure leaves the
+				// entry undamaged (just id-less) so Prune spares it.
+				e.Damaged = true
+			}
+		}
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Fingerprint < entries[j].Fingerprint })
+	return entries, nil
+}
+
+// writeIndex persists an entry list as index.json.
+func (s *Store) writeIndex(entries []Entry) error {
+	blob, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return s.writeAtomic(filepath.Join(s.dir, "index.json"), append(blob, '\n'))
+}
+
+// rewriteIndex regenerates index.json from a full objects-directory
+// scan — the recovery path for a missing or damaged index.
+func (s *Store) rewriteIndex() error {
+	entries, err := s.Entries()
+	if err != nil {
+		return err
+	}
+	return s.writeIndex(entries)
+}
+
+// readIndex parses index.json; any failure reports (nil, false) so the
+// caller can fall back to a scan.
+func (s *Store) readIndex() ([]Entry, bool) {
+	raw, err := os.ReadFile(filepath.Join(s.dir, "index.json"))
+	if err != nil {
+		return nil, false
+	}
+	var entries []Entry
+	if json.Unmarshal(raw, &entries) != nil {
+		return nil, false
+	}
+	return entries, true
+}
+
+// upsertIndex folds one fresh entry into the persisted index without
+// rescanning the objects directory (a Put would otherwise cost O(store
+// size) in reads). A missing or damaged index triggers the full
+// rebuild instead.
+func (s *Store) upsertIndex(e Entry) error {
+	s.indexMu.Lock()
+	defer s.indexMu.Unlock()
+	entries, ok := s.readIndex()
+	if !ok {
+		return s.rewriteIndex()
+	}
+	kept := entries[:0]
+	for _, old := range entries {
+		if old.Fingerprint != e.Fingerprint {
+			kept = append(kept, old)
+		}
+	}
+	kept = append(kept, e)
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Fingerprint < kept[j].Fingerprint })
+	return s.writeIndex(kept)
+}
+
+// Index returns the persisted index, rebuilding it when missing or
+// unreadable — the objects directory is the source of truth. Entries
+// are advisory: an object dropped for corruption after its index write
+// may linger until the next Put or Prune refreshes the file.
+func (s *Store) Index() ([]Entry, error) {
+	if entries, ok := s.readIndex(); ok {
+		return entries, nil
+	}
+	if err := s.rewriteIndex(); err != nil {
+		return nil, err
+	}
+	return s.Entries()
+}
+
+// Stats reports the store's current disk content and this handle's
+// traffic counters. It reads the index, not the objects, so it stays
+// cheap on large stores.
+func (s *Store) Stats() (Stats, error) {
+	entries, err := s.Index()
+	if err != nil {
+		return Stats{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Objects: len(entries), Hits: s.hits, Misses: s.misses, Puts: s.puts, Corrupt: s.corrupt}
+	for _, e := range entries {
+		st.Bytes += e.Bytes
+	}
+	return st, nil
+}
+
+// Prune removes every object older than maxAge and every provably
+// damaged object regardless of age (checksum/decode failures only — an
+// object that merely failed to read, e.g. under fd exhaustion or a
+// permission hiccup, is left alone), returning how many were removed.
+func Prune(s *Store, maxAge time.Duration) (int, error) {
+	entries, err := s.Entries()
+	if err != nil {
+		return 0, err
+	}
+	cutoff := time.Now().Add(-maxAge).Unix()
+	removed := 0
+	for _, e := range entries {
+		if e.Damaged || e.Unix < cutoff {
+			if err := os.Remove(s.objectPath(e.Fingerprint)); err == nil {
+				removed++
+			}
+		}
+	}
+	if removed > 0 {
+		if err := s.rewriteIndex(); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}

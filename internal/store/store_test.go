@@ -1,0 +1,272 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/result"
+)
+
+// tableFor builds a distinctive table for an experiment id.
+func tableFor(id string) *result.Table {
+	t := &result.Table{
+		ID:      id,
+		Title:   "title of " + id,
+		Claim:   "claim",
+		Columns: []string{"n", "v"},
+		Shape:   "holds",
+	}
+	t.AddRow(result.Int(64), result.Float(0.25).WithErr(0.01))
+	return t
+}
+
+func fpFor(id string, seed uint64) string {
+	return result.Fingerprint(id, result.Params{Seed: seed}, result.SchemaVersion)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := fpFor("E3", 1)
+	if _, ok := s.Get(fp); ok {
+		t.Fatal("hit on empty store")
+	}
+	want := tableFor("E3")
+	if err := s.Put(fp, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(fp)
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	if !want.Equal(got) {
+		t.Fatal("stored table differs from original")
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Objects != 1 || st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats %+v, want 1 object / 1 hit / 1 miss / 1 put", st)
+	}
+}
+
+func TestDistinctParamsDistinctObjects(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := []string{
+		fpFor("E3", 1),
+		fpFor("E3", 2),
+		fpFor("E4", 1),
+		result.Fingerprint("E3", result.Params{Seed: 1, Quick: true}, result.SchemaVersion),
+		result.Fingerprint("E3", result.Params{Seed: 1}, result.SchemaVersion+1),
+	}
+	for _, fp := range fps {
+		if err := s.Put(fp, tableFor("EX")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Objects != len(fps) {
+		t.Fatalf("%d objects for %d distinct run identities", st.Objects, len(fps))
+	}
+}
+
+// TestConcurrentWritersOneFingerprint races many writers and readers on
+// a single fingerprint: every completed Get must return an intact table
+// (content-addressing makes the racing writes byte-identical, and the
+// rename is atomic).
+func TestConcurrentWritersOneFingerprint(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := fpFor("E7", 9)
+	want := tableFor("E7")
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				errs[i] = s.Put(fp, tableFor("E7"))
+				return
+			}
+			if got, ok := s.Get(fp); ok && !want.Equal(got) {
+				errs[i] = fmt.Errorf("reader %d observed a damaged table", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok := s.Get(fp)
+	if !ok || !want.Equal(got) {
+		t.Fatal("table damaged after write race")
+	}
+}
+
+// TestTruncatedObjectIsAMiss simulates on-disk damage: the reader must
+// miss (never delete — that could race a concurrent writer's rename),
+// and a fresh Put must overwrite-heal the slot.
+func TestTruncatedObjectIsAMiss(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := fpFor("E5", 3)
+	if err := s.Put(fp, tableFor("E5")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(s.objectPath(fp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.objectPath(fp), raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(fp); ok {
+		t.Fatal("truncated object served as a hit")
+	}
+	if _, err := os.Stat(s.objectPath(fp)); err != nil {
+		t.Fatal("reader deleted the object — removal must be left to Put/Prune")
+	}
+	// The slot heals by overwrite.
+	if err := s.Put(fp, tableFor("E5")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(fp); !ok {
+		t.Fatal("healed slot still misses")
+	}
+}
+
+// TestCorruptPayloadIsAMiss flips bytes inside an intact JSON envelope:
+// the checksum must catch what the parser cannot.
+func TestCorruptPayloadIsAMiss(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := fpFor("E5", 4)
+	if err := s.Put(fp, tableFor("E5")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(s.objectPath(fp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Change a digit inside the payload without breaking JSON syntax.
+	mutated := []byte(string(raw))
+	for i := range mutated {
+		if mutated[i] == '6' {
+			mutated[i] = '7'
+			break
+		}
+	}
+	if string(mutated) == string(raw) {
+		t.Fatal("test setup: nothing mutated")
+	}
+	if err := os.WriteFile(s.objectPath(fp), mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(fp); ok {
+		t.Fatal("checksum-corrupt object served as a hit")
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Corrupt == 0 {
+		t.Fatal("corrupt read not counted")
+	}
+	// Prune removes the provably damaged object even though it is fresh.
+	removed, err := Prune(s, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("Prune removed %d, want the 1 damaged object", removed)
+	}
+}
+
+func TestMalformedFingerprintRejected(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "zz", "../../etc/passwd", "ABCDEF" + fpFor("E1", 1)[6:]} {
+		if err := s.Put(bad, tableFor("E1")); err == nil {
+			t.Fatalf("Put accepted malformed fingerprint %q", bad)
+		}
+		if _, ok := s.Get(bad); ok {
+			t.Fatalf("Get hit on malformed fingerprint %q", bad)
+		}
+	}
+}
+
+func TestIndexRebuiltAfterDamage(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := fpFor("E9", 5)
+	if err := s.Put(fp, tableFor("E9")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "index.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := s.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Fingerprint != fp || entries[0].ID != "E9" {
+		t.Fatalf("rebuilt index wrong: %+v", entries)
+	}
+}
+
+func TestPrune(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldFP, newFP := fpFor("E1", 1), fpFor("E2", 2)
+	for _, fp := range []string{oldFP, newFP} {
+		if err := s.Put(fp, tableFor("EX")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	past := time.Now().Add(-48 * time.Hour)
+	if err := os.Chtimes(s.objectPath(oldFP), past, past); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := Prune(s, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("pruned %d objects, want 1", removed)
+	}
+	if _, ok := s.Get(oldFP); ok {
+		t.Fatal("pruned object still served")
+	}
+	if _, ok := s.Get(newFP); !ok {
+		t.Fatal("fresh object pruned")
+	}
+}

@@ -129,7 +129,7 @@ func CheckConnectivity(g *Digraph, rounds int, seed uint64) (bool, error) {
 	return frontier.RunConnectivity(g, rounds, seed)
 }
 
-// RunAllExperiments executes the full reproduction harness (E1..E17) and
+// RunAllExperiments executes the full reproduction harness (E1..E18) and
 // renders each table to w.
 func RunAllExperiments(w io.Writer, cfg ExperimentConfig) error {
 	for _, e := range experiments.All() {
