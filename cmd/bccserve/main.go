@@ -1,46 +1,66 @@
 // Command bccserve serves the paper-reproduction tables over HTTP, on
-// top of the result store and the concurrent scheduler: cached tables
-// are answered straight from disk, misses are computed on demand (once —
-// concurrent identical requests share a single computation), and every
-// computed table is persisted so no (experiment, seed, quick) pair is
-// ever paid for twice.
+// top of the tiered result store and the concurrent scheduler: cached
+// tables are answered from the fastest tier that holds them (in-memory
+// hot table → disk store → remote peer replica), misses are computed on
+// demand (once — concurrent identical requests share a single
+// computation), and every computed table is persisted so no
+// (experiment, seed, quick) pair is ever paid for twice — by this
+// replica or, with -peer, by any replica in the fleet.
 //
-// Endpoints:
+// Endpoints (full reference with examples: docs/api.md):
 //
 //	GET /healthz
 //	    Liveness probe; returns {"status":"ok"}.
 //	GET /tables[?seed=N&quick=BOOL]
 //	    Lists every registry experiment with its title and whether the
 //	    table for the given parameters is already cached.
-//	GET /tables/{id}?seed=N&quick=BOOL&format=json|md
+//	GET /tables/{id}?seed=N&quick=BOOL&format=json|md&cached=only
 //	    Returns one table: canonical JSON (default) or the markdown
 //	    view. The X-Cache response header says hit (served from the
-//	    store) or miss (computed for this request); X-Fingerprint names
-//	    the object.
+//	    store) or miss (computed for this request); X-Cache-Tier names
+//	    the answering tier on a hit; X-Fingerprint names the object.
+//	    With cached=only the server never computes: it answers 200 from
+//	    its store stack or 404 — the wire contract that lets replicas
+//	    warm from each other without recursion. A full compute queue is
+//	    429 with Retry-After; a request that outlives -timeout is 504.
 //	GET /stats
-//	    Store statistics (object count, bytes, hit/miss counters).
+//	    Store, per-tier, queue, and compute-latency statistics.
 //
 // Usage:
 //
-//	bccserve [-addr :8344] [-store DIR] [-seed N] [-quick] [-workers N]
-//	         [-parallel N]
+//	bccserve [-addr :8344] [-store DIR] [-mem N] [-peer URL] [-seed N]
+//	         [-quick] [-workers N] [-parallel N] [-queue N] [-timeout D]
+//
+// The store stack is assembled from the flags, fastest tier first:
+// -mem N is the in-process hot-table LRU (L0, N tables; 0 disables),
+// -store DIR the durable disk store (L1), -peer URL a warm replica
+// to read from (L2, never written). Any subset works; with none of the
+// three the server still serves, deduplicating concurrent identical
+// requests in memory only. -store honors the BCC_STORE environment
+// variable as its default, so a server and local benchmark runs share
+// one corpus without repeating the flag.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/sched"
 	"repro/internal/store"
+	"repro/internal/store/tier"
 )
 
 func main() {
@@ -53,21 +73,23 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("bccserve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8344", "listen address")
-	storeDir := fs.String("store", "", "result-store directory (empty: in-memory dedup only, no persistence)")
+	storeDir := fs.String("store", os.Getenv("BCC_STORE"),
+		"disk store directory (L1; default $BCC_STORE; empty with no $BCC_STORE: no disk tier)")
+	memSize := fs.Int("mem", 64, "in-memory hot-table LRU capacity in tables (L0; 0 disables)")
+	peer := fs.String("peer", "", "warm replica base URL to read from (L2, e.g. http://replica-0:8344; read-only)")
 	seed := fs.Uint64("seed", 2019, "default seed when a request omits ?seed=")
 	quick := fs.Bool("quick", false, "default quick mode when a request omits ?quick=")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "total goroutine budget for on-demand computation")
 	parallel := fs.Int("parallel", 2, "experiments computed concurrently")
+	queue := fs.Int("queue", 16, "computations allowed to wait beyond the -parallel running ones before requests get 429 (-1: unbounded)")
+	timeout := fs.Duration("timeout", 0, "per-request compute deadline (0: none); exceeded requests get 504")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var st *store.Store
-	if *storeDir != "" {
-		var err error
-		if st, err = store.Open(*storeDir); err != nil {
-			return err
-		}
+	stack, err := tier.NewStack(*memSize, *storeDir, *peer)
+	if err != nil {
+		return err
 	}
 	// The scheduler's semaphore caps concurrent computations at
 	// -parallel; splitting the -workers budget across those slots keeps
@@ -80,32 +102,42 @@ func run(args []string, stdout io.Writer) error {
 	if perWorkers < 1 {
 		perWorkers = 1
 	}
+	opts := []sched.Option{}
+	if *queue >= 0 {
+		opts = append(opts, sched.WithQueue(*queue))
+	}
 	srv := &server{
-		sch:      sched.New(st, *parallel),
+		sch:      sched.New(stack.Backend, *parallel, opts...),
+		stack:    stack,
 		registry: experiments.All,
 		seed:     *seed,
 		quick:    *quick,
 		workers:  perWorkers,
+		timeout:  *timeout,
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	// The line is machine-readable so scripts (and the CI smoke leg) can
+	// The line is machine-readable so scripts (and the CI smoke legs) can
 	// wait for readiness and discover the bound port.
 	fmt.Fprintf(stdout, "bccserve listening on %s\n", ln.Addr())
 	return http.Serve(ln, srv.handler())
 }
 
 // server holds the wiring; the registry indirection keeps handlers
-// testable against synthetic experiments.
+// testable against synthetic experiments. The stack's per-tier handles
+// feed /stats; tier.NewStack assembles it for the CLI and the server
+// alike.
 type server struct {
 	sch      *sched.Scheduler
+	stack    tier.Stack
 	registry func() []experiments.Experiment
 	seed     uint64
 	quick    bool
 	workers  int
+	timeout  time.Duration
 }
 
 func (s *server) handler() http.Handler {
@@ -165,9 +197,8 @@ func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	var cached map[string]bool
-	if st := s.sch.Store(); st != nil {
-		cached = map[string]bool{}
+	cached := map[string]bool{}
+	if st := s.stack.Disk; st != nil {
 		// The advisory index is enough here: a stale "cached" flag only
 		// means the next table request recomputes and heals it.
 		if entries, err := st.Index(); err == nil {
@@ -178,16 +209,37 @@ func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 	}
 	entries := []listEntry{}
 	for _, e := range s.registry() {
-		fp := cfg.Fingerprint(e.ID)
+		key := store.KeyFor(e.ID, cfg.Params())
+		// The memory tier counts too — a disk-less server would
+		// otherwise advertise a permanently cold replica while
+		// cached=only happily serves from L0.
+		isCached := cached[key.Fingerprint]
+		if !isCached && s.stack.Mem != nil {
+			isCached = s.stack.Mem.Contains(key)
+		}
 		entries = append(entries, listEntry{
 			ID:          e.ID,
 			Title:       e.Title,
-			Fingerprint: fp,
-			Cached:      cached[fp],
+			Fingerprint: key.Fingerprint,
+			Cached:      isCached,
 		})
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(entries)
+}
+
+// retryAfterSeconds estimates how long a rejected client should back
+// off: roughly one mean computation, clamped to [1s, 60s].
+func (s *server) retryAfterSeconds() int {
+	mean := s.sch.Metrics().MeanComputeMS
+	secs := int(math.Ceil(mean / 1000))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
@@ -217,12 +269,67 @@ func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "unknown format %q (want json or md)", format)
 		return
 	}
-
-	table, out, err := s.sch.Table(exp, cfg)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "computing %s: %v", id, err)
+	cachedOnly := false
+	switch v := r.URL.Query().Get("cached"); v {
+	case "", "any":
+	case "only":
+		cachedOnly = true
+	default:
+		httpError(w, http.StatusBadRequest, "unknown cached mode %q (want only)", v)
 		return
 	}
+
+	key := store.KeyFor(id, cfg.Params())
+	var table, tierName, cacheHit = (*experiments.Table)(nil), "", false
+	if cachedOnly {
+		// The replica-warming wire contract: answer from this replica's
+		// LOCAL tiers or say 404 — no computation and no onward peer
+		// lookup, so peer topologies (cycles included) cannot amplify a
+		// miss into a storm of mutual cached=only requests.
+		tab, name, ok := s.stack.CachedLocal(r.Context(), key)
+		if !ok {
+			w.Header().Set("X-Cache", "miss")
+			httpError(w, http.StatusNotFound, "%s not cached for seed=%d quick=%t", id, cfg.Seed, cfg.Quick)
+			return
+		}
+		table, tierName, cacheHit = tab, name, true
+	} else {
+		ctx := r.Context()
+		if s.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.timeout)
+			defer cancel()
+		}
+		tab, out, err := s.sch.TableCtx(ctx, exp, cfg)
+		switch {
+		case errors.Is(err, sched.ErrBusy):
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			httpError(w, http.StatusTooManyRequests, "compute queue full, retry later")
+			return
+		case errors.Is(err, context.DeadlineExceeded) && ctx.Err() != nil:
+			// Only the request's own expired deadline is a 504; an
+			// estimator failing with its own DeadlineExceeded-flavored
+			// error (an internal network timeout, say) is a plain 500 —
+			// nothing was persisted, so "retry for the cached table"
+			// would be a lie.
+			httpError(w, http.StatusGatewayTimeout, "computing %s exceeded the %s deadline", id, s.timeout)
+			return
+		case errors.Is(err, context.Canceled):
+			if r.Context().Err() != nil {
+				// The client went away; nobody reads this response.
+				return
+			}
+			// Defensive: the scheduler retries inherited flight
+			// cancellations, so a live client should never see this.
+			httpError(w, http.StatusInternalServerError, "computing %s: %v", id, err)
+			return
+		case err != nil:
+			httpError(w, http.StatusInternalServerError, "computing %s: %v", id, err)
+			return
+		}
+		table, tierName, cacheHit = tab, out.Tier, out.CacheHit
+	}
+
 	// Encode before any header is committed so an encoding failure can
 	// still become a proper 500 instead of a silent empty 200.
 	var body []byte
@@ -240,26 +347,42 @@ func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
 		body = append(canonical, '\n')
 	}
 	cache := "miss"
-	if out.CacheHit {
+	if cacheHit {
 		cache = "hit"
+		if tierName != "" {
+			w.Header().Set("X-Cache-Tier", tierName)
+		}
 	}
 	w.Header().Set("X-Cache", cache)
-	w.Header().Set("X-Fingerprint", cfg.Fingerprint(id))
+	w.Header().Set("X-Fingerprint", key.Fingerprint)
 	w.Header().Set("Content-Type", contentType)
 	w.Write(body)
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	payload := map[string]any{
+		"sched": s.sch.Metrics(),
+	}
+	if st := s.stack.Disk; st != nil {
+		payload["dir"] = st.Dir()
+		stats, err := st.Stats()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "reading store: %v", err)
+			return
+		}
+		payload["store"] = stats
+	} else {
+		payload["store"] = nil
+	}
+	if s.stack.Mem != nil {
+		payload["memory"] = s.stack.Mem.Stats()
+	}
+	if s.stack.Peer != nil {
+		payload["remote"] = s.stack.Peer.Stats()
+	}
+	if s.stack.Tiered != nil {
+		payload["tiers"] = s.stack.Tiered.Stats()
+	}
 	w.Header().Set("Content-Type", "application/json")
-	st := s.sch.Store()
-	if st == nil {
-		fmt.Fprintln(w, `{"store":null}`)
-		return
-	}
-	stats, err := st.Stats()
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "reading store: %v", err)
-		return
-	}
-	json.NewEncoder(w).Encode(map[string]any{"store": stats, "dir": st.Dir()})
+	json.NewEncoder(w).Encode(payload)
 }

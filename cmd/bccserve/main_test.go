@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -15,37 +17,45 @@ import (
 	"repro/internal/result"
 	"repro/internal/sched"
 	"repro/internal/store"
+	"repro/internal/store/tier"
 )
 
-// testServer wires a server over a temp store and a synthetic registry
-// whose single experiment counts its invocations.
+// countingRegistry returns a single-experiment registry whose Run
+// counts invocations and optionally blocks on block.
+func countingRegistry(calls *atomic.Int64, block chan struct{}) func() []experiments.Experiment {
+	return func() []experiments.Experiment {
+		return []experiments.Experiment{{
+			ID:    "EX",
+			Title: "synthetic experiment",
+			Run: func(cfg experiments.Config) (*experiments.Table, error) {
+				calls.Add(1)
+				if block != nil {
+					<-block
+				}
+				tab := &experiments.Table{ID: "EX", Title: "synthetic",
+					Claim: "c", Columns: []string{"seed", "quick"}, Shape: "holds"}
+				tab.AddRow(result.Int(int(cfg.Seed)), result.Bool(cfg.Quick))
+				return tab, nil
+			},
+		}}
+	}
+}
+
+// testServer wires a server over a memory+disk stack and a synthetic
+// registry whose single experiment counts its invocations.
 func testServer(t *testing.T, calls *atomic.Int64, block chan struct{}) *server {
 	t.Helper()
-	st, err := store.Open(t.TempDir())
+	stack, err := tier.NewStack(4, t.TempDir(), "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	return &server{
-		sch: sched.New(st, 2),
-		registry: func() []experiments.Experiment {
-			return []experiments.Experiment{{
-				ID:    "EX",
-				Title: "synthetic experiment",
-				Run: func(cfg experiments.Config) (*experiments.Table, error) {
-					calls.Add(1)
-					if block != nil {
-						<-block
-					}
-					tab := &experiments.Table{ID: "EX", Title: "synthetic",
-						Claim: "c", Columns: []string{"seed", "quick"}, Shape: "holds"}
-					tab.AddRow(result.Int(int(cfg.Seed)), result.Bool(cfg.Quick))
-					return tab, nil
-				},
-			}}
-		},
-		seed:    2019,
-		quick:   true,
-		workers: 2,
+		sch:      sched.New(stack.Backend, 2),
+		stack:    stack,
+		registry: countingRegistry(calls, block),
+		seed:     2019,
+		quick:    true,
+		workers:  2,
 	}
 }
 
@@ -72,7 +82,8 @@ func TestHealthz(t *testing.T) {
 
 // TestTableMissThenHit is the serving contract: the first request
 // computes (X-Cache: miss), the second is served from the store with
-// zero recomputation (X-Cache: hit), and the bodies are byte-identical.
+// zero recomputation (X-Cache: hit, from the memory tier that the
+// write-through populated), and the bodies are byte-identical.
 func TestTableMissThenHit(t *testing.T) {
 	var calls atomic.Int64
 	h := testServer(t, &calls, nil).handler()
@@ -91,6 +102,9 @@ func TestTableMissThenHit(t *testing.T) {
 	res2, body2 := get(t, h, "/tables/EX?seed=7")
 	if c := res2.Header.Get("X-Cache"); c != "hit" {
 		t.Fatalf("second request X-Cache = %q, want hit", c)
+	}
+	if tier := res2.Header.Get("X-Cache-Tier"); tier != "memory" {
+		t.Fatalf("second request X-Cache-Tier = %q, want memory", tier)
 	}
 	if calls.Load() != 1 {
 		t.Fatalf("cached request recomputed: %d calls", calls.Load())
@@ -188,6 +202,44 @@ func TestListShowsCachedState(t *testing.T) {
 	}
 }
 
+// TestListShowsMemoryCachedOnDisklessServer: with no disk tier the
+// listing's cached flag must come from the memory tier — a disk-less
+// replica otherwise advertises itself permanently cold while
+// cached=only serves from L0.
+func TestListShowsMemoryCachedOnDisklessServer(t *testing.T) {
+	var calls atomic.Int64
+	stack, err := tier.NewStack(4, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &server{
+		sch:      sched.New(stack.Backend, 2),
+		stack:    stack,
+		registry: countingRegistry(&calls, nil),
+		seed:     2019,
+		quick:    true,
+		workers:  2,
+	}
+	h := srv.handler()
+
+	var entries []listEntry
+	_, body := get(t, h, "/tables")
+	if err := json.Unmarshal([]byte(body), &entries); err != nil {
+		t.Fatal(err)
+	}
+	if entries[0].Cached {
+		t.Fatalf("cold memory-only list claims cached: %+v", entries)
+	}
+	get(t, h, "/tables/EX") // populate L0 (default params)
+	_, body = get(t, h, "/tables")
+	if err := json.Unmarshal([]byte(body), &entries); err != nil {
+		t.Fatal(err)
+	}
+	if !entries[0].Cached {
+		t.Fatalf("memory-cached table not listed as cached: %+v", entries)
+	}
+}
+
 func TestBadRequests(t *testing.T) {
 	var calls atomic.Int64
 	h := testServer(t, &calls, nil).handler()
@@ -196,6 +248,7 @@ func TestBadRequests(t *testing.T) {
 		"/tables/EX?seed=banana":   400,
 		"/tables/EX?quick=perhaps": 400,
 		"/tables/EX?format=xml":    400,
+		"/tables/EX?cached=maybe":  400,
 		"/tables?seed=banana":      400,
 	} {
 		if res, body := get(t, h, path); res.StatusCode != want {
@@ -207,30 +260,298 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
+// TestCachedOnlyNeverComputes is the replica-warming wire contract: a
+// cached=only request answers 404 on a cold store — with zero estimator
+// calls — and 200 once the table exists.
+func TestCachedOnlyNeverComputes(t *testing.T) {
+	var calls atomic.Int64
+	h := testServer(t, &calls, nil).handler()
+
+	res, _ := get(t, h, "/tables/EX?seed=7&cached=only")
+	if res.StatusCode != 404 {
+		t.Fatalf("cold cached=only: status %d, want 404", res.StatusCode)
+	}
+	if res.Header.Get("X-Cache") != "miss" {
+		t.Fatal("cold cached=only response missing X-Cache: miss")
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("cached=only computed %d times", calls.Load())
+	}
+
+	get(t, h, "/tables/EX?seed=7") // warm
+	res, body := get(t, h, "/tables/EX?seed=7&cached=only")
+	if res.StatusCode != 200 || res.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("warm cached=only: %d %s", res.StatusCode, body)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("warm cached=only recomputed: %d calls", calls.Load())
+	}
+}
+
+// TestCachedOnlySkipsPeer: a cached=only request is answered from the
+// local tiers alone — zero requests reach the peer — otherwise two
+// replicas peered at each other would amplify every shared miss into a
+// storm of mutual cached=only lookups.
+func TestCachedOnlySkipsPeer(t *testing.T) {
+	var peerHits atomic.Int64
+	peerSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		peerHits.Add(1)
+		http.NotFound(w, r)
+	}))
+	defer peerSrv.Close()
+
+	var calls atomic.Int64
+	stack, err := tier.NewStack(4, t.TempDir(), peerSrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &server{
+		sch:      sched.New(stack.Backend, 2),
+		stack:    stack,
+		registry: countingRegistry(&calls, nil),
+		seed:     2019,
+		quick:    true,
+		workers:  2,
+	}
+	h := srv.handler()
+
+	res, _ := get(t, h, "/tables/EX?seed=7&cached=only")
+	if res.StatusCode != 404 {
+		t.Fatalf("cold cached=only: status %d, want 404", res.StatusCode)
+	}
+	if peerHits.Load() != 0 {
+		t.Fatalf("cached=only reached the peer %d times, want 0", peerHits.Load())
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("cached=only computed %d times", calls.Load())
+	}
+
+	// Warmed locally, cached=only serves without the peer too.
+	get(t, h, "/tables/EX?seed=7") // computes (peer misses once: the normal path)
+	peerBefore := peerHits.Load()
+	if res, _ := get(t, h, "/tables/EX?seed=7&cached=only"); res.StatusCode != 200 {
+		t.Fatalf("warm cached=only: status %d", res.StatusCode)
+	}
+	if peerHits.Load() != peerBefore {
+		t.Fatal("warm cached=only still consulted the peer")
+	}
+}
+
+// TestColdReplicaWarmsFromPeer is the cross-replica acceptance
+// criterion: a cold replica pointed at a warm peer serves /tables/{id}
+// without invoking any estimator, and the peer does not recompute
+// either.
+func TestColdReplicaWarmsFromPeer(t *testing.T) {
+	// Replica A: compute once, keep warm.
+	var callsA atomic.Int64
+	a := testServer(t, &callsA, nil)
+	peerSrv := httptest.NewServer(a.handler())
+	defer peerSrv.Close()
+	if res, body := get(t, a.handler(), "/tables/EX?seed=7"); res.StatusCode != 200 {
+		t.Fatalf("warming A failed: %d %s", res.StatusCode, body)
+	}
+
+	// Replica B: cold memory+disk, remote tier pointed at A. Its
+	// registry counts estimator calls — the acceptance criterion is
+	// that it stays at zero.
+	var callsB atomic.Int64
+	stack, err := tier.NewStack(4, t.TempDir(), peerSrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &server{
+		sch:      sched.New(stack.Backend, 2),
+		stack:    stack,
+		registry: countingRegistry(&callsB, nil),
+		seed:     2019,
+		quick:    true,
+		workers:  2,
+	}
+
+	res, body := get(t, b.handler(), "/tables/EX?seed=7")
+	if res.StatusCode != 200 {
+		t.Fatalf("cold replica request: %d %s", res.StatusCode, body)
+	}
+	if c := res.Header.Get("X-Cache"); c != "hit" {
+		t.Fatalf("cold replica X-Cache = %q, want hit (from the peer)", c)
+	}
+	if tier := res.Header.Get("X-Cache-Tier"); tier != "remote" {
+		t.Fatalf("cold replica X-Cache-Tier = %q, want remote", tier)
+	}
+	if callsB.Load() != 0 {
+		t.Fatalf("cold replica invoked %d estimators despite a warm peer", callsB.Load())
+	}
+	if callsA.Load() != 1 {
+		t.Fatalf("peer recomputed: %d calls, want the 1 warming call", callsA.Load())
+	}
+
+	// The hit backfilled B's local tiers: the next request must be
+	// answered locally (memory), not by another peer round-trip.
+	res, _ = get(t, b.handler(), "/tables/EX?seed=7")
+	if tier := res.Header.Get("X-Cache-Tier"); tier != "memory" {
+		t.Fatalf("second request X-Cache-Tier = %q, want memory (backfilled)", tier)
+	}
+
+	// Dead peer: lookups degrade to local compute, never an error.
+	peerSrv.Close()
+	res, body = get(t, b.handler(), "/tables/EX?seed=9")
+	if res.StatusCode != 200 {
+		t.Fatalf("request with dead peer: %d %s", res.StatusCode, body)
+	}
+	if callsB.Load() != 1 {
+		t.Fatalf("dead peer: local compute ran %d times, want 1", callsB.Load())
+	}
+}
+
+// TestSaturatedQueueReturns429 is the backpressure acceptance
+// criterion: with one busy slot and no waiting room, a fresh request is
+// rejected with 429 + Retry-After while the in-flight request still
+// completes.
+func TestSaturatedQueueReturns429(t *testing.T) {
+	var calls atomic.Int64
+	block := make(chan struct{})
+	stack, err := tier.NewStack(4, t.TempDir(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &server{
+		sch:      sched.New(stack.Backend, 1, sched.WithQueue(0)),
+		stack:    stack,
+		registry: countingRegistry(&calls, block),
+		seed:     2019,
+		quick:    true,
+		workers:  1,
+	}
+	h := srv.handler()
+
+	inflight := make(chan *http.Response, 1)
+	go func() {
+		res, _ := get(t, h, "/tables/EX?seed=1")
+		inflight <- res
+	}()
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	res, body := get(t, h, "/tables/EX?seed=2")
+	if res.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated queue: status %d, want 429: %s", res.StatusCode, body)
+	}
+	if ra := res.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 response missing Retry-After")
+	}
+
+	// The in-flight request is unaffected.
+	close(block)
+	if res := <-inflight; res.StatusCode != 200 {
+		t.Fatalf("in-flight request failed under saturation: %d", res.StatusCode)
+	}
+	// With the slot free the rejected parameters compute fine.
+	if res, _ := get(t, h, "/tables/EX?seed=2"); res.StatusCode != 200 {
+		t.Fatalf("post-saturation request: %d", res.StatusCode)
+	}
+}
+
+// TestComputeTimeoutReturns504: a computation outliving the server's
+// -timeout answers 504 (the detached computation finishes later and
+// persists for the retry).
+func TestComputeTimeoutReturns504(t *testing.T) {
+	var calls atomic.Int64
+	block := make(chan struct{})
+	srv := testServer(t, &calls, block)
+	srv.timeout = 25 * time.Millisecond
+	h := srv.handler()
+
+	res, body := get(t, h, "/tables/EX?seed=1")
+	if res.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("timed-out request: status %d, want 504: %s", res.StatusCode, body)
+	}
+	close(block) // let the detached computation finish and persist
+
+	// The finished computation is served from the store on retry.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res, _ := get(t, h, "/tables/EX?seed=1")
+		if res.StatusCode == 200 && res.Header.Get("X-Cache") == "hit" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("detached computation never landed in the store")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("retry recomputed: %d calls", calls.Load())
+	}
+}
+
+// TestEstimatorInternalDeadlineIs500Not504: an experiment failing with
+// its own DeadlineExceeded-flavored error is a plain 500 — only the
+// request's expired deadline earns the 504 and its retry-for-cache
+// guidance (nothing was persisted here, so a retry recomputes).
+func TestEstimatorInternalDeadlineIs500Not504(t *testing.T) {
+	stack, err := tier.NewStack(4, t.TempDir(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &server{
+		sch:   sched.New(stack.Backend, 2),
+		stack: stack,
+		registry: func() []experiments.Experiment {
+			return []experiments.Experiment{{
+				ID:    "EX",
+				Title: "synthetic",
+				Run: func(cfg experiments.Config) (*experiments.Table, error) {
+					return nil, fmt.Errorf("fetching aux data: %w", context.DeadlineExceeded)
+				},
+			}}
+		},
+		seed:    2019,
+		quick:   true,
+		workers: 2,
+		timeout: time.Minute, // a deadline exists but never fires
+	}
+	res, body := get(t, srv.handler(), "/tables/EX")
+	if res.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("estimator-internal deadline error: status %d, want 500: %s", res.StatusCode, body)
+	}
+}
+
 func TestStats(t *testing.T) {
 	var calls atomic.Int64
 	h := testServer(t, &calls, nil).handler()
 	get(t, h, "/tables/EX")
 	_, body := get(t, h, "/stats")
 	var payload struct {
-		Store store.Stats `json:"store"`
+		Store  store.Stats   `json:"store"`
+		Sched  sched.Metrics `json:"sched"`
+		Memory struct {
+			Capacity int `json:"capacity"`
+			Len      int `json:"len"`
+		} `json:"memory"`
 	}
 	if err := json.Unmarshal([]byte(body), &payload); err != nil {
 		t.Fatal(err)
 	}
 	if payload.Store.Objects != 1 || payload.Store.Puts != 1 {
-		t.Fatalf("stats wrong: %+v", payload.Store)
+		t.Fatalf("store stats wrong: %+v", payload.Store)
+	}
+	if payload.Sched.Computed != 1 {
+		t.Fatalf("sched stats wrong: %+v", payload.Sched)
+	}
+	if payload.Memory.Capacity != 4 || payload.Memory.Len != 1 {
+		t.Fatalf("memory stats wrong: %+v", payload.Memory)
 	}
 }
 
 // TestRealRegistrySmoke serves a real quick experiment end to end.
 func TestRealRegistrySmoke(t *testing.T) {
-	st, err := store.Open(t.TempDir())
+	stack, err := tier.NewStack(4, t.TempDir(), "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := &server{sch: sched.New(st, 2), registry: experiments.All,
-		seed: 3, quick: true, workers: 2}
+	srv := &server{sch: sched.New(stack.Backend, 2), stack: stack,
+		registry: experiments.All, seed: 3, quick: true, workers: 2}
 	h := srv.handler()
 	res, body := get(t, h, "/tables/E13")
 	if res.StatusCode != 200 {

@@ -8,12 +8,22 @@
 // store: tables whose fingerprint (experiment id, seed, quick, schema
 // version) is already cached are served from disk without recomputing,
 // and fresh computations are persisted for every later run — including
-// the bccserve HTTP server pointed at the same directory.
+// the bccserve HTTP server pointed at the same directory. -store
+// defaults to the BCC_STORE environment variable, so repeated local
+// sweeps and benchmark runs amortize against one shared corpus without
+// repeating the flag.
+//
+// The store can be tiered like the server's: -mem N puts an in-memory
+// hot table in front of the directory (useful when one sweep revisits
+// ids), and -peer URL reads a warm bccserve replica before computing
+// anything locally — a sweep against a warm fleet costs network reads,
+// not estimator runs.
 //
 // Usage:
 //
 //	experiments [-quick] [-seed N] [-workers N] [-only E7[,E8,...]]
-//	            [-format md|json] [-store DIR] [-o FILE]
+//	            [-format md|json] [-store DIR] [-mem N] [-peer URL]
+//	            [-o FILE]
 package main
 
 import (
@@ -26,7 +36,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/sched"
-	"repro/internal/store"
+	"repro/internal/store/tier"
 )
 
 // registry is swapped by tests to count estimator invocations.
@@ -47,7 +57,10 @@ func run(args []string, stdout io.Writer) error {
 		"goroutine pool size for the measurement engines (tables are identical for any value)")
 	only := fs.String("only", "", "comma-separated experiment ids to run (default: all)")
 	format := fs.String("format", "md", "output format: md (markdown) or json (one canonical table per line)")
-	storeDir := fs.String("store", "", "result-store directory: serve cached tables and persist fresh ones")
+	storeDir := fs.String("store", os.Getenv("BCC_STORE"),
+		"result-store directory: serve cached tables and persist fresh ones (default $BCC_STORE)")
+	memSize := fs.Int("mem", 0, "in-memory hot-table LRU capacity in tables (0 disables)")
+	peer := fs.String("peer", "", "warm bccserve replica to read tables from before computing (read-only)")
 	outPath := fs.String("o", "", "write output to this file instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,14 +86,12 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	var st *store.Store
-	if *storeDir != "" {
-		var err error
-		if st, err = store.Open(*storeDir); err != nil {
-			return err
-		}
+	// The same memory → disk → peer assembly bccserve serves from.
+	stack, err := tier.NewStack(*memSize, *storeDir, *peer)
+	if err != nil {
+		return err
 	}
-	scheduler := sched.New(st, 1)
+	scheduler := sched.New(stack.Backend, 1)
 
 	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers}
 	ran := 0

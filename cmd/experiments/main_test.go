@@ -1,6 +1,8 @@
 package main
 
 import (
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,6 +11,14 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/result"
 )
+
+// TestMain strips BCC_STORE from the environment so the hermetic tests
+// below never leak into (or read from) a developer's shared corpus;
+// TestBCCStoreEnvSelectsStore opts back in with t.Setenv.
+func TestMain(m *testing.M) {
+	os.Unsetenv("BCC_STORE")
+	os.Exit(m.Run())
+}
 
 // cheapID returns the experiment the CLI tests exercise: the exact E5
 // enumeration normally, the fast Monte-Carlo E13 under -short (CI race
@@ -152,5 +162,89 @@ func TestStoreSkipsRecompute(t *testing.T) {
 	}
 	if calls != 2 {
 		t.Fatalf("new seed did not compute: %d calls", calls)
+	}
+}
+
+// syntheticRegistry installs a counting one-experiment registry and
+// returns the counter; the caller must run under the returned restore.
+func syntheticRegistry(t *testing.T) *int {
+	t.Helper()
+	calls := new(int)
+	registry = func() []experiments.Experiment {
+		return []experiments.Experiment{{
+			ID:    "EX",
+			Title: "synthetic",
+			Run: func(cfg experiments.Config) (*experiments.Table, error) {
+				*calls++
+				tab := &experiments.Table{ID: "EX", Title: "synthetic",
+					Claim: "c", Columns: []string{"seed"}, Shape: "holds"}
+				tab.AddRow(result.Int(int(cfg.Seed)))
+				return tab, nil
+			},
+		}}
+	}
+	t.Cleanup(func() { registry = experiments.All })
+	return calls
+}
+
+// TestBCCStoreEnvSelectsStore: with BCC_STORE set and no -store flag,
+// runs share the environment-selected corpus — the second run performs
+// zero estimator calls.
+func TestBCCStoreEnvSelectsStore(t *testing.T) {
+	calls := syntheticRegistry(t)
+	t.Setenv("BCC_STORE", t.TempDir())
+	var first, second strings.Builder
+	if err := run([]string{"-seed", "21"}, &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-seed", "21"}, &second); err != nil {
+		t.Fatal(err)
+	}
+	if *calls != 1 {
+		t.Fatalf("BCC_STORE runs made %d estimator calls, want 1", *calls)
+	}
+	if first.String() != second.String() {
+		t.Fatal("store-backed rerun printed different bytes")
+	}
+	// An explicit -store overrides the environment.
+	var third strings.Builder
+	if err := run([]string{"-seed", "21", "-store", t.TempDir()}, &third); err != nil {
+		t.Fatal(err)
+	}
+	if *calls != 2 {
+		t.Fatalf("-store override did not compute: %d calls", *calls)
+	}
+}
+
+// TestPeerTierSkipsLocalCompute: with -peer pointed at a warm replica,
+// the CLI reads the table over the wire and performs zero local
+// estimator calls.
+func TestPeerTierSkipsLocalCompute(t *testing.T) {
+	calls := syntheticRegistry(t)
+	warm := &experiments.Table{ID: "EX", Title: "synthetic",
+		Claim: "c", Columns: []string{"seed"}, Shape: "holds"}
+	warm.AddRow(result.Int(31))
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/tables/EX" || r.URL.Query().Get("cached") != "only" {
+			http.NotFound(w, r)
+			return
+		}
+		blob, err := warm.CanonicalJSON()
+		if err != nil {
+			t.Error(err)
+		}
+		w.Write(append(blob, '\n'))
+	}))
+	defer peer.Close()
+
+	var out strings.Builder
+	if err := run([]string{"-seed", "31", "-peer", peer.URL}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if *calls != 0 {
+		t.Fatalf("peer-backed run made %d local estimator calls, want 0", *calls)
+	}
+	if !strings.Contains(out.String(), "### EX") {
+		t.Fatalf("peer-served table missing from output:\n%s", out.String())
 	}
 }

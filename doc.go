@@ -21,11 +21,18 @@
 //     (Theorems 1.4 and 1.5) with Kolchin's rank-law constants;
 //   - Newman's theorem in BCAST(1) (Appendix A);
 //   - the result subsystem: typed experiment tables with a canonical
-//     JSON schema and fingerprint content addresses (internal/result), a
-//     corruption-tolerant on-disk compute-once cache (internal/store), a
-//     concurrent single-flight scheduler (internal/sched), and the
-//     bccserve HTTP API (cmd/bccserve) that serves cached tables and
-//     computes misses on demand;
+//     JSON schema and fingerprint content addresses (internal/result);
+//     a tiered compute-once cache behind the store.Backend contract —
+//     in-memory hot-table LRU (internal/store/memlru), a
+//     corruption-tolerant on-disk store (internal/store), a read-only
+//     peer-replica HTTP tier (internal/store/remote), and their
+//     fallthrough/backfill composition (internal/store/tier); a
+//     concurrent single-flight scheduler with bounded admission and
+//     per-request context cancellation (internal/sched); and the
+//     bccserve HTTP API (cmd/bccserve) that serves cached tables from
+//     the fastest tier, computes misses on demand behind a bounded
+//     queue (429 + Retry-After, per-request timeouts), and lets
+//     replicas warm from each other;
 //   - substrate packages: GF(2) bit vectors and linear algebra
 //     (internal/bitvec, internal/f2), finite distributions with
 //     total-variation distance, string-interned integer-keyed variants,
@@ -39,9 +46,13 @@
 // the full API lives in the internal packages, and the per-theorem
 // experiment harness is internal/experiments (its registry,
 // experiments.All, indexes E1..E18; driven by cmd/experiments, the
-// bccserve server, and the root benchmarks). README.md documents the
-// result schema, store layout, and serving endpoints; ROADMAP.md tracks
-// the system inventory and open items; BENCH_DIST.json and
-// BENCH_LOWERBOUND.json hold the performance baselines for the hot
-// measurement paths.
+// bccserve server, and the root benchmarks — all sharing one corpus via
+// the BCC_STORE environment variable). ARCHITECTURE.md holds the layer
+// diagram, the load-bearing contracts (worker-count invariance,
+// Workers-free fingerprints, byte-identical canonical JSON), and the
+// tier-degradation rules; docs/api.md is the serving API reference;
+// README.md documents the result schema and store layout; ROADMAP.md
+// tracks the system inventory and open items; BENCH_DIST.json,
+// BENCH_LOWERBOUND.json, and BENCH_STORE.json hold the performance
+// baselines for the hot measurement and serving paths.
 package repro

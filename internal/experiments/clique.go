@@ -35,6 +35,9 @@ func E3OneRoundPlantedClique(cfg Config) (*Table, error) {
 			{int(3 * math.Sqrt(float64(n)*math.Log(float64(n)))), "3√(n·ln n) (easy)"},
 		}
 		for _, c := range cases {
+			if err := cfg.Err(); err != nil {
+				return nil, err
+			}
 			if c.k < 1 {
 				c.k = 1
 			}
@@ -97,6 +100,9 @@ func E4MultiRoundPlantedClique(cfg Config) (*Table, error) {
 	prev := -1.0
 	monotone := true
 	for _, j := range []int{1, 2, 4, 8} {
+		if err := cfg.Err(); err != nil {
+			return nil, err
+		}
 		det := &cliquefind.TotalDegreeDetector{N: n, K: k, J: j}
 		rep, err := cliquefind.MeasureDetector(det, n, k, trials, cfg.workers(), r)
 		if err != nil {
@@ -134,6 +140,9 @@ func E12CliqueRecovery(cfg Config) (*Table, error) {
 	}
 	shapeOK := true
 	for _, c := range cases {
+		if err := cfg.Err(); err != nil {
+			return nil, err
+		}
 		rep, err := cliquefind.MeasureRecovery(c.n, c.k, trials, cfg.workers(), r)
 		if err != nil {
 			return nil, err

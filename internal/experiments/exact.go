@@ -52,6 +52,9 @@ func E18ExactLowerBound(cfg Config) (*Table, error) {
 			{"reveal-bits", &revealBitsProtocol{rounds: 2}, 2},
 		}
 		for _, pr := range probes {
+			if err := cfg.Err(); err != nil {
+				return nil, err
+			}
 			turns := pr.rounds * n
 			real, progress, err := lowerbound.ExactProgressPlantedClique(pr.p, n, k, turns, cfg.workers())
 			if err != nil {

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 
 	"repro/internal/result"
@@ -25,6 +26,26 @@ type Config struct {
 	// identical for every Workers value — parallelism is only a
 	// wall-clock knob.
 	Workers int
+	// Ctx optionally carries the requester's cancellation signal into
+	// the estimator call path: the scheduler (internal/sched) sets it to
+	// the computation's context, and long-running experiments poll Err
+	// between measurement calls so an abandoned request stops burning
+	// CPU. nil means "never canceled". Like Workers, Ctx can only stop a
+	// run early (with an error), never change a completed table's
+	// content, so it is excluded from Params and the fingerprint.
+	Ctx context.Context
+}
+
+// Err reports the cancellation state of the run's context: nil while
+// the run should continue, the context's error once the requester has
+// abandoned it. Experiments poll this between expensive measurement
+// calls and return the error unchanged, so a canceled run is
+// distinguishable from a failed one.
+func (c Config) Err() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	return context.Cause(c.Ctx)
 }
 
 // workers resolves the configured pool size.

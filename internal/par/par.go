@@ -4,12 +4,15 @@
 // cut [0, n) into contiguous spans, and how to run one goroutine per span
 // and surface a deterministic error.
 //
-// Determinism contract. Everything that makes the parallel estimators
-// bit-identical across worker counts lives in the callers (per-sample
-// rng.Shard streams, integer count accumulators, merges in span order);
-// par's contribution is that Split is a pure function of (n, workers) and
-// Do reports the error of the lowest-index failing span, so even failures
-// are reproducible.
+// # Determinism contract
+//
+// Everything that makes the parallel estimators bit-identical across
+// worker counts lives in the callers (per-sample rng.Shard streams,
+// integer count accumulators, merges in span order); par's contribution
+// is that Split is a pure function of (n, workers) and Do reports the
+// error of the lowest-index failing span, so even failures are
+// reproducible. That invariance is what lets the result layer's
+// fingerprints (internal/result) omit the worker count entirely.
 package par
 
 import (

@@ -1,9 +1,10 @@
 // Package sched runs registry experiments concurrently on top of the
 // result store: a request names an experiment and a configuration, and
-// the scheduler answers with the table — from the store when the
-// fingerprint is cached, from a single shared computation when several
-// requests race on one fingerprint (single-flight dedup), and from a
-// fresh run otherwise.
+// the scheduler answers with the table — from the store backend when
+// the fingerprint is cached (any store.Backend: the disk store, or a
+// memory → disk → peer stack from store/tier), from a single shared
+// computation when several requests race on one fingerprint
+// (single-flight dedup), and from a fresh run otherwise.
 //
 // # Determinism
 //
@@ -22,11 +23,37 @@
 // each one's measurement engines get Workers/Parallel (at least 1)
 // goroutines, so E concurrent experiments do not oversubscribe the host
 // by a factor of E.
+//
+// # Backpressure and cancellation
+//
+// Computation admission is two-staged. The semaphore bounds how many
+// experiments compute at once (parallel slots); the optional queue
+// bound (WithQueue) caps how many more may wait for a slot. A request
+// that would exceed both is rejected immediately with ErrBusy — the
+// serving layer turns that into 429 + Retry-After — while store hits
+// and flight joins always pass, so a saturated scheduler keeps serving
+// its cache and in-flight computations complete undisturbed.
+//
+// TableCtx threads a per-request context through the whole path. The
+// computation's own context rides into the estimator call path as
+// Config.Ctx and is canceled once every requester has *disconnected*
+// (context.Canceled — nobody is coming back): a still-queued
+// computation then releases its admission without starting, and a
+// cooperative estimator stops burning CPU. A requester leaving on a
+// *deadline* (context.DeadlineExceeded — the serving layer answers 504
+// and tells the client to retry) never cancels the flight: the
+// computation detaches, runs to completion, and persists, so the retry
+// is a cache hit instead of a livelock of re-timed-out recomputations.
+// Compute-once economics beat a wasted partial run.
 package sched
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/par"
@@ -34,12 +61,25 @@ import (
 	"repro/internal/store"
 )
 
-// Scheduler coordinates experiment execution over an optional store.
-// The zero value is not usable; construct with New.
+// ErrBusy reports that the scheduler's computation queue is full: the
+// request was rejected before any work started, and the caller should
+// retry later (HTTP layers answer 429 + Retry-After).
+var ErrBusy = errors.New("sched: compute queue full")
+
+// errAbandoned is the cancellation cause set when a flight's last
+// requester disconnects. It tags the flight's context (and therefore
+// the error a cooperative estimator returns from Config.Err) so
+// TableCtx can retry exactly the abandoned-flight case — an estimator
+// failing with its own context-flavored error (an internal network
+// timeout, say) must surface to the caller, not loop forever.
+var errAbandoned = errors.New("sched: flight abandoned by every requester")
+
+// Scheduler coordinates experiment execution over an optional store
+// backend. The zero value is not usable; construct with New.
 type Scheduler struct {
-	// store caches completed tables; nil disables persistence (dedup
+	// backend caches completed tables; nil disables persistence (dedup
 	// still works).
-	store *store.Store
+	backend store.Backend
 	// parallel is the number of experiments run concurrently.
 	parallel int
 	// sem bounds in-flight computations to parallel slots; every
@@ -47,9 +87,21 @@ type Scheduler struct {
 	// a slot, so a server fanning requests straight into Table cannot
 	// oversubscribe the host.
 	sem chan struct{}
+	// tokens is the admission queue: a computation holds a token from
+	// admission to retirement, so cap(tokens) = parallel + queue bound
+	// caps standing work. nil means unbounded (no WithQueue option).
+	tokens chan struct{}
 
 	mu      sync.Mutex
 	flights map[string]*flight
+
+	queued    atomic.Int64 // admitted computations waiting for a slot
+	computing atomic.Int64 // computations running now
+	rejected  atomic.Uint64
+	abandoned atomic.Uint64 // queued computations whose requesters all left
+	computed  atomic.Uint64
+	busyNanos atomic.Int64
+	maxNanos  atomic.Int64
 }
 
 // flight is one in-progress computation, shared by every request that
@@ -58,25 +110,57 @@ type flight struct {
 	done  chan struct{}
 	table *result.Table
 	err   error
+
+	// ctx is the computation's own context: canceled with the
+	// errAbandoned cause (by the last disconnecting waiter) once no
+	// request wants the result anymore. It is what Config.Ctx carries
+	// into the estimators.
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	// waiters counts requests attached to the flight; guarded by the
+	// scheduler's mu.
+	waiters int
 }
 
-// New returns a scheduler over st (which may be nil for a
+// Option configures a Scheduler at construction.
+type Option func(*Scheduler)
+
+// WithQueue bounds how many computations may wait for a slot beyond the
+// parallel ones already running: at most parallel+depth computations
+// are admitted at once, and further misses fail fast with ErrBusy.
+// depth < 0 is treated as 0 (no waiting room: reject whenever all slots
+// are busy). Without this option the queue is unbounded.
+func WithQueue(depth int) Option {
+	return func(s *Scheduler) {
+		if depth < 0 {
+			depth = 0
+		}
+		s.tokens = make(chan struct{}, s.parallel+depth)
+	}
+}
+
+// New returns a scheduler over backend (which may be nil for a
 // memory-dedup-only scheduler) running up to parallel experiments at
 // once; parallel < 1 means 1.
-func New(st *store.Store, parallel int) *Scheduler {
+func New(backend store.Backend, parallel int, opts ...Option) *Scheduler {
 	if parallel < 1 {
 		parallel = 1
 	}
-	return &Scheduler{
-		store:    st,
+	s := &Scheduler{
+		backend:  backend,
 		parallel: parallel,
 		sem:      make(chan struct{}, parallel),
 		flights:  make(map[string]*flight),
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
 }
 
-// Store returns the scheduler's store (nil when persistence is off).
-func (s *Scheduler) Store() *store.Store { return s.store }
+// Backend returns the scheduler's store backend (nil when persistence
+// is off).
+func (s *Scheduler) Backend() store.Backend { return s.backend }
 
 // Outcome is one scheduled experiment's result.
 type Outcome struct {
@@ -86,70 +170,273 @@ type Outcome struct {
 	Table *result.Table
 	// CacheHit reports that the table came straight from the store.
 	CacheHit bool
+	// Tier names the store tier that answered a CacheHit ("memory",
+	// "disk", "remote"; the backend's Name for single-tier stores).
+	Tier string
 	// Shared reports that this request piggybacked on another request's
 	// in-flight computation (single-flight dedup).
 	Shared bool
 }
 
-// Table returns experiment e's table under cfg: store hit, shared
-// flight, or fresh computation, in that order of preference. The
-// returned flags distinguish the three.
+// tierGetter is the optional backend refinement (implemented by
+// store/tier.Tiered) that reports which tier answered a hit.
+type tierGetter interface {
+	GetTier(ctx context.Context, k store.Key) (*result.Table, string, bool)
+}
+
+// lookup reads the backend, resolving the answering tier's name when
+// the backend can report it. The context bounds remote-tier round
+// trips.
+func (s *Scheduler) lookup(ctx context.Context, k store.Key) (*result.Table, string, bool) {
+	if tg, ok := s.backend.(tierGetter); ok {
+		return tg.GetTier(ctx, k)
+	}
+	t, ok := s.backend.Get(ctx, k)
+	return t, s.backend.Name(), ok
+}
+
+// Table returns experiment e's table under cfg with no cancellation or
+// queue deadline: store hit, shared flight, or fresh computation, in
+// that order of preference.
 func (s *Scheduler) Table(e experiments.Experiment, cfg experiments.Config) (*result.Table, Outcome, error) {
+	return s.TableCtx(context.Background(), e, cfg)
+}
+
+// TableCtx is Table under a request context. A context canceled while
+// the request waits — on the queue or on another request's flight —
+// abandons the request immediately. The flight itself is aborted (its
+// queue admission released, its Config.Ctx canceled into the estimator)
+// only when its last requester *disconnects* (context.Canceled: the
+// client is gone and no retry is coming). A last requester leaving on a
+// *deadline* (context.DeadlineExceeded: the serving layer answers 504
+// and the client is told to retry) detaches the computation instead —
+// it runs to completion and persists, so the retry is a cache hit
+// rather than a livelock of re-timed-out recomputations. ErrBusy
+// reports queue-full rejection; the caller's own context errors pass
+// through unwrapped.
+func (s *Scheduler) TableCtx(ctx context.Context, e experiments.Experiment, cfg experiments.Config) (*result.Table, Outcome, error) {
 	out := Outcome{ID: e.ID}
-	fp := cfg.Fingerprint(e.ID)
-	if s.store != nil {
-		if t, ok := s.store.Get(fp); ok {
-			out.Table, out.CacheHit = t, true
-			return t, out, nil
+	k := store.KeyFor(e.ID, cfg.Params())
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, out, err
 		}
-	}
-
-	s.mu.Lock()
-	if fl, ok := s.flights[fp]; ok {
-		s.mu.Unlock()
-		<-fl.done
-		if fl.err != nil {
-			return nil, out, fl.err
-		}
-		out.Table, out.Shared = fl.table, true
-		return fl.table, out, nil
-	}
-	fl := &flight{done: make(chan struct{})}
-	s.flights[fp] = fl
-	s.mu.Unlock()
-
-	// Retire the flight before signalling — deferred so a panicking
-	// experiment (recovered upstream, e.g. by net/http) cannot leak the
-	// flight entry and wedge every later request on <-fl.done. The
-	// ordering also means a request arriving after the store write hits
-	// the store, and one arriving after an error recomputes rather than
-	// inheriting it forever.
-	defer func() {
+		// Join an in-progress flight before paying the backend lookup:
+		// a lookup can cost a remote-tier round trip (seconds against a
+		// dead peer), and an existing flight means the table is about
+		// to exist anyway — identical concurrent misses must collapse
+		// onto one computation without each stalling on the peer first.
 		s.mu.Lock()
-		delete(s.flights, fp)
+		fl, joined := s.flights[k.Fingerprint]
+		if joined {
+			fl.waiters++
+			s.mu.Unlock()
+		} else {
+			s.mu.Unlock()
+			if s.backend != nil {
+				if t, tierName, ok := s.lookup(ctx, k); ok {
+					out.Table, out.CacheHit, out.Tier = t, true, tierName
+					return t, out, nil
+				}
+			}
+			s.mu.Lock()
+			// The lookup ran unlocked; another request may have
+			// registered the flight meanwhile.
+			fl, joined = s.flights[k.Fingerprint]
+			if joined {
+				fl.waiters++
+			} else {
+				// A fresh computation needs a queue admission. Rejection happens
+				// before the flight is registered, so an ErrBusy never wedges
+				// later requests for the fingerprint.
+				if s.tokens != nil {
+					select {
+					case s.tokens <- struct{}{}:
+					default:
+						s.mu.Unlock()
+						s.rejected.Add(1)
+						return nil, out, ErrBusy
+					}
+				}
+				flCtx, cancel := context.WithCancelCause(context.Background())
+				fl = &flight{done: make(chan struct{}), ctx: flCtx, cancel: cancel, waiters: 1}
+				s.flights[k.Fingerprint] = fl
+				go s.compute(k, fl, e, cfg)
+			}
+			s.mu.Unlock()
+		}
+
+		select {
+		case <-fl.done:
+			if fl.err != nil {
+				if errors.Is(fl.err, errAbandoned) {
+					// Inherited: this flight was abandoned by *other*
+					// requesters. If our own context is also done (both
+					// select channels ready — Go picks either), report
+					// our error, never the internal sentinel; otherwise
+					// retry — the flight is already retired, so the
+					// next round is a store hit or a fresh computation.
+					if err := ctx.Err(); err != nil {
+						return nil, out, err
+					}
+					continue
+				}
+				// Any other error, context-flavored or not, is the
+				// experiment's own and surfaces.
+				return nil, out, fl.err
+			}
+			out.Table, out.Shared = fl.table, joined
+			return fl.table, out, nil
+		case <-ctx.Done():
+			// This request gives up; the flight lives on for its
+			// remaining waiters. The last *disconnecting* leaver cancels
+			// the flight's own context (abort a queued computation and
+			// release its admission; tell a cooperative estimator to
+			// stop); a deadline leaver detaches instead — see above.
+			s.mu.Lock()
+			fl.waiters--
+			if fl.waiters <= 0 && errors.Is(ctx.Err(), context.Canceled) {
+				fl.cancel(errAbandoned)
+			}
+			s.mu.Unlock()
+			return nil, out, ctx.Err()
+		}
+	}
+}
+
+// compute owns one flight: queue for a slot, run the experiment,
+// persist, retire. It runs on its own goroutine so requester timeouts
+// never truncate a computation that someone else still wants.
+func (s *Scheduler) compute(k store.Key, fl *flight, e experiments.Experiment, cfg experiments.Config) {
+	// finish publishes the result and retires the flight. Retirement
+	// and the admission release both happen before done is signalled:
+	// a request arriving after the store write hits the store, one
+	// arriving after an error recomputes rather than inheriting it
+	// forever, and a waiter waking to retry an abandoned flight finds
+	// the queue capacity this computation held already free (no
+	// spurious ErrBusy).
+	finish := func(table *result.Table, err error) {
+		fl.table, fl.err = table, err
+		s.mu.Lock()
+		delete(s.flights, k.Fingerprint)
 		s.mu.Unlock()
+		if s.tokens != nil {
+			<-s.tokens
+		}
 		close(fl.done)
-	}()
+		fl.cancel(nil)
+	}
 
-	// The semaphore bounds computations, not store hits or flight
-	// waiters: at most `parallel` experiments run at once however many
-	// requests arrive. Released via defer for the same panic-safety.
-	s.sem <- struct{}{}
+	s.queued.Add(1)
+	select {
+	case s.sem <- struct{}{}:
+		s.queued.Add(-1)
+	case <-fl.ctx.Done():
+		// Every requester left while we waited for a slot: release the
+		// admission without ever starting the estimator.
+		s.queued.Add(-1)
+		s.abandoned.Add(1)
+		finish(nil, context.Cause(fl.ctx))
+		return
+	}
+
+	s.computing.Add(1)
+	start := time.Now()
+	var table *result.Table
+	var err error
+	// The slot release, metrics, store write, and flight retirement all
+	// live in a defer so they run on every way out of this goroutine —
+	// normal return, a panic converted below, and runtime.Goexit from
+	// inside an estimator (which recover cannot observe). Nothing here
+	// may leak the slot, the admission token, or the flight: with
+	// parallel=1 any leak wedges the scheduler permanently.
+	defer func() {
+		elapsed := time.Since(start)
+		<-s.sem
+		s.computing.Add(-1)
+		s.computed.Add(1)
+		s.busyNanos.Add(elapsed.Nanoseconds())
+		for {
+			max := s.maxNanos.Load()
+			if elapsed.Nanoseconds() <= max || s.maxNanos.CompareAndSwap(max, elapsed.Nanoseconds()) {
+				break
+			}
+		}
+		if err == nil && table == nil {
+			// The estimator unwound without producing anything —
+			// runtime.Goexit, or a (nil, nil) return. Surface it as this
+			// flight's error so waiters unblock and retries recompute.
+			err = fmt.Errorf("sched: experiment %s terminated without a result", e.ID)
+		}
+		if err == nil && s.backend != nil {
+			// A failed (or panicking) Put degrades the cache, not the
+			// answer: the computed table is still served, only
+			// persistence is lost.
+			func() {
+				defer func() { _ = recover() }()
+				_ = s.backend.Put(k, table)
+			}()
+		}
+		finish(table, err)
+	}()
 	func() {
-		defer func() { <-s.sem }()
-		fl.table, fl.err = e.Run(cfg)
+		// A panicking experiment becomes an error on this flight, not a
+		// process crash: the computation goroutine has no upstream
+		// recover (net/http's only covers the request goroutine).
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("sched: experiment %s panicked: %v", e.ID, r)
+			}
+		}()
+		runCfg := cfg
+		runCfg.Ctx = fl.ctx
+		table, err = e.Run(runCfg)
 	}()
-	if fl.err == nil && s.store != nil {
-		// A failed Put degrades the cache, not the answer: the computed
-		// table is still served, only persistence is lost.
-		_ = s.store.Put(fp, fl.table)
-	}
+}
 
-	if fl.err != nil {
-		return nil, out, fl.err
+// Metrics is a snapshot of the scheduler's computation traffic.
+type Metrics struct {
+	// Queued and Computing describe standing work: admitted computations
+	// waiting for a slot, and computations running now.
+	Queued    int `json:"queued"`
+	Computing int `json:"computing"`
+	// Parallel is the computation slot count; Capacity is the admission
+	// bound (slots + queue depth, 0 when unbounded).
+	Parallel int `json:"parallel"`
+	Capacity int `json:"capacity"`
+	// Rejected counts ErrBusy fast-failures; Abandoned counts queued
+	// computations whose requesters all left before a slot freed.
+	Rejected  uint64 `json:"rejected"`
+	Abandoned uint64 `json:"abandoned"`
+	// Computed counts finished estimator runs (successes, failures, and
+	// cooperative cancellations alike). The latency fields cover exactly
+	// those runs.
+	Computed      uint64  `json:"computed"`
+	TotalBusyMS   float64 `json:"total_busy_ms"`
+	MeanComputeMS float64 `json:"mean_compute_ms"`
+	MaxComputeMS  float64 `json:"max_compute_ms"`
+}
+
+// Metrics reports the scheduler's queue state and compute-latency
+// counters.
+func (s *Scheduler) Metrics() Metrics {
+	m := Metrics{
+		Queued:    int(s.queued.Load()),
+		Computing: int(s.computing.Load()),
+		Parallel:  s.parallel,
+		Rejected:  s.rejected.Load(),
+		Abandoned: s.abandoned.Load(),
+		Computed:  s.computed.Load(),
 	}
-	out.Table = fl.table
-	return fl.table, out, nil
+	if s.tokens != nil {
+		m.Capacity = cap(s.tokens)
+	}
+	m.TotalBusyMS = float64(s.busyNanos.Load()) / 1e6
+	m.MaxComputeMS = float64(s.maxNanos.Load()) / 1e6
+	if m.Computed > 0 {
+		m.MeanComputeMS = m.TotalBusyMS / float64(m.Computed)
+	}
+	return m
 }
 
 // Run executes the named experiments under cfg, up to parallel at once,

@@ -2,9 +2,12 @@ package sched
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -71,6 +74,9 @@ func TestStoreHitSkipsRecompute(t *testing.T) {
 	}
 	if !out2.CacheHit {
 		t.Fatalf("second request missed the store: %+v", out2)
+	}
+	if out2.Tier != "disk" {
+		t.Fatalf("hit tier %q, want disk", out2.Tier)
 	}
 	if calls.Load() != 1 {
 		t.Fatalf("second request recomputed: %d estimator calls", calls.Load())
@@ -216,13 +222,14 @@ func TestSchedulerMatchesSequentialLoop(t *testing.T) {
 // TestRunDedupsRepeatedIDs: the same id twice in one batch computes
 // once (flight or store dedup) and both outcomes carry the table.
 func TestRunDedupsRepeatedIDs(t *testing.T) {
-	s := New(newStore(t), 4)
+	disk := newStore(t)
+	s := New(disk, 4)
 	cfg := experiments.Config{Seed: 7, Quick: true}
 	outcomes, err := s.Run([]string{"E13", "E13", "E13"}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := s.Store().Stats()
+	st, err := disk.Stats()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,11 +282,11 @@ func TestFailedStorePutStillServesTable(t *testing.T) {
 	}
 }
 
-// TestPanickingExperimentDoesNotWedgeScheduler: a panic in Run must not
-// leak the flight entry or the computation slot — after the panic is
-// recovered upstream (as net/http does), the same fingerprint must be
-// computable again.
-func TestPanickingExperimentDoesNotWedgeScheduler(t *testing.T) {
+// TestPanickingExperimentBecomesError: since computations run on
+// detached goroutines (requester timeouts must not truncate them), a
+// panicking experiment surfaces as this flight's error — not a process
+// crash — and must not leak the flight entry or the computation slot.
+func TestPanickingExperimentBecomesError(t *testing.T) {
 	var calls atomic.Int64
 	e := experiments.Experiment{
 		ID: "EX",
@@ -294,14 +301,9 @@ func TestPanickingExperimentDoesNotWedgeScheduler(t *testing.T) {
 	}
 	s := New(newStore(t), 1) // parallel=1: a leaked slot would deadlock below
 	cfg := experiments.Config{Seed: 8}
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("panic did not propagate")
-			}
-		}()
-		s.Table(e, cfg)
-	}()
+	if _, _, err := s.Table(e, cfg); err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panic surfaced as %v, want a panicked error", err)
+	}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -313,5 +315,563 @@ func TestPanickingExperimentDoesNotWedgeScheduler(t *testing.T) {
 	case <-done:
 	case <-time.After(5 * time.Second):
 		t.Fatal("scheduler wedged after a panicking experiment")
+	}
+}
+
+// TestGoexitingExperimentDoesNotWedgeScheduler: runtime.Goexit inside
+// an estimator (which recover cannot observe) must still release the
+// slot and retire the flight — with parallel=1 a leak would wedge the
+// scheduler forever.
+func TestGoexitingExperimentDoesNotWedgeScheduler(t *testing.T) {
+	var calls atomic.Int64
+	e := experiments.Experiment{
+		ID: "EX",
+		Run: func(cfg experiments.Config) (*experiments.Table, error) {
+			if calls.Add(1) == 1 {
+				runtime.Goexit()
+			}
+			tab := &experiments.Table{ID: "EX", Columns: []string{"x"}}
+			tab.AddRow(result.Int(1))
+			return tab, nil
+		},
+	}
+	s := New(newStore(t), 1, WithQueue(0)) // any leak deadlocks or 429s below
+	cfg := experiments.Config{Seed: 17}
+	if _, _, err := s.Table(e, cfg); err == nil {
+		t.Fatal("Goexit surfaced as success")
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if tab, _, err := s.Table(e, cfg); err != nil || tab == nil {
+			t.Errorf("retry after Goexit failed: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("scheduler wedged after a Goexiting experiment")
+	}
+}
+
+// panickingPutBackend serves Gets from the embedded backend but panics
+// on every Put.
+type panickingPutBackend struct{ store.Backend }
+
+func (panickingPutBackend) Put(store.Key, *result.Table) error { panic("broken Put") }
+
+// TestPanickingPutStillServesTable: a Backend whose Put panics degrades
+// persistence, never the answer — and never the process.
+func TestPanickingPutStillServesTable(t *testing.T) {
+	var calls atomic.Int64
+	e := countingExperiment("EX", &calls, nil, nil)
+	s := New(panickingPutBackend{newStore(t)}, 1)
+	tab, _, err := s.Table(e, experiments.Config{Seed: 18})
+	if err != nil || tab == nil {
+		t.Fatalf("computed table lost to a panicking cache write: %v", err)
+	}
+	// Nothing persisted, so the next request recomputes — still serving.
+	if _, _, err := s.Table(e, experiments.Config{Seed: 18}); err != nil {
+		t.Fatalf("second request failed: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2", calls.Load())
+	}
+}
+
+// TestQueueFullRejectsImmediately saturates one computation slot and
+// zero waiting room: the next distinct request must fail fast with
+// ErrBusy while the in-flight computation completes undisturbed.
+func TestQueueFullRejectsImmediately(t *testing.T) {
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	slow := countingExperiment("SLOW", &calls, started, release)
+	fast := countingExperiment("FAST", &calls, nil, nil)
+	s := New(newStore(t), 1, WithQueue(0))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var slowTab *result.Table
+	var slowErr error
+	go func() {
+		defer wg.Done()
+		slowTab, _, slowErr = s.Table(slow, experiments.Config{Seed: 1})
+	}()
+	<-started
+
+	if _, _, err := s.Table(fast, experiments.Config{Seed: 1}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("saturated scheduler returned %v, want ErrBusy", err)
+	}
+	if m := s.Metrics(); m.Rejected != 1 || m.Computing != 1 || m.Capacity != 1 {
+		t.Fatalf("metrics %+v, want 1 rejection / 1 computing / capacity 1", m)
+	}
+
+	// The in-flight request is unaffected by the rejection.
+	close(release)
+	wg.Wait()
+	if slowErr != nil || slowTab == nil {
+		t.Fatalf("in-flight request failed under saturation: %v", slowErr)
+	}
+	// With the slot free again the previously rejected work computes.
+	if _, _, err := s.Table(fast, experiments.Config{Seed: 1}); err != nil {
+		t.Fatalf("post-saturation request failed: %v", err)
+	}
+}
+
+// TestQueueFullStillServesCacheAndFlights: rejection applies only to
+// fresh computations — store hits and flight joins pass a full queue.
+func TestQueueFullStillServesCacheAndFlights(t *testing.T) {
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	slow := countingExperiment("SLOW", &calls, started, release)
+	cached := countingExperiment("CACHED", &calls, nil, nil)
+	s := New(newStore(t), 1, WithQueue(0))
+
+	// Warm the cache before saturating.
+	if _, _, err := s.Table(cached, experiments.Config{Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Table(slow, experiments.Config{Seed: 2})
+	}()
+	<-started
+
+	// Store hit under saturation.
+	if _, out, err := s.Table(cached, experiments.Config{Seed: 2}); err != nil || !out.CacheHit {
+		t.Fatalf("cache hit rejected under saturation: %+v err=%v", out, err)
+	}
+	// Flight join under saturation.
+	joined := make(chan error, 1)
+	go func() {
+		_, _, err := s.Table(slow, experiments.Config{Seed: 2})
+		joined <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if err := <-joined; err != nil {
+		t.Fatalf("flight join rejected under saturation: %v", err)
+	}
+}
+
+// TestCanceledQueuedRequestReleasesAdmission: a request canceled while
+// its computation waits for a slot must release its queue admission —
+// the estimator never runs — and later requests must find room again.
+func TestCanceledQueuedRequestReleasesAdmission(t *testing.T) {
+	var slowCalls, neverCalls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	slow := countingExperiment("SLOW", &slowCalls, started, release)
+	never := countingExperiment("NEVER", &neverCalls, nil, nil)
+	s := New(newStore(t), 1, WithQueue(1))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Table(slow, experiments.Config{Seed: 3})
+	}()
+	<-started
+
+	// This request is admitted to the queue (depth 1), then canceled.
+	ctx, cancel := context.WithCancel(context.Background())
+	queuedErr := make(chan error, 1)
+	go func() {
+		_, _, err := s.TableCtx(ctx, never, experiments.Config{Seed: 3})
+		queuedErr <- err
+	}()
+	for s.Metrics().Queued == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-queuedErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled queued request returned %v", err)
+	}
+	// The abandoned computation must drain without running.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Metrics().Abandoned == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned queued computation never released its admission")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if neverCalls.Load() != 0 {
+		t.Fatal("abandoned computation ran its estimator")
+	}
+
+	// The released admission has room for new work while SLOW still
+	// computes (capacity 2 = 1 slot + 1 queue; only SLOW holds one).
+	var other atomic.Int64
+	otherStarted := make(chan struct{})
+	otherRelease := make(chan struct{})
+	queued := countingExperiment("QUEUED", &other, otherStarted, otherRelease)
+	admitted := make(chan error, 1)
+	go func() {
+		_, _, err := s.Table(queued, experiments.Config{Seed: 3})
+		admitted <- err
+	}()
+	// It must be admitted (queued), not rejected.
+	for s.Metrics().Queued == 0 {
+		select {
+		case err := <-admitted:
+			t.Fatalf("replacement request finished early: %v", err)
+		default:
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	<-otherStarted
+	close(otherRelease)
+	wg.Wait()
+	if err := <-admitted; err != nil {
+		t.Fatalf("replacement request failed: %v", err)
+	}
+}
+
+// TestCancellationReachesEstimator: once every requester abandons a
+// flight, the computation's context — carried into the estimator as
+// Config.Ctx — must report cancellation, and a cooperative estimator's
+// early return must not be cached.
+func TestCancellationReachesEstimator(t *testing.T) {
+	var calls atomic.Int64
+	started := make(chan struct{})
+	canceled := make(chan struct{})
+	e := experiments.Experiment{
+		ID: "EX",
+		Run: func(cfg experiments.Config) (*experiments.Table, error) {
+			if calls.Add(1) == 1 {
+				close(started)
+				// Poll Config.Err the way long experiment loops do.
+				deadline := time.Now().Add(5 * time.Second)
+				for cfg.Err() == nil {
+					if time.Now().After(deadline) {
+						return nil, errors.New("cancellation never reached the estimator")
+					}
+					time.Sleep(time.Millisecond)
+				}
+				close(canceled)
+				return nil, cfg.Err()
+			}
+			tab := &experiments.Table{ID: "EX", Columns: []string{"x"}}
+			tab.AddRow(result.Int(1))
+			return tab, nil
+		},
+	}
+	disk := newStore(t)
+	s := New(disk, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := s.TableCtx(ctx, e, experiments.Config{Seed: 9})
+		errCh <- err
+	}()
+	<-started
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned requester returned %v", err)
+	}
+	select {
+	case <-canceled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("estimator never observed Config.Ctx cancellation")
+	}
+	// The canceled partial run must not have been cached; the retry
+	// computes fresh and succeeds.
+	if tab, out, err := s.Table(e, experiments.Config{Seed: 9}); err != nil || tab == nil || out.CacheHit {
+		t.Fatalf("retry after cancellation: %+v err=%v", out, err)
+	}
+}
+
+// TestTimedOutRequesterDoesNotTruncateSharedFlight: when one of two
+// requesters times out, the flight keeps its remaining waiter, runs to
+// completion, and persists.
+func TestTimedOutRequesterDoesNotTruncateSharedFlight(t *testing.T) {
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	e := countingExperiment("EX", &calls, started, release)
+	disk := newStore(t)
+	s := New(disk, 1)
+	cfg := experiments.Config{Seed: 10}
+
+	patientErr := make(chan error, 1)
+	go func() {
+		_, _, err := s.Table(e, cfg)
+		patientErr <- err
+	}()
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, _, err := s.TableCtx(ctx, e, cfg); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timed-out joiner returned %v", err)
+	}
+	close(release)
+	if err := <-patientErr; err != nil {
+		t.Fatalf("patient requester failed after a peer timed out: %v", err)
+	}
+	if _, ok := disk.Get(context.Background(), store.KeyFor("EX", result.Params{Seed: 10})); !ok {
+		t.Fatal("completed flight was not persisted after a peer timed out")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1", calls.Load())
+	}
+}
+
+// TestJoinerSurvivesAbandonedFlight: a request that joins a flight in
+// the window after its other requesters all disconnected (the flight's
+// context is canceled but the flight is not yet retired) must not
+// inherit context.Canceled — it retries and gets a real table.
+func TestJoinerSurvivesAbandonedFlight(t *testing.T) {
+	var calls atomic.Int64
+	started := make(chan struct{})
+	canceledSeen := make(chan struct{})
+	holdFinish := make(chan struct{})
+	e := experiments.Experiment{
+		ID: "EX",
+		Run: func(cfg experiments.Config) (*experiments.Table, error) {
+			if calls.Add(1) == 1 {
+				close(started)
+				deadline := time.Now().Add(5 * time.Second)
+				for cfg.Err() == nil {
+					if time.Now().After(deadline) {
+						return nil, errors.New("owner cancellation never arrived")
+					}
+					time.Sleep(time.Millisecond)
+				}
+				// Hold the flight in its canceled-but-unretired window so
+				// the joiner can attach deterministically.
+				close(canceledSeen)
+				<-holdFinish
+				return nil, cfg.Err()
+			}
+			tab := &experiments.Table{ID: "EX", Columns: []string{"x"}}
+			tab.AddRow(result.Int(1))
+			return tab, nil
+		},
+	}
+	s := New(newStore(t), 2)
+	cfg := experiments.Config{Seed: 14}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ownerErr := make(chan error, 1)
+	go func() {
+		_, _, err := s.TableCtx(ctx, e, cfg)
+		ownerErr <- err
+	}()
+	<-started
+	cancel()
+	if err := <-ownerErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("owner returned %v", err)
+	}
+	<-canceledSeen
+
+	// The flight is canceled but still registered; join it now.
+	joinerDone := make(chan struct{})
+	var joinerTab *result.Table
+	var joinerErr error
+	go func() {
+		defer close(joinerDone)
+		joinerTab, _, joinerErr = s.Table(e, cfg)
+	}()
+	time.Sleep(20 * time.Millisecond) // let the joiner attach
+	close(holdFinish)
+	select {
+	case <-joinerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("joiner never returned")
+	}
+	if joinerErr != nil || joinerTab == nil {
+		t.Fatalf("live joiner inherited the abandoned flight's fate: %v", joinerErr)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2 (canceled run + joiner's retry)", calls.Load())
+	}
+}
+
+// TestSoleDeadlineLeaverDetaches: the last requester leaving on a
+// deadline must NOT cancel the flight — the computation completes and
+// persists, so the 504 client's retry is a cache hit instead of a
+// livelock (cooperative estimators would otherwise never finish under
+// a server timeout shorter than their runtime).
+func TestSoleDeadlineLeaverDetaches(t *testing.T) {
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var sawCancel atomic.Bool
+	e := experiments.Experiment{
+		ID: "EX",
+		Run: func(cfg experiments.Config) (*experiments.Table, error) {
+			calls.Add(1)
+			close(started)
+			<-release
+			// A cooperative estimator would abort here if the deadline
+			// leaver had canceled the flight.
+			if cfg.Err() != nil {
+				sawCancel.Store(true)
+				return nil, cfg.Err()
+			}
+			tab := &experiments.Table{ID: "EX", Columns: []string{"x"}}
+			tab.AddRow(result.Int(1))
+			return tab, nil
+		},
+	}
+	disk := newStore(t)
+	s := New(disk, 1)
+	cfg := experiments.Config{Seed: 15}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, _, err := s.TableCtx(ctx, e, cfg); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timed-out requester returned %v", err)
+	}
+	<-started
+	close(release)
+
+	// The detached computation must complete and persist.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := disk.Get(context.Background(), store.KeyFor("EX", result.Params{Seed: 15})); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("deadline-abandoned computation never persisted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if sawCancel.Load() {
+		t.Fatal("deadline leaver canceled the flight's context")
+	}
+	// The retry is a cache hit: zero further estimator calls.
+	if _, out, err := s.Table(e, cfg); err != nil || !out.CacheHit {
+		t.Fatalf("retry after 504: %+v err=%v", out, err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1", calls.Load())
+	}
+}
+
+// TestTieredBackendReportsTier: a scheduler over a tier stack surfaces
+// which tier answered (the serving layer's X-Cache-Tier header).
+func TestTieredBackendReportsTier(t *testing.T) {
+	// A minimal tierGetter double keeps this test independent of the
+	// tier package's import graph.
+	var calls atomic.Int64
+	e := countingExperiment("EX", &calls, nil, nil)
+	cfg := experiments.Config{Seed: 11}
+	s := New(namedBackend{Backend: newStore(t), tier: "memory"}, 1)
+	if _, _, err := s.Table(e, cfg); err != nil {
+		t.Fatal(err)
+	}
+	_, out, err := s.Table(e, cfg)
+	if err != nil || !out.CacheHit || out.Tier != "memory" {
+		t.Fatalf("outcome %+v err=%v, want a memory-tier hit", out, err)
+	}
+}
+
+// namedBackend wraps a backend and reports hits under a fixed tier name
+// via the optional GetTier refinement.
+type namedBackend struct {
+	store.Backend
+	tier string
+}
+
+func (n namedBackend) GetTier(ctx context.Context, k store.Key) (*result.Table, string, bool) {
+	t, ok := n.Backend.Get(ctx, k)
+	return t, n.tier, ok
+}
+
+// countingBackend counts Get calls on top of a real backend.
+type countingBackend struct {
+	store.Backend
+	gets atomic.Int64
+}
+
+func (c *countingBackend) Get(ctx context.Context, k store.Key) (*result.Table, bool) {
+	c.gets.Add(1)
+	return c.Backend.Get(ctx, k)
+}
+
+// TestFlightJoinSkipsBackendLookup: a request for a fingerprint whose
+// flight is already running joins it without touching the backend — a
+// lookup can cost a remote-tier round trip (seconds against a dead
+// peer), which identical concurrent requests must not each pay.
+func TestFlightJoinSkipsBackendLookup(t *testing.T) {
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	e := countingExperiment("EX", &calls, started, release)
+	backend := &countingBackend{Backend: newStore(t)}
+	s := New(backend, 2)
+	cfg := experiments.Config{Seed: 16}
+
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		s.Table(e, cfg)
+	}()
+	<-started
+	lookupsBefore := backend.gets.Load()
+
+	joinerDone := make(chan error, 1)
+	go func() {
+		_, out, err := s.Table(e, cfg)
+		if err == nil && !out.Shared {
+			err = errors.New("joiner did not share the flight")
+		}
+		joinerDone <- err
+	}()
+	// Give the joiner time to attach; it must not have hit the backend.
+	time.Sleep(30 * time.Millisecond)
+	if got := backend.gets.Load(); got != lookupsBefore {
+		t.Fatalf("flight join performed %d extra backend lookups", got-lookupsBefore)
+	}
+	close(release)
+	<-leaderDone
+	if err := <-joinerDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricsLatency(t *testing.T) {
+	var calls atomic.Int64
+	e := countingExperiment("EX", &calls, nil, nil)
+	s := New(nil, 1)
+	if _, _, err := s.Table(e, experiments.Config{Seed: 12}); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.Computed != 1 || m.MeanComputeMS < 0 || m.MaxComputeMS < m.MeanComputeMS {
+		t.Fatalf("latency metrics inconsistent: %+v", m)
+	}
+	if m.Queued != 0 || m.Computing != 0 {
+		t.Fatalf("idle scheduler reports standing work: %+v", m)
+	}
+	if m.Capacity != 0 {
+		t.Fatalf("unbounded scheduler reports capacity %d", m.Capacity)
+	}
+}
+
+// TestAlreadyCanceledContext fails fast without touching the queue.
+func TestAlreadyCanceledContext(t *testing.T) {
+	var calls atomic.Int64
+	e := countingExperiment("EX", &calls, nil, nil)
+	s := New(nil, 1, WithQueue(0))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.TableCtx(ctx, e, experiments.Config{Seed: 13}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled context returned %v", err)
+	}
+	if calls.Load() != 0 {
+		t.Fatal("canceled request ran the estimator")
+	}
+	if m := s.Metrics(); m.Rejected != 0 {
+		t.Fatalf("canceled request counted as a queue rejection: %+v", m)
 	}
 }

@@ -1,0 +1,32 @@
+package memlru
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/result"
+	"repro/internal/store"
+)
+
+// BenchmarkGetHit is the L0 hot path a loaded bccserve serves from:
+// one mutex-guarded map lookup plus an LRU list move — no I/O, no
+// decode, no checksum. Compare store.BenchmarkGetHit (the disk tier)
+// in BENCH_STORE.json.
+func BenchmarkGetHit(b *testing.B) {
+	c, err := New(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := store.KeyFor("EB", result.Params{Seed: 1})
+	tab := &result.Table{ID: "EB", Columns: []string{"x"}}
+	tab.AddRow(result.Int(1))
+	if err := c.Put(k, tab); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(context.Background(), k); !ok {
+			b.Fatal("warmed cache missed")
+		}
+	}
+}

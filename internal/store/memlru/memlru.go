@@ -1,0 +1,140 @@
+// Package memlru is the in-process hot-table tier (L0) of the result
+// store: a bounded LRU of decoded tables keyed by fingerprint, sitting
+// in front of the disk store so a busy bccserve answers its hottest
+// tables without touching the filesystem at all.
+//
+// # Contract
+//
+// Cache implements store.Backend. Hits return the cached *result.Table
+// pointer itself — tables are immutable by repository-wide convention
+// (the canonical-JSON byte-identity contract depends on it), so sharing
+// the pointer is safe and allocation-free. Eviction is strict LRU by
+// entry count: the tier holds at most Capacity tables, and a Get
+// refreshes recency. An evicted table is not lost — the tier below
+// (disk, then a remote peer) still holds it, and the next Get falls
+// through and backfills (store/tier's job).
+//
+// The zero capacity is rejected at construction rather than silently
+// caching nothing: an L0 that never holds anything is a configuration
+// error, not a degraded mode.
+package memlru
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/result"
+	"repro/internal/store"
+)
+
+// Cache is a fixed-capacity in-memory LRU over decoded tables. It is
+// safe for concurrent use.
+type Cache struct {
+	capacity int
+
+	mu      sync.Mutex
+	order   *list.List               // front = most recent; values are *entry
+	entries map[string]*list.Element // fingerprint → element
+
+	hits, misses, puts, evictions uint64
+}
+
+// entry is one cached table.
+type entry struct {
+	fingerprint string
+	table       *result.Table
+}
+
+// New returns an empty cache holding at most capacity tables.
+func New(capacity int) (*Cache, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("memlru: capacity %d, want ≥ 1", capacity)
+	}
+	return &Cache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element, capacity),
+	}, nil
+}
+
+// Name identifies the memory tier in stats and cache headers.
+func (c *Cache) Name() string { return "memory" }
+
+// Get returns the cached table for k and refreshes its recency. The
+// context is ignored: a map lookup is not worth making interruptible.
+func (c *Cache) Get(_ context.Context, k store.Key) (*result.Table, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k.Fingerprint]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	return el.Value.(*entry).table, true
+}
+
+// Put inserts (or refreshes) k's table, evicting the least-recently
+// used entry when the cache is full. It never fails.
+func (c *Cache) Put(k store.Key, t *result.Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.puts++
+	if el, ok := c.entries[k.Fingerprint]; ok {
+		// Equal fingerprints carry byte-equal tables, so the stored value
+		// needs no replacement — only a recency refresh.
+		c.order.MoveToFront(el)
+		return nil
+	}
+	c.entries[k.Fingerprint] = c.order.PushFront(&entry{fingerprint: k.Fingerprint, table: t})
+	if c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*entry).fingerprint)
+		c.evictions++
+	}
+	return nil
+}
+
+// Contains reports whether the cache currently holds k, without
+// touching recency or the traffic counters — a listing probe, not a
+// read.
+func (c *Cache) Contains(k store.Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[k.Fingerprint]
+	return ok
+}
+
+// Len reports how many tables the cache currently holds.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats summarizes the cache's traffic.
+type Stats struct {
+	// Capacity and Len describe the cache's bound and current fill.
+	Capacity int `json:"capacity"`
+	Len      int `json:"len"`
+	// Hits/Misses/Puts/Evictions count operations over the handle's
+	// lifetime.
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Puts      uint64 `json:"puts"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Stats reports the cache's bound, fill, and traffic counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Capacity: c.capacity, Len: c.order.Len(),
+		Hits: c.hits, Misses: c.misses, Puts: c.puts, Evictions: c.evictions,
+	}
+}

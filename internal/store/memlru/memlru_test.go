@@ -1,0 +1,126 @@
+package memlru
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/result"
+	"repro/internal/store"
+)
+
+var _ store.Backend = (*Cache)(nil)
+
+func keyFor(seed uint64) store.Key {
+	return store.KeyFor("EX", result.Params{Seed: seed})
+}
+
+func tableFor(seed uint64) *result.Table {
+	t := &result.Table{ID: "EX", Columns: []string{"seed"}}
+	t.AddRow(result.Int(int(seed)))
+	return t
+}
+
+func TestZeroCapacityRejected(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+}
+
+func TestPutGetSharesPointer(t *testing.T) {
+	c, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := keyFor(1)
+	want := tableFor(1)
+	if _, ok := c.Get(context.Background(), k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if err := c.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(context.Background(), k)
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	if got != want {
+		t.Fatal("memory tier copied the table instead of sharing the pointer")
+	}
+}
+
+// TestLRUEviction fills the cache past capacity and checks the
+// least-recently-used entry — not the least-recently-inserted — is the
+// one that leaves.
+func TestLRUEviction(t *testing.T) {
+	c, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k2, k3 := keyFor(1), keyFor(2), keyFor(3)
+	c.Put(k1, tableFor(1))
+	c.Put(k2, tableFor(2))
+	// Touch k1 so k2 becomes the LRU entry.
+	if _, ok := c.Get(context.Background(), k1); !ok {
+		t.Fatal("k1 missing before eviction")
+	}
+	c.Put(k3, tableFor(3))
+	if _, ok := c.Get(context.Background(), k2); ok {
+		t.Fatal("LRU entry k2 survived eviction")
+	}
+	if _, ok := c.Get(context.Background(), k1); !ok {
+		t.Fatal("recently used k1 was evicted")
+	}
+	if _, ok := c.Get(context.Background(), k3); !ok {
+		t.Fatal("fresh k3 missing")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Len != 2 || st.Capacity != 2 {
+		t.Fatalf("stats %+v, want 1 eviction at len 2/2", st)
+	}
+}
+
+// TestRepeatedPutDoesNotGrow: equal fingerprints carry byte-equal
+// tables, so a re-Put only refreshes recency.
+func TestRepeatedPutDoesNotGrow(t *testing.T) {
+	c, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := keyFor(1)
+	for i := 0; i < 5; i++ {
+		c.Put(k, tableFor(1))
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("len %d after repeated puts of one key, want 1", n)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				seed := uint64(i % 16)
+				if i%3 == 0 {
+					c.Put(keyFor(seed), tableFor(seed))
+				} else if tab, ok := c.Get(context.Background(), keyFor(seed)); ok {
+					if tab.Rows[0][0] != result.Int(int(seed)) {
+						panic(fmt.Sprintf("goroutine %d read a foreign table", g))
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 8 {
+		t.Fatalf("cache grew past capacity: %d", n)
+	}
+}

@@ -1,0 +1,160 @@
+// Package remote is the HTTP-backed store tier (L2): it reads a peer
+// bccserve's computed corpus over the server's own wire format, so a
+// fleet of replicas shares one set of computed tables — a cold replica
+// warms itself from any warm peer instead of re-running estimators.
+//
+// # Wire format
+//
+// A Get for store.Key{ID, Params} issues
+//
+//	GET {base}/tables/{ID}?seed={Params.Seed}&quick={Params.Quick}&cached=only
+//
+// against the peer. `cached=only` is the crucial qualifier: the peer
+// answers 200 with the canonical table JSON only when its own *local*
+// tiers (memory, disk) already hold the table, and 404 otherwise — it
+// neither computes on the caller's behalf nor consults its own peer.
+// That keeps peer pointers safe to arrange in any topology (including
+// cycles: A→B→A cannot recurse or amplify, because a cache-only
+// lookup triggers no outbound work at all on the peer).
+//
+// # Degradation
+//
+// Every failure is a miss, never an error: an unreachable peer, a
+// non-200 status, a response that does not decode (including a peer on
+// a different schema version — the canonical encoding is versioned and
+// DecodeJSON rejects mismatches), or a decoded table for a different
+// experiment id all report (nil, false), and the caller computes
+// locally. The tier is read-only — Put is a successful
+// no-op — so replicas share reads without any replica being able to
+// write into another's store.
+package remote
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/result"
+	"repro/internal/store"
+)
+
+// DefaultTimeout bounds one peer round-trip. A peer slower than this is
+// treated as down: the request is abandoned and the caller computes
+// locally, which for quick-mode tables is usually cheaper than waiting.
+const DefaultTimeout = 5 * time.Second
+
+// maxResponseBytes caps how much of a peer response is read; canonical
+// tables are a few KB, so anything near this limit is damage or abuse.
+const maxResponseBytes = 16 << 20
+
+// Tier reads tables from one peer bccserve. It is safe for concurrent
+// use.
+type Tier struct {
+	base   string
+	client *http.Client
+
+	hits, misses, errors atomic.Uint64
+}
+
+// New returns a tier reading from the peer at base (e.g.
+// "http://replica-0:8344"). A nil client gets DefaultTimeout.
+func New(base string, client *http.Client) (*Tier, error) {
+	u, err := url.Parse(base)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("remote: peer URL %q: want http(s)://host[:port]", base)
+	}
+	if client == nil {
+		client = &http.Client{Timeout: DefaultTimeout}
+	}
+	return &Tier{base: strings.TrimRight(base, "/"), client: client}, nil
+}
+
+// Name identifies the peer tier in stats and cache headers.
+func (t *Tier) Name() string { return "remote" }
+
+// Peer returns the base URL this tier reads from.
+func (t *Tier) Peer() string { return t.base }
+
+// Get asks the peer for k's table in cache-only mode. Any failure —
+// network, status, decode, identity mismatch, context expiry — is a
+// miss. The context bounds the round trip (on top of the client's own
+// timeout), so a black-holed peer cannot stall a request past its
+// serving deadline.
+func (t *Tier) Get(ctx context.Context, k store.Key) (*result.Table, bool) {
+	u := fmt.Sprintf("%s/tables/%s?seed=%d&quick=%t&cached=only",
+		t.base, url.PathEscape(k.ID), k.Params.Seed, k.Params.Quick)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		t.errors.Add(1)
+		t.misses.Add(1)
+		return nil, false
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		t.errors.Add(1)
+		t.misses.Add(1)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// 404 is the peer's normal "not cached" answer; anything else is
+		// a degraded peer. Both are misses, only the latter is an error.
+		if resp.StatusCode != http.StatusNotFound {
+			t.errors.Add(1)
+		}
+		t.misses.Add(1)
+		return nil, false
+	}
+	tab, err := result.DecodeJSON(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		t.errors.Add(1)
+		t.misses.Add(1)
+		return nil, false
+	}
+	// The peer answered, but for the right question? The table body
+	// carries the id (and the schema version, which DecodeJSON already
+	// checked) but not the seed/quick params — those are verified via
+	// the X-Fingerprint header bccserve attaches to every table
+	// response: the peer computes it from the params *it* parsed, so a
+	// proxy that strips or re-keys the query string produces a
+	// mismatched header and is rejected before the backfill can poison
+	// the local store under this fingerprint. An absent header (a
+	// non-bccserve peer implementation) degrades to the id check alone.
+	if tab.ID != k.ID {
+		t.errors.Add(1)
+		t.misses.Add(1)
+		return nil, false
+	}
+	if fp := resp.Header.Get("X-Fingerprint"); fp != "" && fp != k.Fingerprint {
+		t.errors.Add(1)
+		t.misses.Add(1)
+		return nil, false
+	}
+	t.hits.Add(1)
+	return tab, true
+}
+
+// Put is a successful no-op: the peer tier is read-only.
+func (t *Tier) Put(store.Key, *result.Table) error { return nil }
+
+// Stats summarizes the tier's traffic.
+type Stats struct {
+	// Peer is the base URL the tier reads from.
+	Peer string `json:"peer"`
+	// Hits and Misses count lookups; Errors counts the subset of misses
+	// caused by a degraded peer (network failure, bad status, bad body)
+	// rather than a clean not-cached answer.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Errors uint64 `json:"errors"`
+}
+
+// Stats reports the tier's traffic counters.
+func (t *Tier) Stats() Stats {
+	return Stats{Peer: t.base, Hits: t.hits.Load(), Misses: t.misses.Load(), Errors: t.errors.Load()}
+}

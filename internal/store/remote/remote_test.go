@@ -1,0 +1,223 @@
+package remote
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/result"
+	"repro/internal/store"
+)
+
+var _ store.Backend = (*Tier)(nil)
+
+func tableFor(id string) *result.Table {
+	t := &result.Table{ID: id, Title: "t", Claim: "c", Columns: []string{"x"}, Shape: "holds"}
+	t.AddRow(result.Int(1))
+	return t
+}
+
+// peer emulates the bccserve wire format for one cached table.
+func peer(t *testing.T, id string, tab *result.Table, sawCachedOnly *bool) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if sawCachedOnly != nil && r.URL.Query().Get("cached") == "only" {
+			*sawCachedOnly = true
+		}
+		if r.URL.Path != "/tables/"+id || tab == nil {
+			http.NotFound(w, r)
+			return
+		}
+		blob, err := tab.CanonicalJSON()
+		if err != nil {
+			t.Error(err)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(blob, '\n'))
+	}))
+}
+
+func TestBadPeerURLRejected(t *testing.T) {
+	for _, bad := range []string{"", "replica-0:8344", "://nope"} {
+		if _, err := New(bad, nil); err == nil {
+			t.Fatalf("peer URL %q accepted", bad)
+		}
+	}
+}
+
+func TestGetHitSpeaksCachedOnlyWireFormat(t *testing.T) {
+	sawCachedOnly := false
+	srv := peer(t, "EX", tableFor("EX"), &sawCachedOnly)
+	defer srv.Close()
+	tier, err := New(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := store.KeyFor("EX", result.Params{Seed: 2019})
+	got, ok := tier.Get(context.Background(), k)
+	if !ok {
+		t.Fatal("warm peer missed")
+	}
+	if !got.Equal(tableFor("EX")) {
+		t.Fatal("peer table mangled in transit")
+	}
+	if !sawCachedOnly {
+		t.Fatal("tier did not request cached=only — it could trigger peer computation")
+	}
+	if st := tier.Stats(); st.Hits != 1 || st.Errors != 0 {
+		t.Fatalf("stats %+v, want 1 clean hit", st)
+	}
+}
+
+func TestNotCachedIsACleanMiss(t *testing.T) {
+	srv := peer(t, "EX", nil, nil) // peer 404s everything
+	defer srv.Close()
+	tier, err := New(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tier.Get(context.Background(), store.KeyFor("EX", result.Params{})); ok {
+		t.Fatal("404 served as a hit")
+	}
+	if st := tier.Stats(); st.Misses != 1 || st.Errors != 0 {
+		t.Fatalf("stats %+v: a 404 is a clean miss, not a peer error", st)
+	}
+}
+
+// TestUnreachablePeerIsAMiss is the degradation rule the tiered store
+// depends on: a dead peer must never surface as an error.
+func TestUnreachablePeerIsAMiss(t *testing.T) {
+	srv := peer(t, "EX", tableFor("EX"), nil)
+	srv.Close() // now nothing listens there
+	tier, err := New(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tier.Get(context.Background(), store.KeyFor("EX", result.Params{})); ok {
+		t.Fatal("dead peer served a hit")
+	}
+	if st := tier.Stats(); st.Errors != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v, want the failure counted as error+miss", st)
+	}
+}
+
+func TestGarbageBodyIsAMiss(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("{definitely not a table"))
+	}))
+	defer srv.Close()
+	tier, err := New(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tier.Get(context.Background(), store.KeyFor("EX", result.Params{})); ok {
+		t.Fatal("garbage body served as a hit")
+	}
+}
+
+// TestForeignTableRejected: a peer answering with a table for a
+// different experiment id (a confused proxy, a misrouted peer) must be
+// a miss — caching it would poison the local store. (Schema mismatches
+// are caught earlier by the versioned decode; wrong params for the
+// right id are caught by the X-Fingerprint header check when the peer
+// sends one — see TestMismatchedFingerprintHeaderRejected.)
+func TestForeignTableRejected(t *testing.T) {
+	srv := peer(t, "EX", tableFor("EY"), nil) // body claims a different id
+	defer srv.Close()
+	tier, err := New(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tier.Get(context.Background(), store.KeyFor("EX", result.Params{})); ok {
+		t.Fatal("foreign table accepted")
+	}
+	if st := tier.Stats(); st.Errors != 1 {
+		t.Fatalf("stats %+v, want the mismatch counted as a peer error", st)
+	}
+}
+
+// TestMismatchedFingerprintHeaderRejected: a response whose
+// X-Fingerprint disagrees with the requested key (a proxy that strips
+// or re-keys the query string, serving the right id under the wrong
+// params) must be a miss — backfilling it would poison the local store.
+func TestMismatchedFingerprintHeaderRejected(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// The body is the right experiment, but the header says the peer
+		// answered for different params (as bccserve would after a proxy
+		// mangled the query).
+		wrong := store.KeyFor("EX", result.Params{Seed: 999})
+		w.Header().Set("X-Fingerprint", wrong.Fingerprint)
+		blob, err := tableFor("EX").CanonicalJSON()
+		if err != nil {
+			t.Error(err)
+		}
+		w.Write(append(blob, '\n'))
+	}))
+	defer srv.Close()
+	tier, err := New(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tier.Get(context.Background(), store.KeyFor("EX", result.Params{Seed: 7})); ok {
+		t.Fatal("wrong-params table accepted despite mismatched X-Fingerprint")
+	}
+	if st := tier.Stats(); st.Errors != 1 {
+		t.Fatalf("stats %+v, want the mismatch counted as a peer error", st)
+	}
+
+	// A matching header is accepted.
+	k := store.KeyFor("EX", result.Params{Seed: 999})
+	if _, ok := tier.Get(context.Background(), k); !ok {
+		t.Fatal("matching X-Fingerprint rejected")
+	}
+}
+
+// TestContextDeadlineBoundsPeerRoundTrip: the caller's context bounds
+// a hung peer — the serving layer's -timeout must not be defeated by
+// the tier's own 5s client timeout.
+func TestContextDeadlineBoundsPeerRoundTrip(t *testing.T) {
+	blocked := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-blocked // black-hole the request
+	}))
+	defer func() { close(blocked); srv.Close() }()
+	tier, err := New(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, ok := tier.Get(ctx, store.KeyFor("EX", result.Params{})); ok {
+		t.Fatal("hung peer served a hit")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("context deadline did not bound the peer round trip: %v", elapsed)
+	}
+}
+
+func TestPutIsAReadOnlyNoOp(t *testing.T) {
+	srv := peer(t, "EX", nil, nil)
+	defer srv.Close()
+	tier, err := New(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tier.Put(store.KeyFor("EX", result.Params{}), tableFor("EX")); err != nil {
+		t.Fatalf("read-only Put errored: %v", err)
+	}
+}
+
+func TestTrailingSlashNormalized(t *testing.T) {
+	srv := peer(t, "EX", tableFor("EX"), nil)
+	defer srv.Close()
+	tier, err := New(srv.URL+"/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tier.Get(context.Background(), store.KeyFor("EX", result.Params{Seed: 2019})); !ok {
+		t.Fatal("trailing slash broke the wire path")
+	}
+}

@@ -1,8 +1,16 @@
-// Package store is the on-disk content-addressed cache of completed
-// experiment tables: any (experiment, seed, quick) triple is computed
-// once ever, then served from disk by every later run — the CLI, the
-// scheduler, and the bccserve HTTP API all read and write the same
-// layout.
+// Package store is the content-addressed cache of completed experiment
+// tables: any (experiment, seed, quick) triple is computed once ever,
+// then served from cache by every later run — the CLI, the scheduler,
+// and the bccserve HTTP API all read and write the same corpus.
+//
+// The Get/Put contract lives in the Backend interface; this package's
+// Store is the durable disk tier (L1). Two sibling packages implement
+// the fast and the shared tiers on the same contract — store/memlru is
+// the in-process hot table (L0), store/remote reads a peer bccserve's
+// corpus over HTTP (L2) — and store/tier composes any stack of them
+// with fallthrough and backfill. Every tier degrades to a miss on
+// failure (damage, network, decode): lookups never error, callers
+// recompute instead.
 //
 // # Layout
 //
@@ -35,6 +43,7 @@
 package store
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -119,6 +128,9 @@ func Open(dir string) (*Store, error) {
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
+// Name identifies the disk tier in stats and cache headers.
+func (s *Store) Name() string { return "disk" }
+
 func (s *Store) objectPath(fp string) string {
 	return filepath.Join(s.dir, "objects", fp+".json")
 }
@@ -143,11 +155,14 @@ func validFingerprint(fp string) bool {
 // failure.
 var errCorrupt = errors.New("store: object corrupt")
 
-// Get returns the cached table for a fingerprint, or (nil, false) on a
-// miss. Corrupt or unreadable objects count as misses; the caller's
-// recompute-and-Put overwrites a damaged object in place.
-func (s *Store) Get(fp string) (*result.Table, bool) {
-	t, err := s.read(fp)
+// Get returns the cached table for a key, or (nil, false) on a miss.
+// Corrupt or unreadable objects count as misses; the caller's
+// recompute-and-Put overwrites a damaged object in place. Only the
+// fingerprint participates in the lookup — the id and params in the key
+// are for request-shaped tiers. The context is ignored: a local disk
+// read is not worth making interruptible.
+func (s *Store) Get(_ context.Context, k Key) (*result.Table, bool) {
+	t, err := s.read(k.Fingerprint)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err != nil || t == nil {
@@ -199,9 +214,10 @@ func decodeEnvelope(raw []byte) (*result.Table, error) {
 	return t, nil
 }
 
-// Put stores a table under its fingerprint with an atomic
+// Put stores a table under its key's fingerprint with an atomic
 // write-and-rename, then refreshes the index.
-func (s *Store) Put(fp string, t *result.Table) error {
+func (s *Store) Put(k Key, t *result.Table) error {
+	fp := k.Fingerprint
 	if !validFingerprint(fp) {
 		return fmt.Errorf("store: malformed fingerprint %q", fp)
 	}

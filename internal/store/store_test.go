@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,6 +11,9 @@ import (
 
 	"repro/internal/result"
 )
+
+// The disk store is the reference Backend implementation.
+var _ Backend = (*Store)(nil)
 
 // tableFor builds a distinctive table for an experiment id.
 func tableFor(id string) *result.Table {
@@ -24,8 +28,16 @@ func tableFor(id string) *result.Table {
 	return t
 }
 
-func fpFor(id string, seed uint64) string {
-	return result.Fingerprint(id, result.Params{Seed: seed}, result.SchemaVersion)
+func keyFor(id string, seed uint64) Key {
+	return KeyFor(id, result.Params{Seed: seed})
+}
+
+func TestKeyForMatchesFingerprint(t *testing.T) {
+	k := KeyFor("E3", result.Params{Seed: 9, Quick: true})
+	want := result.Fingerprint("E3", result.Params{Seed: 9, Quick: true}, result.SchemaVersion)
+	if k.Fingerprint != want || k.ID != "E3" || !k.Params.Quick {
+		t.Fatalf("KeyFor built %+v, want fingerprint %s", k, want)
+	}
 }
 
 func TestPutGetRoundTrip(t *testing.T) {
@@ -33,15 +45,15 @@ func TestPutGetRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fp := fpFor("E3", 1)
-	if _, ok := s.Get(fp); ok {
+	k := keyFor("E3", 1)
+	if _, ok := s.Get(context.Background(), k); ok {
 		t.Fatal("hit on empty store")
 	}
 	want := tableFor("E3")
-	if err := s.Put(fp, want); err != nil {
+	if err := s.Put(k, want); err != nil {
 		t.Fatal(err)
 	}
-	got, ok := s.Get(fp)
+	got, ok := s.Get(context.Background(), k)
 	if !ok {
 		t.Fatal("miss after put")
 	}
@@ -62,15 +74,16 @@ func TestDistinctParamsDistinctObjects(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fps := []string{
-		fpFor("E3", 1),
-		fpFor("E3", 2),
-		fpFor("E4", 1),
-		result.Fingerprint("E3", result.Params{Seed: 1, Quick: true}, result.SchemaVersion),
-		result.Fingerprint("E3", result.Params{Seed: 1}, result.SchemaVersion+1),
+	keys := []Key{
+		keyFor("E3", 1),
+		keyFor("E3", 2),
+		keyFor("E4", 1),
+		KeyFor("E3", result.Params{Seed: 1, Quick: true}),
+		{ID: "E3", Params: result.Params{Seed: 1},
+			Fingerprint: result.Fingerprint("E3", result.Params{Seed: 1}, result.SchemaVersion+1)},
 	}
-	for _, fp := range fps {
-		if err := s.Put(fp, tableFor("EX")); err != nil {
+	for _, k := range keys {
+		if err := s.Put(k, tableFor("EX")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -78,8 +91,8 @@ func TestDistinctParamsDistinctObjects(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Objects != len(fps) {
-		t.Fatalf("%d objects for %d distinct run identities", st.Objects, len(fps))
+	if st.Objects != len(keys) {
+		t.Fatalf("%d objects for %d distinct run identities", st.Objects, len(keys))
 	}
 }
 
@@ -92,7 +105,7 @@ func TestConcurrentWritersOneFingerprint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fp := fpFor("E7", 9)
+	k := keyFor("E7", 9)
 	want := tableFor("E7")
 	var wg sync.WaitGroup
 	errs := make([]error, 16)
@@ -101,10 +114,10 @@ func TestConcurrentWritersOneFingerprint(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			if i%2 == 0 {
-				errs[i] = s.Put(fp, tableFor("E7"))
+				errs[i] = s.Put(k, tableFor("E7"))
 				return
 			}
-			if got, ok := s.Get(fp); ok && !want.Equal(got) {
+			if got, ok := s.Get(context.Background(), k); ok && !want.Equal(got) {
 				errs[i] = fmt.Errorf("reader %d observed a damaged table", i)
 			}
 		}(i)
@@ -115,7 +128,7 @@ func TestConcurrentWritersOneFingerprint(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	got, ok := s.Get(fp)
+	got, ok := s.Get(context.Background(), k)
 	if !ok || !want.Equal(got) {
 		t.Fatal("table damaged after write race")
 	}
@@ -129,28 +142,28 @@ func TestTruncatedObjectIsAMiss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fp := fpFor("E5", 3)
-	if err := s.Put(fp, tableFor("E5")); err != nil {
+	k := keyFor("E5", 3)
+	if err := s.Put(k, tableFor("E5")); err != nil {
 		t.Fatal(err)
 	}
-	raw, err := os.ReadFile(s.objectPath(fp))
+	raw, err := os.ReadFile(s.objectPath(k.Fingerprint))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(s.objectPath(fp), raw[:len(raw)/2], 0o644); err != nil {
+	if err := os.WriteFile(s.objectPath(k.Fingerprint), raw[:len(raw)/2], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s.Get(fp); ok {
+	if _, ok := s.Get(context.Background(), k); ok {
 		t.Fatal("truncated object served as a hit")
 	}
-	if _, err := os.Stat(s.objectPath(fp)); err != nil {
+	if _, err := os.Stat(s.objectPath(k.Fingerprint)); err != nil {
 		t.Fatal("reader deleted the object — removal must be left to Put/Prune")
 	}
 	// The slot heals by overwrite.
-	if err := s.Put(fp, tableFor("E5")); err != nil {
+	if err := s.Put(k, tableFor("E5")); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s.Get(fp); !ok {
+	if _, ok := s.Get(context.Background(), k); !ok {
 		t.Fatal("healed slot still misses")
 	}
 }
@@ -162,11 +175,11 @@ func TestCorruptPayloadIsAMiss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fp := fpFor("E5", 4)
-	if err := s.Put(fp, tableFor("E5")); err != nil {
+	k := keyFor("E5", 4)
+	if err := s.Put(k, tableFor("E5")); err != nil {
 		t.Fatal(err)
 	}
-	raw, err := os.ReadFile(s.objectPath(fp))
+	raw, err := os.ReadFile(s.objectPath(k.Fingerprint))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,10 +194,10 @@ func TestCorruptPayloadIsAMiss(t *testing.T) {
 	if string(mutated) == string(raw) {
 		t.Fatal("test setup: nothing mutated")
 	}
-	if err := os.WriteFile(s.objectPath(fp), mutated, 0o644); err != nil {
+	if err := os.WriteFile(s.objectPath(k.Fingerprint), mutated, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s.Get(fp); ok {
+	if _, ok := s.Get(context.Background(), k); ok {
 		t.Fatal("checksum-corrupt object served as a hit")
 	}
 	st, err := s.Stats()
@@ -209,11 +222,12 @@ func TestMalformedFingerprintRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, bad := range []string{"", "zz", "../../etc/passwd", "ABCDEF" + fpFor("E1", 1)[6:]} {
-		if err := s.Put(bad, tableFor("E1")); err == nil {
+	for _, bad := range []string{"", "zz", "../../etc/passwd", "ABCDEF" + keyFor("E1", 1).Fingerprint[6:]} {
+		k := Key{ID: "E1", Fingerprint: bad}
+		if err := s.Put(k, tableFor("E1")); err == nil {
 			t.Fatalf("Put accepted malformed fingerprint %q", bad)
 		}
-		if _, ok := s.Get(bad); ok {
+		if _, ok := s.Get(context.Background(), k); ok {
 			t.Fatalf("Get hit on malformed fingerprint %q", bad)
 		}
 	}
@@ -225,8 +239,8 @@ func TestIndexRebuiltAfterDamage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fp := fpFor("E9", 5)
-	if err := s.Put(fp, tableFor("E9")); err != nil {
+	k := keyFor("E9", 5)
+	if err := s.Put(k, tableFor("E9")); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(filepath.Join(dir, "index.json"), []byte("{not json"), 0o644); err != nil {
@@ -236,7 +250,7 @@ func TestIndexRebuiltAfterDamage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 1 || entries[0].Fingerprint != fp || entries[0].ID != "E9" {
+	if len(entries) != 1 || entries[0].Fingerprint != k.Fingerprint || entries[0].ID != "E9" {
 		t.Fatalf("rebuilt index wrong: %+v", entries)
 	}
 }
@@ -246,14 +260,14 @@ func TestPrune(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	oldFP, newFP := fpFor("E1", 1), fpFor("E2", 2)
-	for _, fp := range []string{oldFP, newFP} {
-		if err := s.Put(fp, tableFor("EX")); err != nil {
+	oldKey, newKey := keyFor("E1", 1), keyFor("E2", 2)
+	for _, k := range []Key{oldKey, newKey} {
+		if err := s.Put(k, tableFor("EX")); err != nil {
 			t.Fatal(err)
 		}
 	}
 	past := time.Now().Add(-48 * time.Hour)
-	if err := os.Chtimes(s.objectPath(oldFP), past, past); err != nil {
+	if err := os.Chtimes(s.objectPath(oldKey.Fingerprint), past, past); err != nil {
 		t.Fatal(err)
 	}
 	removed, err := Prune(s, 24*time.Hour)
@@ -263,10 +277,10 @@ func TestPrune(t *testing.T) {
 	if removed != 1 {
 		t.Fatalf("pruned %d objects, want 1", removed)
 	}
-	if _, ok := s.Get(oldFP); ok {
+	if _, ok := s.Get(context.Background(), oldKey); ok {
 		t.Fatal("pruned object still served")
 	}
-	if _, ok := s.Get(newFP); !ok {
+	if _, ok := s.Get(context.Background(), newKey); !ok {
 		t.Fatal("fresh object pruned")
 	}
 }

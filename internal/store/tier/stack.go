@@ -1,0 +1,94 @@
+package tier
+
+import (
+	"context"
+
+	"repro/internal/result"
+	"repro/internal/store"
+	"repro/internal/store/memlru"
+	"repro/internal/store/remote"
+)
+
+// Stack is the canonical L0 → L1 → L2 assembly shared by cmd/bccserve
+// and cmd/experiments: an optional in-memory hot table, an optional
+// disk store, an optional peer replica, composed fastest-first. The
+// per-tier handles are kept so serving layers can report tier-specific
+// stats; unconfigured tiers are nil.
+type Stack struct {
+	// Backend is what consumers (the scheduler) use: the single
+	// configured tier, their Tiered composition, or nil when no tier is
+	// configured at all.
+	Backend store.Backend
+	// Mem is the L0 hot table (nil unless memCapacity > 0).
+	Mem *memlru.Cache
+	// Disk is the L1 durable store (nil unless a directory was given).
+	Disk *store.Store
+	// Peer is the L2 replica reader (nil unless a peer URL was given).
+	Peer *remote.Tier
+	// Tiered is the composition (non-nil only when ≥ 2 tiers stacked).
+	Tiered *Tiered
+
+	// local is how many leading tiers are local (memory, disk) — the
+	// prefix CachedLocal is allowed to consult.
+	local int
+}
+
+// CachedLocal answers k from the local tiers only — memory, then disk,
+// never the peer — through the same counted fallthrough/backfill path
+// as full lookups. This is the serving layer's cached=only contract: a
+// cache-only request must trigger no outbound work of any kind, or two
+// replicas peered at each other would re-query one another on every
+// shared miss.
+func (s Stack) CachedLocal(ctx context.Context, k store.Key) (*result.Table, string, bool) {
+	if s.Tiered != nil {
+		return s.Tiered.getTierN(ctx, k, s.local)
+	}
+	if s.Peer == nil && s.Backend != nil {
+		t, ok := s.Backend.Get(ctx, k)
+		return t, s.Backend.Name(), ok
+	}
+	return nil, "", false
+}
+
+// NewStack assembles the tier hierarchy from its three knobs: the L0
+// capacity in tables (0 disables), the L1 directory ("" disables), and
+// the L2 peer base URL ("" disables). Any subset works; all three
+// empty yields a Stack with a nil Backend.
+func NewStack(memCapacity int, dir, peerURL string) (Stack, error) {
+	var st Stack
+	tiers := []store.Backend{}
+	if memCapacity > 0 {
+		mem, err := memlru.New(memCapacity)
+		if err != nil {
+			return st, err
+		}
+		st.Mem = mem
+		tiers = append(tiers, mem)
+	}
+	if dir != "" {
+		disk, err := store.Open(dir)
+		if err != nil {
+			return st, err
+		}
+		st.Disk = disk
+		tiers = append(tiers, disk)
+	}
+	st.local = len(tiers)
+	if peerURL != "" {
+		p, err := remote.New(peerURL, nil)
+		if err != nil {
+			return st, err
+		}
+		st.Peer = p
+		tiers = append(tiers, p)
+	}
+	switch len(tiers) {
+	case 0:
+	case 1:
+		st.Backend = tiers[0]
+	default:
+		st.Tiered = New(tiers...)
+		st.Backend = st.Tiered
+	}
+	return st, nil
+}

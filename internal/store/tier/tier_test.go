@@ -1,0 +1,299 @@
+package tier
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/result"
+	"repro/internal/store"
+	"repro/internal/store/memlru"
+	"repro/internal/store/remote"
+)
+
+var _ store.Backend = (*Tiered)(nil)
+
+func keyFor(seed uint64) store.Key {
+	return store.KeyFor("EX", result.Params{Seed: seed})
+}
+
+func tableFor(seed uint64) *result.Table {
+	t := &result.Table{ID: "EX", Title: "t", Claim: "c", Columns: []string{"seed"}, Shape: "holds"}
+	t.AddRow(result.Int(int(seed)))
+	return t
+}
+
+// fake is a scriptable in-memory backend for failure injection.
+type fake struct {
+	name   string
+	m      map[string]*result.Table
+	putErr error
+}
+
+func newFake(name string) *fake { return &fake{name: name, m: map[string]*result.Table{}} }
+
+func (f *fake) Name() string { return f.name }
+
+func (f *fake) Get(_ context.Context, k store.Key) (*result.Table, bool) {
+	t, ok := f.m[k.Fingerprint]
+	return t, ok
+}
+
+func (f *fake) Put(k store.Key, t *result.Table) error {
+	if f.putErr != nil {
+		return f.putErr
+	}
+	f.m[k.Fingerprint] = t
+	return nil
+}
+
+func newDisk(t *testing.T) (*store.Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, dir
+}
+
+func newLRU(t *testing.T, capacity int) *memlru.Cache {
+	t.Helper()
+	c, err := memlru.New(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestL0EvictionRefillsFromL1: a table evicted from the hot tier is
+// re-served from disk and backfilled, so the next lookup is a memory
+// hit again.
+func TestL0EvictionRefillsFromL1(t *testing.T) {
+	mem := newLRU(t, 1)
+	disk, _ := newDisk(t)
+	stack := New(mem, disk)
+
+	k1, k2 := keyFor(1), keyFor(2)
+	if err := stack.Put(k1, tableFor(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := stack.Put(k2, tableFor(2)); err != nil { // evicts k1 from L0
+		t.Fatal(err)
+	}
+	if mem.Len() != 1 {
+		t.Fatalf("L0 holds %d tables at capacity 1", mem.Len())
+	}
+
+	tab, tierName, ok := stack.GetTier(context.Background(), k1)
+	if !ok || !tab.Equal(tableFor(1)) {
+		t.Fatal("evicted table lost from the stack")
+	}
+	if tierName != "disk" {
+		t.Fatalf("post-eviction hit came from %q, want disk", tierName)
+	}
+	// The hit backfilled L0 (evicting k2 in turn at capacity 1).
+	if _, tierName, ok = stack.GetTier(context.Background(), k1); !ok || tierName != "memory" {
+		t.Fatalf("refill failed: second lookup hit %q, want memory", tierName)
+	}
+}
+
+// TestL1CorruptionFallsThroughToL2: a corrupt disk object degrades to
+// the peer tier, and the hit's backfill overwrite-heals the disk slot.
+func TestL1CorruptionFallsThroughToL2(t *testing.T) {
+	disk, dir := newDisk(t)
+	l2 := newFake("remote")
+	stack := New(disk, l2)
+
+	k := keyFor(3)
+	if err := stack.Put(k, tableFor(3)); err != nil {
+		t.Fatal(err)
+	}
+	// Smash the disk object (the fake L2 kept its copy).
+	objPath := filepath.Join(dir, "objects", k.Fingerprint+".json")
+	if err := os.WriteFile(objPath, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tab, tierName, ok := stack.GetTier(context.Background(), k)
+	if !ok || !tab.Equal(tableFor(3)) {
+		t.Fatal("corrupt L1 killed the lookup instead of falling through")
+	}
+	if tierName != "remote" {
+		t.Fatalf("hit came from %q, want remote", tierName)
+	}
+	// Backfill healed the disk slot.
+	if _, tierName, ok = stack.GetTier(context.Background(), k); !ok || tierName != "disk" {
+		t.Fatalf("disk slot not healed: hit from %q", tierName)
+	}
+}
+
+// TestUnreachablePeerDegradesToLocalTiers: with a dead L2 the stack
+// still serves local content and reports clean misses for the rest —
+// never an error, never a panic.
+func TestUnreachablePeerDegradesToLocalTiers(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	srv.Close() // dead peer
+	peerTier, err := remote.New(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := newLRU(t, 4)
+	disk, _ := newDisk(t)
+	stack := New(mem, disk, peerTier)
+
+	k := keyFor(4)
+	if _, ok := stack.Get(context.Background(), k); ok {
+		t.Fatal("empty stack with dead peer reported a hit")
+	}
+	if err := stack.Put(k, tableFor(4)); err != nil {
+		t.Fatalf("put through a dead read-only peer errored: %v", err)
+	}
+	if tab, tierName, ok := stack.GetTier(context.Background(), k); !ok || tierName != "memory" || !tab.Equal(tableFor(4)) {
+		t.Fatalf("local serve degraded: ok=%t tier=%q", ok, tierName)
+	}
+}
+
+// TestBackfillFailureStillServes: L0 rejecting the backfill write must
+// not affect the answer.
+func TestBackfillFailureStillServes(t *testing.T) {
+	l0 := newFake("memory")
+	l0.putErr = errors.New("no room")
+	l1 := newFake("disk")
+	stack := New(l0, l1)
+	k := keyFor(5)
+	l1.m[k.Fingerprint] = tableFor(5)
+	tab, tierName, ok := stack.GetTier(context.Background(), k)
+	if !ok || tierName != "disk" || !tab.Equal(tableFor(5)) {
+		t.Fatalf("backfill failure corrupted the read path: ok=%t tier=%q", ok, tierName)
+	}
+}
+
+// TestPutWriteThrough: one Put lands in every writable tier.
+func TestPutWriteThrough(t *testing.T) {
+	mem := newLRU(t, 4)
+	disk, _ := newDisk(t)
+	stack := New(mem, disk)
+	k := keyFor(6)
+	if err := stack.Put(k, tableFor(6)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mem.Get(context.Background(), k); !ok {
+		t.Fatal("write-through skipped L0")
+	}
+	if _, ok := disk.Get(context.Background(), k); !ok {
+		t.Fatal("write-through skipped L1")
+	}
+}
+
+// TestPutReportsFirstFailureButWritesAll: a failing tier does not stop
+// the write-through behind it.
+func TestPutReportsFirstFailureButWritesAll(t *testing.T) {
+	bad := newFake("memory")
+	bad.putErr = errors.New("broken tier")
+	good := newFake("disk")
+	stack := New(bad, good)
+	k := keyFor(7)
+	if err := stack.Put(k, tableFor(7)); err == nil {
+		t.Fatal("failed tier write not reported")
+	}
+	if _, ok := good.m[k.Fingerprint]; !ok {
+		t.Fatal("failure in L0 stopped the L1 write")
+	}
+}
+
+// TestStackCachedLocalSkipsPeer: CachedLocal consults only the local
+// prefix of the stack — a dead or live peer is never touched — while
+// sharing the stack's counters and backfill.
+func TestStackCachedLocalSkipsPeer(t *testing.T) {
+	peerCalls := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		peerCalls++
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+
+	stack, err := NewStack(2, t.TempDir(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := keyFor(11)
+	if _, _, ok := stack.CachedLocal(context.Background(), k); ok {
+		t.Fatal("empty stack reported a local hit")
+	}
+	if peerCalls != 0 {
+		t.Fatalf("CachedLocal reached the peer %d times", peerCalls)
+	}
+	if err := stack.Backend.Put(k, tableFor(11)); err != nil {
+		t.Fatal(err)
+	}
+	tab, tierName, ok := stack.CachedLocal(context.Background(), k)
+	if !ok || tierName != "memory" || !tab.Equal(tableFor(11)) {
+		t.Fatalf("local hit wrong: ok=%t tier=%q", ok, tierName)
+	}
+	if peerCalls != 0 {
+		t.Fatalf("warm CachedLocal reached the peer %d times", peerCalls)
+	}
+	// The local lookups were counted on the shared stack stats.
+	st := stack.Tiered.Stats()
+	if st[0].Name != "memory" || st[0].Hits != 1 || st[0].Misses != 1 {
+		t.Fatalf("CachedLocal traffic not counted: %+v", st)
+	}
+}
+
+// TestStackCachedLocalSingleLocalTier: with one local tier and no peer
+// there is no Tiered composition; CachedLocal still answers. With only
+// a peer, it always misses.
+func TestStackCachedLocalSingleLocalTier(t *testing.T) {
+	stack, err := NewStack(0, t.TempDir(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := keyFor(12)
+	if err := stack.Backend.Put(k, tableFor(12)); err != nil {
+		t.Fatal(err)
+	}
+	if _, tierName, ok := stack.CachedLocal(context.Background(), k); !ok || tierName != "disk" {
+		t.Fatalf("single-tier CachedLocal: ok=%t tier=%q", ok, tierName)
+	}
+
+	srv := httptest.NewServer(http.NotFoundHandler())
+	defer srv.Close()
+	peerOnly, err := NewStack(0, "", srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := peerOnly.CachedLocal(context.Background(), k); ok {
+		t.Fatal("peer-only stack reported a local hit")
+	}
+}
+
+func TestStatsPerTier(t *testing.T) {
+	mem := newLRU(t, 1)
+	disk, _ := newDisk(t)
+	stack := New(mem, disk)
+	k1, k2 := keyFor(8), keyFor(9)
+	stack.Put(k1, tableFor(8))
+	stack.Put(k2, tableFor(9))                  // evicts k1 from L0
+	stack.Get(context.Background(), k1)         // disk hit + memory backfill
+	stack.Get(context.Background(), k1)         // memory hit
+	stack.Get(context.Background(), keyFor(10)) // full miss
+
+	st := stack.Stats()
+	if len(st) != 2 || st[0].Name != "memory" || st[1].Name != "disk" {
+		t.Fatalf("stats shape wrong: %+v", st)
+	}
+	if st[0].Hits != 1 || st[1].Hits != 1 {
+		t.Fatalf("hit attribution wrong: %+v", st)
+	}
+	if st[0].Misses != 2 || st[1].Misses != 1 {
+		t.Fatalf("miss attribution wrong: %+v", st)
+	}
+	if st[0].Backfills != 1 {
+		t.Fatalf("backfill count wrong: %+v", st)
+	}
+}
