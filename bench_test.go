@@ -2,6 +2,8 @@ package repro
 
 import (
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"strings"
 	"sync"
@@ -14,9 +16,12 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/f2"
 	"repro/internal/graph"
+	"repro/internal/result"
 	"repro/internal/rng"
 	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/store"
+	"repro/internal/store/tier"
 )
 
 // The Benchmark_E* benchmarks regenerate the per-theorem experiment
@@ -194,4 +199,107 @@ func BenchmarkSubstrate_ConcurrentEngine(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Benchmark_ServeHit* measure the HTTP serving hit path in-process: a
+// warm memory tier (L0) answering /tables/{id} through the full
+// handler — routing, params, scheduler lookup, headers, body write —
+// with the network stack factored out (httptest recorders). These are
+// the in-process half of BENCH_SERVE.json; cmd/bccload is the
+// over-real-sockets half. The table mirrors the 24-row shape
+// BENCH_STORE.json measured, so numbers compare across files.
+//
+// The serving contract under test: the hit path performs ZERO raw
+// encodes — the canonical JSON (and lazily the markdown) is memoized on
+// the immutable table when it first enters a tier, and every hit writes
+// those stored bytes (see internal/serve's package doc).
+
+// serveBenchHandler builds a warm single-table server over a
+// memory-only stack.
+func serveBenchHandler(b *testing.B) http.Handler {
+	b.Helper()
+	registry := func() []experiments.Experiment {
+		return []experiments.Experiment{{
+			ID:    "EX",
+			Title: "synthetic 24-row table",
+			Run: func(cfg experiments.Config) (*experiments.Table, error) {
+				tab := &experiments.Table{ID: "EX", Title: "synthetic 24-row table",
+					Claim:   "benchmark shape",
+					Columns: []string{"n", "k", "tv", "bound", "regime", "holds"},
+					Shape:   "holds"}
+				for i := 0; i < 24; i++ {
+					tab.AddRow(
+						result.Int(64+i), result.Int(8+i/2),
+						result.Float(0.015625*float64(i)).WithErr(0.001),
+						result.FloatPrec(0.25+0.01*float64(i), 6).WithBound(result.BoundUpper),
+						result.Strf("regime-%d", i%3), result.Bool(i%5 != 0),
+					)
+				}
+				return tab, nil
+			},
+		}}
+	}
+	stack, err := tier.NewStack(4, "", "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := &serve.Server{
+		Sched:    sched.New(stack.Backend, 2),
+		Stack:    stack,
+		Registry: registry,
+		Seed:     2019,
+		Quick:    true,
+		Workers:  1,
+	}
+	return srv.Handler()
+}
+
+// benchServeHit drives b.N requests for path through a handler warmed
+// by one request per warmPaths entry, asserting the expected status and
+// that the whole timed run costs zero raw table encodes.
+func benchServeHit(b *testing.B, warmPaths []string, path string, wantStatus int, hdr map[string]string) {
+	b.Helper()
+	h := serveBenchHandler(b)
+	for _, p := range warmPaths {
+		warm := httptest.NewRecorder()
+		h.ServeHTTP(warm, httptest.NewRequest("GET", p, nil))
+		if warm.Code != 200 {
+			b.Fatalf("warm %s: %d %s", p, warm.Code, warm.Body.String())
+		}
+	}
+	encodesBefore := result.Encodes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("GET", path, nil)
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		h.ServeHTTP(rec, req)
+		if rec.Code != wantStatus {
+			b.Fatalf("status %d, want %d", rec.Code, wantStatus)
+		}
+	}
+	b.StopTimer()
+	if raw := result.Encodes() - encodesBefore; raw != 0 {
+		b.Fatalf("hit path performed %d raw encodes over %d requests", raw, b.N)
+	}
+}
+
+func Benchmark_ServeHit(b *testing.B) {
+	benchServeHit(b, []string{"/tables/EX?seed=7"}, "/tables/EX?seed=7", 200, nil)
+}
+
+func Benchmark_ServeHitMarkdown(b *testing.B) {
+	// The extra format=md warm request materializes the lazy markdown
+	// memo before timing starts.
+	benchServeHit(b, []string{"/tables/EX?seed=7", "/tables/EX?seed=7&format=md"},
+		"/tables/EX?seed=7&format=md", 200, nil)
+}
+
+func Benchmark_ServeHit304(b *testing.B) {
+	fp := store.KeyFor("EX", result.Params{Seed: 7, Quick: true}).Fingerprint
+	benchServeHit(b, []string{"/tables/EX?seed=7"}, "/tables/EX?seed=7", http.StatusNotModified,
+		map[string]string{"If-None-Match": `"` + fp + `"`})
 }

@@ -1,0 +1,343 @@
+// Command bccload drives a running bccserve with concurrent HTTP load
+// and reports what the serving path actually sustains: requests per
+// second, latency quantiles, the X-Cache/X-Cache-Tier mix, and error
+// counts. It exists to turn the store microbenchmarks ("a memory hit is
+// ~32ns") into an end-to-end number over real sockets — the load half
+// of BENCH_SERVE.json.
+//
+// Usage:
+//
+//	bccload [-url http://127.0.0.1:8344] [-c 8] [-duration 10s]
+//	        [-ids E13,E1] [-seed N] [-quick] [-format json|md]
+//	        [-warm] [-json]
+//
+// The target corpus is warmed first (one priming request per id, so the
+// measured window is the hit path; -warm=false skips it to measure cold
+// traffic). With no -ids the generator asks the server's /tables
+// listing and sweeps every registered experiment. Workers rotate
+// through the ids round-robin; every response body is read in full.
+//
+// -json emits the machine-readable report on stdout (the CI load-smoke
+// leg greps it); the default is a human summary. The exit status is
+// non-zero when any request failed, so scripts need no JSON parsing to
+// gate on a clean run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	rep, jsonOut, err := cli(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bccload:", err)
+		os.Exit(1)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	} else {
+		rep.print(os.Stdout)
+	}
+	if rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "bccload: %d of %d requests failed\n", rep.Errors, rep.Requests)
+		os.Exit(1)
+	}
+}
+
+// cli parses args and runs the load; stdout receives progress lines
+// (the report itself is the caller's to print).
+func cli(args []string, stdout io.Writer) (*Report, bool, error) {
+	fs := flag.NewFlagSet("bccload", flag.ContinueOnError)
+	url := fs.String("url", "http://127.0.0.1:8344", "bccserve base URL")
+	c := fs.Int("c", 8, "concurrent workers")
+	duration := fs.Duration("duration", 10*time.Second, "measured window length")
+	ids := fs.String("ids", "", "comma-separated experiment ids (default: every id the server's /tables lists)")
+	seed := fs.Uint64("seed", 2019, "table seed passed as ?seed=")
+	quick := fs.Bool("quick", false, "request quick-mode tables (?quick=true)")
+	format := fs.String("format", "json", "table format to request: json or md")
+	warm := fs.Bool("warm", true, "prime each id once before the measured window (hit-path load)")
+	jsonOut := fs.Bool("json", false, "emit the machine-readable JSON report on stdout")
+	if err := fs.Parse(args); err != nil {
+		return nil, false, err
+	}
+	opts := Options{
+		URL: strings.TrimRight(*url, "/"), Concurrency: *c, Duration: *duration,
+		Seed: *seed, Quick: *quick, Format: *format, Warm: *warm,
+	}
+	if *ids != "" {
+		for _, id := range strings.Split(*ids, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				opts.IDs = append(opts.IDs, id)
+			}
+		}
+	}
+	if !*jsonOut {
+		fmt.Fprintf(stdout, "bccload: %d workers against %s for %s\n", opts.Concurrency, opts.URL, opts.Duration)
+	}
+	rep, err := Run(opts)
+	return rep, *jsonOut, err
+}
+
+// Options configures one load run.
+type Options struct {
+	// URL is the bccserve base URL (no trailing slash).
+	URL string
+	// Concurrency is the worker count; each worker issues requests
+	// back-to-back over keep-alive connections.
+	Concurrency int
+	// Duration is the measured window (the warm pass is outside it).
+	Duration time.Duration
+	// IDs are the experiment ids to rotate through; empty means
+	// discover every id from the server's /tables listing.
+	IDs []string
+	// Seed/Quick/Format shape the table requests.
+	Seed   uint64
+	Quick  bool
+	Format string
+	// Warm primes each id once before measuring.
+	Warm bool
+}
+
+// Quantiles summarizes a latency distribution in milliseconds.
+type Quantiles struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+// Report is the machine-readable outcome of a load run.
+type Report struct {
+	URL         string   `json:"url"`
+	Concurrency int      `json:"concurrency"`
+	DurationSec float64  `json:"duration_sec"`
+	IDs         []string `json:"ids"`
+	Format      string   `json:"format"`
+
+	Requests uint64  `json:"requests"`
+	Errors   uint64  `json:"errors"`
+	RPS      float64 `json:"rps"`
+	// Bytes is the summed body size of successful responses.
+	Bytes uint64 `json:"bytes"`
+
+	LatencyMS Quantiles `json:"latency_ms"`
+	// Cache counts responses by X-Cache value ("hit"/"miss"; "none"
+	// when the header is absent, e.g. an error body).
+	Cache map[string]uint64 `json:"cache"`
+	// Tiers counts hit responses by X-Cache-Tier ("memory", "disk",
+	// "remote").
+	Tiers map[string]uint64 `json:"tiers"`
+	// Status counts responses by HTTP status code.
+	Status map[string]uint64 `json:"status"`
+}
+
+// print writes the human summary.
+func (r *Report) print(w io.Writer) {
+	fmt.Fprintf(w, "requests   %d in %.2fs  (%.0f req/s, %d errors)\n",
+		r.Requests, r.DurationSec, r.RPS, r.Errors)
+	fmt.Fprintf(w, "latency    p50 %.3fms  p90 %.3fms  p99 %.3fms  max %.3fms  mean %.3fms\n",
+		r.LatencyMS.P50, r.LatencyMS.P90, r.LatencyMS.P99, r.LatencyMS.Max, r.LatencyMS.Mean)
+	fmt.Fprintf(w, "cache      %v\n", r.Cache)
+	fmt.Fprintf(w, "tiers      %v\n", r.Tiers)
+	fmt.Fprintf(w, "status     %v\n", r.Status)
+	fmt.Fprintf(w, "bytes      %d (%.1f MB/s)\n", r.Bytes, float64(r.Bytes)/r.DurationSec/1e6)
+}
+
+// listEntry mirrors bccserve's /tables row (the fields bccload needs).
+type listEntry struct {
+	ID string `json:"id"`
+}
+
+// sample is one request's outcome, recorded per worker and merged after
+// the window closes.
+type sample struct {
+	latency time.Duration
+	status  int
+	cache   string
+	tier    string
+	bytes   int
+	failed  bool
+}
+
+// Run executes one load run: resolve ids, warm, fan out workers for the
+// window, merge and summarize.
+func Run(o Options) (*Report, error) {
+	if o.Concurrency < 1 {
+		o.Concurrency = 1
+	}
+	if o.Format != "json" && o.Format != "md" {
+		return nil, fmt.Errorf("unknown format %q (want json or md)", o.Format)
+	}
+	client := &http.Client{
+		Transport: &http.Transport{
+			// Every worker keeps its connection alive; without this the
+			// default per-host idle cap (2) forces most workers into a
+			// TCP handshake per request and the run measures connection
+			// setup, not the serving path.
+			MaxIdleConns:        o.Concurrency * 2,
+			MaxIdleConnsPerHost: o.Concurrency * 2,
+		},
+		Timeout: 30 * time.Second,
+	}
+
+	ids := o.IDs
+	if len(ids) == 0 {
+		var err error
+		if ids, err = discoverIDs(client, o); err != nil {
+			return nil, err
+		}
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("no experiment ids to load (server listed none)")
+	}
+
+	if o.Warm {
+		for _, id := range ids {
+			s := fetch(client, tableURL(o, id))
+			if s.failed || s.status != http.StatusOK {
+				return nil, fmt.Errorf("warming %s: status %d", id, s.status)
+			}
+		}
+	}
+
+	// Workers record into private slices (no shared state in the hot
+	// loop) and stop at the deadline; the elapsed clock spans first
+	// request to last response.
+	perWorker := make([][]sample, o.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(o.Duration)
+	for w := 0; w < o.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			samples := make([]sample, 0, 4096)
+			for i := w; time.Now().Before(deadline); i++ {
+				samples = append(samples, fetch(client, tableURL(o, ids[i%len(ids)])))
+			}
+			perWorker[w] = samples
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		URL: o.URL, Concurrency: o.Concurrency, DurationSec: elapsed.Seconds(),
+		IDs: ids, Format: o.Format,
+		Cache: map[string]uint64{}, Tiers: map[string]uint64{}, Status: map[string]uint64{},
+	}
+	latencies := make([]time.Duration, 0, 1<<14)
+	var totalLatency time.Duration
+	for _, samples := range perWorker {
+		for _, s := range samples {
+			rep.Requests++
+			if s.failed || s.status != http.StatusOK {
+				rep.Errors++
+			}
+			if s.failed {
+				rep.Status["transport"]++
+			} else {
+				rep.Status[fmt.Sprintf("%d", s.status)]++
+			}
+			cache := s.cache
+			if cache == "" {
+				cache = "none"
+			}
+			rep.Cache[cache]++
+			if s.tier != "" {
+				rep.Tiers[s.tier]++
+			}
+			// Quantiles and bytes cover successful requests only: a
+			// dying server produces thousands of near-instant
+			// connection-refused samples and 429/5xx error bodies, and
+			// folding those in would report a broken run as a fast one.
+			// The error count is the signal there.
+			if !s.failed && s.status == http.StatusOK {
+				rep.Bytes += uint64(s.bytes)
+				latencies = append(latencies, s.latency)
+				totalLatency += s.latency
+			}
+		}
+	}
+	if rep.Requests > 0 && elapsed > 0 {
+		rep.RPS = float64(rep.Requests) / elapsed.Seconds()
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+		q := func(p float64) float64 {
+			i := int(p * float64(len(latencies)-1))
+			return ms(latencies[i])
+		}
+		rep.LatencyMS = Quantiles{
+			P50: q(0.50), P90: q(0.90), P99: q(0.99),
+			Max:  ms(latencies[len(latencies)-1]),
+			Mean: ms(totalLatency / time.Duration(len(latencies))),
+		}
+	}
+	return rep, nil
+}
+
+// tableURL builds the request URL for one id.
+func tableURL(o Options, id string) string {
+	return fmt.Sprintf("%s/tables/%s?seed=%d&quick=%t&format=%s", o.URL, id, o.Seed, o.Quick, o.Format)
+}
+
+// discoverIDs asks the server's /tables listing for every registered
+// experiment id.
+func discoverIDs(client *http.Client, o Options) ([]string, error) {
+	url := fmt.Sprintf("%s/tables?seed=%d&quick=%t", o.URL, o.Seed, o.Quick)
+	res, err := client.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("listing experiments: %w", err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("listing experiments: status %d", res.StatusCode)
+	}
+	var entries []listEntry
+	if err := json.NewDecoder(res.Body).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("parsing /tables: %w", err)
+	}
+	ids := make([]string, 0, len(entries))
+	for _, e := range entries {
+		ids = append(ids, e.ID)
+	}
+	return ids, nil
+}
+
+// fetch issues one GET and records its outcome; the body is read in
+// full (a server can cheat a benchmark that never reads what it asked
+// for).
+func fetch(client *http.Client, url string) sample {
+	start := time.Now()
+	res, err := client.Get(url)
+	if err != nil {
+		return sample{latency: time.Since(start), failed: true}
+	}
+	n, err := io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	s := sample{
+		latency: time.Since(start),
+		status:  res.StatusCode,
+		cache:   res.Header.Get("X-Cache"),
+		tier:    res.Header.Get("X-Cache-Tier"),
+		bytes:   int(n),
+	}
+	if err != nil {
+		s.failed = true
+	}
+	return s
+}

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeServe emulates the slice of bccserve's wire surface bccload
+// touches: /tables lists ids, /tables/{id} serves a body with the cache
+// headers. The first request per id is a miss, later ones memory hits —
+// like a real warm-up against a cold replica.
+func fakeServe(t *testing.T, ids ...string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var requests atomic.Int64
+	seen := map[string]*atomic.Bool{}
+	for _, id := range ids {
+		seen[id] = &atomic.Bool{}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /tables", func(w http.ResponseWriter, r *http.Request) {
+		entries := make([]map[string]any, 0, len(ids))
+		for _, id := range ids {
+			entries = append(entries, map[string]any{"id": id, "title": "t", "fingerprint": "f", "cached": false})
+		}
+		json.NewEncoder(w).Encode(entries)
+	})
+	mux.HandleFunc("GET /tables/{id}", func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		id := r.PathValue("id")
+		warmed, ok := seen[id]
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		if warmed.Swap(true) {
+			w.Header().Set("X-Cache", "hit")
+			w.Header().Set("X-Cache-Tier", "memory")
+		} else {
+			w.Header().Set("X-Cache", "miss")
+		}
+		fmt.Fprintf(w, `{"schema":1,"id":%q}`+"\n", id)
+	})
+	return httptest.NewServer(mux), &requests
+}
+
+// TestRunHitPath: a warm run against a healthy server reports zero
+// errors, every measured request a memory hit, and sane latency
+// aggregates.
+func TestRunHitPath(t *testing.T) {
+	srv, _ := fakeServe(t, "E1", "E2")
+	defer srv.Close()
+	rep, err := Run(Options{
+		URL: srv.URL, Concurrency: 4, Duration: 150 * time.Millisecond,
+		IDs: []string{"E1", "E2"}, Seed: 7, Quick: true, Format: "json", Warm: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests issued in the window")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d errors against a healthy server", rep.Errors)
+	}
+	// The warm pass ate both misses, so the measured window is pure
+	// memory hits.
+	if rep.Cache["hit"] != rep.Requests || rep.Tiers["memory"] != rep.Requests {
+		t.Fatalf("hit mix wrong: cache=%v tiers=%v requests=%d", rep.Cache, rep.Tiers, rep.Requests)
+	}
+	if rep.RPS <= 0 {
+		t.Fatalf("rps %v", rep.RPS)
+	}
+	lq := rep.LatencyMS
+	if lq.P50 <= 0 || lq.P50 > lq.P99 || lq.P99 > lq.Max || lq.Mean <= 0 {
+		t.Fatalf("latency quantiles inconsistent: %+v", lq)
+	}
+	if rep.Bytes == 0 {
+		t.Fatal("no bytes recorded despite full-body reads")
+	}
+	if rep.Status["200"] != rep.Requests {
+		t.Fatalf("status mix wrong: %v", rep.Status)
+	}
+}
+
+// TestRunDiscoversIDs: with no -ids the generator sweeps what /tables
+// lists.
+func TestRunDiscoversIDs(t *testing.T) {
+	srv, _ := fakeServe(t, "E5", "E9")
+	defer srv.Close()
+	rep, err := Run(Options{
+		URL: srv.URL, Concurrency: 2, Duration: 50 * time.Millisecond,
+		Format: "json", Warm: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.IDs) != 2 || rep.IDs[0] != "E5" || rep.IDs[1] != "E9" {
+		t.Fatalf("discovered ids %v, want [E5 E9]", rep.IDs)
+	}
+}
+
+// TestRunCountsErrors: non-200s in the window are errors, not silently
+// folded into the throughput number.
+func TestRunCountsErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	rep, err := Run(Options{
+		URL: srv.URL, Concurrency: 2, Duration: 50 * time.Millisecond,
+		IDs: []string{"E1"}, Format: "json", Warm: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != rep.Requests || rep.Requests == 0 {
+		t.Fatalf("errors %d of %d requests, want all", rep.Errors, rep.Requests)
+	}
+	if rep.Status["500"] != rep.Requests {
+		t.Fatalf("status mix %v", rep.Status)
+	}
+}
+
+// TestWarmFailureIsFatal: measuring a hit path over a broken corpus is
+// meaningless, so a failed priming request aborts the run.
+func TestWarmFailureIsFatal(t *testing.T) {
+	srv, _ := fakeServe(t, "E1")
+	defer srv.Close()
+	if _, err := Run(Options{
+		URL: srv.URL, Concurrency: 1, Duration: 50 * time.Millisecond,
+		IDs: []string{"NOPE"}, Format: "json", Warm: true,
+	}); err == nil {
+		t.Fatal("warm 404 did not abort the run")
+	}
+}
+
+// TestRunRejectsBadFormat: format typos fail before any traffic.
+func TestRunRejectsBadFormat(t *testing.T) {
+	if _, err := Run(Options{URL: "http://127.0.0.1:0", Format: "xml"}); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}
+
+// TestCLIParsesAndRuns: the flag surface end to end, including id
+// splitting and the JSON report toggle.
+func TestCLIParsesAndRuns(t *testing.T) {
+	srv, _ := fakeServe(t, "E1", "E2")
+	defer srv.Close()
+	var out strings.Builder
+	rep, jsonOut, err := cli([]string{
+		"-url", srv.URL, "-c", "2", "-duration", "50ms",
+		"-ids", "E1, E2", "-seed", "7", "-quick", "-json",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jsonOut {
+		t.Fatal("-json not honored")
+	}
+	if len(rep.IDs) != 2 || rep.IDs[1] != "E2" {
+		t.Fatalf("ids parsed as %v", rep.IDs)
+	}
+	if rep.Errors != 0 || rep.Requests == 0 {
+		t.Fatalf("cli run: %d errors, %d requests", rep.Errors, rep.Requests)
+	}
+	// The report marshals and the human printer runs without panicking.
+	if b, err := json.Marshal(rep); err != nil || !strings.Contains(string(b), `"rps"`) {
+		t.Fatalf("report marshal: %v %s", err, b)
+	}
+	rep.print(&out)
+	if !strings.Contains(out.String(), "latency") {
+		t.Fatal("human summary missing")
+	}
+	if _, _, err := cli([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -7,6 +7,14 @@
 // (experiment, seed, quick) pair is ever paid for twice — by this
 // replica or, with -peer, by any replica in the fleet.
 //
+// The handlers live in internal/serve (so tests and the root
+// Benchmark_ServeHit drive them in-process); this command owns flags
+// and lifecycle. The listener runs behind a configured http.Server —
+// ReadHeaderTimeout against slowloris clients, IdleTimeout to reap
+// abandoned keep-alives — and SIGINT/SIGTERM trigger a graceful drain:
+// the listener closes, in-flight requests run to completion (bounded by
+// -drain), then the process exits 0.
+//
 // Endpoints (full reference with examples: docs/api.md):
 //
 //	GET /healthz
@@ -16,13 +24,15 @@
 //	    table for the given parameters is already cached.
 //	GET /tables/{id}?seed=N&quick=BOOL&format=json|md&cached=only
 //	    Returns one table: canonical JSON (default) or the markdown
-//	    view. The X-Cache response header says hit (served from the
-//	    store) or miss (computed for this request); X-Cache-Tier names
-//	    the answering tier on a hit; X-Fingerprint names the object.
-//	    With cached=only the server never computes: it answers 200 from
-//	    its store stack or 404 — the wire contract that lets replicas
-//	    warm from each other without recursion. A full compute queue is
-//	    429 with Retry-After; a request that outlives -timeout is 504.
+//	    view — stored bytes either way; the hit path never re-encodes.
+//	    ETag is the quoted fingerprint; If-None-Match answers 304. The
+//	    X-Cache response header says hit (served from the store) or
+//	    miss (computed for this request); X-Cache-Tier names the
+//	    answering tier on a hit; X-Fingerprint names the object. With
+//	    cached=only the server never computes: it answers 200 from its
+//	    store stack or 404 — the wire contract that lets replicas warm
+//	    from each other without recursion. A full compute queue is 429
+//	    with Retry-After; a request that outlives -timeout is 504.
 //	GET /stats
 //	    Store, per-tier, queue, and compute-latency statistics.
 //
@@ -30,6 +40,7 @@
 //
 //	bccserve [-addr :8344] [-store DIR] [-mem N] [-peer URL] [-seed N]
 //	         [-quick] [-workers N] [-parallel N] [-queue N] [-timeout D]
+//	         [-drain D]
 //
 // The store stack is assembled from the flags, fastest tier first:
 // -mem N is the in-process hot-table LRU (L0, N tables; 0 disables),
@@ -43,34 +54,51 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
-	"strconv"
-	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/sched"
-	"repro/internal/store"
+	"repro/internal/serve"
 	"repro/internal/store/tier"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := contextWithSignals()
+	defer stop()
+	// Restore the default signal disposition the moment the first
+	// signal lands: a second SIGINT/SIGTERM during the drain window
+	// then kills the process immediately instead of being swallowed by
+	// the still-registered handler.
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "bccserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+// contextWithSignals returns a context canceled by SIGINT/SIGTERM — the
+// drain trigger. Split from main so tests can exercise the real signal
+// wiring.
+func contextWithSignals() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// run parses flags, assembles the store stack, and serves until the
+// context is canceled (a signal in production) or the listener fails.
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("bccserve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8344", "listen address")
 	storeDir := fs.String("store", os.Getenv("BCC_STORE"),
@@ -83,6 +111,7 @@ func run(args []string, stdout io.Writer) error {
 	parallel := fs.Int("parallel", 2, "experiments computed concurrently")
 	queue := fs.Int("queue", 16, "computations allowed to wait beyond the -parallel running ones before requests get 429 (-1: unbounded)")
 	timeout := fs.Duration("timeout", 0, "per-request compute deadline (0: none); exceeded requests get 504")
+	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown bound: how long in-flight requests may finish after SIGINT/SIGTERM")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,14 +135,14 @@ func run(args []string, stdout io.Writer) error {
 	if *queue >= 0 {
 		opts = append(opts, sched.WithQueue(*queue))
 	}
-	srv := &server{
-		sch:      sched.New(stack.Backend, *parallel, opts...),
-		stack:    stack,
-		registry: experiments.All,
-		seed:     *seed,
-		quick:    *quick,
-		workers:  perWorkers,
-		timeout:  *timeout,
+	srv := &serve.Server{
+		Sched:    sched.New(stack.Backend, *parallel, opts...),
+		Stack:    stack,
+		Registry: experiments.All,
+		Seed:     *seed,
+		Quick:    *quick,
+		Workers:  perWorkers,
+		Timeout:  *timeout,
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -123,266 +152,52 @@ func run(args []string, stdout io.Writer) error {
 	// The line is machine-readable so scripts (and the CI smoke legs) can
 	// wait for readiness and discover the bound port.
 	fmt.Fprintf(stdout, "bccserve listening on %s\n", ln.Addr())
-	return http.Serve(ln, srv.handler())
+	return serveUntil(ctx, ln, srv.Handler(), *drain, stdout)
 }
 
-// server holds the wiring; the registry indirection keeps handlers
-// testable against synthetic experiments. The stack's per-tier handles
-// feed /stats; tier.NewStack assembles it for the CLI and the server
-// alike.
-type server struct {
-	sch      *sched.Scheduler
-	stack    tier.Stack
-	registry func() []experiments.Experiment
-	seed     uint64
-	quick    bool
-	workers  int
-	timeout  time.Duration
-}
-
-func (s *server) handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /tables", s.handleList)
-	mux.HandleFunc("GET /tables/{id}", s.handleTable)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	return mux
-}
-
-// httpError writes a JSON error body with the given status.
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-// params extracts seed/quick from the query, falling back to the server
-// defaults.
-func (s *server) params(r *http.Request) (experiments.Config, error) {
-	cfg := experiments.Config{Seed: s.seed, Quick: s.quick, Workers: s.workers}
-	q := r.URL.Query()
-	if v := q.Get("seed"); v != "" {
-		seed, err := strconv.ParseUint(v, 10, 64)
-		if err != nil {
-			return cfg, fmt.Errorf("bad seed %q", v)
-		}
-		cfg.Seed = seed
+// serveUntil runs h behind a hardened http.Server on ln until ctx is
+// canceled, then drains: the listener closes, in-flight requests get up
+// to drain to complete, idle keep-alive connections are closed. The old
+// bare http.Serve had no header-read timeout (one slowloris client per
+// connection slot could starve the accept loop for free), no idle
+// timeout (abandoned keep-alives pinned file descriptors forever), and
+// no shutdown path at all — a deploy's SIGTERM truncated every
+// in-flight response mid-body.
+func serveUntil(ctx context.Context, ln net.Listener, h http.Handler, drain time.Duration, stdout io.Writer) error {
+	hs := &http.Server{
+		Handler: h,
+		// Generous bounds: table bodies are small, but computations
+		// stream nothing — only the header read and connection idleness
+		// need policing. Compute time is governed separately by
+		// -timeout, so no WriteTimeout (it would truncate a legitimate
+		// long computation's response).
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
-	if v := q.Get("quick"); v != "" {
-		quick, err := strconv.ParseBool(v)
-		if err != nil {
-			return cfg, fmt.Errorf("bad quick %q", v)
-		}
-		cfg.Quick = quick
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		// The listener failed on its own; nothing to drain.
+		return err
+	case <-ctx.Done():
 	}
-	return cfg, nil
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, `{"status":"ok"}`)
-}
-
-// listEntry is one row of GET /tables.
-type listEntry struct {
-	ID          string `json:"id"`
-	Title       string `json:"title"`
-	Fingerprint string `json:"fingerprint"`
-	Cached      bool   `json:"cached"`
-}
-
-func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
-	cfg, err := s.params(r)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
+	fmt.Fprintf(stdout, "bccserve draining (up to %s)\n", drain)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		// The drain window expired with requests still in flight; cut
+		// them loose rather than hang the deploy.
+		hs.Close()
+		return fmt.Errorf("drain incomplete after %s: %w", drain, err)
 	}
-	cached := map[string]bool{}
-	if st := s.stack.Disk; st != nil {
-		// The advisory index is enough here: a stale "cached" flag only
-		// means the next table request recomputes and heals it.
-		if entries, err := st.Index(); err == nil {
-			for _, e := range entries {
-				cached[e.Fingerprint] = true
-			}
-		}
+	// Serve has returned by now (Shutdown waits for it); collect its
+	// error so a listener that died in the same instant the signal
+	// landed — both select cases ready, Go free to pick either — still
+	// surfaces instead of hiding behind a clean-looking drain.
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("listener failed during shutdown: %w", err)
 	}
-	entries := []listEntry{}
-	for _, e := range s.registry() {
-		key := store.KeyFor(e.ID, cfg.Params())
-		// The memory tier counts too — a disk-less server would
-		// otherwise advertise a permanently cold replica while
-		// cached=only happily serves from L0.
-		isCached := cached[key.Fingerprint]
-		if !isCached && s.stack.Mem != nil {
-			isCached = s.stack.Mem.Contains(key)
-		}
-		entries = append(entries, listEntry{
-			ID:          e.ID,
-			Title:       e.Title,
-			Fingerprint: key.Fingerprint,
-			Cached:      isCached,
-		})
-	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(entries)
-}
-
-// retryAfterSeconds estimates how long a rejected client should back
-// off: roughly one mean computation, clamped to [1s, 60s].
-func (s *server) retryAfterSeconds() int {
-	mean := s.sch.Metrics().MeanComputeMS
-	secs := int(math.Ceil(mean / 1000))
-	if secs < 1 {
-		secs = 1
-	}
-	if secs > 60 {
-		secs = 60
-	}
-	return secs
-}
-
-func (s *server) handleTable(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	var exp experiments.Experiment
-	found := false
-	for _, e := range s.registry() {
-		if e.ID == id {
-			exp, found = e, true
-			break
-		}
-	}
-	if !found {
-		httpError(w, http.StatusNotFound, "unknown experiment %q", id)
-		return
-	}
-	cfg, err := s.params(r)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	format := r.URL.Query().Get("format")
-	if format == "" {
-		format = "json"
-	}
-	if format != "json" && format != "md" {
-		httpError(w, http.StatusBadRequest, "unknown format %q (want json or md)", format)
-		return
-	}
-	cachedOnly := false
-	switch v := r.URL.Query().Get("cached"); v {
-	case "", "any":
-	case "only":
-		cachedOnly = true
-	default:
-		httpError(w, http.StatusBadRequest, "unknown cached mode %q (want only)", v)
-		return
-	}
-
-	key := store.KeyFor(id, cfg.Params())
-	var table, tierName, cacheHit = (*experiments.Table)(nil), "", false
-	if cachedOnly {
-		// The replica-warming wire contract: answer from this replica's
-		// LOCAL tiers or say 404 — no computation and no onward peer
-		// lookup, so peer topologies (cycles included) cannot amplify a
-		// miss into a storm of mutual cached=only requests.
-		tab, name, ok := s.stack.CachedLocal(r.Context(), key)
-		if !ok {
-			w.Header().Set("X-Cache", "miss")
-			httpError(w, http.StatusNotFound, "%s not cached for seed=%d quick=%t", id, cfg.Seed, cfg.Quick)
-			return
-		}
-		table, tierName, cacheHit = tab, name, true
-	} else {
-		ctx := r.Context()
-		if s.timeout > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, s.timeout)
-			defer cancel()
-		}
-		tab, out, err := s.sch.TableCtx(ctx, exp, cfg)
-		switch {
-		case errors.Is(err, sched.ErrBusy):
-			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-			httpError(w, http.StatusTooManyRequests, "compute queue full, retry later")
-			return
-		case errors.Is(err, context.DeadlineExceeded) && ctx.Err() != nil:
-			// Only the request's own expired deadline is a 504; an
-			// estimator failing with its own DeadlineExceeded-flavored
-			// error (an internal network timeout, say) is a plain 500 —
-			// nothing was persisted, so "retry for the cached table"
-			// would be a lie.
-			httpError(w, http.StatusGatewayTimeout, "computing %s exceeded the %s deadline", id, s.timeout)
-			return
-		case errors.Is(err, context.Canceled):
-			if r.Context().Err() != nil {
-				// The client went away; nobody reads this response.
-				return
-			}
-			// Defensive: the scheduler retries inherited flight
-			// cancellations, so a live client should never see this.
-			httpError(w, http.StatusInternalServerError, "computing %s: %v", id, err)
-			return
-		case err != nil:
-			httpError(w, http.StatusInternalServerError, "computing %s: %v", id, err)
-			return
-		}
-		table, tierName, cacheHit = tab, out.Tier, out.CacheHit
-	}
-
-	// Encode before any header is committed so an encoding failure can
-	// still become a proper 500 instead of a silent empty 200.
-	var body []byte
-	contentType := "application/json"
-	if format == "md" {
-		var sb strings.Builder
-		table.Render(&sb)
-		body, contentType = []byte(sb.String()), "text/markdown; charset=utf-8"
-	} else {
-		canonical, err := table.CanonicalJSON()
-		if err != nil {
-			httpError(w, http.StatusInternalServerError, "encoding %s: %v", id, err)
-			return
-		}
-		body = append(canonical, '\n')
-	}
-	cache := "miss"
-	if cacheHit {
-		cache = "hit"
-		if tierName != "" {
-			w.Header().Set("X-Cache-Tier", tierName)
-		}
-	}
-	w.Header().Set("X-Cache", cache)
-	w.Header().Set("X-Fingerprint", key.Fingerprint)
-	w.Header().Set("Content-Type", contentType)
-	w.Write(body)
-}
-
-func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	payload := map[string]any{
-		"sched": s.sch.Metrics(),
-	}
-	if st := s.stack.Disk; st != nil {
-		payload["dir"] = st.Dir()
-		stats, err := st.Stats()
-		if err != nil {
-			httpError(w, http.StatusInternalServerError, "reading store: %v", err)
-			return
-		}
-		payload["store"] = stats
-	} else {
-		payload["store"] = nil
-	}
-	if s.stack.Mem != nil {
-		payload["memory"] = s.stack.Mem.Stats()
-	}
-	if s.stack.Peer != nil {
-		payload["remote"] = s.stack.Peer.Stats()
-	}
-	if s.stack.Tiered != nil {
-		payload["tiers"] = s.stack.Tiered.Stats()
-	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(payload)
+	fmt.Fprintln(stdout, "bccserve drained")
+	return nil
 }

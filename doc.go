@@ -29,10 +29,14 @@
 //     fallthrough/backfill composition (internal/store/tier); a
 //     concurrent single-flight scheduler with bounded admission and
 //     per-request context cancellation (internal/sched); and the
-//     bccserve HTTP API (cmd/bccserve) that serves cached tables from
-//     the fastest tier, computes misses on demand behind a bounded
-//     queue (429 + Retry-After, per-request timeouts), and lets
-//     replicas warm from each other;
+//     bccserve HTTP API (internal/serve behind cmd/bccserve) that
+//     serves cached tables from the fastest tier as stored bytes (the
+//     hit path never re-encodes; ETag is the content-address
+//     fingerprint, If-None-Match answers 304), computes misses on
+//     demand behind a bounded queue (429 + Retry-After, per-request
+//     timeouts), drains gracefully on SIGTERM, and lets replicas warm
+//     from each other — with cmd/bccload as the matching concurrent
+//     load generator;
 //   - substrate packages: GF(2) bit vectors and linear algebra
 //     (internal/bitvec, internal/f2), finite distributions with
 //     total-variation distance, string-interned integer-keyed variants,
@@ -53,6 +57,6 @@
 // tier-degradation rules; docs/api.md is the serving API reference;
 // README.md documents the result schema and store layout; ROADMAP.md
 // tracks the system inventory and open items; BENCH_DIST.json,
-// BENCH_LOWERBOUND.json, and BENCH_STORE.json hold the performance
-// baselines for the hot measurement and serving paths.
+// BENCH_LOWERBOUND.json, BENCH_STORE.json, and BENCH_SERVE.json hold
+// the performance baselines for the hot measurement and serving paths.
 package repro

@@ -1,0 +1,61 @@
+package result
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+)
+
+// encodes counts raw encoding passes — CanonicalJSON marshals and
+// Render walks — process-wide. The serving stack's contract is that the
+// cache-hit path performs zero of either (the encoded views below are
+// computed once per table and then shared), and its tests assert that
+// by snapshotting Encodes around a warmed traffic burst.
+var encodes atomic.Uint64
+
+// Encodes reports how many raw table encodings (canonical JSON or
+// markdown) this process has performed. It only ever grows; tests
+// compare two snapshots rather than resetting it.
+func Encodes() uint64 { return encodes.Load() }
+
+// encoded memoizes a Table's encoded views. Tables are immutable once
+// built (the repository-wide contract the fingerprinted store depends
+// on), so each view is computed at most once and the bytes are shared
+// by every caller thereafter — a cache hit serves stored bytes, it
+// never re-encodes.
+type encoded struct {
+	jsonOnce sync.Once
+	json     []byte
+	jsonErr  error
+
+	mdOnce sync.Once
+	md     []byte
+}
+
+// EncodedJSON returns the table's wire encoding — the canonical JSON
+// followed by a newline, exactly the bytes EncodeJSON writes — computed
+// once and shared. The returned slice is owned by the table: callers
+// must not modify it or append to it. Safe for concurrent use.
+func (t *Table) EncodedJSON() ([]byte, error) {
+	t.enc.jsonOnce.Do(func() {
+		b, err := t.CanonicalJSON()
+		if err != nil {
+			t.enc.jsonErr = err
+			return
+		}
+		t.enc.json = append(b, '\n')
+	})
+	return t.enc.json, t.enc.jsonErr
+}
+
+// EncodedMarkdown returns the table's rendered markdown view, computed
+// once and shared. Like EncodedJSON's result, the slice is owned by the
+// table and must not be modified. Safe for concurrent use.
+func (t *Table) EncodedMarkdown() []byte {
+	t.enc.mdOnce.Do(func() {
+		var buf bytes.Buffer
+		t.Render(&buf)
+		t.enc.md = buf.Bytes()
+	})
+	return t.enc.md
+}

@@ -1,0 +1,127 @@
+package result
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func encodedTestTable() *Table {
+	t := &Table{ID: "EX", Title: "encoded views", Claim: "memoized",
+		Columns: []string{"n", "p", "ok"}, Shape: "holds"}
+	t.AddRow(Int(64), Float(0.25).WithErr(0.01), Bool(true))
+	t.AddRow(Int(128), FloatPrec(0.125, 6).WithBound(BoundUpper), Bool(false))
+	return t
+}
+
+// TestEncodedJSONMatchesWireForm: EncodedJSON is exactly the canonical
+// encoding plus the trailing newline — byte-identical to what
+// EncodeJSON writes.
+func TestEncodedJSONMatchesWireForm(t *testing.T) {
+	tab := encodedTestTable()
+	canonical, err := tab.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := tab.EncodedJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := string(canonical) + "\n"; string(enc) != want {
+		t.Fatalf("EncodedJSON = %q, want %q", enc, want)
+	}
+	var buf bytes.Buffer
+	if err := tab.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), enc) {
+		t.Fatal("EncodeJSON output differs from EncodedJSON")
+	}
+}
+
+// TestEncodedMarkdownMatchesRender: the memoized markdown view is
+// byte-identical to a direct Render.
+func TestEncodedMarkdownMatchesRender(t *testing.T) {
+	tab := encodedTestTable()
+	var direct strings.Builder
+	tab.Render(&direct)
+	if got := string(tab.EncodedMarkdown()); got != direct.String() {
+		t.Fatalf("EncodedMarkdown = %q, want %q", got, direct.String())
+	}
+}
+
+// TestEncodedViewsEncodeOnce: N reads of each view cost exactly one raw
+// encode apiece — the memoize-the-immutable contract the serving hit
+// path depends on.
+func TestEncodedViewsEncodeOnce(t *testing.T) {
+	tab := encodedTestTable()
+	before := Encodes()
+	var first []byte
+	for i := 0; i < 50; i++ {
+		b, err := tab.EncodedJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = b
+		} else if &b[0] != &first[0] {
+			t.Fatal("EncodedJSON returned a fresh slice on a repeat call")
+		}
+		_ = tab.EncodedMarkdown()
+	}
+	if got := Encodes() - before; got != 2 {
+		t.Fatalf("50 reads of both views performed %d raw encodes, want 2", got)
+	}
+}
+
+// TestEncodedViewsConcurrent hammers both views from many goroutines;
+// under -race this is the memo's safety proof, and the encode count
+// pins down exactly one computation per view.
+func TestEncodedViewsConcurrent(t *testing.T) {
+	tab := encodedTestTable()
+	before := Encodes()
+	want, err := tab.EncodedJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMD := tab.EncodedMarkdown()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b, err := tab.EncodedJSON()
+				if err != nil || !bytes.Equal(b, want) {
+					panic("EncodedJSON diverged under concurrency")
+				}
+				if !bytes.Equal(tab.EncodedMarkdown(), wantMD) {
+					panic("EncodedMarkdown diverged under concurrency")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := Encodes() - before; got != 2 {
+		t.Fatalf("concurrent reads performed %d raw encodes, want 2", got)
+	}
+}
+
+// TestEncodedJSONMemoizesError: an unencodable table (non-finite float)
+// fails the same way on every call without re-attempting the encode.
+func TestEncodedJSONMemoizesError(t *testing.T) {
+	tab := &Table{ID: "BAD", Columns: []string{"x"}}
+	tab.AddRow(Float(math.NaN()))
+	if _, err := tab.EncodedJSON(); err == nil {
+		t.Fatal("non-finite table encoded successfully")
+	}
+	before := Encodes()
+	if _, err := tab.EncodedJSON(); err == nil {
+		t.Fatal("second call lost the error")
+	}
+	if got := Encodes() - before; got != 0 {
+		t.Fatalf("failed encode re-attempted %d times", got)
+	}
+}

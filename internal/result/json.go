@@ -150,6 +150,7 @@ type tableJSON struct {
 // shortest round-trip form. Equal tables produce equal bytes, which is
 // the property the fingerprinted store relies on.
 func (t *Table) CanonicalJSON() ([]byte, error) {
+	encodes.Add(1)
 	return json.Marshal(tableJSON{
 		Schema:  SchemaVersion,
 		ID:      t.ID,
@@ -161,13 +162,14 @@ func (t *Table) CanonicalJSON() ([]byte, error) {
 	})
 }
 
-// EncodeJSON writes the canonical encoding followed by a newline.
+// EncodeJSON writes the canonical encoding followed by a newline — the
+// memoized wire bytes of EncodedJSON, so repeated writes of one table
+// encode it once.
 func (t *Table) EncodeJSON(w io.Writer) error {
-	b, err := t.CanonicalJSON()
+	b, err := t.EncodedJSON()
 	if err != nil {
 		return err
 	}
-	b = append(b, '\n')
 	_, err = w.Write(b)
 	return err
 }

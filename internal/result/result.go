@@ -159,6 +159,14 @@ type Table struct {
 	// Shape states the qualitative property that must hold and whether it
 	// did.
 	Shape string
+
+	// enc memoizes the encoded views (EncodedJSON, EncodedMarkdown).
+	// Tables are immutable once built, so each view is computed at most
+	// once and then shared by every tier and every response that holds
+	// the table pointer. The sync.Once values make Table no longer
+	// copyable after first use — tables are handled by pointer
+	// everywhere, which go vet's copylocks check now enforces.
+	enc encoded
 }
 
 // AddRow appends a typed row.
@@ -170,6 +178,7 @@ func (t *Table) AddRow(cells ...Cell) {
 // of the typed data, byte-identical to what the pre-typed harness
 // printed.
 func (t *Table) Render(w io.Writer) {
+	encodes.Add(1)
 	fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title)
 	fmt.Fprintf(w, "Paper claim: %s\n\n", t.Claim)
 	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | "))

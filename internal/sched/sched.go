@@ -168,6 +168,14 @@ type Outcome struct {
 	ID string
 	// Table is the computed or cached table (nil on error).
 	Table *result.Table
+	// Encoded is the table's wire encoding — the memoized canonical
+	// JSON plus a trailing newline, shared with every tier and response
+	// holding the table (result.Table.EncodedJSON). Serving layers
+	// write it directly: a cache hit costs zero re-encodes. It is nil
+	// on error, and nil when the table itself cannot encode (the
+	// serving layer re-derives the error from EncodedJSON then).
+	// Callers must not modify it.
+	Encoded []byte
 	// CacheHit reports that the table came straight from the store.
 	CacheHit bool
 	// Tier names the store tier that answered a CacheHit ("memory",
@@ -176,6 +184,17 @@ type Outcome struct {
 	// Shared reports that this request piggybacked on another request's
 	// in-flight computation (single-flight dedup).
 	Shared bool
+}
+
+// deliver fills the outcome's table and encoded wire bytes. The encode
+// is memoized on the table, so this is free for every table that any
+// tier, Put, or earlier response has touched; an unencodable table
+// leaves Encoded nil for the serving layer to diagnose.
+func (out *Outcome) deliver(t *result.Table) {
+	out.Table = t
+	if b, err := t.EncodedJSON(); err == nil {
+		out.Encoded = b
+	}
 }
 
 // tierGetter is the optional backend refinement (implemented by
@@ -235,7 +254,8 @@ func (s *Scheduler) TableCtx(ctx context.Context, e experiments.Experiment, cfg 
 			s.mu.Unlock()
 			if s.backend != nil {
 				if t, tierName, ok := s.lookup(ctx, k); ok {
-					out.Table, out.CacheHit, out.Tier = t, true, tierName
+					out.deliver(t)
+					out.CacheHit, out.Tier = true, tierName
 					return t, out, nil
 				}
 			}
@@ -285,7 +305,8 @@ func (s *Scheduler) TableCtx(ctx context.Context, e experiments.Experiment, cfg 
 				// experiment's own and surfaces.
 				return nil, out, fl.err
 			}
-			out.Table, out.Shared = fl.table, joined
+			out.deliver(fl.table)
+			out.Shared = joined
 			return fl.table, out, nil
 		case <-ctx.Done():
 			// This request gives up; the flight lives on for its

@@ -875,3 +875,69 @@ func TestAlreadyCanceledContext(t *testing.T) {
 		t.Fatalf("canceled request counted as a queue rejection: %+v", m)
 	}
 }
+
+// TestOutcomeCarriesEncodedBytes: every successful outcome — computed,
+// store hit, and flight share alike — carries the table's memoized wire
+// encoding, byte-identical to CanonicalJSON + '\n', so serving layers
+// write cached bytes instead of re-encoding per request.
+func TestOutcomeCarriesEncodedBytes(t *testing.T) {
+	st := newStore(t)
+	var calls atomic.Int64
+	e := countingExperiment("EX", &calls, nil, nil)
+	cfg := experiments.Config{Seed: 5, Quick: true}
+
+	s := New(st, 2)
+	tab, out, err := s.Table(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical, err := tab.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(canonical, '\n')
+	if !bytes.Equal(out.Encoded, want) {
+		t.Fatalf("computed outcome Encoded = %q, want %q", out.Encoded, want)
+	}
+
+	// The hit path returns the same memoized bytes with zero raw
+	// encodes (the memory-free scheduler here reads the disk tier: the
+	// decode allocates a fresh table, whose encode is paid once and
+	// memoized on that pointer).
+	tab2, out2, err := s.Table(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out2.CacheHit || !bytes.Equal(out2.Encoded, want) {
+		t.Fatalf("hit outcome: hit=%v Encoded=%q", out2.CacheHit, out2.Encoded)
+	}
+	before := result.Encodes()
+	if _, err := tab2.EncodedJSON(); err != nil {
+		t.Fatal(err)
+	}
+	if raw := result.Encodes() - before; raw != 0 {
+		t.Fatalf("re-reading a delivered table's encoding cost %d raw encodes, want 0", raw)
+	}
+
+	// A shared flight delivers the bytes to the joiner too.
+	started, release := make(chan struct{}), make(chan struct{})
+	eb := countingExperiment("EB", &calls, started, release)
+	join := make(chan Outcome, 1)
+	go func() {
+		_, o, _ := s.Table(eb, cfg)
+		join <- o
+	}()
+	<-started
+	done := make(chan Outcome, 1)
+	go func() {
+		_, o, _ := s.Table(eb, cfg)
+		done <- o
+	}()
+	// Both requests are on the flight; release it.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	oA, oB := <-join, <-done
+	if len(oA.Encoded) == 0 || !bytes.Equal(oA.Encoded, oB.Encoded) {
+		t.Fatalf("flight outcomes carry different encodings: %q vs %q", oA.Encoded, oB.Encoded)
+	}
+}

@@ -1,0 +1,380 @@
+// Package serve implements bccserve's HTTP API over the tiered result
+// store and the concurrent scheduler. It lives below cmd/bccserve so
+// the handler can be driven in-process — by the root Benchmark_ServeHit
+// harness, by tests, and by any future embedding — while the command
+// keeps only flag parsing and server lifecycle (listening, signals,
+// graceful drain).
+//
+// # The encode-free hit path
+//
+// Tables are immutable content-addressed objects, so their encoded
+// views are too: the canonical JSON (and lazily the markdown) is
+// computed once per table (result.Table.EncodedJSON, memoized on the
+// table object every tier shares) and every later response writes those
+// stored bytes. A memory-tier hit therefore performs zero encodes —
+// the property Benchmark_ServeHit measures and the race-mode serving
+// test pins down with result.Encodes.
+//
+// # ETag is the fingerprint
+//
+// A table's fingerprint names its bytes (equal fingerprints ⇒
+// byte-equal canonical encodings), which makes it a valid strong
+// validator: responses carry ETag: "<fingerprint>", and a request whose
+// If-None-Match matches is answered 304 Not Modified before any store
+// lookup — the client already holds the exact representation, so not
+// even a memory-tier read is owed. The two formats never collide
+// because format selection lives in the URL (?format=md), which is part
+// of every HTTP cache key.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sched"
+	"repro/internal/store"
+	"repro/internal/store/tier"
+)
+
+// Server holds the serving wiring. The registry indirection keeps
+// handlers testable against synthetic experiments; the stack's per-tier
+// handles feed /stats (tier.NewStack assembles it for the CLI and the
+// server alike).
+type Server struct {
+	// Sched schedules misses; its backend is normally Stack.Backend.
+	Sched *sched.Scheduler
+	// Stack is the tier assembly; its per-tier handles feed /stats and
+	// the cached=only local-lookup path.
+	Stack tier.Stack
+	// Registry lists the experiments this server answers for
+	// (experiments.All in production).
+	Registry func() []experiments.Experiment
+	// Seed and Quick are the defaults when a request omits ?seed=/?quick=.
+	Seed  uint64
+	Quick bool
+	// Workers is the per-computation goroutine budget.
+	Workers int
+	// Timeout bounds each request's computation (0: none); exceeding it
+	// answers 504.
+	Timeout time.Duration
+}
+
+// Handler returns the HTTP API: /healthz, /tables, /tables/{id},
+// /stats.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /tables", s.handleList)
+	mux.HandleFunc("GET /tables/{id}", s.handleTable)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeJSON marshals payload before any header is committed, so an
+// encoding failure becomes a proper 500 instead of a silently truncated
+// 200 (handleList and handleStats both burned on the
+// json.NewEncoder(w) pattern, whose errors vanished into a committed
+// response).
+func writeJSON(w http.ResponseWriter, payload any) {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(body, '\n'))
+}
+
+// params extracts seed/quick from the query, falling back to the server
+// defaults.
+func (s *Server) params(r *http.Request) (experiments.Config, error) {
+	cfg := experiments.Config{Seed: s.Seed, Quick: s.Quick, Workers: s.Workers}
+	q := r.URL.Query()
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return cfg, fmt.Errorf("bad seed %q", v)
+		}
+		cfg.Seed = seed
+	}
+	if v := q.Get("quick"); v != "" {
+		quick, err := strconv.ParseBool(v)
+		if err != nil {
+			return cfg, fmt.Errorf("bad quick %q", v)
+		}
+		cfg.Quick = quick
+	}
+	return cfg, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// listEntry is one row of GET /tables.
+type listEntry struct {
+	ID          string `json:"id"`
+	Title       string `json:"title"`
+	Fingerprint string `json:"fingerprint"`
+	Cached      bool   `json:"cached"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	cfg, err := s.params(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cached := map[string]bool{}
+	if st := s.Stack.Disk; st != nil {
+		// The index may be stale (a fresh Put heals it) but it must be
+		// readable: swallowing the error here advertised a corrupt
+		// replica as all-cold, which peers and operators took at face
+		// value. An unreadable index is a 500 the operator can see.
+		entries, err := st.Index()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "reading store index: %v", err)
+			return
+		}
+		for _, e := range entries {
+			cached[e.Fingerprint] = true
+		}
+	}
+	entries := []listEntry{}
+	for _, e := range s.Registry() {
+		key := store.KeyFor(e.ID, cfg.Params())
+		// The memory tier counts too — a disk-less server would
+		// otherwise advertise a permanently cold replica while
+		// cached=only happily serves from L0.
+		isCached := cached[key.Fingerprint]
+		if !isCached && s.Stack.Mem != nil {
+			isCached = s.Stack.Mem.Contains(key)
+		}
+		entries = append(entries, listEntry{
+			ID:          e.ID,
+			Title:       e.Title,
+			Fingerprint: key.Fingerprint,
+			Cached:      isCached,
+		})
+	}
+	writeJSON(w, entries)
+}
+
+// retryAfterSeconds estimates how long a 429'd client should back off:
+// the standing work ahead of it (queued + running computations) drained
+// at one mean computation per parallel slot, clamped to [1s, 60s]. The
+// old one-mean estimate ignored queue depth entirely, so under a deep
+// queue every retry landed straight in another 429.
+func retryAfterSeconds(m sched.Metrics) int {
+	pending := float64(m.Queued + m.Computing)
+	if pending < 1 {
+		pending = 1
+	}
+	parallel := float64(m.Parallel)
+	if parallel < 1 {
+		parallel = 1
+	}
+	secs := int(math.Ceil(pending * m.MeanComputeMS / parallel / 1000))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// etagFor is the strong validator for a fingerprint: the fingerprint
+// *is* the content address, so the quoted form is the entity tag.
+func etagFor(fingerprint string) string { return `"` + fingerprint + `"` }
+
+// ifNoneMatchHits reports whether an If-None-Match header value matches
+// etag: any comma-separated member equal to the tag (a W/ prefix is
+// ignored — RFC 9110's weak comparison, which If-None-Match mandates).
+// The wildcard is deliberately NOT a match: "*" asks "does any current
+// representation exist", which this pre-lookup fast path cannot answer
+// truthfully — a wildcard request falls through to normal processing
+// and gets the real 200/404/500 instead of a possibly-lying 304.
+func ifNoneMatchHits(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == etag {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var exp experiments.Experiment
+	found := false
+	for _, e := range s.Registry() {
+		if e.ID == id {
+			exp, found = e, true
+			break
+		}
+	}
+	if !found {
+		httpError(w, http.StatusNotFound, "unknown experiment %q", id)
+		return
+	}
+	cfg, err := s.params(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "json"
+	}
+	if format != "json" && format != "md" {
+		httpError(w, http.StatusBadRequest, "unknown format %q (want json or md)", format)
+		return
+	}
+	cachedOnly := false
+	switch v := r.URL.Query().Get("cached"); v {
+	case "", "any":
+	case "only":
+		cachedOnly = true
+	default:
+		httpError(w, http.StatusBadRequest, "unknown cached mode %q (want only)", v)
+		return
+	}
+
+	key := store.KeyFor(id, cfg.Params())
+	etag := etagFor(key.Fingerprint)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && ifNoneMatchHits(inm, etag) {
+		// The fingerprint is the content address: a client that holds
+		// bytes for this tag holds the current representation, so 304
+		// is owed before any store lookup — the cheapest hit there is.
+		w.Header().Set("ETag", etag)
+		w.Header().Set("X-Fingerprint", key.Fingerprint)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+
+	var table, tierName, cacheHit = (*experiments.Table)(nil), "", false
+	var encoded []byte // wire-form JSON when the scheduler resolved it
+	if cachedOnly {
+		// The replica-warming wire contract: answer from this replica's
+		// LOCAL tiers or say 404 — no computation and no onward peer
+		// lookup, so peer topologies (cycles included) cannot amplify a
+		// miss into a storm of mutual cached=only requests.
+		tab, name, ok := s.Stack.CachedLocal(r.Context(), key)
+		if !ok {
+			w.Header().Set("X-Cache", "miss")
+			httpError(w, http.StatusNotFound, "%s not cached for seed=%d quick=%t", id, cfg.Seed, cfg.Quick)
+			return
+		}
+		table, tierName, cacheHit = tab, name, true
+	} else {
+		ctx := r.Context()
+		if s.Timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.Timeout)
+			defer cancel()
+		}
+		tab, out, err := s.Sched.TableCtx(ctx, exp, cfg)
+		switch {
+		case errors.Is(err, sched.ErrBusy):
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.Sched.Metrics())))
+			httpError(w, http.StatusTooManyRequests, "compute queue full, retry later")
+			return
+		case errors.Is(err, context.DeadlineExceeded) && ctx.Err() != nil:
+			// Only the request's own expired deadline is a 504; an
+			// estimator failing with its own DeadlineExceeded-flavored
+			// error (an internal network timeout, say) is a plain 500 —
+			// nothing was persisted, so "retry for the cached table"
+			// would be a lie.
+			httpError(w, http.StatusGatewayTimeout, "computing %s exceeded the %s deadline", id, s.Timeout)
+			return
+		case errors.Is(err, context.Canceled):
+			if r.Context().Err() != nil {
+				// The client went away; nobody reads this response.
+				return
+			}
+			// Defensive: the scheduler retries inherited flight
+			// cancellations, so a live client should never see this.
+			httpError(w, http.StatusInternalServerError, "computing %s: %v", id, err)
+			return
+		case err != nil:
+			httpError(w, http.StatusInternalServerError, "computing %s: %v", id, err)
+			return
+		}
+		table, tierName, cacheHit, encoded = tab, out.Tier, out.CacheHit, out.Encoded
+	}
+
+	// The body is the table's memoized encoded view: stored bytes,
+	// resolved before any header is committed so an encoding failure
+	// can still become a proper 500. On the hit path nothing below
+	// encodes anything — the bytes were computed when the table first
+	// entered a tier (see package doc).
+	var body []byte
+	contentType := "application/json"
+	if format == "md" {
+		body, contentType = table.EncodedMarkdown(), "text/markdown; charset=utf-8"
+	} else if body = encoded; body == nil {
+		body, err = table.EncodedJSON()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "encoding %s: %v", id, err)
+			return
+		}
+	}
+	cache := "miss"
+	if cacheHit {
+		cache = "hit"
+		if tierName != "" {
+			w.Header().Set("X-Cache-Tier", tierName)
+		}
+	}
+	w.Header().Set("X-Cache", cache)
+	w.Header().Set("X-Fingerprint", key.Fingerprint)
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Content-Type", contentType)
+	w.Write(body)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	payload := map[string]any{
+		"sched": s.Sched.Metrics(),
+	}
+	if st := s.Stack.Disk; st != nil {
+		payload["dir"] = st.Dir()
+		stats, err := st.Stats()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "reading store: %v", err)
+			return
+		}
+		payload["store"] = stats
+	} else {
+		payload["store"] = nil
+	}
+	if s.Stack.Mem != nil {
+		payload["memory"] = s.Stack.Mem.Stats()
+	}
+	if s.Stack.Peer != nil {
+		payload["remote"] = s.Stack.Peer.Stats()
+	}
+	if s.Stack.Tiered != nil {
+		payload["tiers"] = s.Stack.Tiered.Stats()
+	}
+	writeJSON(w, payload)
+}

@@ -14,6 +14,16 @@
 // (disk, then a remote peer) still holds it, and the next Get falls
 // through and backfills (store/tier's job).
 //
+// Every entry carries the table's encoded JSON alongside the decoded
+// rows: Put pre-computes the wire bytes (result.Table memoizes them on
+// the immutable table object, so the entry, the scheduler's outcome,
+// and the HTTP response all share one copy), which moves the only
+// encode of a table's life onto the write path. A memory hit therefore
+// serves stored bytes — zero re-encodes, zero allocations. The
+// markdown view stays lazy: it is memoized the same way by the first
+// format=md request instead of being paid for tables nobody reads as
+// markdown.
+//
 // The zero capacity is rejected at construction rather than silently
 // caching nothing: an L0 that never holds anything is a configuration
 // error, not a degraded mode.
@@ -80,6 +90,11 @@ func (c *Cache) Get(_ context.Context, k store.Key) (*result.Table, bool) {
 // Put inserts (or refreshes) k's table, evicting the least-recently
 // used entry when the cache is full. It never fails.
 func (c *Cache) Put(k store.Key, t *result.Table) error {
+	// Warm the encoded view before taking the lock: the encode runs at
+	// most once per table (memoized), happens off the hit path, and an
+	// unencodable table is still cached — the serving layer surfaces
+	// the encode error itself.
+	_, _ = t.EncodedJSON()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.puts++

@@ -124,3 +124,33 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatalf("cache grew past capacity: %d", n)
 	}
 }
+
+// TestPutWarmsEncodedJSON: insertion pre-computes the table's wire
+// bytes, so the hit path — Get, then EncodedJSON on the shared pointer
+// — performs zero raw encodes. This is the encoded-byte L0 contract
+// bccserve's hit path is built on.
+func TestPutWarmsEncodedJSON(t *testing.T) {
+	c, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, tab := keyFor(9), tableFor(9)
+	if err := c.Put(k, tab); err != nil {
+		t.Fatal(err)
+	}
+	before := result.Encodes()
+	got, ok := c.Get(context.Background(), k)
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	enc, err := got.EncodedJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) == 0 || enc[len(enc)-1] != '\n' {
+		t.Fatalf("encoded view malformed: %q", enc)
+	}
+	if raw := result.Encodes() - before; raw != 0 {
+		t.Fatalf("hit path performed %d raw encodes, want 0", raw)
+	}
+}

@@ -221,10 +221,15 @@ func (s *Store) Put(k Key, t *result.Table) error {
 	if !validFingerprint(fp) {
 		return fmt.Errorf("store: malformed fingerprint %q", fp)
 	}
-	canonical, err := t.CanonicalJSON()
+	// The memoized wire form is the canonical bytes plus a trailing
+	// newline; slicing it off shares the memo's array (read-only here),
+	// so a table that any tier or response has already touched costs
+	// this Put zero raw encodes.
+	enc, err := t.EncodedJSON()
 	if err != nil {
 		return fmt.Errorf("store: encoding table %s: %w", t.ID, err)
 	}
+	canonical := enc[:len(enc)-1]
 	sum := sha256.Sum256(canonical)
 	blob, err := json.Marshal(envelope{
 		Checksum: hex.EncodeToString(sum[:]),

@@ -284,3 +284,31 @@ func TestPrune(t *testing.T) {
 		t.Fatal("fresh object pruned")
 	}
 }
+
+// TestPutReusesMemoizedEncoding: a table is raw-encoded once in its
+// life. Writing it to disk after any other consumer (a memory tier, a
+// response) has touched its encoded view costs zero additional
+// CanonicalJSON marshals — Put builds the envelope from the memoized
+// wire bytes.
+func TestPutReusesMemoizedEncoding(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tableFor("E9")
+	k := keyFor("E9", 1)
+	if _, err := tab.EncodedJSON(); err != nil { // the one raw encode
+		t.Fatal(err)
+	}
+	before := result.Encodes()
+	if err := s.Put(k, tab); err != nil {
+		t.Fatal(err)
+	}
+	if raw := result.Encodes() - before; raw != 0 {
+		t.Fatalf("Put re-encoded a memoized table %d times, want 0", raw)
+	}
+	got, ok := s.Get(context.Background(), k)
+	if !ok || !got.Equal(tab) {
+		t.Fatal("round trip failed after memo-reusing Put")
+	}
+}
