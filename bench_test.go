@@ -239,7 +239,7 @@ func serveBenchHandler(b *testing.B) http.Handler {
 			},
 		}}
 	}
-	stack, err := tier.NewStack(4, "", "")
+	stack, err := tier.NewStack(tier.Config{MemCapacity: 4})
 	if err != nil {
 		b.Fatal(err)
 	}

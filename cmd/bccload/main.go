@@ -7,15 +7,23 @@
 //
 // Usage:
 //
-//	bccload [-url http://127.0.0.1:8344] [-c 8] [-duration 10s]
-//	        [-ids E13,E1] [-seed N] [-quick] [-format json|md]
-//	        [-warm] [-json]
+//	bccload [-url http://127.0.0.1:8344[,http://127.0.0.1:8345,...]]
+//	        [-c 8] [-duration 10s] [-ids E13,E1] [-seed N] [-quick]
+//	        [-format json|md] [-warm] [-json]
 //
-// The target corpus is warmed first (one priming request per id, so the
-// measured window is the hit path; -warm=false skips it to measure cold
-// traffic). With no -ids the generator asks the server's /tables
-// listing and sweeps every registered experiment. Workers rotate
-// through the ids round-robin; every response body is read in full.
+// -url takes one or more comma-separated base URLs; requests rotate
+// round-robin across them, which is how a fleet run is driven — point
+// bccload at every replica and the report's per-target section shows
+// each replica's X-Served-By and X-Cache-Tier mix (who actually
+// answered, and from which tier — the observable proof that the fleet
+// behaves as one logical cache).
+//
+// The target corpus is warmed first (one priming request per id per
+// target, so the measured window is the hit path; -warm=false skips it
+// to measure cold traffic). With no -ids the generator asks the first
+// server's /tables listing and sweeps every registered experiment.
+// Workers rotate through the ids round-robin; every response body is
+// read in full.
 //
 // -json emits the machine-readable report on stdout (the CI load-smoke
 // leg greps it); the default is a human summary. The exit status is
@@ -59,7 +67,8 @@ func main() {
 // (the report itself is the caller's to print).
 func cli(args []string, stdout io.Writer) (*Report, bool, error) {
 	fs := flag.NewFlagSet("bccload", flag.ContinueOnError)
-	url := fs.String("url", "http://127.0.0.1:8344", "bccserve base URL")
+	url := fs.String("url", "http://127.0.0.1:8344",
+		"comma-separated bccserve base URLs; requests round-robin across them")
 	c := fs.Int("c", 8, "concurrent workers")
 	duration := fs.Duration("duration", 10*time.Second, "measured window length")
 	ids := fs.String("ids", "", "comma-separated experiment ids (default: every id the server's /tables lists)")
@@ -72,8 +81,13 @@ func cli(args []string, stdout io.Writer) (*Report, bool, error) {
 		return nil, false, err
 	}
 	opts := Options{
-		URL: strings.TrimRight(*url, "/"), Concurrency: *c, Duration: *duration,
+		Concurrency: *c, Duration: *duration,
 		Seed: *seed, Quick: *quick, Format: *format, Warm: *warm,
+	}
+	for _, u := range strings.Split(*url, ",") {
+		if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+			opts.URLs = append(opts.URLs, u)
+		}
 	}
 	if *ids != "" {
 		for _, id := range strings.Split(*ids, ",") {
@@ -83,7 +97,8 @@ func cli(args []string, stdout io.Writer) (*Report, bool, error) {
 		}
 	}
 	if !*jsonOut {
-		fmt.Fprintf(stdout, "bccload: %d workers against %s for %s\n", opts.Concurrency, opts.URL, opts.Duration)
+		fmt.Fprintf(stdout, "bccload: %d workers against %s for %s\n",
+			opts.Concurrency, strings.Join(opts.URLs, ", "), opts.Duration)
 	}
 	rep, err := Run(opts)
 	return rep, *jsonOut, err
@@ -91,8 +106,9 @@ func cli(args []string, stdout io.Writer) (*Report, bool, error) {
 
 // Options configures one load run.
 type Options struct {
-	// URL is the bccserve base URL (no trailing slash).
-	URL string
+	// URLs are the bccserve base URLs (no trailing slashes); requests
+	// rotate round-robin across them.
+	URLs []string
 	// Concurrency is the worker count; each worker issues requests
 	// back-to-back over keep-alive connections.
 	Concurrency int
@@ -118,6 +134,19 @@ type Quantiles struct {
 	Mean float64 `json:"mean"`
 }
 
+// TargetMix is one target's slice of the run: how many requests it
+// received, who actually answered them (X-Served-By — under a fleet, a
+// replica may serve bytes fetched from the owner), and from which
+// cache tier. This is the observable evidence that a fleet behaves as
+// one logical cache: every target should show hits, whoever computed.
+type TargetMix struct {
+	Requests uint64            `json:"requests"`
+	Errors   uint64            `json:"errors"`
+	ServedBy map[string]uint64 `json:"served_by"`
+	Cache    map[string]uint64 `json:"cache"`
+	Tiers    map[string]uint64 `json:"tiers"`
+}
+
 // Report is the machine-readable outcome of a load run.
 type Report struct {
 	URL         string   `json:"url"`
@@ -125,6 +154,10 @@ type Report struct {
 	DurationSec float64  `json:"duration_sec"`
 	IDs         []string `json:"ids"`
 	Format      string   `json:"format"`
+
+	// PerTarget breaks the run down by base URL (only when more than
+	// one target was given; a single-target run keeps the flat report).
+	PerTarget map[string]*TargetMix `json:"per_target,omitempty"`
 
 	Requests uint64  `json:"requests"`
 	Errors   uint64  `json:"errors"`
@@ -153,6 +186,18 @@ func (r *Report) print(w io.Writer) {
 	fmt.Fprintf(w, "tiers      %v\n", r.Tiers)
 	fmt.Fprintf(w, "status     %v\n", r.Status)
 	fmt.Fprintf(w, "bytes      %d (%.1f MB/s)\n", r.Bytes, float64(r.Bytes)/r.DurationSec/1e6)
+	if len(r.PerTarget) > 0 {
+		targets := make([]string, 0, len(r.PerTarget))
+		for t := range r.PerTarget {
+			targets = append(targets, t)
+		}
+		sort.Strings(targets)
+		for _, t := range targets {
+			m := r.PerTarget[t]
+			fmt.Fprintf(w, "target     %s  requests=%d errors=%d served_by=%v tiers=%v\n",
+				t, m.Requests, m.Errors, m.ServedBy, m.Tiers)
+		}
+	}
 }
 
 // listEntry mirrors bccserve's /tables row (the fields bccload needs).
@@ -163,12 +208,14 @@ type listEntry struct {
 // sample is one request's outcome, recorded per worker and merged after
 // the window closes.
 type sample struct {
-	latency time.Duration
-	status  int
-	cache   string
-	tier    string
-	bytes   int
-	failed  bool
+	latency  time.Duration
+	status   int
+	cache    string
+	tier     string
+	servedBy string
+	target   string
+	bytes    int
+	failed   bool
 }
 
 // Run executes one load run: resolve ids, warm, fan out workers for the
@@ -176,6 +223,9 @@ type sample struct {
 func Run(o Options) (*Report, error) {
 	if o.Concurrency < 1 {
 		o.Concurrency = 1
+	}
+	if len(o.URLs) == 0 {
+		return nil, fmt.Errorf("no target URLs")
 	}
 	if o.Format != "json" && o.Format != "md" {
 		return nil, fmt.Errorf("unknown format %q (want json or md)", o.Format)
@@ -204,10 +254,16 @@ func Run(o Options) (*Report, error) {
 	}
 
 	if o.Warm {
-		for _, id := range ids {
-			s := fetch(client, tableURL(o, id))
-			if s.failed || s.status != http.StatusOK {
-				return nil, fmt.Errorf("warming %s: status %d", id, s.status)
+		// Every target is primed, not just the first: under a fleet the
+		// point is measuring each replica's hit path, and under plain
+		// multi-target load a cold second replica would pollute the
+		// window with its first computations.
+		for _, base := range o.URLs {
+			for _, id := range ids {
+				s := fetch(client, base, tableURL(o, base, id))
+				if s.failed || s.status != http.StatusOK {
+					return nil, fmt.Errorf("warming %s on %s: status %d", id, base, s.status)
+				}
 			}
 		}
 	}
@@ -225,7 +281,12 @@ func Run(o Options) (*Report, error) {
 			defer wg.Done()
 			samples := make([]sample, 0, 4096)
 			for i := w; time.Now().Before(deadline); i++ {
-				samples = append(samples, fetch(client, tableURL(o, ids[i%len(ids)])))
+				// Targets rotate fastest, ids once per full target cycle,
+				// so every (target, id) pair gets traffic regardless of
+				// how the two list lengths divide.
+				base := o.URLs[i%len(o.URLs)]
+				id := ids[(i/len(o.URLs))%len(ids)]
+				samples = append(samples, fetch(client, base, tableURL(o, base, id)))
 			}
 			perWorker[w] = samples
 		}(w)
@@ -234,9 +295,17 @@ func Run(o Options) (*Report, error) {
 	elapsed := time.Since(start)
 
 	rep := &Report{
-		URL: o.URL, Concurrency: o.Concurrency, DurationSec: elapsed.Seconds(),
+		URL: strings.Join(o.URLs, ","), Concurrency: o.Concurrency, DurationSec: elapsed.Seconds(),
 		IDs: ids, Format: o.Format,
 		Cache: map[string]uint64{}, Tiers: map[string]uint64{}, Status: map[string]uint64{},
+	}
+	if len(o.URLs) > 1 {
+		rep.PerTarget = map[string]*TargetMix{}
+		for _, base := range o.URLs {
+			rep.PerTarget[base] = &TargetMix{
+				ServedBy: map[string]uint64{}, Cache: map[string]uint64{}, Tiers: map[string]uint64{},
+			}
+		}
 	}
 	latencies := make([]time.Duration, 0, 1<<14)
 	var totalLatency time.Duration
@@ -258,6 +327,21 @@ func Run(o Options) (*Report, error) {
 			rep.Cache[cache]++
 			if s.tier != "" {
 				rep.Tiers[s.tier]++
+			}
+			if m := rep.PerTarget[s.target]; m != nil {
+				m.Requests++
+				if s.failed || s.status != http.StatusOK {
+					m.Errors++
+				}
+				m.Cache[cache]++
+				if s.tier != "" {
+					m.Tiers[s.tier]++
+				}
+				servedBy := s.servedBy
+				if servedBy == "" {
+					servedBy = "none"
+				}
+				m.ServedBy[servedBy]++
 			}
 			// Quantiles and bytes cover successful requests only: a
 			// dying server produces thousands of near-instant
@@ -290,15 +374,15 @@ func Run(o Options) (*Report, error) {
 	return rep, nil
 }
 
-// tableURL builds the request URL for one id.
-func tableURL(o Options, id string) string {
-	return fmt.Sprintf("%s/tables/%s?seed=%d&quick=%t&format=%s", o.URL, id, o.Seed, o.Quick, o.Format)
+// tableURL builds the request URL for one id on one target.
+func tableURL(o Options, base, id string) string {
+	return fmt.Sprintf("%s/tables/%s?seed=%d&quick=%t&format=%s", base, id, o.Seed, o.Quick, o.Format)
 }
 
-// discoverIDs asks the server's /tables listing for every registered
-// experiment id.
+// discoverIDs asks the first server's /tables listing for every
+// registered experiment id (fleet replicas share a registry).
 func discoverIDs(client *http.Client, o Options) ([]string, error) {
-	url := fmt.Sprintf("%s/tables?seed=%d&quick=%t", o.URL, o.Seed, o.Quick)
+	url := fmt.Sprintf("%s/tables?seed=%d&quick=%t", o.URLs[0], o.Seed, o.Quick)
 	res, err := client.Get(url)
 	if err != nil {
 		return nil, fmt.Errorf("listing experiments: %w", err)
@@ -321,20 +405,22 @@ func discoverIDs(client *http.Client, o Options) ([]string, error) {
 // fetch issues one GET and records its outcome; the body is read in
 // full (a server can cheat a benchmark that never reads what it asked
 // for).
-func fetch(client *http.Client, url string) sample {
+func fetch(client *http.Client, target, url string) sample {
 	start := time.Now()
 	res, err := client.Get(url)
 	if err != nil {
-		return sample{latency: time.Since(start), failed: true}
+		return sample{latency: time.Since(start), target: target, failed: true}
 	}
 	n, err := io.Copy(io.Discard, res.Body)
 	res.Body.Close()
 	s := sample{
-		latency: time.Since(start),
-		status:  res.StatusCode,
-		cache:   res.Header.Get("X-Cache"),
-		tier:    res.Header.Get("X-Cache-Tier"),
-		bytes:   int(n),
+		latency:  time.Since(start),
+		status:   res.StatusCode,
+		cache:    res.Header.Get("X-Cache"),
+		tier:     res.Header.Get("X-Cache-Tier"),
+		servedBy: res.Header.Get("X-Served-By"),
+		target:   target,
+		bytes:    int(n),
 	}
 	if err != nil {
 		s.failed = true

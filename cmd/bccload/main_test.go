@@ -56,7 +56,7 @@ func TestRunHitPath(t *testing.T) {
 	srv, _ := fakeServe(t, "E1", "E2")
 	defer srv.Close()
 	rep, err := Run(Options{
-		URL: srv.URL, Concurrency: 4, Duration: 150 * time.Millisecond,
+		URLs: []string{srv.URL}, Concurrency: 4, Duration: 150 * time.Millisecond,
 		IDs: []string{"E1", "E2"}, Seed: 7, Quick: true, Format: "json", Warm: true,
 	})
 	if err != nil {
@@ -94,7 +94,7 @@ func TestRunDiscoversIDs(t *testing.T) {
 	srv, _ := fakeServe(t, "E5", "E9")
 	defer srv.Close()
 	rep, err := Run(Options{
-		URL: srv.URL, Concurrency: 2, Duration: 50 * time.Millisecond,
+		URLs: []string{srv.URL}, Concurrency: 2, Duration: 50 * time.Millisecond,
 		Format: "json", Warm: true,
 	})
 	if err != nil {
@@ -113,7 +113,7 @@ func TestRunCountsErrors(t *testing.T) {
 	}))
 	defer srv.Close()
 	rep, err := Run(Options{
-		URL: srv.URL, Concurrency: 2, Duration: 50 * time.Millisecond,
+		URLs: []string{srv.URL}, Concurrency: 2, Duration: 50 * time.Millisecond,
 		IDs: []string{"E1"}, Format: "json", Warm: false,
 	})
 	if err != nil {
@@ -133,7 +133,7 @@ func TestWarmFailureIsFatal(t *testing.T) {
 	srv, _ := fakeServe(t, "E1")
 	defer srv.Close()
 	if _, err := Run(Options{
-		URL: srv.URL, Concurrency: 1, Duration: 50 * time.Millisecond,
+		URLs: []string{srv.URL}, Concurrency: 1, Duration: 50 * time.Millisecond,
 		IDs: []string{"NOPE"}, Format: "json", Warm: true,
 	}); err == nil {
 		t.Fatal("warm 404 did not abort the run")
@@ -142,7 +142,7 @@ func TestWarmFailureIsFatal(t *testing.T) {
 
 // TestRunRejectsBadFormat: format typos fail before any traffic.
 func TestRunRejectsBadFormat(t *testing.T) {
-	if _, err := Run(Options{URL: "http://127.0.0.1:0", Format: "xml"}); err == nil {
+	if _, err := Run(Options{URLs: []string{"http://127.0.0.1:0"}, Format: "xml"}); err == nil {
 		t.Fatal("bad format accepted")
 	}
 }
@@ -179,5 +179,60 @@ func TestCLIParsesAndRuns(t *testing.T) {
 	}
 	if _, _, err := cli([]string{"-bogus"}, &out); err == nil {
 		t.Fatal("unknown flag accepted")
+	}
+}
+
+// TestRunMultiTarget: comma-split targets get round-robin traffic and
+// the report breaks the X-Served-By / tier mix down per target — the
+// fleet observability surface.
+func TestRunMultiTarget(t *testing.T) {
+	mkReplica := func(self string) *httptest.Server {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /tables/{id}", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("X-Cache", "hit")
+			w.Header().Set("X-Cache-Tier", "objstore")
+			w.Header().Set("X-Served-By", self)
+			fmt.Fprintf(w, `{"schema":1,"id":%q}`+"\n", r.PathValue("id"))
+		})
+		return httptest.NewServer(mux)
+	}
+	a, b := mkReplica("replica-a"), mkReplica("replica-b")
+	defer a.Close()
+	defer b.Close()
+	rep, err := Run(Options{
+		URLs: []string{a.URL, b.URL}, Concurrency: 2, Duration: 100 * time.Millisecond,
+		IDs: []string{"E1"}, Format: "json", Warm: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Requests == 0 {
+		t.Fatalf("%d errors, %d requests", rep.Errors, rep.Requests)
+	}
+	if len(rep.PerTarget) != 2 {
+		t.Fatalf("per-target breakdown has %d entries, want 2", len(rep.PerTarget))
+	}
+	var total uint64
+	for base, self := range map[string]string{a.URL: "replica-a", b.URL: "replica-b"} {
+		m := rep.PerTarget[base]
+		if m == nil || m.Requests == 0 {
+			t.Fatalf("target %s got no traffic: %+v", base, rep.PerTarget)
+		}
+		if m.ServedBy[self] != m.Requests {
+			t.Fatalf("target %s served_by=%v over %d requests, want all %s", base, m.ServedBy, m.Requests, self)
+		}
+		if m.Tiers["objstore"] != m.Requests {
+			t.Fatalf("target %s tiers=%v, want all objstore", base, m.Tiers)
+		}
+		total += m.Requests
+	}
+	if total != rep.Requests {
+		t.Fatalf("per-target requests sum %d != total %d", total, rep.Requests)
+	}
+	// Round-robin keeps the split even: neither target more than 60%.
+	for base, m := range rep.PerTarget {
+		if frac := float64(m.Requests) / float64(rep.Requests); frac > 0.6 {
+			t.Fatalf("target %s got %.0f%% of traffic, want ~50%%", base, frac*100)
+		}
 	}
 }

@@ -33,23 +33,40 @@
 //	    store stack or 404 — the wire contract that lets replicas warm
 //	    from each other without recursion. A full compute queue is 429
 //	    with Retry-After; a request that outlives -timeout is 504.
+//	HEAD /tables/{id}?seed=N&quick=BOOL
+//	    The fleet cache probe: 200 if this replica's local tiers hold
+//	    the table, 202 if a computation for it is in flight right now,
+//	    404 if cold — never computes, never contacts anyone.
 //	GET /stats
-//	    Store, per-tier, queue, and compute-latency statistics.
+//	    Store, per-tier, queue, compute-latency, in-flight, and fleet
+//	    statistics.
 //
 // Usage:
 //
-//	bccserve [-addr :8344] [-store DIR] [-mem N] [-peer URL] [-seed N]
-//	         [-quick] [-workers N] [-parallel N] [-queue N] [-timeout D]
+//	bccserve [-addr :8344] [-store DIR] [-mem N] [-objstore DIR]
+//	         [-peer URL] [-fleet URL,URL,...] [-seed N] [-quick]
+//	         [-workers N] [-parallel N] [-queue N] [-timeout D]
 //	         [-drain D]
 //
 // The store stack is assembled from the flags, fastest tier first:
 // -mem N is the in-process hot-table LRU (L0, N tables; 0 disables),
-// -store DIR the durable disk store (L1), -peer URL a warm replica
-// to read from (L2, never written). Any subset works; with none of the
-// three the server still serves, deduplicating concurrent identical
-// requests in memory only. -store honors the BCC_STORE environment
-// variable as its default, so a server and local benchmark runs share
-// one corpus without repeating the flag.
+// -store DIR the durable disk store (L1), -objstore DIR the fleet's
+// WRITABLE shared object bucket (L2 — point every replica at one
+// shared volume path and each table is computed once fleet-wide), and
+// -peer URL a warm replica to read from (legacy read-only tier). Any
+// subset works; with none of them the server still serves,
+// deduplicating concurrent identical requests in memory only. -store
+// honors the BCC_STORE environment variable as its default, so a
+// server and local benchmark runs share one corpus without repeating
+// the flag.
+//
+// -fleet takes the full static replica list (comma-separated URLs,
+// FIRST entry is this replica) and turns the replicas into one logical
+// cache: every fingerprint gets exactly one owner (rendezvous
+// hashing), non-owners resolve from the shared bucket or the owner
+// (probe → cached fetch / in-flight wait / full proxy), and any owner
+// failure degrades to ordinary local compute. See ARCHITECTURE.md's
+// fleet layer for the decision table.
 package main
 
 import (
@@ -67,6 +84,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/sched"
 	"repro/internal/serve"
 	"repro/internal/store/tier"
@@ -104,7 +122,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	storeDir := fs.String("store", os.Getenv("BCC_STORE"),
 		"disk store directory (L1; default $BCC_STORE; empty with no $BCC_STORE: no disk tier)")
 	memSize := fs.Int("mem", 64, "in-memory hot-table LRU capacity in tables (L0; 0 disables)")
-	peer := fs.String("peer", "", "warm replica base URL to read from (L2, e.g. http://replica-0:8344; read-only)")
+	peer := fs.String("peer", "", "warm replica base URL to read from (legacy read-only tier, e.g. http://replica-0:8344)")
+	objDir := fs.String("objstore", "", "shared object-store directory (writable shared L2; point every replica at one shared volume path)")
+	fleetFlag := fs.String("fleet", "", "static fleet membership: comma-separated replica URLs, FIRST entry is this replica (enables rendezvous ownership + owner proxy/wait)")
 	seed := fs.Uint64("seed", 2019, "default seed when a request omits ?seed=")
 	quick := fs.Bool("quick", false, "default quick mode when a request omits ?quick=")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "total goroutine budget for on-demand computation")
@@ -116,9 +136,17 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 
-	stack, err := tier.NewStack(*memSize, *storeDir, *peer)
+	stack, err := tier.NewStack(tier.Config{
+		MemCapacity: *memSize, Dir: *storeDir, ObjstoreDir: *objDir, PeerURL: *peer,
+	})
 	if err != nil {
 		return err
+	}
+	var flt *fleet.Fleet
+	if *fleetFlag != "" {
+		if flt, err = fleet.Parse(*fleetFlag); err != nil {
+			return err
+		}
 	}
 	// The scheduler's semaphore caps concurrent computations at
 	// -parallel; splitting the -workers budget across those slots keeps
@@ -135,6 +163,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *queue >= 0 {
 		opts = append(opts, sched.WithQueue(*queue))
 	}
+	if flt != nil {
+		// Metrics-only: the scheduler counts computations of non-owned
+		// fingerprints (the fleet's degradation path) so /stats shows
+		// how often ownership is being bypassed, without refusing the
+		// work — a dead owner's fingerprints must stay computable here.
+		opts = append(opts, sched.WithOwner(flt.Owns))
+	}
 	srv := &serve.Server{
 		Sched:    sched.New(stack.Backend, *parallel, opts...),
 		Stack:    stack,
@@ -143,6 +178,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		Quick:    *quick,
 		Workers:  perWorkers,
 		Timeout:  *timeout,
+		Fleet:    flt,
 	}
 
 	ln, err := net.Listen("tcp", *addr)

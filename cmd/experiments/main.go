@@ -61,6 +61,7 @@ func run(args []string, stdout io.Writer) error {
 		"result-store directory: serve cached tables and persist fresh ones (default $BCC_STORE)")
 	memSize := fs.Int("mem", 0, "in-memory hot-table LRU capacity in tables (0 disables)")
 	peer := fs.String("peer", "", "warm bccserve replica to read tables from before computing (read-only)")
+	objDir := fs.String("objstore", "", "shared object-store directory (the fleet's writable shared tier; a shared volume path)")
 	outPath := fs.String("o", "", "write output to this file instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,8 +87,11 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	// The same memory → disk → peer assembly bccserve serves from.
-	stack, err := tier.NewStack(*memSize, *storeDir, *peer)
+	// The same memory → disk → objstore → peer assembly bccserve serves
+	// from.
+	stack, err := tier.NewStack(tier.Config{
+		MemCapacity: *memSize, Dir: *storeDir, ObjstoreDir: *objDir, PeerURL: *peer,
+	})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,149 @@
+// Package fleet gives a static set of bccserve replicas a shared,
+// deterministic answer to one question: which replica owns a
+// fingerprint? Ownership is what turns N caches into one logical cache
+// — the owner is the only replica that *computes* a cold fingerprint;
+// every other replica either reads the shared store, proxies to the
+// owner, or waits for the owner's in-flight computation. Combined with
+// the writable objstore tier and the scheduler's single-flight dedup,
+// ownership bounds fleet-wide compute at one run per fingerprint.
+//
+// # Rendezvous hashing
+//
+// Owner uses rendezvous (highest-random-weight) hashing: every replica
+// scores hash(member, fingerprint) and the highest score wins. All
+// replicas configured with the same member list — the -fleet flag, same
+// strings everywhere — agree on every owner with no coordination, no
+// ring state, and no reshuffling beyond the minimum when the list
+// changes: removing one member reassigns only the fingerprints it
+// owned (1/N of the space), never the rest.
+//
+// # Degradation
+//
+// Ownership is advisory, not authoritative: a non-owner that cannot
+// reach the owner computes locally (the store contract makes duplicate
+// computation harmless — equal fingerprints carry byte-equal tables),
+// so a dead owner costs duplicate CPU, never availability or
+// correctness.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/url"
+	"sort"
+	"strings"
+)
+
+// Fleet is one replica's view of the whole static replica set. The
+// zero value is not usable; construct with New or Parse. All methods
+// are safe for concurrent use (the fleet is immutable once built).
+type Fleet struct {
+	self    string
+	members []string // sorted, deduplicated, includes self
+}
+
+// normalize canonicalizes one member URL: scheme://host[:port][path]
+// with the trailing slash dropped, so "http://a:1/" and "http://a:1"
+// configured on different replicas still hash identically.
+func normalize(raw string) (string, error) {
+	raw = strings.TrimSpace(raw)
+	u, err := url.Parse(raw)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", fmt.Errorf("fleet: member URL %q: want http(s)://host[:port]", raw)
+	}
+	return strings.TrimRight(raw, "/"), nil
+}
+
+// New builds a fleet from this replica's own URL and its peers. Self is
+// always a member; duplicates collapse. A fleet of one is valid (it
+// owns everything) so a single replica can keep its -fleet flag during
+// a scale-down.
+func New(self string, peers []string) (*Fleet, error) {
+	selfN, err := normalize(self)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{selfN: true}
+	members := []string{selfN}
+	for _, p := range peers {
+		pn, err := normalize(p)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[pn] {
+			seen[pn] = true
+			members = append(members, pn)
+		}
+	}
+	sort.Strings(members)
+	return &Fleet{self: selfN, members: members}, nil
+}
+
+// Parse builds a fleet from the -fleet flag form: a comma-separated
+// URL list whose FIRST entry is this replica itself. Every replica in
+// the fleet passes the same set of URLs (order beyond the first entry
+// does not matter); only the self position differs.
+func Parse(flag string) (*Fleet, error) {
+	parts := strings.Split(flag, ",")
+	urls := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			urls = append(urls, p)
+		}
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("fleet: empty -fleet list")
+	}
+	return New(urls[0], urls[1:])
+}
+
+// Self returns this replica's own normalized URL.
+func (f *Fleet) Self() string { return f.self }
+
+// Members returns the full normalized member list (sorted; includes
+// self). Callers must not modify it.
+func (f *Fleet) Members() []string { return f.members }
+
+// Size returns the member count.
+func (f *Fleet) Size() int { return len(f.members) }
+
+// score is the rendezvous weight of member m for fingerprint fp:
+// FNV-1a over member, a separator that cannot occur in a URL-normalized
+// member, then the fingerprint. FNV is not cryptographic and does not
+// need to be — ownership only needs agreement and rough balance, and
+// fingerprints are already uniform hex.
+func score(m, fp string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(m))
+	h.Write([]byte{'\n'})
+	h.Write([]byte(fp))
+	return h.Sum64()
+}
+
+// Owner returns the member that owns fp: the highest rendezvous score,
+// with the lexicographically smallest member breaking (astronomically
+// unlikely) ties so every replica still agrees.
+func (f *Fleet) Owner(fp string) string {
+	best := f.members[0]
+	bestScore := score(best, fp)
+	for _, m := range f.members[1:] {
+		if s := score(m, fp); s > bestScore || (s == bestScore && m < best) {
+			best, bestScore = m, s
+		}
+	}
+	return best
+}
+
+// Owns reports whether this replica owns fp.
+func (f *Fleet) Owns(fp string) bool { return f.Owner(fp) == f.self }
+
+// Peers returns every member except self.
+func (f *Fleet) Peers() []string {
+	out := make([]string, 0, len(f.members)-1)
+	for _, m := range f.members {
+		if m != f.self {
+			out = append(out, m)
+		}
+	}
+	return out
+}

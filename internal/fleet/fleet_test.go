@@ -1,0 +1,111 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mustParse(t *testing.T, flag string) *Fleet {
+	t.Helper()
+	f, err := Parse(flag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestParseAndNormalize(t *testing.T) {
+	f := mustParse(t, "http://a:8344/, http://b:8344 ,http://c:8344")
+	if f.Self() != "http://a:8344" {
+		t.Fatalf("self = %q, want the first entry normalized", f.Self())
+	}
+	if f.Size() != 3 {
+		t.Fatalf("size = %d, want 3", f.Size())
+	}
+	if got := f.Peers(); len(got) != 2 {
+		t.Fatalf("peers = %v, want 2", got)
+	}
+}
+
+func TestParseRejectsJunk(t *testing.T) {
+	for _, flag := range []string{"", " , ", "not-a-url", "ftp://a:1", "http://"} {
+		if _, err := Parse(flag); err == nil {
+			t.Fatalf("Parse(%q) accepted", flag)
+		}
+	}
+}
+
+func TestDuplicateAndSelfCollapse(t *testing.T) {
+	f, err := New("http://a:1", []string{"http://a:1/", "http://b:1", "http://b:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 2 {
+		t.Fatalf("size = %d, want 2 (self + one peer)", f.Size())
+	}
+}
+
+// TestEveryReplicaAgreesOnEveryOwner is the contract the whole fleet
+// layer rests on: the same member list, seen from different selves,
+// yields identical ownership for every fingerprint.
+func TestEveryReplicaAgreesOnEveryOwner(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1"}
+	views := []*Fleet{
+		mustParse(t, "http://a:1,http://b:1,http://c:1"),
+		mustParse(t, "http://b:1,http://c:1,http://a:1"),
+		mustParse(t, "http://c:1,http://a:1,http://b:1"),
+	}
+	owned := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		fp := fmt.Sprintf("%064x", i*2654435761)
+		owner := views[0].Owner(fp)
+		for _, v := range views[1:] {
+			if got := v.Owner(fp); got != owner {
+				t.Fatalf("fp %s: views disagree (%s vs %s)", fp, owner, got)
+			}
+		}
+		owned[owner]++
+		// Exactly one member owns; Owns must match Owner on each view.
+		owners := 0
+		for _, v := range views {
+			if v.Owns(fp) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("fp %s: %d replicas claim ownership, want exactly 1", fp, owners)
+		}
+	}
+	// Rough balance: each of 3 members should own a nontrivial share of
+	// 1000 uniform fingerprints (binomial tails make <200 vanishingly
+	// unlikely; this guards against a degenerate hash, not variance).
+	for _, m := range members {
+		if owned[m] < 200 {
+			t.Fatalf("member %s owns only %d/1000 fingerprints: degenerate hash", m, owned[m])
+		}
+	}
+}
+
+// TestMinimalReshuffle pins rendezvous hashing's defining property:
+// removing one member reassigns only the fingerprints it owned.
+func TestMinimalReshuffle(t *testing.T) {
+	three := mustParse(t, "http://a:1,http://b:1,http://c:1")
+	two := mustParse(t, "http://a:1,http://b:1")
+	for i := 0; i < 1000; i++ {
+		fp := fmt.Sprintf("%064x", i*40503)
+		before := three.Owner(fp)
+		after := two.Owner(fp)
+		if before != "http://c:1" && after != before {
+			t.Fatalf("fp %s moved %s → %s though its owner survived", fp, before, after)
+		}
+	}
+}
+
+func TestFleetOfOneOwnsEverything(t *testing.T) {
+	f := mustParse(t, "http://solo:1")
+	for i := 0; i < 10; i++ {
+		if !f.Owns(fmt.Sprintf("%x", i)) {
+			t.Fatal("a fleet of one must own every fingerprint")
+		}
+	}
+}

@@ -51,6 +51,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -92,6 +93,15 @@ type Scheduler struct {
 	// caps standing work. nil means unbounded (no WithQueue option).
 	tokens chan struct{}
 
+	// owns reports whether this replica owns a fingerprint under the
+	// fleet's rendezvous assignment (WithOwner). nil means no fleet:
+	// everything counts as owned. It is introspection, not admission
+	// policy — a non-owned computation is the fleet degradation path
+	// (dead owner ⇒ local compute) and must never be refused, only
+	// counted so /stats can show how much duplicate CPU the fleet layer
+	// is absorbing.
+	owns func(fingerprint string) bool
+
 	mu      sync.Mutex
 	flights map[string]*flight
 
@@ -100,6 +110,7 @@ type Scheduler struct {
 	rejected  atomic.Uint64
 	abandoned atomic.Uint64 // queued computations whose requesters all left
 	computed  atomic.Uint64
+	foreign   atomic.Uint64 // computed runs of fingerprints this replica does not own
 	busyNanos atomic.Int64
 	maxNanos  atomic.Int64
 }
@@ -137,6 +148,17 @@ func WithQueue(depth int) Option {
 		}
 		s.tokens = make(chan struct{}, s.parallel+depth)
 	}
+}
+
+// WithOwner tags computations with fleet ownership: owns(fingerprint)
+// reports whether this replica is the rendezvous owner. Non-owned
+// computations still run (they are the dead-owner degradation path) but
+// are counted separately in Metrics.ComputedForeign — on a healthy
+// fleet that counter stays near zero, and growth means non-owners are
+// falling back to local compute (owner unreachable, or a fleet
+// misconfiguration where replicas disagree on membership).
+func WithOwner(owns func(fingerprint string) bool) Option {
+	return func(s *Scheduler) { s.owns = owns }
 }
 
 // New returns a scheduler over backend (which may be nil for a
@@ -376,6 +398,9 @@ func (s *Scheduler) compute(k store.Key, fl *flight, e experiments.Experiment, c
 		<-s.sem
 		s.computing.Add(-1)
 		s.computed.Add(1)
+		if s.owns != nil && !s.owns(k.Fingerprint) {
+			s.foreign.Add(1)
+		}
 		s.busyNanos.Add(elapsed.Nanoseconds())
 		for {
 			max := s.maxNanos.Load()
@@ -415,6 +440,31 @@ func (s *Scheduler) compute(k store.Key, fl *flight, e experiments.Experiment, c
 	}()
 }
 
+// Flying reports whether a computation for fingerprint is in flight
+// right now — registered and not yet retired. It is the probe
+// endpoint's cheap answer to "should a non-owner wait instead of
+// recomputing": a map lookup, no store traffic, no admission.
+func (s *Scheduler) Flying(fingerprint string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.flights[fingerprint]
+	return ok
+}
+
+// InFlight returns the fingerprints currently being computed or queued,
+// sorted — the introspection /stats publishes so fleet peers (and
+// operators) can see what this replica is already working on.
+func (s *Scheduler) InFlight() []string {
+	s.mu.Lock()
+	out := make([]string, 0, len(s.flights))
+	for fp := range s.flights {
+		out = append(out, fp)
+	}
+	s.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
 // Metrics is a snapshot of the scheduler's computation traffic.
 type Metrics struct {
 	// Queued and Computing describe standing work: admitted computations
@@ -431,23 +481,27 @@ type Metrics struct {
 	Abandoned uint64 `json:"abandoned"`
 	// Computed counts finished estimator runs (successes, failures, and
 	// cooperative cancellations alike). The latency fields cover exactly
-	// those runs.
-	Computed      uint64  `json:"computed"`
-	TotalBusyMS   float64 `json:"total_busy_ms"`
-	MeanComputeMS float64 `json:"mean_compute_ms"`
-	MaxComputeMS  float64 `json:"max_compute_ms"`
+	// those runs. ComputedForeign is the subset for fingerprints this
+	// replica does not own under the fleet assignment (0 without a
+	// fleet): the duplicate-CPU cost of dead-owner fallbacks.
+	Computed        uint64  `json:"computed"`
+	ComputedForeign uint64  `json:"computed_foreign"`
+	TotalBusyMS     float64 `json:"total_busy_ms"`
+	MeanComputeMS   float64 `json:"mean_compute_ms"`
+	MaxComputeMS    float64 `json:"max_compute_ms"`
 }
 
 // Metrics reports the scheduler's queue state and compute-latency
 // counters.
 func (s *Scheduler) Metrics() Metrics {
 	m := Metrics{
-		Queued:    int(s.queued.Load()),
-		Computing: int(s.computing.Load()),
-		Parallel:  s.parallel,
-		Rejected:  s.rejected.Load(),
-		Abandoned: s.abandoned.Load(),
-		Computed:  s.computed.Load(),
+		Queued:          int(s.queued.Load()),
+		Computing:       int(s.computing.Load()),
+		Parallel:        s.parallel,
+		Rejected:        s.rejected.Load(),
+		Abandoned:       s.abandoned.Load(),
+		Computed:        s.computed.Load(),
+		ComputedForeign: s.foreign.Load(),
 	}
 	if s.tokens != nil {
 		m.Capacity = cap(s.tokens)

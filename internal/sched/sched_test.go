@@ -941,3 +941,63 @@ func TestOutcomeCarriesEncodedBytes(t *testing.T) {
 		t.Fatalf("flight outcomes carry different encodings: %q vs %q", oA.Encoded, oB.Encoded)
 	}
 }
+
+// TestInFlightIntrospection: Flying/InFlight expose exactly the live
+// flights — the fleet probe's data source — and empty out once the
+// flight retires.
+func TestInFlightIntrospection(t *testing.T) {
+	s := New(nil, 2)
+	var calls atomic.Int64
+	started, release := make(chan struct{}), make(chan struct{})
+	e := countingExperiment("EX", &calls, started, release)
+	cfg := experiments.Config{Seed: 5, Quick: true}
+	fp := store.KeyFor("EX", cfg.Params()).Fingerprint
+
+	if s.Flying(fp) || len(s.InFlight()) != 0 {
+		t.Fatal("idle scheduler reports flights")
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, _, err := s.Table(e, cfg); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-started
+	if !s.Flying(fp) {
+		t.Fatal("running flight not reported by Flying")
+	}
+	if got := s.InFlight(); len(got) != 1 || got[0] != fp {
+		t.Fatalf("InFlight = %v, want [%s]", got, fp)
+	}
+	close(release)
+	<-done
+	if s.Flying(fp) || len(s.InFlight()) != 0 {
+		t.Fatal("retired flight still reported")
+	}
+}
+
+// TestOwnerAwareMetrics: WithOwner counts non-owned computations
+// (dead-owner fallbacks) without refusing them.
+func TestOwnerAwareMetrics(t *testing.T) {
+	cfgA := experiments.Config{Seed: 1, Quick: true}
+	cfgB := experiments.Config{Seed: 2, Quick: true}
+	owned := store.KeyFor("EX", cfgA.Params()).Fingerprint
+	s := New(nil, 2, WithOwner(func(fp string) bool { return fp == owned }))
+
+	var calls atomic.Int64
+	e := countingExperiment("EX", &calls, nil, nil)
+	if _, _, err := s.Table(e, cfgA); err != nil { // owned
+		t.Fatal(err)
+	}
+	if _, _, err := s.Table(e, cfgB); err != nil { // foreign — must still run
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("foreign computation was refused: %d calls", calls.Load())
+	}
+	m := s.Metrics()
+	if m.Computed != 2 || m.ComputedForeign != 1 {
+		t.Fatalf("metrics %+v, want computed=2 foreign=1", m)
+	}
+}

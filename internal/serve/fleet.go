@@ -1,0 +1,332 @@
+// Fleet serving: the owner-first resolution path for replicas that
+// share one logical cache.
+//
+// With a Fleet configured, every fingerprint has exactly one owner
+// replica (rendezvous hashing — internal/fleet), and a replica that
+// receives a request for a fingerprint it does not own tries, in
+// order, before computing anything itself:
+//
+//  1. its local tiers and the shared object bucket (LookupShared) —
+//     the owner's write-through lands tables there, so most non-owner
+//     requests resolve without bothering any replica;
+//  2. a cheap HEAD probe of the owner — 200 "cached" (fetch it with a
+//     cached=only GET), 202 "inflight" (the owner is computing it right
+//     now: wait with backoff and re-check instead of starting a second
+//     computation), 404 "cold" (proxy the full GET so the owner
+//     computes it once, under its own single-flight);
+//  3. and on ANY owner failure — probe error, fetch miss, proxy error,
+//     context expiry — the ordinary local compute path, so a dead owner
+//     degrades to exactly today's single-replica behavior.
+//
+// The proxied GET carries an X-Fleet-Proxy header naming the caller; a
+// request bearing that header is never proxied onward, so disagreeing
+// ownership views (a misconfigured fleet) cannot form forwarding
+// cycles — at worst both replicas compute, which is the pre-fleet
+// status quo.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/result"
+	"repro/internal/store"
+	"repro/internal/store/remote"
+)
+
+const (
+	// headerServedBy names the replica whose store or computation
+	// produced the body — this replica, or the owner it was fetched
+	// from. Set on every /tables/{id} response when a fleet is
+	// configured; cmd/bccload aggregates it into a per-target mix.
+	headerServedBy = "X-Served-By"
+	// headerFleetState is the probe verdict: cached, inflight, or cold.
+	headerFleetState = "X-Fleet-State"
+	// headerFleetProxy marks a GET as proxied on behalf of another
+	// replica (value: the caller's base URL). Its presence is the loop
+	// guard: such a request is answered locally, never re-proxied.
+	headerFleetProxy = "X-Fleet-Proxy"
+)
+
+const (
+	probeCached   = "cached"
+	probeInflight = "inflight"
+	probeCold     = "cold"
+)
+
+// probeTimeout bounds one HEAD probe round trip. A probe answers from
+// memory (local-tier lookup plus an in-flight set check), so an owner
+// slower than this is effectively down and the caller should fall back
+// rather than stall its own request on diagnosis.
+const probeTimeout = 2 * time.Second
+
+// maxProxyBytes caps a proxied table body, mirroring the remote tier's
+// bound: canonical tables are a few KB.
+const maxProxyBytes = 16 << 20
+
+// defaultFleetClient is the pooled transport for probes and proxies
+// when the embedder does not supply one. No overall Timeout: a proxied
+// GET legitimately waits for the owner's computation, and is bounded by
+// the request context instead (probes get their own short deadline).
+var defaultFleetClient = &http.Client{
+	Transport: &http.Transport{
+		MaxIdleConns:        32,
+		MaxIdleConnsPerHost: 8,
+		IdleConnTimeout:     90 * time.Second,
+	},
+}
+
+// fleetCounters tracks how non-owned requests were resolved; /stats
+// reports them so an operator can see whether the fleet is actually
+// sharing work (shared_hits and wait_hits high) or flapping into
+// fallbacks (owner down or misconfigured).
+type fleetCounters struct {
+	sharedHits   atomic.Uint64 // resolved from local tiers or the shared bucket
+	ownerFetches atomic.Uint64 // cached=only fetches from the owner that hit
+	proxied      atomic.Uint64 // full GETs proxied to a cold owner
+	waits        atomic.Uint64 // requests that waited on an owner's in-flight computation
+	waitHits     atomic.Uint64 // waits resolved via the shared bucket while waiting
+	fallbacks    atomic.Uint64 // owner path failed; computed locally instead
+	probeErrors  atomic.Uint64 // probes that errored (network, status, timeout)
+}
+
+// FleetStats is the /stats "fleet" payload.
+type FleetStats struct {
+	Self         string   `json:"self"`
+	Members      []string `json:"members"`
+	SharedHits   uint64   `json:"shared_hits"`
+	OwnerFetches uint64   `json:"owner_fetches"`
+	Proxied      uint64   `json:"proxied"`
+	Waits        uint64   `json:"waits"`
+	WaitHits     uint64   `json:"wait_hits"`
+	Fallbacks    uint64   `json:"fallbacks"`
+	ProbeErrors  uint64   `json:"probe_errors"`
+}
+
+func (s *Server) fleetStats() FleetStats {
+	return FleetStats{
+		Self:         s.Fleet.Self(),
+		Members:      s.Fleet.Members(),
+		SharedHits:   s.fleetC.sharedHits.Load(),
+		OwnerFetches: s.fleetC.ownerFetches.Load(),
+		Proxied:      s.fleetC.proxied.Load(),
+		Waits:        s.fleetC.waits.Load(),
+		WaitHits:     s.fleetC.waitHits.Load(),
+		Fallbacks:    s.fleetC.fallbacks.Load(),
+		ProbeErrors:  s.fleetC.probeErrors.Load(),
+	}
+}
+
+func (s *Server) fleetClient() *http.Client {
+	if s.FleetClient != nil {
+		return s.FleetClient
+	}
+	return defaultFleetClient
+}
+
+// ownerReader returns (lazily building) the cached=only reader for an
+// owner replica. It reuses the remote tier wholesale: same wire
+// contract, same verification (schema version, table id, X-Fingerprint
+// against the local key), same pooled client with a bounded timeout.
+func (s *Server) ownerReader(owner string) *remote.Tier {
+	s.fleetMu.Lock()
+	defer s.fleetMu.Unlock()
+	if t, ok := s.fleetReaders[owner]; ok {
+		return t
+	}
+	t, err := remote.New(owner, nil)
+	if err != nil {
+		// Fleet membership URLs are validated at parse time, so this is
+		// unreachable in practice; a nil reader degrades to fallback.
+		return nil
+	}
+	if s.fleetReaders == nil {
+		s.fleetReaders = map[string]*remote.Tier{}
+	}
+	s.fleetReaders[owner] = t
+	return t
+}
+
+// handleProbe is HEAD /tables/{id}: the cross-replica cache probe. It
+// answers from this replica's local tiers and in-flight set only — it
+// never computes, never reads the bucket, never contacts anyone — so a
+// fleet's probe traffic costs the owner a map lookup, not work.
+//
+//	200  cached locally (ETag and X-Fingerprint identify the bytes)
+//	202  a computation for this fingerprint is in flight right now
+//	404  cold: not cached, not in flight
+//
+// The verdict is also spelled out in X-Fleet-State for humans and
+// scripts (HEAD bodies are empty by definition).
+func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
+	_, cfg, ok := s.resolveTableRequest(w, r)
+	if !ok {
+		return
+	}
+	key := store.KeyFor(r.PathValue("id"), cfg.Params())
+	if _, _, ok := s.Stack.CachedLocal(r.Context(), key); ok {
+		w.Header().Set("ETag", etagFor(key.Fingerprint))
+		w.Header().Set("X-Fingerprint", key.Fingerprint)
+		w.Header().Set(headerFleetState, probeCached)
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	if s.Sched.Flying(key.Fingerprint) {
+		w.Header().Set(headerFleetState, probeInflight)
+		w.WriteHeader(http.StatusAccepted)
+		return
+	}
+	w.Header().Set(headerFleetState, probeCold)
+	w.WriteHeader(http.StatusNotFound)
+}
+
+// fleetResolve resolves a non-owned fingerprint owner-first. It returns
+// ok=false when the owner path failed in any way — the caller falls
+// back to the ordinary local compute path (the degradation contract:
+// a dead or slow owner costs a fleet nothing but the sharing).
+func (s *Server) fleetResolve(ctx context.Context, k store.Key) (tab *result.Table, tierName string, ownerHit bool, servedBy string, ok bool) {
+	// The cheapest resolution first: the owner's write-through may have
+	// already landed the table in the shared bucket (or an earlier fetch
+	// in our local tiers) — reading it costs no replica any work.
+	if t, name, hit := s.Stack.LookupShared(ctx, k); hit {
+		s.fleetC.sharedHits.Add(1)
+		return t, name, true, s.Fleet.Self(), true
+	}
+	owner := s.Fleet.Owner(k.Fingerprint)
+	backoff := 25 * time.Millisecond
+	waiting := false
+	for {
+		state, err := s.probeOwner(ctx, owner, k)
+		if err != nil {
+			s.fleetC.probeErrors.Add(1)
+			s.fleetC.fallbacks.Add(1)
+			return nil, "", false, "", false
+		}
+		switch state {
+		case probeCached:
+			reader := s.ownerReader(owner)
+			if reader != nil {
+				if t, hit := reader.Get(ctx, k); hit {
+					s.fleetC.ownerFetches.Add(1)
+					s.Stack.BackfillLocal(k, t)
+					return t, "fleet", true, owner, true
+				}
+			}
+			// Probed cached but the fetch missed (evicted in the gap, or
+			// a degraded owner): compute locally rather than loop.
+			s.fleetC.fallbacks.Add(1)
+			return nil, "", false, "", false
+		case probeInflight:
+			// The owner is computing this fingerprint right now. Starting
+			// a second computation here is exactly the waste the fleet
+			// exists to prevent — wait with backoff, bounded by the
+			// request context, re-checking the shared bucket (the
+			// flight's write-through lands there) between probes.
+			if !waiting {
+				waiting = true
+				s.fleetC.waits.Add(1)
+			}
+			select {
+			case <-ctx.Done():
+				s.fleetC.fallbacks.Add(1)
+				return nil, "", false, "", false
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			if t, name, hit := s.Stack.LookupShared(ctx, k); hit {
+				s.fleetC.waitHits.Add(1)
+				return t, name, true, s.Fleet.Self(), true
+			}
+		default: // cold
+			// Nobody has it and nobody is computing it: proxy the full
+			// GET so the computation happens on the owner — its
+			// single-flight dedups our proxy against the owner's own
+			// concurrent requests (and every other non-owner's proxy),
+			// and its write-through publishes the result to the bucket
+			// for the whole fleet.
+			t, hit, err := s.proxyOwner(ctx, owner, k)
+			if err != nil {
+				s.fleetC.fallbacks.Add(1)
+				return nil, "", false, "", false
+			}
+			s.fleetC.proxied.Add(1)
+			s.Stack.BackfillLocal(k, t)
+			return t, "fleet", hit, owner, true
+		}
+	}
+}
+
+// probeOwner asks the owner whether it holds (or is computing) k, via
+// the cheap HEAD endpoint, under its own short deadline.
+func (s *Server) probeOwner(ctx context.Context, owner string, k store.Key) (string, error) {
+	pctx, cancel := context.WithTimeout(ctx, probeTimeout)
+	defer cancel()
+	u := fmt.Sprintf("%s/tables/%s?seed=%d&quick=%t",
+		owner, url.PathEscape(k.ID), k.Params.Seed, k.Params.Quick)
+	req, err := http.NewRequestWithContext(pctx, http.MethodHead, u, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := s.fleetClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, maxProxyBytes))
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return probeCached, nil
+	case http.StatusAccepted:
+		return probeInflight, nil
+	case http.StatusNotFound:
+		return probeCold, nil
+	default:
+		return "", fmt.Errorf("probe %s: unexpected status %d", owner, resp.StatusCode)
+	}
+}
+
+// proxyOwner forwards the full GET to the owner — the one fleet path
+// that may cause work, on the one replica entitled to do it. The
+// response is verified like a remote-tier read (decode checks the
+// schema version; the id and X-Fingerprint must match the local key)
+// before it can enter the local tiers. Returns whether the owner served
+// it as a cache hit — a proxied miss was computed just now, and the
+// response's X-Cache should say so.
+func (s *Server) proxyOwner(ctx context.Context, owner string, k store.Key) (*result.Table, bool, error) {
+	u := fmt.Sprintf("%s/tables/%s?seed=%d&quick=%t",
+		owner, url.PathEscape(k.ID), k.Params.Seed, k.Params.Quick)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set(headerFleetProxy, s.Fleet.Self())
+	resp, err := s.fleetClient().Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxProxyBytes))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, fmt.Errorf("proxy %s: status %d", owner, resp.StatusCode)
+	}
+	tab, err := result.DecodeJSON(io.LimitReader(resp.Body, maxProxyBytes))
+	if err != nil {
+		return nil, false, fmt.Errorf("proxy %s: %w", owner, err)
+	}
+	if tab.ID != k.ID {
+		return nil, false, fmt.Errorf("proxy %s: table %q, want %q", owner, tab.ID, k.ID)
+	}
+	if fp := resp.Header.Get("X-Fingerprint"); fp != "" && fp != k.Fingerprint {
+		return nil, false, fmt.Errorf("proxy %s: fingerprint mismatch", owner)
+	}
+	return tab, resp.Header.Get("X-Cache") == "hit", nil
+}

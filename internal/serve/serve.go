@@ -36,11 +36,14 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/sched"
 	"repro/internal/store"
+	"repro/internal/store/remote"
 	"repro/internal/store/tier"
 )
 
@@ -65,6 +68,21 @@ type Server struct {
 	// Timeout bounds each request's computation (0: none); exceeding it
 	// answers 504.
 	Timeout time.Duration
+	// Fleet is the static replica set this server belongs to (nil: no
+	// fleet — single-replica behavior). When set, requests for
+	// fingerprints this replica does not own are resolved owner-first
+	// (shared bucket, probe, wait, proxy — see fleet.go) and fall back
+	// to local compute only when the owner path fails.
+	Fleet *fleet.Fleet
+	// FleetClient issues owner probes and proxied GETs (nil: a pooled
+	// default with keep-alives and no overall timeout — probes carry
+	// their own short deadline, proxies run under the request context).
+	FleetClient *http.Client
+
+	// fleetReaders lazily caches one cached=only reader per owner.
+	fleetMu      sync.Mutex
+	fleetReaders map[string]*remote.Tier
+	fleetC       fleetCounters
 }
 
 // Handler returns the HTTP API: /healthz, /tables, /tables/{id},
@@ -74,6 +92,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /tables", s.handleList)
 	mux.HandleFunc("GET /tables/{id}", s.handleTable)
+	// The HEAD pattern is method-more-specific than the GET one, so it
+	// wins for HEAD requests: a probe costs a local lookup plus an
+	// in-flight check, never a computation (the GET pattern would have
+	// served HEAD through the full table path, computing on miss).
+	mux.HandleFunc("HEAD /tables/{id}", s.handleProbe)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
 }
@@ -222,25 +245,33 @@ func ifNoneMatchHits(header, etag string) bool {
 	return false
 }
 
-func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+// resolveTableRequest validates the {id} path segment against the
+// registry and the seed/quick query params, writing the error response
+// itself when invalid. Shared by the GET table handler and the HEAD
+// probe so both reject unknown experiments and malformed params
+// identically.
+func (s *Server) resolveTableRequest(w http.ResponseWriter, r *http.Request) (experiments.Experiment, experiments.Config, bool) {
 	id := r.PathValue("id")
-	var exp experiments.Experiment
-	found := false
 	for _, e := range s.Registry() {
 		if e.ID == id {
-			exp, found = e, true
-			break
+			cfg, err := s.params(r)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "%v", err)
+				return experiments.Experiment{}, cfg, false
+			}
+			return e, cfg, true
 		}
 	}
-	if !found {
-		httpError(w, http.StatusNotFound, "unknown experiment %q", id)
+	httpError(w, http.StatusNotFound, "unknown experiment %q", id)
+	return experiments.Experiment{}, experiments.Config{}, false
+}
+
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	exp, cfg, ok := s.resolveTableRequest(w, r)
+	if !ok {
 		return
 	}
-	cfg, err := s.params(r)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
+	id := exp.ID
 	format := r.URL.Query().Get("format")
 	if format == "" {
 		format = "json"
@@ -273,6 +304,7 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 
 	var table, tierName, cacheHit = (*experiments.Table)(nil), "", false
 	var encoded []byte // wire-form JSON when the scheduler resolved it
+	servedBy := ""     // the replica whose store/compute answered (fleet only)
 	if cachedOnly {
 		// The replica-warming wire contract: answer from this replica's
 		// LOCAL tiers or say 404 — no computation and no onward peer
@@ -292,34 +324,48 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 			ctx, cancel = context.WithTimeout(ctx, s.Timeout)
 			defer cancel()
 		}
-		tab, out, err := s.Sched.TableCtx(ctx, exp, cfg)
-		switch {
-		case errors.Is(err, sched.ErrBusy):
-			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.Sched.Metrics())))
-			httpError(w, http.StatusTooManyRequests, "compute queue full, retry later")
-			return
-		case errors.Is(err, context.DeadlineExceeded) && ctx.Err() != nil:
-			// Only the request's own expired deadline is a 504; an
-			// estimator failing with its own DeadlineExceeded-flavored
-			// error (an internal network timeout, say) is a plain 500 —
-			// nothing was persisted, so "retry for the cached table"
-			// would be a lie.
-			httpError(w, http.StatusGatewayTimeout, "computing %s exceeded the %s deadline", id, s.Timeout)
-			return
-		case errors.Is(err, context.Canceled):
-			if r.Context().Err() != nil {
-				// The client went away; nobody reads this response.
+		// Fleet path: a fingerprint this replica does not own is the
+		// owner's to compute — resolve it from the shared bucket or the
+		// owner (probe / wait / proxy, see fleet.go) before falling back
+		// to local compute. A request already proxied on another
+		// replica's behalf (the loop-guard header) is always answered
+		// locally, so ownership disagreements cannot forward forever.
+		if table == nil && s.Fleet != nil && !s.Fleet.Owns(key.Fingerprint) &&
+			r.Header.Get(headerFleetProxy) == "" {
+			if tab, name, hit, by, ok := s.fleetResolve(ctx, key); ok {
+				table, tierName, cacheHit, servedBy = tab, name, hit, by
+			}
+		}
+		if table == nil {
+			tab, out, err := s.Sched.TableCtx(ctx, exp, cfg)
+			switch {
+			case errors.Is(err, sched.ErrBusy):
+				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.Sched.Metrics())))
+				httpError(w, http.StatusTooManyRequests, "compute queue full, retry later")
+				return
+			case errors.Is(err, context.DeadlineExceeded) && ctx.Err() != nil:
+				// Only the request's own expired deadline is a 504; an
+				// estimator failing with its own DeadlineExceeded-flavored
+				// error (an internal network timeout, say) is a plain 500 —
+				// nothing was persisted, so "retry for the cached table"
+				// would be a lie.
+				httpError(w, http.StatusGatewayTimeout, "computing %s exceeded the %s deadline", id, s.Timeout)
+				return
+			case errors.Is(err, context.Canceled):
+				if r.Context().Err() != nil {
+					// The client went away; nobody reads this response.
+					return
+				}
+				// Defensive: the scheduler retries inherited flight
+				// cancellations, so a live client should never see this.
+				httpError(w, http.StatusInternalServerError, "computing %s: %v", id, err)
+				return
+			case err != nil:
+				httpError(w, http.StatusInternalServerError, "computing %s: %v", id, err)
 				return
 			}
-			// Defensive: the scheduler retries inherited flight
-			// cancellations, so a live client should never see this.
-			httpError(w, http.StatusInternalServerError, "computing %s: %v", id, err)
-			return
-		case err != nil:
-			httpError(w, http.StatusInternalServerError, "computing %s: %v", id, err)
-			return
+			table, tierName, cacheHit, encoded = tab, out.Tier, out.CacheHit, out.Encoded
 		}
-		table, tierName, cacheHit, encoded = tab, out.Tier, out.CacheHit, out.Encoded
 	}
 
 	// The body is the table's memoized encoded view: stored bytes,
@@ -332,6 +378,7 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	if format == "md" {
 		body, contentType = table.EncodedMarkdown(), "text/markdown; charset=utf-8"
 	} else if body = encoded; body == nil {
+		var err error
 		body, err = table.EncodedJSON()
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, "encoding %s: %v", id, err)
@@ -344,6 +391,12 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 		if tierName != "" {
 			w.Header().Set("X-Cache-Tier", tierName)
 		}
+	}
+	if s.Fleet != nil {
+		if servedBy == "" {
+			servedBy = s.Fleet.Self()
+		}
+		w.Header().Set(headerServedBy, servedBy)
 	}
 	w.Header().Set("X-Cache", cache)
 	w.Header().Set("X-Fingerprint", key.Fingerprint)
@@ -373,8 +426,17 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if s.Stack.Peer != nil {
 		payload["remote"] = s.Stack.Peer.Stats()
 	}
+	if s.Stack.Obj != nil {
+		payload["objstore"] = s.Stack.Obj.Stats()
+	}
 	if s.Stack.Tiered != nil {
 		payload["tiers"] = s.Stack.Tiered.Stats()
+	}
+	// The in-flight fingerprint set is what lets fleet peers (and
+	// operators) see a computation happening without asking for one.
+	payload["inflight"] = s.Sched.InFlight()
+	if s.Fleet != nil {
+		payload["fleet"] = s.fleetStats()
 	}
 	writeJSON(w, payload)
 }

@@ -48,7 +48,7 @@ func countingRegistry(calls *atomic.Int64, block chan struct{}) func() []experim
 // registry whose single experiment counts its invocations.
 func testServer(t *testing.T, calls *atomic.Int64, block chan struct{}) *Server {
 	t.Helper()
-	stack, err := tier.NewStack(4, t.TempDir(), "")
+	stack, err := tier.NewStack(tier.Config{MemCapacity: 4, Dir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +356,7 @@ func TestListShowsCachedState(t *testing.T) {
 // cached=only serves from L0.
 func TestListShowsMemoryCachedOnDisklessServer(t *testing.T) {
 	var calls atomic.Int64
-	stack, err := tier.NewStack(4, "", "")
+	stack, err := tier.NewStack(tier.Config{MemCapacity: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,7 +395,7 @@ func TestListShowsMemoryCachedOnDisklessServer(t *testing.T) {
 func TestListSurfacesIndexError(t *testing.T) {
 	var calls atomic.Int64
 	dir := t.TempDir()
-	stack, err := tier.NewStack(4, dir, "")
+	stack, err := tier.NewStack(tier.Config{MemCapacity: 4, Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -454,7 +454,7 @@ func TestRetryAfterScalesWithQueue(t *testing.T) {
 func TestRetryAfterAgainstLiveMetrics(t *testing.T) {
 	var calls atomic.Int64
 	block := make(chan struct{})
-	stack, err := tier.NewStack(4, t.TempDir(), "")
+	stack, err := tier.NewStack(tier.Config{MemCapacity: 4, Dir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -558,7 +558,7 @@ func TestCachedOnlySkipsPeer(t *testing.T) {
 	defer peerSrv.Close()
 
 	var calls atomic.Int64
-	stack, err := tier.NewStack(4, t.TempDir(), peerSrv.URL)
+	stack, err := tier.NewStack(tier.Config{MemCapacity: 4, Dir: t.TempDir(), PeerURL: peerSrv.URL})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -612,7 +612,7 @@ func TestColdReplicaWarmsFromPeer(t *testing.T) {
 	// registry counts estimator calls — the acceptance criterion is
 	// that it stays at zero.
 	var callsB atomic.Int64
-	stack, err := tier.NewStack(4, t.TempDir(), peerSrv.URL)
+	stack, err := tier.NewStack(tier.Config{MemCapacity: 4, Dir: t.TempDir(), PeerURL: peerSrv.URL})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -667,7 +667,7 @@ func TestColdReplicaWarmsFromPeer(t *testing.T) {
 func TestSaturatedQueueReturns429(t *testing.T) {
 	var calls atomic.Int64
 	block := make(chan struct{})
-	stack, err := tier.NewStack(4, t.TempDir(), "")
+	stack, err := tier.NewStack(tier.Config{MemCapacity: 4, Dir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -747,7 +747,7 @@ func TestComputeTimeoutReturns504(t *testing.T) {
 // request's expired deadline earns the 504 and its retry-for-cache
 // guidance (nothing was persisted here, so a retry recomputes).
 func TestEstimatorInternalDeadlineIs500Not504(t *testing.T) {
-	stack, err := tier.NewStack(4, t.TempDir(), "")
+	stack, err := tier.NewStack(tier.Config{MemCapacity: 4, Dir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -803,7 +803,7 @@ func TestStats(t *testing.T) {
 
 // TestRealRegistrySmoke serves a real quick experiment end to end.
 func TestRealRegistrySmoke(t *testing.T) {
-	stack, err := tier.NewStack(4, t.TempDir(), "")
+	stack, err := tier.NewStack(tier.Config{MemCapacity: 4, Dir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,194 @@
+// Package objstore is the writable shared tier of the result store: a
+// store.Backend over a bucket-style object client keyed by fingerprint,
+// so a fleet of replicas shares one *writable* corpus — the first
+// replica to compute a table Puts it (write-through from the tier
+// stack), and every other replica's next miss finds it without talking
+// to the replica that computed it.
+//
+// The package deliberately depends on no cloud SDK: ObjectClient is the
+// entire bucket contract (Get/Put on opaque keys), with two local
+// implementations — Mem for tests and single-process use, FS for a
+// shared volume (NFS, a bind-mounted host directory, a k8s RWX claim),
+// which makes the tier deployable today. An S3/GCS client is one small
+// adapter away and changes nothing above this interface.
+//
+// # Contract
+//
+// Tier implements store.Backend with the repository-wide degradation
+// rule: every failure is a miss, never an error. An unreachable bucket,
+// a missing object, a torn or corrupted body, a checksum mismatch, a
+// decode failure, or a table that answers for the wrong experiment all
+// report (nil, false), and the caller falls through to the next tier or
+// to local compute. Put failures degrade sharing, not the answer.
+//
+// # Object format
+//
+// One object per fingerprint, named "<fingerprint>.json", holding the
+// same envelope as the disk store: the table's canonical JSON plus a
+// SHA-256 checksum of those bytes. Shared media are exactly where torn
+// and damaged writes happen, so the shared tier keeps the local tier's
+// damage discipline; a failed check is a miss and the next writer's
+// atomic overwrite heals the object.
+package objstore
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/result"
+	"repro/internal/store"
+)
+
+// ErrNotFound is the client's clean "no such object" answer,
+// distinguished from transport or media failures in the tier's stats
+// (both are misses to callers).
+var ErrNotFound = errors.New("objstore: object not found")
+
+// DefaultPutTimeout bounds one write-through Put. store.Backend's Put
+// carries no context (persistence is best-effort and off the request
+// path), so the tier supplies its own bound rather than letting a hung
+// bucket wedge a scheduler goroutine forever.
+const DefaultPutTimeout = 10 * time.Second
+
+// ObjectClient is the entire bucket contract: opaque bytes under opaque
+// keys. Implementations must be safe for concurrent use, must return
+// ErrNotFound (possibly wrapped) for absent keys, and should make Put
+// atomic — readers must never observe a half-written object (the FS
+// client uses temp+rename; object stores are atomic by nature).
+type ObjectClient interface {
+	// Name identifies the client in stats ("mem", "fs", "s3", ...).
+	Name() string
+	// Get returns the object's bytes, or an error wrapping ErrNotFound
+	// when the key does not exist.
+	Get(ctx context.Context, key string) ([]byte, error)
+	// Put stores data under key, overwriting atomically.
+	Put(ctx context.Context, key string, data []byte) error
+}
+
+// envelope is the stored object form: canonical table bytes plus their
+// SHA-256, mirroring the disk store's damage discipline.
+type envelope struct {
+	Checksum string          `json:"checksum"`
+	Table    json.RawMessage `json:"table"`
+}
+
+// Tier is the shared-bucket store tier. It is safe for concurrent use.
+type Tier struct {
+	client     ObjectClient
+	putTimeout time.Duration
+
+	hits, notFound, errors atomic.Uint64
+	puts, putErrors        atomic.Uint64
+}
+
+// New returns a tier over client. A zero putTimeout gets
+// DefaultPutTimeout.
+func New(client ObjectClient) *Tier {
+	return &Tier{client: client, putTimeout: DefaultPutTimeout}
+}
+
+// Name identifies the shared tier in stats and the X-Cache-Tier header.
+func (t *Tier) Name() string { return "objstore" }
+
+// objectKey is the bucket key for a fingerprint.
+func objectKey(fingerprint string) string { return fingerprint + ".json" }
+
+// Get fetches and verifies k's object. Any failure — absent key,
+// transport error, damaged envelope, checksum mismatch, decode failure,
+// wrong experiment id — is a miss; only the stats distinguish a clean
+// not-found from a degraded bucket.
+func (t *Tier) Get(ctx context.Context, k store.Key) (*result.Table, bool) {
+	raw, err := t.client.Get(ctx, objectKey(k.Fingerprint))
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			t.notFound.Add(1)
+		} else {
+			t.errors.Add(1)
+		}
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.errors.Add(1)
+		return nil, false
+	}
+	sum := sha256.Sum256(env.Table)
+	if hex.EncodeToString(sum[:]) != env.Checksum {
+		t.errors.Add(1)
+		return nil, false
+	}
+	tab, err := result.DecodeJSON(strings.NewReader(string(env.Table)))
+	if err != nil {
+		t.errors.Add(1)
+		return nil, false
+	}
+	// The key names the object, the body names the experiment; a bucket
+	// shared by a misconfigured writer (or a hand-copied object) must
+	// not answer for the wrong table.
+	if tab.ID != k.ID {
+		t.errors.Add(1)
+		return nil, false
+	}
+	t.hits.Add(1)
+	return tab, true
+}
+
+// Put write-throughs t's table into the bucket. The encode is memoized
+// on the table (free for any table a tier has touched); the write is
+// bounded by the tier's put timeout. Failures degrade sharing only —
+// callers may ignore the error, per the Backend contract.
+func (t *Tier) Put(k store.Key, tab *result.Table) error {
+	body, err := tab.CanonicalJSON()
+	if err != nil {
+		t.putErrors.Add(1)
+		return fmt.Errorf("objstore: encoding %s: %w", k.ID, err)
+	}
+	sum := sha256.Sum256(body)
+	raw, err := json.Marshal(envelope{Checksum: hex.EncodeToString(sum[:]), Table: body})
+	if err != nil {
+		t.putErrors.Add(1)
+		return fmt.Errorf("objstore: enveloping %s: %w", k.ID, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), t.putTimeout)
+	defer cancel()
+	if err := t.client.Put(ctx, objectKey(k.Fingerprint), raw); err != nil {
+		t.putErrors.Add(1)
+		return fmt.Errorf("objstore: putting %s: %w", k.Fingerprint, err)
+	}
+	t.puts.Add(1)
+	return nil
+}
+
+// Stats summarizes the tier's traffic.
+type Stats struct {
+	// Client names the bucket implementation ("mem", "fs").
+	Client string `json:"client"`
+	// Hits counts verified object reads; NotFound counts clean absent
+	// keys; Errors counts degraded reads (transport, damage, checksum,
+	// decode, identity) — all but Hits are misses to callers.
+	Hits     uint64 `json:"hits"`
+	NotFound uint64 `json:"not_found"`
+	Errors   uint64 `json:"errors"`
+	// Puts counts successful write-throughs; PutErrors failed ones.
+	Puts      uint64 `json:"puts"`
+	PutErrors uint64 `json:"put_errors"`
+}
+
+// Stats reports the tier's traffic counters.
+func (t *Tier) Stats() Stats {
+	return Stats{
+		Client:    t.client.Name(),
+		Hits:      t.hits.Load(),
+		NotFound:  t.notFound.Load(),
+		Errors:    t.errors.Load(),
+		Puts:      t.puts.Load(),
+		PutErrors: t.putErrors.Load(),
+	}
+}

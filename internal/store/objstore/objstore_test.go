@@ -1,0 +1,218 @@
+package objstore
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/result"
+	"repro/internal/store"
+)
+
+// The shared tier is a store.Backend like every other tier.
+var _ store.Backend = (*Tier)(nil)
+
+func tableFor(id string) *result.Table {
+	t := &result.Table{
+		ID:      id,
+		Title:   "title of " + id,
+		Claim:   "claim",
+		Columns: []string{"n", "v"},
+		Shape:   "holds",
+	}
+	t.AddRow(result.Int(64), result.Float(0.25).WithErr(0.01))
+	return t
+}
+
+func keyFor(id string, seed uint64) store.Key {
+	return store.KeyFor(id, result.Params{Seed: seed})
+}
+
+// clients runs a subtest against both bundled ObjectClient
+// implementations: the contract must hold identically.
+func clients(t *testing.T, f func(t *testing.T, c ObjectClient)) {
+	t.Run("mem", func(t *testing.T) { f(t, NewMem()) })
+	t.Run("fs", func(t *testing.T) {
+		c, err := NewFS(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		f(t, c)
+	})
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	clients(t, func(t *testing.T, c ObjectClient) {
+		tier := New(c)
+		k := keyFor("E3", 1)
+		if _, ok := tier.Get(context.Background(), k); ok {
+			t.Fatal("hit on empty bucket")
+		}
+		want := tableFor("E3")
+		if err := tier.Put(k, want); err != nil {
+			t.Fatal(err)
+		}
+		got, ok := tier.Get(context.Background(), k)
+		if !ok {
+			t.Fatal("miss after put")
+		}
+		if !want.Equal(got) {
+			t.Fatal("round-tripped table differs")
+		}
+		st := tier.Stats()
+		if st.Hits != 1 || st.NotFound != 1 || st.Errors != 0 || st.Puts != 1 {
+			t.Fatalf("stats %+v, want 1 hit / 1 not-found / 0 errors / 1 put", st)
+		}
+	})
+}
+
+func TestTwoTiersShareOneBucket(t *testing.T) {
+	// Two Tier handles over one client are the fleet picture: replica A
+	// writes through, replica B's next miss is a hit with no contact
+	// between the replicas themselves.
+	bucket := NewMem()
+	a, b := New(bucket), New(bucket)
+	k := keyFor("E7", 3)
+	if err := a.Put(k, tableFor("E7")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := b.Get(context.Background(), k)
+	if !ok || got.ID != "E7" {
+		t.Fatalf("replica B missed the shared object (ok=%v)", ok)
+	}
+}
+
+func TestDamagedObjectIsMiss(t *testing.T) {
+	cases := map[string][]byte{
+		"not json":          []byte("not json at all"),
+		"bad checksum":      []byte(`{"checksum":"deadbeef","table":{"x":1}}`),
+		"undecodable table": nil, // filled below: valid checksum over junk table bytes
+	}
+	sum := `{"checksum":"` + checksumOf([]byte(`"junk"`)) + `","table":"junk"}`
+	cases["undecodable table"] = []byte(sum)
+	for name, raw := range cases {
+		t.Run(name, func(t *testing.T) {
+			bucket := NewMem()
+			tier := New(bucket)
+			k := keyFor("E3", 1)
+			if err := bucket.Put(context.Background(), objectKey(k.Fingerprint), raw); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := tier.Get(context.Background(), k); ok {
+				t.Fatal("damaged object served as a hit")
+			}
+			if st := tier.Stats(); st.Errors != 1 {
+				t.Fatalf("stats %+v, want 1 error", st)
+			}
+		})
+	}
+}
+
+func TestWrongExperimentIDIsMiss(t *testing.T) {
+	bucket := NewMem()
+	tier := New(bucket)
+	// A valid E3 object stored under E5's fingerprint (a misconfigured
+	// or hostile writer) must not answer for E5.
+	k3, k5 := keyFor("E3", 1), keyFor("E5", 1)
+	if err := tier.Put(k3, tableFor("E3")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := bucket.Get(context.Background(), objectKey(k3.Fingerprint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bucket.Put(context.Background(), objectKey(k5.Fingerprint), raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tier.Get(context.Background(), k5); ok {
+		t.Fatal("object for E3 answered a lookup for E5")
+	}
+}
+
+// failingClient errors on every call — an unreachable bucket.
+type failingClient struct{}
+
+func (failingClient) Name() string                                { return "failing" }
+func (failingClient) Get(context.Context, string) ([]byte, error) { return nil, errors.New("down") }
+func (failingClient) Put(context.Context, string, []byte) error   { return errors.New("down") }
+
+func TestUnreachableBucketDegradesToMiss(t *testing.T) {
+	tier := New(failingClient{})
+	k := keyFor("E3", 1)
+	if _, ok := tier.Get(context.Background(), k); ok {
+		t.Fatal("hit from an unreachable bucket")
+	}
+	if err := tier.Put(k, tableFor("E3")); err == nil {
+		t.Fatal("Put against a dead bucket reported success")
+	}
+	st := tier.Stats()
+	if st.Errors != 1 || st.PutErrors != 1 || st.Hits != 0 {
+		t.Fatalf("stats %+v, want 1 error / 1 put-error", st)
+	}
+}
+
+func TestFSKeyValidation(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewFS(filepath.Join(dir, "bucket"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "../escape", "a/b", `a\b`} {
+		if err := c.Put(context.Background(), key, []byte("x")); err == nil {
+			t.Fatalf("key %q accepted", key)
+		}
+		if _, err := c.Get(context.Background(), key); err == nil ||
+			errors.Is(err, ErrNotFound) {
+			t.Fatalf("key %q read as a clean not-found", key)
+		}
+	}
+	// Nothing may have escaped the bucket root.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "bucket" {
+		t.Fatalf("bucket wrote outside its root: %v", entries)
+	}
+}
+
+func TestFSAtomicOverwriteUnderRace(t *testing.T) {
+	c, err := NewFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier := New(c)
+	k := keyFor("E3", 1)
+	tab := tableFor("E3")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if err := tier.Put(k, tab); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok := tier.Get(context.Background(), k); !ok {
+					t.Error("reader observed a torn object")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := tier.Stats(); st.Errors != 0 {
+		t.Fatalf("stats %+v: damage observed under racing writers", st)
+	}
+}
+
+// checksumOf mirrors the envelope's checksum for test fixtures.
+func checksumOf(b []byte) string {
+	return fmt.Sprintf("%x", sha256.Sum256(b))
+}

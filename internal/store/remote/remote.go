@@ -52,6 +52,22 @@ const DefaultTimeout = 5 * time.Second
 // tables are a few KB, so anything near this limit is damage or abuse.
 const maxResponseBytes = 16 << 20
 
+// sharedClient is the default peer client, shared by every Tier that
+// does not bring its own: one pooled transport with keep-alives, so a
+// replica whose every miss consults the same peer reuses a warm
+// connection instead of paying a TCP (and TLS) handshake per lookup.
+// The idle-connection bounds are deliberately small — a store tier
+// talks to one host per Tier, and serving replicas have their own
+// connection budgets to protect.
+var sharedClient = &http.Client{
+	Timeout: DefaultTimeout,
+	Transport: &http.Transport{
+		MaxIdleConns:        16,
+		MaxIdleConnsPerHost: 4,
+		IdleConnTimeout:     90 * time.Second,
+	},
+}
+
 // Tier reads tables from one peer bccserve. It is safe for concurrent
 // use.
 type Tier struct {
@@ -59,17 +75,24 @@ type Tier struct {
 	client *http.Client
 
 	hits, misses, errors atomic.Uint64
+	// cold counts the peer's clean 404 "not cached" answers; saturated
+	// counts 429/503 (the peer is alive but shedding load). Both are
+	// misses, but they demand opposite operator responses — a cold peer
+	// warms itself over time, a saturated one needs capacity — so the
+	// stats must not lump them together (nor with errors).
+	cold, saturated atomic.Uint64
 }
 
 // New returns a tier reading from the peer at base (e.g.
-// "http://replica-0:8344"). A nil client gets DefaultTimeout.
+// "http://replica-0:8344"). A nil client gets the package's shared
+// pooled client (keep-alives, bounded idle connections, DefaultTimeout).
 func New(base string, client *http.Client) (*Tier, error) {
 	u, err := url.Parse(base)
 	if err != nil || u.Scheme == "" || u.Host == "" {
 		return nil, fmt.Errorf("remote: peer URL %q: want http(s)://host[:port]", base)
 	}
 	if client == nil {
-		client = &http.Client{Timeout: DefaultTimeout}
+		client = sharedClient
 	}
 	return &Tier{base: strings.TrimRight(base, "/"), client: client}, nil
 }
@@ -100,11 +123,26 @@ func (t *Tier) Get(ctx context.Context, k store.Key) (*result.Table, bool) {
 		t.misses.Add(1)
 		return nil, false
 	}
-	defer resp.Body.Close()
+	// Drain before closing on every path: a connection with unread body
+	// bytes (a 404's error body, the trailing newline after a decoded
+	// table) cannot go back into the keep-alive pool, and the whole
+	// point of the shared pooled client is that per-miss peer lookups
+	// stop paying a TCP handshake each.
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxResponseBytes))
+		resp.Body.Close()
+	}()
 	if resp.StatusCode != http.StatusOK {
-		// 404 is the peer's normal "not cached" answer; anything else is
-		// a degraded peer. Both are misses, only the latter is an error.
-		if resp.StatusCode != http.StatusNotFound {
+		// All misses, but counted apart: 404 is the peer's normal "not
+		// cached" answer (peer cold), 429/503 a live peer shedding load
+		// (peer saturated — retrying it harder would make things worse),
+		// and anything else a degraded peer.
+		switch resp.StatusCode {
+		case http.StatusNotFound:
+			t.cold.Add(1)
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			t.saturated.Add(1)
+		default:
 			t.errors.Add(1)
 		}
 		t.misses.Add(1)
@@ -146,15 +184,23 @@ func (t *Tier) Put(store.Key, *result.Table) error { return nil }
 type Stats struct {
 	// Peer is the base URL the tier reads from.
 	Peer string `json:"peer"`
-	// Hits and Misses count lookups; Errors counts the subset of misses
-	// caused by a degraded peer (network failure, bad status, bad body)
-	// rather than a clean not-cached answer.
-	Hits   uint64 `json:"hits"`
-	Misses uint64 `json:"misses"`
-	Errors uint64 `json:"errors"`
+	// Hits and Misses count lookups. Every miss lands in exactly one
+	// bucket: Cold (the peer's clean 404 — it simply has not computed
+	// the table), Saturated (429/503 — the peer is alive but shedding
+	// load; retrying it harder makes things worse), or Errors (network
+	// failure or context expiry, unexpected status, bad body, identity
+	// mismatch — a degraded peer or path).
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Cold      uint64 `json:"cold"`
+	Saturated uint64 `json:"saturated"`
+	Errors    uint64 `json:"errors"`
 }
 
 // Stats reports the tier's traffic counters.
 func (t *Tier) Stats() Stats {
-	return Stats{Peer: t.base, Hits: t.hits.Load(), Misses: t.misses.Load(), Errors: t.errors.Load()}
+	return Stats{
+		Peer: t.base, Hits: t.hits.Load(), Misses: t.misses.Load(),
+		Cold: t.cold.Load(), Saturated: t.saturated.Load(), Errors: t.errors.Load(),
+	}
 }

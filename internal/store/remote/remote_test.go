@@ -2,8 +2,10 @@ package remote
 
 import (
 	"context"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -219,5 +221,64 @@ func TestTrailingSlashNormalized(t *testing.T) {
 	}
 	if _, ok := tier.Get(context.Background(), store.KeyFor("EX", result.Params{Seed: 2019})); !ok {
 		t.Fatal("trailing slash broke the wire path")
+	}
+}
+
+// TestColdVsSaturatedVsErrorCounters: every miss lands in exactly one
+// bucket — a peer that is cold (404), one shedding load (429/503), and
+// one that is broken (500) are different operational signals and must
+// not be lumped together.
+func TestColdVsSaturatedVsErrorCounters(t *testing.T) {
+	status := http.StatusNotFound
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(status)
+	}))
+	defer srv.Close()
+	tier, err := New(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := store.KeyFor("EX", result.Params{})
+	get := func() {
+		if _, ok := tier.Get(context.Background(), k); ok {
+			t.Fatalf("status %d served as a hit", status)
+		}
+	}
+	get() // 404
+	status = http.StatusTooManyRequests
+	get()
+	status = http.StatusServiceUnavailable
+	get()
+	status = http.StatusInternalServerError
+	get()
+	st := tier.Stats()
+	if st.Cold != 1 || st.Saturated != 2 || st.Errors != 1 || st.Misses != 4 {
+		t.Fatalf("stats %+v, want cold=1 saturated=2 errors=1 misses=4", st)
+	}
+}
+
+// TestDefaultClientReusesConnections: the nil-client default is the
+// shared pooled transport — repeated lookups against one peer must ride
+// one keep-alive connection, not open a fresh socket per call.
+func TestDefaultClientReusesConnections(t *testing.T) {
+	var conns atomic.Int64
+	srv := httptest.NewUnstartedServer(http.NotFoundHandler())
+	srv.Config.ConnState = func(c net.Conn, s http.ConnState) {
+		if s == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	srv.Start()
+	defer srv.Close()
+	tier, err := New(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := store.KeyFor("EX", result.Params{})
+	for i := 0; i < 8; i++ {
+		tier.Get(context.Background(), k)
+	}
+	if got := conns.Load(); got > 2 {
+		t.Fatalf("8 lookups opened %d connections; the pooled default should reuse", got)
 	}
 }

@@ -6,67 +6,132 @@ import (
 	"repro/internal/result"
 	"repro/internal/store"
 	"repro/internal/store/memlru"
+	"repro/internal/store/objstore"
 	"repro/internal/store/remote"
 )
 
-// Stack is the canonical L0 → L1 → L2 assembly shared by cmd/bccserve
-// and cmd/experiments: an optional in-memory hot table, an optional
-// disk store, an optional peer replica, composed fastest-first. The
-// per-tier handles are kept so serving layers can report tier-specific
-// stats; unconfigured tiers are nil.
+// Config selects which tiers a Stack assembles. The zero value yields a
+// Stack with no tiers at all (nil Backend) — a dedup-only scheduler.
+type Config struct {
+	// MemCapacity is the L0 hot-table LRU size in tables (0 disables).
+	MemCapacity int
+	// Dir is the L1 durable disk store directory ("" disables).
+	Dir string
+	// ObjstoreDir roots a filesystem-backed shared object bucket — the
+	// writable shared tier between the local tiers and the peer ("" and
+	// a nil ObjstoreClient disable it).
+	ObjstoreDir string
+	// ObjstoreClient, when non-nil, supplies the shared bucket client
+	// directly and takes precedence over ObjstoreDir — tests and
+	// in-process fleets inject an objstore.Mem here; a cloud adapter
+	// would arrive the same way.
+	ObjstoreClient objstore.ObjectClient
+	// PeerURL is the legacy read-only replica tier base URL (""
+	// disables). It sits last: the shared bucket answers first.
+	PeerURL string
+}
+
+// Stack is the canonical L0 → L1 → shared L2 → peer assembly shared by
+// cmd/bccserve and cmd/experiments: an optional in-memory hot table, an
+// optional disk store, an optional *writable* shared object bucket, an
+// optional read-only peer replica, composed fastest-first. The per-tier
+// handles are kept so serving layers can report tier-specific stats;
+// unconfigured tiers are nil.
+//
+// The tier order encodes the fleet economics: memory and disk are this
+// replica's private cache (the "local" prefix — the only tiers a
+// cached=only request or probe may consult); the object bucket is the
+// fleet's shared corpus (one write by any replica serves every
+// replica); the peer tier is the legacy point-to-point warming path and
+// goes last because the bucket answers the same question without
+// per-lookup HTTP against a replica that may be busy serving.
 type Stack struct {
 	// Backend is what consumers (the scheduler) use: the single
 	// configured tier, their Tiered composition, or nil when no tier is
 	// configured at all.
 	Backend store.Backend
-	// Mem is the L0 hot table (nil unless memCapacity > 0).
+	// Mem is the L0 hot table (nil unless MemCapacity > 0).
 	Mem *memlru.Cache
 	// Disk is the L1 durable store (nil unless a directory was given).
 	Disk *store.Store
-	// Peer is the L2 replica reader (nil unless a peer URL was given).
+	// Obj is the writable shared bucket tier (nil unless configured).
+	Obj *objstore.Tier
+	// Peer is the read-only replica reader (nil unless a URL was given).
 	Peer *remote.Tier
 	// Tiered is the composition (non-nil only when ≥ 2 tiers stacked).
 	Tiered *Tiered
 
 	// local is how many leading tiers are local (memory, disk) — the
-	// prefix CachedLocal is allowed to consult.
-	local int
+	// prefix CachedLocal is allowed to consult; shared additionally
+	// includes the object bucket — the prefix LookupShared consults
+	// (everything but the peer).
+	local, shared int
 }
 
 // CachedLocal answers k from the local tiers only — memory, then disk,
-// never the peer — through the same counted fallthrough/backfill path
-// as full lookups. This is the serving layer's cached=only contract: a
-// cache-only request must trigger no outbound work of any kind, or two
-// replicas peered at each other would re-query one another on every
-// shared miss.
+// never the shared bucket or the peer — through the same counted
+// fallthrough/backfill path as full lookups. This is the serving
+// layer's cached=only contract (and the probe endpoint's): a cache-only
+// request must trigger no outbound work of any kind — no bucket read,
+// no peer round trip, no owner proxy — or two replicas pointed at each
+// other would re-query one another on every shared miss.
 func (s Stack) CachedLocal(ctx context.Context, k store.Key) (*result.Table, string, bool) {
 	if s.Tiered != nil {
 		return s.Tiered.getTierN(ctx, k, s.local)
 	}
-	if s.Peer == nil && s.Backend != nil {
+	if s.local > 0 && s.Backend != nil {
 		t, ok := s.Backend.Get(ctx, k)
 		return t, s.Backend.Name(), ok
 	}
 	return nil, "", false
 }
 
-// NewStack assembles the tier hierarchy from its three knobs: the L0
-// capacity in tables (0 disables), the L1 directory ("" disables), and
-// the L2 peer base URL ("" disables). Any subset works; all three
-// empty yields a Stack with a nil Backend.
-func NewStack(memCapacity int, dir, peerURL string) (Stack, error) {
+// LookupShared answers k from every tier that does not involve another
+// replica's request path: memory, disk, then the shared bucket — never
+// the peer tier. This is the non-owner fleet path's first stop: before
+// probing or proxying to the owner, the shared corpus may already hold
+// the table (the owner's write-through lands there), and reading it
+// costs no replica any work.
+func (s Stack) LookupShared(ctx context.Context, k store.Key) (*result.Table, string, bool) {
+	if s.Tiered != nil {
+		return s.Tiered.getTierN(ctx, k, s.shared)
+	}
+	if s.shared > 0 && s.Backend != nil {
+		t, ok := s.Backend.Get(ctx, k)
+		return t, s.Backend.Name(), ok
+	}
+	return nil, "", false
+}
+
+// BackfillLocal writes t into the local tiers (memory, disk) without
+// touching the shared bucket or the peer: the landing path for a table
+// fetched from the owner replica, whose own write-through already
+// populated the bucket — re-uploading it from every non-owner would
+// multiply bucket writes by the fleet size.
+func (s Stack) BackfillLocal(k store.Key, t *result.Table) {
+	if s.Mem != nil {
+		_ = s.Mem.Put(k, t)
+	}
+	if s.Disk != nil {
+		_ = s.Disk.Put(k, t)
+	}
+}
+
+// NewStack assembles the tier hierarchy from cfg. Any subset of tiers
+// works; none at all yields a Stack with a nil Backend.
+func NewStack(cfg Config) (Stack, error) {
 	var st Stack
 	tiers := []store.Backend{}
-	if memCapacity > 0 {
-		mem, err := memlru.New(memCapacity)
+	if cfg.MemCapacity > 0 {
+		mem, err := memlru.New(cfg.MemCapacity)
 		if err != nil {
 			return st, err
 		}
 		st.Mem = mem
 		tiers = append(tiers, mem)
 	}
-	if dir != "" {
-		disk, err := store.Open(dir)
+	if cfg.Dir != "" {
+		disk, err := store.Open(cfg.Dir)
 		if err != nil {
 			return st, err
 		}
@@ -74,8 +139,21 @@ func NewStack(memCapacity int, dir, peerURL string) (Stack, error) {
 		tiers = append(tiers, disk)
 	}
 	st.local = len(tiers)
-	if peerURL != "" {
-		p, err := remote.New(peerURL, nil)
+	client := cfg.ObjstoreClient
+	if client == nil && cfg.ObjstoreDir != "" {
+		fs, err := objstore.NewFS(cfg.ObjstoreDir)
+		if err != nil {
+			return st, err
+		}
+		client = fs
+	}
+	if client != nil {
+		st.Obj = objstore.New(client)
+		tiers = append(tiers, st.Obj)
+	}
+	st.shared = len(tiers)
+	if cfg.PeerURL != "" {
+		p, err := remote.New(cfg.PeerURL, nil)
 		if err != nil {
 			return st, err
 		}

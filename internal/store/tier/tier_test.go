@@ -12,6 +12,7 @@ import (
 	"repro/internal/result"
 	"repro/internal/store"
 	"repro/internal/store/memlru"
+	"repro/internal/store/objstore"
 	"repro/internal/store/remote"
 )
 
@@ -217,7 +218,7 @@ func TestStackCachedLocalSkipsPeer(t *testing.T) {
 	}))
 	defer srv.Close()
 
-	stack, err := NewStack(2, t.TempDir(), srv.URL)
+	stack, err := NewStack(Config{MemCapacity: 2, Dir: t.TempDir(), PeerURL: srv.URL})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestStackCachedLocalSkipsPeer(t *testing.T) {
 // there is no Tiered composition; CachedLocal still answers. With only
 // a peer, it always misses.
 func TestStackCachedLocalSingleLocalTier(t *testing.T) {
-	stack, err := NewStack(0, t.TempDir(), "")
+	stack, err := NewStack(Config{Dir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,12 +264,108 @@ func TestStackCachedLocalSingleLocalTier(t *testing.T) {
 
 	srv := httptest.NewServer(http.NotFoundHandler())
 	defer srv.Close()
-	peerOnly, err := NewStack(0, "", srv.URL)
+	peerOnly, err := NewStack(Config{PeerURL: srv.URL})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, _, ok := peerOnly.CachedLocal(context.Background(), k); ok {
 		t.Fatal("peer-only stack reported a local hit")
+	}
+}
+
+// TestStackObjstoreSlot pins the fleet tier's position in the stack:
+// the shared bucket answers LookupShared and full Gets (backfilling
+// the local tiers), but CachedLocal never consults it and a Put
+// write-throughs into it.
+func TestStackObjstoreSlot(t *testing.T) {
+	bucket := objstore.NewMem()
+	stack, err := NewStack(Config{MemCapacity: 2, Dir: t.TempDir(), ObjstoreClient: bucket})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stack.Obj == nil {
+		t.Fatal("objstore tier not assembled")
+	}
+
+	// Another replica (its own stack over the same bucket) computes and
+	// write-throughs a table.
+	other, err := NewStack(Config{MemCapacity: 2, Dir: t.TempDir(), ObjstoreClient: bucket})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := keyFor(21)
+	if err := other.Backend.Put(k, tableFor(21)); err != nil {
+		t.Fatal(err)
+	}
+	if bucket.Len() != 1 {
+		t.Fatalf("write-through left %d objects in the bucket, want 1", bucket.Len())
+	}
+
+	// This replica's local tiers are cold: cached=only must miss without
+	// touching the bucket…
+	if _, _, ok := stack.CachedLocal(context.Background(), k); ok {
+		t.Fatal("CachedLocal answered from the shared bucket")
+	}
+	if st := stack.Obj.Stats(); st.Hits+st.NotFound+st.Errors != 0 {
+		t.Fatalf("CachedLocal touched the bucket: %+v", st)
+	}
+	// …while LookupShared hits it and backfills the local tiers.
+	tab, tierName, ok := stack.LookupShared(context.Background(), k)
+	if !ok || tierName != "objstore" || !tab.Equal(tableFor(21)) {
+		t.Fatalf("LookupShared: ok=%t tier=%q", ok, tierName)
+	}
+	if _, tierName, ok := stack.CachedLocal(context.Background(), k); !ok || tierName != "memory" {
+		t.Fatalf("backfill after shared hit missing: ok=%t tier=%q", ok, tierName)
+	}
+}
+
+// TestStackLookupSharedSkipsPeer: the shared lookup stops before the
+// peer tier — the fleet path has its own owner protocol and must not
+// fall into the legacy point-to-point warming round trip.
+func TestStackLookupSharedSkipsPeer(t *testing.T) {
+	peerCalls := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		peerCalls++
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+	stack, err := NewStack(Config{MemCapacity: 2, ObjstoreClient: objstore.NewMem(), PeerURL: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := stack.LookupShared(context.Background(), keyFor(22)); ok {
+		t.Fatal("cold stack reported a shared hit")
+	}
+	if peerCalls != 0 {
+		t.Fatalf("LookupShared reached the peer %d times", peerCalls)
+	}
+	// The full Get still falls through to the peer.
+	if _, ok := stack.Backend.Get(context.Background(), keyFor(22)); ok {
+		t.Fatal("404 peer reported a hit")
+	}
+	if peerCalls != 1 {
+		t.Fatalf("full Get reached the peer %d times, want 1", peerCalls)
+	}
+}
+
+// TestStackBackfillLocal: the owner-proxy landing path writes local
+// tiers only — the bucket already holds the owner's write-through.
+func TestStackBackfillLocal(t *testing.T) {
+	bucket := objstore.NewMem()
+	stack, err := NewStack(Config{MemCapacity: 2, Dir: t.TempDir(), ObjstoreClient: bucket})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := keyFor(23)
+	stack.BackfillLocal(k, tableFor(23))
+	if bucket.Len() != 0 {
+		t.Fatalf("BackfillLocal wrote %d objects into the shared bucket", bucket.Len())
+	}
+	if _, tierName, ok := stack.CachedLocal(context.Background(), k); !ok || tierName != "memory" {
+		t.Fatalf("local backfill not visible: ok=%t tier=%q", ok, tierName)
+	}
+	if _, ok := stack.Disk.Get(context.Background(), k); !ok {
+		t.Fatal("local backfill skipped the disk tier")
 	}
 }
 
