@@ -174,6 +174,11 @@ type Report struct {
 	Tiers map[string]uint64 `json:"tiers"`
 	// Status counts responses by HTTP status code.
 	Status map[string]uint64 `json:"status"`
+	// Degraded counts responses carrying an X-Degraded header, by its
+	// value (the open-breaker list, e.g. "objstore,peer") — how much of
+	// the run was served while a dependency was being bypassed. Absent
+	// header: not counted (the common, healthy case).
+	Degraded map[string]uint64 `json:"degraded,omitempty"`
 }
 
 // print writes the human summary.
@@ -185,6 +190,9 @@ func (r *Report) print(w io.Writer) {
 	fmt.Fprintf(w, "cache      %v\n", r.Cache)
 	fmt.Fprintf(w, "tiers      %v\n", r.Tiers)
 	fmt.Fprintf(w, "status     %v\n", r.Status)
+	if len(r.Degraded) > 0 {
+		fmt.Fprintf(w, "degraded   %v\n", r.Degraded)
+	}
 	fmt.Fprintf(w, "bytes      %d (%.1f MB/s)\n", r.Bytes, float64(r.Bytes)/r.DurationSec/1e6)
 	if len(r.PerTarget) > 0 {
 		targets := make([]string, 0, len(r.PerTarget))
@@ -213,6 +221,7 @@ type sample struct {
 	cache    string
 	tier     string
 	servedBy string
+	degraded string
 	target   string
 	bytes    int
 	failed   bool
@@ -328,6 +337,12 @@ func Run(o Options) (*Report, error) {
 			if s.tier != "" {
 				rep.Tiers[s.tier]++
 			}
+			if s.degraded != "" {
+				if rep.Degraded == nil {
+					rep.Degraded = map[string]uint64{}
+				}
+				rep.Degraded[s.degraded]++
+			}
 			if m := rep.PerTarget[s.target]; m != nil {
 				m.Requests++
 				if s.failed || s.status != http.StatusOK {
@@ -419,6 +434,7 @@ func fetch(client *http.Client, target, url string) sample {
 		cache:    res.Header.Get("X-Cache"),
 		tier:     res.Header.Get("X-Cache-Tier"),
 		servedBy: res.Header.Get("X-Served-By"),
+		degraded: res.Header.Get("X-Degraded"),
 		target:   target,
 		bytes:    int(n),
 	}

@@ -18,7 +18,10 @@
 // Endpoints (full reference with examples: docs/api.md):
 //
 //	GET /healthz
-//	    Liveness probe; returns {"status":"ok"}.
+//	    Readiness view: {"status":"ok"} while every dependency breaker
+//	    is closed, {"status":"degraded"} with the open-breaker list and
+//	    per-dependency state/last-error otherwise. HTTP 200 either way
+//	    — a degraded replica still answers every request.
 //	GET /tables[?seed=N&quick=BOOL]
 //	    Lists every registry experiment with its title and whether the
 //	    table for the given parameters is already cached.
@@ -38,15 +41,31 @@
 //	    the table, 202 if a computation for it is in flight right now,
 //	    404 if cold — never computes, never contacts anyone.
 //	GET /stats
-//	    Store, per-tier, queue, compute-latency, in-flight, and fleet
-//	    statistics.
+//	    Store, per-tier, queue, compute-latency, in-flight, fleet, and
+//	    circuit-breaker statistics.
 //
 // Usage:
 //
 //	bccserve [-addr :8344] [-store DIR] [-mem N] [-objstore DIR]
 //	         [-peer URL] [-fleet URL,URL,...] [-seed N] [-quick]
 //	         [-workers N] [-parallel N] [-queue N] [-timeout D]
-//	         [-drain D]
+//	         [-drain D] [-peer-timeout D] [-objstore-put-timeout D]
+//	         [-breaker-failures N] [-breaker-cooldown D]
+//	         [-dev [-chaos PLAN]]
+//
+// Every remote dependency — the peer tier, the shared bucket (reads
+// and writes separately), each fleet owner — runs behind a circuit
+// breaker: -breaker-failures consecutive failures open it, requests
+// then skip that dependency in microseconds (responses carry
+// X-Degraded naming the bypassed dependencies), and after
+// -breaker-cooldown one probe decides whether to re-admit it.
+// -peer-timeout and -objstore-put-timeout bound the individual
+// operations.
+//
+// -chaos (dev only, requires -dev) injects deterministic faults into
+// the named dependencies for resilience testing, e.g.
+// 'objstore:err=1;peer:lat=6s,for=30s' — see docs/api.md for the spec
+// grammar.
 //
 // The store stack is assembled from the flags, fastest tier first:
 // -mem N is the in-process hot-table LRU (L0, N tables; 0 disables),
@@ -83,10 +102,14 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/breaker"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/fleet"
 	"repro/internal/sched"
 	"repro/internal/serve"
+	"repro/internal/store/objstore"
+	"repro/internal/store/remote"
 	"repro/internal/store/tier"
 )
 
@@ -132,13 +155,67 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	queue := fs.Int("queue", 16, "computations allowed to wait beyond the -parallel running ones before requests get 429 (-1: unbounded)")
 	timeout := fs.Duration("timeout", 0, "per-request compute deadline (0: none); exceeded requests get 504")
 	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown bound: how long in-flight requests may finish after SIGINT/SIGTERM")
+	peerTimeout := fs.Duration("peer-timeout", remote.DefaultTimeout,
+		"per-lookup round-trip bound against the -peer replica")
+	putTimeout := fs.Duration("objstore-put-timeout", objstore.DefaultPutTimeout,
+		"bound on each write-through Put into the -objstore bucket")
+	breakerFailures := fs.Int("breaker-failures", 5,
+		"consecutive failures that open a dependency's circuit breaker")
+	breakerCooldown := fs.Duration("breaker-cooldown", 10*time.Second,
+		"how long an open breaker waits before admitting its half-open probe")
+	dev := fs.Bool("dev", false, "development mode: permits -chaos")
+	chaos := fs.String("chaos", "",
+		"fault-injection plan, e.g. 'objstore:err=1;peer:lat=6s' or a bare spec for all targets (requires -dev; see docs/api.md)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *peerTimeout <= 0 {
+		return fmt.Errorf("-peer-timeout must be positive, got %s", *peerTimeout)
+	}
+	if *putTimeout <= 0 {
+		return fmt.Errorf("-objstore-put-timeout must be positive, got %s", *putTimeout)
+	}
+	if *breakerFailures < 1 {
+		return fmt.Errorf("-breaker-failures must be at least 1, got %d", *breakerFailures)
+	}
+	if *breakerCooldown <= 0 {
+		return fmt.Errorf("-breaker-cooldown must be positive, got %s", *breakerCooldown)
+	}
+	if *chaos != "" && !*dev {
+		// Refusing is deliberate: a chaos plan in a production unit file
+		// (a copy-pasted dev invocation, say) must fail loudly at start,
+		// not silently degrade every request.
+		return errors.New("-chaos injects faults and requires -dev")
+	}
+	plan, err := fault.ParsePlan(*chaos)
+	if err != nil {
+		return err
+	}
 
-	stack, err := tier.NewStack(tier.Config{
+	breakers := breaker.NewSet(breaker.Options{Failures: *breakerFailures, Cooldown: *breakerCooldown})
+	cfg := tier.Config{
 		MemCapacity: *memSize, Dir: *storeDir, ObjstoreDir: *objDir, PeerURL: *peer,
-	})
+		ObjstorePutTimeout: *putTimeout, PeerTimeout: *peerTimeout,
+		Breakers: breakers,
+	}
+	// Chaos wiring wraps each targeted dependency's transport with a
+	// seeded fault injector; untargeted dependencies run clean. The tier
+	// stack and serve layer are unchanged — they see a flaky dependency,
+	// exactly as production would.
+	if spec, ok := plan[fault.TargetObjstore]; ok && *objDir != "" {
+		fsc, err := objstore.NewFS(*objDir)
+		if err != nil {
+			return err
+		}
+		cfg.ObjstoreClient = fault.WrapObjectClient(fsc, fault.NewInjector(spec))
+	}
+	if spec, ok := plan[fault.TargetPeer]; ok && *peer != "" {
+		cfg.PeerClient = &http.Client{
+			Timeout:   *peerTimeout,
+			Transport: fault.WrapTransport(nil, fault.NewInjector(spec)),
+		}
+	}
+	stack, err := tier.NewStack(cfg)
 	if err != nil {
 		return err
 	}
@@ -179,11 +256,18 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		Workers:  perWorkers,
 		Timeout:  *timeout,
 		Fleet:    flt,
+		Breakers: breakers,
+	}
+	if spec, ok := plan[fault.TargetFleet]; ok && flt != nil {
+		srv.FleetClient = &http.Client{Transport: fault.WrapTransport(nil, fault.NewInjector(spec))}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
+	}
+	if len(plan) > 0 {
+		fmt.Fprintf(stdout, "bccserve CHAOS plan active: %s\n", plan)
 	}
 	// The line is machine-readable so scripts (and the CI smoke legs) can
 	// wait for readiness and discover the bound port.

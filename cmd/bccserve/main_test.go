@@ -257,3 +257,21 @@ func TestServeUntilSurfacesListenerFailure(t *testing.T) {
 		t.Fatal("serveUntil hung on a dead listener")
 	}
 }
+
+// TestRunValidatesRobustnessFlags: the chaos and breaker/timeout knobs
+// fail loudly at startup rather than silently degrading requests.
+func TestRunValidatesRobustnessFlags(t *testing.T) {
+	for name, args := range map[string][]string{
+		"chaos without -dev":    {"-chaos", "err=1"},
+		"malformed chaos plan":  {"-dev", "-chaos", "bogus:err=1"},
+		"chaos rate over 1":     {"-dev", "-chaos", "err=2"},
+		"zero peer timeout":     {"-peer-timeout", "0"},
+		"negative put timeout":  {"-objstore-put-timeout", "-1s"},
+		"zero breaker failures": {"-breaker-failures", "0"},
+		"zero cooldown":         {"-breaker-cooldown", "0"},
+	} {
+		if err := run(context.Background(), append(args, "-addr", "127.0.0.1:0"), io.Discard); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package backoff is the repository's one retry-delay policy: capped
+// exponential growth with bounded jitter, deterministic when seeded.
+//
+// Before this package every wait loop hand-rolled its own schedule (the
+// fleet wait loop doubled a local variable; tests invented theirs), so
+// the same outage produced different retry pressure depending on which
+// code path discovered it. One Policy value now describes the schedule,
+// one seeded stream makes it reproducible in tests and fault drills,
+// and Sleep makes every wait interruptible by the request context —
+// a client that hangs up must never leave a goroutine sleeping out the
+// rest of its schedule.
+package backoff
+
+import (
+	"context"
+	"math/rand/v2"
+	"time"
+)
+
+// Policy describes a capped exponential backoff schedule. The zero
+// value is usable and yields the package defaults.
+type Policy struct {
+	// Initial is the first delay (default 25ms).
+	Initial time.Duration
+	// Max caps every delay (default 1s).
+	Max time.Duration
+	// Factor multiplies the delay per attempt (default 2; values < 1
+	// are treated as the default).
+	Factor float64
+	// Jitter randomizes each delay by ±Jitter fraction (0 disables;
+	// 0.2 means a delay lands uniformly in [0.8d, 1.2d]). Jitter keeps
+	// a fleet's replicas from re-probing a recovering dependency in
+	// lockstep; clamped to [0, 1].
+	Jitter float64
+}
+
+// Default is the schedule the serving layer uses for dependency
+// re-checks: 25ms doubling to a 1s cap, ±20% jitter.
+var Default = Policy{Initial: 25 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.2}
+
+func (p Policy) withDefaults() Policy {
+	if p.Initial <= 0 {
+		p.Initial = 25 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = time.Second
+	}
+	if p.Factor < 1 {
+		p.Factor = 2
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
+}
+
+// Delay returns the un-jittered delay for attempt n (0-based): Initial
+// × Factor^n, capped at Max. Pure in (p, n), so callers that need the
+// worst-case bound of a schedule can compute it without a stream.
+func (p Policy) Delay(attempt int) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.Initial)
+	for i := 0; i < attempt; i++ {
+		d *= p.Factor
+		if d >= float64(p.Max) {
+			return p.Max
+		}
+	}
+	if d > float64(p.Max) {
+		return p.Max
+	}
+	return time.Duration(d)
+}
+
+// Start returns a seeded backoff stream over p. Equal (policy, seed)
+// pairs produce identical delay sequences — the determinism contract
+// that lets fault-injection tests assert exact schedules.
+func (p Policy) Start(seed uint64) *Backoff {
+	return &Backoff{p: p.withDefaults(), rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Backoff is one in-progress schedule: a sequence of Next calls. Not
+// safe for concurrent use — a schedule belongs to one wait loop.
+type Backoff struct {
+	p       Policy
+	attempt int
+	rng     *rand.Rand
+}
+
+// Next returns the next delay in the schedule: the capped exponential
+// base, jittered by the seeded stream.
+func (b *Backoff) Next() time.Duration {
+	d := float64(b.p.Delay(b.attempt))
+	b.attempt++
+	if b.p.Jitter > 0 {
+		d *= 1 + b.p.Jitter*(2*b.rng.Float64()-1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// Attempt reports how many delays the schedule has produced.
+func (b *Backoff) Attempt() int { return b.attempt }
+
+// Sleep waits for d or until ctx is done, whichever comes first,
+// returning ctx's error in the latter case. Every retry loop must wait
+// through this (not time.Sleep) so a vanished client aborts the loop
+// within the current delay, never at the end of the schedule.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

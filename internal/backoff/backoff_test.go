@@ -1,0 +1,117 @@
+package backoff
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestDelayCappedExponential(t *testing.T) {
+	p := Policy{Initial: 25 * time.Millisecond, Max: time.Second, Factor: 2}
+	want := []time.Duration{
+		25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond,
+		200 * time.Millisecond, 400 * time.Millisecond, 800 * time.Millisecond,
+		time.Second, time.Second, time.Second,
+	}
+	for i, w := range want {
+		if got := p.Delay(i); got != w {
+			t.Errorf("Delay(%d) = %s, want %s", i, got, w)
+		}
+	}
+}
+
+func TestDelayZeroValueUsesDefaults(t *testing.T) {
+	var p Policy
+	if got := p.Delay(0); got != 25*time.Millisecond {
+		t.Errorf("zero policy Delay(0) = %s, want 25ms", got)
+	}
+	if got := p.Delay(100); got != time.Second {
+		t.Errorf("zero policy Delay(100) = %s, want the 1s cap", got)
+	}
+}
+
+func TestDelayHugeAttemptDoesNotOverflow(t *testing.T) {
+	p := Policy{Initial: time.Millisecond, Max: time.Minute, Factor: 10}
+	if got := p.Delay(10_000); got != time.Minute {
+		t.Errorf("Delay(10000) = %s, want the cap", got)
+	}
+}
+
+func TestStartIsDeterministic(t *testing.T) {
+	p := Policy{Initial: 10 * time.Millisecond, Max: 500 * time.Millisecond, Factor: 2, Jitter: 0.3}
+	a, b := p.Start(42), p.Start(42)
+	other := p.Start(43)
+	sameAsOther := true
+	for i := 0; i < 20; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("step %d: same seed diverged: %s vs %s", i, da, db)
+		}
+		if da != other.Next() {
+			sameAsOther = false
+		}
+	}
+	if sameAsOther {
+		t.Error("different seeds produced identical 20-step schedules")
+	}
+	if a.Attempt() != 20 {
+		t.Errorf("Attempt() = %d, want 20", a.Attempt())
+	}
+}
+
+func TestJitterStaysWithinBounds(t *testing.T) {
+	p := Policy{Initial: 100 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.2}
+	b := p.Start(7)
+	for i := 0; i < 50; i++ {
+		base := p.Delay(i)
+		d := b.Next()
+		lo := time.Duration(float64(base) * 0.8)
+		hi := time.Duration(float64(base) * 1.2)
+		if d < lo || d > hi {
+			t.Fatalf("step %d: jittered delay %s outside [%s, %s]", i, d, lo, hi)
+		}
+	}
+}
+
+func TestNoJitterMatchesDelay(t *testing.T) {
+	p := Policy{Initial: 5 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2}
+	b := p.Start(1)
+	for i := 0; i < 8; i++ {
+		if got, want := b.Next(), p.Delay(i); got != want {
+			t.Fatalf("step %d: %s, want %s", i, got, want)
+		}
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := Sleep(ctx, 10*time.Second)
+	if err != context.Canceled {
+		t.Fatalf("Sleep returned %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Sleep took %s after cancellation", elapsed)
+	}
+}
+
+func TestSleepCompletes(t *testing.T) {
+	if err := Sleep(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("Sleep: %v", err)
+	}
+}
+
+func TestSleepZeroReturnsContextState(t *testing.T) {
+	if err := Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("Sleep(0) on a live context: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, 0); err != context.Canceled {
+		t.Fatalf("Sleep(0) on a dead context: %v, want Canceled", err)
+	}
+}

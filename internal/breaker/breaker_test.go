@@ -1,0 +1,227 @@
+package breaker
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for walking cooldowns.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testBreaker(failures int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := newFakeClock()
+	return New("dep", Options{Failures: failures, Cooldown: cooldown, Now: clk.now}), clk
+}
+
+var errBoom = errors.New("boom")
+
+func TestOpensAfterConsecutiveFailures(t *testing.T) {
+	b, _ := testBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused call %d", i)
+		}
+		b.Record(errBoom)
+		if b.State() != Closed {
+			t.Fatalf("opened after %d failures, threshold 3", i+1)
+		}
+	}
+	b.Allow()
+	b.Record(errBoom)
+	if b.State() != Open {
+		t.Fatal("still closed after 3 consecutive failures")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call before cooldown")
+	}
+	st := b.Stats()
+	if st.Opens != 1 || st.ShortCircuits != 1 || st.State != "open" {
+		t.Fatalf("stats after open: %+v", st)
+	}
+}
+
+func TestSuccessResetsConsecutiveCount(t *testing.T) {
+	b, _ := testBreaker(3, time.Second)
+	// Flap below the threshold forever: fail, fail, succeed, repeat.
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 2; i++ {
+			b.Allow()
+			b.Record(errBoom)
+		}
+		b.Allow()
+		b.Record(nil)
+	}
+	if b.State() != Closed {
+		t.Fatal("sub-threshold flapping opened the breaker")
+	}
+}
+
+func TestHalfOpenProbeRecovers(t *testing.T) {
+	b, clk := testBreaker(2, time.Second)
+	b.Allow()
+	b.Record(errBoom)
+	b.Allow()
+	b.Record(errBoom)
+	if b.State() != Open {
+		t.Fatal("not open")
+	}
+	clk.advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("allowed before cooldown elapsed")
+	}
+	clk.advance(time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state %v after probe admission, want half-open", b.State())
+	}
+	// Only one probe: a second caller still short-circuits.
+	if b.Allow() {
+		t.Fatal("second caller admitted during the probe")
+	}
+	b.Record(nil)
+	if b.State() != Closed {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	if !b.Allow() {
+		t.Fatal("recovered breaker refused a call")
+	}
+	st := b.Stats()
+	if st.Recoveries != 1 || st.Probes != 1 {
+		t.Fatalf("stats after recovery: %+v", st)
+	}
+}
+
+func TestHalfOpenProbeFailureReopens(t *testing.T) {
+	b, clk := testBreaker(1, time.Second)
+	b.Allow()
+	b.Record(errBoom)
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Record(errBoom)
+	if b.State() != Open {
+		t.Fatal("failed probe did not reopen")
+	}
+	// The reopened cooldown starts fresh.
+	clk.advance(500 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted before a full new cooldown")
+	}
+	clk.advance(500 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second probe refused after the new cooldown")
+	}
+	if got := b.Stats().Opens; got != 2 {
+		t.Fatalf("opens = %d, want 2", got)
+	}
+}
+
+func TestLastErrorSurfaces(t *testing.T) {
+	b, _ := testBreaker(1, time.Second)
+	b.Allow()
+	b.Record(fmt.Errorf("dial tcp: connection refused"))
+	if got := b.Stats().LastError; got != "dial tcp: connection refused" {
+		t.Fatalf("last error %q", got)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	b := New("d", Options{})
+	for i := 0; i < 4; i++ {
+		b.Allow()
+		b.Record(errBoom)
+	}
+	if b.State() != Closed {
+		t.Fatal("opened before the default 5-failure threshold")
+	}
+	b.Allow()
+	b.Record(errBoom)
+	if b.State() != Open {
+		t.Fatal("default threshold of 5 not applied")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	b, _ := testBreaker(5, time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if b.Allow() {
+					if j%3 == 0 {
+						b.Record(errBoom)
+					} else {
+						b.Record(nil)
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.Successes+st.Failures == 0 {
+		t.Fatal("no outcomes recorded")
+	}
+}
+
+func TestSetRegistry(t *testing.T) {
+	clk := newFakeClock()
+	s := NewSet(Options{Failures: 1, Cooldown: time.Minute, Now: clk.now})
+	if got := s.Open(); len(got) != 0 {
+		t.Fatalf("fresh set reports open breakers: %v", got)
+	}
+	p := s.Get("peer")
+	if s.Get("peer") != p {
+		t.Fatal("Get is not idempotent")
+	}
+	o := s.Get("objstore")
+	p.Allow()
+	p.Record(errBoom)
+	o.Allow()
+	o.Record(errBoom)
+	open := s.Open()
+	if len(open) != 2 || open[0] != "objstore" || open[1] != "peer" {
+		t.Fatalf("Open() = %v, want sorted [objstore peer]", open)
+	}
+	stats := s.Stats()
+	if stats["peer"].State != "open" || stats["objstore"].Opens != 1 {
+		t.Fatalf("set stats: %+v", stats)
+	}
+	// Half-open still counts as degraded.
+	clk.advance(time.Minute)
+	if !p.Allow() {
+		t.Fatal("probe refused")
+	}
+	if open := s.Open(); len(open) != 2 {
+		t.Fatalf("half-open breaker dropped from Open(): %v", open)
+	}
+	p.Record(nil)
+	if open := s.Open(); len(open) != 1 || open[0] != "objstore" {
+		t.Fatalf("recovered breaker still listed: %v", open)
+	}
+}

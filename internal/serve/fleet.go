@@ -23,6 +23,13 @@
 // ownership views (a misconfigured fleet) cannot form forwarding
 // cycles — at worst both replicas compute, which is the pre-fleet
 // status quo.
+//
+// With a breaker registry configured (Server.Breakers), each owner gets
+// its own circuit breaker ("owner:<url>"): repeated probe/fetch/proxy
+// failures open it, and an open breaker makes step 2 a microsecond
+// no-op — the request falls straight back to local compute instead of
+// re-paying the probe timeout to re-discover a dead owner. One request
+// per cooldown probes the owner (half-open) and a success re-admits it.
 package serve
 
 import (
@@ -34,6 +41,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backoff"
+	"repro/internal/breaker"
 	"repro/internal/result"
 	"repro/internal/store"
 	"repro/internal/store/remote"
@@ -93,6 +102,10 @@ type fleetCounters struct {
 	waitHits     atomic.Uint64 // waits resolved via the shared bucket while waiting
 	fallbacks    atomic.Uint64 // owner path failed; computed locally instead
 	probeErrors  atomic.Uint64 // probes that errored (network, status, timeout)
+	// ownerShortCircuits counts resolutions that skipped the owner
+	// entirely because its breaker was open — instant fallbacks that
+	// cost microseconds instead of a probe timeout.
+	ownerShortCircuits atomic.Uint64
 }
 
 // FleetStats is the /stats "fleet" payload.
@@ -106,6 +119,9 @@ type FleetStats struct {
 	WaitHits     uint64   `json:"wait_hits"`
 	Fallbacks    uint64   `json:"fallbacks"`
 	ProbeErrors  uint64   `json:"probe_errors"`
+	// OwnerShortCircuits counts owner resolutions refused by an open
+	// per-owner breaker (a subset of Fallbacks).
+	OwnerShortCircuits uint64 `json:"owner_short_circuits"`
 }
 
 func (s *Server) fleetStats() FleetStats {
@@ -117,9 +133,20 @@ func (s *Server) fleetStats() FleetStats {
 		Proxied:      s.fleetC.proxied.Load(),
 		Waits:        s.fleetC.waits.Load(),
 		WaitHits:     s.fleetC.waitHits.Load(),
-		Fallbacks:    s.fleetC.fallbacks.Load(),
-		ProbeErrors:  s.fleetC.probeErrors.Load(),
+		Fallbacks:          s.fleetC.fallbacks.Load(),
+		ProbeErrors:        s.fleetC.probeErrors.Load(),
+		OwnerShortCircuits: s.fleetC.ownerShortCircuits.Load(),
 	}
+}
+
+// ownerBreaker returns the per-owner breaker (nil without a registry).
+// Each owner gets its own — "owner:<url>" in the shared Set — because
+// one dead replica must not mark every other owner dead.
+func (s *Server) ownerBreaker(owner string) *breaker.Breaker {
+	if s.Breakers == nil {
+		return nil
+	}
+	return s.Breakers.Get("owner:" + owner)
 }
 
 func (s *Server) fleetClient() *http.Client {
@@ -132,14 +159,16 @@ func (s *Server) fleetClient() *http.Client {
 // ownerReader returns (lazily building) the cached=only reader for an
 // owner replica. It reuses the remote tier wholesale: same wire
 // contract, same verification (schema version, table id, X-Fingerprint
-// against the local key), same pooled client with a bounded timeout.
+// against the local key), same pooled client with a bounded timeout —
+// and the owner's breaker, so fetch failures and probe failures feed
+// one health record per owner.
 func (s *Server) ownerReader(owner string) *remote.Tier {
 	s.fleetMu.Lock()
 	defer s.fleetMu.Unlock()
 	if t, ok := s.fleetReaders[owner]; ok {
 		return t
 	}
-	t, err := remote.New(owner, nil)
+	t, err := remote.New(owner, nil, remote.WithBreaker(s.ownerBreaker(owner)))
 	if err != nil {
 		// Fleet membership URLs are validated at parse time, so this is
 		// unreachable in practice; a nil reader degrades to fallback.
@@ -198,14 +227,34 @@ func (s *Server) fleetResolve(ctx context.Context, k store.Key) (tab *result.Tab
 		return t, name, true, s.Fleet.Self(), true
 	}
 	owner := s.Fleet.Owner(k.Fingerprint)
-	backoff := 25 * time.Millisecond
+	ob := s.ownerBreaker(owner)
+	if ob != nil && !ob.Allow() {
+		// The owner is remembered as down: skip the probe entirely and
+		// fall back to local compute in microseconds, instead of paying
+		// the probe timeout to re-discover the outage per request. When
+		// the cooldown elapses, exactly one request's Allow claims the
+		// half-open probe and takes the full owner path as usual.
+		s.fleetC.ownerShortCircuits.Add(1)
+		s.fleetC.fallbacks.Add(1)
+		return nil, "", false, "", false
+	}
+	wait := backoff.Default.Start(s.Seed)
 	waiting := false
 	for {
 		state, err := s.probeOwner(ctx, owner, k)
 		if err != nil {
+			// Classify before recording: the owner not answering is its
+			// failure; this request's own context dying (client gone,
+			// serving deadline hit) says nothing about the owner.
+			if ob != nil && ctx.Err() == nil {
+				ob.Record(err)
+			}
 			s.fleetC.probeErrors.Add(1)
 			s.fleetC.fallbacks.Add(1)
 			return nil, "", false, "", false
+		}
+		if ob != nil {
+			ob.Record(nil)
 		}
 		switch state {
 		case probeCached:
@@ -231,14 +280,13 @@ func (s *Server) fleetResolve(ctx context.Context, k store.Key) (tab *result.Tab
 				waiting = true
 				s.fleetC.waits.Add(1)
 			}
-			select {
-			case <-ctx.Done():
+			// Sleep one policy step (capped exponential with jitter),
+			// aborting the wait the instant the request context dies —
+			// a disconnected client must release its goroutine within
+			// one backoff step, not ride out the owner's computation.
+			if err := backoff.Sleep(ctx, wait.Next()); err != nil {
 				s.fleetC.fallbacks.Add(1)
 				return nil, "", false, "", false
-			case <-time.After(backoff):
-			}
-			if backoff *= 2; backoff > time.Second {
-				backoff = time.Second
 			}
 			if t, name, hit := s.Stack.LookupShared(ctx, k); hit {
 				s.fleetC.waitHits.Add(1)
@@ -253,8 +301,14 @@ func (s *Server) fleetResolve(ctx context.Context, k store.Key) (tab *result.Tab
 			// for the whole fleet.
 			t, hit, err := s.proxyOwner(ctx, owner, k)
 			if err != nil {
+				if ob != nil && ctx.Err() == nil {
+					ob.Record(err)
+				}
 				s.fleetC.fallbacks.Add(1)
 				return nil, "", false, "", false
+			}
+			if ob != nil {
+				ob.Record(nil)
 			}
 			s.fleetC.proxied.Add(1)
 			s.Stack.BackfillLocal(k, t)

@@ -39,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/breaker"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/sched"
@@ -78,6 +79,12 @@ type Server struct {
 	// default with keep-alives and no overall timeout — probes carry
 	// their own short deadline, proxies run under the request context).
 	FleetClient *http.Client
+	// Breakers is the dependency circuit-breaker registry (nil: no
+	// breaking). It should be the same Set handed to tier.Config, so the
+	// peer and objstore breakers the tiers feed and the per-owner
+	// breakers the fleet path feeds all surface together in /healthz,
+	// /stats, and the X-Degraded header.
+	Breakers *breaker.Set
 
 	// fleetReaders lazily caches one cached=only reader per owner.
 	fleetMu      sync.Mutex
@@ -145,9 +152,51 @@ func (s *Server) params(r *http.Request) (experiments.Config, error) {
 	return cfg, nil
 }
 
+// healthDep is one dependency's line in the /healthz readiness view.
+type healthDep struct {
+	State     string `json:"state"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// handleHealthz is the readiness view. "ok" means every dependency
+// breaker is closed; "degraded" lists the open ones with their last
+// error. The HTTP status is 200 either way — an open breaker means a
+// *dependency* is down, not this replica: it still answers every
+// request (that is the breaker's whole point), so a load balancer must
+// not pull it. Alerting reads the body (or /stats).
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, `{"status":"ok"}`)
+	if s.Breakers == nil {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+		return
+	}
+	payload := map[string]any{"status": "ok"}
+	if open := s.Breakers.Open(); len(open) > 0 {
+		payload["status"] = "degraded"
+		payload["degraded"] = open
+	}
+	deps := map[string]healthDep{}
+	for name, st := range s.Breakers.Stats() {
+		deps[name] = healthDep{State: st.State, LastError: st.LastError}
+	}
+	if len(deps) > 0 {
+		payload["dependencies"] = deps
+	}
+	writeJSON(w, payload)
+}
+
+// setDegraded stamps X-Degraded with the open-breaker list on a
+// response that is being served anyway: the answer is as good as the
+// degraded dependencies allow (usually identical — local tiers and
+// compute still work), and the header tells clients and load tests
+// exactly which dependencies were bypassed to produce it.
+func (s *Server) setDegraded(w http.ResponseWriter) {
+	if s.Breakers == nil {
+		return
+	}
+	if open := s.Breakers.Open(); len(open) > 0 {
+		w.Header().Set("X-Degraded", strings.Join(open, ","))
+	}
 }
 
 // listEntry is one row of GET /tables.
@@ -271,6 +320,7 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	s.setDegraded(w)
 	id := exp.ID
 	format := r.URL.Query().Get("format")
 	if format == "" {
@@ -437,6 +487,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	payload["inflight"] = s.Sched.InFlight()
 	if s.Fleet != nil {
 		payload["fleet"] = s.fleetStats()
+	}
+	if s.Breakers != nil {
+		payload["breakers"] = s.Breakers.Stats()
 	}
 	writeJSON(w, payload)
 }

@@ -21,6 +21,14 @@
 // report (nil, false), and the caller falls through to the next tier or
 // to local compute. Put failures degrade sharing, not the answer.
 //
+// With breakers attached (WithBreakers), the degradation is remembered
+// per direction: a bucket that keeps failing reads opens the get
+// breaker (lookups short-circuit to instant misses), one that keeps
+// failing writes opens the put breaker (write-throughs fail in
+// microseconds instead of holding a scheduler goroutine for the put
+// timeout). A clean not-found is a healthy answer and never trips
+// either breaker.
+//
 // # Object format
 //
 // One object per fingerprint, named "<fingerprint>.json", holding the
@@ -42,6 +50,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/breaker"
 	"repro/internal/result"
 	"repro/internal/store"
 )
@@ -83,15 +92,48 @@ type envelope struct {
 type Tier struct {
 	client     ObjectClient
 	putTimeout time.Duration
+	// getBreaker and putBreaker guard the two directions separately: a
+	// bucket that reads fine but hangs on writes (a full volume, a
+	// one-way partition) must not cost readers anything, and vice
+	// versa. Either may be nil (no breaking on that path).
+	getBreaker, putBreaker *breaker.Breaker
 
 	hits, notFound, errors atomic.Uint64
 	puts, putErrors        atomic.Uint64
+	// getShortCircuits/putShortCircuits count operations an open
+	// breaker refused without touching the bucket.
+	getShortCircuits, putShortCircuits atomic.Uint64
 }
 
-// New returns a tier over client. A zero putTimeout gets
-// DefaultPutTimeout.
-func New(client ObjectClient) *Tier {
-	return &Tier{client: client, putTimeout: DefaultPutTimeout}
+// Option tunes a Tier at construction.
+type Option func(*Tier)
+
+// WithPutTimeout bounds each write-through Put (default
+// DefaultPutTimeout); non-positive values keep the default.
+func WithPutTimeout(d time.Duration) Option {
+	return func(t *Tier) {
+		if d > 0 {
+			t.putTimeout = d
+		}
+	}
+}
+
+// WithBreakers attaches circuit breakers to the read and write paths
+// separately (either may be nil). Failures feed them; open breakers
+// short-circuit — Gets to an instant miss, Puts to an instant error.
+func WithBreakers(get, put *breaker.Breaker) Option {
+	return func(t *Tier) {
+		t.getBreaker, t.putBreaker = get, put
+	}
+}
+
+// New returns a tier over client.
+func New(client ObjectClient, opts ...Option) *Tier {
+	t := &Tier{client: client, putTimeout: DefaultPutTimeout}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
 }
 
 // Name identifies the shared tier in stats and the X-Cache-Tier header.
@@ -105,27 +147,43 @@ func objectKey(fingerprint string) string { return fingerprint + ".json" }
 // wrong experiment id — is a miss; only the stats distinguish a clean
 // not-found from a degraded bucket.
 func (t *Tier) Get(ctx context.Context, k store.Key) (*result.Table, bool) {
+	if t.getBreaker != nil && !t.getBreaker.Allow() {
+		t.getShortCircuits.Add(1)
+		return nil, false
+	}
 	raw, err := t.client.Get(ctx, objectKey(k.Fingerprint))
 	if err != nil {
 		if errors.Is(err, ErrNotFound) {
+			// The bucket answered correctly: a clean absence is health,
+			// not degradation.
+			t.recordGet(nil)
 			t.notFound.Add(1)
 		} else {
+			// The caller hanging up is neutral (no record); everything
+			// else — transport, media, an injected hang that outlived the
+			// deadline — is the bucket failing to answer.
+			if !(errors.Is(err, context.Canceled) && ctx.Err() == context.Canceled) {
+				t.recordGet(fmt.Errorf("objstore: get %s: %w", k.Fingerprint, err))
+			}
 			t.errors.Add(1)
 		}
 		return nil, false
 	}
 	var env envelope
 	if err := json.Unmarshal(raw, &env); err != nil {
+		t.recordGet(fmt.Errorf("objstore: %s: damaged envelope: %w", k.Fingerprint, err))
 		t.errors.Add(1)
 		return nil, false
 	}
 	sum := sha256.Sum256(env.Table)
 	if hex.EncodeToString(sum[:]) != env.Checksum {
+		t.recordGet(fmt.Errorf("objstore: %s: checksum mismatch", k.Fingerprint))
 		t.errors.Add(1)
 		return nil, false
 	}
 	tab, err := result.DecodeJSON(strings.NewReader(string(env.Table)))
 	if err != nil {
+		t.recordGet(fmt.Errorf("objstore: %s: undecodable table: %w", k.Fingerprint, err))
 		t.errors.Add(1)
 		return nil, false
 	}
@@ -133,11 +191,28 @@ func (t *Tier) Get(ctx context.Context, k store.Key) (*result.Table, bool) {
 	// shared by a misconfigured writer (or a hand-copied object) must
 	// not answer for the wrong table.
 	if tab.ID != k.ID {
+		t.recordGet(fmt.Errorf("objstore: %s: answered table %q for %q", k.Fingerprint, tab.ID, k.ID))
 		t.errors.Add(1)
 		return nil, false
 	}
+	t.recordGet(nil)
 	t.hits.Add(1)
 	return tab, true
+}
+
+// recordGet/recordPut feed the path breakers when attached. Neutral
+// outcomes (caller cancellation, local encode bugs) must not be
+// recorded at all — see the remote tier's identical rule.
+func (t *Tier) recordGet(err error) {
+	if t.getBreaker != nil {
+		t.getBreaker.Record(err)
+	}
+}
+
+func (t *Tier) recordPut(err error) {
+	if t.putBreaker != nil {
+		t.putBreaker.Record(err)
+	}
 }
 
 // Put write-throughs t's table into the bucket. The encode is memoized
@@ -145,8 +220,16 @@ func (t *Tier) Get(ctx context.Context, k store.Key) (*result.Table, bool) {
 // bounded by the tier's put timeout. Failures degrade sharing only —
 // callers may ignore the error, per the Backend contract.
 func (t *Tier) Put(k store.Key, tab *result.Table) error {
+	if t.putBreaker != nil && !t.putBreaker.Allow() {
+		// The write path is down and remembered as down: fail in
+		// microseconds instead of wedging a scheduler goroutine for the
+		// put timeout. Sharing degrades; the answer was never at stake.
+		t.putShortCircuits.Add(1)
+		return fmt.Errorf("objstore: put %s short-circuited: breaker open", k.Fingerprint)
+	}
 	body, err := tab.CanonicalJSON()
 	if err != nil {
+		// A local encode failure says nothing about the bucket's health.
 		t.putErrors.Add(1)
 		return fmt.Errorf("objstore: encoding %s: %w", k.ID, err)
 	}
@@ -159,9 +242,11 @@ func (t *Tier) Put(k store.Key, tab *result.Table) error {
 	ctx, cancel := context.WithTimeout(context.Background(), t.putTimeout)
 	defer cancel()
 	if err := t.client.Put(ctx, objectKey(k.Fingerprint), raw); err != nil {
+		t.recordPut(fmt.Errorf("objstore: putting %s: %w", k.Fingerprint, err))
 		t.putErrors.Add(1)
 		return fmt.Errorf("objstore: putting %s: %w", k.Fingerprint, err)
 	}
+	t.recordPut(nil)
 	t.puts.Add(1)
 	return nil
 }
@@ -179,16 +264,23 @@ type Stats struct {
 	// Puts counts successful write-throughs; PutErrors failed ones.
 	Puts      uint64 `json:"puts"`
 	PutErrors uint64 `json:"put_errors"`
+	// GetShortCircuits/PutShortCircuits count operations an open
+	// breaker refused without touching the bucket — instant misses and
+	// instant put errors instead of timeouts.
+	GetShortCircuits uint64 `json:"get_short_circuits"`
+	PutShortCircuits uint64 `json:"put_short_circuits"`
 }
 
 // Stats reports the tier's traffic counters.
 func (t *Tier) Stats() Stats {
 	return Stats{
-		Client:    t.client.Name(),
-		Hits:      t.hits.Load(),
-		NotFound:  t.notFound.Load(),
-		Errors:    t.errors.Load(),
-		Puts:      t.puts.Load(),
-		PutErrors: t.putErrors.Load(),
+		Client:           t.client.Name(),
+		Hits:             t.hits.Load(),
+		NotFound:         t.notFound.Load(),
+		Errors:           t.errors.Load(),
+		Puts:             t.puts.Load(),
+		PutErrors:        t.putErrors.Load(),
+		GetShortCircuits: t.getShortCircuits.Load(),
+		PutShortCircuits: t.putShortCircuits.Load(),
 	}
 }

@@ -7,9 +7,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/breaker"
 	"repro/internal/result"
 	"repro/internal/store"
 )
@@ -215,4 +218,138 @@ func TestFSAtomicOverwriteUnderRace(t *testing.T) {
 // checksumOf mirrors the envelope's checksum for test fixtures.
 func checksumOf(b []byte) string {
 	return fmt.Sprintf("%x", sha256.Sum256(b))
+}
+
+func TestFSOrphanedTempFilesSwept(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put(context.Background(), "live.json", []byte("object")); err != nil {
+		t.Fatal(err)
+	}
+	// A crashed writer's debris (old) and a possibly-live in-flight
+	// write from another replica (young).
+	old := time.Now().Add(-2 * time.Hour)
+	stale := filepath.Join(dir, "put-crashed123")
+	if err := os.WriteFile(stale, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	young := filepath.Join(dir, "put-inflight456")
+	if err := os.WriteFile(young, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := NewFS(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale put-* orphan survived reopen")
+	}
+	if _, err := os.Stat(young); err != nil {
+		t.Errorf("young temp file was swept: %v", err)
+	}
+	if got, err := fs.Get(context.Background(), "live.json"); err != nil || string(got) != "object" {
+		t.Fatalf("stored object after sweep: %q, %v", got, err)
+	}
+}
+
+func TestGetBreakerOpensOnDownBucket(t *testing.T) {
+	get := breaker.New("objstore", breaker.Options{Failures: 3, Cooldown: time.Hour})
+	put := breaker.New("objstore-put", breaker.Options{Failures: 3, Cooldown: time.Hour})
+	tier := New(failingClient{}, WithBreakers(get, put))
+	k := keyFor("E1", 1)
+	for i := 0; i < 3; i++ {
+		if _, ok := tier.Get(context.Background(), k); ok {
+			t.Fatal("down bucket hit")
+		}
+	}
+	if get.State() != breaker.Open {
+		t.Fatalf("get breaker %v after 3 failures", get.State())
+	}
+	if put.State() != breaker.Closed {
+		t.Fatal("get failures opened the put breaker — directions must be independent")
+	}
+	tier.Get(context.Background(), k)
+	if st := tier.Stats(); st.GetShortCircuits != 1 {
+		t.Fatalf("stats %+v, want 1 get short circuit", st)
+	}
+}
+
+func TestPutBreakerOpensAndShortCircuits(t *testing.T) {
+	put := breaker.New("objstore-put", breaker.Options{Failures: 2, Cooldown: time.Hour})
+	tier := New(failingClient{}, WithBreakers(nil, put))
+	k := keyFor("E1", 1)
+	tab := tableFor("E1")
+	for i := 0; i < 2; i++ {
+		if err := tier.Put(k, tab); err == nil {
+			t.Fatal("down bucket accepted put")
+		}
+	}
+	if put.State() != breaker.Open {
+		t.Fatalf("put breaker %v after 2 failures", put.State())
+	}
+	start := time.Now()
+	err := tier.Put(k, tab)
+	if err == nil || !strings.Contains(err.Error(), "breaker open") {
+		t.Fatalf("short-circuited put: %v", err)
+	}
+	if el := time.Since(start); el > 50*time.Millisecond {
+		t.Fatalf("short-circuit took %v", el)
+	}
+	if st := tier.Stats(); st.PutShortCircuits != 1 {
+		t.Fatalf("stats %+v, want 1 put short circuit", st)
+	}
+}
+
+func TestCleanNotFoundNeverTripsGetBreaker(t *testing.T) {
+	get := breaker.New("objstore", breaker.Options{Failures: 2, Cooldown: time.Hour})
+	tier := New(NewMem(), WithBreakers(get, nil))
+	k := keyFor("E1", 1)
+	for i := 0; i < 10; i++ {
+		tier.Get(context.Background(), k)
+	}
+	if get.State() != breaker.Closed {
+		t.Fatalf("breaker %v after clean not-founds, want closed", get.State())
+	}
+}
+
+func TestCorruptObjectsTripGetBreaker(t *testing.T) {
+	mem := NewMem()
+	k := keyFor("E1", 1)
+	if err := mem.Put(context.Background(), k.Fingerprint+".json", []byte("not an envelope")); err != nil {
+		t.Fatal(err)
+	}
+	get := breaker.New("objstore", breaker.Options{Failures: 2, Cooldown: time.Hour})
+	tier := New(mem, WithBreakers(get, nil))
+	tier.Get(context.Background(), k)
+	tier.Get(context.Background(), k)
+	if get.State() != breaker.Open {
+		t.Fatalf("breaker %v after repeated damaged reads, want open", get.State())
+	}
+}
+
+// hangingClient blocks Put until the context dies.
+type hangingClient struct{ Mem }
+
+func (h *hangingClient) Put(ctx context.Context, key string, data []byte) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+func TestWithPutTimeoutBoundsWriteThrough(t *testing.T) {
+	tier := New(&hangingClient{}, WithPutTimeout(30*time.Millisecond))
+	start := time.Now()
+	err := tier.Put(keyFor("E1", 1), tableFor("E1"))
+	el := time.Since(start)
+	if err == nil {
+		t.Fatal("hung put succeeded")
+	}
+	if el < 20*time.Millisecond || el > 2*time.Second {
+		t.Fatalf("put returned after %v, want ~30ms", el)
+	}
 }

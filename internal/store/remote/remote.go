@@ -27,10 +27,19 @@
 // locally. The tier is read-only — Put is a successful
 // no-op — so replicas share reads without any replica being able to
 // write into another's store.
+//
+// With a breaker attached (WithBreaker), the degradation is also
+// *remembered*: failures that indicate a degraded peer — transport
+// errors, timeouts, saturation statuses, damaged bodies — feed the
+// breaker, and once it opens every lookup short-circuits to a miss in
+// microseconds instead of paying the peer timeout per request. A clean
+// 404 (the peer simply has not computed the table) counts as a healthy
+// answer, and a caller that hung up (context.Canceled) blames nobody.
 package remote
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -39,6 +48,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/breaker"
 	"repro/internal/result"
 	"repro/internal/store"
 )
@@ -71,8 +81,9 @@ var sharedClient = &http.Client{
 // Tier reads tables from one peer bccserve. It is safe for concurrent
 // use.
 type Tier struct {
-	base   string
-	client *http.Client
+	base    string
+	client  *http.Client
+	breaker *breaker.Breaker
 
 	hits, misses, errors atomic.Uint64
 	// cold counts the peer's clean 404 "not cached" answers; saturated
@@ -81,20 +92,60 @@ type Tier struct {
 	// warms itself over time, a saturated one needs capacity — so the
 	// stats must not lump them together (nor with errors).
 	cold, saturated atomic.Uint64
+	// shortCircuits counts lookups refused by an open breaker — misses
+	// that cost microseconds instead of a timeout.
+	shortCircuits atomic.Uint64
+}
+
+// Option tunes a Tier at construction.
+type Option func(*tierConfig)
+
+type tierConfig struct {
+	timeout time.Duration
+	breaker *breaker.Breaker
+}
+
+// WithTimeout bounds each peer round trip (default DefaultTimeout).
+// It applies only when New builds the tier's client — a caller-supplied
+// client keeps its own timeout.
+func WithTimeout(d time.Duration) Option {
+	return func(c *tierConfig) { c.timeout = d }
+}
+
+// WithBreaker attaches a circuit breaker: failed lookups feed it, and
+// while it is open every Get short-circuits to an instant miss.
+func WithBreaker(b *breaker.Breaker) Option {
+	return func(c *tierConfig) { c.breaker = b }
 }
 
 // New returns a tier reading from the peer at base (e.g.
 // "http://replica-0:8344"). A nil client gets the package's shared
-// pooled client (keep-alives, bounded idle connections, DefaultTimeout).
-func New(base string, client *http.Client) (*Tier, error) {
+// pooled client (keep-alives, bounded idle connections, DefaultTimeout)
+// — or, with WithTimeout, a dedicated pooled client under that bound.
+func New(base string, client *http.Client, opts ...Option) (*Tier, error) {
 	u, err := url.Parse(base)
 	if err != nil || u.Scheme == "" || u.Host == "" {
 		return nil, fmt.Errorf("remote: peer URL %q: want http(s)://host[:port]", base)
 	}
-	if client == nil {
-		client = sharedClient
+	var cfg tierConfig
+	for _, o := range opts {
+		o(&cfg)
 	}
-	return &Tier{base: strings.TrimRight(base, "/"), client: client}, nil
+	if client == nil {
+		if cfg.timeout > 0 && cfg.timeout != DefaultTimeout {
+			client = &http.Client{
+				Timeout: cfg.timeout,
+				Transport: &http.Transport{
+					MaxIdleConns:        16,
+					MaxIdleConnsPerHost: 4,
+					IdleConnTimeout:     90 * time.Second,
+				},
+			}
+		} else {
+			client = sharedClient
+		}
+	}
+	return &Tier{base: strings.TrimRight(base, "/"), client: client, breaker: cfg.breaker}, nil
 }
 
 // Name identifies the peer tier in stats and cache headers.
@@ -103,22 +154,49 @@ func (t *Tier) Name() string { return "remote" }
 // Peer returns the base URL this tier reads from.
 func (t *Tier) Peer() string { return t.base }
 
+// recordBreaker feeds the attached breaker, if any. A nil err is a
+// healthy peer interaction (including a clean 404); a non-nil err is a
+// degraded one. Neutral outcomes — the caller hung up, a local bug —
+// must not reach the breaker at all: recording them as successes would
+// let a stream of client disconnects mask a dead peer, and as failures
+// would open the breaker on a healthy one.
+func (t *Tier) recordBreaker(err error) {
+	if t.breaker != nil {
+		t.breaker.Record(err)
+	}
+}
+
 // Get asks the peer for k's table in cache-only mode. Any failure —
 // network, status, decode, identity mismatch, context expiry — is a
 // miss. The context bounds the round trip (on top of the client's own
 // timeout), so a black-holed peer cannot stall a request past its
-// serving deadline.
+// serving deadline. With an open breaker the peer is not consulted at
+// all: the miss is immediate (stats: short_circuits).
 func (t *Tier) Get(ctx context.Context, k store.Key) (*result.Table, bool) {
+	if t.breaker != nil && !t.breaker.Allow() {
+		t.shortCircuits.Add(1)
+		t.misses.Add(1)
+		return nil, false
+	}
 	u := fmt.Sprintf("%s/tables/%s?seed=%d&quick=%t&cached=only",
 		t.base, url.PathEscape(k.ID), k.Params.Seed, k.Params.Quick)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
+		// A malformed request is this side's bug, not the peer's health:
+		// no breaker record either way.
 		t.errors.Add(1)
 		t.misses.Add(1)
 		return nil, false
 	}
 	resp, err := t.client.Do(req)
 	if err != nil {
+		// The caller hanging up (context.Canceled) is nobody's fault —
+		// neutral, no record. An expired deadline or a transport failure
+		// means the peer did not answer within the budget — exactly what
+		// the breaker tracks.
+		if !(errors.Is(err, context.Canceled) && ctx.Err() == context.Canceled) {
+			t.recordBreaker(fmt.Errorf("remote: %s: %w", t.base, err))
+		}
 		t.errors.Add(1)
 		t.misses.Add(1)
 		return nil, false
@@ -136,20 +214,26 @@ func (t *Tier) Get(ctx context.Context, k store.Key) (*result.Table, bool) {
 		// All misses, but counted apart: 404 is the peer's normal "not
 		// cached" answer (peer cold), 429/503 a live peer shedding load
 		// (peer saturated — retrying it harder would make things worse),
-		// and anything else a degraded peer.
+		// and anything else a degraded peer. The breaker sees 404 as
+		// healthy (the peer answered correctly) and everything else as a
+		// failure: a saturated peer WANTS the short-circuit relief.
 		switch resp.StatusCode {
 		case http.StatusNotFound:
 			t.cold.Add(1)
+			t.recordBreaker(nil)
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 			t.saturated.Add(1)
+			t.recordBreaker(fmt.Errorf("remote: %s: status %d (saturated)", t.base, resp.StatusCode))
 		default:
 			t.errors.Add(1)
+			t.recordBreaker(fmt.Errorf("remote: %s: unexpected status %d", t.base, resp.StatusCode))
 		}
 		t.misses.Add(1)
 		return nil, false
 	}
 	tab, err := result.DecodeJSON(io.LimitReader(resp.Body, maxResponseBytes))
 	if err != nil {
+		t.recordBreaker(fmt.Errorf("remote: %s: undecodable body: %w", t.base, err))
 		t.errors.Add(1)
 		t.misses.Add(1)
 		return nil, false
@@ -164,15 +248,18 @@ func (t *Tier) Get(ctx context.Context, k store.Key) (*result.Table, bool) {
 	// the local store under this fingerprint. An absent header (a
 	// non-bccserve peer implementation) degrades to the id check alone.
 	if tab.ID != k.ID {
+		t.recordBreaker(fmt.Errorf("remote: %s: answered table %q for %q", t.base, tab.ID, k.ID))
 		t.errors.Add(1)
 		t.misses.Add(1)
 		return nil, false
 	}
 	if fp := resp.Header.Get("X-Fingerprint"); fp != "" && fp != k.Fingerprint {
+		t.recordBreaker(fmt.Errorf("remote: %s: fingerprint mismatch", t.base))
 		t.errors.Add(1)
 		t.misses.Add(1)
 		return nil, false
 	}
+	t.recordBreaker(nil)
 	t.hits.Add(1)
 	return tab, true
 }
@@ -195,6 +282,9 @@ type Stats struct {
 	Cold      uint64 `json:"cold"`
 	Saturated uint64 `json:"saturated"`
 	Errors    uint64 `json:"errors"`
+	// ShortCircuits counts lookups an open breaker refused without
+	// touching the peer (a subset of Misses; µs each, not a timeout).
+	ShortCircuits uint64 `json:"short_circuits"`
 }
 
 // Stats reports the tier's traffic counters.
@@ -202,5 +292,6 @@ func (t *Tier) Stats() Stats {
 	return Stats{
 		Peer: t.base, Hits: t.hits.Load(), Misses: t.misses.Load(),
 		Cold: t.cold.Load(), Saturated: t.saturated.Load(), Errors: t.errors.Load(),
+		ShortCircuits: t.shortCircuits.Load(),
 	}
 }

@@ -5,10 +5,12 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/breaker"
 	"repro/internal/result"
 	"repro/internal/store"
 )
@@ -280,5 +282,152 @@ func TestDefaultClientReusesConnections(t *testing.T) {
 	}
 	if got := conns.Load(); got > 2 {
 		t.Fatalf("8 lookups opened %d connections; the pooled default should reuse", got)
+	}
+}
+
+func TestBreakerOpensOnDeadPeerAndShortCircuits(t *testing.T) {
+	// A listener that accepts nothing: every round trip is a transport
+	// failure. Dial a free port and close it so connects are refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadURL := "http://" + ln.Addr().String()
+	ln.Close()
+
+	b := breaker.New("peer", breaker.Options{Failures: 3, Cooldown: time.Hour})
+	tier, err := New(deadURL, nil, WithBreaker(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := store.KeyFor("EX", result.Params{Seed: 1})
+	for i := 0; i < 3; i++ {
+		if _, ok := tier.Get(context.Background(), k); ok {
+			t.Fatal("dead peer hit")
+		}
+	}
+	if st := b.State(); st != breaker.Open {
+		t.Fatalf("breaker %v after 3 transport failures, want open", st)
+	}
+	// Open breaker: the peer is never dialed, and the miss is instant.
+	start := time.Now()
+	if _, ok := tier.Get(context.Background(), k); ok {
+		t.Fatal("short-circuited lookup hit")
+	}
+	if el := time.Since(start); el > 50*time.Millisecond {
+		t.Fatalf("short-circuit took %v, want microseconds", el)
+	}
+	if st := tier.Stats(); st.ShortCircuits != 1 {
+		t.Fatalf("stats %+v, want 1 short circuit", st)
+	}
+}
+
+func TestCleanNotFoundNeverTripsBreaker(t *testing.T) {
+	srv := peer(t, "EX", nil, nil) // healthy peer, 404s everything
+	defer srv.Close()
+	b := breaker.New("peer", breaker.Options{Failures: 2, Cooldown: time.Hour})
+	tier, err := New(srv.URL, nil, WithBreaker(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := store.KeyFor("EX", result.Params{Seed: 1})
+	for i := 0; i < 10; i++ {
+		tier.Get(context.Background(), k)
+	}
+	if st := b.State(); st != breaker.Closed {
+		t.Fatalf("breaker %v after clean 404s, want closed", st)
+	}
+	if st := tier.Stats(); st.Cold != 10 || st.ShortCircuits != 0 {
+		t.Fatalf("stats %+v, want 10 cold misses, 0 short circuits", st)
+	}
+}
+
+func TestCallerCancelIsNeutralToBreaker(t *testing.T) {
+	// A peer that never answers; the *caller* hangs up. The breaker must
+	// see neither success nor failure — a stream of client disconnects
+	// says nothing about peer health.
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer srv.Close()
+	defer close(block)
+	b := breaker.New("peer", breaker.Options{Failures: 1, Cooldown: time.Hour})
+	tier, err := New(srv.URL, nil, WithBreaker(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	k := store.KeyFor("EX", result.Params{Seed: 1})
+	if _, ok := tier.Get(ctx, k); ok {
+		t.Fatal("canceled lookup hit")
+	}
+	if st := b.State(); st != breaker.Closed {
+		t.Fatalf("breaker %v after caller cancel, want closed (neutral)", st)
+	}
+}
+
+func TestWithTimeoutBoundsRoundTrip(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer srv.Close()
+	defer close(block)
+	tier, err := New(srv.URL, nil, WithTimeout(30*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, ok := tier.Get(context.Background(), store.KeyFor("EX", result.Params{})); ok {
+		t.Fatal("black-holed peer hit")
+	}
+	el := time.Since(start)
+	if el < 20*time.Millisecond || el > 2*time.Second {
+		t.Fatalf("timed out after %v, want ~30ms", el)
+	}
+}
+
+func TestBreakerRecoversViaHalfOpenProbe(t *testing.T) {
+	// A peer that fails until healed, then 404s cleanly.
+	var healed atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healed.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+
+	clk := time.Unix(1_700_000_000, 0)
+	var mu sync.Mutex
+	now := func() time.Time { mu.Lock(); defer mu.Unlock(); return clk }
+	b := breaker.New("peer", breaker.Options{Failures: 2, Cooldown: time.Minute, Now: now})
+	tier, err := New(srv.URL, nil, WithBreaker(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := store.KeyFor("EX", result.Params{Seed: 1})
+	tier.Get(context.Background(), k)
+	tier.Get(context.Background(), k)
+	if b.State() != breaker.Open {
+		t.Fatalf("breaker %v after repeated 500s", b.State())
+	}
+	healed.Store(true)
+	mu.Lock()
+	clk = clk.Add(2 * time.Minute)
+	mu.Unlock()
+	// The next lookup is the half-open probe; its clean 404 closes the
+	// breaker again.
+	if _, ok := tier.Get(context.Background(), k); ok {
+		t.Fatal("404 probe hit")
+	}
+	if st := b.State(); st != breaker.Closed {
+		t.Fatalf("breaker %v after successful probe, want closed", st)
+	}
+	if st := b.Stats(); st.Recoveries != 1 || st.Opens != 1 {
+		t.Fatalf("breaker stats %+v, want 1 open + 1 recovery", st)
 	}
 }

@@ -117,12 +117,54 @@ type Stats struct {
 	Corrupt uint64 `json:"corrupt"`
 }
 
-// Open returns a handle on dir, creating the layout if needed.
+// orphanTTL is how old a leftover temp file must be before startup and
+// Prune sweeps remove it. A crash mid-write leaves its ".tmp-*" file
+// behind forever (the rename never happened), but a *young* temp file
+// may be another process's in-flight write on a shared directory —
+// deleting it would fail that writer's rename. An hour is far beyond
+// any legitimate write's lifetime and far below "accumulating junk".
+const orphanTTL = time.Hour
+
+// sweepOrphans removes temp files older than ttl from the store root
+// and the objects directory — the debris of writers that crashed
+// between CreateTemp and Rename. Failures are ignored file by file
+// (the sweep is hygiene, not correctness: orphans are invisible to
+// every read path, which matches on "<fingerprint>.json" names).
+func (s *Store) sweepOrphans(ttl time.Duration) int {
+	removed := 0
+	cutoff := time.Now().Add(-ttl)
+	for _, dir := range []string{s.dir, filepath.Join(s.dir, "objects")} {
+		des, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, de := range des {
+			if !strings.HasPrefix(de.Name(), ".tmp-") || de.IsDir() {
+				continue
+			}
+			info, err := de.Info()
+			if err != nil || info.ModTime().After(cutoff) {
+				continue
+			}
+			if os.Remove(filepath.Join(dir, de.Name())) == nil {
+				removed++
+			}
+		}
+	}
+	return removed
+}
+
+// Open returns a handle on dir, creating the layout if needed. Orphaned
+// temp files from a previous crash mid-write are swept (they are
+// invisible to reads, but on a small disk a crash loop would otherwise
+// accumulate them without bound).
 func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
-	return &Store{dir: dir}, nil
+	s := &Store{dir: dir}
+	s.sweepOrphans(orphanTTL)
+	return s, nil
 }
 
 // Dir returns the store's root directory.
@@ -397,7 +439,10 @@ func (s *Store) Stats() (Stats, error) {
 // damaged object regardless of age (checksum/decode failures only — an
 // object that merely failed to read, e.g. under fd exhaustion or a
 // permission hiccup, is left alone), returning how many were removed.
+// It also sweeps temp files orphaned by a crash mid-write (not counted
+// in the return — they were never objects).
 func Prune(s *Store, maxAge time.Duration) (int, error) {
+	s.sweepOrphans(orphanTTL)
 	entries, err := s.Entries()
 	if err != nil {
 		return 0, err

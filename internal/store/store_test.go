@@ -312,3 +312,75 @@ func TestPutReusesMemoizedEncoding(t *testing.T) {
 		t.Fatal("round trip failed after memo-reusing Put")
 	}
 }
+
+func TestOrphanedTempFilesSwept(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := keyFor("E3", 1)
+	if err := s.Put(k, tableFor("E3")); err != nil {
+		t.Fatal(err)
+	}
+	// Plant the debris of crashed writers: old temp files in both the
+	// root (index writes) and objects/ (table writes), plus one *young*
+	// temp file that could be another process's in-flight write.
+	old := time.Now().Add(-2 * time.Hour)
+	orphans := []string{
+		filepath.Join(dir, ".tmp-crashed-index"),
+		filepath.Join(dir, "objects", ".tmp-crashed-object"),
+	}
+	for _, p := range orphans {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(p, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	young := filepath.Join(dir, "objects", ".tmp-inflight")
+	if err := os.WriteFile(young, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopening simulates the post-crash restart.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range orphans {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("stale orphan %s survived reopen", p)
+		}
+	}
+	if _, err := os.Stat(young); err != nil {
+		t.Errorf("young temp file was swept: %v", err)
+	}
+	// The real corpus is intact: the object still reads and the index
+	// still lists exactly it.
+	if _, ok := s2.Get(context.Background(), k); !ok {
+		t.Fatal("stored table lost to the sweep")
+	}
+	entries, err := s2.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Fingerprint != k.Fingerprint {
+		t.Fatalf("index after sweep: %+v", entries)
+	}
+
+	// Prune also sweeps (for long-lived processes that never reopen).
+	if err := os.WriteFile(orphans[0], []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(orphans[0], old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Prune(s2, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphans[0]); !os.IsNotExist(err) {
+		t.Error("Prune left a stale orphan behind")
+	}
+}

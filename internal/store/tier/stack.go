@@ -2,12 +2,23 @@ package tier
 
 import (
 	"context"
+	"net/http"
+	"time"
 
+	"repro/internal/breaker"
 	"repro/internal/result"
 	"repro/internal/store"
 	"repro/internal/store/memlru"
 	"repro/internal/store/objstore"
 	"repro/internal/store/remote"
+)
+
+// Breaker names the stack registers in a breaker.Set — also the
+// dependency names the X-Degraded header and /healthz readiness use.
+const (
+	BreakerPeer        = "peer"
+	BreakerObjstore    = "objstore"
+	BreakerObjstorePut = "objstore-put"
 )
 
 // Config selects which tiers a Stack assembles. The zero value yields a
@@ -23,12 +34,27 @@ type Config struct {
 	ObjstoreDir string
 	// ObjstoreClient, when non-nil, supplies the shared bucket client
 	// directly and takes precedence over ObjstoreDir — tests and
-	// in-process fleets inject an objstore.Mem here; a cloud adapter
-	// would arrive the same way.
+	// in-process fleets inject an objstore.Mem here (or a fault-wrapped
+	// client); a cloud adapter would arrive the same way.
 	ObjstoreClient objstore.ObjectClient
+	// ObjstorePutTimeout bounds each write-through Put against the
+	// bucket (0: objstore.DefaultPutTimeout).
+	ObjstorePutTimeout time.Duration
 	// PeerURL is the legacy read-only replica tier base URL (""
 	// disables). It sits last: the shared bucket answers first.
 	PeerURL string
+	// PeerTimeout bounds each peer round trip (0: remote.DefaultTimeout).
+	// Ignored when PeerClient supplies its own client.
+	PeerTimeout time.Duration
+	// PeerClient, when non-nil, replaces the peer tier's pooled default
+	// client — how fault injection wraps the peer transport.
+	PeerClient *http.Client
+	// Breakers, when non-nil, registers circuit breakers for the remote
+	// tiers: "peer" around peer lookups, "objstore"/"objstore-put"
+	// around bucket reads and write-throughs. The same Set should be
+	// handed to the serving layer so /healthz, /stats, and X-Degraded
+	// report every dependency in one place.
+	Breakers *breaker.Set
 }
 
 // Stack is the canonical L0 → L1 → shared L2 → peer assembly shared by
@@ -148,12 +174,24 @@ func NewStack(cfg Config) (Stack, error) {
 		client = fs
 	}
 	if client != nil {
-		st.Obj = objstore.New(client)
+		objOpts := []objstore.Option{objstore.WithPutTimeout(cfg.ObjstorePutTimeout)}
+		if cfg.Breakers != nil {
+			objOpts = append(objOpts, objstore.WithBreakers(
+				cfg.Breakers.Get(BreakerObjstore), cfg.Breakers.Get(BreakerObjstorePut)))
+		}
+		st.Obj = objstore.New(client, objOpts...)
 		tiers = append(tiers, st.Obj)
 	}
 	st.shared = len(tiers)
 	if cfg.PeerURL != "" {
-		p, err := remote.New(cfg.PeerURL, nil)
+		var peerOpts []remote.Option
+		if cfg.PeerTimeout > 0 {
+			peerOpts = append(peerOpts, remote.WithTimeout(cfg.PeerTimeout))
+		}
+		if cfg.Breakers != nil {
+			peerOpts = append(peerOpts, remote.WithBreaker(cfg.Breakers.Get(BreakerPeer)))
+		}
+		p, err := remote.New(cfg.PeerURL, cfg.PeerClient, peerOpts...)
 		if err != nil {
 			return st, err
 		}

@@ -14,10 +14,13 @@
 //   - an evicted L0 entry refills from L1 on the next Get;
 //   - a corrupt L1 object falls through to L2 and is healed by the
 //     backfill's overwrite;
-//   - an unreachable L2 peer degrades the stack to local tiers only —
-//     lookups keep working, computation happens locally, and the peer
-//     is retried on every later Get (no circuit breaker: one failed
-//     TCP connect per miss is cheap next to an estimator run).
+//   - an unreachable remote tier (bucket or peer) degrades the stack
+//     to local tiers only — lookups keep working and computation
+//     happens locally. With breakers attached (Config.Breakers) the
+//     outage is also remembered: repeated failures open the tier's
+//     breaker and later lookups skip it in microseconds instead of
+//     re-paying a connect failure or timeout per miss, until a
+//     half-open probe finds it healthy again.
 //
 // Backfill failures are likewise absorbed: a hot table that cannot be
 // written into L0 is simply served from L1 again next time.
