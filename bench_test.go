@@ -109,6 +109,8 @@ func BenchmarkE14_SeedCrossover(b *testing.B)          { benchExperiment(b, "E14
 func BenchmarkE15_RestrictedLemmas(b *testing.B)       { benchExperiment(b, "E15") }
 func BenchmarkE16_WideMessages(b *testing.B)           { benchExperiment(b, "E16") }
 func BenchmarkE17_DiscussionProblems(b *testing.B)     { benchExperiment(b, "E17") }
+func BenchmarkE19_SpectralVsDegree(b *testing.B)       { benchExperiment(b, "E19") }
+func BenchmarkE20_MessagePassingSweep(b *testing.B)    { benchExperiment(b, "E20") }
 
 // Substrate benchmarks: the primitive operations every experiment rests
 // on, for performance tracking.

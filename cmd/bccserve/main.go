@@ -145,6 +145,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	storeDir := fs.String("store", os.Getenv("BCC_STORE"),
 		"disk store directory (L1; default $BCC_STORE; empty with no $BCC_STORE: no disk tier)")
 	memSize := fs.Int("mem", 64, "in-memory hot-table LRU capacity in tables (L0; 0 disables)")
+	memBytes := fs.Int64("mem-bytes", 0, "approximate byte cap for the L0 hot-table LRU (0: entries-only; evicts LRU-first when resident encoded bytes exceed the cap)")
 	peer := fs.String("peer", "", "warm replica base URL to read from (legacy read-only tier, e.g. http://replica-0:8344)")
 	objDir := fs.String("objstore", "", "shared object-store directory (writable shared L2; point every replica at one shared volume path)")
 	fleetFlag := fs.String("fleet", "", "static fleet membership: comma-separated replica URLs, FIRST entry is this replica (enables rendezvous ownership + owner proxy/wait)")
@@ -194,7 +195,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 
 	breakers := breaker.NewSet(breaker.Options{Failures: *breakerFailures, Cooldown: *breakerCooldown})
 	cfg := tier.Config{
-		MemCapacity: *memSize, Dir: *storeDir, ObjstoreDir: *objDir, PeerURL: *peer,
+		MemCapacity: *memSize, MemMaxBytes: *memBytes,
+		Dir: *storeDir, ObjstoreDir: *objDir, PeerURL: *peer,
 		ObjstorePutTimeout: *putTimeout, PeerTimeout: *peerTimeout,
 		Breakers: breakers,
 	}

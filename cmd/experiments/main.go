@@ -60,6 +60,7 @@ func run(args []string, stdout io.Writer) error {
 	storeDir := fs.String("store", os.Getenv("BCC_STORE"),
 		"result-store directory: serve cached tables and persist fresh ones (default $BCC_STORE)")
 	memSize := fs.Int("mem", 0, "in-memory hot-table LRU capacity in tables (0 disables)")
+	memBytes := fs.Int64("mem-bytes", 0, "approximate byte cap for the in-memory LRU (0: entries-only)")
 	peer := fs.String("peer", "", "warm bccserve replica to read tables from before computing (read-only)")
 	objDir := fs.String("objstore", "", "shared object-store directory (the fleet's writable shared tier; a shared volume path)")
 	outPath := fs.String("o", "", "write output to this file instead of stdout")
@@ -90,7 +91,8 @@ func run(args []string, stdout io.Writer) error {
 	// The same memory → disk → objstore → peer assembly bccserve serves
 	// from.
 	stack, err := tier.NewStack(tier.Config{
-		MemCapacity: *memSize, Dir: *storeDir, ObjstoreDir: *objDir, PeerURL: *peer,
+		MemCapacity: *memSize, MemMaxBytes: *memBytes,
+		Dir: *storeDir, ObjstoreDir: *objDir, PeerURL: *peer,
 	})
 	if err != nil {
 		return err

@@ -31,18 +31,60 @@ func (r RecoveryReport) MeanOverlap() float64 {
 	return float64(r.OverlapSum) / float64(r.Trials)
 }
 
-// MeasureRecovery runs the Appendix B sampling protocol on `trials`
-// fresh planted (n, k) instances, fanning trials out over `workers`
-// goroutines (≤ 0 means GOMAXPROCS). Trial i draws its instance and its
-// activation coins from the dedicated stream rng.Shard(base, i), where
-// base is the single value consumed from r — so the report is
-// bit-identical for every worker count. Each trial runs its own protocol
-// instance: SampleAndSolve carries per-execution blackboard state and
-// must not be shared across concurrent runs.
-func MeasureRecovery(n, k, trials, workers int, r *rng.Stream) (RecoveryReport, error) {
-	rep := RecoveryReport{Trials: trials}
+// SampleSharedInstances draws `trials` planted (n, k) instances for a
+// paired engine comparison: instance i comes entirely from the
+// dedicated stream rng.Shard(base, i) — the graph first (directed A_k,
+// or the undirected mirror-sampled variant), then one uint64 of
+// protocol coins — so the set depends only on (n, k, trials, base,
+// undirected), never on worker count or on which engines later consume
+// it. Handing the SAME slice to every engine under comparison is what
+// makes cross-engine recovery tables paired: each engine sees each
+// adjacency exactly once, and differences in the reports are
+// differences between algorithms, not between samples.
+func SampleSharedInstances(n, k, trials, workers int, base uint64, undirected bool) ([]PlantedInstance, error) {
 	if trials <= 0 {
-		return rep, fmt.Errorf("cliquefind: MeasureRecovery needs trials > 0, got %d", trials)
+		return nil, fmt.Errorf("cliquefind: SampleSharedInstances needs trials > 0, got %d", trials)
+	}
+	insts := make([]PlantedInstance, trials)
+	spans := par.Split(uint64(trials), par.Workers(workers))
+	err := par.Do(len(spans), func(s int) error {
+		for i := spans[s].Lo; i < spans[s].Hi; i++ {
+			sr := rng.Shard(base, i)
+			var (
+				g      *graph.Digraph
+				clique []int
+				err    error
+			)
+			if undirected {
+				g, clique, err = graph.SampleUndirectedPlanted(n, k, sr)
+			} else {
+				g, clique, err = graph.SamplePlanted(n, k, sr)
+			}
+			if err != nil {
+				return err
+			}
+			insts[i] = PlantedInstance{Graph: g, Clique: clique, Coins: sr.Uint64()}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return insts, nil
+}
+
+// MeasureRecoveryOn runs the Appendix B sampling protocol on the given
+// pre-sampled instances, fanning trials out over `workers` goroutines
+// (≤ 0 means GOMAXPROCS). Each trial runs its own protocol instance
+// seeded with the instance's Coins: SampleAndSolve carries
+// per-execution blackboard state and must not be shared across
+// concurrent runs. The report is bit-identical for every worker count,
+// and — because the instances are inputs rather than samples — directly
+// comparable with any other engine measured on the same slice.
+func MeasureRecoveryOn(n, k, workers int, insts []PlantedInstance) (RecoveryReport, error) {
+	rep := RecoveryReport{Trials: len(insts)}
+	if len(insts) == 0 {
+		return rep, fmt.Errorf("cliquefind: MeasureRecoveryOn needs instances")
 	}
 	probe, err := NewSampleAndSolve(n, k)
 	if err != nil {
@@ -50,29 +92,24 @@ func MeasureRecovery(n, k, trials, workers int, r *rng.Stream) (RecoveryReport, 
 	}
 	rep.Rounds = probe.Rounds()
 
-	base := r.Uint64()
 	type tally struct{ exact, overlap int }
-	shards, err := par.Map(uint64(trials), workers, func(sp par.Span) (tally, error) {
+	shards, err := par.Map(uint64(len(insts)), workers, func(sp par.Span) (tally, error) {
 		var t tally
 		for i := sp.Lo; i < sp.Hi; i++ {
-			sr := rng.Shard(base, i)
+			inst := insts[i]
 			p, err := NewSampleAndSolve(n, k)
 			if err != nil {
 				return t, err
 			}
-			g, clique, err := graph.SamplePlanted(n, k, sr)
+			got, ok, err := RunOnGraph(p, inst.Graph, inst.Coins)
 			if err != nil {
 				return t, err
 			}
-			got, ok, err := RunOnGraph(p, g, sr.Uint64())
-			if err != nil {
-				return t, err
-			}
-			if ok && SameSet(got, clique) {
+			if ok && SameSet(got, inst.Clique) {
 				t.exact++
 			}
 			if ok {
-				t.overlap += Overlap(got, clique)
+				t.overlap += Overlap(got, inst.Clique)
 			}
 		}
 		return t, nil
@@ -85,4 +122,28 @@ func MeasureRecovery(n, k, trials, workers int, r *rng.Stream) (RecoveryReport, 
 		rep.OverlapSum += t.overlap
 	}
 	return rep, nil
+}
+
+// MeasureRecovery runs the Appendix B sampling protocol on `trials`
+// fresh directed planted (n, k) instances. It is
+// SampleSharedInstances + MeasureRecoveryOn with base drawn as the
+// single value consumed from r — the historical entry point, preserved
+// byte for byte: trial i still derives its graph and then its
+// activation coins from rng.Shard(base, i) in that order, so E12 tables
+// are unchanged by the instance-reuse refactor.
+func MeasureRecovery(n, k, trials, workers int, r *rng.Stream) (RecoveryReport, error) {
+	if trials <= 0 {
+		return RecoveryReport{Trials: trials}, fmt.Errorf("cliquefind: MeasureRecovery needs trials > 0, got %d", trials)
+	}
+	// Validate (n, k) before touching r: the historical error paths
+	// consumed nothing from the caller's stream.
+	if _, err := NewSampleAndSolve(n, k); err != nil {
+		return RecoveryReport{Trials: trials}, err
+	}
+	base := r.Uint64()
+	insts, err := SampleSharedInstances(n, k, trials, workers, base, false)
+	if err != nil {
+		return RecoveryReport{Trials: trials}, err
+	}
+	return MeasureRecoveryOn(n, k, workers, insts)
 }

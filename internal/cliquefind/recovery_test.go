@@ -59,4 +59,81 @@ func TestMeasureRecoveryRejectsBadTrials(t *testing.T) {
 	if _, err := MeasureRecovery(1, 9, 4, 1, rng.New(1)); err == nil {
 		t.Fatal("invalid (n, k) accepted")
 	}
+	// Error paths must not consume from the caller's stream (the
+	// historical contract callers' reproducibility depends on).
+	r := rng.New(3)
+	want := rng.New(3).Uint64()
+	_, _ = MeasureRecovery(1, 9, 4, 1, r)
+	if got := r.Uint64(); got != want {
+		t.Fatal("failed MeasureRecovery consumed from the caller's stream")
+	}
+}
+
+// TestSampleSharedInstancesPaired pins the instance-reuse contract:
+// the slice is a pure function of (n, k, trials, base, undirected) —
+// independent of worker count — and running the protocol twice on the
+// same slice is exactly reproducible (paired, not resampled).
+func TestSampleSharedInstancesPaired(t *testing.T) {
+	const n, k, trials, base = 64, 32, 6, uint64(77)
+	ref, err := SampleSharedInstances(n, k, trials, 1, base, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, runtime.GOMAXPROCS(0)} {
+		got, err := SampleSharedInstances(n, k, trials, w, base, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if !got[i].Graph.Equal(ref[i].Graph) || !SameSet(got[i].Clique, ref[i].Clique) ||
+				got[i].Coins != ref[i].Coins {
+				t.Fatalf("workers=%d: instance %d differs from workers=1", w, i)
+			}
+		}
+	}
+	for _, inst := range ref {
+		if !inst.Graph.IsSymmetric() {
+			t.Fatal("undirected instance is not symmetric")
+		}
+		if !inst.Graph.IsClique(inst.Clique) {
+			t.Fatal("planted set is not a clique")
+		}
+	}
+	a, err := MeasureRecoveryOn(n, k, 2, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MeasureRecoveryOn(n, k, 3, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same instances, different reports: %+v vs %+v", a, b)
+	}
+}
+
+// TestMeasureRecoveryIsSampleThenMeasure: the historical entry point is
+// exactly the composition of the sampler and the paired runner — same
+// stream discipline, same report — so E12 tables are untouched by the
+// refactor.
+func TestMeasureRecoveryIsSampleThenMeasure(t *testing.T) {
+	const n, k, trials = 64, 32, 9
+	r := rng.New(5)
+	whole, err := MeasureRecovery(n, k, trials, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := rng.New(5)
+	base := r2.Uint64()
+	insts, err := SampleSharedInstances(n, k, trials, 2, base, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	composed, err := MeasureRecoveryOn(n, k, 2, insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole != composed {
+		t.Fatalf("MeasureRecovery %+v != sample+measure %+v", whole, composed)
+	}
 }

@@ -134,6 +134,11 @@ type PlantedInstance struct {
 	Graph *graph.Digraph
 	// Clique is the planted vertex set (sorted).
 	Clique []int
+	// Coins seeds any per-instance protocol randomness (the Appendix B
+	// activation coins). It is drawn from the instance's own stream at
+	// sampling time so every engine measured on this instance — and
+	// every worker layout — sees the same value.
+	Coins uint64
 }
 
 // NewPlantedInstance samples from A_k.

@@ -119,6 +119,8 @@ func All() []Experiment {
 		{ID: "E16", Title: "BCAST(1) vs BCAST(log n) exchange rate", Run: E16WideMessages},
 		{ID: "E17", Title: "Discussion workloads: connectivity, triangles", Run: E17DiscussionProblems},
 		{ID: "E18", Title: "Exact n = 5 planted-clique lower-bound tables", Run: E18ExactLowerBound},
+		{ID: "E19", Title: "Appendix B protocol vs spectral recovery, paired", Run: E19SpectralVsDegree},
+		{ID: "E20", Title: "BP/AMP phase sweep around k = √n", Run: E20MessagePassingSweep},
 	}
 }
 

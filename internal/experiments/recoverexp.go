@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/cliquefind"
+	"repro/internal/recover"
+	"repro/internal/rng"
+)
+
+// E19SpectralVsDegree compares the paper's BCAST(1) degree-counting
+// protocol (Appendix B) head to head with offline spectral recovery —
+// power iteration on the centered adjacency — on IDENTICAL planted
+// instances. Each (n, k) case samples one shared instance set and hands
+// the same adjacencies to both engines, so the comparison is paired:
+// every difference between the two rows of a case is algorithmic, not
+// sampling noise. The protocol pays O(n/k·log²n) broadcast rounds where
+// the spectral engine pays tens of dense matvec sweeps; at k = 4√n and
+// above both recover exactly, which is the point — the paper's lower
+// bounds are about the *communication* model, not about planted cliques
+// being statistically hard at this size.
+func E19SpectralVsDegree(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E19",
+		Title: "Appendix B protocol vs spectral recovery on shared instances",
+		Claim: "paired on identical instances, BCAST(1) degree counting and offline power iteration both recover exactly for k ≥ 4√n",
+		Columns: []string{"n", "k", "engine", "trials",
+			"exact recovery", "mean overlap", "cost"},
+	}
+	cases := []struct{ n, k int }{
+		{128, 45}, {128, 64}, {256, 64}, {256, 128},
+	}
+	if cfg.Quick {
+		cases = []struct{ n, k int }{{96, 39}, {128, 45}}
+	}
+	trials := cfg.trials(10)
+	r := rng.New(cfg.Seed + 19)
+	spectral := recover.NewSpectral()
+	ok := true
+	for _, c := range cases {
+		if err := cfg.Err(); err != nil {
+			return nil, err
+		}
+		base := r.Uint64()
+		insts, err := cliquefind.SampleSharedInstances(c.n, c.k, trials, cfg.workers(), base, true)
+		if err != nil {
+			return nil, err
+		}
+		deg, err := cliquefind.MeasureRecoveryOn(c.n, c.k, cfg.workers(), insts)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := recover.Measure(spectral, c.k, cfg.workers(), insts)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(d(c.n), d(c.k), s("degree-bcast1"), d(trials),
+			f(deg.ExactRate()), fp(deg.MeanOverlap(), 2), sf("%d rounds", deg.Rounds))
+		t.AddRow(d(c.n), d(c.k), s("spectral"), d(trials),
+			f(spec.ExactRate()), fp(spec.MeanOverlap(), 2), sf("%.1f iters", spec.MeanIters()))
+		if deg.ExactRate() < 0.9 || spec.ExactRate() < 0.9 {
+			ok = false
+		}
+	}
+	if ok {
+		t.Shape = "holds: both engines recover exactly on the shared instances; cost differs by model, not outcome"
+	} else {
+		t.Shape = "SHAPE MISMATCH: an engine fell below 0.9 exact recovery at k ≥ 4√n"
+	}
+	return t, nil
+}
+
+// E20MessagePassingSweep sweeps BP and AMP through the algorithmic
+// phase transition: k = c·√n for c ∈ {1, 2, 3, 4}. Both engines run on
+// the same shared instance set per k, so the sweep shows WHERE each
+// message-passing scheme's basin ends — at c = 1 (the k ≈ √n threshold
+// the paper's PRG construction leans on) the polynomial-denoiser AMP
+// starts losing trials while dense BP, which keeps the full n² message
+// state instead of AMP's n-dimensional summary, holds on longer. By
+// c = 4 both recover essentially always; that easy regime is the E19
+// operating point.
+func E20MessagePassingSweep(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E20",
+		Title: "BP/AMP phase sweep around k = √n",
+		Claim: "message passing recovers the planted clique for k = c·√n once c is a small constant; success decays toward the √n threshold",
+		Columns: []string{"n", "k", "c", "engine", "trials",
+			"exact recovery", "overlap/k", "mean iters"},
+	}
+	n := 512
+	if cfg.Quick {
+		n = 128
+	}
+	trials := cfg.trials(10)
+	r := rng.New(cfg.Seed + 20)
+	engines := []recover.Engine{recover.NewBP(), recover.NewAMP()}
+	rootN := math.Sqrt(float64(n))
+	// first/last exact counts per engine, for the shape verdict
+	first := make(map[string]float64)
+	last := make(map[string]float64)
+	for _, c := range []int{1, 2, 3, 4} {
+		if err := cfg.Err(); err != nil {
+			return nil, err
+		}
+		k := int(float64(c) * rootN)
+		base := r.Uint64()
+		insts, err := cliquefind.SampleSharedInstances(n, k, trials, cfg.workers(), base, true)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range engines {
+			rep, err := recover.Measure(e, k, cfg.workers(), insts)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(d(n), d(k), d(c), s(e.Name()), d(trials),
+				f(rep.ExactRate()), fp(rep.MeanOverlap()/float64(k), 2),
+				fp(rep.MeanIters(), 1))
+			if c == 1 {
+				first[e.Name()] = rep.ExactRate()
+			}
+			if c == 4 {
+				last[e.Name()] = rep.ExactRate()
+			}
+		}
+	}
+	ok := true
+	for _, e := range engines {
+		if last[e.Name()] < 0.9 || last[e.Name()] < first[e.Name()] {
+			ok = false
+		}
+	}
+	if ok {
+		t.Shape = "holds: exact recovery ≥ 0.9 at c = 4 for both engines and no engine does worse at c = 4 than at c = 1"
+	} else {
+		t.Shape = "SHAPE MISMATCH: message passing failed in the easy regime c = 4"
+	}
+	return t, nil
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRecoveryTablesWorkerInvariant pins the fingerprint contract for
+// the seconds-class recovery experiments: the canonical JSON encoding
+// of an E19 or E20 table is byte-identical at every worker count, so
+// Workers stays out of Params and one cached table serves all pool
+// sizes.
+func TestRecoveryTablesWorkerInvariant(t *testing.T) {
+	for _, exp := range []Experiment{
+		{ID: "E19", Run: E19SpectralVsDegree},
+		{ID: "E20", Run: E20MessagePassingSweep},
+	} {
+		var ref []byte
+		for i, w := range []int{1, 2, 8} {
+			table, err := exp.Run(Config{Seed: 3, Quick: true, Workers: w})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", exp.ID, w, err)
+			}
+			enc, err := table.CanonicalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				ref = enc
+				continue
+			}
+			if !bytes.Equal(enc, ref) {
+				t.Fatalf("%s: canonical encoding at workers=%d differs from workers=1", exp.ID, w)
+			}
+		}
+	}
+}
+
+// TestRecoveryTablesPairedRows checks the paired structure of E19: each
+// (n, k) case contributes one degree-protocol row and one spectral row,
+// in that order, with equal trial counts — the visible trace that both
+// engines consumed the same instance slice.
+func TestRecoveryTablesPairedRows(t *testing.T) {
+	table, err := E19SpectralVsDegree(Config{Seed: 5, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows)%2 != 0 {
+		t.Fatalf("E19 rows not paired: %d rows", len(table.Rows))
+	}
+	for i := 0; i < len(table.Rows); i += 2 {
+		deg, spec := table.Rows[i], table.Rows[i+1]
+		// n, k, trials agree within a pair; engines differ as labeled.
+		for _, col := range []int{0, 1, 3} {
+			if deg[col] != spec[col] {
+				t.Fatalf("pair %d: column %d differs: %+v vs %+v", i/2, col, deg[col], spec[col])
+			}
+		}
+		if !strings.Contains(deg[2].String(), "degree") || spec[2].String() != "spectral" {
+			t.Fatalf("pair %d: engine labels %q / %q", i/2, deg[2].String(), spec[2].String())
+		}
+	}
+}
+
+// TestE20SweepsBothEngines: every c value carries one bp and one amp
+// row on the same k.
+func TestE20SweepsBothEngines(t *testing.T) {
+	table, err := E20MessagePassingSweep(Config{Seed: 5, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 8 {
+		t.Fatalf("E20 produced %d rows, want 8 (4 c-values × 2 engines)", len(table.Rows))
+	}
+	for i := 0; i < len(table.Rows); i += 2 {
+		bp, amp := table.Rows[i], table.Rows[i+1]
+		if bp[1] != amp[1] {
+			t.Fatalf("c-group %d: bp and amp ran different k: %+v vs %+v", i/2, bp[1], amp[1])
+		}
+		if bp[3].String() != "bp" || amp[3].String() != "amp" {
+			t.Fatalf("c-group %d: engine labels %q / %q", i/2, bp[3].String(), amp[3].String())
+		}
+	}
+}

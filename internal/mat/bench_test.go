@@ -1,0 +1,50 @@
+package mat
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// BenchmarkMatVec1024 is the recovery engines' inner loop: one dense
+// 1024×1024 matrix·vector product, the per-iteration cost of power
+// iteration and AMP at N in the thousands. Rows in BENCH_RECOVER.json.
+func BenchmarkMatVec1024(b *testing.B) {
+	r := rng.New(1)
+	const n = 1024
+	m := randomDense(n, r)
+	x := randomVec(n, r)
+	dst := make([]float64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MatVec(dst, x, runtime.GOMAXPROCS(0))
+	}
+}
+
+// BenchmarkMatVec1024Seq is the single-worker baseline for the same
+// product — the pair measures what the row sharding buys on multi-core
+// hosts.
+func BenchmarkMatVec1024Seq(b *testing.B) {
+	r := rng.New(1)
+	const n = 1024
+	m := randomDense(n, r)
+	x := randomVec(n, r)
+	dst := make([]float64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MatVec(dst, x, 1)
+	}
+}
+
+func BenchmarkAddOuter1024(b *testing.B) {
+	r := rng.New(2)
+	const n = 1024
+	m := randomDense(n, r)
+	u := randomVec(n, r)
+	v := randomVec(n, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.AddOuter(1e-9, u, v, runtime.GOMAXPROCS(0))
+	}
+}

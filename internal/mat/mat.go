@@ -1,0 +1,201 @@
+// Package mat is the dense float64 linear-algebra substrate under the
+// message-passing recovery engines (internal/recover): row-major N×N
+// matrices whose bulk operations — matrix·vector products, rank-one
+// outer-product updates, arbitrary row-parallel applies — fan out over
+// internal/par, one contiguous span of rows per goroutine.
+//
+// # Determinism contract
+//
+// Every parallel operation here is bit-identical for every worker
+// count, the same contract the sharded Monte-Carlo estimators pin and
+// the reason the result layer's fingerprints exclude Workers entirely.
+// The package earns it structurally rather than numerically: a row is
+// an atomic unit of work (no shard ever splits a row), each output
+// element is written by exactly one goroutine, and every cross-row
+// reduction (Dot, Norm2, Sum — the only places float addition order
+// could vary with the shard layout) runs sequentially in index order on
+// the calling goroutine. Parallelism buys wall clock on the O(N²) row
+// work and is invisible in the O(N) merges.
+package mat
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// Dense is a row-major n×n float64 matrix.
+type Dense struct {
+	n    int
+	data []float64
+}
+
+// New returns a zero n×n matrix.
+func New(n int) *Dense {
+	if n < 0 {
+		panic("mat: negative dimension")
+	}
+	return &Dense{n: n, data: make([]float64, n*n)}
+}
+
+// N returns the dimension.
+func (m *Dense) N() int { return m.n }
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.n+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.n+j] = v }
+
+// Row returns row i as a live slice into the matrix storage: writes
+// through it mutate the matrix. Row-parallel callers rely on this to
+// update disjoint rows without copies.
+func (m *Dense) Row(i int) []float64 { return m.data[i*m.n : (i+1)*m.n] }
+
+// CenteredAdjacency builds the rescaled ±1 matrix the planted-clique
+// message-passing literature calls W: W[i][j] = (2·A[i][j] − 1)/√n for
+// i ≠ j and 0 on the diagonal. For an undirected instance (symmetric
+// digraph) W is symmetric with entry variance 1/n off the planted
+// clique — the normalization under which power iteration and AMP see a
+// rank-one spike of strength k/√n.
+func CenteredAdjacency(g *graph.Digraph) *Dense {
+	n := g.N()
+	m := New(n)
+	inv := 1 / math.Sqrt(float64(n))
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if g.HasEdge(i, j) {
+				row[j] = inv
+			} else {
+				row[j] = -inv
+			}
+		}
+	}
+	return m
+}
+
+// spans cuts the row space for the requested worker count.
+func (m *Dense) spans(workers int) []par.Span {
+	return par.Split(uint64(m.n), par.Workers(workers))
+}
+
+// MatVec computes dst = m·x with one goroutine per row span. Each
+// dst[i] is a single row's sequential dot product, so the result is
+// bit-identical for every worker count. dst and x must have length n
+// and must not alias each other.
+func (m *Dense) MatVec(dst, x []float64, workers int) {
+	if len(dst) != m.n || len(x) != m.n {
+		panic(fmt.Sprintf("mat: MatVec length mismatch: dst=%d x=%d n=%d", len(dst), len(x), m.n))
+	}
+	spans := m.spans(workers)
+	par.Do(len(spans), func(s int) error {
+		for i := spans[s].Lo; i < spans[s].Hi; i++ {
+			row := m.Row(int(i))
+			var sum float64
+			for j, w := range row {
+				sum += w * x[j]
+			}
+			dst[i] = sum
+		}
+		return nil
+	})
+}
+
+// AddOuter performs the rank-one update m += alpha·u·vᵀ row-parallel:
+// row i gains alpha·u[i]·v[j] at column j. Deterministic per the
+// package contract — each row is updated by exactly one goroutine.
+func (m *Dense) AddOuter(alpha float64, u, v []float64, workers int) {
+	if len(u) != m.n || len(v) != m.n {
+		panic(fmt.Sprintf("mat: AddOuter length mismatch: u=%d v=%d n=%d", len(u), len(v), m.n))
+	}
+	spans := m.spans(workers)
+	par.Do(len(spans), func(s int) error {
+		for i := spans[s].Lo; i < spans[s].Hi; i++ {
+			row := m.Row(int(i))
+			scale := alpha * u[i]
+			for j := range row {
+				row[j] += scale * v[j]
+			}
+		}
+		return nil
+	})
+}
+
+// ApplyRows runs fn(i, row) for every row i, row-parallel, handing fn
+// the live row slice. fn must touch only its own row (plus read-only
+// shared state); under that discipline the apply is race-free and
+// bit-identical at any worker count.
+func (m *Dense) ApplyRows(workers int, fn func(i int, row []float64)) {
+	spans := m.spans(workers)
+	par.Do(len(spans), func(s int) error {
+		for i := spans[s].Lo; i < spans[s].Hi; i++ {
+			fn(int(i), m.Row(int(i)))
+		}
+		return nil
+	})
+}
+
+// ParRange runs fn(i) for i = 0..n−1 sharded like the matrix's own row
+// loops — the helper recovery engines use for per-vertex work that
+// reads whole columns (message passing) rather than rows. fn(i) must
+// write only state owned by index i.
+func ParRange(n, workers int, fn func(i int)) {
+	spans := par.Split(uint64(n), par.Workers(workers))
+	par.Do(len(spans), func(s int) error {
+		for i := spans[s].Lo; i < spans[s].Hi; i++ {
+			fn(int(i))
+		}
+		return nil
+	})
+}
+
+// Dot returns aᵀb, summed sequentially in index order (part of the
+// determinism contract: reductions never depend on the shard layout).
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: Dot length mismatch")
+	}
+	var sum float64
+	for i, v := range a {
+		sum += v * b[i]
+	}
+	return sum
+}
+
+// Norm2 returns the Euclidean norm of a, summed sequentially.
+func Norm2(a []float64) float64 {
+	var sum float64
+	for _, v := range a {
+		sum += v * v
+	}
+	return math.Sqrt(sum)
+}
+
+// Sum returns the sequential sum of a.
+func Sum(a []float64) float64 {
+	var sum float64
+	for _, v := range a {
+		sum += v
+	}
+	return sum
+}
+
+// Scale multiplies every element of dst by a in place.
+func Scale(dst []float64, a float64) {
+	for i := range dst {
+		dst[i] *= a
+	}
+}
+
+// Fill sets every element of dst to v.
+func Fill(dst []float64, v float64) {
+	for i := range dst {
+		dst[i] = v
+	}
+}

@@ -1,0 +1,189 @@
+package mat
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// randomDense fills an n×n matrix from a fixed stream.
+func randomDense(n int, r *rng.Stream) *Dense {
+	m := New(n)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = r.Float64()*2 - 1
+		}
+	}
+	return m
+}
+
+func randomVec(n int, r *rng.Stream) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.Float64()*2 - 1
+	}
+	return v
+}
+
+func TestMatVecMatchesSequential(t *testing.T) {
+	r := rng.New(41)
+	const n = 37
+	m := randomDense(n, r)
+	x := randomVec(n, r)
+	want := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += m.At(i, j) * x[j]
+		}
+		want[i] = sum
+	}
+	got := make([]float64, n)
+	m.MatVec(got, x, 4)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MatVec[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMatVecWorkerInvariance is the package's load-bearing test: the
+// result must be bit-identical (Float64bits, not approximate equality)
+// for every worker count, because the recovery tables built on top are
+// fingerprinted without the worker count.
+func TestMatVecWorkerInvariance(t *testing.T) {
+	r := rng.New(42)
+	const n = 129 // intentionally not a multiple of any worker count
+	m := randomDense(n, r)
+	x := randomVec(n, r)
+	ref := make([]float64, n)
+	m.MatVec(ref, x, 1)
+	for _, w := range []int{2, 3, 8, 64, 200} {
+		got := make([]float64, n)
+		m.MatVec(got, x, w)
+		for i := range ref {
+			if math.Float64bits(got[i]) != math.Float64bits(ref[i]) {
+				t.Fatalf("workers=%d: MatVec[%d] = %x, want %x", w, i,
+					math.Float64bits(got[i]), math.Float64bits(ref[i]))
+			}
+		}
+	}
+}
+
+func TestAddOuterWorkerInvariance(t *testing.T) {
+	r := rng.New(43)
+	const n = 65
+	u := randomVec(n, r)
+	v := randomVec(n, r)
+	base := randomDense(n, r)
+	ref := New(n)
+	copy(ref.data, base.data)
+	ref.AddOuter(0.7, u, v, 1)
+	for _, w := range []int{2, 8, 33} {
+		m := New(n)
+		copy(m.data, base.data)
+		m.AddOuter(0.7, u, v, w)
+		for i := range m.data {
+			if math.Float64bits(m.data[i]) != math.Float64bits(ref.data[i]) {
+				t.Fatalf("workers=%d: element %d differs", w, i)
+			}
+		}
+	}
+	// Spot-check the arithmetic itself.
+	m := New(3)
+	m.AddOuter(2, []float64{1, 2, 3}, []float64{4, 5, 6}, 1)
+	if got := m.At(1, 2); got != 2*2*6 {
+		t.Fatalf("AddOuter(1,2) = %v, want 24", got)
+	}
+}
+
+func TestApplyRowsCoversEveryRowOnce(t *testing.T) {
+	const n = 50
+	m := New(n)
+	ParRange(0, 4, func(int) { t.Fatal("ParRange(0) ran its body") })
+	m.ApplyRows(7, func(i int, row []float64) {
+		for j := range row {
+			row[j] += float64(i + 1)
+		}
+	})
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if m.At(i, j) != float64(i+1) {
+				t.Fatalf("row %d applied %v times?", i, m.At(i, j)/float64(i+1))
+			}
+		}
+	}
+}
+
+func TestCenteredAdjacency(t *testing.T) {
+	r := rng.New(44)
+	const n = 16
+	g := graph.SampleUndirectedRand(n, r)
+	w := CenteredAdjacency(g)
+	inv := 1 / math.Sqrt(float64(n))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := -inv
+			if i == j {
+				want = 0
+			} else if g.HasEdge(i, j) {
+				want = inv
+			}
+			if w.At(i, j) != want {
+				t.Fatalf("W[%d][%d] = %v, want %v", i, j, w.At(i, j), want)
+			}
+		}
+	}
+	// Undirected input ⇒ symmetric W.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if w.At(i, j) != w.At(j, i) {
+				t.Fatal("CenteredAdjacency of a symmetric graph is not symmetric")
+			}
+		}
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	if got := Sum(a); got != 6 {
+		t.Fatalf("Sum = %v, want 6", got)
+	}
+	c := []float64{1, 2}
+	Scale(c, 3)
+	if c[0] != 3 || c[1] != 6 {
+		t.Fatalf("Scale = %v", c)
+	}
+	Fill(c, 9)
+	if c[0] != 9 || c[1] != 9 {
+		t.Fatalf("Fill = %v", c)
+	}
+}
+
+func TestLengthMismatchesPanic(t *testing.T) {
+	m := New(4)
+	for name, fn := range map[string]func(){
+		"MatVec":   func() { m.MatVec(make([]float64, 3), make([]float64, 4), 1) },
+		"AddOuter": func() { m.AddOuter(1, make([]float64, 4), make([]float64, 5), 1) },
+		"Dot":      func() { Dot(make([]float64, 2), make([]float64, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: length mismatch did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

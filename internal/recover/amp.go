@@ -1,0 +1,217 @@
+package recover
+
+import (
+	"math"
+
+	"repro/internal/cliquefind"
+	"repro/internal/mat"
+)
+
+// AMP recovers the planted clique by approximate message passing with
+// the Deshpande–Montanari polynomial denoiser: the O(N)-state form of
+// dense message passing on W = (2A − 1)/√n. One iteration is
+//
+//	θ^{t+1} = W·f_t(θ^t) − b_t·f_{t−1}(θ^{t−1}),   b_t = (1/n)·Σ_i f_t'(θ^t_i),
+//
+// where the Onsager term b_t cancels the backtracking bias that plain
+// power iteration on f would accumulate. The denoiser is the degree-d
+// polynomial approximation of the posterior-mean exponential,
+//
+//	f_t(z) = (1/L̂_t) · Σ_{m=0}^{d} (μ̂_t^m / m!) · z^m,
+//
+// normalized so E[f_t(Z)²] = 1 for Z ~ N(0,1) — under state evolution
+// the non-clique coordinates of θ^t stay ≈ N(0,1), while clique
+// coordinates concentrate at μ̂_t. The scalar μ̂ obeys the exact
+// state-evolution recursion μ̂_{t+1} = (k/√n)·E[f_t(μ̂_t + Z)], and both
+// Gaussian expectations are closed-form moment sums (no quadrature):
+// E[Z^m] = (m−1)!! for even m, 0 for odd.
+//
+// Iteration stops when μ̂ reaches MuCap — the separation between clique
+// and bulk is then ≈ μ̂ standard deviations and further iterations only
+// scale both up (eventually past float64 range: the polynomial is
+// applied to its own output) — or when the top-k candidate set is
+// stable for two sweeps, whichever first.
+type AMP struct {
+	// Degree is the polynomial denoiser degree d (0: 4).
+	Degree int
+	// MaxIter caps the iterations (0: 50).
+	MaxIter int
+	// MuCap is the state-evolution mean at which the signal is declared
+	// separated (0: 15).
+	MuCap float64
+}
+
+// NewAMP returns the engine with default parameters.
+func NewAMP() *AMP { return &AMP{} }
+
+// Name implements Engine.
+func (a *AMP) Name() string { return "amp" }
+
+func (a *AMP) degree() int {
+	if a.Degree > 0 {
+		return a.Degree
+	}
+	return 4
+}
+
+func (a *AMP) maxIter() int {
+	if a.MaxIter > 0 {
+		return a.MaxIter
+	}
+	return 50
+}
+
+func (a *AMP) muCap() float64 {
+	if a.MuCap > 0 {
+		return a.MuCap
+	}
+	return 15
+}
+
+// doubleFactorial returns m!! (1 for m ≤ 0).
+func doubleFactorial(m int) float64 {
+	f := 1.0
+	for ; m > 1; m -= 2 {
+		f *= float64(m)
+	}
+	return f
+}
+
+// gaussMoment returns E[Z^m] for Z ~ N(0,1).
+func gaussMoment(m int) float64 {
+	if m%2 == 1 {
+		return 0
+	}
+	return doubleFactorial(m - 1)
+}
+
+// denoiser is the normalized polynomial f(z) = Σ c_m z^m with
+// E[f(Z)²] = 1.
+type denoiser struct {
+	c []float64 // normalized coefficients, degree index
+}
+
+// newDenoiser builds f for the state-evolution mean mu: raw
+// coefficients mu^m/m!, then divided by L̂ = sqrt(Σ_{m,l} c_m c_l
+// E[Z^{m+l}]).
+func newDenoiser(mu float64, degree int) denoiser {
+	c := make([]float64, degree+1)
+	c[0] = 1
+	fact := 1.0
+	for m := 1; m <= degree; m++ {
+		fact *= float64(m)
+		c[m] = math.Pow(mu, float64(m)) / fact
+	}
+	var l2 float64
+	for m := range c {
+		for l := range c {
+			l2 += c[m] * c[l] * gaussMoment(m+l)
+		}
+	}
+	l := math.Sqrt(l2)
+	for m := range c {
+		c[m] /= l
+	}
+	return denoiser{c: c}
+}
+
+// eval returns f(z) (Horner).
+func (d denoiser) eval(z float64) float64 {
+	var v float64
+	for m := len(d.c) - 1; m >= 0; m-- {
+		v = v*z + d.c[m]
+	}
+	return v
+}
+
+// deriv returns f'(z).
+func (d denoiser) deriv(z float64) float64 {
+	var v float64
+	for m := len(d.c) - 1; m >= 1; m-- {
+		v = v*z + float64(m)*d.c[m]
+	}
+	return v
+}
+
+// gaussMean returns E[f(mu + Z)] via the binomial expansion of
+// (mu + Z)^m against the Gaussian moments.
+func (d denoiser) gaussMean(mu float64) float64 {
+	var sum float64
+	for m, cm := range d.c {
+		if cm == 0 {
+			continue
+		}
+		// E[(mu+Z)^m] = Σ_j C(m,j)·mu^{m−j}·E[Z^j]
+		binom := 1.0
+		for j := 0; j <= m; j++ {
+			if j > 0 {
+				binom = binom * float64(m-j+1) / float64(j)
+			}
+			if j%2 == 0 {
+				sum += cm * binom * math.Pow(mu, float64(m-j)) * gaussMoment(j)
+			}
+		}
+	}
+	return sum
+}
+
+// Recover implements Engine.
+func (a *AMP) Recover(inst cliquefind.PlantedInstance, k, workers int) ([]int, int) {
+	g := inst.Graph
+	n := g.N()
+	w := mat.CenteredAdjacency(g)
+	lambda := float64(k) / math.Sqrt(float64(n)) // spike strength
+
+	theta := make([]float64, n)
+	fv := make([]float64, n)    // f_t(θ^t)
+	fPrev := make([]float64, n) // f_{t−1}(θ^{t−1})
+	scratch := make([]float64, n)
+
+	// t = 0: f_0 ≡ 1 (the degree-0 denoiser), θ¹ = W·1, no Onsager term
+	// yet. State evolution: clique coordinates of θ¹ concentrate at
+	// (k−1)/√n ≈ λ.
+	mat.Fill(fPrev, 1)
+	w.MatVec(theta, fPrev, workers)
+	mu := lambda
+	iters := 1
+
+	var lastCand []int
+	stable := 0
+	for t := 1; t < a.maxIter(); t++ {
+		f := newDenoiser(mu, a.degree())
+		var derivSum float64
+		for i, z := range theta {
+			fv[i] = f.eval(z)
+			derivSum += f.deriv(z)
+		}
+		onsager := derivSum / float64(n)
+		w.MatVec(scratch, fv, workers)
+		for i := range scratch {
+			scratch[i] -= onsager * fPrev[i]
+		}
+		theta, scratch = scratch, theta
+		fPrev, fv = fv, fPrev
+		iters = t + 1
+
+		// State evolution for the next denoiser.
+		mu = lambda * f.gaussMean(mu)
+		if mu >= a.muCap() {
+			break // separated: clique sits ≈ MuCap σ above the bulk
+		}
+		if mu < 1e-6 {
+			break // below the algorithmic threshold: signal has died
+		}
+		cand := topK(theta, k)
+		if lastCand != nil && sameInts(cand, lastCand) {
+			stable++
+			if stable >= 2 {
+				break
+			}
+		} else {
+			stable = 0
+		}
+		lastCand = cand
+	}
+
+	return refine(inst, theta, k, 3), iters
+}

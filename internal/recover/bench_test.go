@@ -1,0 +1,29 @@
+package recover
+
+import (
+	"testing"
+
+	"repro/internal/cliquefind"
+)
+
+// benchEngine times one full Recover call at n=512, k=4√n — the
+// acceptance-test operating point — on a single pre-sampled instance
+// with the full worker budget (the latency path).
+func benchEngine(b *testing.B, e Engine) {
+	const n, k = 512, 90
+	insts, err := cliquefind.SampleSharedInstances(n, k, 1, 0, 2019, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set, _ := e.Recover(insts[0], k, 0)
+		if len(set) != k {
+			b.Fatal("bad recovery")
+		}
+	}
+}
+
+func BenchmarkRecoverSpectral512(b *testing.B) { benchEngine(b, NewSpectral()) }
+func BenchmarkRecoverBP512(b *testing.B)       { benchEngine(b, NewBP()) }
+func BenchmarkRecoverAMP512(b *testing.B)      { benchEngine(b, NewAMP()) }

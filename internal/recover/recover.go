@@ -1,0 +1,208 @@
+// Package recover implements message-passing and spectral recovery of
+// planted cliques — the statistical-physics side of the problem the
+// paper attacks with communication lower bounds. Where the Appendix B
+// protocol (internal/cliquefind) recovers the clique by sampling and
+// degree counting inside a BCAST(1) round budget, the engines here work
+// on the centered adjacency matrix W = (2A − 1 − I·0)/√n directly:
+//
+//   - Spectral: power iteration towards W's top eigenvector, whose mass
+//     concentrates on the clique once k ≳ √n (the rank-one spike of
+//     strength k/√n);
+//   - BP: dense belief propagation on the posterior of the clique
+//     indicator, messages m_{i→j} = P(i ∈ clique | everything but j);
+//   - AMP: approximate message passing with the Deshpande–Montanari
+//     polynomial denoiser and an Onsager correction, the O(N) -state
+//     form of the same message passing.
+//
+// All three are iterative dense linear algebra over internal/mat —
+// a genuinely different workload shape from the repository's
+// enumeration engines, and the first one where a single table costs
+// seconds rather than microseconds.
+//
+// # Determinism contract
+//
+// Every engine is a deterministic function of (instance, k): no engine
+// consumes randomness, inner loops run on mat's row-sharded primitives
+// (bit-identical at any worker count), and cross-row reductions are
+// sequential. Measure fans trials out with one instance per rank, so a
+// Report — and every experiment table built from one — is bit-identical
+// for every worker count, which is what lets E19/E20 share the result
+// layer's fingerprint contract (Workers excluded).
+//
+// Wall time is the one non-deterministic field; it lives only in the
+// Report for operator eyes and is never written into a table cell.
+package recover
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cliquefind"
+	"repro/internal/par"
+)
+
+// Engine recovers a planted k-clique from one instance. Implementations
+// must be pure: same instance and k in, same set and iteration count
+// out, regardless of worker count.
+type Engine interface {
+	// Name identifies the engine in reports and table rows.
+	Name() string
+	// Recover returns the candidate clique (sorted) and the number of
+	// iterations the engine ran before converging (or hitting its cap).
+	Recover(inst cliquefind.PlantedInstance, k, workers int) ([]int, int)
+}
+
+// Report summarizes one engine's performance over a set of shared
+// instances, field-compatible with cliquefind.RecoveryReport so the
+// two recovery families compare head to head.
+type Report struct {
+	// Engine names the algorithm measured.
+	Engine string
+	// Trials is the number of instances run.
+	Trials int
+	// Exact counts trials that recovered exactly the planted set.
+	Exact int
+	// OverlapSum accumulates |recovered ∩ planted| over all trials.
+	OverlapSum int
+	// IterSum accumulates iterations-to-convergence over all trials.
+	IterSum int
+	// Wall is the measured wall time of the whole run. It depends on
+	// the host and the worker count, so it never enters a fingerprinted
+	// table — reports carry it for operators and benchmarks only.
+	Wall time.Duration
+}
+
+// ExactRate returns the exact-recovery frequency.
+func (r Report) ExactRate() float64 { return float64(r.Exact) / float64(r.Trials) }
+
+// MeanOverlap returns the average planted-clique overlap per trial.
+func (r Report) MeanOverlap() float64 { return float64(r.OverlapSum) / float64(r.Trials) }
+
+// MeanIters returns the average iterations-to-convergence per trial.
+func (r Report) MeanIters() float64 { return float64(r.IterSum) / float64(r.Trials) }
+
+// Measure runs the engine once per shared instance, fanning trials out
+// over `workers` goroutines (≤ 0 means GOMAXPROCS). Trial-level
+// parallelism is used for the fan-out; each Recover call runs its
+// internal row-sharded loops single-worker in that case (nested pools
+// would oversubscribe). When a single instance is measured the engine
+// gets the full worker budget instead — the latency path for one big
+// N. Everything except Wall is bit-identical for every worker count.
+func Measure(e Engine, k, workers int, insts []cliquefind.PlantedInstance) (Report, error) {
+	rep := Report{Engine: e.Name(), Trials: len(insts)}
+	if len(insts) == 0 {
+		return rep, fmt.Errorf("recover: Measure needs instances")
+	}
+	inner := 1
+	if len(insts) == 1 {
+		inner = workers
+	}
+	start := time.Now()
+	type tally struct{ exact, overlap, iters int }
+	shards, err := par.Map(uint64(len(insts)), workers, func(sp par.Span) (tally, error) {
+		var t tally
+		for i := sp.Lo; i < sp.Hi; i++ {
+			inst := insts[i]
+			got, iters := e.Recover(inst, k, inner)
+			t.iters += iters
+			t.overlap += cliquefind.Overlap(got, inst.Clique)
+			if cliquefind.SameSet(got, inst.Clique) {
+				t.exact++
+			}
+		}
+		return t, nil
+	})
+	if err != nil {
+		return rep, err
+	}
+	for _, t := range shards {
+		rep.Exact += t.exact
+		rep.OverlapSum += t.overlap
+		rep.IterSum += t.iters
+	}
+	rep.Wall = time.Since(start)
+	return rep, nil
+}
+
+// topK returns the k indices with the largest scores, ties broken by
+// smaller index — a total order, so the selection is deterministic.
+func topK(scores []float64, k int) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := append([]int(nil), idx[:k]...)
+	sort.Ints(out)
+	return out
+}
+
+// refine polishes a score vector into a clique claim: take the top-k
+// scored vertices, then repeatedly re-rank ALL vertices by how many
+// mutual edges they have into the current candidate set (scores as the
+// deterministic tiebreak) and keep the new top k. On a planted
+// instance a clique vertex has ≈ k mutual edges into the true clique
+// versus ≈ k/2 for an outsider, so two or three rounds snap a noisy
+// estimate onto the exact planted set — the same cleanup step every
+// practical spectral/AMP recovery pipeline ends with.
+func refine(inst cliquefind.PlantedInstance, scores []float64, k, rounds int) []int {
+	g := inst.Graph
+	n := g.N()
+	cand := topK(scores, k)
+	counts := make([]float64, n)
+	for r := 0; r < rounds; r++ {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, c := range cand {
+			for _, j := range g.MutualRow(c).Ones() {
+				counts[j]++
+			}
+		}
+		// Membership in the candidate set does not count itself, but a
+		// candidate's edge INTO the set does, so clique members keep
+		// their ≈ k−1 count whether or not they are currently selected.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			if counts[idx[a]] != counts[idx[b]] {
+				return counts[idx[a]] > counts[idx[b]]
+			}
+			if scores[idx[a]] != scores[idx[b]] {
+				return scores[idx[a]] > scores[idx[b]]
+			}
+			return idx[a] < idx[b]
+		})
+		next := append([]int(nil), idx[:k]...)
+		sort.Ints(next)
+		if sameInts(next, cand) {
+			break
+		}
+		cand = next
+	}
+	return cand
+}
+
+// sameInts compares two sorted int slices.
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,209 @@
+package recover
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cliquefind"
+)
+
+// sharedInstances samples one undirected paired-comparison set.
+func sharedInstances(t testing.TB, n, k, trials int, base uint64) []cliquefind.PlantedInstance {
+	t.Helper()
+	insts, err := cliquefind.SampleSharedInstances(n, k, trials, 0, base, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return insts
+}
+
+// engines returns one of each, default-configured.
+func engines() []Engine {
+	return []Engine{NewSpectral(), NewBP(), NewAMP()}
+}
+
+// TestEnginesRecoverAtFourRootN is the acceptance gate: at n = 512,
+// k = 4√n — comfortably above the k ≈ √n algorithmic threshold — every
+// engine must recover the exact planted clique in at least 90% of
+// trials.
+func TestEnginesRecoverAtFourRootN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=512 message passing; skipped in -short mode (see the n=128 tests)")
+	}
+	const n = 512
+	k := int(4 * math.Sqrt(n)) // 90
+	insts := sharedInstances(t, n, k, 10, 2019)
+	for _, e := range engines() {
+		rep, err := Measure(e, k, 0, insts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Trials != 10 || rep.IterSum < rep.Trials {
+			t.Fatalf("%s: malformed report %+v", e.Name(), rep)
+		}
+		if rep.ExactRate() < 0.9 {
+			t.Fatalf("%s: exact recovery %v < 0.9 at (n=%d, k=%d)", e.Name(), rep.ExactRate(), n, k)
+		}
+		if rep.MeanOverlap() < 0.9*float64(k) {
+			t.Fatalf("%s: mean overlap %v too small", e.Name(), rep.MeanOverlap())
+		}
+	}
+}
+
+// TestEnginesRecoverSmall is the same gate at n = 128 — cheap enough to
+// stay in the -race leg, where it exercises the row-sharded loops of
+// every engine under the detector.
+func TestEnginesRecoverSmall(t *testing.T) {
+	const n, k = 128, 45 // 4√128 ≈ 45
+	insts := sharedInstances(t, n, k, 6, 7)
+	for _, e := range engines() {
+		rep, err := Measure(e, k, 0, insts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.ExactRate() < 0.9 {
+			t.Fatalf("%s: exact recovery %v < 0.9 at (n=%d, k=%d)", e.Name(), rep.ExactRate(), n, k)
+		}
+	}
+}
+
+// TestReportWorkerInvariance pins the contract the fingerprint layer
+// depends on: everything in a Report except Wall is bit-identical for
+// every worker count — across the trial fan-out AND the engines'
+// internal row sharding (exercised via the single-instance path, which
+// hands the full worker budget to the engine).
+func TestReportWorkerInvariance(t *testing.T) {
+	cases := []struct{ n, k, trials int }{
+		{128, 45, 6}, // easy regime
+		{128, 12, 6}, // near the √n threshold: long, non-trivial iteration paths
+		{96, 39, 1},  // single instance: workers flow into the engine itself
+	}
+	for _, c := range cases {
+		insts := sharedInstances(t, c.n, c.k, c.trials, 11)
+		for _, e := range engines() {
+			var ref Report
+			for i, w := range []int{1, 2, 8} {
+				rep, err := Measure(e, c.k, w, insts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep.Wall = 0
+				if i == 0 {
+					ref = rep
+					continue
+				}
+				if rep != ref {
+					t.Fatalf("%s (n=%d,k=%d): workers=%d report %+v, workers=1 gave %+v",
+						e.Name(), c.n, c.k, w, rep, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineDeterminism: Recover is a pure function of (instance, k),
+// including the iteration count, at any internal worker count.
+func TestEngineDeterminism(t *testing.T) {
+	insts := sharedInstances(t, 128, 23, 1, 5)
+	for _, e := range engines() {
+		set1, it1 := e.Recover(insts[0], 23, 1)
+		set8, it8 := e.Recover(insts[0], 23, 8)
+		if it1 != it8 || !sameInts(set1, set8) {
+			t.Fatalf("%s: workers changed the answer: (%v,%d) vs (%v,%d)",
+				e.Name(), set1, it1, set8, it8)
+		}
+		again, itAgain := e.Recover(insts[0], 23, 1)
+		if itAgain != it1 || !sameInts(again, set1) {
+			t.Fatalf("%s: repeated run changed the answer", e.Name())
+		}
+	}
+}
+
+// TestPairedMeasurement: two engines measured on the same slice see the
+// same adjacencies — overlap sums from a shared hard instance set are
+// reproducible run to run (the satellite contract: paired, never
+// resampled).
+func TestPairedMeasurement(t *testing.T) {
+	insts := sharedInstances(t, 96, 10, 4, 13)
+	for _, e := range engines() {
+		a, err := Measure(e, 10, 2, insts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Measure(e, 10, 8, insts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Wall, b.Wall = 0, 0
+		if a != b {
+			t.Fatalf("%s: same instances gave different reports", e.Name())
+		}
+	}
+}
+
+func TestMeasureRejectsEmpty(t *testing.T) {
+	if _, err := Measure(NewSpectral(), 4, 1, nil); err == nil {
+		t.Fatal("empty instance slice accepted")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	scores := []float64{0.5, 2, 2, -1, 3}
+	got := topK(scores, 3)
+	// 3 (idx 4), then the 2-tie broken by smaller index (1, 2).
+	want := []int{1, 2, 4}
+	if !sameInts(got, want) {
+		t.Fatalf("topK = %v, want %v", got, want)
+	}
+	if got := topK(scores, 99); len(got) != len(scores) {
+		t.Fatalf("topK overflow clamped to %d", len(got))
+	}
+}
+
+// TestRefineSnapsNoisyScores: scores that rank only half the clique
+// correctly are still snapped onto the exact planted set by the
+// mutual-degree refinement.
+func TestRefineSnapsNoisyScores(t *testing.T) {
+	const n, k = 128, 45
+	insts := sharedInstances(t, n, k, 1, 17)
+	inst := insts[0]
+	scores := make([]float64, n)
+	for rank, v := range inst.Clique {
+		if rank%2 == 0 {
+			scores[v] = 1 // half the clique scored high ...
+		}
+	}
+	scores[(inst.Clique[0]+1)%n] += 0.5 // ... plus a distractor
+	got := refine(inst, scores, k, 3)
+	if !cliquefind.SameSet(got, inst.Clique) {
+		t.Fatalf("refine recovered %d/%d clique vertices",
+			cliquefind.Overlap(got, inst.Clique), k)
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	for m, want := range map[int]float64{0: 1, 1: 0, 2: 1, 3: 0, 4: 3, 6: 15, 8: 105} {
+		if got := gaussMoment(m); got != want {
+			t.Fatalf("E[Z^%d] = %v, want %v", m, got, want)
+		}
+	}
+	// The normalized denoiser must satisfy E[f(Z)²] = 1 by construction:
+	// check numerically against its own moments.
+	for _, mu := range []float64{0.5, 1, 3, 10} {
+		d := newDenoiser(mu, 4)
+		var l2 float64
+		for m := range d.c {
+			for l := range d.c {
+				l2 += d.c[m] * d.c[l] * gaussMoment(m+l)
+			}
+		}
+		if math.Abs(l2-1) > 1e-9 {
+			t.Fatalf("mu=%v: E[f(Z)²] = %v after normalization", mu, l2)
+		}
+		// gaussMean at mu=0 must equal E[f(Z)] = c_0·1 + c_2·1 + c_4·3.
+		want := d.c[0] + d.c[2] + d.c[4]*3
+		if got := d.gaussMean(0); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("gaussMean(0) = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/result"
+	"repro/internal/sched"
+	"repro/internal/store/tier"
+)
+
+// TestRecoveryExperimentsEndToEnd drives the new message-passing
+// recovery experiments through the real registry and the full serving
+// pipeline: compute on miss, correct fingerprint and ETag, memory hit
+// on re-request, and a 304 for a matching If-None-Match — the
+// acceptance path for E19/E20. These are the repository's first
+// seconds-class tables (in full mode), which is exactly why the cache
+// headers matter: a client that revalidates pays zero recompute.
+func TestRecoveryExperimentsEndToEnd(t *testing.T) {
+	stack, err := tier.NewStack(tier.Config{MemCapacity: 8, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Sched: sched.New(stack.Backend, 2), Stack: stack,
+		Registry: experiments.All, Seed: 5, Quick: true, Workers: 2}
+	h := srv.Handler()
+	cfg := experiments.Config{Seed: 5, Quick: true}
+
+	for _, id := range []string{"E19", "E20"} {
+		res, body := get(t, h, "/tables/"+id)
+		if res.StatusCode != 200 {
+			t.Fatalf("%s: %d %s", id, res.StatusCode, body)
+		}
+		if got := res.Header.Get("X-Cache"); got != "miss" {
+			t.Fatalf("%s first request X-Cache = %q, want miss", id, got)
+		}
+		want := cfg.Fingerprint(id)
+		if got := res.Header.Get("X-Fingerprint"); got != want {
+			t.Fatalf("%s fingerprint %q, want %q", id, got, want)
+		}
+		etag := res.Header.Get("ETag")
+		if etag != `"`+want+`"` {
+			t.Fatalf("%s ETag %q does not quote the fingerprint", id, etag)
+		}
+		tab, err := result.DecodeJSON(strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tab.ID != id || len(tab.Rows) == 0 {
+			t.Fatalf("served %s malformed: %+v", id, tab)
+		}
+		if strings.Contains(tab.Shape, "MISMATCH") {
+			t.Fatalf("%s served a shape violation: %s", id, tab.Shape)
+		}
+
+		// Re-request: memory hit, byte-identical body.
+		res2, body2 := get(t, h, "/tables/"+id)
+		if res2.Header.Get("X-Cache") != "hit" {
+			t.Fatalf("%s second request was not a cache hit", id)
+		}
+		if res2.Header.Get("X-Cache-Tier") != "memory" {
+			t.Fatalf("%s hit came from tier %q, want memory", id, res2.Header.Get("X-Cache-Tier"))
+		}
+		if body2 != body {
+			t.Fatalf("%s cache hit served different bytes", id)
+		}
+
+		// Revalidation: matching If-None-Match short-circuits to 304
+		// before any store lookup.
+		res3, body3 := getHdr(t, h, "/tables/"+id, map[string]string{"If-None-Match": etag})
+		if res3.StatusCode != 304 || body3 != "" {
+			t.Fatalf("%s revalidation: %d with %d body bytes, want bare 304",
+				id, res3.StatusCode, len(body3))
+		}
+	}
+}

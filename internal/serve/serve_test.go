@@ -783,8 +783,10 @@ func TestStats(t *testing.T) {
 		Store  store.Stats   `json:"store"`
 		Sched  sched.Metrics `json:"sched"`
 		Memory struct {
-			Capacity int `json:"capacity"`
-			Len      int `json:"len"`
+			Capacity int   `json:"capacity"`
+			Len      int   `json:"len"`
+			MaxBytes int64 `json:"max_bytes"`
+			Bytes    int64 `json:"bytes"`
 		} `json:"memory"`
 	}
 	if err := json.Unmarshal([]byte(body), &payload); err != nil {
@@ -798,6 +800,9 @@ func TestStats(t *testing.T) {
 	}
 	if payload.Memory.Capacity != 4 || payload.Memory.Len != 1 {
 		t.Fatalf("memory stats wrong: %+v", payload.Memory)
+	}
+	if payload.Memory.Bytes <= 0 {
+		t.Fatalf("memory byte accounting missing from /stats: %+v", payload.Memory)
 	}
 }
 

@@ -8,11 +8,23 @@
 // Cache implements store.Backend. Hits return the cached *result.Table
 // pointer itself — tables are immutable by repository-wide convention
 // (the canonical-JSON byte-identity contract depends on it), so sharing
-// the pointer is safe and allocation-free. Eviction is strict LRU by
-// entry count: the tier holds at most Capacity tables, and a Get
+// the pointer is safe and allocation-free. Eviction is strict LRU under
+// two independent bounds: the tier holds at most Capacity tables AND at
+// most MaxBytes approximate bytes (when a byte cap is set), and a Get
 // refreshes recency. An evicted table is not lost — the tier below
 // (disk, then a remote peer) still holds it, and the next Get falls
 // through and backfills (store/tier's job).
+//
+// The byte accounting is deliberately approximate: an entry is charged
+// the length of its encoded JSON (the dominant allocation — the decoded
+// rows it shadows are the same cells the encoding spells out) plus a
+// fixed overhead for the list/map/struct bookkeeping. The cap exists
+// because entry-count limits stopped being a proxy for memory once
+// table sizes started spanning three orders of magnitude (an E18 exact
+// table vs an E20 sweep): 64 small tables and 64 recovery sweeps are
+// very different residencies. The most recently inserted entry is never
+// evicted by the byte cap — a single table larger than MaxBytes still
+// caches (and evicts everything else), rather than turning the L0 off.
 //
 // Every entry carries the table's encoded JSON alongside the decoded
 // rows: Put pre-computes the wire bytes (result.Table memoizes them on
@@ -43,10 +55,12 @@ import (
 // safe for concurrent use.
 type Cache struct {
 	capacity int
+	maxBytes int64 // 0 = no byte cap
 
 	mu      sync.Mutex
 	order   *list.List               // front = most recent; values are *entry
 	entries map[string]*list.Element // fingerprint → element
+	bytes   int64                    // sum of resident entry sizes
 
 	hits, misses, puts, evictions uint64
 }
@@ -55,15 +69,44 @@ type Cache struct {
 type entry struct {
 	fingerprint string
 	table       *result.Table
+	size        int64 // approximate resident bytes, charged once at Put
 }
 
-// New returns an empty cache holding at most capacity tables.
+// entryOverhead approximates the per-entry bookkeeping outside the
+// encoded bytes: the list element, the map slot, the entry struct, and
+// the decoded table's own headers.
+const entryOverhead = 256
+
+// entrySize charges a table its encoded-JSON length plus overhead. A
+// table whose encoding failed is charged overhead only — it still
+// occupies a slot, and the serving layer surfaces the encode error.
+func entrySize(t *result.Table) int64 {
+	size := int64(entryOverhead)
+	if b, err := t.EncodedJSON(); err == nil {
+		size += int64(len(b))
+	}
+	return size
+}
+
+// New returns an empty cache holding at most capacity tables, with no
+// byte cap.
 func New(capacity int) (*Cache, error) {
+	return NewSized(capacity, 0)
+}
+
+// NewSized returns an empty cache bounded by both an entry count and an
+// approximate byte budget. maxBytes ≤ 0 means entries-only, matching
+// New.
+func NewSized(capacity int, maxBytes int64) (*Cache, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("memlru: capacity %d, want ≥ 1", capacity)
 	}
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
 	return &Cache{
 		capacity: capacity,
+		maxBytes: maxBytes,
 		order:    list.New(),
 		entries:  make(map[string]*list.Element, capacity),
 	}, nil
@@ -104,11 +147,18 @@ func (c *Cache) Put(k store.Key, t *result.Table) error {
 		c.order.MoveToFront(el)
 		return nil
 	}
-	c.entries[k.Fingerprint] = c.order.PushFront(&entry{fingerprint: k.Fingerprint, table: t})
-	if c.order.Len() > c.capacity {
+	e := &entry{fingerprint: k.Fingerprint, table: t, size: entrySize(t)}
+	c.entries[k.Fingerprint] = c.order.PushFront(e)
+	c.bytes += e.size
+	// Evict from the cold end until both bounds hold; the entry just
+	// inserted (the only one left when Len reaches 1) is never a victim.
+	for c.order.Len() > 1 &&
+		(c.order.Len() > c.capacity || (c.maxBytes > 0 && c.bytes > c.maxBytes)) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*entry).fingerprint)
+		victim := oldest.Value.(*entry)
+		delete(c.entries, victim.fingerprint)
+		c.bytes -= victim.size
 		c.evictions++
 	}
 	return nil
@@ -133,9 +183,13 @@ func (c *Cache) Len() int {
 
 // Stats summarizes the cache's traffic.
 type Stats struct {
-	// Capacity and Len describe the cache's bound and current fill.
+	// Capacity and Len describe the entry-count bound and current fill.
 	Capacity int `json:"capacity"`
 	Len      int `json:"len"`
+	// MaxBytes and Bytes describe the approximate byte bound (0 = no
+	// cap) and the current resident total under the same accounting.
+	MaxBytes int64 `json:"max_bytes"`
+	Bytes    int64 `json:"bytes"`
 	// Hits/Misses/Puts/Evictions count operations over the handle's
 	// lifetime.
 	Hits      uint64 `json:"hits"`
@@ -144,12 +198,13 @@ type Stats struct {
 	Evictions uint64 `json:"evictions"`
 }
 
-// Stats reports the cache's bound, fill, and traffic counters.
+// Stats reports the cache's bounds, fill, and traffic counters.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
 		Capacity: c.capacity, Len: c.order.Len(),
+		MaxBytes: c.maxBytes, Bytes: c.bytes,
 		Hits: c.hits, Misses: c.misses, Puts: c.puts, Evictions: c.evictions,
 	}
 }

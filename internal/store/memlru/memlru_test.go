@@ -154,3 +154,87 @@ func TestPutWarmsEncodedJSON(t *testing.T) {
 		t.Fatalf("hit path performed %d raw encodes, want 0", raw)
 	}
 }
+
+// TestByteCapEvicts fills a byte-capped cache with tables of known
+// encoded size and checks eviction triggers on the byte bound while the
+// entry bound still has room, LRU-first.
+func TestByteCapEvicts(t *testing.T) {
+	// Establish one table's charge, then size the cap for two of them.
+	per := entrySize(tableFor(0))
+	c, err := NewSized(100, 2*per)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		if err := c.Put(keyFor(seed), tableFor(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Len != 2 || s.Evictions != 1 {
+		t.Fatalf("after 3 puts under a 2-table byte cap: %+v", s)
+	}
+	if _, ok := c.Get(context.Background(), keyFor(1)); ok {
+		t.Fatal("oldest entry survived the byte cap")
+	}
+	if _, ok := c.Get(context.Background(), keyFor(3)); !ok {
+		t.Fatal("newest entry was evicted")
+	}
+	if s.Bytes > s.MaxBytes || s.Bytes <= 0 {
+		t.Fatalf("resident bytes %d outside (0, %d]", s.Bytes, s.MaxBytes)
+	}
+}
+
+// TestByteCapKeepsNewestEntry: a single table larger than the whole
+// byte budget still caches (evicting all else) instead of disabling the
+// tier.
+func TestByteCapKeepsNewestEntry(t *testing.T) {
+	c, err := NewSized(100, 1) // absurdly small byte budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(keyFor(1), tableFor(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(keyFor(2), tableFor(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Len(); got != 1 {
+		t.Fatalf("cache holds %d entries, want exactly the newest", got)
+	}
+	if _, ok := c.Get(context.Background(), keyFor(2)); !ok {
+		t.Fatal("newest entry missing")
+	}
+}
+
+// TestBytesAccountingBalances: bytes grow on insert, shrink on
+// eviction, and land at zero accounting error against the live entries.
+func TestBytesAccountingBalances(t *testing.T) {
+	c, err := NewSized(2, 0) // entries-only cap, bytes still tracked
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 5; seed++ {
+		if err := c.Put(keyFor(seed), tableFor(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	var want int64
+	for seed := uint64(4); seed <= 5; seed++ {
+		want += entrySize(tableFor(seed))
+	}
+	if s.Bytes != want {
+		t.Fatalf("resident bytes %d, want %d for the two live entries", s.Bytes, want)
+	}
+	if s.MaxBytes != 0 {
+		t.Fatalf("MaxBytes %d, want 0 (uncapped)", s.MaxBytes)
+	}
+	// Duplicate put must not double-charge.
+	if err := c.Put(keyFor(5), tableFor(5)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Bytes; got != want {
+		t.Fatalf("duplicate put changed resident bytes: %d → %d", want, got)
+	}
+}

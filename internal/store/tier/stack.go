@@ -26,6 +26,9 @@ const (
 type Config struct {
 	// MemCapacity is the L0 hot-table LRU size in tables (0 disables).
 	MemCapacity int
+	// MemMaxBytes additionally caps the L0 by approximate resident
+	// bytes (0 = entries-only). Ignored when MemCapacity is 0.
+	MemMaxBytes int64
 	// Dir is the L1 durable disk store directory ("" disables).
 	Dir string
 	// ObjstoreDir roots a filesystem-backed shared object bucket — the
@@ -149,7 +152,7 @@ func NewStack(cfg Config) (Stack, error) {
 	var st Stack
 	tiers := []store.Backend{}
 	if cfg.MemCapacity > 0 {
-		mem, err := memlru.New(cfg.MemCapacity)
+		mem, err := memlru.NewSized(cfg.MemCapacity, cfg.MemMaxBytes)
 		if err != nil {
 			return st, err
 		}

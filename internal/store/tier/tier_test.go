@@ -394,3 +394,15 @@ func TestStatsPerTier(t *testing.T) {
 		t.Fatalf("backfill count wrong: %+v", st)
 	}
 }
+
+// TestStackMemMaxBytesReachesCache: the byte cap configured on the
+// stack lands on the assembled L0 and shows up in its stats.
+func TestStackMemMaxBytesReachesCache(t *testing.T) {
+	stack, err := NewStack(Config{MemCapacity: 8, MemMaxBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stack.Mem.Stats().MaxBytes; got != 4096 {
+		t.Fatalf("L0 MaxBytes = %d, want 4096", got)
+	}
+}
