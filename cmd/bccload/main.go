@@ -32,6 +32,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -42,6 +43,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -76,6 +79,8 @@ func cli(args []string, stdout io.Writer) (*Report, bool, error) {
 	quick := fs.Bool("quick", false, "request quick-mode tables (?quick=true)")
 	format := fs.String("format", "json", "table format to request: json or md")
 	warm := fs.Bool("warm", true, "prime each id once before the measured window (hit-path load)")
+	sweepSpec := fs.String("sweep", "",
+		"mixed-workload mode: a sweep spec in the compact grammar (e.g. 'ids=E13&seeds=1-4&quick=true'); one worker issues POST /sweep grids while the rest keep up the single-table load")
 	jsonOut := fs.Bool("json", false, "emit the machine-readable JSON report on stdout")
 	if err := fs.Parse(args); err != nil {
 		return nil, false, err
@@ -83,6 +88,7 @@ func cli(args []string, stdout io.Writer) (*Report, bool, error) {
 	opts := Options{
 		Concurrency: *c, Duration: *duration,
 		Seed: *seed, Quick: *quick, Format: *format, Warm: *warm,
+		SweepSpec: *sweepSpec,
 	}
 	for _, u := range strings.Split(*url, ",") {
 		if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
@@ -123,6 +129,13 @@ type Options struct {
 	Format string
 	// Warm primes each id once before measuring.
 	Warm bool
+	// SweepSpec, when non-empty, turns on the mixed workload: one
+	// worker repeatedly POSTs /sweep with this spec (compact grammar)
+	// while the remaining workers keep the single-table load going —
+	// the realistic shape of production traffic, where grids and
+	// single cells hit the same scheduler and must dedup against each
+	// other.
+	SweepSpec string
 }
 
 // Quantiles summarizes a latency distribution in milliseconds.
@@ -179,6 +192,17 @@ type Report struct {
 	// the run was served while a dependency was being bypassed. Absent
 	// header: not counted (the common, healthy case).
 	Degraded map[string]uint64 `json:"degraded,omitempty"`
+
+	// Mixed-mode (-sweep) accounting: Sweeps counts completed POST
+	// /sweep requests, SweepCells their streamed cell rows by status
+	// ("hit"/"computed"/"shared"/...), and SweepErrors the sweeps that
+	// failed outright (non-200, transport error, malformed NDJSON, or
+	// a stream whose summary did not match its rows). SweepErrors also
+	// count toward Errors, so the exit status still gates on a fully
+	// clean run.
+	Sweeps      uint64            `json:"sweeps,omitempty"`
+	SweepCells  map[string]uint64 `json:"sweep_cells,omitempty"`
+	SweepErrors uint64            `json:"sweep_errors,omitempty"`
 }
 
 // print writes the human summary.
@@ -192,6 +216,9 @@ func (r *Report) print(w io.Writer) {
 	fmt.Fprintf(w, "status     %v\n", r.Status)
 	if len(r.Degraded) > 0 {
 		fmt.Fprintf(w, "degraded   %v\n", r.Degraded)
+	}
+	if r.Sweeps > 0 || r.SweepErrors > 0 {
+		fmt.Fprintf(w, "sweeps     %d (%d errors) cells=%v\n", r.Sweeps, r.SweepErrors, r.SweepCells)
 	}
 	fmt.Fprintf(w, "bytes      %d (%.1f MB/s)\n", r.Bytes, float64(r.Bytes)/r.DurationSec/1e6)
 	if len(r.PerTarget) > 0 {
@@ -277,14 +304,40 @@ func Run(o Options) (*Report, error) {
 		}
 	}
 
+	// Mixed mode: validate the sweep spec client-side so a typo fails
+	// the run immediately instead of producing a window of 400s.
+	sweepQuery := ""
+	if o.SweepSpec != "" {
+		spec, err := sweep.ParseQueryString(o.SweepSpec)
+		if err != nil {
+			return nil, err
+		}
+		sweepQuery = spec.Canonical().Query()
+	}
+
 	// Workers record into private slices (no shared state in the hot
 	// loop) and stop at the deadline; the elapsed clock spans first
 	// request to last response.
 	perWorker := make([][]sample, o.Concurrency)
+	var sweepSamples []sweepSample
 	var wg sync.WaitGroup
 	start := time.Now()
 	deadline := start.Add(o.Duration)
 	for w := 0; w < o.Concurrency; w++ {
+		if w == 0 && sweepQuery != "" {
+			// Worker 0 is the grid half of the mixed workload: whole
+			// sweeps back to back while the other workers keep the
+			// single-table load flowing against the same scheduler.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; time.Now().Before(deadline); i++ {
+					base := o.URLs[i%len(o.URLs)]
+					sweepSamples = append(sweepSamples, postSweep(client, base, sweepQuery))
+				}
+			}()
+			continue
+		}
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
@@ -370,6 +423,20 @@ func Run(o Options) (*Report, error) {
 			}
 		}
 	}
+	for _, ss := range sweepSamples {
+		if ss.ok {
+			rep.Sweeps++
+		} else {
+			rep.SweepErrors++
+			rep.Errors++
+		}
+		for status, n := range ss.cells {
+			if rep.SweepCells == nil {
+				rep.SweepCells = map[string]uint64{}
+			}
+			rep.SweepCells[status] += n
+		}
+	}
 	if rep.Requests > 0 && elapsed > 0 {
 		rep.RPS = float64(rep.Requests) / elapsed.Seconds()
 	}
@@ -415,6 +482,69 @@ func discoverIDs(client *http.Client, o Options) ([]string, error) {
 		ids = append(ids, e.ID)
 	}
 	return ids, nil
+}
+
+// sweepSample is one POST /sweep request's outcome.
+type sweepSample struct {
+	// cells counts the streamed cell rows by status.
+	cells map[string]uint64
+	// ok means: 200, every line well-formed NDJSON, rows and summary
+	// consistent.
+	ok bool
+}
+
+// sweepLine mirrors the serve layer's NDJSON row envelope.
+type sweepLine struct {
+	Cell *struct {
+		Status string `json:"status"`
+	} `json:"cell"`
+	Summary *struct {
+		Cells int `json:"cells"`
+	} `json:"summary"`
+}
+
+// postSweep issues one whole-grid POST /sweep and validates the
+// stream: every line must parse as exactly one of cell/summary, the
+// summary must be last, and its cell count must match the rows
+// actually streamed — a truncated or padded stream is an error even
+// when the status was 200.
+func postSweep(client *http.Client, base, specQuery string) sweepSample {
+	s := sweepSample{cells: map[string]uint64{}}
+	res, err := client.Post(base+"/sweep?"+specQuery, "", nil)
+	if err != nil {
+		return s
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, res.Body)
+		return s
+	}
+	sc := bufio.NewScanner(res.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	rows := 0
+	sawSummary := false
+	summaryCells := -1
+	for sc.Scan() {
+		if sawSummary {
+			return s // data after the terminal summary row
+		}
+		var line sweepLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return s
+		}
+		switch {
+		case line.Cell != nil && line.Summary == nil:
+			rows++
+			s.cells[line.Cell.Status]++
+		case line.Summary != nil && line.Cell == nil:
+			sawSummary = true
+			summaryCells = line.Summary.Cells
+		default:
+			return s
+		}
+	}
+	s.ok = sc.Err() == nil && sawSummary && rows == summaryCells
+	return s
 }
 
 // fetch issues one GET and records its outcome; the body is read in

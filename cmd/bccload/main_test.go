@@ -236,3 +236,91 @@ func TestRunMultiTarget(t *testing.T) {
 		}
 	}
 }
+
+// fakeSweepServe extends the fake surface with POST /sweep streaming
+// NDJSON: cells hit-status rows, then a summary. With truncate set the
+// summary under-counts, emulating a broken stream.
+func fakeSweepServe(t *testing.T, cells int, truncate bool) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var sweeps atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /tables/{id}", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Cache", "hit")
+		w.Header().Set("X-Cache-Tier", "memory")
+		fmt.Fprintf(w, `{"schema":1,"id":%q}`+"\n", r.PathValue("id"))
+	})
+	mux.HandleFunc("POST /sweep", func(w http.ResponseWriter, r *http.Request) {
+		sweeps.Add(1)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for i := 0; i < cells; i++ {
+			fmt.Fprintln(w, `{"cell":{"status":"hit"}}`)
+		}
+		n := cells
+		if truncate {
+			n--
+		}
+		fmt.Fprintf(w, `{"summary":{"cells":%d}}`+"\n", n)
+	})
+	return httptest.NewServer(mux), &sweeps
+}
+
+// TestRunMixedSweepMode: with -sweep set, worker 0 issues whole grids
+// while the rest keep single-table traffic flowing; the report carries
+// both halves.
+func TestRunMixedSweepMode(t *testing.T) {
+	srv, sweeps := fakeSweepServe(t, 4, false)
+	defer srv.Close()
+	rep, err := Run(Options{
+		URLs: []string{srv.URL}, Concurrency: 3, Duration: 100 * time.Millisecond,
+		IDs: []string{"E1"}, SweepSpec: "ids=E1&seeds=1-4", Format: "json", Warm: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sweeps == 0 || rep.SweepErrors != 0 {
+		t.Fatalf("sweeps %d (%d errors), want some clean sweeps", rep.Sweeps, rep.SweepErrors)
+	}
+	if sweeps.Load() == 0 {
+		t.Fatal("server never saw a POST /sweep")
+	}
+	if rep.SweepCells["hit"] != rep.Sweeps*4 {
+		t.Fatalf("sweep cells %v over %d sweeps, want 4 hits each", rep.SweepCells, rep.Sweeps)
+	}
+	// The single-table half still ran on the other workers.
+	if rep.Requests == 0 || rep.Errors != 0 {
+		t.Fatalf("single-table half: %d requests, %d errors", rep.Requests, rep.Errors)
+	}
+}
+
+// TestRunMixedSweepValidatesStream: a stream whose summary disagrees
+// with its rows is a sweep error (and a run error), not a success.
+func TestRunMixedSweepValidatesStream(t *testing.T) {
+	srv, _ := fakeSweepServe(t, 3, true)
+	defer srv.Close()
+	rep, err := Run(Options{
+		URLs: []string{srv.URL}, Concurrency: 2, Duration: 60 * time.Millisecond,
+		IDs: []string{"E1"}, SweepSpec: "ids=E1&seeds=1-3", Format: "json", Warm: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SweepErrors == 0 || rep.Sweeps != 0 {
+		t.Fatalf("broken streams: %d ok, %d errors — want all errors", rep.Sweeps, rep.SweepErrors)
+	}
+	if rep.Errors < rep.SweepErrors {
+		t.Fatalf("sweep errors not folded into the exit gate: %d < %d", rep.Errors, rep.SweepErrors)
+	}
+}
+
+// TestRunMixedSweepBadSpec: the spec is validated client-side before
+// any traffic.
+func TestRunMixedSweepBadSpec(t *testing.T) {
+	srv, _ := fakeSweepServe(t, 1, false)
+	defer srv.Close()
+	if _, err := Run(Options{
+		URLs: []string{srv.URL}, Concurrency: 2, Duration: 50 * time.Millisecond,
+		IDs: []string{"E1"}, SweepSpec: "ids=E1", Format: "json",
+	}); err == nil || !strings.Contains(err.Error(), "missing seeds") {
+		t.Fatalf("bad sweep spec accepted: %v", err)
+	}
+}

@@ -40,6 +40,14 @@
 //	    The fleet cache probe: 200 if this replica's local tiers hold
 //	    the table, 202 if a computation for it is in flight right now,
 //	    404 if cold — never computes, never contacts anyone.
+//	POST /sweep?ids=E13,E20&seeds=1-8&quick=true   (or a JSON body)
+//	    The batch endpoint: one request names a grid (ids × seeds ×
+//	    quick), admitted into the compute queue ONCE for the whole
+//	    grid, streamed back as NDJSON — one {"cell":…} row per
+//	    completion, a terminal {"summary":…} row. Cells ride the
+//	    ordinary single-flight flights, so overlapping sweeps and GETs
+//	    still compute each fingerprint exactly once. Disconnecting
+//	    cancels the unscheduled remainder.
 //	GET /stats
 //	    Store, per-tier, queue, compute-latency, in-flight, fleet, and
 //	    circuit-breaker statistics.
@@ -51,6 +59,7 @@
 //	         [-workers N] [-parallel N] [-queue N] [-timeout D]
 //	         [-drain D] [-peer-timeout D] [-objstore-put-timeout D]
 //	         [-breaker-failures N] [-breaker-cooldown D]
+//	         [-warm SPEC [-warm-poll D]]
 //	         [-dev [-chaos PLAN]]
 //
 // Every remote dependency — the peer tier, the shared bucket (reads
@@ -61,6 +70,15 @@
 // -breaker-cooldown one probe decides whether to re-admit it.
 // -peer-timeout and -objstore-put-timeout bound the individual
 // operations.
+//
+// -warm SPEC runs a startup warming campaign beside the server: the
+// sweep grid (compact grammar, e.g. 'ids=E13,E20&seeds=1-8&quick=true')
+// is walked one cell at a time through IDLE scheduler capacity only —
+// re-checked every -warm-poll — so warming never competes with live
+// traffic for compute slots. With -fleet, the campaign warms only the
+// cells this replica owns, so a fleet-wide rollout warms each
+// fingerprint exactly once. The external equivalent for deploy scripts
+// is cmd/bccwarm.
 //
 // -chaos (dev only, requires -dev) injects deterministic faults into
 // the named dependencies for resilience testing, e.g.
@@ -111,6 +129,7 @@ import (
 	"repro/internal/store/objstore"
 	"repro/internal/store/remote"
 	"repro/internal/store/tier"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -164,6 +183,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		"consecutive failures that open a dependency's circuit breaker")
 	breakerCooldown := fs.Duration("breaker-cooldown", 10*time.Second,
 		"how long an open breaker waits before admitting its half-open probe")
+	warm := fs.String("warm", "",
+		"warming campaign: a sweep spec in the compact grammar (e.g. 'ids=E13,E20&seeds=1-8&quick=true') walked through idle scheduler capacity after startup")
+	warmPoll := fs.Duration("warm-poll", 100*time.Millisecond,
+		"how often the -warm campaign re-checks a busy scheduler before dispatching its next cell")
 	dev := fs.Bool("dev", false, "development mode: permits -chaos")
 	chaos := fs.String("chaos", "",
 		"fault-injection plan, e.g. 'objstore:err=1;peer:lat=6s' or a bare spec for all targets (requires -dev; see docs/api.md)")
@@ -181,6 +204,16 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	if *breakerCooldown <= 0 {
 		return fmt.Errorf("-breaker-cooldown must be positive, got %s", *breakerCooldown)
+	}
+	var warmSpec sweep.Spec
+	if *warm != "" {
+		var err error
+		if warmSpec, err = sweep.ParseQueryString(*warm); err != nil {
+			return fmt.Errorf("-warm: %w", err)
+		}
+	}
+	if *warmPoll <= 0 {
+		return fmt.Errorf("-warm-poll must be positive, got %s", *warmPoll)
 	}
 	if *chaos != "" && !*dev {
 		// Refusing is deliberate: a chaos plan in a production unit file
@@ -249,8 +282,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		// work — a dead owner's fingerprints must stay computable here.
 		opts = append(opts, sched.WithOwner(flt.Owns))
 	}
+	scheduler := sched.New(stack.Backend, *parallel, opts...)
 	srv := &serve.Server{
-		Sched:    sched.New(stack.Backend, *parallel, opts...),
+		Sched:    scheduler,
 		Stack:    stack,
 		Registry: experiments.All,
 		Seed:     *seed,
@@ -274,6 +308,32 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	// The line is machine-readable so scripts (and the CI smoke legs) can
 	// wait for readiness and discover the bound port.
 	fmt.Fprintf(stdout, "bccserve listening on %s\n", ln.Addr())
+	if *warm != "" {
+		// The campaign runs beside the server: it dispatches a cell
+		// only when the scheduler is idle, so startup warming and live
+		// traffic never fight for compute slots. Ownership filtering
+		// means a fleet-wide rollout warms each fingerprint exactly
+		// once — on its owner.
+		campaign := &sweep.Campaign{
+			Spec:     warmSpec,
+			Sched:    scheduler,
+			Registry: experiments.All,
+			Workers:  perWorkers,
+			Poll:     *warmPoll,
+		}
+		if flt != nil {
+			campaign.Owns = flt.Owns
+		}
+		go func() {
+			sum, err := campaign.Run(ctx)
+			if err != nil {
+				// A canceled campaign (shutdown mid-walk) is routine.
+				fmt.Fprintf(stdout, "bccserve warm campaign stopped after %d cells: %v\n", sum.Cells, err)
+				return
+			}
+			fmt.Fprintf(stdout, "bccserve warm campaign done: %d cells %v\n", sum.Cells, sum.Statuses)
+		}()
+	}
 	return serveUntil(ctx, ln, srv.Handler(), *drain, stdout)
 }
 

@@ -275,3 +275,86 @@ func TestRunValidatesRobustnessFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestRunValidatesWarmFlags: a malformed -warm spec or an unusable poll
+// interval aborts startup — a warming typo in a unit file must not
+// silently serve without its campaign.
+func TestRunValidatesWarmFlags(t *testing.T) {
+	for name, tc := range map[string]struct {
+		args []string
+		want string
+	}{
+		"warm spec missing seeds": {[]string{"-warm", "ids=E20"}, "-warm: "},
+		"warm spec unknown key":   {[]string{"-warm", "ids=E20&seeds=1&bogus=2"}, "unknown sweep key"},
+		"warm spec bad seed":      {[]string{"-warm", "ids=E20&seeds=x"}, "bad seed"},
+		"zero warm poll":          {[]string{"-warm", "ids=E20&seeds=1", "-warm-poll", "0s"}, "-warm-poll must be positive"},
+	} {
+		err := run(context.Background(), append(tc.args, "-addr", "127.0.0.1:0"), io.Discard)
+		if err == nil {
+			t.Errorf("%s accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err %q, want substring %q", name, err, tc.want)
+		}
+	}
+}
+
+// TestRunWarmCampaign: `bccserve -warm` computes the campaign grid
+// beside the live server, reports completion on stdout, and the warmed
+// cell then serves as a cache hit — startup warming end to end.
+func TestRunWarmCampaign(t *testing.T) {
+	var stdout syncBuffer
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-mem", "4",
+			"-warm", "ids=E20&seeds=1&quick=true", "-warm-poll", "1ms",
+		}, &stdout)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no readiness line; output %q", stdout.String())
+		}
+		if line := stdout.String(); strings.Contains(line, "listening on ") {
+			addr = strings.TrimSpace(strings.SplitN(line, "listening on ", 2)[1])
+			addr = strings.SplitN(addr, "\n", 2)[0]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	deadline = time.Now().Add(60 * time.Second)
+	for !strings.Contains(stdout.String(), "warm campaign done: 1 cells") {
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign never completed; output %q", stdout.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	res, err := http.Get("http://" + addr + "/tables/E20?seed=1&quick=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	if res.StatusCode != 200 || res.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("warmed cell: status %d X-Cache %q, want a 200 hit",
+			res.StatusCode, res.Header.Get("X-Cache"))
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v on shutdown after warming", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not exit after shutdown")
+	}
+}

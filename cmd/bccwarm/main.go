@@ -1,0 +1,257 @@
+// Command bccwarm runs a precompute campaign against a running
+// bccserve replica: it walks a sweep spec (the same compact grammar
+// POST /sweep takes) cell by cell over plain GET /tables/{id}
+// requests, dispatching the next cell only when the target's scheduler
+// is idle (queued == 0 and computing == 0 on /stats), so warming never
+// competes with live traffic for compute slots. After a deploy, a
+// bccwarm pass per replica leaves the fleet's working set resident
+// before the first user request arrives.
+//
+// Usage:
+//
+//	bccwarm -url http://127.0.0.1:8344 -spec 'ids=E13,E20&seeds=1-8&quick=true'
+//	        [-fleet URL,URL,...] [-poll 200ms] [-json]
+//	        [-prune 720h -store DIR]
+//
+// -fleet takes the fleet's full replica list (the same URLs the
+// replicas' own -fleet flags carry; -url itself is always a member).
+// With it set, bccwarm warms only the cells whose fingerprints the
+// TARGET replica owns under the fleet's rendezvous assignment and
+// counts the rest as skipped — run one bccwarm per replica and the
+// fleet warms each fingerprint exactly once, on its owner.
+//
+// -prune AGE pairs the campaign with store lifecycle: after warming,
+// objects older than AGE (and provably damaged ones) are removed from
+// the -store directory — the local disk store of the target replica,
+// so bccwarm must run on the replica's host for this to make sense.
+// The combination is the steady-state loop: prune what aged out, warm
+// what the next deploy needs.
+//
+// The exit status is non-zero when any cell failed, so deploy scripts
+// gate on a clean warm without parsing the report; -json emits the
+// machine-readable report on stdout for the ones that do parse.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/store"
+	"repro/internal/sweep"
+)
+
+func main() {
+	rep, jsonOut, err := cli(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bccwarm:", err)
+		os.Exit(1)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	} else {
+		rep.print(os.Stdout)
+	}
+	if rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "bccwarm: %d of %d cells failed\n", rep.Errors, rep.Cells)
+		os.Exit(1)
+	}
+}
+
+// cli parses flags and runs the campaign.
+func cli(args []string, stdout io.Writer) (*Report, bool, error) {
+	fs := flag.NewFlagSet("bccwarm", flag.ContinueOnError)
+	url := fs.String("url", "http://127.0.0.1:8344", "target bccserve base URL")
+	spec := fs.String("spec", "", "sweep spec in the compact grammar, e.g. 'ids=E13,E20&seeds=1-8&quick=true'")
+	fleetFlag := fs.String("fleet", "", "full fleet replica list (comma-separated URLs); warm only cells the target replica owns")
+	poll := fs.Duration("poll", 200*time.Millisecond, "how often to re-check a busy scheduler before dispatching the next cell")
+	pruneAge := fs.Duration("prune", 0, "after warming, prune store objects older than this from -store (0: no pruning)")
+	storeDir := fs.String("store", os.Getenv("BCC_STORE"), "disk store directory for -prune (default $BCC_STORE)")
+	jsonOut := fs.Bool("json", false, "emit the machine-readable JSON report on stdout")
+	if err := fs.Parse(args); err != nil {
+		return nil, false, err
+	}
+	if *spec == "" {
+		return nil, false, fmt.Errorf("-spec is required")
+	}
+	parsed, err := sweep.ParseQueryString(*spec)
+	if err != nil {
+		return nil, false, err
+	}
+	if *poll <= 0 {
+		return nil, false, fmt.Errorf("-poll must be positive, got %s", *poll)
+	}
+	if *pruneAge < 0 {
+		return nil, false, fmt.Errorf("-prune must be non-negative, got %s", *pruneAge)
+	}
+	if *pruneAge > 0 && *storeDir == "" {
+		return nil, false, fmt.Errorf("-prune needs -store (or $BCC_STORE) to know which store to prune")
+	}
+	opts := Options{
+		URL:  strings.TrimRight(strings.TrimSpace(*url), "/"),
+		Spec: parsed, Poll: *poll,
+		PruneAge: *pruneAge, StoreDir: *storeDir,
+	}
+	if *fleetFlag != "" {
+		members := []string{}
+		for _, m := range strings.Split(*fleetFlag, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				members = append(members, m)
+			}
+		}
+		// The target replica is self: ownership is evaluated from ITS
+		// seat in the fleet, exactly as its own -fleet flag would.
+		flt, err := fleet.New(opts.URL, members)
+		if err != nil {
+			return nil, false, err
+		}
+		opts.Owns = flt.Owns
+	}
+	if !*jsonOut {
+		fmt.Fprintf(stdout, "bccwarm: %d cells against %s\n", parsed.Canonical().CellCount(), opts.URL)
+	}
+	rep, err := Run(opts)
+	return rep, *jsonOut, err
+}
+
+// Options configures one warming campaign.
+type Options struct {
+	// URL is the target replica (no trailing slash).
+	URL string
+	// Spec is the grid to warm (canonicalized by Run).
+	Spec sweep.Spec
+	// Owns filters cells by the target's fleet ownership (nil: warm
+	// everything).
+	Owns func(fingerprint string) bool
+	// Poll is the busy-scheduler re-check interval.
+	Poll time.Duration
+	// PruneAge > 0 prunes StoreDir after the walk.
+	PruneAge time.Duration
+	StoreDir string
+}
+
+// Report is the machine-readable outcome of a campaign.
+type Report struct {
+	URL   string `json:"url"`
+	Spec  string `json:"spec"` // canonical form
+	Cells int    `json:"cells"`
+	// Warmed counts dispatched cells by X-Cache value ("hit": it was
+	// already resident; "miss": this campaign computed it).
+	Warmed  map[string]uint64 `json:"warmed"`
+	Skipped uint64            `json:"skipped"` // not owned by the target
+	Errors  uint64            `json:"errors"`
+	// IdleWaits counts how many times the walk paused for a busy
+	// scheduler — evidence the campaign yielded to live traffic.
+	IdleWaits uint64  `json:"idle_waits"`
+	Pruned    int     `json:"pruned"`
+	WallSec   float64 `json:"wall_sec"`
+}
+
+// print writes the human summary.
+func (r *Report) print(w io.Writer) {
+	fmt.Fprintf(w, "cells      %d (%d skipped, %d errors) in %.2fs\n", r.Cells, r.Skipped, r.Errors, r.WallSec)
+	fmt.Fprintf(w, "warmed     %v\n", r.Warmed)
+	fmt.Fprintf(w, "idle-waits %d\n", r.IdleWaits)
+	if r.PrunedRelevant() {
+		fmt.Fprintf(w, "pruned     %d\n", r.Pruned)
+	}
+}
+
+// PrunedRelevant reports whether the run pruned at all (Pruned == 0 is
+// ambiguous on its own).
+func (r *Report) PrunedRelevant() bool { return r.Pruned > 0 }
+
+// statsView is the slice of /stats the idle check reads.
+type statsView struct {
+	Sched struct {
+		Queued    int `json:"queued"`
+		Computing int `json:"computing"`
+	} `json:"sched"`
+}
+
+// idle asks the target whether its scheduler has spare capacity.
+func idle(client *http.Client, base string) (bool, error) {
+	res, err := client.Get(base + "/stats")
+	if err != nil {
+		return false, err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, res.Body)
+		return false, fmt.Errorf("/stats: status %d", res.StatusCode)
+	}
+	var sv statsView
+	if err := json.NewDecoder(res.Body).Decode(&sv); err != nil {
+		return false, fmt.Errorf("parsing /stats: %w", err)
+	}
+	return sv.Sched.Queued == 0 && sv.Sched.Computing == 0, nil
+}
+
+// Run walks the campaign against the target.
+func Run(o Options) (*Report, error) {
+	start := time.Now()
+	spec := o.Spec.Canonical()
+	rep := &Report{URL: o.URL, Spec: spec.Query(), Warmed: map[string]uint64{}}
+	client := &http.Client{} // computations can be seconds-class; no client timeout
+	for _, cell := range spec.Cells() {
+		rep.Cells++
+		fp := experiments.Config{Seed: cell.Seed, Quick: cell.Quick}.Fingerprint(cell.ID)
+		if o.Owns != nil && !o.Owns(fp) {
+			rep.Skipped++
+			continue
+		}
+		// Idle gate: dispatch only into spare capacity. A /stats
+		// failure counts as "not idle" a few times, then surfaces — a
+		// dead target should fail the campaign, not busy-loop it.
+		statsFailures := 0
+		for {
+			ok, err := idle(client, o.URL)
+			if err != nil {
+				if statsFailures++; statsFailures >= 5 {
+					return rep, fmt.Errorf("idle check against %s: %w", o.URL, err)
+				}
+			} else if ok {
+				break
+			}
+			rep.IdleWaits++
+			time.Sleep(o.Poll)
+		}
+		url := fmt.Sprintf("%s/tables/%s?seed=%d&quick=%t", o.URL, cell.ID, cell.Seed, cell.Quick)
+		res, err := client.Get(url)
+		if err != nil {
+			rep.Errors++
+			continue
+		}
+		io.Copy(io.Discard, res.Body)
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			rep.Errors++
+			continue
+		}
+		cache := res.Header.Get("X-Cache")
+		if cache == "" {
+			cache = "none"
+		}
+		rep.Warmed[cache]++
+	}
+	if o.PruneAge > 0 {
+		st, err := store.Open(o.StoreDir)
+		if err != nil {
+			return rep, fmt.Errorf("opening store for prune: %w", err)
+		}
+		if rep.Pruned, err = store.Prune(st, o.PruneAge); err != nil {
+			return rep, fmt.Errorf("pruning: %w", err)
+		}
+	}
+	rep.WallSec = time.Since(start).Seconds()
+	return rep, nil
+}

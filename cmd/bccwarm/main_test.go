@@ -1,0 +1,274 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/result"
+	"repro/internal/store"
+	"repro/internal/sweep"
+)
+
+// fakeTarget emulates the slice of bccserve that a campaign touches:
+// /stats answers the idle gate (busy for the first busyN polls), and
+// /tables/{id} serves with miss-then-hit cache headers per distinct
+// cell, counting dispatches.
+type fakeTarget struct {
+	srv       *httptest.Server
+	statsSeen atomic.Int64
+	busyN     int64
+	failTable bool
+	dispatch  atomic.Int64
+	warmedMu  chan struct{} // 1-token mutex, keeps the test dep-free
+	warmed    map[string]int
+}
+
+func newFakeTarget(t *testing.T, busyN int64, failTable bool) *fakeTarget {
+	t.Helper()
+	f := &fakeTarget{busyN: busyN, failTable: failTable,
+		warmedMu: make(chan struct{}, 1), warmed: map[string]int{}}
+	f.warmedMu <- struct{}{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		n := f.statsSeen.Add(1)
+		busy := 0
+		if n <= f.busyN {
+			busy = 1
+		}
+		fmt.Fprintf(w, `{"sched":{"queued":%d,"computing":0}}`, busy)
+	})
+	mux.HandleFunc("GET /tables/{id}", func(w http.ResponseWriter, r *http.Request) {
+		f.dispatch.Add(1)
+		if f.failTable {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		key := r.PathValue("id") + "?" + r.URL.RawQuery
+		<-f.warmedMu
+		f.warmed[key]++
+		n := f.warmed[key]
+		f.warmedMu <- struct{}{}
+		if n > 1 {
+			w.Header().Set("X-Cache", "hit")
+		} else {
+			w.Header().Set("X-Cache", "miss")
+		}
+		fmt.Fprintf(w, `{"schema":1,"id":%q}`+"\n", r.PathValue("id"))
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func mustSpec(t *testing.T, s string) sweep.Spec {
+	t.Helper()
+	spec, err := sweep.ParseQueryString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestRunWarmsMissThenHit: a cold campaign dispatches every cell as a
+// miss; re-running the same campaign sees only hits — the report's
+// Warmed map is the warm/cold evidence deploy scripts read.
+func TestRunWarmsMissThenHit(t *testing.T) {
+	f := newFakeTarget(t, 0, false)
+	opts := Options{URL: f.srv.URL, Spec: mustSpec(t, "ids=EX&seeds=1-3&quick=true"), Poll: time.Millisecond}
+	rep, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cells != 3 || rep.Errors != 0 || rep.Warmed["miss"] != 3 {
+		t.Fatalf("cold campaign: %+v", rep)
+	}
+	if rep.Spec != "ids=EX&seeds=1-3&quick=true" {
+		t.Fatalf("report spec %q is not canonical", rep.Spec)
+	}
+	rep2, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Warmed["hit"] != 3 || rep2.Warmed["miss"] != 0 {
+		t.Fatalf("warm campaign: %+v", rep2.Warmed)
+	}
+}
+
+// TestRunOwnershipSkips: cells the target does not own are counted
+// skipped and never dispatched.
+func TestRunOwnershipSkips(t *testing.T) {
+	f := newFakeTarget(t, 0, false)
+	owned := experiments.Config{Seed: 1, Quick: true}.Fingerprint("EX")
+	rep, err := Run(Options{
+		URL:  f.srv.URL,
+		Spec: mustSpec(t, "ids=EX&seeds=1-4&quick=true"),
+		Owns: func(fp string) bool { return fp == owned },
+		Poll: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cells != 4 || rep.Skipped != 3 || rep.Warmed["miss"] != 1 {
+		t.Fatalf("report %+v, want 1 dispatched of 4", rep)
+	}
+	if f.dispatch.Load() != 1 {
+		t.Fatalf("target saw %d dispatches, want 1", f.dispatch.Load())
+	}
+}
+
+// TestRunYieldsToBusyScheduler: while /stats reports load the walk
+// pauses (IdleWaits counts the evidence) and still completes once the
+// target goes idle.
+func TestRunYieldsToBusyScheduler(t *testing.T) {
+	f := newFakeTarget(t, 3, false)
+	rep, err := Run(Options{URL: f.srv.URL, Spec: mustSpec(t, "ids=EX&seeds=1"), Poll: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.IdleWaits < 3 {
+		t.Fatalf("idle waits = %d, want >= 3 (busy polls)", rep.IdleWaits)
+	}
+	if rep.Warmed["miss"] != 1 || rep.Errors != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+// TestRunDeadTargetAborts: a target whose /stats keeps failing aborts
+// the campaign with an error instead of busy-looping forever.
+func TestRunDeadTargetAborts(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	_, err := Run(Options{URL: srv.URL, Spec: mustSpec(t, "ids=EX&seeds=1-9"), Poll: time.Millisecond})
+	if err == nil || !strings.Contains(err.Error(), "idle check") {
+		t.Fatalf("err = %v, want an idle-check abort", err)
+	}
+}
+
+// TestRunCountsCellErrors: failing table requests are counted, the
+// walk continues, and main's exit gate sees them.
+func TestRunCountsCellErrors(t *testing.T) {
+	f := newFakeTarget(t, 0, true)
+	rep, err := Run(Options{URL: f.srv.URL, Spec: mustSpec(t, "ids=EX&seeds=1-3"), Poll: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 3 || rep.Cells != 3 {
+		t.Fatalf("report %+v, want all 3 cells failed", rep)
+	}
+}
+
+// TestRunPrunesStore: with -prune the campaign ends by removing aged
+// objects from the local store and reporting the count.
+func TestRunPrunesStore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := &result.Table{ID: "EX", Title: "t", Columns: []string{"seed"}}
+	tab.AddRow(result.Int(1))
+	cfg := experiments.Config{Seed: 1}
+	key := store.KeyFor("EX", cfg.Params())
+	if err := st.Put(key, tab); err != nil {
+		t.Fatal(err)
+	}
+	// Backdate the object past the cutoff (Prune reads file mtimes).
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, "objects", key.Fingerprint+".json"), old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	f := newFakeTarget(t, 0, false)
+	rep, err := Run(Options{
+		URL: f.srv.URL, Spec: mustSpec(t, "ids=EX&seeds=1"),
+		Poll: time.Millisecond, PruneAge: 30 * time.Minute, StoreDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pruned != 1 || !rep.PrunedRelevant() {
+		t.Fatalf("pruned = %d, want 1", rep.Pruned)
+	}
+}
+
+// TestCLIValidation: the flag surface rejects unusable combinations
+// before any traffic.
+func TestCLIValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing spec", []string{"-url", "http://x"}, "-spec is required"},
+		{"bad spec", []string{"-spec", "ids=EX"}, "missing seeds"},
+		{"bad poll", []string{"-spec", "ids=EX&seeds=1", "-poll", "0s"}, "-poll must be positive"},
+		{"prune without store", []string{"-spec", "ids=EX&seeds=1", "-prune", "1h", "-store", ""}, "-prune needs -store"},
+		{"negative prune", []string{"-spec", "ids=EX&seeds=1", "-prune", "-1h"}, "-prune must be non-negative"},
+		{"bad fleet url", []string{"-spec", "ids=EX&seeds=1", "-fleet", "::::"}, ""},
+		{"unknown flag", []string{"-bogus"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out strings.Builder
+			_, _, err := cli(tc.args, &out)
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err %q, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCLIRunsCampaign: the full command path — flags through Run —
+// against a live fake, including the fleet-ownership wiring and the
+// JSON report toggle.
+func TestCLIRunsCampaign(t *testing.T) {
+	f := newFakeTarget(t, 0, false)
+	var out strings.Builder
+	rep, jsonOut, err := cli([]string{
+		"-url", f.srv.URL, "-spec", "ids=EX&seeds=1-4", "-poll", "1ms", "-json",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jsonOut {
+		t.Fatal("-json not honored")
+	}
+	if rep.Cells != 4 || rep.Errors != 0 || rep.Warmed["miss"] != 4 {
+		t.Fatalf("report %+v", rep)
+	}
+	if b, err := json.Marshal(rep); err != nil || !strings.Contains(string(b), `"idle_waits"`) {
+		t.Fatalf("report marshal: %v %s", err, b)
+	}
+	rep.print(&out)
+	if !strings.Contains(out.String(), "idle-waits") {
+		t.Fatal("human summary missing")
+	}
+
+	// With -fleet, ownership is evaluated from the target's seat: every
+	// cell is either warmed or skipped, and a fleet of one owns all.
+	f2 := newFakeTarget(t, 0, false)
+	rep2, _, err := cli([]string{
+		"-url", f2.srv.URL, "-spec", "ids=EX&seeds=1-4",
+		"-fleet", f2.srv.URL, "-poll", "1ms", "-json",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Skipped != 0 || rep2.Warmed["miss"] != 4 {
+		t.Fatalf("fleet-of-one campaign: %+v", rep2)
+	}
+}

@@ -1,0 +1,111 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// TestAdmitFastFailAndRelease: Admit takes one queue token without
+// blocking, a full queue is ErrBusy immediately, and Release is
+// idempotent — double-releasing must not free capacity twice.
+func TestAdmitFastFailAndRelease(t *testing.T) {
+	s := New(nil, 1, WithQueue(0)) // capacity 1: parallel + 0 queue
+	adm, err := s.Admit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Admit(); !errors.Is(err, ErrBusy) {
+		t.Fatalf("second Admit on a full queue: %v, want ErrBusy", err)
+	}
+	if m := s.Metrics(); m.Admitted != 1 || m.Rejected != 1 {
+		t.Fatalf("metrics = admitted %d rejected %d, want 1/1", m.Admitted, m.Rejected)
+	}
+	adm.Release()
+	adm.Release() // idempotent: only the first release returns the token
+	adm2, err := s.Admit()
+	if err != nil {
+		t.Fatalf("Admit after release: %v", err)
+	}
+	if _, err := s.Admit(); !errors.Is(err, ErrBusy) {
+		t.Fatal("double Release freed two tokens")
+	}
+	adm2.Release()
+}
+
+// TestAdmitUnboundedScheduler: without WithQueue there is no token to
+// take, but the admission decision still counts.
+func TestAdmitUnboundedScheduler(t *testing.T) {
+	s := New(nil, 1)
+	adm, err := s.Admit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	adm.Release()
+	if m := s.Metrics(); m.Admitted != 1 {
+		t.Fatalf("admitted = %d, want 1", m.Admitted)
+	}
+}
+
+// TestBatchFlightsRideTheAdmission: flights started through
+// Admission.TableCtx neither take nor release queue tokens — however
+// many cells run, the batch holds exactly one admission from Admit to
+// Release, and that token stays occupied for the whole window.
+func TestBatchFlightsRideTheAdmission(t *testing.T) {
+	var calls atomic.Int64
+	s := New(nil, 2, WithQueue(0)) // capacity 2
+	adm, err := s.Admit()          // 1 of 2 taken by the batch
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three fresh flights ride the single batch token.
+	e := countingExperiment("EX", &calls, nil, nil)
+	for seed := uint64(1); seed <= 3; seed++ {
+		if _, _, err := adm.TableCtx(context.Background(), e, experiments.Config{Seed: seed}); err != nil {
+			t.Fatalf("batch cell seed %d: %v", seed, err)
+		}
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+	// One admission for the batch, none per cell.
+	if m := s.Metrics(); m.Admitted != 1 {
+		t.Fatalf("admitted = %d after 3 batch cells, want 1", m.Admitted)
+	}
+
+	// The batch token is still held (cells must not have released it):
+	// one plain flight fits the remaining capacity, the next is
+	// rejected.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	blocker := countingExperiment("BLOCK", &calls, started, release)
+	go s.Table(blocker, experiments.Config{Seed: 100})
+	<-started // the plain flight holds token 2 of 2 and is computing
+	if _, _, err := s.TableCtx(context.Background(), e, experiments.Config{Seed: 101}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("queue should be full while the batch holds its token: %v", err)
+	}
+	close(release)
+	adm.Release()
+
+	// Both tokens drain (the blocker's at retirement, the batch's at
+	// Release): a fresh request must get through again.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, _, err := s.TableCtx(context.Background(), e, experiments.Config{Seed: 102})
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrBusy) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("capacity never came back after Release")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

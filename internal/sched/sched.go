@@ -105,8 +105,9 @@ type Scheduler struct {
 	mu      sync.Mutex
 	flights map[string]*flight
 
-	queued    atomic.Int64 // admitted computations waiting for a slot
-	computing atomic.Int64 // computations running now
+	queued    atomic.Int64  // admitted computations waiting for a slot
+	computing atomic.Int64  // computations running now
+	admitted  atomic.Uint64 // granted admission decisions (fresh flights + Admit batches)
 	rejected  atomic.Uint64
 	abandoned atomic.Uint64 // queued computations whose requesters all left
 	computed  atomic.Uint64
@@ -131,6 +132,11 @@ type flight struct {
 	// waiters counts requests attached to the flight; guarded by the
 	// scheduler's mu.
 	waiters int
+	// holdsToken records that this flight took its own queue admission
+	// (the normal single-request path). A flight started under a batch
+	// Admission rides the batch's token instead and must not release
+	// one at retirement.
+	holdsToken bool
 }
 
 // Option configures a Scheduler at construction.
@@ -256,6 +262,62 @@ func (s *Scheduler) Table(e experiments.Experiment, cfg experiments.Config) (*re
 // reports queue-full rejection; the caller's own context errors pass
 // through unwrapped.
 func (s *Scheduler) TableCtx(ctx context.Context, e experiments.Experiment, cfg experiments.Config) (*result.Table, Outcome, error) {
+	return s.tableCtx(ctx, e, cfg, false)
+}
+
+// Admission is one granted admission decision, held by a batch (a
+// sweep) on behalf of every cell it schedules: the batch pays the
+// queue token once, and flights started through Admission.TableCtx
+// ride it instead of taking their own. Release returns the token;
+// it is idempotent and must be called exactly when the batch is done
+// scheduling (flights already started keep running — the token only
+// gates NEW admissions).
+type Admission struct {
+	s    *Scheduler
+	once sync.Once
+}
+
+// Release returns the batch's queue token. Safe to call more than
+// once; only the first call releases.
+func (a *Admission) Release() {
+	a.once.Do(func() {
+		if a.s.tokens != nil {
+			<-a.s.tokens
+		}
+	})
+}
+
+// TableCtx is Scheduler.TableCtx under the batch's admission: a fresh
+// computation started here does not take its own queue token (the
+// batch already holds one), so a whole grid schedules under exactly
+// one admission decision. Store hits and flight joins behave
+// identically to the plain path.
+func (a *Admission) TableCtx(ctx context.Context, e experiments.Experiment, cfg experiments.Config) (*result.Table, Outcome, error) {
+	return a.s.tableCtx(ctx, e, cfg, true)
+}
+
+// Admit reserves one admission decision for a batch without starting
+// any computation: the sweep-sized analogue of the per-request queue
+// token. It never blocks — a full queue is ErrBusy immediately, the
+// same fast-fail contract the per-request path has — and a granted
+// admission counts once in Metrics.Admitted no matter how many cells
+// later ride it.
+func (s *Scheduler) Admit() (*Admission, error) {
+	if s.tokens != nil {
+		select {
+		case s.tokens <- struct{}{}:
+		default:
+			s.rejected.Add(1)
+			return nil, ErrBusy
+		}
+	}
+	s.admitted.Add(1)
+	return &Admission{s: s}, nil
+}
+
+// tableCtx is the shared request path; preAdmitted marks requests
+// riding a batch Admission, whose fresh flights skip the queue token.
+func (s *Scheduler) tableCtx(ctx context.Context, e experiments.Experiment, cfg experiments.Config, preAdmitted bool) (*result.Table, Outcome, error) {
 	out := Outcome{ID: e.ID}
 	k := store.KeyFor(e.ID, cfg.Params())
 	for {
@@ -288,20 +350,26 @@ func (s *Scheduler) TableCtx(ctx context.Context, e experiments.Experiment, cfg 
 			if joined {
 				fl.waiters++
 			} else {
-				// A fresh computation needs a queue admission. Rejection happens
-				// before the flight is registered, so an ErrBusy never wedges
-				// later requests for the fingerprint.
-				if s.tokens != nil {
-					select {
-					case s.tokens <- struct{}{}:
-					default:
-						s.mu.Unlock()
-						s.rejected.Add(1)
-						return nil, out, ErrBusy
+				// A fresh computation needs a queue admission — unless the
+				// request rides a batch Admission that already paid it.
+				// Rejection happens before the flight is registered, so an
+				// ErrBusy never wedges later requests for the fingerprint.
+				holdsToken := false
+				if !preAdmitted {
+					if s.tokens != nil {
+						select {
+						case s.tokens <- struct{}{}:
+							holdsToken = true
+						default:
+							s.mu.Unlock()
+							s.rejected.Add(1)
+							return nil, out, ErrBusy
+						}
 					}
+					s.admitted.Add(1)
 				}
 				flCtx, cancel := context.WithCancelCause(context.Background())
-				fl = &flight{done: make(chan struct{}), ctx: flCtx, cancel: cancel, waiters: 1}
+				fl = &flight{done: make(chan struct{}), ctx: flCtx, cancel: cancel, waiters: 1, holdsToken: holdsToken}
 				s.flights[k.Fingerprint] = fl
 				go s.compute(k, fl, e, cfg)
 			}
@@ -363,7 +431,7 @@ func (s *Scheduler) compute(k store.Key, fl *flight, e experiments.Experiment, c
 		s.mu.Lock()
 		delete(s.flights, k.Fingerprint)
 		s.mu.Unlock()
-		if s.tokens != nil {
+		if fl.holdsToken {
 			<-s.tokens
 		}
 		close(fl.done)
@@ -475,8 +543,13 @@ type Metrics struct {
 	// bound (slots + queue depth, 0 when unbounded).
 	Parallel int `json:"parallel"`
 	Capacity int `json:"capacity"`
-	// Rejected counts ErrBusy fast-failures; Abandoned counts queued
-	// computations whose requesters all left before a slot freed.
+	// Admitted counts granted admission decisions: one per fresh
+	// single-request flight plus one per Admit batch, however many
+	// cells the batch later schedules — the counter the one-admission-
+	// per-sweep tests pin. Rejected counts ErrBusy fast-failures;
+	// Abandoned counts queued computations whose requesters all left
+	// before a slot freed.
+	Admitted  uint64 `json:"admitted"`
 	Rejected  uint64 `json:"rejected"`
 	Abandoned uint64 `json:"abandoned"`
 	// Computed counts finished estimator runs (successes, failures, and
@@ -498,6 +571,7 @@ func (s *Scheduler) Metrics() Metrics {
 		Queued:          int(s.queued.Load()),
 		Computing:       int(s.computing.Load()),
 		Parallel:        s.parallel,
+		Admitted:        s.admitted.Load(),
 		Rejected:        s.rejected.Load(),
 		Abandoned:       s.abandoned.Load(),
 		Computed:        s.computed.Load(),

@@ -67,8 +67,13 @@ type Server struct {
 	// Workers is the per-computation goroutine budget.
 	Workers int
 	// Timeout bounds each request's computation (0: none); exceeding it
-	// answers 504.
+	// answers 504. For sweeps it bounds each CELL, and an exceeded cell
+	// is a "timeout" row (the stream's status is already committed).
 	Timeout time.Duration
+	// SweepMaxCells caps the grid size one POST /sweep may name
+	// (0: sweep.DefaultMaxCells). Oversized grids are 400s — the spec
+	// is the client's to shrink, not a capacity condition to retry.
+	SweepMaxCells int
 	// Fleet is the static replica set this server belongs to (nil: no
 	// fleet — single-replica behavior). When set, requests for
 	// fingerprints this replica does not own are resolved owner-first
@@ -93,7 +98,7 @@ type Server struct {
 }
 
 // Handler returns the HTTP API: /healthz, /tables, /tables/{id},
-// /stats.
+// /sweep, /stats.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -104,6 +109,9 @@ func (s *Server) Handler() http.Handler {
 	// in-flight check, never a computation (the GET pattern would have
 	// served HEAD through the full table path, computing on miss).
 	mux.HandleFunc("HEAD /tables/{id}", s.handleProbe)
+	// The batch endpoint: one admission decision per grid, NDJSON rows
+	// as cells complete (sweep.go).
+	mux.HandleFunc("POST /sweep", s.handleSweep)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
 }

@@ -1,0 +1,120 @@
+// POST /sweep: the batch endpoint. A sweep names a grid (experiment
+// ids × seeds × quick) in either the JSON body form or the compact
+// query grammar, is admitted into the scheduler ONCE for the whole
+// grid, and streams one NDJSON row per cell as its flight completes,
+// closing with a summary row. Cells ride the scheduler's ordinary
+// single-flight flights, so concurrent sweeps and single-table
+// requests against overlapping grids still compute each fingerprint
+// exactly once.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"repro/internal/sched"
+	"repro/internal/sweep"
+)
+
+// sweepRow is one NDJSON line of the sweep stream: exactly one of the
+// fields is set, so consumers dispatch on which key is present.
+type sweepRow struct {
+	Cell    *sweep.Result  `json:"cell,omitempty"`
+	Summary *sweep.Summary `json:"summary,omitempty"`
+}
+
+// sweepExecutor assembles the executor for this server's wiring.
+func (s *Server) sweepExecutor() *sweep.Executor {
+	return &sweep.Executor{
+		Sched:    s.Sched,
+		Registry: s.Registry,
+		Workers:  s.Workers,
+		Parallel: s.Sched.Metrics().Parallel,
+		Timeout:  s.Timeout,
+		MaxCells: s.SweepMaxCells,
+	}
+}
+
+// parseSweepRequest reads the spec from the request: a non-empty body
+// is the JSON form, otherwise the query string must carry the compact
+// grammar. The returned spec is canonical.
+func parseSweepRequest(r *http.Request) (sweep.Spec, error) {
+	var spec sweep.Spec
+	var err error
+	if r.ContentLength != 0 {
+		spec, err = sweep.ParseJSON(r.Body)
+	} else {
+		spec, err = sweep.ParseQuery(r.URL.Query())
+	}
+	if err != nil {
+		return sweep.Spec{}, err
+	}
+	return spec.Canonical(), nil
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	spec, err := parseSweepRequest(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	exec := s.sweepExecutor()
+	// Pre-flight before committing the response status: everything
+	// after the first streamed row is immutable.
+	if err := exec.Check(spec); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, sweep.ErrUnknownID) {
+			status = http.StatusNotFound
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	headerSent := false
+	emit := func(res sweep.Result) {
+		if !headerSent {
+			// The first row commits the stream; headers go out here so
+			// an admission rejection can still answer 429 below.
+			s.setDegraded(w)
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.Header().Set("X-Sweep-Cells", strconv.Itoa(spec.CellCount()))
+			w.WriteHeader(http.StatusOK)
+			headerSent = true
+		}
+		res.Encoded = nil // rows are metadata; tables travel via GET /tables
+		enc.Encode(sweepRow{Cell: &res})
+		if flusher != nil {
+			// One flush per row: a slow grid streams progress instead
+			// of buffering until the summary.
+			flusher.Flush()
+		}
+	}
+	sum, err := exec.Run(r.Context(), spec, emit)
+	if err != nil {
+		// Run errors only before the first emit (Check passed, so this
+		// is the single admission decision failing).
+		if errors.Is(err, sched.ErrBusy) {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.Sched.Metrics())))
+			httpError(w, http.StatusTooManyRequests, "compute queue full, retry later")
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "sweep: %v", err)
+		return
+	}
+	if !headerSent {
+		// A zero-cell grid cannot parse (ids and seeds are required),
+		// but a fully canceled sweep can reach here without rows when
+		// the client is already gone; nothing to write then.
+		if r.Context().Err() != nil {
+			return
+		}
+	}
+	enc.Encode(sweepRow{Summary: &sum})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}

@@ -1,0 +1,540 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sched"
+	"repro/internal/store/tier"
+	"repro/internal/sweep"
+)
+
+// postSweep drives POST /sweep through the handler; an empty body
+// means the compact query grammar carries the spec.
+func postSweep(t *testing.T, h http.Handler, path, body string) (*http.Response, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	var rdr io.Reader
+	if body != "" {
+		rdr = strings.NewReader(body)
+	}
+	req := httptest.NewRequest("POST", path, rdr)
+	h.ServeHTTP(rec, req)
+	res := rec.Result()
+	b, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, string(b)
+}
+
+// ndRow mirrors the stream's row envelope for decoding.
+type ndRow struct {
+	Cell    *sweep.Result  `json:"cell"`
+	Summary *sweep.Summary `json:"summary"`
+}
+
+// parseNDJSON validates stream shape — every line exactly one of
+// cell/summary, summary last — and returns both parts.
+func parseNDJSON(t *testing.T, body string) ([]sweep.Result, *sweep.Summary) {
+	t.Helper()
+	var cells []sweep.Result
+	var sum *sweep.Summary
+	lines := strings.Split(strings.TrimSuffix(body, "\n"), "\n")
+	for i, line := range lines {
+		var row ndRow
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("line %d is not JSON: %q: %v", i, line, err)
+		}
+		switch {
+		case row.Cell != nil && row.Summary == nil:
+			if sum != nil {
+				t.Fatalf("cell row after the summary at line %d", i)
+			}
+			cells = append(cells, *row.Cell)
+		case row.Summary != nil && row.Cell == nil:
+			if i != len(lines)-1 {
+				t.Fatalf("summary at line %d of %d is not last", i, len(lines))
+			}
+			sum = row.Summary
+		default:
+			t.Fatalf("line %d does not carry exactly one of cell/summary: %q", i, line)
+		}
+	}
+	if sum == nil {
+		t.Fatalf("stream has no summary row:\n%s", body)
+	}
+	return cells, sum
+}
+
+// TestSweepStreamsGridAndReplays: the endpoint contract end to end —
+// an 8-cell grid streams 8 cell rows plus a summary under exactly one
+// scheduler admission, and the replay is served entirely from cache
+// with zero new estimator calls.
+func TestSweepStreamsGridAndReplays(t *testing.T) {
+	var calls atomic.Int64
+	s := testServer(t, &calls, nil)
+	h := s.Handler()
+
+	res, body := postSweep(t, h, "/sweep?ids=EX&seeds=1-4&quick=true,false", "")
+	if res.StatusCode != 200 {
+		t.Fatalf("sweep: %d %s", res.StatusCode, body)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if n := res.Header.Get("X-Sweep-Cells"); n != "8" {
+		t.Fatalf("X-Sweep-Cells = %q, want 8", n)
+	}
+	cells, sum := parseNDJSON(t, body)
+	if len(cells) != 8 || sum.Cells != 8 {
+		t.Fatalf("rows = %d, summary cells = %d, want 8", len(cells), sum.Cells)
+	}
+	if calls.Load() != 8 {
+		t.Fatalf("estimator calls = %d, want 8", calls.Load())
+	}
+	if m := s.Sched.Metrics(); m.Admitted != 1 {
+		t.Fatalf("admitted = %d for one sweep, want exactly 1", m.Admitted)
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if c.ID != "EX" || c.Status == "" || c.Fingerprint == "" {
+			t.Fatalf("malformed row %+v", c)
+		}
+		wantFP := experiments.Config{Seed: c.Seed, Quick: c.Quick}.Fingerprint("EX")
+		if c.Fingerprint != wantFP {
+			t.Fatalf("row fingerprint %q, want %q (the single-request address)", c.Fingerprint, wantFP)
+		}
+		if seen[wantFP] {
+			t.Fatalf("fingerprint %q emitted twice", wantFP)
+		}
+		seen[wantFP] = true
+	}
+
+	// The JSON body form names the same grid; everything hits now.
+	res2, body2 := postSweep(t, h, "/sweep", `{"ids":["EX"],"seeds":[1,2,3,4],"quick":[true,false]}`)
+	if res2.StatusCode != 200 {
+		t.Fatalf("replay: %d %s", res2.StatusCode, body2)
+	}
+	_, sum2 := parseNDJSON(t, body2)
+	if sum2.Statuses["hit"] != 8 {
+		t.Fatalf("replay statuses = %+v, want 8 hits", sum2.Statuses)
+	}
+	if calls.Load() != 8 {
+		t.Fatalf("replay recomputed: %d estimator calls", calls.Load())
+	}
+	if m := s.Sched.Metrics(); m.Admitted != 2 {
+		t.Fatalf("admitted = %d after two sweeps, want 2", m.Admitted)
+	}
+}
+
+// TestSweepAndParamsErrorMessages pins every client-visible error
+// message on the table and sweep paths: 400s for malformed input, 404s
+// for unknown experiments, at the exact strings clients see today.
+func TestSweepAndParamsErrorMessages(t *testing.T) {
+	var calls atomic.Int64
+	s := testServer(t, &calls, nil)
+	s.SweepMaxCells = 8
+	h := s.Handler()
+
+	cases := []struct {
+		name, method, path, body string
+		status                   int
+		want                     string // exact message, or prefix when ending in "…"
+	}{
+		{"table bad seed", "GET", "/tables/EX?seed=zz", "", 400, `bad seed "zz"`},
+		{"table bad quick", "GET", "/tables/EX?quick=zz", "", 400, `bad quick "zz"`},
+		{"table unknown id", "GET", "/tables/NOPE", "", 404, `unknown experiment "NOPE"`},
+		{"sweep missing seeds", "POST", "/sweep?ids=EX", "", 400, "missing seeds"},
+		{"sweep missing ids", "POST", "/sweep?seeds=1", "", 400, "missing ids"},
+		{"sweep bad id token", "POST", "/sweep?ids=EX!&seeds=1", "", 400, `bad experiment id "EX!"`},
+		{"sweep reversed range", "POST", "/sweep?ids=EX&seeds=9-3", "", 400, `bad seed range "9-3": 9 > 3`},
+		{"sweep bad seed", "POST", "/sweep?ids=EX&seeds=x", "", 400, `bad seed "x": not a uint64 or A-B range`},
+		{"sweep unknown key", "POST", "/sweep?ids=EX&seeds=1&seedz=2", "", 400, `unknown sweep key "seedz" (want ids, seeds, quick)`},
+		{"sweep bad quick", "POST", "/sweep?ids=EX&seeds=1&quick=maybe", "", 400, `bad quick "maybe"`},
+		{"sweep unknown id", "POST", "/sweep?ids=NOPE&seeds=1", "", 404, `sweep: unknown experiment "NOPE"`},
+		{"sweep over cap", "POST", "/sweep?ids=EX&seeds=1-9", "", 400, "sweep: grid exceeds the cell cap: 9 cells, cap 8"},
+		{"sweep bad json", "POST", "/sweep", `{bad`, 400, "bad sweep body: …"},
+		{"sweep json unknown field", "POST", "/sweep", `{"ids":["EX"],"seeds":[1],"seed":2}`, 400, "bad sweep body: …"},
+		{"sweep json trailing data", "POST", "/sweep", `{"ids":["EX"],"seeds":[1]}{}`, 400, "bad sweep body: trailing data after spec"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			var rdr io.Reader
+			if tc.body != "" {
+				rdr = strings.NewReader(tc.body)
+			}
+			req := httptest.NewRequest(tc.method, tc.path, rdr)
+			h.ServeHTTP(rec, req)
+			res := rec.Result()
+			b, _ := io.ReadAll(res.Body)
+			if res.StatusCode != tc.status {
+				t.Fatalf("%s %s: status %d %s, want %d", tc.method, tc.path, res.StatusCode, b, tc.status)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(b, &e); err != nil {
+				t.Fatalf("error body is not JSON: %q", b)
+			}
+			if prefix, open := strings.CutSuffix(tc.want, "…"); open {
+				if !strings.HasPrefix(e.Error, prefix) {
+					t.Fatalf("message %q, want prefix %q", e.Error, prefix)
+				}
+			} else if e.Error != tc.want {
+				t.Fatalf("message %q, want %q", e.Error, tc.want)
+			}
+		})
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("rejected requests computed %d cells", calls.Load())
+	}
+
+	// The cap boundary itself passes: exactly SweepMaxCells cells is a
+	// valid grid, not a 400.
+	res, body := postSweep(t, h, "/sweep?ids=EX&seeds=1-8", "")
+	if res.StatusCode != 200 {
+		t.Fatalf("grid at the cap: %d %s", res.StatusCode, body)
+	}
+	if _, sum := parseNDJSON(t, body); sum.Cells != 8 {
+		t.Fatalf("grid at the cap ran %d cells", sum.Cells)
+	}
+}
+
+// TestSweepBusy: a full admission queue rejects the whole sweep with
+// 429 + Retry-After before any row is written, and the same request
+// succeeds once capacity frees.
+func TestSweepBusy(t *testing.T) {
+	var calls atomic.Int64
+	stack, err := tier.NewStack(tier.Config{MemCapacity: 4, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Server{
+		Sched:    sched.New(stack.Backend, 1, sched.WithQueue(0)),
+		Stack:    stack,
+		Registry: countingRegistry(&calls, nil),
+		Workers:  1,
+	}
+	h := s.Handler()
+	adm, err := s.Sched.Admit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, body := postSweep(t, h, "/sweep?ids=EX&seeds=1-3", "")
+	if res.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("busy sweep: %d %s, want 429", res.StatusCode, body)
+	}
+	if res.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if !strings.Contains(body, "compute queue full, retry later") {
+		t.Fatalf("429 body = %s", body)
+	}
+	if calls.Load() != 0 {
+		t.Fatal("rejected sweep computed")
+	}
+	adm.Release()
+	if res, body := postSweep(t, h, "/sweep?ids=EX&seeds=1-3", ""); res.StatusCode != 200 {
+		t.Fatalf("after release: %d %s", res.StatusCode, body)
+	}
+}
+
+// TestTableDeadlineMessage pins the 504 contract on the single-table
+// path (the sweep analogue is a "timeout" row, exercised in
+// internal/sweep): message and Retry-After survive refactors.
+func TestTableDeadlineMessage(t *testing.T) {
+	var calls atomic.Int64
+	block := make(chan struct{})
+	s := testServer(t, &calls, block)
+	s.Timeout = 10 * time.Millisecond
+	h := s.Handler()
+	res, body := get(t, h, "/tables/EX?seed=77")
+	if res.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d %s, want 504", res.StatusCode, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &e); err != nil {
+		t.Fatalf("504 body not JSON: %q", body)
+	}
+	if want := "computing EX exceeded the 10ms deadline"; e.Error != want {
+		t.Fatalf("504 message %q, want %q", e.Error, want)
+	}
+	close(block) // let the detached flight retire
+}
+
+// ctxRegistry is a registry whose single experiment parks inside the
+// estimator until its flight context dies — the shape a client
+// disconnect must be able to cancel.
+func ctxRegistry(calls *atomic.Int64, started chan struct{}) func() []experiments.Experiment {
+	return func() []experiments.Experiment {
+		return []experiments.Experiment{{
+			ID:    "EX",
+			Title: "parks until canceled",
+			Run: func(cfg experiments.Config) (*experiments.Table, error) {
+				calls.Add(1)
+				started <- struct{}{}
+				<-cfg.Ctx.Done()
+				return nil, context.Cause(cfg.Ctx)
+			},
+		}}
+	}
+}
+
+// TestSweepClientDisconnectCancels: a client walking away mid-stream
+// cancels the remaining grid — cells already inside the estimator are
+// aborted through the flight context, cells not yet started never
+// compute at all.
+func TestSweepClientDisconnectCancels(t *testing.T) {
+	var calls atomic.Int64
+	started := make(chan struct{}, 8)
+	stack, err := tier.NewStack(tier.Config{MemCapacity: 4, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Server{
+		Sched:    sched.New(stack.Backend, 2),
+		Stack:    stack,
+		Registry: ctxRegistry(&calls, started),
+		Workers:  1,
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "POST", srv.URL+"/sweep?ids=EX&seeds=1-6", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		res, err := http.DefaultClient.Do(req)
+		if err == nil {
+			_, err = io.Copy(io.Discard, res.Body)
+			res.Body.Close()
+		}
+		errc <- err
+	}()
+
+	// Two cells (the parallel slots) are inside the estimator; the
+	// other four are queued or unscheduled. Walk away.
+	<-started
+	<-started
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("canceled request reported success")
+	}
+
+	// The in-flight estimators unwind through their flight contexts.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		m := s.Sched.Metrics()
+		if m.Computing == 0 && m.Queued == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flights never unwound: %+v", m)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("estimator started %d times, want exactly the 2 in-flight cells", n)
+	}
+	// And stays that way: the canceled grid's tail is never computed.
+	time.Sleep(50 * time.Millisecond)
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("canceled cells computed later: %d calls", n)
+	}
+}
+
+// TestSweepConcurrentOverlapComputesOnce is the race-mode e2e pin: two
+// concurrent sweeps with overlapping grids plus interleaved single
+// GETs over a part-warm corpus compute each fingerprint exactly once,
+// both streams stay well-formed and complete, and the cells land
+// byte-identical to a sequential scheduler run.
+func TestSweepConcurrentOverlapComputesOnce(t *testing.T) {
+	var calls atomic.Int64
+	s := testServer(t, &calls, nil)
+	h := s.Handler()
+
+	// Warm part of the corpus through the single-table path.
+	if res, body := get(t, h, "/tables/EX?seed=1&quick=true"); res.StatusCode != 200 {
+		t.Fatalf("warm: %d %s", res.StatusCode, body)
+	}
+
+	specA := "/sweep?ids=EX&seeds=1-6&quick=true"
+	specB := "/sweep?ids=EX&seeds=4-9&quick=true" // overlaps A on 4-6
+	bodies := make([]string, 2)
+	var wg sync.WaitGroup
+	for i, spec := range []string{specA, specB} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, body := postSweep(t, h, spec, "")
+			if res.StatusCode != 200 {
+				t.Errorf("sweep %s: %d %s", spec, res.StatusCode, body)
+			}
+			bodies[i] = body
+		}()
+	}
+	for _, seed := range []int{2, 5, 8} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, body := get(t, h, fmt.Sprintf("/tables/EX?seed=%d&quick=true", seed))
+			if res.StatusCode != 200 {
+				t.Errorf("interleaved GET seed %d: %d %s", seed, res.StatusCode, body)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Exactly once per fingerprint: 9 distinct seeds, 9 computations,
+	// no matter how sweeps and singles raced — and /stats agrees.
+	if n := calls.Load(); n != 9 {
+		t.Fatalf("estimator calls = %d, want 9 (one per distinct fingerprint)", n)
+	}
+	res, statsBody := get(t, h, "/stats")
+	if res.StatusCode != 200 {
+		t.Fatalf("/stats: %d", res.StatusCode)
+	}
+	var stats struct {
+		Sched struct {
+			Computed uint64 `json:"computed"`
+		} `json:"sched"`
+	}
+	if err := json.Unmarshal([]byte(statsBody), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sched.Computed != 9 {
+		t.Fatalf("/stats computed = %d, want 9", stats.Sched.Computed)
+	}
+
+	// Both streams are complete and well-formed, covering exactly their
+	// grids.
+	wantSeeds := [][]uint64{{1, 2, 3, 4, 5, 6}, {4, 5, 6, 7, 8, 9}}
+	for i, body := range bodies {
+		cells, sum := parseNDJSON(t, body)
+		if len(cells) != 6 || sum.Cells != 6 {
+			t.Fatalf("sweep %d: %d rows, summary %d, want 6", i, len(cells), sum.Cells)
+		}
+		got := map[uint64]bool{}
+		for _, c := range cells {
+			switch c.Status {
+			case "hit", "computed", "shared":
+			default:
+				t.Fatalf("sweep %d cell %+v: unexpected status", i, c)
+			}
+			got[c.Seed] = true
+		}
+		for _, seed := range wantSeeds[i] {
+			if !got[seed] {
+				t.Fatalf("sweep %d missing seed %d: %+v", i, seed, got)
+			}
+		}
+	}
+
+	// Byte-identical to a sequential run: a fresh one-slot scheduler
+	// over a fresh store produces the same wire bytes every swept cell
+	// now serves.
+	seq := testServer(t, new(atomic.Int64), nil)
+	for seed := 1; seed <= 9; seed++ {
+		path := fmt.Sprintf("/tables/EX?seed=%d&quick=true", seed)
+		_, want := get(t, seq.Handler(), path)
+		res, body := get(t, h, path)
+		if res.Header.Get("X-Cache") != "hit" {
+			t.Fatalf("seed %d not resident after the sweeps", seed)
+		}
+		if body != want {
+			t.Fatalf("seed %d differs from the sequential run", seed)
+		}
+	}
+}
+
+// TestSweep24CellAcceptance is the PR's acceptance row on the real
+// registry: a 24-cell E20 quick grid streams as NDJSON under exactly
+// one admission, matches a sequential scheduler loop byte for byte,
+// and replays entirely from cache with zero estimator runs.
+func TestSweep24CellAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("24 real E20 cells: skipped in -short (the plain CI leg runs it)")
+	}
+	e20, ok := experiments.ByID("E20")
+	if !ok {
+		t.Fatal("no E20 in the registry")
+	}
+	stack, err := tier.NewStack(tier.Config{MemCapacity: 32, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Server{
+		Sched:    sched.New(stack.Backend, 4, sched.WithQueue(8)),
+		Stack:    stack,
+		Registry: experiments.All,
+		Workers:  2,
+	}
+	h := s.Handler()
+
+	res, body := postSweep(t, h, "/sweep?ids=E20&seeds=1-24&quick=true", "")
+	if res.StatusCode != 200 {
+		t.Fatalf("sweep: %d %s", res.StatusCode, body)
+	}
+	if n := res.Header.Get("X-Sweep-Cells"); n != "24" {
+		t.Fatalf("X-Sweep-Cells = %q, want 24", n)
+	}
+	cells, sum := parseNDJSON(t, body)
+	if len(cells) != 24 || sum.Cells != 24 {
+		t.Fatalf("rows = %d, summary = %d, want 24", len(cells), sum.Cells)
+	}
+	m := s.Sched.Metrics()
+	if m.Admitted != 1 {
+		t.Fatalf("admitted = %d for the grid, want exactly 1", m.Admitted)
+	}
+	if m.Computed != 24 {
+		t.Fatalf("computed = %d, want 24", m.Computed)
+	}
+
+	// Byte-identical to the sequential loop: one-slot scheduler, fresh
+	// store, same cells in order.
+	seqStack, err := tier.NewStack(tier.Config{MemCapacity: 32, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := sched.New(seqStack.Backend, 1)
+	for seed := uint64(1); seed <= 24; seed++ {
+		_, out, err := seq.Table(e20, experiments.Config{Seed: seed, Quick: true, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, got := get(t, h, fmt.Sprintf("/tables/E20?seed=%d&quick=true", seed))
+		if res.Header.Get("X-Cache") != "hit" {
+			t.Fatalf("seed %d not resident after the sweep", seed)
+		}
+		if got != string(out.Encoded) {
+			t.Fatalf("seed %d: sweep table differs from the sequential run", seed)
+		}
+	}
+
+	// Replay: all 24 from cache, zero estimator calls.
+	_, body2 := postSweep(t, h, "/sweep?ids=E20&seeds=1-24&quick=true", "")
+	_, sum2 := parseNDJSON(t, body2)
+	if sum2.Statuses["hit"] != 24 {
+		t.Fatalf("replay statuses = %+v, want 24 hits", sum2.Statuses)
+	}
+	if m2 := s.Sched.Metrics(); m2.Computed != 24 {
+		t.Fatalf("replay ran the estimator: computed = %d, want 24", m2.Computed)
+	}
+}

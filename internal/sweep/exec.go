@@ -1,0 +1,372 @@
+// Executor and Campaign: the two ways a Spec's grid meets the
+// scheduler. Executor is the serving path — the whole grid under ONE
+// admission decision, cells fanned out through the scheduler's
+// single-flight flights, results emitted as they complete. Campaign is
+// the warming path — cells walked one at a time through IDLE scheduler
+// capacity only, so a deploy-time warm-up never competes with live
+// traffic for compute slots.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sched"
+)
+
+// ErrTooManyCells reports a grid over the executor's cell cap; the
+// serving layer answers 400 (the spec is the client's to shrink, not a
+// capacity condition to retry).
+var ErrTooManyCells = errors.New("sweep: grid exceeds the cell cap")
+
+// ErrUnknownID reports a spec id that the registry does not serve; the
+// serving layer answers 404, matching GET /tables/{id}.
+var ErrUnknownID = errors.New("sweep: unknown experiment")
+
+// Result is one completed cell: the NDJSON row POST /sweep streams.
+type Result struct {
+	ID          string `json:"id"`
+	Seed        uint64 `json:"seed"`
+	Quick       bool   `json:"quick"`
+	Fingerprint string `json:"fingerprint"`
+	// Status is hit (served from the store), computed (a fresh
+	// estimator run), shared (piggybacked on a concurrent flight —
+	// another sweep's or a single request's), error, timeout (the
+	// per-cell deadline), canceled (the sweep's requester left), or
+	// skipped (a Campaign cell this replica does not own).
+	Status    string  `json:"status"`
+	Tier      string  `json:"tier,omitempty"`
+	LatencyMS float64 `json:"latency_ms"`
+	Error     string  `json:"error,omitempty"`
+
+	// Encoded is the cell table's wire JSON (nil on non-success); it
+	// never rides the NDJSON row — rows are metadata — but lets tests
+	// and embedders compare tables byte for byte.
+	Encoded []byte `json:"-"`
+}
+
+// Summary is the terminal accounting row of a sweep or campaign.
+type Summary struct {
+	Cells    int            `json:"cells"`
+	Statuses map[string]int `json:"statuses"`
+	WallMS   float64        `json:"wall_ms"`
+}
+
+// Executor schedules whole grids. Fields mirror the serving layer's
+// wiring (serve.Server); the zero MaxCells means DefaultMaxCells.
+type Executor struct {
+	// Sched runs the cells; one Admit covers the whole grid.
+	Sched *sched.Scheduler
+	// Registry resolves spec ids (experiments.All in production).
+	Registry func() []experiments.Experiment
+	// Workers is the goroutine budget of EACH cell's measurement
+	// engines (0: GOMAXPROCS). The serving layer passes its
+	// per-computation budget — the host total already divided by the
+	// scheduler's slot count — so a full grid keeps the host at the
+	// same ~workers goroutines as a full single-request load.
+	Workers int
+	// Parallel is how many cells are in flight at once (the
+	// scheduler's slot count is the natural value); <1 means 1.
+	Parallel int
+	// Timeout bounds each cell's computation (0: none); an exceeded
+	// cell is a "timeout" row, never an HTTP error — the stream is
+	// already committed.
+	Timeout time.Duration
+	// MaxCells caps the grid (0: DefaultMaxCells).
+	MaxCells int
+}
+
+// resolve maps spec ids to registry experiments, preserving spec
+// order.
+func (x *Executor) resolve(spec Spec) ([]experiments.Experiment, error) {
+	byID := map[string]experiments.Experiment{}
+	for _, e := range x.Registry() {
+		byID[e.ID] = e
+	}
+	exps := make([]experiments.Experiment, 0, len(spec.IDs))
+	for _, id := range spec.IDs {
+		e, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("%w %q", ErrUnknownID, id)
+		}
+		exps = append(exps, e)
+	}
+	return exps, nil
+}
+
+// Check validates spec against the executor's registry and cap without
+// scheduling anything — the pre-flight the serving layer runs before
+// committing a response status.
+func (x *Executor) Check(spec Spec) error {
+	if _, err := x.resolve(spec); err != nil {
+		return err
+	}
+	cap := x.MaxCells
+	if cap <= 0 {
+		cap = DefaultMaxCells
+	}
+	if n := spec.CellCount(); n > cap {
+		return fmt.Errorf("%w: %d cells, cap %d", ErrTooManyCells, n, cap)
+	}
+	return nil
+}
+
+// Run executes spec's grid under one admission decision, calling emit
+// (serialized, completion order) once per cell. It returns an error
+// only before the first emit — ErrUnknownID, ErrTooManyCells, or
+// sched.ErrBusy from the single admission — so the caller can still
+// choose a response status; after that, per-cell failures are rows,
+// and a canceled ctx shows up as canceled rows for every cell not yet
+// computed (the scheduler's detach semantics stop their flights).
+func (x *Executor) Run(ctx context.Context, spec Spec, emit func(Result)) (Summary, error) {
+	start := time.Now()
+	if err := x.Check(spec); err != nil {
+		return Summary{}, err
+	}
+	exps, _ := x.resolve(spec)
+	expFor := map[string]experiments.Experiment{}
+	for _, e := range exps {
+		expFor[e.ID] = e
+	}
+	cells := spec.Cells()
+
+	adm, err := x.Sched.Admit()
+	if err != nil {
+		return Summary{}, err
+	}
+	defer adm.Release()
+
+	fanout := x.Parallel
+	if fanout < 1 {
+		fanout = 1
+	}
+	if len(cells) < fanout {
+		fanout = len(cells)
+	}
+
+	var mu sync.Mutex
+	sum := Summary{Cells: len(cells), Statuses: map[string]int{}}
+	record := func(res Result) {
+		mu.Lock()
+		sum.Statuses[res.Status]++
+		if emit != nil {
+			emit(res)
+		}
+		mu.Unlock()
+	}
+
+	next := make(chan Cell)
+	go func() {
+		defer close(next)
+		for i, c := range cells {
+			select {
+			case next <- c:
+			case <-ctx.Done():
+				// Unscheduled cells are canceled rows, not silent gaps:
+				// the stream's summary must still account for every cell.
+				for _, rest := range cells[i:] {
+					record(canceledResult(rest, ctx))
+				}
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < fanout; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range next {
+				res, _ := x.runCell(ctx, adm, expFor[c.ID], c, x.Workers)
+				record(res)
+			}
+		}()
+	}
+	wg.Wait()
+	sum.WallMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	return sum, nil
+}
+
+// canceledResult is the row for a cell the sweep never got to start.
+func canceledResult(c Cell, ctx context.Context) Result {
+	return Result{
+		ID: c.ID, Seed: c.Seed, Quick: c.Quick,
+		Fingerprint: fingerprintFor(c),
+		Status:      "canceled",
+		Error:       context.Cause(ctx).Error(),
+	}
+}
+
+// fingerprintFor is the cell's content address — identical to the one
+// GET /tables/{id} stamps in X-Fingerprint.
+func fingerprintFor(c Cell) string {
+	return experiments.Config{Seed: c.Seed, Quick: c.Quick}.Fingerprint(c.ID)
+}
+
+// runCell executes one cell — under the batch admission when adm is
+// non-nil (the sweep path), through the ordinary per-request admission
+// otherwise (the campaign path) — and classifies the outcome. The raw
+// error comes back alongside the row so callers can react to specific
+// failures (Campaign retries ErrBusy).
+func (x *Executor) runCell(ctx context.Context, adm *sched.Admission, e experiments.Experiment, c Cell, workers int) (Result, error) {
+	res := Result{ID: c.ID, Seed: c.Seed, Quick: c.Quick, Fingerprint: fingerprintFor(c)}
+	cellCtx := ctx
+	var cancel context.CancelFunc
+	if x.Timeout > 0 {
+		cellCtx, cancel = context.WithTimeout(ctx, x.Timeout)
+		defer cancel()
+	}
+	cfg := experiments.Config{Seed: c.Seed, Quick: c.Quick, Workers: workers}
+	start := time.Now()
+	var out sched.Outcome
+	var err error
+	if adm != nil {
+		_, out, err = adm.TableCtx(cellCtx, e, cfg)
+	} else {
+		_, out, err = x.Sched.TableCtx(cellCtx, e, cfg)
+	}
+	res.LatencyMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	switch {
+	case err == nil:
+		res.Tier, res.Encoded = out.Tier, out.Encoded
+		switch {
+		case out.CacheHit:
+			res.Status = "hit"
+		case out.Shared:
+			res.Status = "shared"
+		default:
+			res.Status = "computed"
+		}
+	case ctx.Err() != nil:
+		// The sweep's own context died (client disconnect): every
+		// still-running cell lands here via the scheduler's
+		// cancellation path.
+		res.Status, res.Error = "canceled", err.Error()
+	case errors.Is(err, context.DeadlineExceeded) && cellCtx.Err() != nil:
+		res.Status = "timeout"
+		res.Error = fmt.Sprintf("cell exceeded the %s deadline", x.Timeout)
+	default:
+		res.Status, res.Error = "error", err.Error()
+	}
+	return res, err
+}
+
+// Campaign walks a Spec through idle scheduler capacity: the
+// precompute/warming mode behind bccserve -warm and cmd/bccwarm's
+// in-process twin. Cells run strictly one at a time, each dispatched
+// only when Idle reports the scheduler has nothing queued and nothing
+// computing, so live traffic always wins the race for slots — the
+// campaign's invariant is "warming never delays a request", not "the
+// corpus warms fast".
+type Campaign struct {
+	// Spec is the grid to warm.
+	Spec Spec
+	// Sched and Registry mirror Executor.
+	Sched    *sched.Scheduler
+	Registry func() []experiments.Experiment
+	// Workers is the goroutine budget of each (single) warming cell.
+	Workers int
+	// Owns filters cells by fleet ownership (nil: warm everything).
+	// Non-owned cells are "skipped" rows: each replica warms only the
+	// fingerprints the rendezvous assignment makes it responsible for,
+	// so a fleet-wide campaign costs one compute per cell, not one per
+	// replica.
+	Owns func(fingerprint string) bool
+	// Idle reports that the scheduler has spare capacity right now
+	// (nil: queued == 0 && computing == 0 from Sched.Metrics).
+	Idle func() bool
+	// Poll is how often a busy scheduler is re-checked (0: 100ms).
+	Poll time.Duration
+	// OnCell, when set, observes each cell's outcome as it lands.
+	OnCell func(Result)
+}
+
+// Run walks the campaign to completion or ctx cancellation. Per-cell
+// failures are recorded and the walk continues (a warming campaign is
+// best-effort by nature); only spec-level problems (unknown id) and
+// ctx cancellation return an error.
+func (c *Campaign) Run(ctx context.Context) (Summary, error) {
+	start := time.Now()
+	exec := Executor{Sched: c.Sched, Registry: c.Registry, Workers: c.Workers,
+		// A campaign has no cell cap: it is operator-initiated
+		// background work, not an unauthenticated request body.
+		MaxCells: int(^uint(0) >> 1)}
+	exps, err := exec.resolve(c.Spec)
+	if err != nil {
+		return Summary{}, err
+	}
+	expFor := map[string]experiments.Experiment{}
+	for _, e := range exps {
+		expFor[e.ID] = e
+	}
+	idle := c.Idle
+	if idle == nil {
+		idle = func() bool {
+			m := c.Sched.Metrics()
+			return m.Queued == 0 && m.Computing == 0
+		}
+	}
+	poll := c.Poll
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+
+	sum := Summary{Statuses: map[string]int{}}
+	record := func(res Result) {
+		sum.Cells++
+		sum.Statuses[res.Status]++
+		if c.OnCell != nil {
+			c.OnCell(res)
+		}
+	}
+	cells := c.Spec.Canonical().Cells()
+	for _, cell := range cells {
+		fp := fingerprintFor(cell)
+		if c.Owns != nil && !c.Owns(fp) {
+			record(Result{ID: cell.ID, Seed: cell.Seed, Quick: cell.Quick,
+				Fingerprint: fp, Status: "skipped"})
+			continue
+		}
+		for {
+			// Wait for idle capacity; live traffic arriving between
+			// the check and the dispatch at worst shares slots with ONE
+			// warming cell, never a burst of them.
+			for !idle() {
+				select {
+				case <-ctx.Done():
+					sum.WallMS = float64(time.Since(start).Nanoseconds()) / 1e6
+					return sum, context.Cause(ctx)
+				case <-time.After(poll):
+				}
+			}
+			res, err := exec.runCell(ctx, nil, expFor[cell.ID], cell, c.Workers)
+			if errors.Is(err, sched.ErrBusy) {
+				// A burst (or a batch admission) won the race between
+				// our idle check and the dispatch: exactly the traffic
+				// the campaign must yield to. Back off and retry the
+				// same cell — the sleep matters because a batch holding
+				// the queue token may look idle before its cells land.
+				select {
+				case <-ctx.Done():
+					sum.WallMS = float64(time.Since(start).Nanoseconds()) / 1e6
+					return sum, context.Cause(ctx)
+				case <-time.After(poll):
+				}
+				continue
+			}
+			record(res)
+			if res.Status == "canceled" && ctx.Err() != nil {
+				sum.WallMS = float64(time.Since(start).Nanoseconds()) / 1e6
+				return sum, context.Cause(ctx)
+			}
+			break
+		}
+	}
+	sum.WallMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	return sum, nil
+}

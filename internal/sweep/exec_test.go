@@ -1,0 +1,551 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/result"
+	"repro/internal/sched"
+	"repro/internal/store"
+)
+
+// syntheticExp returns a registry entry whose Run counts calls and
+// optionally blocks: started (when non-nil) closes once per call, and
+// release (when non-nil) gates completion against the cell context.
+func syntheticExp(id string, calls *atomic.Int64, started, release chan struct{}) experiments.Experiment {
+	return experiments.Experiment{
+		ID:    id,
+		Title: "synthetic " + id,
+		Run: func(cfg experiments.Config) (*experiments.Table, error) {
+			calls.Add(1)
+			if started != nil {
+				started <- struct{}{}
+			}
+			if release != nil {
+				select {
+				case <-release:
+				case <-cfg.Ctx.Done():
+					return nil, context.Cause(cfg.Ctx)
+				}
+			}
+			t := &experiments.Table{ID: id, Title: "synthetic", Columns: []string{"seed", "quick"}}
+			q := 0
+			if cfg.Quick {
+				q = 1
+			}
+			t.AddRow(result.Int(int(cfg.Seed)), result.Int(q))
+			return t, nil
+		},
+	}
+}
+
+func registryOf(exps ...experiments.Experiment) func() []experiments.Experiment {
+	return func() []experiments.Experiment { return exps }
+}
+
+func newStore(t *testing.T) *store.Store {
+	t.Helper()
+	s, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestExecutorRunsGridOnceAdmitted is the tentpole contract in package
+// scope: an 8-cell grid runs under exactly ONE admission decision,
+// every cell lands exactly once with its fingerprint, and a second run
+// of the same grid is pure cache (zero estimator calls).
+func TestExecutorRunsGridOnceAdmitted(t *testing.T) {
+	var calls atomic.Int64
+	s := sched.New(newStore(t), 2, sched.WithQueue(4))
+	x := &Executor{
+		Sched:    s,
+		Registry: registryOf(syntheticExp("A", &calls, nil, nil), syntheticExp("B", &calls, nil, nil)),
+		Parallel: 2,
+	}
+	spec := Spec{IDs: []string{"A", "B"}, Seeds: []uint64{1, 2}, Quicks: []bool{false, true}}
+
+	var mu sync.Mutex
+	var got []Result
+	sum, err := x.Run(context.Background(), spec, func(r Result) {
+		mu.Lock()
+		got = append(got, r)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Cells != 8 || len(got) != 8 {
+		t.Fatalf("cells = %d, emitted = %d, want 8/8", sum.Cells, len(got))
+	}
+	if calls.Load() != 8 {
+		t.Fatalf("estimator calls = %d, want 8", calls.Load())
+	}
+	if m := s.Metrics(); m.Admitted != 1 {
+		t.Fatalf("admitted = %d, want exactly 1 for the whole grid", m.Admitted)
+	}
+	total := 0
+	for st, n := range sum.Statuses {
+		if st != "computed" && st != "shared" {
+			t.Fatalf("unexpected status %q on a cold store: %+v", st, sum.Statuses)
+		}
+		total += n
+	}
+	if total != 8 {
+		t.Fatalf("status counts sum to %d, want 8: %+v", total, sum.Statuses)
+	}
+	// Every grid cell landed exactly once, with the same fingerprint
+	// the single-request path would stamp.
+	want := map[Cell]string{}
+	for _, c := range spec.Cells() {
+		want[c] = fingerprintFor(c)
+	}
+	for _, r := range got {
+		c := Cell{ID: r.ID, Seed: r.Seed, Quick: r.Quick}
+		fp, ok := want[c]
+		if !ok {
+			t.Fatalf("cell %+v emitted twice or not in the grid", c)
+		}
+		if r.Fingerprint != fp {
+			t.Fatalf("cell %+v fingerprint %q, want %q", c, r.Fingerprint, fp)
+		}
+		if len(r.Encoded) == 0 {
+			t.Fatalf("cell %+v has no encoded table", c)
+		}
+		delete(want, c)
+	}
+
+	// Replay: all hits, no new estimator calls, one more admission.
+	sum2, err := x.Run(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum2.Statuses["hit"] != 8 {
+		t.Fatalf("replay statuses = %+v, want 8 hits", sum2.Statuses)
+	}
+	if calls.Load() != 8 {
+		t.Fatalf("replay recomputed: %d estimator calls", calls.Load())
+	}
+	if m := s.Metrics(); m.Admitted != 2 {
+		t.Fatalf("admitted = %d after two sweeps, want 2", m.Admitted)
+	}
+}
+
+// TestExecutorMatchesSequentialRun pins byte-identical output: the
+// concurrent sweep's encoded tables equal the sequential
+// scheduler-loop tables cell for cell.
+func TestExecutorMatchesSequentialRun(t *testing.T) {
+	var calls atomic.Int64
+	eA := syntheticExp("A", &calls, nil, nil)
+	eB := syntheticExp("B", &calls, nil, nil)
+	spec := Spec{IDs: []string{"A", "B"}, Seeds: []uint64{3, 4}, Quicks: []bool{false, true}}
+
+	// Sequential reference: a fresh scheduler, cells one at a time.
+	ref := map[Cell][]byte{}
+	seqSched := sched.New(newStore(t), 1)
+	for _, c := range spec.Cells() {
+		e := eA
+		if c.ID == "B" {
+			e = eB
+		}
+		_, out, err := seqSched.TableCtx(context.Background(), e, experiments.Config{Seed: c.Seed, Quick: c.Quick})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[c] = out.Encoded
+	}
+
+	x := &Executor{Sched: sched.New(newStore(t), 4, sched.WithQueue(4)),
+		Registry: registryOf(eA, eB), Parallel: 4}
+	var mu sync.Mutex
+	got := map[Cell][]byte{}
+	if _, err := x.Run(context.Background(), spec, func(r Result) {
+		mu.Lock()
+		got[Cell{ID: r.ID, Seed: r.Seed, Quick: r.Quick}] = r.Encoded
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ref) {
+		t.Fatalf("sweep produced %d cells, sequential %d", len(got), len(ref))
+	}
+	for c, want := range ref {
+		if !reflect.DeepEqual(got[c], want) {
+			t.Fatalf("cell %+v differs from sequential run:\n sweep: %s\n  seq:  %s", c, got[c], want)
+		}
+	}
+}
+
+func TestExecutorCheckErrors(t *testing.T) {
+	var calls atomic.Int64
+	x := &Executor{Sched: sched.New(nil, 1),
+		Registry: registryOf(syntheticExp("A", &calls, nil, nil)), MaxCells: 4}
+
+	err := x.Check(Spec{IDs: []string{"NOPE"}, Seeds: []uint64{1}, Quicks: []bool{false}})
+	if !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("unknown id: got %v, want ErrUnknownID", err)
+	}
+	over := Spec{IDs: []string{"A"}, Seeds: []uint64{1, 2, 3, 4, 5}, Quicks: []bool{false}}
+	err = x.Check(over)
+	if !errors.Is(err, ErrTooManyCells) {
+		t.Fatalf("over cap: got %v, want ErrTooManyCells", err)
+	}
+	// Exactly at the cap passes.
+	at := Spec{IDs: []string{"A"}, Seeds: []uint64{1, 2, 3, 4}, Quicks: []bool{false}}
+	if err := x.Check(at); err != nil {
+		t.Fatalf("at cap: %v", err)
+	}
+	// Run refuses the same specs before calling emit.
+	emitted := false
+	if _, err := x.Run(context.Background(), over, func(Result) { emitted = true }); !errors.Is(err, ErrTooManyCells) || emitted {
+		t.Fatalf("Run over cap: err=%v emitted=%v", err, emitted)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("rejected spec still computed %d cells", calls.Load())
+	}
+}
+
+// TestExecutorBusy: a full admission queue rejects the whole sweep
+// up front with sched.ErrBusy — no rows, no partial grid.
+func TestExecutorBusy(t *testing.T) {
+	var calls atomic.Int64
+	s := sched.New(nil, 1, sched.WithQueue(0))
+	adm, err := s.Admit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adm.Release()
+	x := &Executor{Sched: s, Registry: registryOf(syntheticExp("A", &calls, nil, nil))}
+	emitted := false
+	_, err = x.Run(context.Background(), Spec{IDs: []string{"A"}, Seeds: []uint64{1}, Quicks: []bool{false}},
+		func(Result) { emitted = true })
+	if !errors.Is(err, sched.ErrBusy) || emitted {
+		t.Fatalf("err=%v emitted=%v, want ErrBusy and no rows", err, emitted)
+	}
+}
+
+// TestExecutorCancelMidGrid: canceling the sweep context mid-run turns
+// every not-yet-computed cell into a "canceled" row — the summary
+// still accounts for all cells, nothing keeps computing.
+func TestExecutorCancelMidGrid(t *testing.T) {
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s := sched.New(nil, 1, sched.WithQueue(8))
+	x := &Executor{Sched: s,
+		Registry: registryOf(syntheticExp("A", &calls, started, release)),
+		Parallel: 1}
+	spec := Spec{IDs: []string{"A"}, Seeds: []uint64{1, 2, 3, 4}, Quicks: []bool{false}}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	var got []Result
+	done := make(chan Summary, 1)
+	go func() {
+		sum, err := x.Run(ctx, spec, func(r Result) {
+			mu.Lock()
+			got = append(got, r)
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Errorf("Run after first emit must not error: %v", err)
+		}
+		done <- sum
+	}()
+	<-started // first cell is inside the estimator
+	cancel()
+	sum := <-done
+	close(release)
+
+	if sum.Cells != 4 {
+		t.Fatalf("summary cells = %d, want 4", sum.Cells)
+	}
+	if sum.Statuses["canceled"] != 4 {
+		t.Fatalf("statuses = %+v, want 4 canceled", sum.Statuses)
+	}
+	if len(got) != 4 {
+		t.Fatalf("emitted %d rows, want 4", len(got))
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("estimator ran %d times after cancellation, want 1", n)
+	}
+	for _, r := range got {
+		if r.Status != "canceled" || r.Error == "" {
+			t.Fatalf("row %+v: want canceled with an error message", r)
+		}
+	}
+}
+
+// TestExecutorTimeoutRow: a cell over its per-cell deadline is a
+// "timeout" row; the detached flight still completes and persists, so
+// a replay of the same cell is a hit.
+func TestExecutorTimeoutRow(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	st := newStore(t)
+	s := sched.New(st, 1)
+	x := &Executor{Sched: s,
+		Registry: registryOf(syntheticExp("A", &calls, nil, release)),
+		Timeout:  30 * time.Millisecond}
+	spec := Spec{IDs: []string{"A"}, Seeds: []uint64{1}, Quicks: []bool{false}}
+
+	var got []Result
+	sum, err := x.Run(context.Background(), spec, func(r Result) { got = append(got, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Statuses["timeout"] != 1 || len(got) != 1 || got[0].Status != "timeout" {
+		t.Fatalf("statuses = %+v rows = %+v, want one timeout", sum.Statuses, got)
+	}
+	if got[0].Error == "" {
+		t.Fatal("timeout row carries no error message")
+	}
+
+	// Deadline detaches, never cancels: let the flight finish, then the
+	// same cell replays as a hit with no second estimator call.
+	close(release)
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Flying(fingerprintFor(Cell{ID: "A", Seed: 1})) {
+		if time.Now().After(deadline) {
+			t.Fatal("detached flight never retired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sum2, err := x.Run(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum2.Statuses["hit"] != 1 || calls.Load() != 1 {
+		t.Fatalf("replay: statuses %+v, calls %d — want 1 hit, 1 call", sum2.Statuses, calls.Load())
+	}
+}
+
+// TestExecutorErrorRow: an estimator failure is an "error" row, not a
+// sweep failure.
+func TestExecutorErrorRow(t *testing.T) {
+	boom := experiments.Experiment{ID: "BOOM", Title: "fails",
+		Run: func(experiments.Config) (*experiments.Table, error) {
+			return nil, fmt.Errorf("estimator exploded")
+		}}
+	var calls atomic.Int64
+	x := &Executor{Sched: sched.New(nil, 1),
+		Registry: registryOf(boom, syntheticExp("A", &calls, nil, nil))}
+	spec := Spec{IDs: []string{"A", "BOOM"}, Seeds: []uint64{1}, Quicks: []bool{false}}
+	var got []Result
+	sum, err := x.Run(context.Background(), spec, func(r Result) { got = append(got, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Statuses["error"] != 1 || sum.Statuses["computed"] != 1 {
+		t.Fatalf("statuses = %+v, want 1 error + 1 computed", sum.Statuses)
+	}
+	for _, r := range got {
+		if r.ID == "BOOM" && (r.Status != "error" || r.Error != "estimator exploded") {
+			t.Fatalf("error row = %+v", r)
+		}
+	}
+}
+
+// TestExecutorSharesAcrossConcurrentSweeps: two sweeps racing on the
+// same cell collapse onto one flight — one computes, one shares.
+func TestExecutorSharesAcrossConcurrentSweeps(t *testing.T) {
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s := sched.New(nil, 2, sched.WithQueue(4))
+	x := &Executor{Sched: s,
+		Registry: registryOf(syntheticExp("A", &calls, started, release))}
+	spec := Spec{IDs: []string{"A"}, Seeds: []uint64{1}, Quicks: []bool{false}}
+
+	sums := make(chan Summary, 2)
+	go func() {
+		sum, err := x.Run(context.Background(), spec, nil)
+		if err != nil {
+			t.Error(err)
+		}
+		sums <- sum
+	}()
+	<-started // leader is computing
+	go func() {
+		sum, err := x.Run(context.Background(), spec, nil)
+		if err != nil {
+			t.Error(err)
+		}
+		sums <- sum
+	}()
+	// Give the second sweep time to join the flight, then finish it.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	a, b := <-sums, <-sums
+
+	if calls.Load() != 1 {
+		t.Fatalf("two overlapping sweeps computed %d times, want 1", calls.Load())
+	}
+	statuses := []string{}
+	for _, sum := range []Summary{a, b} {
+		for st := range sum.Statuses {
+			statuses = append(statuses, st)
+		}
+	}
+	sort.Strings(statuses)
+	if !reflect.DeepEqual(statuses, []string{"computed", "shared"}) {
+		t.Fatalf("statuses across sweeps = %v, want one computed + one shared", statuses)
+	}
+}
+
+// TestCampaignWarmsOwnedSkipsRest: ownership filtering produces
+// "skipped" rows, owned cells compute, and a second campaign over the
+// same spec is all hits.
+func TestCampaignWarmsOwnedSkipsRest(t *testing.T) {
+	var calls atomic.Int64
+	st := newStore(t)
+	owned := fingerprintFor(Cell{ID: "A", Seed: 1})
+	c := &Campaign{
+		Spec:     Spec{IDs: []string{"A"}, Seeds: []uint64{1, 2}, Quicks: []bool{false}},
+		Sched:    sched.New(st, 1),
+		Registry: registryOf(syntheticExp("A", &calls, nil, nil)),
+		Owns:     func(fp string) bool { return fp == owned },
+		Poll:     time.Millisecond,
+	}
+	var rows []Result
+	c.OnCell = func(r Result) { rows = append(rows, r) }
+	sum, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Cells != 2 || sum.Statuses["computed"] != 1 || sum.Statuses["skipped"] != 1 {
+		t.Fatalf("summary = %+v, want 1 computed + 1 skipped", sum)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("campaign computed %d cells, want 1", calls.Load())
+	}
+	for _, r := range rows {
+		if r.Seed == 2 && r.Status != "skipped" {
+			t.Fatalf("non-owned cell %+v not skipped", r)
+		}
+	}
+	// Warm again without the filter: the owned cell is a hit, the
+	// skipped one computes now.
+	c.Owns = nil
+	sum2, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum2.Statuses["hit"] != 1 || sum2.Statuses["computed"] != 1 {
+		t.Fatalf("second campaign statuses = %+v, want 1 hit + 1 computed", sum2.Statuses)
+	}
+}
+
+// TestCampaignWaitsForIdle: no cell dispatches while Idle reports
+// load; flipping it releases the walk.
+func TestCampaignWaitsForIdle(t *testing.T) {
+	var calls atomic.Int64
+	var busy atomic.Bool
+	busy.Store(true)
+	c := &Campaign{
+		Spec:     Spec{IDs: []string{"A"}, Seeds: []uint64{1}, Quicks: []bool{false}},
+		Sched:    sched.New(nil, 1),
+		Registry: registryOf(syntheticExp("A", &calls, nil, nil)),
+		Idle:     func() bool { return !busy.Load() },
+		Poll:     time.Millisecond,
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Run(context.Background())
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	if calls.Load() != 0 {
+		t.Fatalf("campaign dispatched %d cells into a busy scheduler", calls.Load())
+	}
+	busy.Store(false)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d after idle, want 1", calls.Load())
+	}
+}
+
+// TestCampaignRetriesErrBusy: a batch admission holding the only queue
+// token makes the campaign's dispatch ErrBusy; the campaign backs off
+// and retries the same cell until the token frees.
+func TestCampaignRetriesErrBusy(t *testing.T) {
+	var calls atomic.Int64
+	s := sched.New(nil, 1, sched.WithQueue(0))
+	adm, err := s.Admit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Campaign{
+		Spec:     Spec{IDs: []string{"A"}, Seeds: []uint64{1}, Quicks: []bool{false}},
+		Sched:    s,
+		Registry: registryOf(syntheticExp("A", &calls, nil, nil)),
+		Idle:     func() bool { return true }, // force the dispatch race
+		Poll:     time.Millisecond,
+	}
+	done := make(chan Summary, 1)
+	go func() {
+		sum, err := c.Run(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		done <- sum
+	}()
+	time.Sleep(30 * time.Millisecond)
+	if calls.Load() != 0 {
+		t.Fatal("campaign computed through a full admission queue")
+	}
+	adm.Release()
+	sum := <-done
+	if sum.Statuses["computed"] != 1 || calls.Load() != 1 {
+		t.Fatalf("after release: summary %+v calls %d, want 1 computed", sum, calls.Load())
+	}
+}
+
+// TestCampaignCtxCancel: cancellation during the idle wait ends the
+// walk with the context's cause and a partial summary.
+func TestCampaignCtxCancel(t *testing.T) {
+	var calls atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Campaign{
+		Spec:     Spec{IDs: []string{"A"}, Seeds: []uint64{1, 2}, Quicks: []bool{false}},
+		Sched:    sched.New(nil, 1),
+		Registry: registryOf(syntheticExp("A", &calls, nil, nil)),
+		Idle:     func() bool { return false }, // never dispatch
+		Poll:     time.Millisecond,
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Run(ctx)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls.Load() != 0 {
+		t.Fatal("canceled campaign still computed")
+	}
+}
+
+func TestCampaignUnknownID(t *testing.T) {
+	c := &Campaign{
+		Spec:     Spec{IDs: []string{"NOPE"}, Seeds: []uint64{1}, Quicks: []bool{false}},
+		Sched:    sched.New(nil, 1),
+		Registry: registryOf(),
+	}
+	if _, err := c.Run(context.Background()); !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("err = %v, want ErrUnknownID", err)
+	}
+}

@@ -1,0 +1,67 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSpec pins the parser's three contracts on arbitrary input:
+// it never panics, an error always comes with the zero Spec (no
+// partial grids), and a successful parse reaches a fixed point through
+// parse → Canonical → Query → parse (equal grids spell equally once
+// canonicalized, no matter how they arrived).
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"ids=E3&seeds=1",
+		"ids=E3,E20&seeds=1-8,12&quick=true,false",
+		"ids=E20,E3,E20&seeds=9,1-4,2&quick=true",
+		"ids=a_b.c-d&seeds=0",
+		"ids=E3&seeds=18446744073709551615",
+		"ids=E3&seeds=5-5&quick=false",
+		"ids=E3&seeds=1,1,1&quick=true,true",
+		"ids=E3&seeds=1-65536",
+		"ids=E3&seeds=1-65537",
+		"ids=E3&seeds=0-18446744073709551615",
+		"ids=E3&seeds=9-3",
+		"ids=E3&seeds=-1",
+		"ids=E3&seeds=1,",
+		"ids=,E3&seeds=1",
+		"ids=E3!&seeds=1",
+		"ids=E3&seeds=1&quick=maybe",
+		"ids=E3&seeds=1&quick=",
+		"ids=E3&seeds=1&seed=2",
+		"ids=E3",
+		"seeds=1",
+		"",
+		"ids=%zz&seeds=1",
+		"ids=E3&seeds=1&ids=E4",
+		"a=b&c=d",
+		"ids=E3&seeds=1-2-3",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, err := ParseQueryString(in)
+		if err != nil {
+			if !reflect.DeepEqual(spec, Spec{}) {
+				t.Fatalf("error %v came with partial spec %+v", err, spec)
+			}
+			return
+		}
+		if len(spec.IDs) == 0 || len(spec.Seeds) == 0 || len(spec.Quicks) == 0 {
+			t.Fatalf("successful parse left an empty axis: %+v", spec)
+		}
+		canon := spec.Canonical()
+		q := canon.Query()
+		back, err := ParseQueryString(q)
+		if err != nil {
+			t.Fatalf("canonical rendering %q does not re-parse: %v", q, err)
+		}
+		if !reflect.DeepEqual(back, canon) {
+			t.Fatalf("fixed point violated: %q re-parses to %+v, want %+v", q, back, canon)
+		}
+		if q2 := back.Canonical().Query(); q2 != q {
+			t.Fatalf("canonical query is not stable: %q -> %q", q, q2)
+		}
+	})
+}

@@ -1,0 +1,335 @@
+// Package sweep turns grid-shaped traffic into a first-class object:
+// a Spec names the cross-product of experiment ids × seeds × quick
+// modes, and the executor (exec.go) schedules the whole grid through
+// the scheduler under ONE admission decision, streaming per-cell
+// results as their flights complete. Production traffic against the
+// table server is grids, not single cells — the E20 phase sweep and
+// the PRG family both want dozens of (id, seed, quick) cells per
+// question — and a grid that pays one HTTP round trip and one
+// admission per cell measures connection overhead, not the corpus.
+//
+// # The spec grammar
+//
+// A spec has two equivalent wire forms. The compact query grammar
+// (URLs, -spec flags):
+//
+//	ids=E3,E20&seeds=1-8,12&quick=true,false
+//
+// ids is a comma-separated list of experiment-id tokens
+// ([A-Za-z0-9_.-]+); seeds is a comma-separated list of decimal
+// uint64s and inclusive A-B ranges; quick is a comma-separated list of
+// booleans and defaults to false alone when omitted. The JSON body
+// form carries the same three fields expanded:
+//
+//	{"ids":["E3","E20"],"seeds":[1,2,3],"quick":[true,false]}
+//
+// Both parsers are strict: an unknown key, an empty list item, a
+// malformed number, a reversed range, or an oversized seed range is an
+// error and the returned Spec is zero — never a partial grid
+// (FuzzParseSpec pins exactly that).
+//
+// # Canonical form
+//
+// Canonical sorts and dedupes each axis (ids lexicographic, seeds
+// ascending, quick false<true) and Query renders the canonical compact
+// form with maximal seed ranges re-compressed. parse → Canonical →
+// Query → parse is a fixed point, so equal grids have equal canonical
+// strings no matter how they were spelled.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/url"
+	"slices"
+	"strconv"
+	"strings"
+)
+
+// DefaultMaxCells is the default cap on cells per sweep. One sweep is
+// one admission decision, so the cap is what keeps a single request
+// from scheduling unbounded work; serving layers may override it
+// (serve.Server.SweepMaxCells).
+const DefaultMaxCells = 1024
+
+// maxParsedSeeds bounds how many seeds a spec may expand to at parse
+// time, so a range like 0-18446744073709551615 is an error instead of
+// an allocation storm. It is deliberately far above DefaultMaxCells:
+// the parser guards memory, the serving cap guards compute.
+const maxParsedSeeds = 1 << 16
+
+// Spec is one sweep grid: the cross-product IDs × Seeds × Quicks.
+type Spec struct {
+	// IDs are the experiment ids to sweep.
+	IDs []string `json:"ids"`
+	// Seeds are the table seeds to sweep.
+	Seeds []uint64 `json:"seeds"`
+	// Quicks are the quick modes to sweep (parse default: [false]).
+	Quicks []bool `json:"quick"`
+}
+
+// Cell is one grid point of a sweep.
+type Cell struct {
+	ID    string
+	Seed  uint64
+	Quick bool
+}
+
+// validIDToken reports whether s is a well-formed experiment-id token:
+// nonempty, over the URL- and filename-safe alphabet the registry ids
+// live in.
+func validIDToken(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '_', r == '.', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseSeedItem parses one seeds list item: a decimal uint64 or an
+// inclusive A-B range, appending the expansion to out.
+func parseSeedItem(item string, out []uint64) ([]uint64, error) {
+	if lo, hi, isRange := strings.Cut(item, "-"); isRange {
+		a, err := strconv.ParseUint(lo, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed range %q: %q is not a uint64", item, lo)
+		}
+		b, err := strconv.ParseUint(hi, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed range %q: %q is not a uint64", item, hi)
+		}
+		if b < a {
+			return nil, fmt.Errorf("bad seed range %q: %d > %d", item, a, b)
+		}
+		if b-a >= maxParsedSeeds || uint64(len(out))+(b-a)+1 > maxParsedSeeds {
+			return nil, fmt.Errorf("seed range %q expands past the %d-seed parse bound", item, maxParsedSeeds)
+		}
+		for s := a; ; s++ {
+			out = append(out, s)
+			if s == b {
+				break
+			}
+		}
+		return out, nil
+	}
+	s, err := strconv.ParseUint(item, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad seed %q: not a uint64 or A-B range", item)
+	}
+	if len(out) >= maxParsedSeeds {
+		return nil, fmt.Errorf("seeds list expands past the %d-seed parse bound", maxParsedSeeds)
+	}
+	return append(out, s), nil
+}
+
+// splitList splits a comma-separated list, rejecting empty items (a
+// trailing comma is a typo the caller should see, not an empty cell).
+func splitList(key, v string) ([]string, error) {
+	parts := strings.Split(v, ",")
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("%s list %q has an empty item", key, v)
+		}
+	}
+	return parts, nil
+}
+
+// ParseQuery parses the compact query grammar from already-split query
+// values. Exactly the keys ids, seeds, and quick are meaningful; any
+// other key is an error so a typo (seed= for seeds=) cannot silently
+// shrink a grid. Errors leave no partial result: the returned Spec is
+// always zero when err != nil.
+func ParseQuery(q url.Values) (Spec, error) {
+	for key := range q {
+		switch key {
+		case "ids", "seeds", "quick":
+		default:
+			return Spec{}, fmt.Errorf("unknown sweep key %q (want ids, seeds, quick)", key)
+		}
+	}
+	var spec Spec
+	idsV := q.Get("ids")
+	if idsV == "" {
+		return Spec{}, fmt.Errorf("missing ids")
+	}
+	ids, err := splitList("ids", idsV)
+	if err != nil {
+		return Spec{}, err
+	}
+	for _, id := range ids {
+		if !validIDToken(id) {
+			return Spec{}, fmt.Errorf("bad experiment id %q", id)
+		}
+	}
+	spec.IDs = ids
+	seedsV := q.Get("seeds")
+	if seedsV == "" {
+		return Spec{}, fmt.Errorf("missing seeds")
+	}
+	items, err := splitList("seeds", seedsV)
+	if err != nil {
+		return Spec{}, err
+	}
+	seeds := make([]uint64, 0, len(items))
+	for _, item := range items {
+		if seeds, err = parseSeedItem(item, seeds); err != nil {
+			return Spec{}, err
+		}
+	}
+	spec.Seeds = seeds
+	if quickV := q.Get("quick"); quickV != "" {
+		items, err := splitList("quick", quickV)
+		if err != nil {
+			return Spec{}, err
+		}
+		for _, item := range items {
+			b, err := strconv.ParseBool(item)
+			if err != nil {
+				return Spec{}, fmt.Errorf("bad quick %q", item)
+			}
+			spec.Quicks = append(spec.Quicks, b)
+		}
+	} else {
+		spec.Quicks = []bool{false}
+	}
+	return spec, nil
+}
+
+// ParseQueryString parses the compact grammar from its string form
+// ("ids=E3,E20&seeds=1-8"), the shape -spec flags and FuzzParseSpec
+// feed in.
+func ParseQueryString(s string) (Spec, error) {
+	q, err := url.ParseQuery(s)
+	if err != nil {
+		return Spec{}, fmt.Errorf("bad sweep spec %q: %v", s, err)
+	}
+	return ParseQuery(q)
+}
+
+// ParseJSON parses the JSON body form. Unknown fields are errors
+// (strict for the same reason as ParseQuery), quick defaults to
+// [false] when omitted, and every element is validated exactly as the
+// query grammar validates its tokens.
+func ParseJSON(r io.Reader) (Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var spec Spec
+	if err := dec.Decode(&spec); err != nil {
+		return Spec{}, fmt.Errorf("bad sweep body: %v", err)
+	}
+	// A second JSON value after the spec is a malformed request, not
+	// trailing noise to ignore.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return Spec{}, fmt.Errorf("bad sweep body: trailing data after spec")
+	}
+	if len(spec.IDs) == 0 {
+		return Spec{}, fmt.Errorf("missing ids")
+	}
+	for _, id := range spec.IDs {
+		if !validIDToken(id) {
+			return Spec{}, fmt.Errorf("bad experiment id %q", id)
+		}
+	}
+	if len(spec.Seeds) == 0 {
+		return Spec{}, fmt.Errorf("missing seeds")
+	}
+	if len(spec.Seeds) > maxParsedSeeds {
+		return Spec{}, fmt.Errorf("seeds list expands past the %d-seed parse bound", maxParsedSeeds)
+	}
+	if len(spec.Quicks) == 0 {
+		spec.Quicks = []bool{false}
+	}
+	return spec, nil
+}
+
+// Canonical returns the canonical form of the spec: each axis sorted
+// and deduplicated (ids lexicographic, seeds ascending, quick
+// false<true). Two specs describe the same grid iff their canonical
+// forms are equal, and Canonical is idempotent.
+func (s Spec) Canonical() Spec {
+	out := Spec{
+		IDs:   slices.Clone(s.IDs),
+		Seeds: slices.Clone(s.Seeds),
+	}
+	slices.Sort(out.IDs)
+	out.IDs = slices.Compact(out.IDs)
+	slices.Sort(out.Seeds)
+	out.Seeds = slices.Compact(out.Seeds)
+	var sawFalse, sawTrue bool
+	for _, q := range s.Quicks {
+		if q {
+			sawTrue = true
+		} else {
+			sawFalse = true
+		}
+	}
+	if sawFalse {
+		out.Quicks = append(out.Quicks, false)
+	}
+	if sawTrue {
+		out.Quicks = append(out.Quicks, true)
+	}
+	return out
+}
+
+// Query renders the spec in the compact query grammar, with runs of
+// consecutive seeds re-compressed into A-B ranges. For a canonical
+// spec the rendering is itself canonical: ParseQueryString(s.Query())
+// round-trips to s exactly (the fuzz-pinned fixed point).
+func (s Spec) Query() string {
+	var b strings.Builder
+	b.WriteString("ids=")
+	b.WriteString(strings.Join(s.IDs, ","))
+	b.WriteString("&seeds=")
+	for i := 0; i < len(s.Seeds); {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		j := i
+		for j+1 < len(s.Seeds) && s.Seeds[j+1] == s.Seeds[j]+1 {
+			j++
+		}
+		if j > i {
+			fmt.Fprintf(&b, "%d-%d", s.Seeds[i], s.Seeds[j])
+		} else {
+			fmt.Fprintf(&b, "%d", s.Seeds[i])
+		}
+		i = j + 1
+	}
+	b.WriteString("&quick=")
+	for i, q := range s.Quicks {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatBool(q))
+	}
+	return b.String()
+}
+
+// CellCount returns the grid size without materializing it.
+func (s Spec) CellCount() int {
+	return len(s.IDs) * len(s.Seeds) * len(s.Quicks)
+}
+
+// Cells materializes the grid in deterministic order: ids outermost,
+// then seeds, then quick — the order rows stream when flights complete
+// instantly, and the order a sequential run walks.
+func (s Spec) Cells() []Cell {
+	cells := make([]Cell, 0, s.CellCount())
+	for _, id := range s.IDs {
+		for _, seed := range s.Seeds {
+			for _, q := range s.Quicks {
+				cells = append(cells, Cell{ID: id, Seed: seed, Quick: q})
+			}
+		}
+	}
+	return cells
+}

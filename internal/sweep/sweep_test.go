@@ -1,0 +1,188 @@
+package sweep
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseQueryStringGrids(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want Spec
+	}{
+		{"singletons", "ids=E3&seeds=7",
+			Spec{IDs: []string{"E3"}, Seeds: []uint64{7}, Quicks: []bool{false}}},
+		{"lists and range", "ids=E3,E20&seeds=1-4,9&quick=true",
+			Spec{IDs: []string{"E3", "E20"}, Seeds: []uint64{1, 2, 3, 4, 9}, Quicks: []bool{true}}},
+		{"both quicks", "ids=EX&seeds=1&quick=false,true",
+			Spec{IDs: []string{"EX"}, Seeds: []uint64{1}, Quicks: []bool{false, true}}},
+		{"parsebool forms", "ids=EX&seeds=1&quick=1,f",
+			Spec{IDs: []string{"EX"}, Seeds: []uint64{1}, Quicks: []bool{true, false}}},
+		{"single-seed range", "ids=EX&seeds=5-5",
+			Spec{IDs: []string{"EX"}, Seeds: []uint64{5}, Quicks: []bool{false}}},
+		{"duplicates survive parse", "ids=EX,EX&seeds=2,2",
+			Spec{IDs: []string{"EX", "EX"}, Seeds: []uint64{2, 2}, Quicks: []bool{false}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseQueryString(tc.in)
+			if err != nil {
+				t.Fatalf("ParseQueryString(%q): %v", tc.in, err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("ParseQueryString(%q) = %+v, want %+v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseQueryStringErrors(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"empty", "", "missing ids"},
+		{"missing seeds", "ids=E3", "missing seeds"},
+		{"missing ids", "seeds=1", "missing ids"},
+		{"unknown key", "ids=E3&seeds=1&seed=2", `unknown sweep key "seed"`},
+		{"bad id token", "ids=E3!&seeds=1", `bad experiment id "E3!"`},
+		{"empty id item", "ids=E3,&seeds=1", "empty item"},
+		{"bad seed", "ids=E3&seeds=x", `bad seed "x"`},
+		{"negative seed", "ids=E3&seeds=-1", `bad seed range "-1"`},
+		{"reversed range", "ids=E3&seeds=9-3", `bad seed range "9-3": 9 > 3`},
+		{"range lo junk", "ids=E3&seeds=a-3", `"a" is not a uint64`},
+		{"range hi junk", "ids=E3&seeds=3-b", `"b" is not a uint64`},
+		{"huge range", "ids=E3&seeds=0-18446744073709551615", "parse bound"},
+		{"over parse bound", "ids=E3&seeds=1-100000", "parse bound"},
+		{"empty seed item", "ids=E3&seeds=1,,3", "empty item"},
+		{"bad quick", "ids=E3&seeds=1&quick=maybe", `bad quick "maybe"`},
+		{"empty quick item", "ids=E3&seeds=1&quick=true,", "empty item"},
+		{"bad url encoding", "ids=%zz&seeds=1", "bad sweep spec"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseQueryString(tc.in)
+			if err == nil {
+				t.Fatalf("ParseQueryString(%q) = %+v, want error containing %q", tc.in, got, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ParseQueryString(%q) error %q, want substring %q", tc.in, err, tc.wantErr)
+			}
+			// Never a partial grid: the error case returns the zero Spec.
+			if !reflect.DeepEqual(got, Spec{}) {
+				t.Fatalf("ParseQueryString(%q) returned partial spec %+v alongside error", tc.in, got)
+			}
+		})
+	}
+}
+
+// TestParseBoundExactlyAtLimit pins the parse bound boundary: exactly
+// maxParsedSeeds seeds parse, one more is an error.
+func TestParseBoundExactlyAtLimit(t *testing.T) {
+	ok := "ids=E3&seeds=1-65536"
+	spec, err := ParseQueryString(ok)
+	if err != nil {
+		t.Fatalf("%d seeds should parse: %v", maxParsedSeeds, err)
+	}
+	if len(spec.Seeds) != maxParsedSeeds {
+		t.Fatalf("got %d seeds, want %d", len(spec.Seeds), maxParsedSeeds)
+	}
+	if _, err := ParseQueryString("ids=E3&seeds=1-65537"); err == nil {
+		t.Fatalf("%d seeds should exceed the parse bound", maxParsedSeeds+1)
+	}
+	// The bound is cumulative across items, not per item.
+	if _, err := ParseQueryString("ids=E3&seeds=1-65536,99"); err == nil {
+		t.Fatal("cumulative seeds past the bound should fail")
+	}
+}
+
+func TestParseJSON(t *testing.T) {
+	spec, err := ParseJSON(strings.NewReader(`{"ids":["E3","E20"],"seeds":[3,1],"quick":[true]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{IDs: []string{"E3", "E20"}, Seeds: []uint64{3, 1}, Quicks: []bool{true}}
+	if !reflect.DeepEqual(spec, want) {
+		t.Fatalf("got %+v want %+v", spec, want)
+	}
+	// quick defaults to [false], matching the query grammar.
+	spec, err = ParseJSON(strings.NewReader(`{"ids":["E3"],"seeds":[1]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec.Quicks, []bool{false}) {
+		t.Fatalf("quick default = %v, want [false]", spec.Quicks)
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	cases := []struct{ name, in, wantErr string }{
+		{"not json", "nope", "bad sweep body"},
+		{"unknown field", `{"ids":["E3"],"seeds":[1],"seed":2}`, "bad sweep body"},
+		{"missing ids", `{"seeds":[1]}`, "missing ids"},
+		{"empty ids", `{"ids":[],"seeds":[1]}`, "missing ids"},
+		{"missing seeds", `{"ids":["E3"]}`, "missing seeds"},
+		{"bad id", `{"ids":["E 3"],"seeds":[1]}`, "bad experiment id"},
+		{"negative seed", `{"ids":["E3"],"seeds":[-1]}`, "bad sweep body"},
+		{"trailing data", `{"ids":["E3"],"seeds":[1]}{"x":1}`, "trailing data"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseJSON(strings.NewReader(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ParseJSON(%q) = (%+v, %v), want error containing %q", tc.in, got, err, tc.wantErr)
+			}
+			if !reflect.DeepEqual(got, Spec{}) {
+				t.Fatalf("partial spec %+v alongside error", got)
+			}
+		})
+	}
+}
+
+func TestCanonicalSortsDedupes(t *testing.T) {
+	in := Spec{IDs: []string{"E20", "E3", "E20"}, Seeds: []uint64{9, 1, 2, 3, 4, 2}, Quicks: []bool{true, true, false}}
+	got := in.Canonical()
+	want := Spec{IDs: []string{"E20", "E3"}, Seeds: []uint64{1, 2, 3, 4, 9}, Quicks: []bool{false, true}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Canonical = %+v, want %+v", got, want)
+	}
+	if !reflect.DeepEqual(got.Canonical(), got) {
+		t.Fatal("Canonical is not idempotent")
+	}
+	// The input is not mutated (Canonical clones).
+	if !reflect.DeepEqual(in.IDs, []string{"E20", "E3", "E20"}) {
+		t.Fatalf("Canonical mutated its receiver: %v", in.IDs)
+	}
+}
+
+func TestQueryRendersRangesAndRoundTrips(t *testing.T) {
+	spec := Spec{IDs: []string{"E20", "E3"}, Seeds: []uint64{1, 2, 3, 4, 9, 11, 12}, Quicks: []bool{false, true}}
+	q := spec.Query()
+	want := "ids=E20,E3&seeds=1-4,9,11-12&quick=false,true"
+	if q != want {
+		t.Fatalf("Query = %q, want %q", q, want)
+	}
+	back, err := ParseQueryString(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, spec) {
+		t.Fatalf("round trip = %+v, want %+v", back, spec)
+	}
+}
+
+func TestCellsOrderAndCount(t *testing.T) {
+	spec := Spec{IDs: []string{"A", "B"}, Seeds: []uint64{1, 2}, Quicks: []bool{false, true}}
+	if n := spec.CellCount(); n != 8 {
+		t.Fatalf("CellCount = %d, want 8", n)
+	}
+	cells := spec.Cells()
+	want := []Cell{
+		{"A", 1, false}, {"A", 1, true}, {"A", 2, false}, {"A", 2, true},
+		{"B", 1, false}, {"B", 1, true}, {"B", 2, false}, {"B", 2, true},
+	}
+	if !reflect.DeepEqual(cells, want) {
+		t.Fatalf("Cells = %v, want %v", cells, want)
+	}
+}
