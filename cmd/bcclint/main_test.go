@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVettoolSelfCheck builds the real binary and drives it through
+// `go vet -vettool` over the testdata/selfcheck module — the same
+// self-check CI runs. A clean covered package must pass (the positive
+// control: the tool is not failing on everything), and the package
+// with the seeded time.Now violation must fail with that diagnostic
+// (the negative control: a silently-broken vettool cannot rot green).
+func TestVettoolSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary and shells out to go vet")
+	}
+	bin := filepath.Join(t.TempDir(), "bcclint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building bcclint: %v\n%s", err, out)
+	}
+	selfcheck, err := filepath.Abs(filepath.Join("testdata", "selfcheck"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	control := exec.Command("go", "vet", "-vettool="+bin, "./internal/result/")
+	control.Dir = selfcheck
+	if out, err := control.CombinedOutput(); err != nil {
+		t.Fatalf("positive control: vettool failed on a clean covered package: %v\n%s", err, out)
+	}
+
+	seeded := exec.Command("go", "vet", "-vettool="+bin, "./internal/dist/")
+	seeded.Dir = selfcheck
+	out, err := seeded.CombinedOutput()
+	if err == nil {
+		t.Fatalf("seeded violation passed the vettool; self-check is broken:\n%s", out)
+	}
+	if !strings.Contains(string(out), "time.Now in a fingerprint-feeding package") {
+		t.Fatalf("seeded violation failed for the wrong reason:\n%s", out)
+	}
+}

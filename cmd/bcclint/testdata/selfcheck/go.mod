@@ -1,0 +1,3 @@
+module selfcheck
+
+go 1.22

@@ -1,0 +1,15 @@
+// Package dist carries one seeded determinism violation. It exists so
+// CI can prove the bcclint leg FAILS when it should: a vettool that
+// silently breaks (wrong binary, protocol drift, an analyzer gating
+// itself out of every package) would otherwise rot green. The package
+// path ends in internal/dist, which is how it lands inside detpure's
+// covered-package gate from a module that is not repro itself.
+package dist
+
+import "time"
+
+// Stamp is the violation: a wall clock in a fingerprint-feeding
+// package path.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,18 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/ctxflow"
+)
+
+func TestCoveredPackage(t *testing.T) {
+	atest.Run(t, ctxflow.Analyzer, "repro/internal/serve")
+}
+
+// TestUncoveredPackage pins the gate: the measurement engines may root
+// their own contexts.
+func TestUncoveredPackage(t *testing.T) {
+	atest.Run(t, ctxflow.Analyzer, "repro/internal/experiments")
+}

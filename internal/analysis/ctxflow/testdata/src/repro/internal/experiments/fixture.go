@@ -1,0 +1,10 @@
+// Package experiments is a ctxflow fixture for the package gate: the
+// measurement engines are not on the serving plane, and their batch
+// entry points legitimately root their own contexts.
+package experiments
+
+import "context"
+
+func uncovered() context.Context {
+	return context.Background()
+}

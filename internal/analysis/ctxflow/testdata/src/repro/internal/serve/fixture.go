@@ -1,0 +1,47 @@
+// Package serve is a ctxflow fixture: a serving-plane package where
+// every outbound wait must ride the request context.
+package serve
+
+import (
+	"context"
+	"net/http"
+)
+
+func roots(ctx context.Context) {
+	_ = context.Background() // want `context\.Background\(\) on the serving plane`
+	_ = context.TODO()       // want `context\.TODO\(\) on the serving plane`
+
+	// Deriving from the threaded parameter is the contract.
+	c, cancel := context.WithCancel(ctx)
+	defer cancel()
+	_ = c
+
+	//bcclint:allow(ctxflow) a flight outlives any one caller by design
+	_ = context.Background()
+
+	_ = context.Background() /*bcclint:allow(ctxflow)*/ // want `bcclint:allow\(ctxflow\) needs a reason` `context\.Background\(\) on the serving plane`
+}
+
+func outbound(ctx context.Context, client *http.Client) error {
+	req, err := http.NewRequest(http.MethodGet, "http://peer/tables/E1", nil) // want `NewRequest sends a request with no context`
+	if err != nil {
+		return err
+	}
+	if _, err := client.Do(req); err != nil { // Do is fine: the request carries the context
+		return err
+	}
+
+	if _, err := client.Get("http://peer/healthz"); err != nil { // want `Get sends a request with no context`
+		return err
+	}
+	if _, err := http.Head("http://peer/healthz"); err != nil { // want `Head sends a request with no context`
+		return err
+	}
+
+	good, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://peer/tables/E1", nil)
+	if err != nil {
+		return err
+	}
+	_, err = client.Do(good)
+	return err
+}

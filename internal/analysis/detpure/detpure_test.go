@@ -1,0 +1,18 @@
+package detpure_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/detpure"
+)
+
+func TestCoveredPackage(t *testing.T) {
+	atest.Run(t, detpure.Analyzer, "repro/internal/dist")
+}
+
+// TestUncoveredPackage pins the gate: outside the fingerprint-feeding
+// set only the reasonless-waiver check fires.
+func TestUncoveredPackage(t *testing.T) {
+	atest.Run(t, detpure.Analyzer, "repro/internal/metrics")
+}

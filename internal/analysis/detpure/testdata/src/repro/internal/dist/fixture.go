@@ -1,0 +1,98 @@
+// Package dist is a detpure fixture: it stands in for a
+// fingerprint-feeding package and exercises every check plus the
+// escape hatch.
+package dist
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	_ "math/rand" // want `import of "math/rand" in a fingerprint-feeding package`
+
+	_ "math/rand/v2" // want `import of "math/rand/v2" in a fingerprint-feeding package`
+)
+
+// table mimics result.Table's row builder.
+type table struct{ rows [][]string }
+
+func (t *table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func wallClock() time.Duration {
+	start := time.Now()   // want `time\.Now in a fingerprint-feeding package`
+	_ = time.Until(start) // want `time\.Until in a fingerprint-feeding package`
+
+	//bcclint:allow(detpure) operator-facing wall time, never enters a table
+	again := time.Now()
+	_ = again
+
+	return time.Since(start) // want `time\.Since in a fingerprint-feeding package`
+}
+
+func reasonless() {
+	// A reasonless waiver is reported AND suppresses nothing.
+	_ = time.Now() /*bcclint:allow(detpure)*/ // want `bcclint:allow\(detpure\) needs a reason` `time\.Now in a fingerprint-feeding package`
+}
+
+func wrongAnalyzer() {
+	//bcclint:allow(ctxflow) a waiver for another analyzer is inert here
+	_ = time.Now() // want `time\.Now in a fingerprint-feeding package`
+}
+
+func mapOrder(m map[string]int) ([]string, string) {
+	// The sorted-keys gather step is the blessed idiom: key-only range,
+	// appending exactly the key.
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+
+	// Everything else leaks iteration order into ordered output.
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v) // want `append inside a range over a map`
+	}
+	_ = vals
+
+	var pairs []string
+	for k, v := range m {
+		pairs = append(pairs, fmt.Sprintf("%s=%d", k, v)) // want `append inside a range over a map`
+	}
+	_ = pairs
+
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `WriteString inside a range over a map`
+	}
+	for k := range m {
+		fmt.Fprintf(&b, "%s,", k) // want `fmt\.Fprintf inside a range over a map`
+	}
+
+	t := &table{}
+	for k := range m {
+		t.AddRow(k) // want `AddRow inside a range over a map`
+	}
+
+	out := make([]int, 4)
+	i := 0
+	for _, v := range m {
+		out[i] = v // want `slice element written inside a range over a map`
+		i++
+	}
+	_ = out
+
+	for k := range m {
+		//bcclint:allow(detpure) feeding an order-insensitive set, not serialized output
+		ks = append(ks, k+k)
+	}
+	return ks, b.String()
+}
+
+// mapReadOnly shows order-insensitive map ranges are free.
+func mapReadOnly(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

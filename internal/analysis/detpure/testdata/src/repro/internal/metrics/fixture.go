@@ -1,0 +1,20 @@
+// Package metrics is a detpure fixture for the package gate: it is NOT
+// a fingerprint-feeding package, so wall clocks and map-order appends
+// are free here — but a reasonless allow directive is still reported,
+// tree-wide, so no unexplained waiver can hide in an uncovered corner.
+package metrics
+
+import "time"
+
+func uncovered(m map[string]int) []int {
+	_ = time.Now()
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	return vals
+}
+
+func staleWaiver() {
+	_ = time.Now() /*bcclint:allow(detpure)*/ // want `bcclint:allow\(detpure\) needs a reason`
+}

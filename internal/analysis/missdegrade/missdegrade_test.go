@@ -1,0 +1,18 @@
+package missdegrade_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/missdegrade"
+)
+
+func TestStorePackage(t *testing.T) {
+	atest.Run(t, missdegrade.Analyzer, "repro/internal/store")
+}
+
+// TestAboveTheBoundary pins the gate: sched returns (table, error) by
+// design and is not a tier.
+func TestAboveTheBoundary(t *testing.T) {
+	atest.Run(t, missdegrade.Analyzer, "repro/internal/sched")
+}

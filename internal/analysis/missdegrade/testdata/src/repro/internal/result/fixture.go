@@ -1,0 +1,9 @@
+// Package result is a missdegrade fixture dependency: a minimal stand-in
+// for the real result package, so the store fixture's signatures carry
+// a genuine *result.Table from a package the analyzer recognizes.
+package result
+
+// Table stands in for result.Table.
+type Table struct {
+	ID string
+}

@@ -1,0 +1,20 @@
+// Package sched is a missdegrade fixture for the package gate: the
+// scheduler sits ABOVE the tier boundary — its TableCtx legitimately
+// returns a table alongside an error (a failed computation is an
+// error, not a miss), so nothing here is flagged.
+package sched
+
+import (
+	"errors"
+
+	"repro/internal/result"
+)
+
+// TableCtx computes (or fails to compute) a table: error-carrying by
+// design, because above the boundary a failure must surface.
+func TableCtx(id string) (*result.Table, error) {
+	if id == "" {
+		return nil, errors.New("sched: empty experiment id")
+	}
+	return &result.Table{ID: id}, nil
+}

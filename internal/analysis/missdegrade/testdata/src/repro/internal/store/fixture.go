@@ -1,0 +1,73 @@
+// Package store is a missdegrade fixture: a tier implementation bound
+// by the every-failure-is-a-miss contract.
+package store
+
+import (
+	"context"
+	"errors"
+	"log"
+	"os"
+
+	"repro/internal/result"
+)
+
+// Key stands in for store.Key.
+type Key struct{ Fingerprint string }
+
+// Tier is a backend under test.
+type Tier struct{}
+
+// Get has the contract's shape: failures collapse to a miss.
+func (t *Tier) Get(ctx context.Context, k Key) (*result.Table, bool) {
+	tab, err := t.fetch(ctx, k)
+	if err != nil {
+		return nil, false
+	}
+	return tab, true
+}
+
+// GetErr leaks the transport error past the boundary.
+func (t *Tier) GetErr(ctx context.Context, k Key) (*result.Table, error) { // want `GetErr returns a table and an error: the tier boundary is \(table, bool\)`
+	return t.fetch(ctx, k)
+}
+
+// Fetch is a package-level offender with the same bad shape.
+func Fetch(k Key) (*result.Table, error) { // want `Fetch returns a table and an error`
+	return nil, errors.New("dial tcp: connection refused")
+}
+
+// fetch is an unexported helper INSIDE the boundary: it may carry the
+// raw error, because Get above folds it into a miss.
+func (t *Tier) fetch(ctx context.Context, k Key) (*result.Table, error) {
+	return &result.Table{ID: k.Fingerprint}, nil
+}
+
+// Put may return an error (persistence degrades, the answer does not),
+// but it must not kill the process or the request.
+func (t *Tier) Put(k Key, tab *result.Table) error {
+	if tab == nil {
+		panic("store: nil table") // want `panic in a store tier`
+	}
+	if k.Fingerprint == "" {
+		log.Fatalf("store: empty fingerprint") // want `log\.Fatalf in a store tier`
+	}
+	if tab.ID == "" {
+		os.Exit(1) // want `os\.Exit in a store tier`
+	}
+	return nil
+}
+
+// New shows the escape hatch on a construction-time guard.
+func New(tiers int) *Tier {
+	if tiers == 0 {
+		//bcclint:allow(missdegrade) construction-time misconfiguration guard, unreachable once serving
+		panic("store: empty stack")
+	}
+	return &Tier{}
+}
+
+func reasonless(tab *result.Table) {
+	if tab == nil {
+		panic("boom") /*bcclint:allow(missdegrade)*/ // want `bcclint:allow\(missdegrade\) needs a reason` `panic in a store tier`
+	}
+}

@@ -1,0 +1,23 @@
+package sharddiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/sharddiscipline"
+)
+
+func TestMatPackage(t *testing.T) {
+	atest.Run(t, sharddiscipline.Analyzer, "repro/internal/mat")
+}
+
+// TestCrossPackage pins that par.Do / mat.ParRange are recognized from
+// an importing measurement package.
+func TestCrossPackage(t *testing.T) {
+	atest.Run(t, sharddiscipline.Analyzer, "repro/internal/lowerbound")
+}
+
+// TestUncoveredPackage pins the gate.
+func TestUncoveredPackage(t *testing.T) {
+	atest.Run(t, sharddiscipline.Analyzer, "repro/internal/serve")
+}

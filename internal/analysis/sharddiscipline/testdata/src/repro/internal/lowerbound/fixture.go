@@ -1,0 +1,46 @@
+// Package lowerbound is a sharddiscipline fixture: a measurement
+// package using the runners from OTHER packages (cross-package
+// recognition of par.Do / mat.ParRange).
+package lowerbound
+
+import (
+	"repro/internal/mat"
+	"repro/internal/par"
+)
+
+// EstimateTV is the compliant sharded-measurement shape.
+func EstimateTV(samples uint64, workers int) (float64, error) {
+	shards, err := par.Map(samples, workers, func(sp par.Span) (int, error) {
+		hits := 0
+		for i := sp.Lo; i < sp.Hi; i++ {
+			if i%2 == 0 {
+				hits++
+			}
+		}
+		return hits, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, h := range shards {
+		total += h
+	}
+	return float64(total) / float64(samples), nil
+}
+
+// LeakyEstimate races on the captured accumulator.
+func LeakyEstimate(samples uint64, workers int) float64 {
+	hits := 0
+	_, _ = par.Map(samples, workers, func(sp par.Span) (int, error) {
+		for i := sp.Lo; i < sp.Hi; i++ {
+			hits++ // want `worker closure writes captured variable hits`
+		}
+		return 0, nil
+	})
+	scores := make([]float64, 8)
+	mat.ParRange(8, workers, func(i int) {
+		scores[i] = float64(i) // index-disjoint: fine
+	})
+	return float64(hits) + scores[0]
+}

@@ -1,0 +1,135 @@
+// Package mat is a sharddiscipline fixture: the row-sharded primitives
+// plus in-package worker closures exercising the write rules.
+package mat
+
+import "repro/internal/par"
+
+// Dense is a minimal row-major matrix.
+type Dense struct {
+	n    int
+	data []float64
+}
+
+// Row returns row i.
+func (m *Dense) Row(i int) []float64 { return m.data[i*m.n : (i+1)*m.n] }
+
+// ParRange runs fn(i) for i = 0..n−1, sharded.
+func ParRange(n, workers int, fn func(i int)) {
+	par.Do(workers, func(s int) error {
+		fn(s)
+		return nil
+	})
+}
+
+// ApplyRows runs fn over every row, row-parallel.
+func (m *Dense) ApplyRows(workers int, fn func(i int, row []float64)) {
+	ParRange(m.n, workers, func(i int) { fn(i, m.Row(i)) })
+}
+
+// MatVec is the compliant shape: every write lands at a closure-local
+// index or in closure-local storage.
+func (m *Dense) MatVec(dst, x []float64, workers int) {
+	spans := []par.Span{{Lo: 0, Hi: uint64(m.n)}}
+	par.Do(len(spans), func(s int) error {
+		for i := spans[s].Lo; i < spans[s].Hi; i++ {
+			row := m.Row(int(i))
+			var sum float64
+			for j, w := range row {
+				sum += w * x[j]
+			}
+			dst[i] = sum
+		}
+		return nil
+	})
+}
+
+// sharedAccumulator is the classic violation: a cross-worker reduction
+// inside the closure.
+func sharedAccumulator(m *Dense, workers int) float64 {
+	var total float64
+	count := 0
+	par.Do(workers, func(s int) error {
+		total += float64(s) // want `worker closure writes captured variable total`
+		count++             // want `worker closure writes captured variable count`
+		return nil
+	})
+	return total + float64(count)
+}
+
+// fixedIndex writes every worker to the same element.
+func fixedIndex(out []float64, workers int) {
+	par.Do(workers, func(s int) error {
+		out[0] = 1 // want `worker closure writes out at an index with no closure-local variable`
+		return nil
+	})
+}
+
+// spanIndexed is fine: the index is the worker's own shard variable.
+func spanIndexed(out []float64, workers int) {
+	par.Do(workers, func(s int) error {
+		out[s] = 1
+		return nil
+	})
+}
+
+// capturedMap faults under concurrency and has random order anyway.
+func capturedMap(workers int) {
+	seen := map[int]bool{}
+	ParRange(8, workers, func(i int) {
+		seen[i] = true // want `worker closure writes captured map seen`
+	})
+}
+
+// pointerAndField writes shared state through a pointer and a struct.
+func pointerAndField(m *Dense, workers int) {
+	type acc struct{ n int }
+	var shared acc
+	best := new(float64)
+	m.ApplyRows(workers, func(i int, row []float64) {
+		shared.n = i   // want `worker closure writes field shared\.n of a captured value`
+		*best = row[0] // want `worker closure writes through captured pointer best`
+	})
+}
+
+// localState is fine: per-shard tallies declared inside the closure,
+// merged by par.Map outside.
+func localState(workers int) ([]int, error) {
+	return par.Map(8, workers, func(sp par.Span) (int, error) {
+		type tally struct{ n int }
+		var t tally
+		for i := sp.Lo; i < sp.Hi; i++ {
+			t.n++
+		}
+		return t.n, nil
+	})
+}
+
+// waived shows the escape hatch for a humanly-proven-disjoint write.
+func waived(out []float64, workers int) {
+	par.Do(workers, func(s int) error {
+		//bcclint:allow(sharddiscipline) single-shard call: par.Do(1, ...) runs inline
+		out[0] = 1
+		return nil
+	})
+}
+
+// notARunner: writes in closures handed to anything else are not this
+// analyzer's business (the range-over-rows helper below is sequential).
+func notARunner(out []float64) {
+	each(len(out), func(i int) {
+		out[0] = float64(i)
+	})
+}
+
+func each(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func reasonless(out []float64, workers int) {
+	par.Do(workers, func(s int) error {
+		out[0] = 1 /*bcclint:allow(sharddiscipline)*/ // want `bcclint:allow\(sharddiscipline\) needs a reason` `worker closure writes out at an index`
+		return nil
+	})
+}

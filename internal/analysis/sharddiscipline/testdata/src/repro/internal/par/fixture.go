@@ -1,0 +1,33 @@
+// Package par is a sharddiscipline fixture dependency: the worker
+// fan-out entry points the analyzer recognizes by (package, name).
+package par
+
+// Span is a half-open shard [Lo, Hi).
+type Span struct{ Lo, Hi uint64 }
+
+// Do runs fn once per shard.
+func Do(shards int, fn func(shard int) error) error {
+	for s := 0; s < shards; s++ {
+		if err := fn(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn once per span and collects results in span order.
+func Map(n uint64, workers int, fn func(s Span) (int, error)) ([]int, error) {
+	out := make([]int, workers)
+	err := Do(workers, func(i int) error {
+		v, err := fn(Span{Lo: uint64(i), Hi: uint64(i) + 1})
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

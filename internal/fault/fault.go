@@ -11,19 +11,19 @@
 //
 // A Spec is parsed from the compact form the -chaos flag takes:
 //
-//	err=0.3,lat=200ms,corrupt=0.05,timeout=0.1,seed=7,for=30s
+//		err=0.3,lat=200ms,corrupt=0.05,timeout=0.1,seed=7,for=30s
 //
-//   - err:     fraction of calls that fail with ErrInjected
-//   - lat:     fixed latency added to every call (context-aware)
-//   - timeout: fraction of calls that hang until the caller's context
-//     expires — the black-hole fault, the one that prices an
-//     unprotected dependency at one full deadline per request
-//   - corrupt: fraction of calls whose payload bytes are flipped
-//   - seed:    the decision stream seed (default 1); equal specs make
-//     equal decisions in sequence
-//   - for:     the fault window — after this much time from Arm the
-//     injector goes quiet and the dependency heals, which is how CI
-//     drives breaker recovery without an admin endpoint
+//	  - err:     fraction of calls that fail with ErrInjected
+//	  - lat:     fixed latency added to every call (context-aware)
+//	  - timeout: fraction of calls that hang until the caller's context
+//	    expires — the black-hole fault, the one that prices an
+//	    unprotected dependency at one full deadline per request
+//	  - corrupt: fraction of calls whose payload bytes are flipped
+//	  - seed:    the decision stream seed (default 1); equal specs make
+//	    equal decisions in sequence
+//	  - for:     the fault window — after this much time from Arm the
+//	    injector goes quiet and the dependency heals, which is how CI
+//	    drives breaker recovery without an admin endpoint
 //
 // A Plan maps dependency targets to specs ("objstore:err=1;peer:lat=6s"),
 // with a bare spec applying to every target.

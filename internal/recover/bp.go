@@ -86,8 +86,8 @@ func (b *BP) Recover(inst cliquefind.PlantedInstance, k, workers int) ([]int, in
 	prior := float64(k) / float64(n)
 	logPrior := math.Log(prior / (1 - prior))
 
-	in := mat.New(n)      // in.Row(i)[k] = m_{k→i}
-	next := mat.New(n)    // double buffer
+	in := mat.New(n)   // in.Row(i)[k] = m_{k→i}
+	next := mat.New(n) // double buffer
 	deltas := make([]float64, n)
 	in.ApplyRows(workers, func(i int, row []float64) {
 		for j := range row {

@@ -246,6 +246,7 @@ func (s *Scheduler) lookup(ctx context.Context, k store.Key) (*result.Table, str
 // queue deadline: store hit, shared flight, or fresh computation, in
 // that order of preference.
 func (s *Scheduler) Table(e experiments.Experiment, cfg experiments.Config) (*result.Table, Outcome, error) {
+	//bcclint:allow(ctxflow) Table is the documented context-free entry for batch callers (cmd/experiments) that have no request to thread
 	return s.TableCtx(context.Background(), e, cfg)
 }
 
@@ -368,6 +369,7 @@ func (s *Scheduler) tableCtx(ctx context.Context, e experiments.Experiment, cfg 
 					}
 					s.admitted.Add(1)
 				}
+				//bcclint:allow(ctxflow) a flight outlives any one caller by design: joiners come and go, and a deadline leaver must not cancel the shared computation (see TableCtx)
 				flCtx, cancel := context.WithCancelCause(context.Background())
 				fl = &flight{done: make(chan struct{}), ctx: flCtx, cancel: cancel, waiters: 1, holdsToken: holdsToken}
 				s.flights[k.Fingerprint] = fl

@@ -126,13 +126,13 @@ type FleetStats struct {
 
 func (s *Server) fleetStats() FleetStats {
 	return FleetStats{
-		Self:         s.Fleet.Self(),
-		Members:      s.Fleet.Members(),
-		SharedHits:   s.fleetC.sharedHits.Load(),
-		OwnerFetches: s.fleetC.ownerFetches.Load(),
-		Proxied:      s.fleetC.proxied.Load(),
-		Waits:        s.fleetC.waits.Load(),
-		WaitHits:     s.fleetC.waitHits.Load(),
+		Self:               s.Fleet.Self(),
+		Members:            s.Fleet.Members(),
+		SharedHits:         s.fleetC.sharedHits.Load(),
+		OwnerFetches:       s.fleetC.ownerFetches.Load(),
+		Proxied:            s.fleetC.proxied.Load(),
+		Waits:              s.fleetC.waits.Load(),
+		WaitHits:           s.fleetC.waitHits.Load(),
 		Fallbacks:          s.fleetC.fallbacks.Load(),
 		ProbeErrors:        s.fleetC.probeErrors.Load(),
 		OwnerShortCircuits: s.fleetC.ownerShortCircuits.Load(),

@@ -239,6 +239,7 @@ func (t *Tier) Put(k store.Key, tab *result.Table) error {
 		t.putErrors.Add(1)
 		return fmt.Errorf("objstore: enveloping %s: %w", k.ID, err)
 	}
+	//bcclint:allow(ctxflow) Backend.Put carries no context by contract: write-through persistence is best-effort, off the request path, and must survive the request that triggered it; the tier supplies its own bound
 	ctx, cancel := context.WithTimeout(context.Background(), t.putTimeout)
 	defer cancel()
 	if err := t.client.Put(ctx, objectKey(k.Fingerprint), raw); err != nil {

@@ -148,7 +148,15 @@ func splitList(key, v string) ([]string, error) {
 // shrink a grid. Errors leave no partial result: the returned Spec is
 // always zero when err != nil.
 func ParseQuery(q url.Values) (Spec, error) {
+	// Iterate the keys in sorted order: with several unknown keys the
+	// error must name the same one on every replay, not whichever Go's
+	// randomized map order surfaces first — error bodies are output too.
+	keys := make([]string, 0, len(q))
 	for key := range q {
+		keys = append(keys, key)
+	}
+	slices.Sort(keys)
+	for _, key := range keys {
 		switch key {
 		case "ids", "seeds", "quick":
 		default:
